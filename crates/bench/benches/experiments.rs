@@ -1,0 +1,127 @@
+//! One bench per table/figure: each target regenerates the corresponding
+//! paper artifact on a small deterministic world, so `cargo bench` measures
+//! the full pipeline cost of every experiment (E-SCALARS, E-FIG3..8,
+//! E-TAB1, E-FIG10/13/14/15, E-FILTER, E-HIJACK) plus the sampling-ratio
+//! ablation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use nxd_bench::{era_world_small, honeypot_world_small, origin_world_small};
+use nxd_core::{origin as origin_analysis, scale, security};
+use nxd_dns_sim::HijackPolicy;
+use nxd_passive_dns::query;
+use nxd_squat::SquatClassifier;
+
+fn bench_scale_figures(c: &mut Criterion) {
+    let world = era_world_small();
+    let db = &world.db;
+    let mut g = c.benchmark_group("experiments-scale");
+    g.sample_size(20);
+    g.bench_function("scalars", |b| b.iter(|| black_box(scale::headline(db))));
+    g.bench_function("fig3_monthly_series", |b| b.iter(|| black_box(scale::fig3(db))));
+    g.bench_function("fig4_tld_distribution", |b| b.iter(|| black_box(scale::fig4(db, 20))));
+    g.bench_function("fig5_lifespan", |b| b.iter(|| black_box(scale::fig5(db))));
+    g.bench_function("fig6_expiry_alignment", |b| {
+        b.iter(|| black_box(scale::fig6(db, &world.expiry_days)))
+    });
+    g.bench_function("hijack_sensitivity", |b| {
+        let policy = HijackPolicy::paper_rate(5);
+        b.iter(|| black_box(scale::hijack_sensitivity(db, &policy)))
+    });
+    // Ablation: sampling-ratio sensitivity (1/10 … 1/1000 vs exact count).
+    for ratio in [10u64, 100, 1000] {
+        g.bench_function(format!("sampling_1_in_{ratio}"), |b| {
+            b.iter(|| black_box(query::sample_nx_names(db, ratio, 42).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_origin_figures(c: &mut Criterion) {
+    let world = origin_world_small();
+    let names: Vec<String> = world.domains.iter().map(|d| d.name.clone()).collect();
+    let mut g = c.benchmark_group("experiments-origin");
+    g.sample_size(10);
+    g.bench_function("whois_join", |b| {
+        let era = era_world_small();
+        b.iter(|| black_box(origin_analysis::whois_join(&era.db, &era.whois)))
+    });
+    g.bench_function("fig7_squat_scan", |b| {
+        let classifier = SquatClassifier::default();
+        b.iter(|| {
+            black_box(origin_analysis::squat_scan(
+                names.iter().map(|s| s.as_str()),
+                &classifier,
+            ))
+        })
+    });
+    g.bench_function("dga_scan", |b| {
+        let detector = nxd_dga::DgaDetector::default();
+        b.iter(|| {
+            black_box(origin_analysis::dga_scan(names.iter().map(|s| s.as_str()), &detector))
+        })
+    });
+    g.bench_function("fig8_blocklist_xref", |b| {
+        b.iter(|| {
+            black_box(origin_analysis::blocklist_xref(
+                &names,
+                &world.blocklist,
+                names.len() * 20 / 91,
+                1_000,
+                1_000,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_security_figures(c: &mut Criterion) {
+    let world = honeypot_world_small();
+    let mut g = c.benchmark_group("experiments-security");
+    g.sample_size(10);
+    // E-TAB1 + E-FIG10 + E-FIG13/14/15 all come out of one pipeline run.
+    g.bench_function("table1_full_pipeline", |b| b.iter(|| black_box(security::run(&world))));
+    // E-FILTER in isolation.
+    g.bench_function("filter_only", |b| {
+        use nxd_honeypot::{ControlGroupProfile, NoHostingBaseline, NoiseFilter};
+        let filter = NoiseFilter::new(
+            NoHostingBaseline::from_packets(&world.baseline_packets),
+            ControlGroupProfile::from_packets(&world.control_packets),
+        );
+        let packets = world.captures[0].packets.clone();
+        b.iter(|| black_box(filter.apply(packets.clone())))
+    });
+    // Categorization in isolation (the Fig. 11 logic).
+    g.bench_function("categorize_only", |b| {
+        use nxd_honeypot::Categorizer;
+        let categorizer = Categorizer::new(
+            world.captures[0].spec.name,
+            world.webfilter.clone(),
+            world.reverse_dns.clone(),
+        );
+        b.iter(|| black_box(categorizer.tally(&world.captures[0].packets)))
+    });
+    g.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload-generation");
+    g.sample_size(10);
+    g.bench_function("era_world", |b| b.iter(|| black_box(era_world_small().db.row_count())));
+    g.bench_function("origin_world", |b| {
+        b.iter(|| black_box(origin_world_small().domains.len()))
+    });
+    g.bench_function("honeypot_world", |b| {
+        b.iter(|| black_box(honeypot_world_small().captures.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scale_figures,
+    bench_origin_figures,
+    bench_security_figures,
+    bench_workload_generation
+);
+criterion_main!(benches);

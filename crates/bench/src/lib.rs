@@ -1,0 +1,82 @@
+//! # nxd-bench
+//!
+//! Benchmarks and the `repro` binary.
+//!
+//! * `cargo run -p nxd-bench --bin repro --release -- all` regenerates every
+//!   table and figure of the paper (scaled) and prints paper-vs-measured
+//!   rows — the source of EXPERIMENTS.md.
+//! * `cargo bench -p nxd-bench` runs the criterion benches: one per
+//!   table/figure plus the ablations called out in DESIGN.md (negative
+//!   cache, sampling ratio, filter stages, DGA detector features,
+//!   interning).
+//!
+//! This library crate only hosts shared experiment drivers so the bin and
+//! the benches stay in sync.
+
+use nxd_core::{origin as origin_analysis, scale, security};
+use nxd_traffic::{era, honeypot_era, origin, EraConfig, HoneypotConfig, OriginConfig};
+
+/// Standard reproduction-scale era world (shared by bin + benches).
+pub fn era_world() -> era::EraWorld {
+    era::generate(EraConfig::default())
+}
+
+/// A smaller era world for quick benches.
+pub fn era_world_small() -> era::EraWorld {
+    era::generate(EraConfig {
+        nx_names: 8_000,
+        expired_panel: 400,
+        resolver_checks: 0,
+        ..Default::default()
+    })
+}
+
+/// Standard reproduction-scale origin world.
+pub fn origin_world() -> origin::OriginWorld {
+    origin::generate(OriginConfig::default())
+}
+
+/// A smaller origin world for quick benches.
+pub fn origin_world_small() -> origin::OriginWorld {
+    origin::generate(OriginConfig { expired_total: 8_000, ..Default::default() })
+}
+
+/// Standard reproduction-scale honeypot world (Table 1 / 100).
+pub fn honeypot_world() -> honeypot_era::HoneypotWorld {
+    honeypot_era::generate(HoneypotConfig::default())
+}
+
+/// A smaller honeypot world for quick benches.
+pub fn honeypot_world_small() -> honeypot_era::HoneypotWorld {
+    honeypot_era::generate(HoneypotConfig { scale: 1_000, ..Default::default() })
+}
+
+/// Full §6 security report.
+pub fn security_report(world: &honeypot_era::HoneypotWorld) -> nxd_core::SecurityReport {
+    security::run(world)
+}
+
+/// Headline scalars.
+pub fn scale_report(world: &era::EraWorld) -> nxd_core::ScaleReport {
+    scale::headline(&world.db)
+}
+
+/// §5.1 WHOIS join.
+pub fn whois_join(world: &era::EraWorld) -> origin_analysis::WhoisJoin {
+    origin_analysis::whois_join(&world.db, &world.whois)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_worlds_build() {
+        let era = era_world_small();
+        assert!(era.db.row_count() > 0);
+        let origin = origin_world_small();
+        assert_eq!(origin.domains.len(), 8_000);
+        let honeypot = honeypot_world_small();
+        assert_eq!(honeypot.captures.len(), 19);
+    }
+}

@@ -1,0 +1,204 @@
+//! §6.4 — the three security-implication surfaces of re-registered
+//! NXDomains: botnet takeover, malicious file injection, and residual-trust
+//! exploitation, quantified per domain from the filtered capture.
+//!
+//! The paper argues qualitatively; this module turns each argument into a
+//! measurable exposure count:
+//!
+//! * **Injection surface** — automated fetches of executable/script/media
+//!   content ("Adversaries can feed automated processes with malicious
+//!   programs"), plus e-mail image fetches ("injecting malicious images and
+//!   files ... threatens the security of the victims' e-mail systems"),
+//!   plus status-polling streams (the `status.json` vector).
+//! * **Residual-trust surface** — human visits arriving through old links:
+//!   referral visits (search/embedded) and user visits including in-app
+//!   browsers ("Adversaries could register these NXDomains to bait
+//!   potential victims").
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use nxd_honeypot::{Categorizer, ControlGroupProfile, NoHostingBaseline, NoiseFilter, TrafficCategory};
+use nxd_httpsim::{classify_user_agent, UaClass};
+use nxd_traffic::HoneypotWorld;
+
+/// Content classes an attacker could poison for automated consumers.
+const INJECTABLE_EXTENSIONS: &[&str] =
+    &["js", "php", "exe", "zip", "mp4", "torrent", "json", "xml", "css"];
+
+/// Per-domain exposure counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DomainExposure {
+    pub domain: String,
+    /// Automated fetches of injectable content (scripts, archives, media).
+    pub automated_downloads: u64,
+    /// E-mail image-proxy fetches (mail-client injection vector).
+    pub email_fetches: u64,
+    /// Repetitive polling streams (tasking/update channels).
+    pub polling_streams: u64,
+    /// Referral arrivals (embedded links and search results still pointing
+    /// at the dead domain).
+    pub referral_visits: u64,
+    /// Direct human visits (PC/mobile + in-app browsers).
+    pub user_visits: u64,
+}
+
+impl DomainExposure {
+    /// The injection surface (§6.4 "Malicious File Injection").
+    pub fn injection_surface(&self) -> u64 {
+        self.automated_downloads + self.email_fetches + self.polling_streams
+    }
+
+    /// The residual-trust surface (§6.4 "Residual Trust Exploitation").
+    pub fn residual_trust_surface(&self) -> u64 {
+        self.referral_visits + self.user_visits
+    }
+}
+
+/// Computes the §6.4 exposure report over a honeypot world (filtering with
+/// the same Fig. 9 pipeline the main analysis uses).
+pub fn exposure_report(world: &HoneypotWorld) -> Vec<DomainExposure> {
+    let filter = NoiseFilter::new(
+        NoHostingBaseline::from_packets(&world.baseline_packets),
+        ControlGroupProfile::from_packets(&world.control_packets),
+    );
+    let mut out = Vec::new();
+    for capture in &world.captures {
+        let categorizer =
+            Categorizer::new(capture.spec.name, world.webfilter.clone(), world.reverse_dns.clone());
+        let (kept, _) = filter.apply(capture.packets.clone());
+        let mut streams: HashMap<(Ipv4Addr, String), u64> = HashMap::new();
+        for p in &kept {
+            if let Some(req) = p.http_request() {
+                *streams.entry((p.src_ip, req.uri.path.clone())).or_insert(0) += 1;
+            }
+        }
+        let mut exposure = DomainExposure {
+            domain: capture.spec.name.to_string(),
+            ..Default::default()
+        };
+        for p in &kept {
+            let Some(req) = p.http_request() else { continue };
+            let category = categorizer.categorize(p, &streams);
+            let ext = req.uri.extension();
+            match category {
+                TrafficCategory::ScriptSoftware | TrafficCategory::MaliciousRequest => {
+                    let repetitive = streams
+                        .get(&(p.src_ip, req.uri.path.clone()))
+                        .is_some_and(|&c| c >= categorizer.stream_threshold);
+                    if repetitive {
+                        exposure.polling_streams += 1;
+                    } else if ext
+                        .as_deref()
+                        .is_some_and(|e| INJECTABLE_EXTENSIONS.contains(&e))
+                    {
+                        exposure.automated_downloads += 1;
+                    }
+                }
+                TrafficCategory::FileGrabber => {
+                    if let Some(UaClass::EmailCrawler { .. }) =
+                        req.user_agent().map(classify_user_agent)
+                    {
+                        exposure.email_fetches += 1;
+                    }
+                }
+                TrafficCategory::ReferralSearchEngine | TrafficCategory::ReferralEmbedded => {
+                    exposure.referral_visits += 1;
+                }
+                TrafficCategory::UserPcMobile | TrafficCategory::UserInApp => {
+                    exposure.user_visits += 1;
+                }
+                _ => {}
+            }
+        }
+        out.push(exposure);
+    }
+    out.sort_by(|a, b| {
+        (b.injection_surface() + b.residual_trust_surface())
+            .cmp(&(a.injection_surface() + a.residual_trust_surface()))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nxd_traffic::{honeypot_era, HoneypotConfig};
+
+    fn report() -> Vec<DomainExposure> {
+        let world = honeypot_era::generate(HoneypotConfig { scale: 400, ..Default::default() });
+        exposure_report(&world)
+    }
+
+    fn find<'a>(r: &'a [DomainExposure], name: &str) -> &'a DomainExposure {
+        r.iter().find(|e| e.domain == name).unwrap()
+    }
+
+    #[test]
+    fn nineteen_domains_reported() {
+        let r = report();
+        assert_eq!(r.len(), 19);
+    }
+
+    #[test]
+    fn sport_site_polling_dominates_its_injection_surface() {
+        // 1x-sport-bk7.com's status.json streams are a tasking channel.
+        let r = report();
+        let sport = find(&r, "1x-sport-bk7.com");
+        assert!(
+            sport.polling_streams > sport.automated_downloads,
+            "{sport:?}"
+        );
+        assert!(sport.injection_surface() > 1_000);
+    }
+
+    #[test]
+    fn video_sites_have_download_surface() {
+        // resheba/fanserials: script tools downloading course videos and
+        // torrents — exactly the injection vector §6.4 describes.
+        let r = report();
+        for name in ["resheba.online", "fanserials.moda"] {
+            let e = find(&r, name);
+            assert!(e.automated_downloads > 50, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn conf_cdn_email_vector() {
+        let r = report();
+        let conf = find(&r, "conf-cdn.com");
+        assert!(conf.email_fetches > 50, "{conf:?}");
+        // Its e-mail fetches dwarf every other domain's.
+        for e in &r {
+            if e.domain != "conf-cdn.com" {
+                assert!(conf.email_fetches > e.email_fetches, "{}", e.domain);
+            }
+        }
+    }
+
+    #[test]
+    fn porno_komiksy_leads_residual_trust() {
+        let r = report();
+        let porno = find(&r, "porno-komiksy.com");
+        for e in &r {
+            if e.domain != "porno-komiksy.com" {
+                assert!(
+                    porno.residual_trust_surface() >= e.residual_trust_surface(),
+                    "{} outranks porno-komiksy: {} vs {}",
+                    e.domain,
+                    e.residual_trust_surface(),
+                    porno.residual_trust_surface()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_is_sorted_by_total_exposure() {
+        let r = report();
+        for pair in r.windows(2) {
+            let total = |e: &DomainExposure| e.injection_surface() + e.residual_trust_surface();
+            assert!(total(&pair[0]) >= total(&pair[1]));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Plain-text rendering of tables and series for the `repro` binary and
+//! EXPERIMENTS.md — fixed-width ASCII, stable column order, no locale.
+
+use std::fmt::Write as _;
+
+/// Renders an ASCII table. Column widths adapt to content.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(out, " {h:<w$} |");
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(out, " {cell:>w$} |");
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out
+}
+
+/// Renders a `(label, value)` series with a proportional bar, log-friendly.
+pub fn bar_series<L: std::fmt::Display>(series: &[(L, f64)], width: usize) -> String {
+    let max = series.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max).max(1e-12);
+    let mut out = String::new();
+    for (label, value) in series {
+        let bar_len = ((value / max) * width as f64).round() as usize;
+        let _ = writeln!(out, "{label:>12} | {:<width$} {value:.2}", "#".repeat(bar_len));
+    }
+    out
+}
+
+/// Thousands separator for readability (`1234567` → `1,234,567`).
+pub fn commas(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Percentage with one decimal.
+pub fn pct(numerator: u64, denominator: u64) -> String {
+    if denominator == 0 {
+        "0.0%".to_string()
+    } else {
+        format!("{:.1}%", numerator as f64 / denominator as f64 * 100.0)
+    }
+}
+
+/// A paper-vs-measured comparison line for EXPERIMENTS.md.
+pub fn compare_line(metric: &str, paper: &str, measured: &str) -> String {
+    format!("{metric:<44} paper: {paper:>18}  measured: {measured:>18}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = table(
+            &["name", "count"],
+            &[
+                vec!["a.com".into(), "10".into()],
+                vec!["long-name.com".into(), "5".into()],
+            ],
+        );
+        assert!(t.contains("| name "));
+        assert!(t.contains("| long-name.com |"));
+        let widths: Vec<usize> = t.lines().map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_ragged_rows() {
+        table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn commas_grouping() {
+        assert_eq!(commas(0), "0");
+        assert_eq!(commas(999), "999");
+        assert_eq!(commas(1_000), "1,000");
+        assert_eq!(commas(146_363_745_785), "146,363,745,785");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(1, 4), "25.0%");
+        assert_eq!(pct(0, 0), "0.0%");
+        assert_eq!(pct(561, 1000), "56.1%");
+    }
+
+    #[test]
+    fn bar_series_scales() {
+        let s = bar_series(&[("a", 10.0), ("b", 5.0)], 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].matches('#').count() == 10);
+        assert!(lines[1].matches('#').count() == 5);
+    }
+
+    #[test]
+    fn compare_line_format() {
+        let l = compare_line("total NXDOMAIN responses", "1,069,114,764,701", "1,069,115");
+        assert!(l.contains("paper:"));
+        assert!(l.contains("measured:"));
+    }
+}

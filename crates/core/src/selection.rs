@@ -1,0 +1,125 @@
+//! §3.3 — domain selection: which NXDomains are worth registering for the
+//! honeypot study. The paper's two criteria: sustained query volume
+//! (≥ 10,000 DNS queries per month at full scale) and at least six months
+//! in non-existent status.
+
+use nxd_passive_dns::PassiveDb;
+
+/// Selection criteria. Thresholds are in database units, so reproduction
+/// runs scale them with the workload.
+#[derive(Debug, Clone)]
+pub struct SelectionCriteria {
+    /// Minimum average NXDOMAIN queries per month over the name's NX span.
+    pub min_monthly_queries: f64,
+    /// Minimum days in NX status before `as_of_day`.
+    pub min_nx_days: u32,
+    /// "Now" for the age requirement (days since epoch).
+    pub as_of_day: u32,
+    /// Maximum number of domains to select (the paper registered 19).
+    pub max_selected: usize,
+}
+
+/// A selected candidate with its qualifying statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    pub name: String,
+    pub nx_days: u32,
+    pub avg_monthly_queries: f64,
+    pub total_nx_queries: u64,
+}
+
+/// Applies the §3.3 criteria to the passive database, returning candidates
+/// ordered by descending query volume.
+pub fn select(db: &PassiveDb, criteria: &SelectionCriteria) -> Vec<Candidate> {
+    let mut out: Vec<Candidate> = db
+        .nx_names()
+        .filter_map(|(id, agg)| {
+            let nx_days = criteria.as_of_day.saturating_sub(agg.first_nx_day);
+            if nx_days < criteria.min_nx_days {
+                return None;
+            }
+            let span_days = (agg.last_nx_day - agg.first_nx_day).max(1);
+            let months = (span_days as f64 / 30.0).max(1.0);
+            let avg_monthly = agg.nx_queries as f64 / months;
+            if avg_monthly < criteria.min_monthly_queries {
+                return None;
+            }
+            Some(Candidate {
+                name: db.interner().resolve(id).to_string(),
+                nx_days,
+                avg_monthly_queries: avg_monthly,
+                total_nx_queries: agg.nx_queries,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.total_nx_queries
+            .cmp(&a.total_nx_queries)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    out.truncate(criteria.max_selected);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nxd_dns_wire::RCode;
+
+    fn db() -> PassiveDb {
+        let mut db = PassiveDb::new();
+        // Hot, old name: qualifies.
+        for d in 0..300u32 {
+            db.record_str("hot-old.com", 17_000 + d, 0, RCode::NxDomain, 20);
+        }
+        // Hot but too young.
+        for d in 0..30u32 {
+            db.record_str("hot-young.com", 17_400 + d, 0, RCode::NxDomain, 50);
+        }
+        // Old but cold.
+        db.record_str("cold-old.com", 17_000, 0, RCode::NxDomain, 3);
+        db
+    }
+
+    fn criteria() -> SelectionCriteria {
+        SelectionCriteria {
+            min_monthly_queries: 100.0,
+            min_nx_days: 182,
+            as_of_day: 17_500,
+            max_selected: 19,
+        }
+    }
+
+    #[test]
+    fn selects_only_hot_and_old() {
+        let picked = select(&db(), &criteria());
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].name, "hot-old.com");
+        assert!(picked[0].avg_monthly_queries >= 100.0);
+        assert!(picked[0].nx_days >= 182);
+    }
+
+    #[test]
+    fn max_selected_caps_output() {
+        let mut d = PassiveDb::new();
+        for i in 0..50 {
+            for day in 0..300u32 {
+                d.record_str(&format!("busy{i}.com"), 17_000 + day, 0, RCode::NxDomain, 10);
+            }
+        }
+        let picked = select(&d, &criteria());
+        assert_eq!(picked.len(), 19);
+    }
+
+    #[test]
+    fn ordering_by_volume() {
+        let mut d = PassiveDb::new();
+        for day in 0..300u32 {
+            d.record_str("big.com", 17_000 + day, 0, RCode::NxDomain, 50);
+            d.record_str("small.com", 17_000 + day, 0, RCode::NxDomain, 10);
+        }
+        let picked = select(&d, &criteria());
+        assert_eq!(picked[0].name, "big.com");
+        assert_eq!(picked[1].name, "small.com");
+    }
+}

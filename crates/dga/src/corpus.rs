@@ -1,0 +1,98 @@
+//! Embedded corpora: a dictionary for word-based DGAs and a benign-domain
+//! sample used to train the detector's bigram model.
+//!
+//! Real deployments train on zone files and Alexa/Tranco lists; the embedded
+//! sample is small but spans the same character statistics (English-ish
+//! bigrams, short tokens, few digits), which is all the detector's features
+//! consume.
+
+/// Common English words used by dictionary DGAs (suppobox-style) and by the
+/// detector's word-hit feature.
+pub const WORDS: &[&str] = &[
+    "able", "about", "account", "action", "active", "agent", "alpha", "amber", "angle", "apple",
+    "arch", "area", "argue", "arrow", "asset", "audio", "autumn", "award", "basic", "beach",
+    "bear", "berry", "birch", "black", "blade", "blank", "block", "bloom", "blue", "board",
+    "bonus", "book", "brave", "bread", "break", "brick", "bridge", "bright", "brown", "brush",
+    "cabin", "cable", "candy", "canyon", "carbon", "cargo", "castle", "cedar", "chain", "chair",
+    "chart", "cherry", "chess", "chief", "cloud", "clover", "coast", "cobalt", "coffee", "color",
+    "comet", "coral", "corner", "cotton", "craft", "crane", "cream", "crown", "crystal", "cycle",
+    "daily", "dance", "dawn", "delta", "desert", "diamond", "digital", "dolphin", "dragon",
+    "dream", "drift", "eagle", "early", "earth", "echo", "ember", "energy", "engine", "evening",
+    "falcon", "family", "fancy", "fast", "feather", "fiber", "field", "finch", "flame", "flash",
+    "fleet", "flint", "flower", "focus", "forest", "forge", "fortune", "fountain", "fresh",
+    "frost", "galaxy", "garden", "gentle", "giant", "ginger", "glacier", "globe", "gold",
+    "granite", "grape", "green", "grove", "harbor", "hazel", "heart", "heavy", "hidden", "hill",
+    "honey", "horizon", "house", "hunter", "india", "indigo", "iron", "island", "ivory", "jade",
+    "jewel", "journey", "jungle", "juniper", "kite", "lake", "laser", "latch", "laurel", "leaf",
+    "legend", "lemon", "level", "light", "lily", "linen", "lion", "little", "lotus", "lucky",
+    "lunar", "magic", "magnet", "major", "maple", "marble", "market", "master", "meadow",
+    "media", "melon", "metal", "meteor", "midnight", "mint", "mirror", "mist", "mobile",
+    "monarch", "moon", "morning", "mountain", "music", "noble", "north", "ocean", "olive",
+    "onyx", "opal", "orange", "orbit", "orchid", "oxide", "palace", "panda", "paper", "pearl",
+    "pebble", "pepper", "phoenix", "pilot", "pine", "pixel", "planet", "plaza", "point",
+    "polar", "poppy", "portal", "prime", "prism", "pulse", "purple", "quartz", "quest", "quick",
+    "quiet", "rabbit", "radio", "rain", "rapid", "raven", "record", "reef", "ridge", "river",
+    "robin", "rocket", "rose", "royal", "ruby", "rustic", "saffron", "sage", "salmon", "sand",
+    "sapphire", "scarlet", "scout", "secret", "shadow", "sharp", "shell", "shore", "silent",
+    "silver", "simple", "sky", "smart", "smooth", "snow", "solar", "sonic", "south", "spark",
+    "spice", "spring", "spruce", "star", "steel", "stone", "storm", "stream", "summer", "sun",
+    "sunset", "swift", "table", "tango", "terra", "thunder", "tiger", "timber", "titan",
+    "topaz", "torch", "trade", "trail", "travel", "tree", "tulip", "turbo", "twilight",
+    "ultra", "umber", "union", "unity", "valley", "vapor", "velvet", "venture", "victor",
+    "violet", "vista", "vivid", "wagon", "walnut", "water", "wave", "west", "whale", "wheat",
+    "willow", "wind", "winter", "wolf", "wonder", "zebra", "zenith", "zephyr",
+];
+
+/// A benign-domain sample (registrable labels only) approximating what the
+/// paper's commercial detector would have been trained on.
+pub const BENIGN_DOMAINS: &[&str] = &[
+    "google", "youtube", "facebook", "twitter", "instagram", "wikipedia", "yahoo", "amazon",
+    "reddit", "netflix", "office", "microsoft", "linkedin", "twitch", "ebay", "apple",
+    "spotify", "adobe", "dropbox", "github", "stackoverflow", "wordpress", "pinterest",
+    "tumblr", "paypal", "salesforce", "oracle", "cloudflare", "akamai", "fastly", "shopify",
+    "zoom", "slack", "airbnb", "uber", "lyft", "tesla", "walmart", "target", "costco",
+    "bestbuy", "homedepot", "nytimes", "theguardian", "bbc", "cnn", "reuters", "bloomberg",
+    "forbes", "espn", "hulu", "disney", "vimeo", "flickr", "medium", "quora", "yelp",
+    "tripadvisor", "booking", "expedia", "weather", "accuweather", "imdb", "rottentomatoes",
+    "craigslist", "indeed", "glassdoor", "monster", "zillow", "redfin", "realtor", "chase",
+    "wellsfargo", "bankofamerica", "citibank", "americanexpress", "visa", "mastercard",
+    "fidelity", "vanguard", "schwab", "robinhood", "coinbase", "binance", "mozilla",
+    "duckduckgo", "bing", "baidu", "yandex", "naver", "rakuten", "alibaba", "taobao",
+    "tencent", "weibo", "wechat", "telegram", "whatsapp", "signal", "discord", "steam",
+    "epicgames", "roblox", "minecraft", "nintendo", "playstation", "xbox", "electronic",
+    "activision", "blizzard", "riotgames", "unity", "unreal", "android", "samsung", "huawei",
+    "xiaomi", "oppo", "nokia", "motorola", "sony", "panasonic", "toshiba", "canon", "nikon",
+    "intel", "nvidia", "qualcomm", "broadcom", "cisco", "juniper", "netgear", "linksys",
+    "verizon", "tmobile", "vodafone", "orange", "telefonica", "comcast", "charter", "cox",
+    "centurylink", "frontier", "harvard", "stanford", "berkeley", "princeton", "columbia",
+    "cornell", "yale", "oxford", "cambridge", "coursera", "udemy", "khanacademy", "duolingo",
+    "webmd", "mayoclinic", "healthline", "nih", "who", "cdc", "nasa", "noaa", "usgs",
+    "whitehouse", "senate", "congress", "europa", "un", "redcross", "unicef", "worldbank",
+    "weatherchannel", "nationalgeographic", "smithsonian", "britannica", "dictionary",
+    "thesaurus", "grammarly", "evernote", "notion", "trello", "asana", "atlassian", "jira",
+    "gitlab", "bitbucket", "docker", "kubernetes", "redhat", "ubuntu", "debian", "fedora",
+    "archlinux", "kernel", "python", "rust-lang", "golang", "nodejs", "reactjs", "angular",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpora_are_nonempty_and_lowercase() {
+        assert!(WORDS.len() >= 250);
+        assert!(BENIGN_DOMAINS.len() >= 180);
+        for w in WORDS.iter().chain(BENIGN_DOMAINS) {
+            assert!(!w.is_empty());
+            assert_eq!(*w, w.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn no_duplicate_words() {
+        let mut sorted: Vec<_> = WORDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), WORDS.len(), "duplicate entries in WORDS");
+    }
+}

@@ -1,0 +1,352 @@
+//! DGA family generators.
+//!
+//! Eight families modeled on the structure of well-documented real malware
+//! DGAs (Plohmann et al., USENIX Security 2016 — the paper's reference \[80\]).
+//! Each family is deterministic in `(seed, date)`: the same botnet
+//! configuration generates the same candidate set on the same day, which is
+//! what lets a botmaster pre-register a handful of the candidates while the
+//! rest produce NXDOMAIN storms — the paper's §5.2 mechanism.
+
+use crate::corpus::WORDS;
+
+/// A civil date driving date-seeded families.
+pub type Date = (i32, u32, u32);
+
+/// A domain generation algorithm family.
+pub trait DgaFamily: Send + Sync {
+    /// Family identifier (stable, lowercase).
+    fn name(&self) -> &'static str;
+
+    /// Generates `count` registrable domain names for `(seed, date)`.
+    fn generate(&self, seed: u64, date: Date, count: usize) -> Vec<String>;
+}
+
+/// All built-in families, boxed for collective iteration.
+pub fn all_families() -> Vec<Box<dyn DgaFamily>> {
+    vec![
+        Box::new(LcgDga),
+        Box::new(XorShiftDga),
+        Box::new(DateHashDga),
+        Box::new(DictionaryDga),
+        Box::new(HexDga),
+        Box::new(MarkovDga),
+        Box::new(LongTailDga),
+        Box::new(MultiTldDga),
+    ]
+}
+
+// ---------------------------------------------------------------- PRNG core
+
+/// Mixes seed and date into a 64-bit state (splitmix-style finalizer).
+fn mix(seed: u64, date: Date) -> u64 {
+    let (y, m, d) = date;
+    let mut z = seed
+        ^ (y as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (m as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ (d as u64).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Minimal xorshift64* stepper shared by several families.
+#[derive(Clone)]
+struct Xs64(u64);
+
+impl Xs64 {
+    fn new(state: u64) -> Self {
+        Xs64(if state == 0 { 0x9E37_79B9 } else { state })
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+// ---------------------------------------------------------------- families
+
+/// Conficker-style: LCG over `a-z`, 8–12 chars, `.com`.
+pub struct LcgDga;
+
+impl DgaFamily for LcgDga {
+    fn name(&self) -> &'static str {
+        "lcg"
+    }
+    fn generate(&self, seed: u64, date: Date, count: usize) -> Vec<String> {
+        let mut state = mix(seed, date);
+        (0..count)
+            .map(|_| {
+                // Classic LCG constants (Numerical Recipes).
+                let mut step = || {
+                    state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+                    state >> 33
+                };
+                let len = 8 + (step() % 5) as usize;
+                let label: String = (0..len).map(|_| (b'a' + (step() % 26) as u8) as char).collect();
+                format!("{label}.com")
+            })
+            .collect()
+    }
+}
+
+/// Kraken-style: xorshift over `a-z`, 6–11 chars, `.net`/`.com`.
+pub struct XorShiftDga;
+
+impl DgaFamily for XorShiftDga {
+    fn name(&self) -> &'static str {
+        "xorshift"
+    }
+    fn generate(&self, seed: u64, date: Date, count: usize) -> Vec<String> {
+        let mut rng = Xs64::new(mix(seed, date) ^ 0xA5A5_A5A5);
+        (0..count)
+            .map(|_| {
+                let len = 6 + rng.below(6) as usize;
+                let label: String = (0..len).map(|_| (b'a' + rng.below(26) as u8) as char).collect();
+                let tld = if rng.below(2) == 0 { "net" } else { "com" };
+                format!("{label}.{tld}")
+            })
+            .collect()
+    }
+}
+
+/// Murofet/Locky-style: a hash chain over the date rolled per character.
+pub struct DateHashDga;
+
+impl DgaFamily for DateHashDga {
+    fn name(&self) -> &'static str {
+        "datehash"
+    }
+    fn generate(&self, seed: u64, date: Date, count: usize) -> Vec<String> {
+        let (y, m, d) = date;
+        (0..count)
+            .map(|i| {
+                let mut h = seed
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0x100_0000_01B3)
+                    ^ ((y as u64) << 16 | (m as u64) << 8 | d as u64);
+                let len = 12 + (h % 4) as usize;
+                let label: String = (0..len)
+                    .map(|_| {
+                        h ^= h << 13;
+                        h ^= h >> 7;
+                        h ^= h << 17;
+                        (b'a' + (h % 25) as u8) as char
+                    })
+                    .collect();
+                format!("{label}.ru")
+            })
+            .collect()
+    }
+}
+
+/// Suppobox-style dictionary DGA: two words concatenated. Much harder for
+/// entropy-based detectors — the detector's word-hit feature targets it.
+pub struct DictionaryDga;
+
+impl DgaFamily for DictionaryDga {
+    fn name(&self) -> &'static str {
+        "dictionary"
+    }
+    fn generate(&self, seed: u64, date: Date, count: usize) -> Vec<String> {
+        let mut rng = Xs64::new(mix(seed, date) ^ 0x0DDB_A11);
+        (0..count)
+            .map(|_| {
+                let a = WORDS[rng.below(WORDS.len() as u64) as usize];
+                let b = WORDS[rng.below(WORDS.len() as u64) as usize];
+                format!("{a}{b}.net")
+            })
+            .collect()
+    }
+}
+
+/// Bamital-style: 16 hex characters.
+pub struct HexDga;
+
+impl DgaFamily for HexDga {
+    fn name(&self) -> &'static str {
+        "hex"
+    }
+    fn generate(&self, seed: u64, date: Date, count: usize) -> Vec<String> {
+        let mut rng = Xs64::new(mix(seed, date) ^ 0x4E3F);
+        (0..count)
+            .map(|_| {
+                let label: String =
+                    (0..16).map(|_| char::from_digit(rng.below(16) as u32, 16).unwrap()).collect();
+                format!("{label}.info")
+            })
+            .collect()
+    }
+}
+
+/// A pronounceable (Markov-ish) family alternating consonant/vowel clusters,
+/// mimicking DGAs designed to defeat entropy detectors.
+pub struct MarkovDga;
+
+impl DgaFamily for MarkovDga {
+    fn name(&self) -> &'static str {
+        "markov"
+    }
+    fn generate(&self, seed: u64, date: Date, count: usize) -> Vec<String> {
+        const CONSONANTS: &[u8] = b"bcdfghjklmnprstvw";
+        const VOWELS: &[u8] = b"aeiou";
+        let mut rng = Xs64::new(mix(seed, date) ^ 0x3A17);
+        (0..count)
+            .map(|_| {
+                let syllables = 3 + rng.below(2) as usize;
+                let mut label = String::new();
+                for _ in 0..syllables {
+                    label.push(CONSONANTS[rng.below(CONSONANTS.len() as u64) as usize] as char);
+                    label.push(VOWELS[rng.below(VOWELS.len() as u64) as usize] as char);
+                    if rng.below(3) == 0 {
+                        label.push(CONSONANTS[rng.below(CONSONANTS.len() as u64) as usize] as char);
+                    }
+                }
+                format!("{label}.com")
+            })
+            .collect()
+    }
+}
+
+/// Qakbot-style long-tail: 8–25 characters with occasional digits.
+pub struct LongTailDga;
+
+impl DgaFamily for LongTailDga {
+    fn name(&self) -> &'static str {
+        "longtail"
+    }
+    fn generate(&self, seed: u64, date: Date, count: usize) -> Vec<String> {
+        let mut rng = Xs64::new(mix(seed, date) ^ 0x10_4657);
+        (0..count)
+            .map(|_| {
+                let len = 8 + rng.below(18) as usize;
+                let label: String = (0..len)
+                    .map(|_| {
+                        if rng.below(8) == 0 {
+                            (b'0' + rng.below(10) as u8) as char
+                        } else {
+                            (b'a' + rng.below(26) as u8) as char
+                        }
+                    })
+                    .collect();
+                format!("{label}.org")
+            })
+            .collect()
+    }
+}
+
+/// Necurs-style: rotates across many TLDs including ccTLDs, 7–21 chars.
+pub struct MultiTldDga;
+
+impl DgaFamily for MultiTldDga {
+    fn name(&self) -> &'static str {
+        "multitld"
+    }
+    fn generate(&self, seed: u64, date: Date, count: usize) -> Vec<String> {
+        const TLDS: &[&str] = &["com", "net", "org", "ru", "cn", "info", "biz", "xyz", "top", "online"];
+        let mut rng = Xs64::new(mix(seed, date) ^ 0x4EC5);
+        (0..count)
+            .map(|_| {
+                let len = 7 + rng.below(15) as usize;
+                let label: String = (0..len).map(|_| (b'a' + rng.below(26) as u8) as char).collect();
+                let tld = TLDS[rng.below(TLDS.len() as u64) as usize];
+                format!("{label}.{tld}")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    const DATE: Date = (2020, 6, 15);
+
+    #[test]
+    fn all_families_present() {
+        let fams = all_families();
+        assert_eq!(fams.len(), 8);
+        let names: HashSet<_> = fams.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), 8, "family names must be unique");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for fam in all_families() {
+            let a = fam.generate(42, DATE, 50);
+            let b = fam.generate(42, DATE, 50);
+            assert_eq!(a, b, "{} must be deterministic", fam.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        for fam in all_families() {
+            let a = fam.generate(1, DATE, 20);
+            let b = fam.generate(2, DATE, 20);
+            assert_ne!(a, b, "{} must vary with seed", fam.name());
+        }
+    }
+
+    #[test]
+    fn different_dates_differ() {
+        for fam in all_families() {
+            let a = fam.generate(7, (2020, 6, 15), 20);
+            let b = fam.generate(7, (2020, 6, 16), 20);
+            assert_ne!(a, b, "{} must vary with date", fam.name());
+        }
+    }
+
+    #[test]
+    fn outputs_are_valid_registrable_names() {
+        for fam in all_families() {
+            for domain in fam.generate(99, DATE, 200) {
+                let name: nxd_dns_wire::Name = domain.parse().expect("parseable");
+                assert_eq!(name.label_count(), 2, "{}: {domain}", fam.name());
+                assert!(name.is_ldh(), "{}: {domain}", fam.name());
+                assert!(name.label(0).len() >= 4, "{}: {domain}", fam.name());
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_are_mostly_unique() {
+        for fam in all_families() {
+            let names = fam.generate(5, DATE, 500);
+            let unique: HashSet<_> = names.iter().collect();
+            assert!(
+                unique.len() as f64 >= names.len() as f64 * 0.9,
+                "{}: only {} of {} unique",
+                fam.name(),
+                unique.len(),
+                names.len()
+            );
+        }
+    }
+
+    #[test]
+    fn dictionary_family_uses_words() {
+        let names = DictionaryDga.generate(3, DATE, 10);
+        for n in names {
+            let label = n.split('.').next().unwrap();
+            let hit = WORDS.iter().any(|w| label.starts_with(w));
+            assert!(hit, "dictionary label {label} should start with a corpus word");
+        }
+    }
+
+    #[test]
+    fn hex_family_is_hex() {
+        for n in HexDga.generate(1, DATE, 20) {
+            let label = n.split('.').next().unwrap();
+            assert_eq!(label.len(), 16);
+            assert!(label.bytes().all(|b| b.is_ascii_hexdigit()));
+        }
+    }
+}

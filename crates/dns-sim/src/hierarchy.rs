@@ -1,0 +1,357 @@
+//! The simulated DNS hierarchy: root, TLD, and authoritative servers wired
+//! to the registry so that registrations and expirations change what
+//! resolves — the mechanism that turns expired domains into NXDomains.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use nxd_dns_wire::{Name, RData, RType, Record};
+
+use crate::registry::{EventKind, Phase, Registry, RegistryConfig, RegistryError};
+use crate::time::SimTime;
+use crate::zone::{Zone, ZoneAnswer};
+
+/// Which server a query is sent to.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ServerRef {
+    Root,
+    Tld(String),
+    Auth(Name),
+}
+
+/// Default negative-caching TTL (SOA minimum) used by simulated zones.
+pub const DEFAULT_NEGATIVE_TTL: u32 = 900;
+/// Default TTL for positive records in simulated zones.
+pub const DEFAULT_POSITIVE_TTL: u32 = 3600;
+
+/// The assembled hierarchy. Owns the [`Registry`]; driving time through
+/// [`SimDns::tick`] keeps zones consistent with the lifecycle state.
+pub struct SimDns {
+    root: Zone,
+    tlds: HashMap<String, Zone>,
+    auth: HashMap<Name, Zone>,
+    registry: Registry,
+    /// IPs assigned to registered domains (apex A record).
+    hosting: HashMap<Name, Ipv4Addr>,
+}
+
+impl SimDns {
+    /// Builds a hierarchy serving the given TLDs.
+    pub fn new(tlds: &[&str], config: RegistryConfig, start: SimTime) -> Self {
+        let root_apex = Name::root();
+        let soa = Zone::default_soa(&Name::from_labels(["root-servers"]).unwrap(), DEFAULT_NEGATIVE_TTL);
+        let mut root = Zone::new(root_apex, soa, DEFAULT_POSITIVE_TTL);
+        let mut tld_zones = HashMap::new();
+        for tld in tlds {
+            let apex: Name = tld.parse().expect("valid TLD label");
+            assert_eq!(apex.label_count(), 1, "TLDs are single labels");
+            let ns = apex.child("ns").unwrap();
+            root.add(Record::new(apex.clone(), 172_800, RData::Ns(ns)));
+            let soa = Zone::default_soa(&apex, DEFAULT_NEGATIVE_TTL);
+            tld_zones.insert(tld.to_string(), Zone::new(apex, soa, DEFAULT_POSITIVE_TTL));
+        }
+        SimDns {
+            root,
+            tlds: tld_zones,
+            auth: HashMap::new(),
+            registry: Registry::new(config, start),
+            hosting: HashMap::new(),
+        }
+    }
+
+    /// A hierarchy with the paper's top-20 NXDomain TLDs (§4.3) preloaded.
+    pub fn with_popular_tlds(start: SimTime) -> Self {
+        SimDns::new(
+            &[
+                "com", "net", "cn", "ru", "org", "de", "uk", "info", "top", "xyz", "nl", "br",
+                "io", "fr", "eu", "online", "jp", "biz", "it", "au",
+                // plus a few used by the honeypot domain set
+                "moda", "work", "gq", "name",
+            ],
+            RegistryConfig::default(),
+            start,
+        )
+    }
+
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.registry.now()
+    }
+
+    pub fn tld_names(&self) -> impl Iterator<Item = &str> {
+        self.tlds.keys().map(|s| s.as_str())
+    }
+
+    /// Registers a domain and provisions its authoritative zone (apex A,
+    /// `www` A, apex NS) plus the TLD delegation.
+    pub fn register_domain(
+        &mut self,
+        name: &Name,
+        owner: &str,
+        registrar: &str,
+        years: u32,
+        ip: Ipv4Addr,
+    ) -> Result<SimTime, RegistryError> {
+        let tld = name.tld().ok_or(RegistryError::NotRegistrable)?.to_string();
+        if !self.tlds.contains_key(&tld) {
+            return Err(RegistryError::NotRegistrable);
+        }
+        let expires = self.registry.register(name, owner, registrar, years)?;
+        self.hosting.insert(name.clone(), ip);
+        self.provision(name, ip);
+        Ok(expires)
+    }
+
+    fn provision(&mut self, name: &Name, ip: Ipv4Addr) {
+        let tld = name.tld().expect("registered names have a TLD").to_string();
+        let ns_name = name.child("ns1").expect("short label");
+        if let Some(tld_zone) = self.tlds.get_mut(&tld) {
+            tld_zone.add(Record::new(name.clone(), 172_800, RData::Ns(ns_name.clone())));
+        }
+        let soa = Zone::default_soa(name, DEFAULT_NEGATIVE_TTL);
+        let mut zone = Zone::new(name.clone(), soa, DEFAULT_POSITIVE_TTL);
+        zone.add(Record::new(name.clone(), DEFAULT_POSITIVE_TTL, RData::Ns(ns_name.clone())));
+        zone.add(Record::new(ns_name, DEFAULT_POSITIVE_TTL, RData::A(ip)));
+        zone.add(Record::new(name.clone(), DEFAULT_POSITIVE_TTL, RData::A(ip)));
+        zone.add(Record::new(
+            name.child("www").expect("short label"),
+            DEFAULT_POSITIVE_TTL,
+            RData::A(ip),
+        ));
+        self.auth.insert(name.clone(), zone);
+    }
+
+    fn deprovision(&mut self, name: &Name) {
+        if let Some(tld) = name.tld() {
+            let tld = tld.to_string();
+            if let Some(tld_zone) = self.tlds.get_mut(&tld) {
+                tld_zone.remove_name(name);
+            }
+        }
+        self.auth.remove(name);
+    }
+
+    /// Adds an extra record to a registered domain's authoritative zone.
+    pub fn add_record(&mut self, apex: &Name, record: Record) -> bool {
+        match self.auth.get_mut(apex) {
+            Some(zone) => {
+                zone.add(record);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Advances time; lifecycle transitions update delegations, making
+    /// expired domains return NXDOMAIN from their TLD.
+    pub fn tick(&mut self, to: SimTime) {
+        self.registry.tick(to);
+        let events = self.registry.drain_events();
+        for ev in &events {
+            match &ev.kind {
+                EventKind::Expired => self.deprovision(&ev.domain),
+                EventKind::Renewed { .. } | EventKind::Restored { .. } => {
+                    if self.auth.get(&ev.domain).is_none() {
+                        let ip = self
+                            .hosting
+                            .get(&ev.domain)
+                            .copied()
+                            .unwrap_or(Ipv4Addr::new(198, 51, 100, 1));
+                        self.provision(&ev.domain, ip);
+                    }
+                }
+                EventKind::DropCaught { .. } => {
+                    let ip = Ipv4Addr::new(203, 0, 113, 7); // parking page
+                    self.hosting.insert(ev.domain.clone(), ip);
+                    self.provision(&ev.domain, ip);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Sends a query to one server in the hierarchy.
+    pub fn query_server(&self, server: &ServerRef, qname: &Name, qtype: RType) -> ZoneAnswer {
+        match server {
+            ServerRef::Root => {
+                // The root zone delegates each TLD; lookups inside root for
+                // names under a TLD yield the delegation.
+                self.root.lookup(qname, qtype)
+            }
+            ServerRef::Tld(tld) => match self.tlds.get(tld) {
+                Some(zone) => zone.lookup(qname, qtype),
+                None => ZoneAnswer::OutOfZone,
+            },
+            ServerRef::Auth(apex) => match self.auth.get(apex) {
+                Some(zone) => zone.lookup(qname, qtype),
+                None => ZoneAnswer::OutOfZone,
+            },
+        }
+    }
+
+    /// Resolves a referral: the server responsible for the zone whose apex
+    /// is the owner name of the delegation NS records.
+    pub fn server_for_delegation(&self, delegation_owner: &Name) -> Option<ServerRef> {
+        if delegation_owner.label_count() == 1 {
+            let tld = delegation_owner.label(0);
+            if self.tlds.contains_key(tld) {
+                return Some(ServerRef::Tld(tld.to_string()));
+            }
+            return None;
+        }
+        if self.auth.contains_key(delegation_owner) {
+            return Some(ServerRef::Auth(delegation_owner.clone()));
+        }
+        None
+    }
+
+    /// Which server ultimately answers for a name (used as a shortcut by
+    /// tests; the resolver follows delegations instead).
+    pub fn next_server(&self, qname: &Name) -> Option<ServerRef> {
+        if let Some(reg) = qname.registrable() {
+            if self.auth.contains_key(&reg) {
+                return Some(ServerRef::Auth(reg));
+            }
+        }
+        if let Some(tld) = qname.tld() {
+            if self.tlds.contains_key(tld) {
+                return Some(ServerRef::Tld(tld.to_string()));
+            }
+        }
+        None
+    }
+
+    /// Phase of a registrable name (convenience passthrough).
+    pub fn phase(&self, name: &Name) -> Phase {
+        self.registry.phase(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn dns() -> SimDns {
+        let mut d = SimDns::new(&["com", "net"], RegistryConfig::default(), SimTime::ERA_START);
+        d.register_domain(&n("example.com"), "alice", "godaddy", 1, Ipv4Addr::new(192, 0, 2, 80))
+            .unwrap();
+        d
+    }
+
+    #[test]
+    fn root_delegates_tlds() {
+        let d = dns();
+        match d.query_server(&ServerRef::Root, &n("example.com"), RType::A) {
+            ZoneAnswer::Delegation(ns) => assert_eq!(ns[0].name, n("com")),
+            other => panic!("expected delegation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tld_is_nxdomain_at_root() {
+        let d = dns();
+        assert!(matches!(
+            d.query_server(&ServerRef::Root, &n("example.zz"), RType::A),
+            ZoneAnswer::NxDomain(_)
+        ));
+    }
+
+    #[test]
+    fn tld_delegates_registered_domain() {
+        let d = dns();
+        match d.query_server(&ServerRef::Tld("com".into()), &n("www.example.com"), RType::A) {
+            ZoneAnswer::Delegation(ns) => assert_eq!(ns[0].name, n("example.com")),
+            other => panic!("expected delegation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tld_nxdomain_for_unregistered() {
+        let d = dns();
+        assert!(matches!(
+            d.query_server(&ServerRef::Tld("com".into()), &n("unregistered.com"), RType::A),
+            ZoneAnswer::NxDomain(_)
+        ));
+    }
+
+    #[test]
+    fn auth_answers_a_queries() {
+        let d = dns();
+        match d.query_server(&ServerRef::Auth(n("example.com")), &n("www.example.com"), RType::A) {
+            ZoneAnswer::Answer(recs) => {
+                assert_eq!(recs[0].rdata, RData::A(Ipv4Addr::new(192, 0, 2, 80)));
+            }
+            other => panic!("expected answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expiry_removes_delegation() {
+        let mut d = dns();
+        d.tick(SimTime::ERA_START + SimDuration::days(366));
+        assert!(matches!(
+            d.query_server(&ServerRef::Tld("com".into()), &n("example.com"), RType::A),
+            ZoneAnswer::NxDomain(_)
+        ));
+        assert!(d.next_server(&n("www.example.com")).is_some());
+        assert_eq!(d.phase(&n("example.com")), Phase::AutoRenewGrace);
+    }
+
+    #[test]
+    fn renewal_restores_delegation() {
+        let mut d = dns();
+        d.tick(SimTime::ERA_START + SimDuration::days(366));
+        d.registry_mut().renew(&n("example.com"), 1).unwrap();
+        d.tick(SimTime::ERA_START + SimDuration::days(367));
+        assert!(matches!(
+            d.query_server(&ServerRef::Tld("com".into()), &n("example.com"), RType::A),
+            ZoneAnswer::Delegation(_)
+        ));
+    }
+
+    #[test]
+    fn drop_catch_reprovisions() {
+        let mut d = dns();
+        d.registry_mut().drop_catch(&n("example.com"), "speculator");
+        d.tick(SimTime::ERA_START + SimDuration::days(446));
+        assert!(matches!(
+            d.query_server(&ServerRef::Auth(n("example.com")), &n("example.com"), RType::A),
+            ZoneAnswer::Answer(_)
+        ));
+    }
+
+    #[test]
+    fn next_server_routing() {
+        let d = dns();
+        assert_eq!(d.next_server(&n("www.example.com")), Some(ServerRef::Auth(n("example.com"))));
+        assert_eq!(d.next_server(&n("other.com")), Some(ServerRef::Tld("com".into())));
+        assert_eq!(d.next_server(&n("x.zz")), None);
+    }
+
+    #[test]
+    fn add_record_to_live_zone() {
+        let mut d = dns();
+        let ok = d.add_record(
+            &n("example.com"),
+            Record::new(n("api.example.com"), 60, RData::A(Ipv4Addr::new(192, 0, 2, 81))),
+        );
+        assert!(ok);
+        assert!(matches!(
+            d.query_server(&ServerRef::Auth(n("example.com")), &n("api.example.com"), RType::A),
+            ZoneAnswer::Answer(_)
+        ));
+        assert!(!d.add_record(&n("ghost.com"), Record::new(n("ghost.com"), 60, RData::A(Ipv4Addr::LOCALHOST))));
+    }
+}

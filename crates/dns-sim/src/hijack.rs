@@ -1,0 +1,140 @@
+//! ISP NXDOMAIN hijacking (paper §7, "DNS Hijacking").
+//!
+//! Some ISPs replace NXDOMAIN responses with the address of an ad server to
+//! monetize typos. The paper reports only ~4.8% of NXDOMAIN responses are
+//! hijacked in the wild and argues the practice barely affects the Farsight
+//! view. This module models the fault so the scale pipeline can quantify
+//! exactly that sensitivity (experiment E-HIJACK).
+
+use std::net::Ipv4Addr;
+
+use nxd_dns_wire::{Name, RCode, RData, Record};
+
+use crate::resolver::Resolution;
+
+/// A deterministic per-ISP hijack policy.
+///
+/// Whether a given name is hijacked is a stable function of (name, salt), so
+/// one ISP consistently rewrites the same set of names — matching observed
+/// ISP behaviour, where the rewrite is a property of the resolver path.
+#[derive(Debug, Clone)]
+pub struct HijackPolicy {
+    /// Hijack rate in permille (the paper's 4.8% = 48‰).
+    pub rate_permille: u16,
+    /// Address of the advertising host returned in forged answers.
+    pub ad_server: Ipv4Addr,
+    /// Per-ISP salt making the hijacked subset differ between ISPs.
+    pub salt: u64,
+}
+
+impl HijackPolicy {
+    /// The paper's measured wild hijack rate (4.8%).
+    pub fn paper_rate(salt: u64) -> Self {
+        HijackPolicy { rate_permille: 48, ad_server: Ipv4Addr::new(203, 0, 113, 80), salt }
+    }
+
+    /// A policy that never hijacks.
+    pub fn none() -> Self {
+        HijackPolicy { rate_permille: 0, ad_server: Ipv4Addr::UNSPECIFIED, salt: 0 }
+    }
+
+    /// Whether this policy hijacks `name` (stable per name).
+    pub fn hijacks(&self, name: &Name) -> bool {
+        if self.rate_permille == 0 {
+            return false;
+        }
+        fnv1a(name.as_str().as_bytes(), self.salt) % 1000 < self.rate_permille as u64
+    }
+
+    /// Applies the policy to a resolution: NXDOMAIN answers for hijacked
+    /// names are rewritten to a NOERROR pointing at the ad server.
+    pub fn apply(&self, qname: &Name, resolution: Resolution) -> Resolution {
+        if resolution.rcode == RCode::NxDomain && self.hijacks(qname) {
+            Resolution {
+                rcode: RCode::NoError,
+                answers: vec![Record::new(qname.clone(), 60, RData::A(self.ad_server))],
+                from_cache: resolution.from_cache,
+                upstream_queries: resolution.upstream_queries,
+            }
+        } else {
+            resolution
+        }
+    }
+}
+
+/// FNV-1a, salted. Stable across runs and platforms.
+fn fnv1a(bytes: &[u8], salt: u64) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ salt;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nxdomain() -> Resolution {
+        Resolution { rcode: RCode::NxDomain, answers: vec![], from_cache: false, upstream_queries: 2 }
+    }
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn zero_rate_never_hijacks() {
+        let p = HijackPolicy::none();
+        for i in 0..100 {
+            assert!(!p.hijacks(&n(&format!("domain{i}.com"))));
+        }
+    }
+
+    #[test]
+    fn full_rate_always_hijacks() {
+        let p = HijackPolicy { rate_permille: 1000, ad_server: Ipv4Addr::LOCALHOST, salt: 1 };
+        assert!(p.hijacks(&n("anything.com")));
+        let res = p.apply(&n("anything.com"), nxdomain());
+        assert_eq!(res.rcode, RCode::NoError);
+        assert_eq!(res.answers.len(), 1);
+    }
+
+    #[test]
+    fn hijack_is_stable_per_name() {
+        let p = HijackPolicy::paper_rate(7);
+        let d = n("stable.com");
+        let first = p.hijacks(&d);
+        for _ in 0..10 {
+            assert_eq!(p.hijacks(&d), first);
+        }
+    }
+
+    #[test]
+    fn rate_is_approximately_respected() {
+        let p = HijackPolicy::paper_rate(42);
+        let hijacked = (0..20_000)
+            .filter(|i| p.hijacks(&n(&format!("sample-{i}.com"))))
+            .count();
+        let rate = hijacked as f64 / 20_000.0;
+        assert!((0.035..0.062).contains(&rate), "rate {rate} too far from 4.8%");
+    }
+
+    #[test]
+    fn different_salts_hijack_different_sets() {
+        let a = HijackPolicy::paper_rate(1);
+        let b = HijackPolicy::paper_rate(2);
+        let names: Vec<Name> = (0..5000).map(|i| n(&format!("d{i}.com"))).collect();
+        let set_a: Vec<bool> = names.iter().map(|d| a.hijacks(d)).collect();
+        let set_b: Vec<bool> = names.iter().map(|d| b.hijacks(d)).collect();
+        assert_ne!(set_a, set_b);
+    }
+
+    #[test]
+    fn noerror_passes_through() {
+        let p = HijackPolicy { rate_permille: 1000, ad_server: Ipv4Addr::LOCALHOST, salt: 0 };
+        let ok = Resolution { rcode: RCode::NoError, answers: vec![], from_cache: true, upstream_queries: 0 };
+        assert_eq!(p.apply(&n("x.com"), ok.clone()), ok);
+    }
+}

@@ -1,0 +1,452 @@
+//! Recursive resolver with positive and RFC 2308 negative caching.
+//!
+//! The resolver walks the simulated hierarchy iteratively (root → TLD →
+//! authoritative), exactly as Figure 1 of the paper describes, and caches
+//! both answers and NXDOMAIN/NODATA results. Negative caching matters for
+//! the reproduction: it determines how many upstream NXDOMAIN responses a
+//! stream of repeated queries to a dead domain actually generates, which is
+//! what a passive-DNS sensor below the resolver observes.
+
+use std::collections::HashMap;
+
+use nxd_dns_wire::{Message, Name, RCode, RData, RType, Record};
+
+use crate::hierarchy::{ServerRef, SimDns};
+use crate::time::SimTime;
+use crate::zone::ZoneAnswer;
+
+/// Outcome of one resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolution {
+    pub rcode: RCode,
+    pub answers: Vec<Record>,
+    /// True if served entirely from cache.
+    pub from_cache: bool,
+    /// Number of server queries performed (0 when cached).
+    pub upstream_queries: u32,
+}
+
+impl Resolution {
+    pub fn is_nxdomain(&self) -> bool {
+        self.rcode == RCode::NxDomain
+    }
+}
+
+/// Resolver metrics, cumulative since construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResolverStats {
+    pub queries: u64,
+    pub cache_hits: u64,
+    pub negative_cache_hits: u64,
+    pub upstream_queries: u64,
+    pub nxdomain_responses: u64,
+    pub servfail_responses: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PositiveEntry {
+    expires: SimTime,
+    answers: Vec<Record>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NegKind {
+    NxDomain,
+    NoData,
+}
+
+#[derive(Debug, Clone)]
+struct NegativeEntry {
+    expires: SimTime,
+    kind: NegKind,
+}
+
+/// Resolver configuration.
+#[derive(Debug, Clone)]
+pub struct ResolverConfig {
+    /// Hard cap applied to cached TTLs (positive and negative), seconds.
+    pub max_ttl: u32,
+    /// Disable the negative cache entirely (ablation knob for the
+    /// query-amplification bench).
+    pub negative_cache: bool,
+    /// Disable the positive cache (ablation knob).
+    pub positive_cache: bool,
+    /// Iteration guard against delegation loops.
+    pub max_steps: u32,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> Self {
+        ResolverConfig { max_ttl: 86_400, negative_cache: true, positive_cache: true, max_steps: 16 }
+    }
+}
+
+/// A caching recursive resolver over a [`SimDns`] hierarchy.
+pub struct Resolver {
+    config: ResolverConfig,
+    positive: HashMap<(Name, u16), PositiveEntry>,
+    /// NXDOMAIN entries cover every type at the name; NODATA entries are
+    /// per-(name, type) with type stored in the key's second slot.
+    nxdomain: HashMap<Name, NegativeEntry>,
+    nodata: HashMap<(Name, u16), NegativeEntry>,
+    stats: ResolverStats,
+}
+
+impl Resolver {
+    pub fn new(config: ResolverConfig) -> Self {
+        Resolver {
+            config,
+            positive: HashMap::new(),
+            nxdomain: HashMap::new(),
+            nodata: HashMap::new(),
+            stats: ResolverStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> &ResolverStats {
+        &self.stats
+    }
+
+    /// Entries currently cached (positive, nxdomain, nodata).
+    pub fn cache_sizes(&self) -> (usize, usize, usize) {
+        (self.positive.len(), self.nxdomain.len(), self.nodata.len())
+    }
+
+    /// Drops every cached entry.
+    pub fn flush(&mut self) {
+        self.positive.clear();
+        self.nxdomain.clear();
+        self.nodata.clear();
+    }
+
+    /// Resolves `qname`/`qtype` at simulated instant `now`.
+    pub fn resolve(&mut self, dns: &SimDns, qname: &Name, qtype: RType, now: SimTime) -> Resolution {
+        self.stats.queries += 1;
+
+        // Cache lookups.
+        if self.config.negative_cache {
+            if let Some(e) = self.nxdomain.get(qname) {
+                if e.expires > now {
+                    self.stats.cache_hits += 1;
+                    self.stats.negative_cache_hits += 1;
+                    self.stats.nxdomain_responses += 1;
+                    return Resolution {
+                        rcode: RCode::NxDomain,
+                        answers: Vec::new(),
+                        from_cache: true,
+                        upstream_queries: 0,
+                    };
+                }
+            }
+            if let Some(e) = self.nodata.get(&(qname.clone(), qtype.to_u16())) {
+                if e.expires > now && e.kind == NegKind::NoData {
+                    self.stats.cache_hits += 1;
+                    self.stats.negative_cache_hits += 1;
+                    return Resolution {
+                        rcode: RCode::NoError,
+                        answers: Vec::new(),
+                        from_cache: true,
+                        upstream_queries: 0,
+                    };
+                }
+            }
+        }
+        if self.config.positive_cache {
+            if let Some(e) = self.positive.get(&(qname.clone(), qtype.to_u16())) {
+                if e.expires > now {
+                    self.stats.cache_hits += 1;
+                    return Resolution {
+                        rcode: RCode::NoError,
+                        answers: e.answers.clone(),
+                        from_cache: true,
+                        upstream_queries: 0,
+                    };
+                }
+            }
+        }
+
+        // Iterative resolution from the root.
+        let mut server = ServerRef::Root;
+        let mut upstream = 0u32;
+        for _ in 0..self.config.max_steps {
+            upstream += 1;
+            match dns.query_server(&server, qname, qtype) {
+                ZoneAnswer::Answer(answers) => {
+                    self.stats.upstream_queries += upstream as u64;
+                    self.cache_positive(qname, qtype, &answers, now);
+                    return Resolution {
+                        rcode: RCode::NoError,
+                        answers,
+                        from_cache: false,
+                        upstream_queries: upstream,
+                    };
+                }
+                ZoneAnswer::NxDomain(soa) => {
+                    self.stats.upstream_queries += upstream as u64;
+                    self.stats.nxdomain_responses += 1;
+                    self.cache_negative(qname, qtype, &soa, NegKind::NxDomain, now);
+                    return Resolution {
+                        rcode: RCode::NxDomain,
+                        answers: Vec::new(),
+                        from_cache: false,
+                        upstream_queries: upstream,
+                    };
+                }
+                ZoneAnswer::NoData(soa) => {
+                    self.stats.upstream_queries += upstream as u64;
+                    self.cache_negative(qname, qtype, &soa, NegKind::NoData, now);
+                    return Resolution {
+                        rcode: RCode::NoError,
+                        answers: Vec::new(),
+                        from_cache: false,
+                        upstream_queries: upstream,
+                    };
+                }
+                ZoneAnswer::Delegation(ns) => {
+                    let owner = match ns.first() {
+                        Some(rec) => &rec.name,
+                        None => break,
+                    };
+                    match dns.server_for_delegation(owner) {
+                        Some(next) if next != server => server = next,
+                        // Lame delegation: the child zone no longer exists
+                        // (e.g. expired while the parent kept the cut).
+                        _ => break,
+                    }
+                }
+                ZoneAnswer::OutOfZone => break,
+            }
+        }
+        // Lame delegation / loop: SERVFAIL, uncached.
+        self.stats.upstream_queries += upstream as u64;
+        self.stats.servfail_responses += 1;
+        Resolution {
+            rcode: RCode::ServFail,
+            answers: Vec::new(),
+            from_cache: false,
+            upstream_queries: upstream,
+        }
+    }
+
+    /// Wire-level entry point: decodes a query message, resolves it, and
+    /// encodes the response (exercising the full codec path).
+    pub fn resolve_message(&mut self, dns: &SimDns, query_wire: &[u8], now: SimTime) -> Result<Vec<u8>, nxd_dns_wire::WireError> {
+        let query = Message::decode(query_wire)?;
+        let (qname, qtype) = match query.questions.first() {
+            Some(q) => (q.qname.clone(), q.qtype),
+            None => {
+                let resp = Message::response(&query, RCode::FormErr);
+                return resp.encode();
+            }
+        };
+        let resolution = self.resolve(dns, &qname, qtype, now);
+        let mut resp = Message::response(&query, resolution.rcode);
+        resp.answers = resolution.answers;
+        resp.encode()
+    }
+
+    fn cache_positive(&mut self, qname: &Name, qtype: RType, answers: &[Record], now: SimTime) {
+        if !self.config.positive_cache {
+            return;
+        }
+        let ttl = answers.iter().map(|r| r.ttl).min().unwrap_or(0).min(self.config.max_ttl);
+        if ttl == 0 {
+            return;
+        }
+        self.positive.insert(
+            (qname.clone(), qtype.to_u16()),
+            PositiveEntry { expires: SimTime(now.0 + ttl as u64), answers: answers.to_vec() },
+        );
+    }
+
+    fn cache_negative(&mut self, qname: &Name, qtype: RType, soa: &Record, kind: NegKind, now: SimTime) {
+        if !self.config.negative_cache {
+            return;
+        }
+        // RFC 2308: negative TTL = min(SOA.minimum, SOA record TTL).
+        let ttl = match &soa.rdata {
+            RData::Soa(s) => s.minimum.min(soa.ttl),
+            _ => soa.ttl,
+        }
+        .min(self.config.max_ttl);
+        if ttl == 0 {
+            return;
+        }
+        let entry = NegativeEntry { expires: SimTime(now.0 + ttl as u64), kind };
+        match kind {
+            NegKind::NxDomain => {
+                self.nxdomain.insert(qname.clone(), entry);
+            }
+            NegKind::NoData => {
+                self.nodata.insert((qname.clone(), qtype.to_u16()), entry);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::DEFAULT_NEGATIVE_TTL;
+    use crate::registry::RegistryConfig;
+    use crate::time::SimDuration;
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn world() -> (SimDns, Resolver) {
+        let mut d = SimDns::new(&["com"], RegistryConfig::default(), SimTime::ERA_START);
+        d.register_domain(&n("example.com"), "alice", "godaddy", 1, Ipv4Addr::new(192, 0, 2, 80))
+            .unwrap();
+        (d, Resolver::new(ResolverConfig::default()))
+    }
+
+    #[test]
+    fn resolves_registered_domain() {
+        let (dns, mut r) = world();
+        let res = r.resolve(&dns, &n("www.example.com"), RType::A, SimTime::ERA_START);
+        assert_eq!(res.rcode, RCode::NoError);
+        assert_eq!(res.answers.len(), 1);
+        assert!(!res.from_cache);
+        // root (delegation) -> tld (delegation) -> auth (answer)
+        assert_eq!(res.upstream_queries, 3);
+    }
+
+    #[test]
+    fn nxdomain_for_unregistered() {
+        let (dns, mut r) = world();
+        let res = r.resolve(&dns, &n("nope.com"), RType::A, SimTime::ERA_START);
+        assert!(res.is_nxdomain());
+        assert_eq!(r.stats().nxdomain_responses, 1);
+    }
+
+    #[test]
+    fn positive_cache_hit() {
+        let (dns, mut r) = world();
+        let t = SimTime::ERA_START;
+        r.resolve(&dns, &n("www.example.com"), RType::A, t);
+        let res = r.resolve(&dns, &n("www.example.com"), RType::A, t + SimDuration::seconds(10));
+        assert!(res.from_cache);
+        assert_eq!(res.upstream_queries, 0);
+        assert_eq!(r.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn positive_cache_expires_with_ttl() {
+        let (dns, mut r) = world();
+        let t = SimTime::ERA_START;
+        r.resolve(&dns, &n("www.example.com"), RType::A, t);
+        // Positive TTL is 3600 in the simulated zones.
+        let res = r.resolve(&dns, &n("www.example.com"), RType::A, t + SimDuration::seconds(3601));
+        assert!(!res.from_cache);
+    }
+
+    #[test]
+    fn negative_cache_suppresses_upstream_nxdomain() {
+        let (dns, mut r) = world();
+        let t = SimTime::ERA_START;
+        let first = r.resolve(&dns, &n("ghost.com"), RType::A, t);
+        assert!(!first.from_cache);
+        let second = r.resolve(&dns, &n("ghost.com"), RType::A, t + SimDuration::seconds(1));
+        assert!(second.from_cache);
+        assert!(second.is_nxdomain());
+        assert_eq!(r.stats().negative_cache_hits, 1);
+        // After the negative TTL the query goes upstream again.
+        let third =
+            r.resolve(&dns, &n("ghost.com"), RType::A, t + SimDuration::seconds(DEFAULT_NEGATIVE_TTL as u64 + 1));
+        assert!(!third.from_cache);
+    }
+
+    #[test]
+    fn nxdomain_cache_covers_all_types() {
+        let (dns, mut r) = world();
+        let t = SimTime::ERA_START;
+        r.resolve(&dns, &n("ghost.com"), RType::A, t);
+        let res = r.resolve(&dns, &n("ghost.com"), RType::Aaaa, t + SimDuration::seconds(5));
+        assert!(res.from_cache, "NXDOMAIN is name-wide, not per-type");
+    }
+
+    #[test]
+    fn nodata_cached_per_type() {
+        let (dns, mut r) = world();
+        let t = SimTime::ERA_START;
+        // www.example.com exists with A only; MX is NODATA.
+        let res = r.resolve(&dns, &n("www.example.com"), RType::Mx, t);
+        assert_eq!(res.rcode, RCode::NoError);
+        assert!(res.answers.is_empty());
+        let cached = r.resolve(&dns, &n("www.example.com"), RType::Mx, t + SimDuration::seconds(1));
+        assert!(cached.from_cache);
+        // A different type still goes upstream.
+        let a = r.resolve(&dns, &n("www.example.com"), RType::A, t + SimDuration::seconds(2));
+        assert!(!a.from_cache);
+    }
+
+    #[test]
+    fn negative_cache_disabled_ablation() {
+        let (dns, _) = world();
+        let mut r = Resolver::new(ResolverConfig { negative_cache: false, ..Default::default() });
+        let t = SimTime::ERA_START;
+        r.resolve(&dns, &n("ghost.com"), RType::A, t);
+        let res = r.resolve(&dns, &n("ghost.com"), RType::A, t + SimDuration::seconds(1));
+        assert!(!res.from_cache);
+        assert_eq!(r.stats().nxdomain_responses, 2);
+    }
+
+    #[test]
+    fn expired_domain_becomes_nxdomain_then_cached() {
+        let (mut dns, mut r) = world();
+        let t = SimTime::ERA_START + SimDuration::days(366);
+        dns.tick(t);
+        let res = r.resolve(&dns, &n("www.example.com"), RType::A, t);
+        assert!(res.is_nxdomain());
+        let cached = r.resolve(&dns, &n("www.example.com"), RType::A, t + SimDuration::seconds(1));
+        assert!(cached.from_cache && cached.is_nxdomain());
+    }
+
+    #[test]
+    fn unknown_tld_nxdomain_from_root() {
+        let (dns, mut r) = world();
+        let res = r.resolve(&dns, &n("example.zz"), RType::A, SimTime::ERA_START);
+        assert!(res.is_nxdomain());
+        assert_eq!(res.upstream_queries, 1);
+    }
+
+    #[test]
+    fn wire_level_roundtrip() {
+        let (dns, mut r) = world();
+        let q = Message::query(0x55AA, n("ghost.com"), RType::A);
+        let resp_wire = r.resolve_message(&dns, &q.encode().unwrap(), SimTime::ERA_START).unwrap();
+        let resp = Message::decode(&resp_wire).unwrap();
+        assert_eq!(resp.header.id, 0x55AA);
+        assert!(resp.is_nxdomain());
+    }
+
+    #[test]
+    fn wire_level_formerr_on_empty_question() {
+        let (dns, mut r) = world();
+        let q = Message {
+            header: nxd_dns_wire::Header::query(9),
+            questions: vec![],
+            answers: vec![],
+            authorities: vec![],
+            additionals: vec![],
+        };
+        let resp_wire = r.resolve_message(&dns, &q.encode().unwrap(), SimTime::ERA_START).unwrap();
+        let resp = Message::decode(&resp_wire).unwrap();
+        assert_eq!(resp.header.rcode, RCode::FormErr);
+    }
+
+    #[test]
+    fn flush_clears_caches() {
+        let (dns, mut r) = world();
+        let t = SimTime::ERA_START;
+        r.resolve(&dns, &n("www.example.com"), RType::A, t);
+        r.resolve(&dns, &n("ghost.com"), RType::A, t);
+        r.resolve(&dns, &n("www.example.com"), RType::Mx, t);
+        assert_eq!(r.cache_sizes(), (1, 1, 1));
+        r.flush();
+        assert_eq!(r.cache_sizes(), (0, 0, 0));
+    }
+}

@@ -1,0 +1,298 @@
+//! Transport semantics: UDP size limits with truncation, TCP fallback, and
+//! packet-loss fault injection.
+//!
+//! The smoltcp guide's examples expose `--drop-chance` fault injection;
+//! this module brings the same discipline to the resolver path. A client
+//! exchanges wire messages over a lossy UDP channel: oversized responses
+//! come back truncated (TC=1) and are retried over TCP, and lost datagrams
+//! are retried up to a budget — all deterministic from a seed.
+
+use nxd_dns_wire::{Edns, EdnsMessage, Message, WireError};
+
+use crate::hierarchy::SimDns;
+use crate::resolver::Resolver;
+use crate::time::SimTime;
+
+/// Transport configuration.
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// Probability of losing any single UDP datagram, in permille.
+    pub loss_permille: u16,
+    /// UDP retransmissions before declaring failure.
+    pub max_retries: u32,
+    /// EDNS payload size the client advertises (`None` = classic 512).
+    pub edns_payload: Option<u16>,
+    /// Fault-injection seed.
+    pub seed: u64,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig { loss_permille: 0, max_retries: 2, edns_payload: Some(1232), seed: 0 }
+    }
+}
+
+/// Cumulative transport statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    pub udp_datagrams_sent: u64,
+    pub udp_datagrams_lost: u64,
+    pub retries: u64,
+    pub truncated_responses: u64,
+    pub tcp_fallbacks: u64,
+    pub failures: u64,
+}
+
+/// Errors surfaced to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// Every retransmission was lost.
+    Timeout,
+    /// Wire-format failure (malformed message).
+    Wire(WireError),
+}
+
+/// A lossy client↔resolver channel.
+pub struct WireChannel {
+    config: TransportConfig,
+    rng_state: u64,
+    stats: TransportStats,
+}
+
+impl WireChannel {
+    pub fn new(config: TransportConfig) -> Self {
+        let seed = config.seed | 1;
+        WireChannel { config, rng_state: seed, stats: TransportStats::default() }
+    }
+
+    pub fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    fn roll_lost(&mut self) -> bool {
+        // xorshift64*; deterministic, no external RNG dependency.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) % 1000 < self.config.loss_permille as u64
+    }
+
+    /// Performs one query exchange: UDP with retries, truncation detection,
+    /// and TCP fallback. Returns the final decoded response.
+    pub fn exchange(
+        &mut self,
+        resolver: &mut Resolver,
+        dns: &SimDns,
+        mut query: Message,
+        now: SimTime,
+    ) -> Result<Message, TransportError> {
+        if let Some(payload) = self.config.edns_payload {
+            query.set_edns(Edns { udp_payload: payload, ..Default::default() });
+        }
+        let limit = query.udp_limit();
+        let query_wire = query.encode().map_err(TransportError::Wire)?;
+
+        // UDP attempts (query datagram and response datagram can each be
+        // lost independently).
+        let mut response = None;
+        for attempt in 0..=self.config.max_retries {
+            if attempt > 0 {
+                self.stats.retries += 1;
+            }
+            self.stats.udp_datagrams_sent += 1;
+            if self.roll_lost() {
+                self.stats.udp_datagrams_lost += 1;
+                continue;
+            }
+            let resp_wire =
+                resolver.resolve_message(dns, &query_wire, now).map_err(TransportError::Wire)?;
+            // Server-side truncation: answers beyond the advertised limit
+            // are stripped and TC is set.
+            let resp_wire = if resp_wire.len() > limit {
+                self.stats.truncated_responses += 1;
+                let mut truncated = Message::decode(&resp_wire).map_err(TransportError::Wire)?;
+                truncated.header.tc = true;
+                truncated.answers.clear();
+                truncated.authorities.clear();
+                truncated.encode().map_err(TransportError::Wire)?
+            } else {
+                resp_wire
+            };
+            if self.roll_lost() {
+                self.stats.udp_datagrams_lost += 1;
+                continue;
+            }
+            response = Some(Message::decode(&resp_wire).map_err(TransportError::Wire)?);
+            break;
+        }
+        let Some(resp) = response else {
+            self.stats.failures += 1;
+            return Err(TransportError::Timeout);
+        };
+
+        // Truncated: fall back to TCP (reliable, no size limit).
+        if resp.header.tc {
+            self.stats.tcp_fallbacks += 1;
+            let full =
+                resolver.resolve_message(dns, &query_wire, now).map_err(TransportError::Wire)?;
+            return Message::decode(&full).map_err(TransportError::Wire);
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::RegistryConfig;
+    use crate::resolver::ResolverConfig;
+    use nxd_dns_wire::{Name, RData, RType, Record};
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    /// A world where `big.com` has a TXT RRset far larger than 512 bytes.
+    fn world() -> SimDns {
+        let mut dns = SimDns::new(&["com"], RegistryConfig::default(), SimTime::ERA_START);
+        dns.register_domain(&n("big.com"), "o", "r", 1, Ipv4Addr::new(192, 0, 2, 1)).unwrap();
+        for i in 0..8 {
+            dns.add_record(
+                &n("big.com"),
+                Record::new(
+                    n("big.com"),
+                    300,
+                    RData::Txt(vec![format!("{i}-{}", "x".repeat(200))]),
+                ),
+            );
+        }
+        dns
+    }
+
+    #[test]
+    fn lossless_exchange_resolves() {
+        let dns = world();
+        let mut resolver = Resolver::new(ResolverConfig::default());
+        let mut ch = WireChannel::new(TransportConfig::default());
+        let resp = ch
+            .exchange(&mut resolver, &dns, Message::query(1, n("www.big.com"), RType::A), SimTime::ERA_START)
+            .unwrap();
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(ch.stats().failures, 0);
+        assert_eq!(ch.stats().udp_datagrams_sent, 1);
+    }
+
+    #[test]
+    fn oversized_response_truncates_then_tcp() {
+        let dns = world();
+        let mut resolver = Resolver::new(ResolverConfig::default());
+        // Classic 512-byte client: the 8×200-byte TXT answer cannot fit.
+        let mut ch = WireChannel::new(TransportConfig { edns_payload: None, ..Default::default() });
+        let resp = ch
+            .exchange(&mut resolver, &dns, Message::query(2, n("big.com"), RType::Txt), SimTime::ERA_START)
+            .unwrap();
+        assert_eq!(resp.answers.len(), 8, "TCP fallback must deliver everything");
+        let s = ch.stats();
+        assert_eq!(s.truncated_responses, 1);
+        assert_eq!(s.tcp_fallbacks, 1);
+    }
+
+    #[test]
+    fn edns_avoids_truncation() {
+        let dns = world();
+        let mut resolver = Resolver::new(ResolverConfig::default());
+        let mut ch = WireChannel::new(TransportConfig {
+            edns_payload: Some(4096),
+            ..Default::default()
+        });
+        let resp = ch
+            .exchange(&mut resolver, &dns, Message::query(3, n("big.com"), RType::Txt), SimTime::ERA_START)
+            .unwrap();
+        assert_eq!(resp.answers.len(), 8);
+        let s = ch.stats();
+        assert_eq!(s.truncated_responses, 0);
+        assert_eq!(s.tcp_fallbacks, 0);
+    }
+
+    #[test]
+    fn moderate_loss_recovers_via_retries() {
+        let dns = world();
+        let mut resolver = Resolver::new(ResolverConfig::default());
+        let mut ch = WireChannel::new(TransportConfig {
+            loss_permille: 150,
+            max_retries: 8,
+            seed: 42,
+            ..Default::default()
+        });
+        let mut ok = 0;
+        for i in 0..100u16 {
+            if ch
+                .exchange(&mut resolver, &dns, Message::query(i, n("www.big.com"), RType::A), SimTime::ERA_START)
+                .is_ok()
+            {
+                ok += 1;
+            }
+        }
+        assert_eq!(ok, 100, "8 retries beat 15% loss");
+        assert!(ch.stats().udp_datagrams_lost > 0, "faults must actually fire");
+        assert!(ch.stats().retries > 0);
+    }
+
+    #[test]
+    fn total_loss_times_out() {
+        let dns = world();
+        let mut resolver = Resolver::new(ResolverConfig::default());
+        let mut ch = WireChannel::new(TransportConfig {
+            loss_permille: 1000,
+            max_retries: 3,
+            seed: 1,
+            ..Default::default()
+        });
+        let err = ch
+            .exchange(&mut resolver, &dns, Message::query(9, n("www.big.com"), RType::A), SimTime::ERA_START)
+            .unwrap_err();
+        assert_eq!(err, TransportError::Timeout);
+        let s = ch.stats();
+        assert_eq!(s.failures, 1);
+        assert_eq!(s.udp_datagrams_sent, 4); // initial + 3 retries
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let run = |seed: u64| {
+            let dns = world();
+            let mut resolver = Resolver::new(ResolverConfig::default());
+            let mut ch = WireChannel::new(TransportConfig {
+                loss_permille: 300,
+                max_retries: 2,
+                seed,
+                ..Default::default()
+            });
+            for i in 0..50u16 {
+                let _ = ch.exchange(
+                    &mut resolver,
+                    &dns,
+                    Message::query(i, n("www.big.com"), RType::A),
+                    SimTime::ERA_START,
+                );
+            }
+            ch.stats()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn nxdomain_flows_through_transport() {
+        let dns = world();
+        let mut resolver = Resolver::new(ResolverConfig::default());
+        let mut ch = WireChannel::new(TransportConfig::default());
+        let resp = ch
+            .exchange(&mut resolver, &dns, Message::query(4, n("ghost.com"), RType::A), SimTime::ERA_START)
+            .unwrap();
+        assert!(resp.is_nxdomain());
+    }
+}

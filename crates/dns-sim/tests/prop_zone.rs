@@ -1,0 +1,68 @@
+//! Property tests for zone lookup semantics: names that were added answer,
+//! unrelated names are NXDOMAIN, and lookups never panic.
+
+use nxd_dns_sim::{Zone, ZoneAnswer};
+use nxd_dns_wire::{Name, RData, RType, Record};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    "[a-z]{1,10}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn added_names_answer_and_missing_are_negative(
+        hosts in proptest::collection::hash_set(arb_label(), 1..8),
+        probes in proptest::collection::vec(arb_label(), 1..8),
+    ) {
+        let apex: Name = "zone-test.com".parse().unwrap();
+        let mut zone = Zone::new(apex.clone(), Zone::default_soa(&apex, 300), 3600);
+        for host in &hosts {
+            let owner = apex.child(host).unwrap();
+            zone.add(Record::new(owner, 60, RData::A(Ipv4Addr::new(192, 0, 2, 1))));
+        }
+        for host in &hosts {
+            let owner = apex.child(host).unwrap();
+            match zone.lookup(&owner, RType::A) {
+                ZoneAnswer::Answer(records) => prop_assert!(!records.is_empty()),
+                other => prop_assert!(false, "{owner}: {other:?}"),
+            }
+            // Wrong type at an existing name: NODATA, not NXDOMAIN.
+            prop_assert!(matches!(zone.lookup(&owner, RType::Mx), ZoneAnswer::NoData(_)));
+        }
+        for probe in &probes {
+            if hosts.contains(probe) {
+                continue;
+            }
+            let owner = apex.child(probe).unwrap();
+            prop_assert!(
+                matches!(zone.lookup(&owner, RType::A), ZoneAnswer::NxDomain(_)),
+                "{owner} should be NXDOMAIN"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_zone_is_detected(label in arb_label()) {
+        let apex: Name = "zone-test.com".parse().unwrap();
+        let zone = Zone::new(apex, Zone::default_soa(&"zone-test.com".parse().unwrap(), 300), 3600);
+        let foreign: Name = format!("{label}.org").parse().unwrap();
+        prop_assert_eq!(zone.lookup(&foreign, RType::A), ZoneAnswer::OutOfZone);
+    }
+
+    #[test]
+    fn deep_names_under_added_hosts_are_negative_not_panic(
+        host in arb_label(),
+        sub in arb_label(),
+    ) {
+        let apex: Name = "zone-test.com".parse().unwrap();
+        let mut zone = Zone::new(apex.clone(), Zone::default_soa(&apex, 300), 3600);
+        zone.add(Record::new(apex.child(&host).unwrap(), 60, RData::A(Ipv4Addr::LOCALHOST)));
+        let deep: Name = format!("{sub}.{host}.zone-test.com").parse().unwrap();
+        // No delegation below: deep names are NXDOMAIN.
+        prop_assert!(matches!(zone.lookup(&deep, RType::A), ZoneAnswer::NxDomain(_)));
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for wire-format encoding and decoding.
+
+use std::fmt;
+
+/// Errors produced while building, encoding, or decoding DNS data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// A label of zero length appeared outside the root terminator.
+    EmptyLabel,
+    /// A label exceeded 63 octets.
+    LabelTooLong(usize),
+    /// A character not representable in a label.
+    InvalidLabelChar(char),
+    /// A name's wire encoding exceeded 255 octets.
+    NameTooLong(usize),
+    /// The buffer ended before a complete value could be read.
+    Truncated { needed: usize, available: usize },
+    /// A compression pointer pointed at or after its own position, or the
+    /// pointer chain exceeded the hop budget.
+    BadPointer(usize),
+    /// An unknown or unsupported label type (top bits `01`/`10`).
+    BadLabelType(u8),
+    /// An RDATA length disagreed with the parsed record data.
+    RdataLengthMismatch { declared: usize, parsed: usize },
+    /// A numeric field held a value outside its enum's domain.
+    InvalidValue(&'static str, u32),
+    /// The message exceeded the 64 KiB transport limit while encoding.
+    MessageTooLong(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::EmptyLabel => write!(f, "empty label"),
+            WireError::LabelTooLong(n) => write!(f, "label of {n} octets exceeds 63"),
+            WireError::InvalidLabelChar(c) => write!(f, "invalid character {c:?} in label"),
+            WireError::NameTooLong(n) => write!(f, "name encodes to {n} octets, exceeds 255"),
+            WireError::Truncated { needed, available } => {
+                write!(f, "truncated input: needed {needed} octets, {available} available")
+            }
+            WireError::BadPointer(at) => write!(f, "invalid compression pointer at offset {at}"),
+            WireError::BadLabelType(b) => write!(f, "unsupported label type bits {b:#04x}"),
+            WireError::RdataLengthMismatch { declared, parsed } => {
+                write!(f, "RDLENGTH {declared} disagrees with parsed length {parsed}")
+            }
+            WireError::InvalidValue(what, v) => write!(f, "invalid {what} value {v}"),
+            WireError::MessageTooLong(n) => write!(f, "message of {n} octets exceeds 65535"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,242 @@
+//! Typed RDATA payloads.
+
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use crate::codec::{WireReader, WireWriter};
+use crate::error::WireError;
+use crate::name::Name;
+use crate::types::RType;
+
+/// SOA record fields (RFC 1035 §3.3.13). The `minimum` field doubles as the
+/// negative-caching TTL per RFC 2308, which the resolver simulation honours.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Soa {
+    pub mname: Name,
+    pub rname: Name,
+    pub serial: u32,
+    pub refresh: u32,
+    pub retry: u32,
+    pub expire: u32,
+    pub minimum: u32,
+}
+
+/// A decoded RDATA value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RData {
+    A(Ipv4Addr),
+    Aaaa(Ipv6Addr),
+    Ns(Name),
+    Cname(Name),
+    Ptr(Name),
+    Mx { preference: u16, exchange: Name },
+    /// One or more character-strings.
+    Txt(Vec<String>),
+    Soa(Soa),
+    /// EDNS(0) OPT payload, kept opaque.
+    Opt(Vec<u8>),
+    /// Anything else, kept as raw octets with its numeric type.
+    Unknown(u16, Vec<u8>),
+}
+
+impl RData {
+    /// The record type this payload corresponds to.
+    pub fn rtype(&self) -> RType {
+        match self {
+            RData::A(_) => RType::A,
+            RData::Aaaa(_) => RType::Aaaa,
+            RData::Ns(_) => RType::Ns,
+            RData::Cname(_) => RType::Cname,
+            RData::Ptr(_) => RType::Ptr,
+            RData::Mx { .. } => RType::Mx,
+            RData::Txt(_) => RType::Txt,
+            RData::Soa(_) => RType::Soa,
+            RData::Opt(_) => RType::Opt,
+            RData::Unknown(t, _) => RType::from_u16(*t),
+        }
+    }
+
+    /// Encodes the payload. Name-bearing RDATA participates in message
+    /// compression via the shared writer.
+    pub fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        match self {
+            RData::A(ip) => w.put_slice(&ip.octets()),
+            RData::Aaaa(ip) => w.put_slice(&ip.octets()),
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => w.put_name(n)?,
+            RData::Mx { preference, exchange } => {
+                w.put_u16(*preference);
+                w.put_name(exchange)?;
+            }
+            RData::Txt(strings) => {
+                for s in strings {
+                    let bytes = s.as_bytes();
+                    let len = bytes.len().min(255);
+                    w.put_u8(len as u8);
+                    w.put_slice(&bytes[..len]);
+                }
+            }
+            RData::Soa(soa) => {
+                w.put_name(&soa.mname)?;
+                w.put_name(&soa.rname)?;
+                w.put_u32(soa.serial);
+                w.put_u32(soa.refresh);
+                w.put_u32(soa.retry);
+                w.put_u32(soa.expire);
+                w.put_u32(soa.minimum);
+            }
+            RData::Opt(raw) | RData::Unknown(_, raw) => w.put_slice(raw),
+        }
+        Ok(())
+    }
+
+    /// Decodes `rdlength` octets of payload for record type `rtype`.
+    pub fn decode(rtype: RType, rdlength: usize, r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let start = r.position();
+        let value = match rtype {
+            RType::A => {
+                let o = r.read_slice(4)?;
+                RData::A(Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+            }
+            RType::Aaaa => {
+                let o = r.read_slice(16)?;
+                let mut b = [0u8; 16];
+                b.copy_from_slice(o);
+                RData::Aaaa(Ipv6Addr::from(b))
+            }
+            RType::Ns => RData::Ns(r.read_name()?),
+            RType::Cname => RData::Cname(r.read_name()?),
+            RType::Ptr => RData::Ptr(r.read_name()?),
+            RType::Mx => RData::Mx { preference: r.read_u16()?, exchange: r.read_name()? },
+            RType::Txt => {
+                let mut strings = Vec::new();
+                while r.position() - start < rdlength {
+                    let len = r.read_u8()? as usize;
+                    let raw = r.read_slice(len)?;
+                    strings.push(String::from_utf8_lossy(raw).into_owned());
+                }
+                RData::Txt(strings)
+            }
+            RType::Soa => RData::Soa(Soa {
+                mname: r.read_name()?,
+                rname: r.read_name()?,
+                serial: r.read_u32()?,
+                refresh: r.read_u32()?,
+                retry: r.read_u32()?,
+                expire: r.read_u32()?,
+                minimum: r.read_u32()?,
+            }),
+            RType::Opt => RData::Opt(r.read_slice(rdlength)?.to_vec()),
+            other => RData::Unknown(other.to_u16(), r.read_slice(rdlength)?.to_vec()),
+        };
+        let parsed = r.position() - start;
+        if parsed != rdlength {
+            return Err(WireError::RdataLengthMismatch { declared: rdlength, parsed });
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for RData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RData::A(ip) => write!(f, "{ip}"),
+            RData::Aaaa(ip) => write!(f, "{ip}"),
+            RData::Ns(n) => write!(f, "{n}"),
+            RData::Cname(n) => write!(f, "{n}"),
+            RData::Ptr(n) => write!(f, "{n}"),
+            RData::Mx { preference, exchange } => write!(f, "{preference} {exchange}"),
+            RData::Txt(strings) => {
+                for (i, s) in strings.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{s:?}")?;
+                }
+                Ok(())
+            }
+            RData::Soa(s) => write!(
+                f,
+                "{} {} {} {} {} {} {}",
+                s.mname, s.rname, s.serial, s.refresh, s.retry, s.expire, s.minimum
+            ),
+            RData::Opt(raw) => write!(f, "OPT({} octets)", raw.len()),
+            RData::Unknown(t, raw) => write!(f, "TYPE{t}({} octets)", raw.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rd: &RData) -> RData {
+        let mut w = WireWriter::new();
+        // length placeholder then payload, like the message encoder does
+        w.put_u16(0);
+        rd.encode(&mut w).unwrap();
+        let len = w.len() - 2;
+        w.patch_u16(0, len as u16);
+        let buf = w.finish().unwrap();
+        let mut r = WireReader::new(&buf);
+        let rdlength = r.read_u16().unwrap() as usize;
+        RData::decode(rd.rtype(), rdlength, &mut r).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        let name: Name = "ns1.example.com".parse().unwrap();
+        let cases = vec![
+            RData::A(Ipv4Addr::new(93, 184, 216, 34)),
+            RData::Aaaa("2606:2800:220:1::1946".parse().unwrap()),
+            RData::Ns(name.clone()),
+            RData::Cname(name.clone()),
+            RData::Ptr(name.clone()),
+            RData::Mx { preference: 10, exchange: name.clone() },
+            RData::Txt(vec!["hello".into(), "world".into()]),
+            RData::Soa(Soa {
+                mname: name.clone(),
+                rname: "hostmaster.example.com".parse().unwrap(),
+                serial: 2023_10_24,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 900,
+            }),
+            RData::Opt(vec![1, 2, 3]),
+            RData::Unknown(99, vec![4, 5, 6, 7]),
+        ];
+        for rd in cases {
+            assert_eq!(roundtrip(&rd), rd, "roundtrip failed for {rd}");
+        }
+    }
+
+    #[test]
+    fn declared_length_must_match() {
+        // A record with rdlength 3 instead of 4.
+        let buf = [1, 2, 3];
+        let mut r = WireReader::new(&buf);
+        assert!(RData::decode(RType::A, 3, &mut r).is_err());
+    }
+
+    #[test]
+    fn txt_respects_255_byte_limit() {
+        let long = "x".repeat(300);
+        let rd = RData::Txt(vec![long]);
+        let got = roundtrip(&rd);
+        match got {
+            RData::Txt(v) => assert_eq!(v[0].len(), 255),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rtype_mapping() {
+        assert_eq!(RData::A(Ipv4Addr::LOCALHOST).rtype(), RType::A);
+        assert_eq!(RData::Unknown(200, vec![]).rtype(), RType::Other(200));
+    }
+
+    #[test]
+    fn empty_txt_roundtrips() {
+        assert_eq!(roundtrip(&RData::Txt(vec![])), RData::Txt(vec![]));
+    }
+}

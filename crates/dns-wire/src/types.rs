@@ -1,0 +1,257 @@
+//! Protocol enumerations: response codes, record types, classes, opcodes.
+
+use std::fmt;
+
+use crate::error::WireError;
+
+/// DNS response codes (RFC 1035 §4.1.1, extended registry values included
+/// where the simulation needs them).
+///
+/// [`RCode::NxDomain`] — "Name Error" — is the subject of the reproduced
+/// paper: it signals that the queried name does not exist in the zone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RCode {
+    /// No error condition.
+    NoError,
+    /// The server could not interpret the query.
+    FormErr,
+    /// The server failed internally.
+    ServFail,
+    /// The queried domain name does not exist (NXDOMAIN).
+    NxDomain,
+    /// The requested operation is not implemented.
+    NotImp,
+    /// The server refuses to answer for policy reasons.
+    Refused,
+    /// A name exists when it should not (RFC 2136).
+    YxDomain,
+    /// A code outside the set this library models.
+    Other(u8),
+}
+
+impl RCode {
+    /// The 4-bit wire value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            RCode::NoError => 0,
+            RCode::FormErr => 1,
+            RCode::ServFail => 2,
+            RCode::NxDomain => 3,
+            RCode::NotImp => 4,
+            RCode::Refused => 5,
+            RCode::YxDomain => 6,
+            RCode::Other(v) => v,
+        }
+    }
+
+    /// Decodes the 4-bit wire value (never fails; unknown codes map to
+    /// [`RCode::Other`]).
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            0 => RCode::NoError,
+            1 => RCode::FormErr,
+            2 => RCode::ServFail,
+            3 => RCode::NxDomain,
+            4 => RCode::NotImp,
+            5 => RCode::Refused,
+            6 => RCode::YxDomain,
+            other => RCode::Other(other),
+        }
+    }
+
+    /// Whether this is the NXDOMAIN name error.
+    pub fn is_nxdomain(self) -> bool {
+        self == RCode::NxDomain
+    }
+}
+
+impl fmt::Display for RCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RCode::NoError => "NOERROR",
+            RCode::FormErr => "FORMERR",
+            RCode::ServFail => "SERVFAIL",
+            RCode::NxDomain => "NXDOMAIN",
+            RCode::NotImp => "NOTIMP",
+            RCode::Refused => "REFUSED",
+            RCode::YxDomain => "YXDOMAIN",
+            RCode::Other(v) => return write!(f, "RCODE{v}"),
+        };
+        f.write_str(s)
+    }
+}
+
+/// Resource record types the library models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RType {
+    A,
+    Ns,
+    Cname,
+    Soa,
+    Ptr,
+    Mx,
+    Txt,
+    Aaaa,
+    /// EDNS(0) pseudo-record (RFC 6891).
+    Opt,
+    /// Any other type, preserved numerically.
+    Other(u16),
+}
+
+impl RType {
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RType::A => 1,
+            RType::Ns => 2,
+            RType::Cname => 5,
+            RType::Soa => 6,
+            RType::Ptr => 12,
+            RType::Mx => 15,
+            RType::Txt => 16,
+            RType::Aaaa => 28,
+            RType::Opt => 41,
+            RType::Other(v) => v,
+        }
+    }
+
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => RType::A,
+            2 => RType::Ns,
+            5 => RType::Cname,
+            6 => RType::Soa,
+            12 => RType::Ptr,
+            15 => RType::Mx,
+            16 => RType::Txt,
+            28 => RType::Aaaa,
+            41 => RType::Opt,
+            other => RType::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for RType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RType::A => "A",
+            RType::Ns => "NS",
+            RType::Cname => "CNAME",
+            RType::Soa => "SOA",
+            RType::Ptr => "PTR",
+            RType::Mx => "MX",
+            RType::Txt => "TXT",
+            RType::Aaaa => "AAAA",
+            RType::Opt => "OPT",
+            RType::Other(v) => return write!(f, "TYPE{v}"),
+        };
+        f.write_str(s)
+    }
+}
+
+/// Record classes. The simulation only uses IN but the codec round-trips
+/// anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RClass {
+    In,
+    Ch,
+    Hs,
+    Other(u16),
+}
+
+impl RClass {
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RClass::In => 1,
+            RClass::Ch => 3,
+            RClass::Hs => 4,
+            RClass::Other(v) => v,
+        }
+    }
+
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => RClass::In,
+            3 => RClass::Ch,
+            4 => RClass::Hs,
+            other => RClass::Other(other),
+        }
+    }
+}
+
+/// Query opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpCode {
+    Query,
+    IQuery,
+    Status,
+    Notify,
+    Update,
+    Other(u8),
+}
+
+impl OpCode {
+    pub fn to_u8(self) -> u8 {
+        match self {
+            OpCode::Query => 0,
+            OpCode::IQuery => 1,
+            OpCode::Status => 2,
+            OpCode::Notify => 4,
+            OpCode::Update => 5,
+            OpCode::Other(v) => v,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => OpCode::Query,
+            1 => OpCode::IQuery,
+            2 => OpCode::Status,
+            4 => OpCode::Notify,
+            5 => OpCode::Update,
+            v if v < 16 => OpCode::Other(v),
+            v => return Err(WireError::InvalidValue("opcode", v as u32)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rcode_roundtrip() {
+        for v in 0..16u8 {
+            assert_eq!(RCode::from_u8(v).to_u8(), v);
+        }
+        assert!(RCode::NxDomain.is_nxdomain());
+        assert!(!RCode::NoError.is_nxdomain());
+    }
+
+    #[test]
+    fn rcode_display() {
+        assert_eq!(RCode::NxDomain.to_string(), "NXDOMAIN");
+        assert_eq!(RCode::Other(11).to_string(), "RCODE11");
+    }
+
+    #[test]
+    fn rtype_roundtrip() {
+        for v in [1u16, 2, 5, 6, 12, 15, 16, 28, 41, 99, 255, 65280] {
+            assert_eq!(RType::from_u16(v).to_u16(), v);
+        }
+        assert_eq!(RType::Other(13).to_string(), "TYPE13");
+    }
+
+    #[test]
+    fn rclass_roundtrip() {
+        for v in [1u16, 3, 4, 254] {
+            assert_eq!(RClass::from_u16(v).to_u16(), v);
+        }
+    }
+
+    #[test]
+    fn opcode_validation() {
+        assert_eq!(OpCode::from_u8(0).unwrap(), OpCode::Query);
+        assert_eq!(OpCode::from_u8(7).unwrap(), OpCode::Other(7));
+        assert!(OpCode::from_u8(16).is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! The two-step noise filter of §6.1 / Fig. 9.
+//!
+//! Step 1 — *no-hosting baseline*: run bare cloud instances with no domain
+//! attached; every source IP seen there is random IP scanning and is
+//! excluded from the real collection.
+//!
+//! Step 2 — *control group*: register fresh never-registered domains with
+//! the same landing page; their traffic is, by construction, caused only by
+//! domain registration/establishment (certificate validation, new-domain
+//! crawlers, cloud monitors). Its source IPs, URIs, and hostnames become
+//! exclusion parameters.
+
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+use crate::packet::Packet;
+
+/// Exclusion profile distilled from the no-hosting run.
+#[derive(Debug, Default, Clone)]
+pub struct NoHostingBaseline {
+    pub src_ips: HashSet<Ipv4Addr>,
+}
+
+impl NoHostingBaseline {
+    /// Builds the profile from packets recorded on bare instances.
+    pub fn from_packets(packets: &[Packet]) -> Self {
+        NoHostingBaseline { src_ips: packets.iter().map(|p| p.src_ip).collect() }
+    }
+}
+
+/// Exclusion profile distilled from the control-group domains.
+#[derive(Debug, Default, Clone)]
+pub struct ControlGroupProfile {
+    pub src_ips: HashSet<Ipv4Addr>,
+    /// URI paths characteristic of establishment traffic
+    /// (ACME validation, new-domain probes).
+    pub paths: HashSet<String>,
+    /// Hostnames (Host header values) probed during establishment.
+    pub hosts: HashSet<String>,
+}
+
+impl ControlGroupProfile {
+    pub fn from_packets(packets: &[Packet]) -> Self {
+        let mut profile = ControlGroupProfile::default();
+        for p in packets {
+            profile.src_ips.insert(p.src_ip);
+            if let Some(req) = p.http_request() {
+                profile.paths.insert(req.uri.path.clone());
+                if let Some(host) = req.host() {
+                    profile.hosts.insert(host.to_string());
+                }
+            }
+        }
+        profile
+    }
+}
+
+/// How many packets each stage removed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FilterStats {
+    pub input: u64,
+    pub dropped_no_hosting: u64,
+    pub dropped_control: u64,
+    pub kept: u64,
+}
+
+/// The assembled filter.
+#[derive(Debug, Default, Clone)]
+pub struct NoiseFilter {
+    baseline: NoHostingBaseline,
+    control: ControlGroupProfile,
+}
+
+impl NoiseFilter {
+    pub fn new(baseline: NoHostingBaseline, control: ControlGroupProfile) -> Self {
+        NoiseFilter { baseline, control }
+    }
+
+    /// Whether a packet is establishment noise per the control profile.
+    ///
+    /// A control-group *source IP* is noise outright (the same ACME/scanner
+    /// infrastructure probes every new domain). A control-group *path* only
+    /// counts as noise when the path is establishment-specific (appears in
+    /// control but is not plain content like `/`): filtering on bare `/`
+    /// would delete real user traffic, which is why the paper calls simple
+    /// hostname filters "insufficient" and combines parameters.
+    fn is_control_noise(&self, packet: &Packet) -> bool {
+        if self.control.src_ips.contains(&packet.src_ip) {
+            return true;
+        }
+        if let Some(req) = packet.http_request() {
+            if req.uri.path != "/" && self.control.paths.contains(&req.uri.path) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Applies both stages, returning kept packets and per-stage counts.
+    pub fn apply(&self, packets: Vec<Packet>) -> (Vec<Packet>, FilterStats) {
+        let mut stats = FilterStats { input: packets.len() as u64, ..Default::default() };
+        let mut kept = Vec::with_capacity(packets.len());
+        for p in packets {
+            if self.baseline.src_ips.contains(&p.src_ip) {
+                stats.dropped_no_hosting += 1;
+            } else if self.is_control_noise(&p) {
+                stats.dropped_control += 1;
+            } else {
+                kept.push(p);
+            }
+        }
+        stats.kept = kept.len() as u64;
+        (kept, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Transport;
+    use nxd_httpsim::HttpRequest;
+
+    fn ip(n: u8) -> Ipv4Addr {
+        Ipv4Addr::new(198, 51, 100, n)
+    }
+
+    fn http(path: &str, src: Ipv4Addr) -> Packet {
+        Packet::http(HttpRequest::get(path).with_src(src).with_header("Host", "resheba.online"))
+    }
+
+    fn filter() -> NoiseFilter {
+        // Scanner 1 appears pre-hosting; ACME (ip 2) probed the control
+        // group on the well-known path.
+        let baseline = NoHostingBaseline::from_packets(&[Packet::raw(
+            ip(1),
+            22,
+            Transport::Tcp,
+            0,
+            b"",
+        )]);
+        let control = ControlGroupProfile::from_packets(&[
+            Packet::http(
+                HttpRequest::get("/.well-known/acme-challenge/token")
+                    .with_src(ip(2))
+                    .with_header("Host", "control-0.com"),
+            ),
+            http("/", ip(3)),
+        ]);
+        NoiseFilter::new(baseline, control)
+    }
+
+    #[test]
+    fn drops_no_hosting_sources_first() {
+        let f = filter();
+        let (kept, stats) = f.apply(vec![http("/page", ip(1)), http("/page", ip(9))]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(stats.dropped_no_hosting, 1);
+        assert_eq!(stats.kept, 1);
+    }
+
+    #[test]
+    fn drops_control_sources_and_paths() {
+        let f = filter();
+        let (kept, stats) = f.apply(vec![
+            http("/anything", ip(2)),                           // control source IP
+            http("/.well-known/acme-challenge/token", ip(9)),   // control path
+            http("/real-content.html", ip(10)),
+        ]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(stats.dropped_control, 2);
+        assert_eq!(kept[0].http_request().unwrap().uri.path, "/real-content.html");
+    }
+
+    #[test]
+    fn root_path_survives_even_if_in_control() {
+        // "/" was fetched by a control-group visitor (ip 3) but a fresh
+        // visitor hitting "/" must not be filtered.
+        let f = filter();
+        let (kept, stats) = f.apply(vec![http("/", ip(20))]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(stats.dropped_control, 0);
+    }
+
+    #[test]
+    fn aws_monitor_traffic_removed_via_baseline() {
+        // Port 52646 AWS monitor appears in the no-hosting run (Fig. 10b)
+        // and must vanish from the NXDomain view (Fig. 10a).
+        let monitor_ip = ip(40);
+        let baseline = NoHostingBaseline::from_packets(&[Packet::raw(
+            monitor_ip,
+            52_646,
+            Transport::Tcp,
+            0,
+            b"",
+        )]);
+        let f = NoiseFilter::new(baseline, ControlGroupProfile::default());
+        let (kept, stats) = f.apply(vec![
+            Packet::raw(monitor_ip, 52_646, Transport::Tcp, 1, b""),
+            http("/x", ip(41)),
+        ]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(stats.dropped_no_hosting, 1);
+        assert!(kept[0].is_http());
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let f = filter();
+        let input = vec![
+            http("/a", ip(1)),
+            http("/b", ip(2)),
+            http("/c", ip(30)),
+            http("/d", ip(31)),
+        ];
+        let (_, stats) = f.apply(input);
+        assert_eq!(stats.input, 4);
+        assert_eq!(stats.dropped_no_hosting + stats.dropped_control + stats.kept, stats.input);
+    }
+}

@@ -1,0 +1,62 @@
+//! The ethics landing page (Appendix A): every registered domain serves a
+//! static page describing the study with contact information, and the
+//! honeypot never initiates contact with visitors.
+
+use nxd_httpsim::{HttpRequest, HttpResponse, Method};
+
+/// The landing page body served at `/`.
+pub const LANDING_PAGE: &str = "<!doctype html>\n<html><head><title>Research Study Notice</title></head>\n<body>\n<h1>This domain is part of an academic measurement study</h1>\n<p>This previously expired domain has been re-registered by researchers to\nmeasure residual traffic to non-existent domains (NXDomains). We passively\nrecord inbound requests only; no interaction is initiated with visitors.</p>\n<p>Contact: nxdomain-study@example.edu &mdash; we will answer questions and\nhonour removal requests.</p>\n</body></html>\n";
+
+/// Serves the landing page: `200` with the notice at `/`, `404` elsewhere,
+/// `405` for non-GET/HEAD methods. HEAD responses carry no body.
+pub fn serve(req: &HttpRequest) -> HttpResponse {
+    match req.method {
+        Method::Get | Method::Head => {
+            let mut resp = if req.uri.path == "/" {
+                HttpResponse::new(200, "OK").with_body("text/html; charset=utf-8", LANDING_PAGE.as_bytes())
+            } else {
+                HttpResponse::new(404, "Not Found")
+                    .with_body("text/html; charset=utf-8", b"<html><body>Not found.</body></html>")
+            };
+            if req.method == Method::Head {
+                resp.body.clear();
+            }
+            resp
+        }
+        _ => HttpResponse::new(405, "Method Not Allowed"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_serves_notice() {
+        let resp = serve(&HttpRequest::get("/"));
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8_lossy(&resp.body).contains("measurement study"));
+    }
+
+    #[test]
+    fn other_paths_404() {
+        let resp = serve(&HttpRequest::get("/wp-login.php"));
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn head_has_no_body() {
+        let mut req = HttpRequest::get("/");
+        req.method = Method::Head;
+        let resp = serve(&req);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.is_empty());
+    }
+
+    #[test]
+    fn post_is_rejected() {
+        let mut req = HttpRequest::get("/");
+        req.method = Method::Post;
+        assert_eq!(serve(&req).status, 405);
+    }
+}

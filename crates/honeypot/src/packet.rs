@@ -1,0 +1,143 @@
+//! Inbound packet model and the well-known-port table.
+//!
+//! NXD-Honeypot "accepts TCP and UDP packets from all well-known and
+//! standardized ports" (§3.4) and records source address, ports, and
+//! payload. HTTP/HTTPS payloads are parsed; everything else stays raw.
+
+use std::net::Ipv4Addr;
+
+use nxd_httpsim::HttpRequest;
+
+/// Transport protocol of an inbound packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transport {
+    Tcp,
+    Udp,
+}
+
+/// Payload as recorded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// A parsed HTTP/HTTPS request (443 is modeled post-TLS-termination).
+    Http(HttpRequest),
+    /// Raw bytes on any other port (scanners, probes, AWS health checks).
+    Raw(Vec<u8>),
+}
+
+/// One recorded inbound packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    pub src_ip: Ipv4Addr,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub transport: Transport,
+    /// Unix seconds (simulated clock).
+    pub timestamp: u64,
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// Wraps an HTTP request as a TCP packet to its destination port.
+    pub fn http(req: HttpRequest) -> Packet {
+        Packet {
+            src_ip: req.src_ip,
+            src_port: 40_000,
+            dst_port: req.dst_port,
+            transport: Transport::Tcp,
+            timestamp: req.timestamp,
+            payload: Payload::Http(req),
+        }
+    }
+
+    /// A raw probe packet.
+    pub fn raw(
+        src_ip: Ipv4Addr,
+        dst_port: u16,
+        transport: Transport,
+        timestamp: u64,
+        bytes: &[u8],
+    ) -> Packet {
+        Packet {
+            src_ip,
+            src_port: 50_000,
+            dst_port,
+            transport,
+            timestamp,
+            payload: Payload::Raw(bytes.to_vec()),
+        }
+    }
+
+    /// The parsed HTTP request, if this is an HTTP packet.
+    pub fn http_request(&self) -> Option<&HttpRequest> {
+        match &self.payload {
+            Payload::Http(r) => Some(r),
+            Payload::Raw(_) => None,
+        }
+    }
+
+    pub fn is_http(&self) -> bool {
+        matches!(self.payload, Payload::Http(_))
+    }
+}
+
+/// Human label for well-known destination ports (Fig. 10's x-axis).
+pub fn port_service(port: u16) -> &'static str {
+    match port {
+        21 => "ftp",
+        22 => "ssh",
+        23 => "telnet",
+        25 => "smtp",
+        53 => "dns",
+        80 => "http",
+        110 => "pop3",
+        123 => "ntp",
+        143 => "imap",
+        443 => "https",
+        445 => "smb",
+        465 => "smtps",
+        587 => "submission",
+        993 => "imaps",
+        995 => "pop3s",
+        1433 => "mssql",
+        3306 => "mysql",
+        3389 => "rdp",
+        5060 => "sip",
+        5432 => "postgres",
+        6379 => "redis",
+        8080 => "http-alt",
+        8443 => "https-alt",
+        27017 => "mongodb",
+        52646 => "aws-monitor",
+        _ => "other",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn http_packet_wraps_request() {
+        let req = HttpRequest::get("/").with_src(Ipv4Addr::new(10, 0, 0, 1)).with_port(443).with_time(5);
+        let pkt = Packet::http(req.clone());
+        assert!(pkt.is_http());
+        assert_eq!(pkt.dst_port, 443);
+        assert_eq!(pkt.timestamp, 5);
+        assert_eq!(pkt.http_request(), Some(&req));
+    }
+
+    #[test]
+    fn raw_packet_has_no_request() {
+        let pkt = Packet::raw(Ipv4Addr::new(10, 0, 0, 2), 22, Transport::Tcp, 9, b"SSH-2.0-probe");
+        assert!(!pkt.is_http());
+        assert!(pkt.http_request().is_none());
+    }
+
+    #[test]
+    fn port_labels() {
+        assert_eq!(port_service(80), "http");
+        assert_eq!(port_service(443), "https");
+        assert_eq!(port_service(52646), "aws-monitor");
+        assert_eq!(port_service(12345), "other");
+    }
+}

@@ -1,0 +1,228 @@
+//! The interactive responder — the paper's §7 plan to "enhance our
+//! NXD-honeypot by implementing the capability to interact with domain
+//! visitors. This will provide us with additional information in order to
+//! comprehensively understand the purpose of their visits."
+//!
+//! Interaction stays within the paper's ethics envelope: the responder only
+//! answers what it is asked (no outbound contact), serves inert decoys, and
+//! never issues commands — a bot polling `getTask.php` receives an explicit
+//! empty-task answer, never a task.
+
+use nxd_httpsim::{HttpRequest, HttpResponse, Method};
+
+use crate::landing;
+use crate::vulndb;
+
+/// What the responder served, for interaction analytics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interaction {
+    /// The ethics landing page at `/`.
+    LandingPage,
+    /// An inert JSON decoy for automated pollers (`status.json`,
+    /// `getTask.php`, other `.json`/`.php` data endpoints with queries).
+    JsonDecoy,
+    /// A 1×1 placeholder image for file grabbers and e-mail proxies.
+    PixelDecoy,
+    /// A refusal (403) for vulnerability probes — logged, never served.
+    RefusedProbe,
+    /// 404 for everything else.
+    NotFound,
+    /// 405 for non-GET/HEAD methods.
+    MethodRejected,
+}
+
+/// Aggregated interaction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InteractionStats {
+    pub landing: u64,
+    pub json_decoys: u64,
+    pub pixel_decoys: u64,
+    pub refused_probes: u64,
+    pub not_found: u64,
+    pub method_rejected: u64,
+}
+
+impl InteractionStats {
+    pub fn total(&self) -> u64 {
+        self.landing
+            + self.json_decoys
+            + self.pixel_decoys
+            + self.refused_probes
+            + self.not_found
+            + self.method_rejected
+    }
+}
+
+/// Smallest valid 1×1 transparent GIF (43 bytes) — the classic tracking-
+/// pixel payload, served to image grabbers.
+pub const PIXEL_GIF: [u8; 43] = [
+    0x47, 0x49, 0x46, 0x38, 0x39, 0x61, 0x01, 0x00, 0x01, 0x00, 0x80, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0xFF, 0xFF, 0xFF, 0x21, 0xF9, 0x04, 0x01, 0x00, 0x00, 0x00, 0x00, 0x2C, 0x00, 0x00,
+    0x00, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x02, 0x02, 0x44, 0x01, 0x00, 0x3B,
+];
+
+/// The interactive responder.
+#[derive(Debug, Default, Clone)]
+pub struct InteractiveResponder {
+    stats: InteractionStats,
+}
+
+impl InteractiveResponder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn stats(&self) -> InteractionStats {
+        self.stats
+    }
+
+    /// Serves one request, classifying the interaction.
+    pub fn respond(&mut self, req: &HttpRequest) -> (HttpResponse, Interaction) {
+        if !matches!(req.method, Method::Get | Method::Head) {
+            self.stats.method_rejected += 1;
+            return (HttpResponse::new(405, "Method Not Allowed"), Interaction::MethodRejected);
+        }
+        // Vulnerability probes are refused before anything else: serving
+        // even a decoy would invite follow-up exploitation.
+        if vulndb::is_sensitive(&req.uri.path) {
+            self.stats.refused_probes += 1;
+            return (
+                HttpResponse::new(403, "Forbidden")
+                    .with_body("text/plain", b"request logged by research honeypot"),
+                Interaction::RefusedProbe,
+            );
+        }
+        if req.uri.path == "/" {
+            self.stats.landing += 1;
+            return (landing::serve(req), Interaction::LandingPage);
+        }
+        let ext = req.uri.extension();
+        match ext.as_deref() {
+            // Automated pollers: an explicit empty answer keeps the session
+            // alive and observable without commanding anything.
+            Some("json") => {
+                self.stats.json_decoys += 1;
+                let body = br#"{"status":"ok","tasks":[],"notice":"research honeypot"}"#;
+                (
+                    HttpResponse::new(200, "OK").with_body("application/json", body),
+                    Interaction::JsonDecoy,
+                )
+            }
+            Some("php") if req.uri.has_query() => {
+                self.stats.json_decoys += 1;
+                let body = br#"{"result":"none","notice":"research honeypot"}"#;
+                (
+                    HttpResponse::new(200, "OK").with_body("application/json", body),
+                    Interaction::JsonDecoy,
+                )
+            }
+            // Image grabbers (including e-mail proxies) get the pixel.
+            Some("jpeg") | Some("jpg") | Some("png") | Some("gif") | Some("ico") => {
+                self.stats.pixel_decoys += 1;
+                (
+                    HttpResponse::new(200, "OK").with_body("image/gif", &PIXEL_GIF),
+                    Interaction::PixelDecoy,
+                )
+            }
+            _ => {
+                self.stats.not_found += 1;
+                (
+                    HttpResponse::new(404, "Not Found")
+                        .with_body("text/html", b"<html><body>Not found.</body></html>"),
+                    Interaction::NotFound,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str) -> HttpRequest {
+        HttpRequest::get(path)
+    }
+
+    #[test]
+    fn landing_page_at_root() {
+        let mut r = InteractiveResponder::new();
+        let (resp, kind) = r.respond(&get("/"));
+        assert_eq!(kind, Interaction::LandingPage);
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8_lossy(&resp.body).contains("measurement study"));
+    }
+
+    #[test]
+    fn gettask_poll_gets_empty_task_decoy() {
+        let mut r = InteractiveResponder::new();
+        let (resp, kind) = r.respond(&get("/getTask.php?imei=1&country=us"));
+        assert_eq!(kind, Interaction::JsonDecoy);
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8_lossy(&resp.body);
+        assert!(body.contains("\"result\":\"none\""), "{body}");
+        assert!(body.contains("research honeypot"));
+    }
+
+    #[test]
+    fn status_json_served() {
+        let mut r = InteractiveResponder::new();
+        let (resp, kind) = r.respond(&get("/status.json"));
+        assert_eq!(kind, Interaction::JsonDecoy);
+        assert!(String::from_utf8_lossy(&resp.body).contains("\"tasks\":[]"));
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn image_requests_get_pixel() {
+        let mut r = InteractiveResponder::new();
+        for path in ["/banner.png", "/photo.jpeg", "/favicon.ico"] {
+            let (resp, kind) = r.respond(&get(path));
+            assert_eq!(kind, Interaction::PixelDecoy, "{path}");
+            assert_eq!(resp.body, PIXEL_GIF.to_vec());
+        }
+    }
+
+    #[test]
+    fn vulnerability_probes_refused() {
+        let mut r = InteractiveResponder::new();
+        let (resp, kind) = r.respond(&get("/wp-login.php?user=admin"));
+        assert_eq!(kind, Interaction::RefusedProbe, "sensitivity beats the php-query decoy");
+        assert_eq!(resp.status, 403);
+    }
+
+    #[test]
+    fn unknown_content_404s() {
+        let mut r = InteractiveResponder::new();
+        let (resp, kind) = r.respond(&get("/video.mp4"));
+        assert_eq!(kind, Interaction::NotFound);
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn post_rejected() {
+        let mut r = InteractiveResponder::new();
+        let mut req = get("/");
+        req.method = Method::Post;
+        let (resp, kind) = r.respond(&req);
+        assert_eq!(kind, Interaction::MethodRejected);
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut r = InteractiveResponder::new();
+        r.respond(&get("/"));
+        r.respond(&get("/status.json"));
+        r.respond(&get("/x.png"));
+        r.respond(&get("/wp-login.php"));
+        r.respond(&get("/other.html"));
+        let s = r.stats();
+        assert_eq!(s.landing, 1);
+        assert_eq!(s.json_decoys, 1);
+        assert_eq!(s.pixel_decoys, 1);
+        assert_eq!(s.refused_probes, 1);
+        assert_eq!(s.not_found, 1);
+        assert_eq!(s.total(), 5);
+    }
+}

@@ -1,0 +1,114 @@
+//! Sensitive-URI lookup — the NVD substitute (§6.2 ③).
+//!
+//! The paper searches the NIST National Vulnerability Database for the
+//! requested file name and treats a URI as sensitive if an associated
+//! vulnerability has at least medium severity. This module embeds the table
+//! of probe paths that dominate real honeypot traffic with CVSS-like
+//! severities.
+
+/// CVSS-style severity bands (NVD's qualitative scale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Low,
+    Medium,
+    High,
+    Critical,
+}
+
+/// Known sensitive path fragments with their worst associated severity.
+/// Matching is case-insensitive on the URI path.
+const SENSITIVE_PATHS: &[(&str, Severity)] = &[
+    ("wp-login.php", Severity::High),
+    ("wp-admin", Severity::High),
+    ("wp-config.php", Severity::Critical),
+    ("xmlrpc.php", Severity::Medium),
+    ("changepassword.php", Severity::High),
+    ("changepasswd.php", Severity::High),
+    ("admin.php", Severity::Medium),
+    ("administrator/index.php", Severity::Medium),
+    ("phpmyadmin", Severity::High),
+    ("shell.php", Severity::Critical),
+    ("cmd.php", Severity::Critical),
+    ("eval-stdin.php", Severity::Critical),
+    (".env", Severity::Critical),
+    (".git/config", Severity::High),
+    (".aws/credentials", Severity::Critical),
+    ("etc/passwd", Severity::Critical),
+    ("config.php", Severity::Medium),
+    ("setup.php", Severity::Medium),
+    ("install.php", Severity::Medium),
+    ("login.jsp", Severity::Medium),
+    ("manager/html", Severity::High),
+    ("boaform", Severity::High),
+    ("hnap1", Severity::High),
+    ("cgi-bin/", Severity::Medium),
+    ("solr/admin", Severity::High),
+    ("actuator/env", Severity::High),
+    ("id_rsa", Severity::Critical),
+    ("backup.sql", Severity::High),
+    ("dump.sql", Severity::High),
+    ("web.config", Severity::Medium),
+    ("owa/auth", Severity::High),
+    ("autodiscover", Severity::Medium),
+];
+
+/// The worst severity associated with a URI path, if any.
+pub fn severity(path: &str) -> Option<Severity> {
+    let l = path.to_ascii_lowercase();
+    SENSITIVE_PATHS
+        .iter()
+        .filter(|(frag, _)| l.contains(frag))
+        .map(|&(_, s)| s)
+        .max()
+}
+
+/// The paper's sensitivity rule: associated vulnerability of severity
+/// greater than or equal to medium.
+pub fn is_sensitive(path: &str) -> bool {
+    severity(path).is_some_and(|s| s >= Severity::Medium)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples_are_sensitive() {
+        // §6.2: "e.g., wp-login.php, changepasswd.php".
+        assert!(is_sensitive("/wp-login.php"));
+        assert!(is_sensitive("/changepasswd.php"));
+        assert!(is_sensitive("/changepassword.php"));
+    }
+
+    #[test]
+    fn ordinary_content_is_not() {
+        for p in ["/", "/index.html", "/status.json", "/images/logo.png", "/video.mp4"] {
+            assert!(!is_sensitive(p), "{p}");
+        }
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Critical > Severity::High);
+        assert!(Severity::High > Severity::Medium);
+        assert!(Severity::Medium > Severity::Low);
+    }
+
+    #[test]
+    fn worst_severity_wins() {
+        // A path hitting both a Medium and a Critical fragment.
+        assert_eq!(severity("/cgi-bin/shell.php"), Some(Severity::Critical));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert!(is_sensitive("/WP-LOGIN.PHP"));
+        assert!(is_sensitive("/HNAP1/"));
+    }
+
+    #[test]
+    fn nested_paths_match() {
+        assert!(is_sensitive("/blog/wp-admin/setup.php"));
+        assert!(is_sensitive("/a/b/../etc/passwd"));
+    }
+}

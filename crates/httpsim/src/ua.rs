@@ -1,0 +1,278 @@
+//! User-Agent classification (§6.2 ②).
+//!
+//! The paper's categorizer reads three signals out of the User-Agent header:
+//! declared crawler services, script/software tools (Python, Java, curl,
+//! wget, …), and end-user device/browser information including the in-app
+//! browsers of Fig. 13 (WhatsApp, WeChat, Facebook, Twitter, Instagram,
+//! DingTalk, QQ, …).
+
+/// End-user device class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Device {
+    Pc,
+    Mobile,
+}
+
+/// What a User-Agent string reveals about the sender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UaClass {
+    /// A self-declared crawler (search engine or generic bot), with the
+    /// service name.
+    Crawler { service: String },
+    /// An e-mail provider's content proxy/image crawler.
+    EmailCrawler { provider: String },
+    /// A scripting tool or HTTP library.
+    ScriptTool { tool: String },
+    /// An in-app browser inside a messaging/social app.
+    InAppBrowser { app: String },
+    /// An ordinary browser on a PC or mobile device.
+    Browser { device: Device },
+    /// Nothing recognizable (classified as automated process downstream).
+    Unknown,
+}
+
+/// Classifies a User-Agent header value.
+///
+/// Order matters: crawlers and e-mail proxies self-identify inside strings
+/// that may also contain browser tokens ("Mozilla/5.0 … Googlebot/2.1"), so
+/// bot detection runs before browser detection; in-app markers beat the
+/// generic mobile browser tokens they are embedded in.
+pub fn classify_user_agent(ua: &str) -> UaClass {
+    let l = ua.to_ascii_lowercase();
+    if l.trim().is_empty() {
+        return UaClass::Unknown;
+    }
+
+    // E-mail content proxies (conf-cdn.com's dominant visitors in Table 1).
+    for (pat, provider) in [
+        ("googleimageproxy", "gmail"),
+        ("ggpht.com", "gmail"),
+        ("yahoomailproxy", "yahoo-mail"),
+        ("yahoocachesystem", "yahoo-mail"),
+        ("outlookimageproxy", "outlook"),
+        ("office365scanner", "outlook"),
+    ] {
+        if l.contains(pat) {
+            return UaClass::EmailCrawler { provider: provider.to_string() };
+        }
+    }
+
+    // Declared crawlers.
+    for (pat, service) in [
+        ("googlebot", "googlebot"),
+        ("bingbot", "bingbot"),
+        ("msnbot", "bingbot"),
+        ("slurp", "yahoo-slurp"),
+        ("duckduckbot", "duckduckbot"),
+        ("baiduspider", "baiduspider"),
+        ("yandexbot", "yandexbot"),
+        ("mail.ru_bot", "mailru-bot"),
+        ("mail.ru bot", "mailru-bot"),
+        ("petalbot", "petalbot"),
+        ("sogou", "sogou-spider"),
+        ("semrushbot", "semrushbot"),
+        ("ahrefsbot", "ahrefsbot"),
+        ("mj12bot", "mj12bot"),
+        ("dotbot", "dotbot"),
+        ("applebot", "applebot"),
+        ("facebookexternalhit", "facebook-preview"),
+        ("twitterbot", "twitterbot"),
+        ("telegrambot", "telegrambot"),
+        ("archive.org_bot", "archive-bot"),
+        ("ia_archiver", "archive-bot"),
+        ("crawler", "generic-crawler"),
+        ("spider", "generic-crawler"),
+    ] {
+        if l.contains(pat) {
+            return UaClass::Crawler { service: service.to_string() };
+        }
+    }
+
+    // Script tools and HTTP libraries.
+    for (pat, tool) in [
+        ("python-requests", "python-requests"),
+        ("python-urllib", "python-urllib"),
+        ("aiohttp", "python-aiohttp"),
+        ("curl/", "curl"),
+        ("wget/", "wget"),
+        ("apache-httpclient", "apache-httpclient"),
+        ("java/", "java"),
+        ("okhttp", "okhttp"),
+        ("go-http-client", "go-http-client"),
+        ("libwww-perl", "libwww-perl"),
+        ("php/", "php"),
+        ("guzzlehttp", "php-guzzle"),
+        ("scrapy", "scrapy"),
+        ("httpx", "python-httpx"),
+        ("node-fetch", "node-fetch"),
+        ("axios", "axios"),
+        ("ruby", "ruby"),
+        ("powershell", "powershell"),
+        ("masscan", "masscan"),
+        ("zgrab", "zgrab"),
+        ("nmap", "nmap"),
+    ] {
+        if l.contains(pat) {
+            return UaClass::ScriptTool { tool: tool.to_string() };
+        }
+    }
+
+    // In-app browsers (Fig. 13).
+    for (pat, app) in [
+        ("whatsapp", "WhatsApp"),
+        ("micromessenger", "WeChat"),
+        ("wechat", "WeChat"),
+        ("fban", "Facebook"),
+        ("fbav", "Facebook"),
+        ("fb_iab", "Facebook"),
+        ("instagram", "Instagram"),
+        ("twitterandroid", "Twitter"),
+        ("twitter for", "Twitter"),
+        ("dingtalk", "DingTalk"),
+        ("qq/", "QQ"),
+        ("qqbrowser/mobile", "QQ"),
+        ("line/", "Line"),
+        ("telegram-android", "Telegram"),
+        ("snapchat", "Snapchat"),
+        ("tiktok", "TikTok"),
+        ("musical_ly", "TikTok"),
+    ] {
+        if l.contains(pat) {
+            return UaClass::InAppBrowser { app: app.to_string() };
+        }
+    }
+
+    // Plain browsers.
+    let mobile = ["android", "iphone", "ipad", "mobile safari", "windows phone"]
+        .iter()
+        .any(|p| l.contains(p));
+    let pc = ["windows nt", "macintosh", "x11; linux", "cros"].iter().any(|p| l.contains(p));
+    if mobile {
+        return UaClass::Browser { device: Device::Mobile };
+    }
+    if pc {
+        return UaClass::Browser { device: Device::Pc };
+    }
+    UaClass::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_engine_bots() {
+        assert_eq!(
+            classify_user_agent("Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)"),
+            UaClass::Crawler { service: "googlebot".into() }
+        );
+        assert_eq!(
+            classify_user_agent("Mozilla/5.0 (compatible; bingbot/2.0)"),
+            UaClass::Crawler { service: "bingbot".into() }
+        );
+        assert_eq!(
+            classify_user_agent("Mozilla/5.0 (compatible; Mail.RU_Bot/2.0)"),
+            UaClass::Crawler { service: "mailru-bot".into() }
+        );
+    }
+
+    #[test]
+    fn email_proxies() {
+        assert_eq!(
+            classify_user_agent("Mozilla/5.0 (Windows NT 5.1; rv:11.0) Gecko Firefox/11.0 (via ggpht.com GoogleImageProxy)"),
+            UaClass::EmailCrawler { provider: "gmail".into() }
+        );
+        assert_eq!(
+            classify_user_agent("YahooMailProxy; https://help.yahoo.com"),
+            UaClass::EmailCrawler { provider: "yahoo-mail".into() }
+        );
+    }
+
+    #[test]
+    fn script_tools() {
+        assert_eq!(classify_user_agent("curl/7.88.1"), UaClass::ScriptTool { tool: "curl".into() });
+        assert_eq!(classify_user_agent("Wget/1.21"), UaClass::ScriptTool { tool: "wget".into() });
+        assert_eq!(
+            classify_user_agent("python-requests/2.28.0"),
+            UaClass::ScriptTool { tool: "python-requests".into() }
+        );
+        // The paper's botnet UA (Fig. 12 requests).
+        assert_eq!(
+            classify_user_agent("Apache-HttpClient/UNAVAILABLE (java 1.4)"),
+            UaClass::ScriptTool { tool: "apache-httpclient".into() }
+        );
+    }
+
+    #[test]
+    fn in_app_browsers() {
+        assert_eq!(
+            classify_user_agent("Mozilla/5.0 (iPhone; CPU iPhone OS 15_0 like Mac OS X) WhatsApp/2.21"),
+            UaClass::InAppBrowser { app: "WhatsApp".into() }
+        );
+        assert_eq!(
+            classify_user_agent("Mozilla/5.0 (Linux; Android 11) MicroMessenger/8.0.2"),
+            UaClass::InAppBrowser { app: "WeChat".into() }
+        );
+        assert_eq!(
+            classify_user_agent("Mozilla/5.0 (Linux; Android 10) [FBAN/FB4A;FBAV/300.0]"),
+            UaClass::InAppBrowser { app: "Facebook".into() }
+        );
+        assert_eq!(
+            classify_user_agent("Mozilla/5.0 (Linux; Android 12) Instagram 210.0"),
+            UaClass::InAppBrowser { app: "Instagram".into() }
+        );
+        assert_eq!(
+            classify_user_agent("Mozilla/5.0 (Linux; Android 9) DingTalk/6.5.45"),
+            UaClass::InAppBrowser { app: "DingTalk".into() }
+        );
+    }
+
+    #[test]
+    fn plain_browsers() {
+        assert_eq!(
+            classify_user_agent("Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 Chrome/112 Safari/537.36"),
+            UaClass::Browser { device: Device::Pc }
+        );
+        assert_eq!(
+            classify_user_agent("Mozilla/5.0 (Macintosh; Intel Mac OS X 13_2) Safari/605.1.15"),
+            UaClass::Browser { device: Device::Pc }
+        );
+        assert_eq!(
+            classify_user_agent("Mozilla/5.0 (Linux; Android 13; Pixel 7) Chrome/112 Mobile"),
+            UaClass::Browser { device: Device::Mobile }
+        );
+        assert_eq!(
+            classify_user_agent("Mozilla/5.0 (iPhone; CPU iPhone OS 16_3) Safari/604.1"),
+            UaClass::Browser { device: Device::Mobile }
+        );
+    }
+
+    #[test]
+    fn in_app_beats_mobile_browser_tokens() {
+        // The WhatsApp UA also contains "iPhone": the in-app marker wins.
+        let ua = "Mozilla/5.0 (iPhone; CPU iPhone OS 15_0) WhatsApp/2.21";
+        assert!(matches!(classify_user_agent(ua), UaClass::InAppBrowser { .. }));
+    }
+
+    #[test]
+    fn crawler_beats_browser_tokens() {
+        let ua = "Mozilla/5.0 (Windows NT 6.1) compatible; SemrushBot/7";
+        assert!(matches!(classify_user_agent(ua), UaClass::Crawler { .. }));
+    }
+
+    #[test]
+    fn unknown_cases() {
+        assert_eq!(classify_user_agent(""), UaClass::Unknown);
+        assert_eq!(classify_user_agent("   "), UaClass::Unknown);
+        assert_eq!(classify_user_agent("totally-custom-agent/1.0"), UaClass::Unknown);
+    }
+
+    #[test]
+    fn paper_status_json_ua_is_pc_browser() {
+        // 1x-sport-bk7.com's automated stream declares a plain Chrome UA;
+        // UA alone says PC browser — the categorizer uses repetition and the
+        // requested file to overrule it (tested in nxd-honeypot).
+        let ua = "Mozilla/5.0 (Windows NT 6.3; WOW64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/41.0.2272.118 Safari/537.36";
+        assert_eq!(classify_user_agent(ua), UaClass::Browser { device: Device::Pc });
+    }
+}

@@ -1,0 +1,213 @@
+//! Request-URI parsing: path, query string, file name/extension.
+//!
+//! The paper's categorizer (§6.2 ③) keys on the requested URI: sensitive
+//! file names indicate vulnerability probes, query strings can carry
+//! exfiltrated data (Fig. 12's `getTask.php?imei=…`), and file extensions
+//! separate search-engine crawlers from file grabbers.
+
+use std::fmt;
+
+/// A parsed origin-form request URI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Uri {
+    /// The path, always beginning with `/`.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+}
+
+impl Uri {
+    /// Parses an origin-form URI (`/path?k=v&k2=v2`). Accepts missing
+    /// leading slash by inserting one. Percent-decoding covers `%XX` and
+    /// `+`-as-space in query values.
+    pub fn parse(raw: &str) -> Uri {
+        let (path_part, query_part) = match raw.split_once('?') {
+            Some((p, q)) => (p, Some(q)),
+            None => (raw, None),
+        };
+        let mut path = if path_part.starts_with('/') {
+            path_part.to_string()
+        } else {
+            format!("/{path_part}")
+        };
+        if path.is_empty() {
+            path.push('/');
+        }
+        let query = query_part
+            .map(|q| {
+                q.split('&')
+                    .filter(|kv| !kv.is_empty())
+                    .map(|kv| match kv.split_once('=') {
+                        Some((k, v)) => (percent_decode(k), percent_decode(v)),
+                        None => (percent_decode(kv), String::new()),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        Uri { path, query }
+    }
+
+    /// Whether the URI carries a query string (the categorizer flags these:
+    /// "additional query parameters can be utilized for malicious
+    /// activities").
+    pub fn has_query(&self) -> bool {
+        !self.query.is_empty()
+    }
+
+    /// First value for a query key.
+    pub fn query_value(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// The final path segment (`getTask.php` for `/api/getTask.php`).
+    pub fn file_name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or("")
+    }
+
+    /// Lowercased file extension, if the final segment has one.
+    pub fn extension(&self) -> Option<String> {
+        let name = self.file_name();
+        match name.rsplit_once('.') {
+            Some((stem, ext)) if !stem.is_empty() && !ext.is_empty() => {
+                Some(ext.to_ascii_lowercase())
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Uri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.path)?;
+        for (i, (k, v)) in self.query.iter().enumerate() {
+            f.write_str(if i == 0 { "?" } else { "&" })?;
+            write!(f, "{}={}", percent_encode(k), percent_encode(v))?;
+        }
+        Ok(())
+    }
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hi = (bytes[i + 1] as char).to_digit(16);
+                let lo = (bytes[i + 2] as char).to_digit(16);
+                match (hi, lo) {
+                    (Some(h), Some(l)) => {
+                        out.push((h * 16 + l) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' | b'/' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_path() {
+        let u = Uri::parse("/index.html");
+        assert_eq!(u.path, "/index.html");
+        assert!(!u.has_query());
+        assert_eq!(u.file_name(), "index.html");
+        assert_eq!(u.extension().as_deref(), Some("html"));
+    }
+
+    #[test]
+    fn root_path() {
+        let u = Uri::parse("/");
+        assert_eq!(u.path, "/");
+        assert_eq!(u.file_name(), "");
+        assert_eq!(u.extension(), None);
+    }
+
+    #[test]
+    fn missing_leading_slash_repaired() {
+        assert_eq!(Uri::parse("favicon.ico").path, "/favicon.ico");
+    }
+
+    #[test]
+    fn paper_gettask_query() {
+        // Fig. 12's structure.
+        let u = Uri::parse(
+            "/getTask.php?imei=A-BBBBBB-CCCCCC-D&balance=0&country=us&phone=%2B11112223333&op=Android&mnc=220&mcc=310&model=Nexus%205X&os=23",
+        );
+        assert_eq!(u.file_name(), "getTask.php");
+        assert!(u.has_query());
+        assert_eq!(u.query_value("country"), Some("us"));
+        assert_eq!(u.query_value("phone"), Some("+11112223333"));
+        assert_eq!(u.query_value("model"), Some("Nexus 5X"));
+        assert_eq!(u.query.len(), 9);
+    }
+
+    #[test]
+    fn plus_decodes_to_space() {
+        let u = Uri::parse("/s?q=hello+world");
+        assert_eq!(u.query_value("q"), Some("hello world"));
+    }
+
+    #[test]
+    fn bare_key_without_value() {
+        let u = Uri::parse("/p?flag&x=1");
+        assert_eq!(u.query_value("flag"), Some(""));
+        assert_eq!(u.query_value("x"), Some("1"));
+    }
+
+    #[test]
+    fn malformed_percent_passthrough() {
+        let u = Uri::parse("/p?x=%zz&y=%4");
+        assert_eq!(u.query_value("x"), Some("%zz"));
+        assert_eq!(u.query_value("y"), Some("%4"));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for raw in ["/a/b.php?k=v&x=1", "/", "/file.json"] {
+            let u = Uri::parse(raw);
+            let again = Uri::parse(&u.to_string());
+            assert_eq!(u, again);
+        }
+    }
+
+    #[test]
+    fn extension_edge_cases() {
+        assert_eq!(Uri::parse("/archive.tar.gz").extension().as_deref(), Some("gz"));
+        assert_eq!(Uri::parse("/.hidden").extension(), None);
+        assert_eq!(Uri::parse("/noext").extension(), None);
+        assert_eq!(Uri::parse("/UPPER.JPG").extension().as_deref(), Some("jpg"));
+    }
+}

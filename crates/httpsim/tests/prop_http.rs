@@ -1,0 +1,53 @@
+//! Property tests: URI display/parse round trip, request wire round trip,
+//! and parser robustness on arbitrary bytes.
+
+use nxd_httpsim::{HttpRequest, Uri};
+use proptest::prelude::*;
+
+fn arb_path() -> impl Strategy<Value = String> {
+    "(/[a-zA-Z0-9._-]{1,12}){1,4}"
+}
+
+fn arb_query() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec(("[a-z]{1,8}", "[ -~&&[^&=#%+]]{0,12}"), 0..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn uri_display_parse_roundtrip(path in arb_path(), query in arb_query()) {
+        let uri = Uri { path, query };
+        let again = Uri::parse(&uri.to_string());
+        prop_assert_eq!(again, uri);
+    }
+
+    #[test]
+    fn request_wire_roundtrip(
+        path in arb_path(),
+        headers in proptest::collection::vec(("[A-Za-z-]{1,16}", "[ -~&&[^:]]{0,30}"), 0..6),
+    ) {
+        let mut req = HttpRequest::get(&path);
+        for (name, value) in &headers {
+            req = req.with_header(name, value.trim());
+        }
+        let wire = req.to_bytes();
+        let parsed = HttpRequest::parse(&wire).unwrap();
+        prop_assert_eq!(parsed.uri, req.uri);
+        prop_assert_eq!(parsed.headers.len(), req.headers.len());
+        for ((n1, v1), (n2, v2)) in parsed.headers.iter().zip(&req.headers) {
+            prop_assert_eq!(n1, n2);
+            prop_assert_eq!(v1.trim(), v2.trim());
+        }
+    }
+
+    #[test]
+    fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = HttpRequest::parse(&bytes);
+    }
+
+    #[test]
+    fn percent_decode_never_panics(s in "[ -~]{0,40}") {
+        let _ = Uri::parse(&s);
+    }
+}

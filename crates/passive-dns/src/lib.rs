@@ -1,0 +1,31 @@
+//! # nxd-passive-dns
+//!
+//! The passive-DNS substrate standing in for the Farsight database the paper
+//! analyzes (§3.1–§3.2): interned columnar storage of pre-aggregated
+//! `(name, day, sensor, rcode, count)` observations, an SIE-style parallel
+//! ingest channel, and a query engine implementing every analysis the paper
+//! runs against its BigQuery mirror.
+//!
+//! ```
+//! use nxd_passive_dns::{PassiveDb, query};
+//! use nxd_dns_wire::RCode;
+//!
+//! let mut db = PassiveDb::new();
+//! db.record_str("expired-shop.com", 16_071, 0, RCode::NxDomain, 12);
+//! db.record_str("expired-shop.com", 16_072, 1, RCode::NxDomain, 3);
+//! assert_eq!(query::total_nx_responses(&db), 15);
+//! assert_eq!(query::distinct_nx_names(&db), 1);
+//! ```
+
+pub mod federation;
+pub mod intern;
+pub mod query;
+pub mod sensor;
+pub mod sie;
+pub mod store;
+
+pub use federation::{Coverage, Federation};
+pub use intern::{Interner, NameId};
+pub use sensor::{Sensor, VantagePoint};
+pub use sie::{collect_parallel, SieProducer};
+pub use store::{NameAggregate, Observation, PassiveDb};

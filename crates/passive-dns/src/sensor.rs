@@ -1,0 +1,76 @@
+//! Sensors and vantage points.
+//!
+//! Farsight's database is "contributed by collection servers from individuals
+//! and organizations around the world" (§3.1) — ISPs, enterprises, academia,
+//! and research organizations — placed *below* recursive resolvers, so
+//! cache-hit suppression at the resolver is already reflected in what a
+//! sensor sees. Each sensor stamps its observations with a vantage id so the
+//! store can report coverage by contributor class.
+
+use nxd_dns_wire::RCode;
+
+use crate::store::Observation;
+
+/// The contributor class a sensor belongs to (paper §1: "ISPs, enterprises,
+/// academia, and research organizations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VantagePoint {
+    Isp,
+    Enterprise,
+    Academia,
+    Research,
+}
+
+impl VantagePoint {
+    pub const ALL: [VantagePoint; 4] =
+        [VantagePoint::Isp, VantagePoint::Enterprise, VantagePoint::Academia, VantagePoint::Research];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            VantagePoint::Isp => "ISP",
+            VantagePoint::Enterprise => "Enterprise",
+            VantagePoint::Academia => "Academia",
+            VantagePoint::Research => "Research",
+        }
+    }
+}
+
+/// A passive-DNS collection sensor.
+#[derive(Debug, Clone)]
+pub struct Sensor {
+    pub id: u16,
+    pub vantage: VantagePoint,
+}
+
+impl Sensor {
+    pub fn new(id: u16, vantage: VantagePoint) -> Self {
+        Sensor { id, vantage }
+    }
+
+    /// Builds an observation row for a batch of identical responses seen on
+    /// `day` (days since the Unix epoch).
+    pub fn observe(&self, name: crate::intern::NameId, day: u32, rcode: RCode, count: u32) -> Observation {
+        Observation { name, day, sensor: self.id, rcode: rcode.to_u8(), count }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intern::NameId;
+
+    #[test]
+    fn observation_carries_sensor_id() {
+        let s = Sensor::new(7, VantagePoint::Isp);
+        let o = s.observe(NameId(3), 100, RCode::NxDomain, 5);
+        assert_eq!(o.sensor, 7);
+        assert_eq!(o.count, 5);
+        assert_eq!(RCode::from_u8(o.rcode), RCode::NxDomain);
+    }
+
+    #[test]
+    fn vantage_labels() {
+        assert_eq!(VantagePoint::Isp.label(), "ISP");
+        assert_eq!(VantagePoint::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,109 @@
+//! The SIE (Security Information Exchange) channel.
+//!
+//! Farsight distributes NXDomain observations over SIE channel 221 (paper
+//! §4.1). Here the channel is a crossbeam MPSC pipe: any number of sensor
+//! shards produce observation batches on worker threads; a single collector
+//! drains the channel and merges shard-local stores into the final database.
+//! Shards intern independently (no cross-thread locking on the hot path) and
+//! are re-interned at merge time.
+
+use crossbeam::channel::{bounded, Sender};
+
+use crate::store::PassiveDb;
+
+/// A batch of rows from one shard, carried with its shard-local interner via
+/// a whole shard store.
+pub struct ShardBatch(pub PassiveDb);
+
+/// Handle used by producers to submit finished shards.
+#[derive(Clone)]
+pub struct SieProducer {
+    tx: Sender<ShardBatch>,
+}
+
+impl SieProducer {
+    /// Submits a shard. Blocks if the channel is full (backpressure).
+    pub fn submit(&self, shard: PassiveDb) {
+        // A closed channel means the collector is gone; losing data silently
+        // would corrupt experiments, so fail loudly.
+        self.tx.send(ShardBatch(shard)).expect("SIE collector hung up");
+    }
+}
+
+/// Runs `producers` closures on worker threads, each building shard stores
+/// and submitting them; returns the merged database.
+///
+/// `capacity` bounds in-flight shards to apply backpressure.
+pub fn collect_parallel<F>(producers: Vec<F>, capacity: usize) -> PassiveDb
+where
+    F: FnOnce(SieProducer) + Send + 'static,
+{
+    let (tx, rx) = bounded::<ShardBatch>(capacity.max(1));
+    crossbeam::thread::scope(|scope| {
+        for p in producers {
+            let producer = SieProducer { tx: tx.clone() };
+            scope.spawn(move |_| p(producer));
+        }
+        drop(tx);
+        let mut db = PassiveDb::new();
+        for ShardBatch(shard) in rx {
+            db.merge(&shard);
+        }
+        db
+    })
+    .expect("SIE worker thread panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nxd_dns_wire::RCode;
+
+    #[test]
+    fn single_producer_collects() {
+        let db = collect_parallel(
+            vec![|p: SieProducer| {
+                let mut shard = PassiveDb::new();
+                shard.record_str("a.com", 1, 0, RCode::NxDomain, 2);
+                p.submit(shard);
+            }],
+            4,
+        );
+        assert_eq!(db.row_count(), 1);
+        assert_eq!(db.aggregate_of("a.com").unwrap().nx_queries, 2);
+    }
+
+    #[test]
+    fn many_producers_merge_counts() {
+        let producers: Vec<Box<dyn FnOnce(SieProducer) + Send>> = (0..8)
+            .map(|shard_id: u16| {
+                Box::new(move |p: SieProducer| {
+                    let mut shard = PassiveDb::new();
+                    // Every shard sees the same name plus one unique name.
+                    shard.record_str("shared.com", 10, shard_id, RCode::NxDomain, 1);
+                    shard.record_str(&format!("only-{shard_id}.com"), 10, shard_id, RCode::NxDomain, 1);
+                    p.submit(shard);
+                }) as Box<dyn FnOnce(SieProducer) + Send>
+            })
+            .collect();
+        let db = collect_parallel(producers, 2);
+        assert_eq!(db.aggregate_of("shared.com").unwrap().nx_queries, 8);
+        assert_eq!(db.distinct_names(), 9);
+        assert_eq!(db.row_count(), 16);
+    }
+
+    #[test]
+    fn producer_can_submit_multiple_shards() {
+        let db = collect_parallel(
+            vec![|p: SieProducer| {
+                for day in 0..3u32 {
+                    let mut shard = PassiveDb::new();
+                    shard.record_str("multi.com", day, 0, RCode::NxDomain, 1);
+                    p.submit(shard);
+                }
+            }],
+            1,
+        );
+        assert_eq!(db.aggregate_of("multi.com").unwrap().nx_queries, 3);
+    }
+}

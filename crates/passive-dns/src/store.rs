@@ -1,0 +1,233 @@
+//! The columnar passive-DNS store.
+//!
+//! Rows are pre-aggregated observations: `(name, day, sensor, rcode, count)`.
+//! Columns are stored as parallel vectors (struct-of-arrays), which keeps the
+//! resident size small and scans cache-friendly — the same reason the paper
+//! mirrors Farsight into BigQuery. A per-name aggregate index is maintained
+//! on ingest for O(1) lifespan lookups.
+
+use std::collections::HashMap;
+
+use nxd_dns_wire::{Name, RCode};
+
+use crate::intern::{Interner, NameId};
+
+/// One pre-aggregated observation row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    pub name: NameId,
+    /// Days since the Unix epoch.
+    pub day: u32,
+    pub sensor: u16,
+    /// Wire rcode value ([`RCode::to_u8`]).
+    pub rcode: u8,
+    pub count: u32,
+}
+
+/// Per-name aggregate maintained during ingest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NameAggregate {
+    /// First day the name was observed with an NXDOMAIN response.
+    pub first_nx_day: u32,
+    /// Last day the name was observed with an NXDOMAIN response.
+    pub last_nx_day: u32,
+    /// Total NXDOMAIN responses observed.
+    pub nx_queries: u64,
+    /// Total responses of any rcode observed.
+    pub total_queries: u64,
+}
+
+/// The passive-DNS database (Farsight substitute).
+#[derive(Debug, Default)]
+pub struct PassiveDb {
+    interner: Interner,
+    // Struct-of-arrays row storage.
+    col_name: Vec<NameId>,
+    col_day: Vec<u32>,
+    col_sensor: Vec<u16>,
+    col_rcode: Vec<u8>,
+    col_count: Vec<u32>,
+    per_name: HashMap<NameId, NameAggregate>,
+}
+
+impl PassiveDb {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// Number of rows (pre-aggregated observations).
+    pub fn row_count(&self) -> usize {
+        self.col_name.len()
+    }
+
+    /// Number of distinct names ever observed.
+    pub fn distinct_names(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Interns a name and appends an observation in one step.
+    pub fn record(&mut self, name: &Name, day: u32, sensor: u16, rcode: RCode, count: u32) -> NameId {
+        let id = self.interner.intern(name);
+        self.append(Observation { name: id, day, sensor, rcode: rcode.to_u8(), count });
+        id
+    }
+
+    /// Interns a pre-normalized name string and appends an observation.
+    pub fn record_str(&mut self, name: &str, day: u32, sensor: u16, rcode: RCode, count: u32) -> NameId {
+        let id = self.interner.intern_str(name);
+        self.append(Observation { name: id, day, sensor, rcode: rcode.to_u8(), count });
+        id
+    }
+
+    /// Appends a row whose name id was produced by this store's interner.
+    pub fn append(&mut self, obs: Observation) {
+        debug_assert!((obs.name.0 as usize) < self.interner.len(), "foreign NameId");
+        self.col_name.push(obs.name);
+        self.col_day.push(obs.day);
+        self.col_sensor.push(obs.sensor);
+        self.col_rcode.push(obs.rcode);
+        self.col_count.push(obs.count);
+
+        let agg = self.per_name.entry(obs.name).or_insert(NameAggregate {
+            first_nx_day: u32::MAX,
+            last_nx_day: 0,
+            nx_queries: 0,
+            total_queries: 0,
+        });
+        agg.total_queries += obs.count as u64;
+        if obs.rcode == RCode::NxDomain.to_u8() {
+            agg.nx_queries += obs.count as u64;
+            agg.first_nx_day = agg.first_nx_day.min(obs.day);
+            agg.last_nx_day = agg.last_nx_day.max(obs.day);
+        }
+    }
+
+    /// The aggregate for a name id, if it has any rows.
+    pub fn aggregate(&self, id: NameId) -> Option<&NameAggregate> {
+        self.per_name.get(&id)
+    }
+
+    /// The aggregate for a name string.
+    pub fn aggregate_of(&self, name: &str) -> Option<&NameAggregate> {
+        self.interner.get(name).and_then(|id| self.per_name.get(&id))
+    }
+
+    /// Iterates rows as [`Observation`]s.
+    pub fn rows(&self) -> impl Iterator<Item = Observation> + '_ {
+        (0..self.row_count()).map(move |i| self.row(i))
+    }
+
+    /// Fetches row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= row_count()`.
+    pub fn row(&self, i: usize) -> Observation {
+        Observation {
+            name: self.col_name[i],
+            day: self.col_day[i],
+            sensor: self.col_sensor[i],
+            rcode: self.col_rcode[i],
+            count: self.col_count[i],
+        }
+    }
+
+    /// Raw column access for the query engine's tight scans.
+    pub(crate) fn columns(&self) -> (&[NameId], &[u32], &[u16], &[u8], &[u32]) {
+        (&self.col_name, &self.col_day, &self.col_sensor, &self.col_rcode, &self.col_count)
+    }
+
+    /// Iterates `(id, aggregate)` for every name with at least one NXDOMAIN
+    /// observation.
+    pub fn nx_names(&self) -> impl Iterator<Item = (NameId, &NameAggregate)> {
+        self.per_name.iter().filter(|(_, a)| a.nx_queries > 0).map(|(&id, a)| (id, a))
+    }
+
+    /// Merges another store built against the *same logical name space*
+    /// (used by the parallel SIE ingest: shards intern independently, merge
+    /// re-interns by string).
+    pub fn merge(&mut self, other: &PassiveDb) {
+        for i in 0..other.row_count() {
+            let obs = other.row(i);
+            let name = other.interner.resolve(obs.name);
+            let id = self.interner.intern_str(name);
+            self.append(Observation { name: id, ..obs });
+        }
+    }
+
+    /// Approximate resident bytes of row storage (columns only).
+    pub fn row_bytes(&self) -> usize {
+        self.col_name.len() * (4 + 4 + 2 + 1 + 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn record_and_aggregate() {
+        let mut db = PassiveDb::new();
+        db.record(&n("dead.com"), 100, 0, RCode::NxDomain, 3);
+        db.record(&n("dead.com"), 105, 1, RCode::NxDomain, 2);
+        db.record(&n("dead.com"), 90, 0, RCode::NoError, 7);
+        let agg = db.aggregate_of("dead.com").unwrap();
+        assert_eq!(agg.first_nx_day, 100);
+        assert_eq!(agg.last_nx_day, 105);
+        assert_eq!(agg.nx_queries, 5);
+        assert_eq!(agg.total_queries, 12);
+        assert_eq!(db.row_count(), 3);
+        assert_eq!(db.distinct_names(), 1);
+    }
+
+    #[test]
+    fn nx_names_filters_noerror_only() {
+        let mut db = PassiveDb::new();
+        db.record(&n("alive.com"), 10, 0, RCode::NoError, 4);
+        db.record(&n("dead.com"), 10, 0, RCode::NxDomain, 1);
+        let nx: Vec<_> = db.nx_names().collect();
+        assert_eq!(nx.len(), 1);
+        assert_eq!(db.interner().resolve(nx[0].0), "dead.com");
+    }
+
+    #[test]
+    fn rows_roundtrip() {
+        let mut db = PassiveDb::new();
+        db.record_str("a.com", 1, 2, RCode::NxDomain, 9);
+        let rows: Vec<_> = db.rows().collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].day, 1);
+        assert_eq!(rows[0].sensor, 2);
+        assert_eq!(rows[0].count, 9);
+    }
+
+    #[test]
+    fn merge_reinterns() {
+        let mut a = PassiveDb::new();
+        a.record_str("x.com", 1, 0, RCode::NxDomain, 1);
+        let mut b = PassiveDb::new();
+        b.record_str("y.com", 2, 1, RCode::NxDomain, 2);
+        b.record_str("x.com", 3, 1, RCode::NxDomain, 4);
+        a.merge(&b);
+        assert_eq!(a.distinct_names(), 2);
+        assert_eq!(a.aggregate_of("x.com").unwrap().nx_queries, 5);
+        assert_eq!(a.aggregate_of("y.com").unwrap().nx_queries, 2);
+    }
+
+    #[test]
+    fn aggregate_missing_name() {
+        let db = PassiveDb::new();
+        assert!(db.aggregate_of("nothing.com").is_none());
+    }
+}

@@ -1,0 +1,90 @@
+//! Edit distances used by squat classification.
+
+/// Damerau–Levenshtein distance (optimal string alignment variant):
+/// insertions, deletions, substitutions, and adjacent transpositions.
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    // Three rolling rows are enough for OSA.
+    let mut prev2 = vec![0usize; m + 1];
+    let mut prev = (0..=m).collect::<Vec<_>>();
+    let mut cur = vec![0usize; m + 1];
+    for i in 1..=n {
+        cur[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                cur[j] = cur[j].min(prev2[j - 2] + 1);
+            }
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Hamming distance in bits between two equal-length ASCII strings; `None`
+/// if lengths differ.
+pub fn bit_hamming(a: &str, b: &str) -> Option<u32> {
+    if a.len() != b.len() {
+        return None;
+    }
+    Some(
+        a.bytes()
+            .zip(b.bytes())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings() {
+        assert_eq!(damerau_levenshtein("example", "example"), 0);
+    }
+
+    #[test]
+    fn single_edits() {
+        assert_eq!(damerau_levenshtein("example", "exmple"), 1); // deletion
+        assert_eq!(damerau_levenshtein("example", "exxample"), 1); // insertion
+        assert_eq!(damerau_levenshtein("example", "ezample"), 1); // substitution
+        assert_eq!(damerau_levenshtein("example", "examlpe"), 1); // transposition
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(damerau_levenshtein("", "abc"), 3);
+        assert_eq!(damerau_levenshtein("abc", ""), 3);
+        assert_eq!(damerau_levenshtein("", ""), 0);
+    }
+
+    #[test]
+    fn multi_edit() {
+        assert_eq!(damerau_levenshtein("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn transposition_counts_once() {
+        assert_eq!(damerau_levenshtein("ab", "ba"), 1);
+        assert_eq!(damerau_levenshtein("google", "goolge"), 1);
+    }
+
+    #[test]
+    fn bit_hamming_basics() {
+        assert_eq!(bit_hamming("a", "a"), Some(0));
+        // 'a' = 0x61, 'c' = 0x63: one bit differs.
+        assert_eq!(bit_hamming("a", "c"), Some(1));
+        assert_eq!(bit_hamming("ab", "a"), None);
+    }
+}

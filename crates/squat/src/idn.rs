@@ -1,0 +1,336 @@
+//! IDN homograph attacks (the paper's homosquatting reference \[12\] is the
+//! Wikipedia IDN-homograph article): internationalized domain names whose
+//! Unicode form is visually identical to a Latin target — `аpple.com` with
+//! a Cyrillic а — registered through their RFC 3492 punycode form
+//! (`xn--pple-43d.com`).
+//!
+//! This module implements punycode encode/decode with the standard IDNA
+//! parameters, confusable-character tables, generation of IDN homoglyph
+//! squats, and the reverse classification (ASCII-projecting an `xn--` name
+//! back onto a target).
+
+/// RFC 3492 parameters.
+const BASE: u32 = 36;
+const TMIN: u32 = 1;
+const TMAX: u32 = 26;
+const SKEW: u32 = 38;
+const DAMP: u32 = 700;
+const INITIAL_BIAS: u32 = 72;
+const INITIAL_N: u32 = 128;
+
+fn adapt(mut delta: u32, numpoints: u32, first_time: bool) -> u32 {
+    delta /= if first_time { DAMP } else { 2 };
+    delta += delta / numpoints;
+    let mut k = 0;
+    while delta > ((BASE - TMIN) * TMAX) / 2 {
+        delta /= BASE - TMIN;
+        k += BASE;
+    }
+    k + (((BASE - TMIN + 1) * delta) / (delta + SKEW))
+}
+
+fn encode_digit(d: u32) -> char {
+    if d < 26 {
+        (b'a' + d as u8) as char
+    } else {
+        (b'0' + (d - 26) as u8) as char
+    }
+}
+
+fn decode_digit(c: char) -> Option<u32> {
+    match c {
+        'a'..='z' => Some(c as u32 - 'a' as u32),
+        'A'..='Z' => Some(c as u32 - 'A' as u32),
+        '0'..='9' => Some(c as u32 - '0' as u32 + 26),
+        _ => None,
+    }
+}
+
+/// Punycode-encodes one label (RFC 3492 §6.3). Returns `None` on overflow.
+pub fn punycode_encode(input: &str) -> Option<String> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut output: String = chars.iter().filter(|c| c.is_ascii()).collect();
+    let basic_len = output.chars().count() as u32;
+    let mut handled = basic_len;
+    // RFC 3492 §6.3: when any basic code points were copied, a delimiter
+    // follows — even if no extended code points exist ("abc" → "abc-").
+    if basic_len > 0 {
+        output.push('-');
+    }
+    let mut n = INITIAL_N;
+    let mut delta: u32 = 0;
+    let mut bias = INITIAL_BIAS;
+    let total = chars.len() as u32;
+    while handled < total {
+        let m = chars.iter().map(|&c| c as u32).filter(|&c| c >= n).min()?;
+        delta = delta.checked_add((m - n).checked_mul(handled + 1)?)?;
+        n = m;
+        for &c in &chars {
+            let c = c as u32;
+            if c < n {
+                delta = delta.checked_add(1)?;
+            }
+            if c == n {
+                let mut q = delta;
+                let mut k = BASE;
+                loop {
+                    let t = if k <= bias {
+                        TMIN
+                    } else if k >= bias + TMAX {
+                        TMAX
+                    } else {
+                        k - bias
+                    };
+                    if q < t {
+                        break;
+                    }
+                    output.push(encode_digit(t + (q - t) % (BASE - t)));
+                    q = (q - t) / (BASE - t);
+                    k += BASE;
+                }
+                output.push(encode_digit(q));
+                bias = adapt(delta, handled + 1, handled == basic_len);
+                delta = 0;
+                handled += 1;
+            }
+        }
+        delta = delta.checked_add(1)?;
+        n = n.checked_add(1)?;
+    }
+    Some(output)
+}
+
+/// Punycode-decodes one label (RFC 3492 §6.2). Returns `None` on malformed
+/// input.
+pub fn punycode_decode(input: &str) -> Option<String> {
+    let (basic, extended) = match input.rfind('-') {
+        Some(pos) => (&input[..pos], &input[pos + 1..]),
+        None => ("", input),
+    };
+    if !basic.chars().all(|c| c.is_ascii()) {
+        return None;
+    }
+    let mut output: Vec<char> = basic.chars().collect();
+    let mut n = INITIAL_N;
+    let mut i: u32 = 0;
+    let mut bias = INITIAL_BIAS;
+    let mut iter = extended.chars().peekable();
+    while iter.peek().is_some() {
+        let old_i = i;
+        let mut w: u32 = 1;
+        let mut k = BASE;
+        loop {
+            let c = iter.next()?;
+            let digit = decode_digit(c)?;
+            i = i.checked_add(digit.checked_mul(w)?)?;
+            let t = if k <= bias {
+                TMIN
+            } else if k >= bias + TMAX {
+                TMAX
+            } else {
+                k - bias
+            };
+            if digit < t {
+                break;
+            }
+            w = w.checked_mul(BASE - t)?;
+            k += BASE;
+        }
+        let out_len = output.len() as u32 + 1;
+        bias = adapt(i - old_i, out_len, old_i == 0);
+        n = n.checked_add(i / out_len)?;
+        i %= out_len;
+        let ch = char::from_u32(n)?;
+        output.insert(i as usize, ch);
+        i += 1;
+    }
+    Some(output.into_iter().collect())
+}
+
+/// Converts a (possibly Unicode) domain to its IDNA ASCII form: non-ASCII
+/// labels become `xn--<punycode>`.
+pub fn to_ascii(domain: &str) -> Option<String> {
+    let labels: Vec<String> = domain
+        .split('.')
+        .map(|label| {
+            if label.is_ascii() {
+                Some(label.to_string())
+            } else {
+                punycode_encode(label).map(|p| format!("xn--{p}"))
+            }
+        })
+        .collect::<Option<_>>()?;
+    Some(labels.join("."))
+}
+
+/// Converts an IDNA ASCII domain back to Unicode (`xn--` labels decoded).
+pub fn to_unicode(domain: &str) -> Option<String> {
+    let labels: Vec<String> = domain
+        .split('.')
+        .map(|label| {
+            if let Some(stripped) = label.strip_prefix("xn--") {
+                punycode_decode(stripped)
+            } else {
+                Some(label.to_string())
+            }
+        })
+        .collect::<Option<_>>()?;
+    Some(labels.join("."))
+}
+
+/// Unicode characters visually confusable with Latin letters (a practical
+/// subset of the Unicode confusables table: Cyrillic and Greek lookalikes).
+pub const UNICODE_CONFUSABLES: &[(char, char)] = &[
+    ('a', 'а'), // U+0430 CYRILLIC SMALL A
+    ('c', 'с'), // U+0441 CYRILLIC SMALL ES
+    ('e', 'е'), // U+0435 CYRILLIC SMALL IE
+    ('i', 'і'), // U+0456 CYRILLIC SMALL BYELORUSSIAN-UKRAINIAN I
+    ('j', 'ј'), // U+0458 CYRILLIC SMALL JE
+    ('o', 'о'), // U+043E CYRILLIC SMALL O
+    ('p', 'р'), // U+0440 CYRILLIC SMALL ER
+    ('s', 'ѕ'), // U+0455 CYRILLIC SMALL DZE
+    ('x', 'х'), // U+0445 CYRILLIC SMALL HA
+    ('y', 'у'), // U+0443 CYRILLIC SMALL U
+];
+
+/// Generates IDN homograph squats of `brand.tld`: each single confusable
+/// substitution, returned as `(unicode_form, idna_ascii_form)`.
+pub fn idn_homosquats(target: &str) -> Vec<(String, String)> {
+    let Some((brand, tld)) = target.split_once('.') else { return Vec::new() };
+    let mut out = Vec::new();
+    let chars: Vec<char> = brand.chars().collect();
+    for i in 0..chars.len() {
+        for &(latin, confusable) in UNICODE_CONFUSABLES {
+            if chars[i] == latin {
+                let mut c = chars.clone();
+                c[i] = confusable;
+                let unicode_label: String = c.into_iter().collect();
+                let unicode_domain = format!("{unicode_label}.{tld}");
+                if let Some(ascii) = to_ascii(&unicode_domain) {
+                    out.push((unicode_domain, ascii));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// ASCII-projects an IDNA domain: decodes `xn--` labels and folds every
+/// known confusable back to its Latin form. A registered `xn--pple-43d.com`
+/// projects to `apple.com`, exposing the spoof.
+pub fn ascii_projection(domain: &str) -> Option<String> {
+    let unicode = to_unicode(domain)?;
+    Some(
+        unicode
+            .chars()
+            .map(|c| {
+                UNICODE_CONFUSABLES
+                    .iter()
+                    .find(|&&(_, confusable)| confusable == c)
+                    .map(|&(latin, _)| latin)
+                    .unwrap_or(c)
+            })
+            .collect(),
+    )
+}
+
+/// Checks whether an IDNA domain is an IDN homograph of any target; returns
+/// the matched target.
+pub fn classify_idn<'a, I>(domain: &str, targets: I) -> Option<String>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    if !domain.split('.').any(|l| l.starts_with("xn--")) {
+        return None;
+    }
+    let projected = ascii_projection(domain)?;
+    targets.into_iter().find(|t| *t == projected).map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc_style_vectors() {
+        // Well-known IDNA pairs.
+        assert_eq!(punycode_encode("bücher").as_deref(), Some("bcher-kva"));
+        assert_eq!(punycode_encode("münchen").as_deref(), Some("mnchen-3ya"));
+        assert_eq!(punycode_decode("bcher-kva").as_deref(), Some("bücher"));
+        assert_eq!(punycode_decode("mnchen-3ya").as_deref(), Some("münchen"));
+    }
+
+    #[test]
+    fn pure_ascii_label_roundtrip() {
+        // RFC 3492: all-basic input encodes as itself plus the delimiter.
+        assert_eq!(punycode_encode("plain").as_deref(), Some("plain-"));
+        assert_eq!(punycode_decode("plain-").as_deref(), Some("plain"));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_confusables() {
+        for &(_, confusable) in UNICODE_CONFUSABLES {
+            let label = format!("pay{confusable}pal");
+            let encoded = punycode_encode(&label).unwrap();
+            assert!(encoded.is_ascii());
+            assert_eq!(punycode_decode(&encoded).unwrap(), label);
+        }
+    }
+
+    #[test]
+    fn to_ascii_and_back() {
+        let unicode = "аpple.com"; // Cyrillic а
+        let ascii = to_ascii(unicode).unwrap();
+        assert!(ascii.starts_with("xn--"), "{ascii}");
+        assert!(ascii.is_ascii());
+        assert_eq!(to_unicode(&ascii).unwrap(), unicode);
+    }
+
+    #[test]
+    fn idn_homosquats_of_apple() {
+        let squats = idn_homosquats("apple.com");
+        // 'a' twice? apple has one 'a', one 'e', one 'p' (twice p), no more.
+        // Confusables available: a, e, p (×2) → 4 squats.
+        assert_eq!(squats.len(), 4, "{squats:?}");
+        for (unicode, ascii) in &squats {
+            assert!(!unicode.is_ascii());
+            assert!(ascii.is_ascii());
+            assert!(ascii.starts_with("xn--"), "{ascii}");
+            // Every squat projects back onto the target.
+            assert_eq!(ascii_projection(ascii).as_deref(), Some("apple.com"));
+        }
+    }
+
+    #[test]
+    fn classify_idn_detects_spoof() {
+        let squats = idn_homosquats("paypal.com");
+        assert!(!squats.is_empty());
+        for (_, ascii) in &squats {
+            assert_eq!(
+                classify_idn(ascii, ["paypal.com", "google.com"]).as_deref(),
+                Some("paypal.com"),
+                "{ascii}"
+            );
+        }
+    }
+
+    #[test]
+    fn plain_ascii_domains_not_classified() {
+        assert_eq!(classify_idn("paypal.com", ["paypal.com"]), None);
+        assert_eq!(classify_idn("xn--pple-43d.com", ["google.com"]), None);
+    }
+
+    #[test]
+    fn malformed_punycode_rejected() {
+        assert_eq!(punycode_decode("!!!"), None);
+        assert_eq!(to_unicode("xn--!!!.com"), None);
+        // Overflow-inducing input must return None, not panic.
+        assert_eq!(punycode_decode("99999999999999"), None);
+    }
+
+    #[test]
+    fn brandless_input_yields_nothing() {
+        assert!(idn_homosquats("com").is_empty());
+        assert!(idn_homosquats("").is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Shared lookup tables: QWERTY adjacency, homoglyph confusables, combo
+//! keywords, and the popular-target list squatters imitate.
+
+/// QWERTY neighbours for fat-finger models (lowercase letters and digits).
+pub fn qwerty_neighbors(c: char) -> &'static [char] {
+    match c {
+        'q' => &['w', 'a', '1', '2'],
+        'w' => &['q', 'e', 's', 'a', '2', '3'],
+        'e' => &['w', 'r', 'd', 's', '3', '4'],
+        'r' => &['e', 't', 'f', 'd', '4', '5'],
+        't' => &['r', 'y', 'g', 'f', '5', '6'],
+        'y' => &['t', 'u', 'h', 'g', '6', '7'],
+        'u' => &['y', 'i', 'j', 'h', '7', '8'],
+        'i' => &['u', 'o', 'k', 'j', '8', '9'],
+        'o' => &['i', 'p', 'l', 'k', '9', '0'],
+        'p' => &['o', 'l', '0'],
+        'a' => &['q', 'w', 's', 'z'],
+        's' => &['a', 'd', 'w', 'e', 'z', 'x'],
+        'd' => &['s', 'f', 'e', 'r', 'x', 'c'],
+        'f' => &['d', 'g', 'r', 't', 'c', 'v'],
+        'g' => &['f', 'h', 't', 'y', 'v', 'b'],
+        'h' => &['g', 'j', 'y', 'u', 'b', 'n'],
+        'j' => &['h', 'k', 'u', 'i', 'n', 'm'],
+        'k' => &['j', 'l', 'i', 'o', 'm'],
+        'l' => &['k', 'o', 'p'],
+        'z' => &['a', 's', 'x'],
+        'x' => &['z', 's', 'd', 'c'],
+        'c' => &['x', 'd', 'f', 'v'],
+        'v' => &['c', 'f', 'g', 'b'],
+        'b' => &['v', 'g', 'h', 'n'],
+        'n' => &['b', 'h', 'j', 'm'],
+        'm' => &['n', 'j', 'k'],
+        '0' => &['9', 'o', 'p'],
+        '1' => &['2', 'q'],
+        '2' => &['1', '3', 'q', 'w'],
+        '3' => &['2', '4', 'w', 'e'],
+        '4' => &['3', '5', 'e', 'r'],
+        '5' => &['4', '6', 'r', 't'],
+        '6' => &['5', '7', 't', 'y'],
+        '7' => &['6', '8', 'y', 'u'],
+        '8' => &['7', '9', 'u', 'i'],
+        '9' => &['8', '0', 'i', 'o'],
+        _ => &[],
+    }
+}
+
+/// Single-character visual confusables representable in LDH hostnames.
+pub const CHAR_GLYPHS: &[(char, char)] = &[
+    ('0', 'o'),
+    ('1', 'l'),
+    ('1', 'i'),
+    ('5', 's'),
+    ('g', 'q'),
+    ('u', 'v'),
+];
+
+/// Multi-character visual confusables (digraph → look-alike).
+pub const DIGRAPH_GLYPHS: &[(&str, &str)] = &[("rn", "m"), ("vv", "w"), ("cl", "d"), ("nn", "m")];
+
+/// Keywords combosquatters append/prepend to brands (Kintis et al., CCS'17).
+pub const COMBO_KEYWORDS: &[&str] = &[
+    "login", "secure", "security", "support", "help", "online", "account", "accounts", "verify",
+    "verification", "update", "service", "services", "pay", "payment", "billing", "mail",
+    "webmail", "app", "apps", "shop", "store", "official", "portal", "my", "web", "net", "info",
+    "download", "free", "bonus", "promo", "signin", "auth", "wallet", "bank",
+];
+
+/// Popular domains squatters target (brand, tld) — stand-in for a top-site
+/// list. `twitter.com` is among them because the honeypot set contains the
+/// real squat `twitter-sup0rt.com`.
+pub const POPULAR_TARGETS: &[&str] = &[
+    "google.com", "youtube.com", "facebook.com", "twitter.com", "instagram.com", "wikipedia.org",
+    "yahoo.com", "amazon.com", "reddit.com", "netflix.com", "microsoft.com", "linkedin.com",
+    "twitch.tv", "ebay.com", "apple.com", "spotify.com", "adobe.com", "dropbox.com",
+    "github.com", "paypal.com", "walmart.com", "chase.com", "wellsfargo.com", "coinbase.com",
+    "binance.com", "steam.com", "roblox.com", "whatsapp.com", "telegram.org", "tiktok.com",
+    "baidu.com", "yandex.ru", "vk.com", "mail.ru", "alibaba.com", "taobao.com", "qq.com",
+    "akamai.com", "cloudflare.com", "office.com",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        for c in "abcdefghijklmnopqrstuvwxyz0123456789".chars() {
+            for &n in qwerty_neighbors(c) {
+                assert!(
+                    qwerty_neighbors(n).contains(&c),
+                    "{c} -> {n} but not {n} -> {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn glyph_tables_are_ldh() {
+        for &(a, b) in CHAR_GLYPHS {
+            assert!(a.is_ascii_alphanumeric() && b.is_ascii_alphanumeric());
+        }
+        for &(from, to) in DIGRAPH_GLYPHS {
+            assert!(from.chars().all(|c| c.is_ascii_alphanumeric()));
+            assert!(to.chars().all(|c| c.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn targets_parse_as_registrable() {
+        for t in POPULAR_TARGETS {
+            let name: nxd_dns_wire::Name = t.parse().unwrap();
+            assert_eq!(name.label_count(), 2, "{t}");
+        }
+    }
+
+    #[test]
+    fn unknown_char_has_no_neighbors() {
+        assert!(qwerty_neighbors('-').is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! Property tests for the RFC 3492 punycode implementation: encode/decode
+//! round trips over mixed Latin/confusable labels and decoder robustness.
+
+use nxd_squat::idn::{punycode_decode, punycode_encode, to_ascii, to_unicode, UNICODE_CONFUSABLES};
+use proptest::prelude::*;
+
+fn arb_mixed_label() -> impl Strategy<Value = String> {
+    // Latin letters with occasional Cyrillic confusables mixed in.
+    proptest::collection::vec(
+        prop_oneof![
+            4 => proptest::char::range('a', 'z').boxed(),
+            1 => proptest::sample::select(
+                UNICODE_CONFUSABLES.iter().map(|&(_, c)| c).collect::<Vec<char>>()
+            ).boxed(),
+        ],
+        1..16,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn punycode_roundtrip(label in arb_mixed_label()) {
+        let encoded = punycode_encode(&label).expect("encodable");
+        prop_assert!(encoded.is_ascii());
+        let decoded = punycode_decode(&encoded).expect("decodable");
+        prop_assert_eq!(decoded, label);
+    }
+
+    #[test]
+    fn idna_domain_roundtrip(label in arb_mixed_label()) {
+        let domain = format!("{label}.com");
+        let ascii = to_ascii(&domain).expect("convertible");
+        prop_assert!(ascii.is_ascii());
+        prop_assert_eq!(to_unicode(&ascii).expect("reversible"), domain);
+    }
+
+    #[test]
+    fn decoder_never_panics(s in "[ -~]{0,24}") {
+        let _ = punycode_decode(&s);
+        let _ = to_unicode(&format!("xn--{s}.com"));
+    }
+}

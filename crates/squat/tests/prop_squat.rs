@@ -1,0 +1,60 @@
+//! Property tests: every generator output classifies as *some* squat of its
+//! target, the target itself never classifies, and the edit-distance metric
+//! behaves like a metric on the axes the classifier relies on.
+
+use nxd_squat::{damerau_levenshtein, generate, SquatClassifier};
+use proptest::prelude::*;
+
+fn arb_brand() -> impl Strategy<Value = String> {
+    "[a-z]{4,10}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_squats_always_classify(brand in arb_brand()) {
+        let target = format!("{brand}.com");
+        let classifier = SquatClassifier::new([target.as_str()]);
+        for gen in [
+            generate::typosquats,
+            generate::combosquats,
+            generate::dotsquats,
+            generate::bitsquats,
+            generate::homosquats,
+        ] {
+            for squat in gen(&target) {
+                let verdict = classifier.classify(&squat);
+                prop_assert!(verdict.is_some(), "{squat} (target {target}) unclassified");
+                prop_assert_eq!(&verdict.unwrap().target, &target);
+            }
+        }
+    }
+
+    #[test]
+    fn target_never_classifies_as_its_own_squat(brand in arb_brand()) {
+        let target = format!("{brand}.com");
+        let classifier = SquatClassifier::new([target.as_str()]);
+        prop_assert_eq!(classifier.classify(&target), None);
+    }
+
+    #[test]
+    fn edit_distance_identity_and_symmetry(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+        prop_assert_eq!(damerau_levenshtein(&a, &a), 0);
+        prop_assert_eq!(damerau_levenshtein(&a, &b), damerau_levenshtein(&b, &a));
+        // Distance bounded by the longer string's length.
+        prop_assert!(damerau_levenshtein(&a, &b) <= a.len().max(b.len()));
+    }
+
+    #[test]
+    fn single_random_substitution_is_distance_one(brand in "[a-z]{4,10}", pos in 0usize..10, c in proptest::char::range('a', 'z')) {
+        let chars: Vec<char> = brand.chars().collect();
+        let pos = pos % chars.len();
+        if chars[pos] != c {
+            let mut mutated = chars.clone();
+            mutated[pos] = c;
+            let mutated: String = mutated.into_iter().collect();
+            prop_assert_eq!(damerau_levenshtein(&brand, &mutated), 1);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Shared actor building blocks for the honeypot-era workload: source-IP
+//! pools with reverse-DNS conventions, and User-Agent inventories for every
+//! visitor class the paper observed.
+
+use std::net::Ipv4Addr;
+
+use nxd_dns_sim::ReverseDns;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Named IPv4 pools used by the actors. Ranges follow real-world provider
+/// conventions so reverse lookups produce the hostnames of Fig. 15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpPool {
+    Googlebot,
+    Bingbot,
+    MailRuBot,
+    YandexBot,
+    BaiduSpider,
+    /// Google mail image proxies (conf-cdn's e-mail crawlers) and the
+    /// `google-proxy` hosts that route gpclick's botnet traffic.
+    GoogleProxy,
+    AmazonEc2,
+    AzureCloud,
+    Ovh,
+    DigitalOcean,
+    Hetzner,
+    /// Residential/eyeball space with no PTR coverage.
+    Residential,
+    /// Internet-wide scanners (the no-hosting baseline population).
+    Scanner,
+    /// ACME / certificate-authority validators.
+    Acme,
+}
+
+impl IpPool {
+    /// `(network, prefix_len, PTR template)`; `None` template means
+    /// unresolvable space.
+    pub fn spec(self) -> (Ipv4Addr, u8, Option<&'static str>) {
+        match self {
+            IpPool::Googlebot => (Ipv4Addr::new(66, 249, 64, 0), 19, Some("crawl-{ip}.googlebot.com")),
+            IpPool::Bingbot => (Ipv4Addr::new(157, 55, 0, 0), 16, Some("msnbot-{ip}.search.msn.com")),
+            IpPool::MailRuBot => (Ipv4Addr::new(217, 69, 128, 0), 20, Some("fetcher-{ip}.mail.ru")),
+            IpPool::YandexBot => (Ipv4Addr::new(77, 88, 0, 0), 18, Some("spider-{ip}.yandex.ru")),
+            IpPool::BaiduSpider => (Ipv4Addr::new(180, 76, 0, 0), 16, Some("baiduspider-{ip}.baidu.com")),
+            IpPool::GoogleProxy => (Ipv4Addr::new(66, 102, 0, 0), 16, Some("google-proxy-{ip}.google.com")),
+            IpPool::AmazonEc2 => (Ipv4Addr::new(52, 32, 0, 0), 11, Some("ec2-{ip}.compute-1.amazonaws.com")),
+            IpPool::AzureCloud => (Ipv4Addr::new(40, 76, 0, 0), 14, Some("azure-{ip}.cloudapp.azure.com")),
+            IpPool::Ovh => (Ipv4Addr::new(51, 38, 0, 0), 16, Some("vps-{ip}.ovh.net")),
+            IpPool::DigitalOcean => (Ipv4Addr::new(167, 99, 0, 0), 16, Some("do-{ip}.digitalocean.com")),
+            IpPool::Hetzner => (Ipv4Addr::new(95, 216, 0, 0), 16, Some("static-{ip}.hetzner.de")),
+            IpPool::Residential => (Ipv4Addr::new(93, 0, 0, 0), 10, None),
+            IpPool::Scanner => (Ipv4Addr::new(171, 25, 0, 0), 16, None),
+            IpPool::Acme => (Ipv4Addr::new(172, 65, 32, 0), 20, Some("acme-{ip}.letsencrypt.org")),
+        }
+    }
+
+    /// All pools (for reverse-DNS registration).
+    pub const ALL: [IpPool; 14] = [
+        IpPool::Googlebot,
+        IpPool::Bingbot,
+        IpPool::MailRuBot,
+        IpPool::YandexBot,
+        IpPool::BaiduSpider,
+        IpPool::GoogleProxy,
+        IpPool::AmazonEc2,
+        IpPool::AzureCloud,
+        IpPool::Ovh,
+        IpPool::DigitalOcean,
+        IpPool::Hetzner,
+        IpPool::Residential,
+        IpPool::Scanner,
+        IpPool::Acme,
+    ];
+
+    /// Draws a deterministic random address from the pool.
+    pub fn draw(self, rng: &mut StdRng) -> Ipv4Addr {
+        let (net, prefix, _) = self.spec();
+        let host_bits = 32 - prefix as u32;
+        let base = u32::from(net);
+        // Avoid .0 hosts for realism.
+        let offset = if host_bits >= 31 {
+            rng.gen_range(1..=u32::MAX >> 1)
+        } else {
+            rng.gen_range(1..(1u32 << host_bits))
+        };
+        Ipv4Addr::from(base | offset)
+    }
+
+    /// Registers every pool's PTR template in a [`ReverseDns`].
+    pub fn register_all(rdns: &mut ReverseDns) {
+        for pool in IpPool::ALL {
+            let (net, prefix, template) = pool.spec();
+            if let Some(t) = template {
+                rdns.insert_range(net, prefix, t);
+            }
+        }
+    }
+}
+
+/// PC browser User-Agents.
+pub const PC_UAS: &[&str] = &[
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/112.0 Safari/537.36",
+    "Mozilla/5.0 (Windows NT 6.1; Win64; x64; rv:109.0) Gecko/20100101 Firefox/113.0",
+    "Mozilla/5.0 (Macintosh; Intel Mac OS X 13_3) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/16.4 Safari/605.1.15",
+    "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/111.0 Safari/537.36",
+];
+
+/// Mobile browser User-Agents (Apple/Huawei/Xiaomi/Samsung — §6.3's device
+/// observation for porno-komiksy.com).
+pub const MOBILE_UAS: &[&str] = &[
+    "Mozilla/5.0 (iPhone; CPU iPhone OS 16_3 like Mac OS X) AppleWebKit/605.1.15 Version/16.3 Safari/604.1",
+    "Mozilla/5.0 (Linux; Android 12; SM-G991B) AppleWebKit/537.36 Chrome/110.0 Mobile Safari/537.36",
+    "Mozilla/5.0 (Linux; Android 11; HUAWEI P40) AppleWebKit/537.36 Chrome/99.0 Mobile Safari/537.36",
+    "Mozilla/5.0 (Linux; Android 12; Mi 11) AppleWebKit/537.36 Chrome/107.0 Mobile Safari/537.36",
+];
+
+/// In-app browser User-Agents keyed by Fig. 13 app label.
+pub fn in_app_ua(app: &str) -> &'static str {
+    match app {
+        "WhatsApp" => "Mozilla/5.0 (iPhone; CPU iPhone OS 15_0 like Mac OS X) WhatsApp/2.23.10",
+        "Facebook" => "Mozilla/5.0 (Linux; Android 12) [FBAN/FB4A;FBAV/407.0.0.0]",
+        "WeChat" => "Mozilla/5.0 (Linux; Android 11) MicroMessenger/8.0.30",
+        "Twitter" => "Mozilla/5.0 (Linux; Android 12) TwitterAndroid/9.80",
+        "Instagram" => "Mozilla/5.0 (Linux; Android 13) Instagram 270.0",
+        "DingTalk" => "Mozilla/5.0 (Linux; Android 10) DingTalk/6.5.45",
+        "QQ" => "Mozilla/5.0 (Linux; Android 11) QQ/8.9.3 Mobile",
+        _ => "Mozilla/5.0 (Linux; Android 11) Line/12.7.0",
+    }
+}
+
+/// Script/tool User-Agents (§6.3: "Python, Java, curl, wget, etc.").
+pub const SCRIPT_UAS: &[&str] = &[
+    "python-requests/2.28.0",
+    "python-urllib/3.9",
+    "curl/7.88.1",
+    "Wget/1.21.3",
+    "Java/1.8.0_362",
+    "okhttp/4.10.0",
+    "Go-http-client/2.0",
+    "libwww-perl/6.67",
+    "Scrapy/2.8.0 (+https://scrapy.org)",
+    "axios/1.3.4",
+];
+
+/// Crawler User-Agents by service.
+pub fn crawler_ua(service: &str) -> &'static str {
+    match service {
+        "googlebot" => "Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)",
+        "bingbot" => "Mozilla/5.0 (compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)",
+        "mailru" => "Mozilla/5.0 (compatible; Mail.RU_Bot/2.0; +http://go.mail.ru/help/robots)",
+        "yandex" => "Mozilla/5.0 (compatible; YandexBot/3.0; +http://yandex.com/bots)",
+        "baidu" => "Mozilla/5.0 (compatible; Baiduspider/2.0; +http://www.baidu.com/search/spider.html)",
+        "semrush" => "Mozilla/5.0 (compatible; SemrushBot/7~bl; +http://www.semrush.com/bot.html)",
+        "ahrefs" => "Mozilla/5.0 (compatible; AhrefsBot/7.0; +http://ahrefs.com/robot/)",
+        _ => "Mozilla/5.0 (compatible; generic-crawler/1.0)",
+    }
+}
+
+/// E-mail image-proxy User-Agents by provider (conf-cdn's visitors).
+pub fn email_ua(provider: &str) -> &'static str {
+    match provider {
+        "gmail" => "Mozilla/5.0 (Windows NT 5.1; rv:11.0) Gecko Firefox/11.0 (via ggpht.com GoogleImageProxy)",
+        "yahoo" => "YahooMailProxy; https://help.yahoo.com/kb/yahoo-mail-proxy-SLN28749.html",
+        _ => "Mozilla/5.0 OutlookImageProxy (compatible; Microsoft Office)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pools_draw_inside_their_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for pool in IpPool::ALL {
+            let (net, prefix, _) = pool.spec();
+            let mask = if prefix == 0 { 0 } else { u32::MAX << (32 - prefix as u32) };
+            for _ in 0..50 {
+                let ip = pool.draw(&mut rng);
+                assert_eq!(u32::from(ip) & mask, u32::from(net) & mask, "{pool:?} drew {ip}");
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_dns_covers_named_pools() {
+        let mut rdns = ReverseDns::new();
+        IpPool::register_all(&mut rdns);
+        let mut rng = StdRng::seed_from_u64(2);
+        let ip = IpPool::GoogleProxy.draw(&mut rng);
+        let host = rdns.lookup(ip).unwrap().to_string();
+        assert!(host.starts_with("google-proxy-"), "{host}");
+        assert!(host.ends_with(".google.com"), "{host}");
+        assert!(rdns.lookup(IpPool::Residential.draw(&mut rng)).is_none());
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for pool in IpPool::ALL {
+            assert_eq!(pool.draw(&mut a), pool.draw(&mut b));
+        }
+    }
+
+    #[test]
+    fn ua_tables_classify_as_expected() {
+        use nxd_httpsim::{classify_user_agent, UaClass};
+        for ua in PC_UAS {
+            assert!(matches!(classify_user_agent(ua), UaClass::Browser { device: nxd_httpsim::Device::Pc }), "{ua}");
+        }
+        for ua in MOBILE_UAS {
+            assert!(matches!(classify_user_agent(ua), UaClass::Browser { device: nxd_httpsim::Device::Mobile }), "{ua}");
+        }
+        for ua in SCRIPT_UAS {
+            assert!(matches!(classify_user_agent(ua), UaClass::ScriptTool { .. }), "{ua}");
+        }
+        for (app, _) in crate::table1::IN_APP_MIX {
+            let ua = in_app_ua(app);
+            assert!(matches!(classify_user_agent(ua), UaClass::InAppBrowser { .. }), "{app}: {ua}");
+        }
+        for svc in ["googlebot", "bingbot", "mailru", "yandex", "baidu", "semrush", "ahrefs", "x"] {
+            assert!(matches!(classify_user_agent(crawler_ua(svc)), UaClass::Crawler { .. }), "{svc}");
+        }
+        for p in ["gmail", "yahoo", "outlook"] {
+            assert!(matches!(classify_user_agent(email_ua(p)), UaClass::EmailCrawler { .. }), "{p}");
+        }
+    }
+}

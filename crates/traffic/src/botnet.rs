@@ -1,0 +1,233 @@
+//! The gpclick.com botnet actor (§6.4 "Botnet Takeover", Figs. 12, 14, 15).
+//!
+//! Bots poll `getTask.php` with the User-Agent
+//! `Apache-HttpClient/UNAVAILABLE (java 1.4)`, leaking IMEI, phone number,
+//! country, carrier codes, and phone model in the query string. Victims'
+//! phone numbers span the globe (Fig. 14) while the *source addresses* are
+//! concentrated in cloud proxy infrastructure — 56.1% behind `google-proxy`
+//! hosts (Fig. 15).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use nxd_httpsim::HttpRequest;
+
+use crate::actors::IpPool;
+
+/// The exact User-Agent the paper reports for all malicious gpclick
+/// requests.
+pub const BOTNET_UA: &str = "Apache-HttpClient/UNAVAILABLE (java 1.4)";
+
+/// Victim country mix: `(ISO code, calling code, continent, weight)`.
+/// Shaped after Fig. 14's log-scale bars: Russian-speaking countries remain
+/// heavy, but the US, Uruguay, the Netherlands, and China appear, plus a
+/// long tail across four continents.
+pub const COUNTRY_MIX: [(&str, &str, Continent, u32); 14] = [
+    ("ru", "+7", Continent::Europe, 26),
+    ("us", "+1", Continent::America, 22),
+    ("uy", "+598", Continent::America, 11),
+    ("nl", "+31", Continent::Europe, 9),
+    ("cn", "+86", Continent::Asia, 8),
+    ("de", "+49", Continent::Europe, 5),
+    ("ua", "+380", Continent::Europe, 4),
+    ("in", "+91", Continent::Asia, 4),
+    ("br", "+55", Continent::America, 3),
+    ("fr", "+33", Continent::Europe, 2),
+    ("jp", "+81", Continent::Asia, 2),
+    ("kz", "+7", Continent::Asia, 2),
+    ("au", "+61", Continent::Oceania, 1),
+    ("nz", "+64", Continent::Oceania, 1),
+];
+
+/// Continents as grouped in Fig. 14's legend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Continent {
+    Europe,
+    Asia,
+    America,
+    Oceania,
+}
+
+impl Continent {
+    pub fn label(self) -> &'static str {
+        match self {
+            Continent::Europe => "Europe",
+            Continent::Asia => "Asia",
+            Continent::America => "America",
+            Continent::Oceania => "Oceania",
+        }
+    }
+}
+
+/// Phone model mix (§6.4: Nexus 5X 55.9%, Nexus 5 42.3%, remaining 1.8%
+/// spread over 38 models).
+const MODELS: [(&str, u32); 10] = [
+    ("Nexus 5X", 559),
+    ("Nexus 5", 423),
+    ("SM-G900F", 3),
+    ("LG-D855", 2),
+    ("Vivo Y51", 2),
+    ("HTC One", 2),
+    ("HUAWEI P8", 2),
+    ("Redmi Note 4", 2),
+    ("Moto G", 2),
+    ("ASUS Z00AD", 3),
+];
+
+/// Source-address routing mix (Fig. 15): `(pool, weight ‰)`. `google-proxy`
+/// carries 56.1% of malicious requests.
+const SOURCE_MIX: [(IpPool, u32); 6] = [
+    (IpPool::GoogleProxy, 561),
+    (IpPool::AmazonEc2, 180),
+    (IpPool::AzureCloud, 80),
+    (IpPool::Ovh, 60),
+    (IpPool::DigitalOcean, 50),
+    (IpPool::Hetzner, 30),
+    // remainder (39‰) is drawn from residential space below
+];
+
+fn weighted<'a, T>(rng: &mut StdRng, items: &'a [(T, u32)]) -> &'a T {
+    let total: u32 = items.iter().map(|(_, w)| w).sum();
+    let mut pick = rng.gen_range(0..total);
+    for (item, w) in items {
+        if pick < *w {
+            return item;
+        }
+        pick -= w;
+    }
+    &items[items.len() - 1].0
+}
+
+/// One synthetic bot poll. IMEI and phone are generated (never real), in the
+/// anonymized format of Fig. 12.
+pub fn gettask_request(rng: &mut StdRng, timestamp: u64) -> HttpRequest {
+    let (country, calling, _, _) =
+        COUNTRY_MIX[weighted_index(rng, &COUNTRY_MIX.map(|(_, _, _, w)| w))];
+    let model = *weighted(rng, &MODELS);
+    let imei = format!(
+        "{:01}-{:06}-{:06}-{:01}",
+        rng.gen_range(1..10u32),
+        rng.gen_range(0..1_000_000u32),
+        rng.gen_range(0..1_000_000u32),
+        rng.gen_range(0..10u32)
+    );
+    let phone = format!("{calling}{}", rng.gen_range(100_000_0000u64..999_999_9999u64));
+    let src_mix_total: u32 = SOURCE_MIX.iter().map(|(_, w)| w).sum();
+    let roll = rng.gen_range(0..1000u32);
+    let src = if roll < src_mix_total {
+        let mut pick = roll;
+        let mut chosen = IpPool::Residential;
+        for (pool, w) in SOURCE_MIX {
+            if pick < w {
+                chosen = pool;
+                break;
+            }
+            pick -= w;
+        }
+        chosen.draw(rng)
+    } else {
+        IpPool::Residential.draw(rng)
+    };
+    let uri = format!(
+        "/getTask.php?imei={imei}&balance=0&country={country}&phone={}&op=Android&mnc={}&mcc={}&model={}&os={}",
+        phone.replace('+', "%2B"),
+        rng.gen_range(1..999u32),
+        rng.gen_range(200..750u32),
+        model.replace(' ', "%20"),
+        rng.gen_range(19..33u32),
+    );
+    HttpRequest::get(&uri)
+        .with_header("Host", "gpclick.com")
+        .with_header("User-Agent", BOTNET_UA)
+        .with_src(src)
+        .with_port(80)
+        .with_time(timestamp)
+}
+
+fn weighted_index(rng: &mut StdRng, weights: &[u32]) -> usize {
+    let total: u32 = weights.iter().sum();
+    let mut pick = rng.gen_range(0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if pick < *w {
+            return i;
+        }
+        pick -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn request_shape_matches_fig12() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let req = gettask_request(&mut rng, 1_650_000_000);
+        assert_eq!(req.uri.file_name(), "getTask.php");
+        assert_eq!(req.user_agent(), Some(BOTNET_UA));
+        for key in ["imei", "balance", "country", "phone", "op", "mnc", "mcc", "model", "os"] {
+            assert!(req.uri.query_value(key).is_some(), "missing {key}");
+        }
+        assert_eq!(req.uri.query_value("op"), Some("Android"));
+        assert!(req.uri.query_value("phone").unwrap().starts_with('+'));
+    }
+
+    #[test]
+    fn country_mix_spans_four_continents() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut continents = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let req = gettask_request(&mut rng, 0);
+            let c = req.uri.query_value("country").unwrap().to_string();
+            let (_, _, continent, _) =
+                COUNTRY_MIX.iter().find(|(code, _, _, _)| *code == c).unwrap();
+            continents.insert(*continent);
+        }
+        assert_eq!(continents.len(), 4, "all continents represented");
+    }
+
+    #[test]
+    fn nexus_models_dominate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut nexus = 0;
+        let n = 3000;
+        for _ in 0..n {
+            let req = gettask_request(&mut rng, 0);
+            let model = req.uri.query_value("model").unwrap().to_string();
+            if model.starts_with("Nexus") {
+                nexus += 1;
+            }
+        }
+        let share = nexus as f64 / n as f64;
+        assert!(share > 0.93, "paper: 98.2% Nexus; got {share}");
+    }
+
+    #[test]
+    fn google_proxy_majority_of_sources() {
+        use nxd_dns_sim::ReverseDns;
+        let mut rdns = ReverseDns::new();
+        IpPool::register_all(&mut rdns);
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 4000;
+        let mut gp = 0;
+        for _ in 0..n {
+            let req = gettask_request(&mut rng, 0);
+            if let Some(host) = rdns.lookup(req.src_ip) {
+                if host.to_string().starts_with("google-proxy-") {
+                    gp += 1;
+                }
+            }
+        }
+        let share = gp as f64 / n as f64;
+        assert!((0.50..0.63).contains(&share), "paper: 56.1%; got {share}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(gettask_request(&mut a, 1), gettask_request(&mut b, 1));
+    }
+}

@@ -1,0 +1,59 @@
+//! DGA hunting: generate candidate domains from every family and run the
+//! detector over them — the §5.2 analysis that flagged 2,770,650 expired
+//! NXDomains as DGA output.
+//!
+//! ```text
+//! cargo run --example dga_hunt
+//! ```
+
+use nxdomain::dga::{all_families, corpus, DgaDetector};
+
+fn main() {
+    let detector = DgaDetector::default();
+    let date = (2022, 3, 14);
+    let seed = 0xC0FFEE;
+
+    println!("{:<12} {:>8} {:>9}   sample candidates", "family", "detected", "recall");
+    println!("{}", "-".repeat(76));
+    let mut all: Vec<String> = Vec::new();
+    for family in all_families() {
+        let candidates = family.generate(seed, date, 400);
+        let detected = candidates.iter().filter(|c| detector.is_dga(c)).count();
+        println!(
+            "{:<12} {:>4}/400 {:>8.1}%   {} …",
+            family.name(),
+            detected,
+            detected as f64 / 4.0,
+            &candidates[..2].join(", "),
+        );
+        all.extend(candidates);
+    }
+
+    let ev = detector.evaluate(
+        corpus::BENIGN_DOMAINS.iter().copied(),
+        all.iter().map(|s| s.as_str()),
+    );
+    println!("\noverall vs the benign corpus ({} domains):", corpus::BENIGN_DOMAINS.len());
+    println!(
+        "  precision {:.3}   recall {:.3}   f1 {:.3}   false positives {}",
+        ev.precision(),
+        ev.recall(),
+        ev.f1(),
+        ev.false_positives
+    );
+    println!(
+        "\nnote: the dictionary and markov families are built to evade entropy\n\
+         detectors — their low recall is the realistic behaviour the paper's\n\
+         commercial oracle also exhibits on word-based DGAs."
+    );
+
+    // Feature scores for a few instructive names.
+    println!("\n{:<28} {:>8}  verdict", "domain", "score");
+    for name in ["google.com", "xkqzvwpjh.com", "silverdragon.net", "a8f3e19c77b2d4f0.info"] {
+        println!(
+            "{name:<28} {:>8.2}  {}",
+            detector.score(name),
+            if detector.is_dga(name) { "DGA" } else { "benign" }
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Federation bias: the paper's §7 "Database Coverage" limitation made
+//! measurable. The era world's sensors belong to three collection networks
+//! (global Farsight-like, Greater-China regional, European regional);
+//! splitting the passive database by network shows how much a single
+//! provider misses and how skewed its TLD mix is.
+//!
+//! ```text
+//! cargo run --release --example federation_bias
+//! ```
+
+use nxdomain::passive::Federation;
+use nxdomain::study::extensions;
+use nxdomain::traffic::era::{self, EraConfig, CHINA_SENSORS, EUROPE_SENSORS, GLOBAL_SENSORS};
+
+fn main() {
+    let world = era::generate(EraConfig {
+        nx_names: 15_000,
+        expired_panel: 300,
+        resolver_checks: 0,
+        ..Default::default()
+    });
+    println!(
+        "era database: {} rows across 16 sensors in 3 collection networks\n",
+        world.db.row_count()
+    );
+
+    let coverage = extensions::federation_report(&world);
+    println!(
+        "{:<16} {:>9} {:>12} {:>8} {:>9} {:>9}",
+        "provider", "nx names", "responses", "unique", "coverage", "tld-bias"
+    );
+    for c in &coverage {
+        println!(
+            "{:<16} {:>9} {:>12} {:>8} {:>8.0}% {:>9.3}",
+            c.provider,
+            c.nx_names,
+            c.nx_responses,
+            c.unique_names,
+            c.jaccard_vs_union * 100.0,
+            c.tld_bias_l1
+        );
+    }
+
+    // The consensus core: names every network observed independently.
+    let federation = Federation::from_sensor_ranges(
+        &world.db,
+        &[
+            ("farsight-like", GLOBAL_SENSORS),
+            ("114dns-like", CHINA_SENSORS),
+            ("circl-like", EUROPE_SENSORS),
+        ],
+    );
+    let consensus = federation.consensus_names();
+    let merged = federation.merged();
+    println!(
+        "\nconsensus names (seen by all three networks): {} of {} total",
+        consensus.len(),
+        nxdomain::passive::query::distinct_nx_names(&merged)
+    );
+    if let Some(example) = consensus.first() {
+        println!("e.g. {example}");
+    }
+    println!(
+        "\nThe paper's takeaway holds: even the dominant provider misses part of\n\
+         the NXDomain universe, and regional providers' TLD mixes deviate several\n\
+         times further from the merged view — motivating multi-database studies."
+    );
+}

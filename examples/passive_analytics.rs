@@ -1,0 +1,79 @@
+//! Passive-DNS analytics: build a small 2014–2022 era world and run the §4
+//! scale analyses interactively — the figures the paper derives from its
+//! BigQuery mirror of the Farsight database.
+//!
+//! ```text
+//! cargo run --release --example passive_analytics
+//! ```
+
+use nxdomain::study::{report, scale, selection};
+use nxdomain::traffic::era::{self, EraConfig};
+
+fn main() {
+    let world = era::generate(EraConfig {
+        nx_names: 20_000,
+        expired_panel: 800,
+        resolver_checks: 200,
+        ..Default::default()
+    });
+    let db = &world.db;
+    println!(
+        "era database: {} rows, {} distinct names, {} bytes of column storage",
+        report::commas(db.row_count() as u64),
+        report::commas(db.distinct_names() as u64),
+        report::commas(db.row_bytes() as u64)
+    );
+    let (passed, total) = world.consistency;
+    println!("resolver/registry consistency subsample: {passed}/{total}");
+
+    let headline = scale::headline(db);
+    println!(
+        "\nNXDOMAIN responses: {}   distinct NXDomains: {}",
+        report::commas(headline.total_nx_responses),
+        report::commas(headline.distinct_nx_names)
+    );
+    println!(
+        "names in NX status >5 years: {} (receiving {} queries)",
+        report::commas(headline.five_year_names),
+        report::commas(headline.five_year_queries)
+    );
+
+    println!("\nFig. 3 — average monthly NXDOMAIN responses by year:");
+    let fig3: Vec<(String, f64)> =
+        scale::fig3(db).into_iter().map(|(y, v)| (y.to_string(), v)).collect();
+    print!("{}", report::bar_series(&fig3, 40));
+
+    println!("\nFig. 4 — top-10 TLDs:");
+    for t in scale::fig4(db, 10) {
+        println!("  .{:<8} {:>8} names {:>10} queries", t.tld, t.nx_names, t.nx_queries);
+    }
+
+    println!("\nFig. 5 — decay of attention after becoming NX:");
+    let fig5 = scale::fig5(db);
+    for bucket in fig5.iter().step_by(10) {
+        println!(
+            "  day {:>2}: {:>6} names still queried, {:>7} responses",
+            bucket.day_offset, bucket.names, bucket.queries
+        );
+    }
+
+    println!("\nFig. 6 — queries around the expiry instant (avg/domain):");
+    let fig6 = scale::fig6(db, &world.expiry_days);
+    for (offset, value) in fig6.iter().filter(|&&(o, _)| o % 20 == 0) {
+        println!("  {offset:>+4} days: {value:.2}");
+    }
+
+    println!("\n§3.3 — honeypot candidates (sustained traffic, ≥6 months NX):");
+    let criteria = selection::SelectionCriteria {
+        min_monthly_queries: 30.0,
+        min_nx_days: 182,
+        as_of_day: nxdomain::sim::SimTime::ERA_END.day_number() as u32,
+        max_selected: 10,
+    };
+    for c in selection::select(db, &criteria) {
+        println!(
+            "  {:<34} {:>5} days NX, {:>7.1} queries/month",
+            c.name, c.nx_days, c.avg_monthly_queries
+        );
+    }
+}

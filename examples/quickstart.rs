@@ -1,0 +1,73 @@
+//! Quickstart: watch a domain become an NXDomain.
+//!
+//! Builds the simulated DNS ecosystem, registers a domain, resolves it,
+//! lets it expire, and shows the NXDOMAIN responses (and RFC 2308 negative
+//! caching) that the paper's passive-DNS sensors would record.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::net::Ipv4Addr;
+
+use nxdomain::sim::{Resolver, ResolverConfig, SimDns, SimDuration, SimTime};
+use nxdomain::wire::{Message, RType};
+
+fn main() {
+    let start = SimTime::from_ymd(2021, 1, 1);
+    let mut dns = SimDns::with_popular_tlds(start);
+    let mut resolver = Resolver::new(ResolverConfig::default());
+
+    let domain: nxdomain::wire::Name = "paper-demo.com".parse().unwrap();
+    dns.register_domain(&domain, "alice", "godaddy", 1, Ipv4Addr::new(192, 0, 2, 80))
+        .expect("registration succeeds");
+    println!("registered {domain} on {start}");
+
+    // Resolve while alive — full iterative walk: root → .com → authoritative.
+    let res = resolver.resolve(&dns, &domain, RType::A, start);
+    println!(
+        "resolve {domain}: {:?} via {} upstream queries → {:?}",
+        res.rcode,
+        res.upstream_queries,
+        res.answers.iter().map(|r| r.rdata.to_string()).collect::<Vec<_>>()
+    );
+
+    // A year and a day later the registration has lapsed (ICANN ERRP).
+    let later = start + SimDuration::days(366);
+    dns.tick(later);
+    println!("\n{later}: registration lapsed (phase: {:?})", dns.phase(&domain));
+
+    let res = resolver.resolve(&dns, &domain, RType::A, later);
+    println!("resolve {domain}: {} (upstream queries: {})", res.rcode, res.upstream_queries);
+    assert!(res.is_nxdomain());
+
+    // Repeat queries are answered from the negative cache (RFC 2308).
+    let res = resolver.resolve(&dns, &domain, RType::A, later + SimDuration::seconds(30));
+    println!(
+        "resolve again: {} (from cache: {}, upstream queries: {})",
+        res.rcode, res.from_cache, res.upstream_queries
+    );
+
+    // The same exchange at wire level, exercising the RFC 1035 codec.
+    let query = Message::query(0x29A, domain.clone(), RType::A);
+    let wire = resolver
+        .resolve_message(&dns, &query.encode().unwrap(), later + SimDuration::minutes(1))
+        .unwrap();
+    let response = Message::decode(&wire).unwrap();
+    println!(
+        "\nwire-level: {} byte response, id {:#06x}, rcode {}",
+        wire.len(),
+        response.header.id,
+        response.header.rcode
+    );
+
+    let stats = resolver.stats();
+    println!(
+        "\nresolver stats: {} queries, {} cache hits ({} negative), {} upstream, {} NXDOMAIN",
+        stats.queries,
+        stats.cache_hits,
+        stats.negative_cache_hits,
+        stats.upstream_queries,
+        stats.nxdomain_responses
+    );
+}

@@ -1,0 +1,52 @@
+//! Squat audit: enumerate every look-alike an attacker could register
+//! against a brand, then prove the classifier maps each back to its
+//! category — the machinery behind Fig. 7.
+//!
+//! ```text
+//! cargo run --example squat_audit [brand.tld]
+//! ```
+
+use std::collections::HashMap;
+
+use nxdomain::squat::{generate, SquatClassifier, SquatKind};
+
+fn main() {
+    let target = std::env::args().nth(1).unwrap_or_else(|| "paypal.com".to_string());
+    let classifier = SquatClassifier::default();
+
+    println!("squat audit for {target}\n");
+    let sets: [(&str, Vec<String>); 5] = [
+        ("typosquatting", generate::typosquats(&target)),
+        ("combosquatting", generate::combosquats(&target)),
+        ("dotsquatting", generate::dotsquats(&target)),
+        ("bitsquatting", generate::bitsquats(&target)),
+        ("homosquatting", generate::homosquats(&target)),
+    ];
+
+    let mut classified: HashMap<SquatKind, u64> = HashMap::new();
+    for (label, squats) in &sets {
+        println!("{label:>15}: {:>4} candidates   e.g. {}", squats.len(), preview(squats));
+        for s in squats {
+            if let Some(m) = classifier.classify(s) {
+                *classified.entry(m.kind).or_insert(0) += 1;
+            }
+        }
+    }
+
+    println!("\nclassifier verdicts over all generated candidates:");
+    for kind in SquatKind::ALL {
+        println!("{:>15}: {}", kind.label(), classified.get(&kind).copied().unwrap_or(0));
+    }
+
+    println!("\nspot checks:");
+    for name in ["gogle.com", "paypal-login.com", "wwwfacebook.com", "g0ogle.com", "twitter-support.com"] {
+        match classifier.classify(name) {
+            Some(m) => println!("  {name:<24} → {} of {}", m.kind.label(), m.target),
+            None => println!("  {name:<24} → not a squat"),
+        }
+    }
+}
+
+fn preview(squats: &[String]) -> String {
+    squats.iter().take(3).cloned().collect::<Vec<_>>().join(", ")
+}

@@ -1,0 +1,158 @@
+//! Cross-crate integration: the §6 honeypot pipeline end to end — actor
+//! workload (nxd-traffic) → recorder/filter/categorizer (nxd-honeypot) →
+//! Table 1 and the security analyses (nxd-core) — with per-domain shape
+//! checks against the paper's Table 1.
+
+use nxdomain::honeypot::TrafficCategory;
+use nxdomain::study::security;
+use nxdomain::traffic::{honeypot_era, HoneypotConfig, TABLE1};
+
+fn report() -> (honeypot_era::HoneypotWorld, nxdomain::study::SecurityReport) {
+    let world = honeypot_era::generate(HoneypotConfig { scale: 200, ..Default::default() });
+    let report = security::run(&world);
+    (world, report)
+}
+
+#[test]
+fn table1_structure_matches_paper() {
+    let (_world, r) = report();
+    assert_eq!(r.rows.len(), 19);
+
+    // Column dominance must match the paper: script & software is the
+    // largest category overall, malicious requests second.
+    let g = |c| r.totals.get(&c).copied().unwrap_or(0);
+    let script = g(TrafficCategory::ScriptSoftware);
+    let malreq = g(TrafficCategory::MaliciousRequest);
+    assert!(script > malreq, "script {script} vs malreq {malreq}");
+    for cat in [
+        TrafficCategory::SearchEngineCrawler,
+        TrafficCategory::FileGrabber,
+        TrafficCategory::ReferralSearchEngine,
+        TrafficCategory::UserPcMobile,
+        TrafficCategory::UserInApp,
+        TrafficCategory::Other,
+    ] {
+        assert!(malreq > g(cat), "{cat:?} should be below malicious requests");
+    }
+}
+
+#[test]
+fn per_domain_signatures() {
+    let (_world, r) = report();
+    let row = |name: &str| r.rows.iter().find(|t| t.spec.name == name).unwrap();
+    let g = |t: &nxdomain::study::DomainTally, c| t.counts.get(&c).copied().unwrap_or(0);
+
+    // gpclick.com: ≥90% of all malicious requests (paper: 90.8%).
+    let gp = row("gpclick.com");
+    let gp_mal = g(gp, TrafficCategory::MaliciousRequest);
+    let all_mal: u64 = r.rows.iter().map(|t| g(t, TrafficCategory::MaliciousRequest)).sum();
+    assert!(
+        gp_mal as f64 / all_mal as f64 > 0.85,
+        "gpclick share {} of {}",
+        gp_mal,
+        all_mal
+    );
+
+    // 1x-sport-bk7.com: the browser-UA status.json storm must be
+    // reclassified as automated, not user visits.
+    let sport = row("1x-sport-bk7.com");
+    assert!(
+        g(sport, TrafficCategory::ScriptSoftware) > g(sport, TrafficCategory::UserPcMobile) * 50,
+        "status.json storm not reclassified"
+    );
+
+    // resheba.online: the single largest row overall (paper: 2,097,152).
+    let resheba = row("resheba.online");
+    assert_eq!(
+        r.rows.iter().map(|t| t.total).max().unwrap(),
+        resheba.total,
+        "resheba should carry the most traffic"
+    );
+
+    // porno-komiksy.com: the most user visits (paper: 25,112).
+    let porno = row("porno-komiksy.com");
+    let user_total = |t: &nxdomain::study::DomainTally| {
+        g(t, TrafficCategory::UserPcMobile) + g(t, TrafficCategory::UserInApp)
+    };
+    for t in &r.rows {
+        assert!(user_total(porno) >= user_total(t), "{} outranks porno-komiksy", t.spec.name);
+    }
+
+    // conf-cdn.com: file grabbers dominated by e-mail proxies (95.1%).
+    let conf = row("conf-cdn.com");
+    assert!(g(conf, TrafficCategory::FileGrabber) > g(conf, TrafficCategory::SearchEngineCrawler));
+}
+
+#[test]
+fn row_totals_approximate_scaled_paper_totals() {
+    let (world, r) = report();
+    let scale = world.config.scale;
+    for (row, spec) in r.rows.iter().zip(TABLE1.iter()) {
+        assert_eq!(row.spec.name, spec.name);
+        let expected = (spec.total() / scale).max(1);
+        let got = row.total;
+        // Within a factor of two: scaling floors, filter edge effects, and
+        // classification overlaps all nibble at the edges.
+        assert!(
+            got >= expected / 2 && got <= expected * 2,
+            "{}: expected ≈{expected}, got {got}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn noise_never_reaches_the_table() {
+    let (world, r) = report();
+    // AWS monitor port must be invisible after filtering.
+    assert!(r.ports_nxdomain.iter().all(|&(p, _)| p != 52_646));
+    // No ACME establishment requests survive into any category count.
+    let baseline_ips: std::collections::HashSet<_> =
+        world.baseline_packets.iter().map(|p| p.src_ip).collect();
+    // The kept set is not directly exposed; verify via filter stats: every
+    // domain dropped something, and kept+dropped == input.
+    for row in &r.rows {
+        let s = row.filter;
+        assert_eq!(s.input, s.kept + s.dropped_no_hosting + s.dropped_control);
+        assert!(s.dropped_no_hosting + s.dropped_control > 0);
+    }
+    assert!(!baseline_ips.is_empty());
+}
+
+#[test]
+fn botnet_analysis_matches_paper_shape() {
+    let (_world, r) = report();
+    let b = &r.botnet;
+    // Fig. 15: google-proxy first at roughly 56%.
+    assert_eq!(b.hostname_classes[0].0, "google-proxy");
+    let share = b.hostname_classes[0].1 as f64 / b.total_requests as f64;
+    assert!((0.48..0.65).contains(&share), "google-proxy share {share}");
+    // Fig. 14: all four continents, phones distinct and numerous.
+    assert_eq!(b.continents.len(), 4);
+    assert!(b.distinct_phones as f64 > b.total_requests as f64 * 0.5);
+    // §6.4: Nexus 5X the single most common model.
+    assert_eq!(b.models[0].0, "Nexus 5X");
+    // Fig. 12: example is masked.
+    assert!(b.example_request.contains("imei=A-BBBBBB-CCCCCC-D"));
+    assert!(!b.example_request.contains("op=Android&mnc=0"), "sanity");
+}
+
+#[test]
+fn wire_parse_roundtrip_on_generated_traffic() {
+    // Every generated HTTP request must survive wire serialization and
+    // re-parsing — ties nxd-httpsim's codec to the actor output.
+    let world = honeypot_era::generate(HoneypotConfig { scale: 2_000, ..Default::default() });
+    let mut checked = 0;
+    for capture in &world.captures {
+        for p in capture.packets.iter().take(50) {
+            if let Some(req) = p.http_request() {
+                let wire = req.to_bytes();
+                let parsed = nxdomain::http::HttpRequest::parse(&wire).unwrap();
+                assert_eq!(parsed.uri, req.uri);
+                assert_eq!(parsed.headers, req.headers);
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 300);
+}
