@@ -1,0 +1,337 @@
+//! Diagnostics: what a rule reports when an artifact violates an invariant.
+//!
+//! A [`Diagnostic`] ties a stable rule ID to a concrete location in the
+//! analyzed artifact, the RFC section the artifact violates, and a suggested
+//! fix. Reports render both as human-readable text and as machine-readable
+//! JSON (hand-rolled here; the workspace has no serde runtime).
+
+use std::fmt;
+
+/// How severe a violation is.
+///
+/// `High` findings are protocol violations that break interoperability or
+/// negative caching (the paper's subject); strict mode gates on them.
+/// `Medium` findings degrade behaviour; `Low` findings are hygiene.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Low,
+    Medium,
+    High,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Low => "low",
+            Severity::Medium => "medium",
+            Severity::High => "high",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Static description of one rule: stable ID, severity, and the RFC section
+/// whose violation it detects. One instance per rule, `'static`, shared by
+/// every diagnostic the rule emits.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RuleInfo {
+    /// Stable identifier in the `NXDnnn` namespace. Never reused.
+    pub id: &'static str,
+    /// Short machine-friendly name (kebab-case).
+    pub name: &'static str,
+    pub severity: Severity,
+    /// The RFC section this rule enforces, e.g. `"RFC 2308 §2.1"`.
+    pub rfc: &'static str,
+    /// One-line summary for catalogs and `--help` output.
+    pub summary: &'static str,
+}
+
+/// Message sections, for [`Location::Message`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    Header,
+    Question,
+    Answer,
+    Authority,
+    Additional,
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Section::Header => "header",
+            Section::Question => "question",
+            Section::Answer => "answer",
+            Section::Authority => "authority",
+            Section::Additional => "additional",
+        })
+    }
+}
+
+/// Where in the analyzed artifact a violation sits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Location {
+    /// A section of a wire message, optionally a specific record index.
+    Message {
+        section: Section,
+        index: Option<usize>,
+    },
+    /// An owner name inside a zone.
+    Zone { apex: String, owner: String },
+    /// An event index in a resolver trace, with its simulated timestamp.
+    Trace { index: usize, at: u64 },
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Message {
+                section,
+                index: Some(i),
+            } => write!(f, "message/{section}[{i}]"),
+            Location::Message {
+                section,
+                index: None,
+            } => write!(f, "message/{section}"),
+            Location::Zone { apex, owner } => write!(f, "zone {apex}: {owner}"),
+            Location::Trace { index, at } => write!(f, "trace[{index}] t={at}"),
+        }
+    }
+}
+
+/// One rule violation at one location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: &'static RuleInfo,
+    pub location: Location,
+    /// What is wrong, with the concrete values involved.
+    pub message: String,
+    /// How to make the artifact conformant.
+    pub suggestion: String,
+}
+
+impl Diagnostic {
+    pub fn new(
+        rule: &'static RuleInfo,
+        location: Location,
+        message: impl Into<String>,
+        suggestion: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            rule,
+            location,
+            message: message.into(),
+            suggestion: suggestion.into(),
+        }
+    }
+
+    /// Single-line human rendering: `NXD001 high [RFC 2308 §2.1] at <loc>: <msg> (fix: ...)`.
+    pub fn to_text(&self) -> String {
+        format!(
+            "{} {} [{}] at {}: {} (fix: {})",
+            self.rule.id,
+            self.rule.severity,
+            self.rule.rfc,
+            self.location,
+            self.message,
+            self.suggestion
+        )
+    }
+
+    /// JSON object rendering.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":{},\"name\":{},\"severity\":{},\"rfc\":{},\"location\":{},\"message\":{},\"suggestion\":{}}}",
+            json_str(self.rule.id),
+            json_str(self.rule.name),
+            json_str(self.rule.severity.as_str()),
+            json_str(self.rule.rfc),
+            json_str(&self.location.to_string()),
+            json_str(&self.message),
+            json_str(&self.suggestion),
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The outcome of running one or more passes: an ordered list of
+/// diagnostics plus rendering and gating helpers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    pub fn new(diagnostics: Vec<Diagnostic>) -> Self {
+        Report { diagnostics }
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Diagnostics at exactly `severity`.
+    pub fn at_severity(&self, severity: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.rule.severity == severity)
+    }
+
+    /// Number of `High` findings — the strict-mode gate.
+    pub fn high_count(&self) -> usize {
+        self.at_severity(Severity::High).count()
+    }
+
+    /// Absorbs another report's diagnostics.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Asserts strict conformance: panics with every `High` finding listed
+    /// if any is present. Meant for tests gating simulated responders.
+    pub fn assert_no_high(&self, context: &str) {
+        let highs: Vec<String> = self
+            .at_severity(Severity::High)
+            .map(|d| d.to_text())
+            .collect();
+        assert!(
+            highs.is_empty(),
+            "strict mode: {} high-severity diagnostic(s) for {context}:\n{}",
+            highs.len(),
+            highs.join("\n")
+        );
+    }
+
+    /// One line per diagnostic, sorted High→Low, stable within a severity.
+    pub fn to_text(&self) -> String {
+        let mut sorted: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+        sorted.sort_by_key(|d| std::cmp::Reverse(d.rule.severity));
+        sorted
+            .iter()
+            .map(|d| d.to_text())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// JSON rendering: `{"diagnostics":[...],"counts":{"high":n,...}}`.
+    pub fn to_json(&self) -> String {
+        let items: Vec<String> = self.diagnostics.iter().map(|d| d.to_json()).collect();
+        format!(
+            "{{\"diagnostics\":[{}],\"counts\":{{\"high\":{},\"medium\":{},\"low\":{}}}}}",
+            items.join(","),
+            self.high_count(),
+            self.at_severity(Severity::Medium).count(),
+            self.at_severity(Severity::Low).count(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_RULE: RuleInfo = RuleInfo {
+        id: "NXD999",
+        name: "test-rule",
+        severity: Severity::High,
+        rfc: "RFC 0000 §0",
+        summary: "a rule for tests",
+    };
+
+    fn diag() -> Diagnostic {
+        Diagnostic::new(
+            &TEST_RULE,
+            Location::Message {
+                section: Section::Authority,
+                index: Some(0),
+            },
+            "something \"quoted\" broke",
+            "fix it",
+        )
+    }
+
+    #[test]
+    fn severity_ordering_gates_on_high() {
+        assert!(Severity::High > Severity::Medium);
+        assert!(Severity::Medium > Severity::Low);
+    }
+
+    #[test]
+    fn text_rendering_contains_all_parts() {
+        let t = diag().to_text();
+        assert!(t.contains("NXD999"));
+        assert!(t.contains("high"));
+        assert!(t.contains("RFC 0000 §0"));
+        assert!(t.contains("message/authority[0]"));
+        assert!(t.contains("fix it"));
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let j = diag().to_json();
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("\"id\":\"NXD999\""));
+        let report = Report::new(vec![diag()]);
+        let rj = report.to_json();
+        assert!(rj.starts_with("{\"diagnostics\":["));
+        assert!(rj.contains("\"high\":1"));
+    }
+
+    #[test]
+    fn report_merge_and_counts() {
+        let mut r = Report::default();
+        assert!(r.is_clean());
+        r.merge(Report::new(vec![diag(), diag()]));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.high_count(), 2);
+        assert_eq!(r.at_severity(Severity::Low).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strict mode")]
+    fn assert_no_high_panics_on_high() {
+        Report::new(vec![diag()]).assert_no_high("unit test");
+    }
+
+    #[test]
+    fn assert_no_high_passes_when_clean() {
+        Report::default().assert_no_high("unit test");
+    }
+}

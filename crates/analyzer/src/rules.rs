@@ -1,0 +1,79 @@
+//! The [`Rule`] trait, its three pass-family sub-traits, and the full
+//! rule catalog.
+//!
+//! Rule IDs live in the stable `NXDnnn` namespace: an ID is never reused or
+//! renumbered once released, so downstream tooling can suppress or track
+//! findings by ID across versions.
+
+use nxd_dns_sim::resolver::ResolveEvent;
+
+use crate::diagnostic::{Diagnostic, RuleInfo};
+use crate::trace;
+use crate::wire::{self, WireCtx};
+use crate::zone::{self, ZoneCtx};
+
+/// Common surface of every rule: its static metadata.
+pub trait Rule {
+    fn info(&self) -> &'static RuleInfo;
+}
+
+/// A rule over one decoded wire message.
+pub trait WireRule: Rule {
+    fn check_message(&self, ctx: &WireCtx<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// A rule over one zone's records.
+pub trait ZoneRule: Rule {
+    fn check_zone(&self, ctx: &ZoneCtx<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// A rule over a resolver's event trace.
+pub trait TraceRule: Rule {
+    fn check_trace(&self, events: &[ResolveEvent], out: &mut Vec<Diagnostic>);
+}
+
+/// Every rule's metadata, in rule-ID order — the machine-readable catalog
+/// backing `nxd-analyze rules` and the README table.
+pub fn catalog() -> Vec<&'static RuleInfo> {
+    let mut infos: Vec<&'static RuleInfo> = Vec::new();
+    infos.extend(wire::wire_rules().iter().map(|r| r.info()));
+    infos.extend(zone::zone_rules().iter().map(|r| r.info()));
+    infos.extend(trace::trace_rules().iter().map(|r| r.info()));
+    infos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalog_has_at_least_ten_rules_across_three_families() {
+        let infos = catalog();
+        assert!(infos.len() >= 10, "only {} rules", infos.len());
+        assert_eq!(wire::wire_rules().len(), 8);
+        assert_eq!(zone::zone_rules().len(), 6);
+        assert_eq!(trace::trace_rules().len(), 3);
+    }
+
+    #[test]
+    fn rule_ids_are_unique_well_formed_and_ordered() {
+        let infos = catalog();
+        let ids: Vec<&str> = infos.iter().map(|i| i.id).collect();
+        let unique: HashSet<&&str> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len(), "duplicate rule IDs: {ids:?}");
+        for (n, info) in infos.iter().enumerate() {
+            assert_eq!(
+                info.id,
+                format!("NXD{:03}", n + 1),
+                "IDs must be dense and ordered"
+            );
+            assert!(info.rfc.starts_with("RFC "), "{} cites no RFC", info.id);
+            assert!(!info.summary.is_empty());
+            assert!(info
+                .name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+}

@@ -14,20 +14,24 @@ use nxd_squat::{generate, SquatClassifier};
 fn bench_dga(c: &mut Criterion) {
     let mut g = c.benchmark_group("dga");
     for family in all_families() {
-        g.bench_function(format!("generate/{}", family.name()), |b| {
+        g.bench_function(&format!("generate/{}", family.name()), |b| {
             b.iter(|| black_box(family.generate(42, (2021, 6, 1), 100)))
         });
     }
-    let names: Vec<String> =
-        all_families().iter().flat_map(|f| f.generate(7, (2020, 2, 2), 125)).collect();
+    let names: Vec<String> = all_families()
+        .iter()
+        .flat_map(|f| f.generate(7, (2020, 2, 2), 125))
+        .collect();
     let detector = DgaDetector::default();
     g.throughput(Throughput::Elements(names.len() as u64));
     g.bench_function("detect/full", |b| {
         b.iter(|| names.iter().filter(|n| detector.is_dga(n)).count())
     });
     // Ablation: drop the (expensive) bigram feature.
-    let mut w = Weights::default();
-    w.bigram_score = 0.0;
+    let w = Weights {
+        bigram_score: 0.0,
+        ..Default::default()
+    };
     let ablated = DgaDetector::new(w, 3.2);
     g.bench_function("detect/no_bigram", |b| {
         b.iter(|| names.iter().filter(|n| ablated.is_dga(n)).count())
@@ -51,7 +55,12 @@ fn bench_squat(c: &mut Criterion) {
         .collect();
     g.throughput(Throughput::Elements(mixed.len() as u64));
     g.bench_function("classify/mixed", |b| {
-        b.iter(|| mixed.iter().filter(|d| classifier.classify(d).is_some()).count())
+        b.iter(|| {
+            mixed
+                .iter()
+                .filter(|d| classifier.classify(d).is_some())
+                .count()
+        })
     });
     g.finish();
 }
@@ -68,8 +77,9 @@ fn bench_blocklist(c: &mut Criterion) {
 }
 
 fn bench_passive_ingest(c: &mut Criterion) {
-    let rows: Vec<(String, u32)> =
-        (0..20_000).map(|i| (format!("name-{}.com", i % 4_000), 16_000 + i % 365)).collect();
+    let rows: Vec<(String, u32)> = (0..20_000)
+        .map(|i| (format!("name-{}.com", i % 4_000), 16_000 + i % 365))
+        .collect();
     let mut g = c.benchmark_group("passive-ingest");
     g.throughput(Throughput::Elements(rows.len() as u64));
     g.bench_function("single_thread", |b| {

@@ -18,8 +18,12 @@ fn bench_scale_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("experiments-scale");
     g.sample_size(20);
     g.bench_function("scalars", |b| b.iter(|| black_box(scale::headline(db))));
-    g.bench_function("fig3_monthly_series", |b| b.iter(|| black_box(scale::fig3(db))));
-    g.bench_function("fig4_tld_distribution", |b| b.iter(|| black_box(scale::fig4(db, 20))));
+    g.bench_function("fig3_monthly_series", |b| {
+        b.iter(|| black_box(scale::fig3(db)))
+    });
+    g.bench_function("fig4_tld_distribution", |b| {
+        b.iter(|| black_box(scale::fig4(db, 20)))
+    });
     g.bench_function("fig5_lifespan", |b| b.iter(|| black_box(scale::fig5(db))));
     g.bench_function("fig6_expiry_alignment", |b| {
         b.iter(|| black_box(scale::fig6(db, &world.expiry_days)))
@@ -30,7 +34,7 @@ fn bench_scale_figures(c: &mut Criterion) {
     });
     // Ablation: sampling-ratio sensitivity (1/10 … 1/1000 vs exact count).
     for ratio in [10u64, 100, 1000] {
-        g.bench_function(format!("sampling_1_in_{ratio}"), |b| {
+        g.bench_function(&format!("sampling_1_in_{ratio}"), |b| {
             b.iter(|| black_box(query::sample_nx_names(db, ratio, 42).len()))
         });
     }
@@ -58,7 +62,10 @@ fn bench_origin_figures(c: &mut Criterion) {
     g.bench_function("dga_scan", |b| {
         let detector = nxd_dga::DgaDetector::default();
         b.iter(|| {
-            black_box(origin_analysis::dga_scan(names.iter().map(|s| s.as_str()), &detector))
+            black_box(origin_analysis::dga_scan(
+                names.iter().map(|s| s.as_str()),
+                &detector,
+            ))
         })
     });
     g.bench_function("fig8_blocklist_xref", |b| {
@@ -80,7 +87,9 @@ fn bench_security_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("experiments-security");
     g.sample_size(10);
     // E-TAB1 + E-FIG10 + E-FIG13/14/15 all come out of one pipeline run.
-    g.bench_function("table1_full_pipeline", |b| b.iter(|| black_box(security::run(&world))));
+    g.bench_function("table1_full_pipeline", |b| {
+        b.iter(|| black_box(security::run(&world)))
+    });
     // E-FILTER in isolation.
     g.bench_function("filter_only", |b| {
         use nxd_honeypot::{ControlGroupProfile, NoHostingBaseline, NoiseFilter};
@@ -107,7 +116,9 @@ fn bench_security_figures(c: &mut Criterion) {
 fn bench_workload_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("workload-generation");
     g.sample_size(10);
-    g.bench_function("era_world", |b| b.iter(|| black_box(era_world_small().db.row_count())));
+    g.bench_function("era_world", |b| {
+        b.iter(|| black_box(era_world_small().db.row_count()))
+    });
     g.bench_function("origin_world", |b| {
         b.iter(|| black_box(origin_world_small().domains.len()))
     });

@@ -15,7 +15,11 @@ fn sample_response() -> Message {
     let q = Message::query(0x1234, qname.clone(), RType::A);
     let mut resp = Message::response(&q, RCode::NoError);
     for i in 0..6 {
-        resp.answers.push(Record::new(qname.clone(), 300, RData::A(Ipv4Addr::new(192, 0, 2, i))));
+        resp.answers.push(Record::new(
+            qname.clone(),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, i)),
+        ));
     }
     resp.authorities.push(Record::new(
         "example-benchmark.com".parse().unwrap(),
@@ -29,11 +33,15 @@ fn bench_wire(c: &mut Criterion) {
     let msg = sample_response();
     let wire = msg.encode().unwrap();
     let mut g = c.benchmark_group("dns-wire");
-    g.bench_function("encode_compressed", |b| b.iter(|| black_box(&msg).encode().unwrap()));
+    g.bench_function("encode_compressed", |b| {
+        b.iter(|| black_box(&msg).encode().unwrap())
+    });
     g.bench_function("encode_uncompressed", |b| {
         b.iter(|| black_box(&msg).encode_uncompressed().unwrap())
     });
-    g.bench_function("decode", |b| b.iter(|| Message::decode(black_box(&wire)).unwrap()));
+    g.bench_function("decode", |b| {
+        b.iter(|| Message::decode(black_box(&wire)).unwrap())
+    });
     g.finish();
 }
 
@@ -55,7 +63,8 @@ fn resolver_world() -> (SimDns, Vec<Name>) {
     for i in 0..64 {
         let name: Name = format!("domain-{i}.com").parse().unwrap();
         if i % 2 == 0 {
-            dns.register_domain(&name, "o", "r", 1, Ipv4Addr::new(192, 0, 2, 1)).unwrap();
+            dns.register_domain(&name, "o", "r", 1, Ipv4Addr::new(192, 0, 2, 1))
+                .unwrap();
         }
         names.push(name);
     }
@@ -92,7 +101,10 @@ fn bench_resolver(c: &mut Criterion) {
     // Ablation: negative cache off — repeated NXDOMAIN queries hit upstream
     // every time (the amplification the paper's sensors observe).
     g.bench_function("resolve_repeat_negcache_off", |b| {
-        let mut r = Resolver::new(ResolverConfig { negative_cache: false, ..Default::default() });
+        let mut r = Resolver::new(ResolverConfig {
+            negative_cache: false,
+            ..Default::default()
+        });
         let ghost: Name = "ghost-name.com".parse().unwrap();
         b.iter(|| black_box(r.resolve(&dns, &ghost, RType::A, t)))
     });
@@ -161,5 +173,11 @@ fn bench_transport_and_zonefile(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_wire, bench_http_parse, bench_resolver, bench_transport_and_zonefile);
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_http_parse,
+    bench_resolver,
+    bench_transport_and_zonefile
+);
 criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Experiments: scalars fig3 fig4 fig5 fig6 fig7 fig8 table1 fig10 fig12
-//! fig13 fig14 fig15 filter hijack selection detector sinkhole federation
+//! fig13 fig14 fig15 filter hijack selection detector sinkhole federation analyzer
 
 use std::collections::HashMap;
 
@@ -31,7 +31,11 @@ struct Worlds {
 
 impl Worlds {
     fn new() -> Self {
-        Worlds { era: None, origin: None, honeypot: None }
+        Worlds {
+            era: None,
+            origin: None,
+            honeypot: None,
+        }
     }
 
     fn era(&mut self) -> &EraWorld {
@@ -66,9 +70,28 @@ fn main() {
     let mut experiments: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
     if experiments.is_empty() || experiments.contains(&"all") {
         experiments = vec![
-            "scalars", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "fig10",
-            "fig12", "fig13", "fig14", "fig15", "filter", "hijack", "selection", "detector",
-            "sinkhole", "federation", "exposure", "market",
+            "scalars",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "table1",
+            "fig10",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "filter",
+            "hijack",
+            "selection",
+            "detector",
+            "sinkhole",
+            "federation",
+            "exposure",
+            "market",
+            "analyzer",
         ];
     }
     let mut worlds = Worlds::new();
@@ -95,7 +118,10 @@ fn main() {
             "exposure" => exposure_exp(&mut worlds),
             "market" => market_exp(),
             "federation" => federation_exp(&mut worlds),
-            other => eprintln!("[repro] unknown experiment {other:?} (see --help text in the doc comment)"),
+            "analyzer" => analyzer_exp(),
+            other => eprintln!(
+                "[repro] unknown experiment {other:?} (see --help text in the doc comment)"
+            ),
         }
     }
 }
@@ -108,10 +134,38 @@ fn scalars(worlds: &mut Worlds) {
     heading("E-SCALARS — headline counts (§4.1, §4.4, §5.1)");
     let era = worlds.era();
     let report = scale::headline(&era.db);
-    println!("{}", compare_line("NXDOMAIN responses", "1,069,114,764,701", &commas(report.total_nx_responses)));
-    println!("{}", compare_line("distinct NXDomains", "146,363,745,785", &commas(report.distinct_nx_names)));
-    println!("{}", compare_line(">5y-NX names (§4.4)", "1,018,964", &commas(report.five_year_names)));
-    println!("{}", compare_line(">5y-NX queries (§4.4)", "107,020,820", &commas(report.five_year_queries)));
+    println!(
+        "{}",
+        compare_line(
+            "NXDOMAIN responses",
+            "1,069,114,764,701",
+            &commas(report.total_nx_responses)
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "distinct NXDomains",
+            "146,363,745,785",
+            &commas(report.distinct_nx_names)
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            ">5y-NX names (§4.4)",
+            "1,018,964",
+            &commas(report.five_year_names)
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            ">5y-NX queries (§4.4)",
+            "107,020,820",
+            &commas(report.five_year_queries)
+        )
+    );
     let era = worlds.era();
     let join = origin_analysis::whois_join(&era.db, &era.whois);
     println!(
@@ -119,7 +173,11 @@ fn scalars(worlds: &mut Worlds) {
         compare_line(
             "NXDomains with WHOIS history",
             "91,545,561 (0.06%)",
-            &format!("{} ({:.3}%)", commas(join.with_history), join.expired_fraction * 100.0),
+            &format!(
+                "{} ({:.3}%)",
+                commas(join.with_history),
+                join.expired_fraction * 100.0
+            ),
         )
     );
     println!(
@@ -178,7 +236,8 @@ fn fig7(worlds: &mut Worlds) {
     heading("Fig. 7 — squatting NXDomains by type (classifier output)");
     let world = worlds.origin();
     let classifier = SquatClassifier::default();
-    let counts = origin_analysis::squat_scan(world.domains.iter().map(|d| d.name.as_str()), &classifier);
+    let counts =
+        origin_analysis::squat_scan(world.domains.iter().map(|d| d.name.as_str()), &classifier);
     let paper: HashMap<SquatKind, u64> = [
         (SquatKind::Typo, 45_175),
         (SquatKind::Combo, 38_900),
@@ -197,7 +256,10 @@ fn fig7(worlds: &mut Worlds) {
             ]
         })
         .collect();
-    print!("{}", table(&["type", "paper", "measured (population /1000)"], &rows));
+    print!(
+        "{}",
+        table(&["type", "paper", "measured (population /1000)"], &rows)
+    );
 }
 
 fn fig8(worlds: &mut Worlds) {
@@ -246,7 +308,11 @@ fn table1(worlds: &mut Worlds) {
         .iter()
         .map(|r| {
             vec![
-                format!("{}{}", r.spec.name, if r.spec.malicious { " *" } else { "" }),
+                format!(
+                    "{}{}",
+                    r.spec.name,
+                    if r.spec.malicious { " *" } else { "" }
+                ),
                 col(&r.counts, TrafficCategory::SearchEngineCrawler),
                 col(&r.counts, TrafficCategory::FileGrabber),
                 col(&r.counts, TrafficCategory::ScriptSoftware),
@@ -264,7 +330,20 @@ fn table1(worlds: &mut Worlds) {
     print!(
         "{}",
         table(
-            &["domain (* = malicious)", "SE", "FileGrab", "Script", "MalReq", "Ref:SE", "Ref:Emb", "Ref:Mal", "User", "InApp", "Others", "total"],
+            &[
+                "domain (* = malicious)",
+                "SE",
+                "FileGrab",
+                "Script",
+                "MalReq",
+                "Ref:SE",
+                "Ref:Emb",
+                "Ref:Mal",
+                "User",
+                "InApp",
+                "Others",
+                "total"
+            ],
             &rows
         )
     );
@@ -277,10 +356,26 @@ fn table1(worlds: &mut Worlds) {
         )
     );
     for (label, paper_total, cat) in [
-        ("script & software", PAPER_TOTALS.script_software, TrafficCategory::ScriptSoftware),
-        ("malicious request", PAPER_TOTALS.malicious_request, TrafficCategory::MaliciousRequest),
-        ("file grabber", PAPER_TOTALS.file_grabber, TrafficCategory::FileGrabber),
-        ("search engine", PAPER_TOTALS.search_engine, TrafficCategory::SearchEngineCrawler),
+        (
+            "script & software",
+            PAPER_TOTALS.script_software,
+            TrafficCategory::ScriptSoftware,
+        ),
+        (
+            "malicious request",
+            PAPER_TOTALS.malicious_request,
+            TrafficCategory::MaliciousRequest,
+        ),
+        (
+            "file grabber",
+            PAPER_TOTALS.file_grabber,
+            TrafficCategory::FileGrabber,
+        ),
+        (
+            "search engine",
+            PAPER_TOTALS.search_engine,
+            TrafficCategory::SearchEngineCrawler,
+        ),
     ] {
         println!(
             "{}",
@@ -301,14 +396,24 @@ fn fig10(worlds: &mut Worlds) {
         .ports_nxdomain
         .iter()
         .take(8)
-        .map(|&(p, n)| vec![format!("{p} ({})", nxd_honeypot::port_service(p)), commas(n)])
+        .map(|&(p, n)| {
+            vec![
+                format!("{p} ({})", nxd_honeypot::port_service(p)),
+                commas(n),
+            ]
+        })
         .collect();
     print!("{}", table(&["port (a: NXDomains)", "packets"], &a));
     let b: Vec<Vec<String>> = report
         .ports_control
         .iter()
         .take(8)
-        .map(|&(p, n)| vec![format!("{p} ({})", nxd_honeypot::port_service(p)), commas(n)])
+        .map(|&(p, n)| {
+            vec![
+                format!("{p} ({})", nxd_honeypot::port_service(p)),
+                commas(n),
+            ]
+        })
         .collect();
     print!("{}", table(&["port (b: control)", "packets"], &b));
     println!("paper: 80/443 dominate (a); port 52646 (AWS monitor) dominates (b) and is filtered from (a)");
@@ -349,14 +454,25 @@ fn fig14(worlds: &mut Worlds) {
     heading("Fig. 14 — gpclick victim phone country codes (by continent)");
     let (_, report) = worlds.honeypot();
     let b = &report.botnet;
-    println!("distinct phone numbers: {} (paper: 55,829)", commas(b.distinct_phones));
-    let series: Vec<(String, f64)> =
-        b.countries.iter().map(|(c, n)| (c.clone(), *n as f64)).collect();
+    println!(
+        "distinct phone numbers: {} (paper: 55,829)",
+        commas(b.distinct_phones)
+    );
+    let series: Vec<(String, f64)> = b
+        .countries
+        .iter()
+        .map(|(c, n)| (c.clone(), *n as f64))
+        .collect();
     print!("{}", bar_series(&series, 40));
-    let rows: Vec<Vec<String>> =
-        b.continents.iter().map(|&(c, n)| vec![c.to_string(), commas(n)]).collect();
+    let rows: Vec<Vec<String>> = b
+        .continents
+        .iter()
+        .map(|&(c, n)| vec![c.to_string(), commas(n)])
+        .collect();
     print!("{}", table(&["continent", "requests"], &rows));
-    println!("paper: victims span Europe, Asia, America, Oceania — not only Russian-speaking countries");
+    println!(
+        "paper: victims span Europe, Asia, America, Oceania — not only Russian-speaking countries"
+    );
 }
 
 fn fig15(worlds: &mut Worlds) {
@@ -388,14 +504,23 @@ fn filter_exp(worlds: &mut Worlds) {
             ]
         })
         .collect();
-    print!("{}", table(&["domain", "input", "drop:no-hosting", "drop:control", "kept"], &rows));
+    print!(
+        "{}",
+        table(
+            &["domain", "input", "drop:no-hosting", "drop:control", "kept"],
+            &rows
+        )
+    );
 }
 
 fn hijack(worlds: &mut Worlds) {
     heading("E-HIJACK — NXDOMAIN hijack sensitivity (§7)");
     let db = &worlds.era().db;
     for rate in [0u16, 48, 200, 500] {
-        let policy = HijackPolicy { rate_permille: rate, ..HijackPolicy::paper_rate(17) };
+        let policy = HijackPolicy {
+            rate_permille: rate,
+            ..HijackPolicy::paper_rate(17)
+        };
         let (visible, hidden, fraction) = scale::hijack_sensitivity(db, &policy);
         println!(
             "hijack rate {:>5.1}% → visible {} hidden {} ({:.1}% of signal lost)",
@@ -432,8 +557,13 @@ fn selection_exp(worlds: &mut Worlds) {
             ]
         })
         .collect();
-    print!("{}", table(&["candidate", "nx days", "avg q/mo", "total q"], &rows));
-    println!("criteria: ≥6 months in NX status and sustained query volume (paper: >10k/mo, 19 picked)");
+    print!(
+        "{}",
+        table(&["candidate", "nx days", "avg q/mo", "total q"], &rows)
+    );
+    println!(
+        "criteria: ≥6 months in NX status and sustained query volume (paper: >10k/mo, 19 picked)"
+    );
 }
 
 fn exposure_exp(worlds: &mut Worlds) {
@@ -458,7 +588,16 @@ fn exposure_exp(worlds: &mut Worlds) {
     print!(
         "{}",
         table(
-            &["domain", "auto-dl", "email", "polling", "INJECTION", "referral", "users", "RESIDUAL-TRUST"],
+            &[
+                "domain",
+                "auto-dl",
+                "email",
+                "polling",
+                "INJECTION",
+                "referral",
+                "users",
+                "RESIDUAL-TRUST"
+            ],
             &rows
         )
     );
@@ -479,13 +618,18 @@ fn market_exp() {
     if let Some(median) = report.median_gap_days {
         println!("median gap among re-registered: {median} days");
     }
-    println!("Lauinger et al.: re-registrations cluster at release (drop-catch); long tail stays NX");
+    println!(
+        "Lauinger et al.: re-registrations cluster at release (drop-catch); long tail stays NX"
+    );
 }
 
 fn sinkhole_exp() {
     heading("E-SINKHOLE — DGA takedown via NXDomain sinkholing (§7 extension)");
     let report = nxd_core::sinkhole_takedown(25, 40, 0xB07);
-    println!("watchlist: {} candidate names (one family, one day)", report.watched_names);
+    println!(
+        "watchlist: {} candidate names (one family, one day)",
+        report.watched_names
+    );
     println!(
         "redirected {} queries; identified {}/{} bots with {} false positives",
         commas(report.redirected as u64),
@@ -514,7 +658,17 @@ fn federation_exp(worlds: &mut Worlds) {
         .collect();
     print!(
         "{}",
-        table(&["provider", "nx names", "nx responses", "unique", "coverage", "tld-bias L1"], &rows)
+        table(
+            &[
+                "provider",
+                "nx names",
+                "nx responses",
+                "unique",
+                "coverage",
+                "tld-bias L1"
+            ],
+            &rows
+        )
     );
     println!("paper §7: single-provider bias is real — regional networks deviate in TLD mix");
 }
@@ -530,7 +684,12 @@ fn detector_exp() {
         nxd_dga::corpus::BENIGN_DOMAINS.iter().copied(),
         dga_names.iter().map(|s| s.as_str()),
     );
-    println!("precision {:.3}  recall {:.3}  f1 {:.3}", ev.precision(), ev.recall(), ev.f1());
+    println!(
+        "precision {:.3}  recall {:.3}  f1 {:.3}",
+        ev.precision(),
+        ev.recall(),
+        ev.f1()
+    );
     println!(
         "tp {} fp {} tn {} fn {}",
         ev.true_positives, ev.false_positives, ev.true_negatives, ev.false_negatives
@@ -538,3 +697,134 @@ fn detector_exp() {
     println!("(recall includes the deliberately evasive dictionary/markov families)");
 }
 
+fn analyzer_exp() {
+    use nxd_analyzer::Analyzer;
+    use nxd_dns_sim::{
+        RegistryConfig, Resolver, ResolverConfig, ServerRef, SimDns, SimDuration, SimTime,
+    };
+    use nxd_dns_wire::{Message, Name, RType};
+
+    heading("E-ANALYZER — RFC-conformance sweep of the simulated ecosystem");
+    let start = SimTime::ERA_START;
+    let mut dns = SimDns::new(&["com", "net", "org"], RegistryConfig::default(), start);
+    let domains = ["alpha.com", "beta.net", "gamma.org"];
+    for (i, d) in domains.iter().enumerate() {
+        let name: Name = d.parse().expect("static name");
+        dns.register_domain(
+            &name,
+            "owner",
+            "registrar",
+            1,
+            std::net::Ipv4Addr::new(192, 0, 2, 10 + i as u8),
+        )
+        .expect("registrable");
+    }
+    let analyzer = Analyzer::new();
+
+    // Wire pass: every authoritative server answers hits, misses, and NODATA.
+    let mut messages = 0u32;
+    let mut high = 0usize;
+    let mut medium = 0usize;
+    let mut low = 0usize;
+    let mut servers = vec![ServerRef::Root];
+    servers.extend(
+        ["com", "net", "org"]
+            .iter()
+            .map(|t| ServerRef::Tld((*t).to_string())),
+    );
+    servers.extend(
+        domains
+            .iter()
+            .map(|d| ServerRef::Auth(d.parse().expect("static name"))),
+    );
+    for server in &servers {
+        for qname in ["www.alpha.com", "ghost.alpha.com", "nosuch.zz"] {
+            for qtype in [RType::A, RType::Mx] {
+                let query =
+                    Message::query(messages as u16, qname.parse().expect("static name"), qtype);
+                let wire = dns
+                    .respond(server, &query.encode().expect("encodable"))
+                    .expect("valid query");
+                let report = analyzer.analyze_bytes(&wire).expect("decodable response");
+                high += report.high_count();
+                medium += report.at_severity(nxd_analyzer::Severity::Medium).count();
+                low += report.at_severity(nxd_analyzer::Severity::Low).count();
+                messages += 1;
+            }
+        }
+    }
+
+    // Zone pass over every zone the hierarchy serves.
+    let mut zones = 0u32;
+    for zone in dns.zones() {
+        let report = analyzer.analyze_zone(zone);
+        high += report.high_count();
+        medium += report.at_severity(nxd_analyzer::Severity::Medium).count();
+        low += report.at_severity(nxd_analyzer::Severity::Low).count();
+        zones += 1;
+    }
+
+    // Trace pass over a recursive workload with negative-cache churn.
+    let mut resolver = Resolver::new(ResolverConfig {
+        record_trace: true,
+        ..Default::default()
+    });
+    for dt in 0..600u64 {
+        let qname: Name = if dt % 3 == 0 {
+            "www.alpha.com"
+        } else {
+            "dead.net"
+        }
+        .parse()
+        .expect("static name");
+        resolver.resolve(&dns, &qname, RType::A, start + SimDuration::seconds(dt * 7));
+    }
+    let trace = resolver.take_trace();
+    let trace_report = analyzer.analyze_trace(&trace);
+    high += trace_report.high_count();
+    medium += trace_report
+        .at_severity(nxd_analyzer::Severity::Medium)
+        .count();
+    low += trace_report
+        .at_severity(nxd_analyzer::Severity::Low)
+        .count();
+
+    println!(
+        "checked {messages} wire responses, {zones} zones, {} trace events against {} rules",
+        trace.len(),
+        nxd_analyzer::catalog().len()
+    );
+    println!("diagnostics: high {high}  medium {medium}  low {low}");
+    if high == 0 {
+        println!("strict mode holds: the simulated ecosystem emits zero high-severity violations");
+    } else {
+        println!("STRICT MODE BROKEN: high-severity violations above");
+    }
+
+    // The paper's pathology on demand: disable RFC 2308 negative caching and
+    // watch the trace rules light up.
+    let mut broken = Resolver::new(ResolverConfig {
+        negative_cache: false,
+        record_trace: true,
+        ..Default::default()
+    });
+    for dt in 0..20u64 {
+        broken.resolve(
+            &dns,
+            &"dead.net".parse().expect("static name"),
+            RType::A,
+            start + SimDuration::seconds(dt),
+        );
+    }
+    let mut ablation = broken.take_trace();
+    for ev in &mut ablation {
+        if !ev.from_cache && ev.negative_ttl.is_none() {
+            ev.negative_ttl = Some(nxd_dns_sim::DEFAULT_NEGATIVE_TTL);
+        }
+    }
+    let ablation_report = analyzer.analyze_trace(&ablation);
+    println!(
+        "ablation (negative_cache off): {} requery-inside-negative-ttl violations in 20 queries",
+        ablation_report.high_count()
+    );
+}

@@ -38,7 +38,10 @@ pub fn origin_world() -> origin::OriginWorld {
 
 /// A smaller origin world for quick benches.
 pub fn origin_world_small() -> origin::OriginWorld {
-    origin::generate(OriginConfig { expired_total: 8_000, ..Default::default() })
+    origin::generate(OriginConfig {
+        expired_total: 8_000,
+        ..Default::default()
+    })
 }
 
 /// Standard reproduction-scale honeypot world (Table 1 / 100).
@@ -48,7 +51,10 @@ pub fn honeypot_world() -> honeypot_era::HoneypotWorld {
 
 /// A smaller honeypot world for quick benches.
 pub fn honeypot_world_small() -> honeypot_era::HoneypotWorld {
-    honeypot_era::generate(HoneypotConfig { scale: 1_000, ..Default::default() })
+    honeypot_era::generate(HoneypotConfig {
+        scale: 1_000,
+        ..Default::default()
+    })
 }
 
 /// Full §6 security report.

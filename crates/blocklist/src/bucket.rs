@@ -20,7 +20,12 @@ pub struct TokenBucket {
 impl TokenBucket {
     /// A full bucket with the given burst capacity and refill rate.
     pub fn new(capacity: u64, refill_per_sec: u64) -> Self {
-        TokenBucket { capacity, refill_per_sec, tokens: capacity, last_refill_secs: 0 }
+        TokenBucket {
+            capacity,
+            refill_per_sec,
+            tokens: capacity,
+            last_refill_secs: 0,
+        }
     }
 
     fn refill(&mut self, now_secs: u64) {

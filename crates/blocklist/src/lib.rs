@@ -99,7 +99,10 @@ impl Blocklist {
     /// Wraps the list in a rate-limited view with `capacity` burst tokens
     /// refilled at `refill_per_sec`.
     pub fn rate_limited(&self, capacity: u64, refill_per_sec: u64) -> RateLimitedView<'_> {
-        RateLimitedView { list: self, bucket: TokenBucket::new(capacity, refill_per_sec) }
+        RateLimitedView {
+            list: self,
+            bucket: TokenBucket::new(capacity, refill_per_sec),
+        }
     }
 }
 
@@ -117,7 +120,11 @@ pub struct RateLimitedView<'a> {
 
 impl RateLimitedView<'_> {
     /// Performs one lookup at time `now_secs`, consuming a token.
-    pub fn lookup(&mut self, domain: &str, now_secs: u64) -> Result<Option<ThreatCategory>, RateLimited> {
+    pub fn lookup(
+        &mut self,
+        domain: &str,
+        now_secs: u64,
+    ) -> Result<Option<ThreatCategory>, RateLimited> {
         if self.bucket.try_take(now_secs) {
             Ok(self.list.lookup(domain))
         } else {
@@ -178,7 +185,10 @@ mod tests {
         assert!(view.lookup("malware2.com", 0).is_ok());
         assert_eq!(view.lookup("gray.com", 0), Err(RateLimited));
         // One second later a token has refilled.
-        assert_eq!(view.lookup("gray.com", 1), Ok(Some(ThreatCategory::Grayware)));
+        assert_eq!(
+            view.lookup("gray.com", 1),
+            Ok(Some(ThreatCategory::Grayware))
+        );
     }
 
     #[test]

@@ -18,13 +18,16 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-use nxd_honeypot::{Categorizer, ControlGroupProfile, NoHostingBaseline, NoiseFilter, TrafficCategory};
+use nxd_honeypot::{
+    Categorizer, ControlGroupProfile, NoHostingBaseline, NoiseFilter, TrafficCategory,
+};
 use nxd_httpsim::{classify_user_agent, UaClass};
 use nxd_traffic::HoneypotWorld;
 
 /// Content classes an attacker could poison for automated consumers.
-const INJECTABLE_EXTENSIONS: &[&str] =
-    &["js", "php", "exe", "zip", "mp4", "torrent", "json", "xml", "css"];
+const INJECTABLE_EXTENSIONS: &[&str] = &[
+    "js", "php", "exe", "zip", "mp4", "torrent", "json", "xml", "css",
+];
 
 /// Per-domain exposure counts.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -64,8 +67,11 @@ pub fn exposure_report(world: &HoneypotWorld) -> Vec<DomainExposure> {
     );
     let mut out = Vec::new();
     for capture in &world.captures {
-        let categorizer =
-            Categorizer::new(capture.spec.name, world.webfilter.clone(), world.reverse_dns.clone());
+        let categorizer = Categorizer::new(
+            capture.spec.name,
+            world.webfilter.clone(),
+            world.reverse_dns.clone(),
+        );
         let (kept, _) = filter.apply(capture.packets.clone());
         let mut streams: HashMap<(Ipv4Addr, String), u64> = HashMap::new();
         for p in &kept {
@@ -78,7 +84,9 @@ pub fn exposure_report(world: &HoneypotWorld) -> Vec<DomainExposure> {
             ..Default::default()
         };
         for p in &kept {
-            let Some(req) = p.http_request() else { continue };
+            let Some(req) = p.http_request() else {
+                continue;
+            };
             let category = categorizer.categorize(p, &streams);
             let ext = req.uri.extension();
             match category {
@@ -126,7 +134,10 @@ mod tests {
     use nxd_traffic::{honeypot_era, HoneypotConfig};
 
     fn report() -> Vec<DomainExposure> {
-        let world = honeypot_era::generate(HoneypotConfig { scale: 400, ..Default::default() });
+        let world = honeypot_era::generate(HoneypotConfig {
+            scale: 400,
+            ..Default::default()
+        });
         exposure_report(&world)
     }
 

@@ -40,7 +40,11 @@ pub struct SinkholeReport {
 /// candidates and runs the stream detector over the redirected queries.
 pub fn sinkhole_takedown(bots: usize, clean: usize, seed: u64) -> SinkholeReport {
     let start = SimTime::from_ymd(2022, 9, 1);
-    let mut dns = SimDns::new(&["com", "net", "org", "ru", "info"], RegistryConfig::default(), start);
+    let mut dns = SimDns::new(
+        &["com", "net", "org", "ru", "info"],
+        RegistryConfig::default(),
+        start,
+    );
     let mut resolver = Resolver::new(ResolverConfig::default());
     let mut sinkhole = Sinkhole::new(Ipv4Addr::new(198, 51, 100, 53));
 
@@ -76,7 +80,13 @@ pub fn sinkhole_takedown(bots: usize, clean: usize, seed: u64) -> SinkholeReport
         }
     }
     // Clean clients: typos and occasional legit lookups.
-    let typos = ["gogle.com", "facebok.com", "wikipedai.org", "amazn.com", "youtub.com"];
+    let typos = [
+        "gogle.com",
+        "facebok.com",
+        "wikipedai.org",
+        "amazn.com",
+        "youtub.com",
+    ];
     for c in 0..clean {
         let client = (bots + c) as u64;
         for (i, typo) in typos.iter().enumerate() {
@@ -91,7 +101,11 @@ pub fn sinkhole_takedown(bots: usize, clean: usize, seed: u64) -> SinkholeReport
 
     // Analysis: feed the sinkhole log to the stream detector.
     let mut stream = StreamDetector::new(
-        StreamConfig { window_secs: 86_400, min_burst: 10, ..Default::default() },
+        StreamConfig {
+            window_secs: 86_400,
+            min_burst: 10,
+            ..Default::default()
+        },
         DgaDetector::default(),
     );
     let log = sinkhole.log().to_vec();
@@ -161,7 +175,10 @@ mod tests {
         let coverage = federation_report(&world);
         assert_eq!(coverage.len(), 3);
         let global = &coverage[0];
-        let china = coverage.iter().find(|c| c.provider == "114dns-like").unwrap();
+        let china = coverage
+            .iter()
+            .find(|c| c.provider == "114dns-like")
+            .unwrap();
         // The global network sees the most names…
         assert!(global.nx_names > china.nx_names);
         // …and regional networks deviate more from the merged TLD mix.

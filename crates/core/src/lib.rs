@@ -39,8 +39,8 @@ pub mod security;
 pub mod selection;
 
 pub use exposure::{exposure_report, DomainExposure};
-pub use market::{reregistration_market, MarketReport};
 pub use extensions::{federation_report, sinkhole_takedown, SinkholeReport};
+pub use market::{reregistration_market, MarketReport};
 pub use scale::ScaleReport;
 pub use security::{BotnetReport, DomainTally, SecurityReport};
 pub use selection::{Candidate, SelectionCriteria};

@@ -60,7 +60,9 @@ pub fn reregistration_market(
     let mut caught_truth = vec![false; domains];
     let mut public_delay: Vec<Option<u32>> = vec![None; domains];
     for (i, name) in names.iter().enumerate() {
-        registry.register(name, &format!("owner-{i}"), "registrar", 1).unwrap();
+        registry
+            .register(name, &format!("owner-{i}"), "registrar", 1)
+            .unwrap();
         if fate(i, 1) % 1000 < catch_permille as u64 {
             registry.drop_catch(name, &format!("catcher-{}", i % 5));
             caught_truth[i] = true;
@@ -80,14 +82,18 @@ pub fn reregistration_market(
     for day in 1..=horizon {
         registry.tick(start + SimDuration::days(day as u64));
         for event in registry.drain_events() {
-            let Some(idx) = names.iter().position(|n| *n == event.domain) else { continue };
+            let Some(idx) = names.iter().position(|n| *n == event.domain) else {
+                continue;
+            };
             match event.kind {
                 EventKind::Released => {
                     // Only the first release matters: a re-registered domain
                     // can lapse again inside the horizon.
                     release_day[idx].get_or_insert(day);
                 }
-                EventKind::DropCaught { .. } | EventKind::Registered { .. } if release_day[idx].is_some() => {
+                EventKind::DropCaught { .. } | EventKind::Registered { .. }
+                    if release_day[idx].is_some() =>
+                {
                     rereg_day[idx].get_or_insert(day);
                 }
                 _ => {}
@@ -98,7 +104,11 @@ pub fn reregistration_market(
             if let (Some(released), Some(delay), None) =
                 (release_day[i], public_delay[i], rereg_day[i])
             {
-                if day >= released + delay && registry.register(&names[i], "public", "registrar", 1).is_ok() {
+                if day >= released + delay
+                    && registry
+                        .register(&names[i], "public", "registrar", 1)
+                        .is_ok()
+                {
                     rereg_day[i] = Some(day);
                 }
             }
@@ -134,7 +144,11 @@ pub fn reregistration_market(
             (d, within as f64 / released_total)
         })
         .collect();
-    let median_gap_days = if gaps.is_empty() { None } else { Some(gaps[gaps.len() / 2]) };
+    let median_gap_days = if gaps.is_empty() {
+        None
+    } else {
+        Some(gaps[gaps.len() / 2])
+    };
 
     MarketReport {
         domains,
@@ -158,7 +172,10 @@ mod tests {
     fn partitions_add_up() {
         let r = report();
         assert_eq!(r.domains, 400);
-        assert_eq!(r.drop_caught + r.public_reregistered + r.never_reregistered, 400);
+        assert_eq!(
+            r.drop_caught + r.public_reregistered + r.never_reregistered,
+            400
+        );
         assert!(r.drop_caught > 0);
         assert!(r.public_reregistered > 0);
         assert!(r.never_reregistered > 0);
@@ -181,7 +198,10 @@ mod tests {
         // The paper's subjects: domains that stay NXDomain for months.
         let r = report();
         let share = r.never_reregistered as f64 / r.domains as f64;
-        assert!((0.2..0.8).contains(&share), "never-reregistered share {share}");
+        assert!(
+            (0.2..0.8).contains(&share),
+            "never-reregistered share {share}"
+        );
     }
 
     #[test]

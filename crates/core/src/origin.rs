@@ -33,7 +33,11 @@ pub fn whois_join(db: &PassiveDb, whois: &HistoricWhoisDb) -> WhoisJoin {
     WhoisJoin {
         with_history: with,
         without_history: without,
-        expired_fraction: if total == 0 { 0.0 } else { with as f64 / total as f64 },
+        expired_fraction: if total == 0 {
+            0.0
+        } else {
+            with as f64 / total as f64
+        },
     }
 }
 
@@ -51,7 +55,14 @@ where
             flagged += 1;
         }
     }
-    (flagged, if total == 0 { 0.0 } else { flagged as f64 / total as f64 })
+    (
+        flagged,
+        if total == 0 {
+            0.0
+        } else {
+            flagged as f64 / total as f64
+        },
+    )
 }
 
 /// Fig. 7: squat classification over an expired-domain population.
@@ -118,7 +129,11 @@ pub fn blocklist_xref(
             }
         }
     }
-    BlocklistXref { hits, queried, rate_limited_rejections: rejections }
+    BlocklistXref {
+        hits,
+        queried,
+        rate_limited_rejections: rejections,
+    }
 }
 
 /// The §4.2-style deterministic sampling of NXDomain names from the passive
@@ -180,7 +195,12 @@ mod tests {
     #[test]
     fn squat_scan_finds_kinds() {
         let classifier = SquatClassifier::default();
-        let names = ["gogle.com", "paypal-login.com", "wwwfacebook.com", "neutral-name.com"];
+        let names = [
+            "gogle.com",
+            "paypal-login.com",
+            "wwwfacebook.com",
+            "neutral-name.com",
+        ];
         let counts = squat_scan(names.iter().copied(), &classifier);
         assert_eq!(counts[&SquatKind::Typo], 1);
         assert_eq!(counts[&SquatKind::Combo], 1);
@@ -197,7 +217,10 @@ mod tests {
         }
         let x = blocklist_xref(&domains, &bl, 40, 5, 5);
         assert_eq!(x.queried, 40);
-        assert!(x.rate_limited_rejections > 0, "rate limit should have engaged");
+        assert!(
+            x.rate_limited_rejections > 0,
+            "rate limit should have engaged"
+        );
         let total_hits: u64 = x.hits.values().sum();
         assert!(total_hits <= 40);
         assert!(total_hits > 0);

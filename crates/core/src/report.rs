@@ -41,11 +41,19 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
 
 /// Renders a `(label, value)` series with a proportional bar, log-friendly.
 pub fn bar_series<L: std::fmt::Display>(series: &[(L, f64)], width: usize) -> String {
-    let max = series.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max).max(1e-12);
+    let max = series
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
     let mut out = String::new();
     for (label, value) in series {
         let bar_len = ((value / max) * width as f64).round() as usize;
-        let _ = writeln!(out, "{label:>12} | {:<width$} {value:.2}", "#".repeat(bar_len));
+        let _ = writeln!(
+            out,
+            "{label:>12} | {:<width$} {value:.2}",
+            "#".repeat(bar_len)
+        );
     }
     out
 }
@@ -55,7 +63,7 @@ pub fn commas(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::with_capacity(s.len() + s.len() / 3);
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -93,7 +101,10 @@ mod tests {
         assert!(t.contains("| name "));
         assert!(t.contains("| long-name.com |"));
         let widths: Vec<usize> = t.lines().map(str::len).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{t}");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "ragged table:\n{t}"
+        );
     }
 
     #[test]

@@ -80,7 +80,11 @@ pub fn hijack_sensitivity(db: &PassiveDb, policy: &HijackPolicy) -> (u64, u64, f
         }
     }
     let total = visible + hidden;
-    let fraction = if total == 0 { 0.0 } else { hidden as f64 / total as f64 };
+    let fraction = if total == 0 {
+        0.0
+    } else {
+        hidden as f64 / total as f64
+    };
     (visible, hidden, fraction)
 }
 
@@ -122,7 +126,11 @@ mod tests {
         assert_eq!((v, h), (15, 0));
         assert_eq!(f, 0.0);
 
-        let all = HijackPolicy { rate_permille: 1000, ad_server: std::net::Ipv4Addr::LOCALHOST, salt: 0 };
+        let all = HijackPolicy {
+            rate_permille: 1000,
+            ad_server: std::net::Ipv4Addr::LOCALHOST,
+            salt: 0,
+        };
         let (v, h, f) = hijack_sensitivity(&d, &all);
         assert_eq!((v, h), (0, 15));
         assert!((f - 1.0).abs() < 1e-12);

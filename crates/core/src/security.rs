@@ -6,8 +6,7 @@ use std::net::Ipv4Addr;
 
 use nxd_dns_sim::ReverseDns;
 use nxd_honeypot::{
-    Categorizer, ControlGroupProfile, FilterStats, NoHostingBaseline, NoiseFilter,
-    TrafficCategory,
+    Categorizer, ControlGroupProfile, FilterStats, NoHostingBaseline, NoiseFilter, TrafficCategory,
 };
 use nxd_httpsim::{classify_user_agent, UaClass};
 use nxd_traffic::botnet::{Continent, COUNTRY_MIX};
@@ -74,8 +73,11 @@ pub fn run(world: &HoneypotWorld) -> SecurityReport {
     let mut hostclasses: HashMap<String, u64> = HashMap::new();
 
     for capture in &world.captures {
-        let categorizer =
-            Categorizer::new(capture.spec.name, world.webfilter.clone(), world.reverse_dns.clone());
+        let categorizer = Categorizer::new(
+            capture.spec.name,
+            world.webfilter.clone(),
+            world.reverse_dns.clone(),
+        );
         let (kept, stats) = filter.apply(capture.packets.clone());
 
         // Stream counts over the kept packets of this domain.
@@ -89,7 +91,9 @@ pub fn run(world: &HoneypotWorld) -> SecurityReport {
         let mut counts: HashMap<TrafficCategory, u64> = HashMap::new();
         for p in &kept {
             *port_counts.entry(p.dst_port).or_insert(0) += 1;
-            let Some(req) = p.http_request() else { continue };
+            let Some(req) = p.http_request() else {
+                continue;
+            };
             let category = categorizer.categorize(p, &streams);
             *counts.entry(category).or_insert(0) += 1;
             *totals.entry(category).or_insert(0) += 1;
@@ -133,14 +137,19 @@ pub fn run(world: &HoneypotWorld) -> SecurityReport {
             }
         }
         let total = counts.values().sum();
-        rows.push(DomainTally { spec: capture.spec, counts, total, filter: stats });
+        rows.push(DomainTally {
+            spec: capture.spec,
+            counts,
+            total,
+            filter: stats,
+        });
     }
 
     botnet.distinct_phones = phones.len() as u64;
     botnet.countries = sorted_desc(countries);
     botnet.continents = {
         let mut v: Vec<_> = continents.into_iter().collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
         v
     };
     botnet.models = sorted_desc(models);
@@ -257,7 +266,10 @@ mod tests {
     use nxd_traffic::{honeypot_era, HoneypotConfig};
 
     fn report() -> SecurityReport {
-        let world = honeypot_era::generate(HoneypotConfig { scale: 1_000, ..Default::default() });
+        let world = honeypot_era::generate(HoneypotConfig {
+            scale: 1_000,
+            ..Default::default()
+        });
         run(&world)
     }
 
@@ -293,7 +305,11 @@ mod tests {
             .filter(|&&(p, _)| p == 80 || p == 443)
             .map(|&(_, n)| n)
             .sum();
-        assert!(web as f64 / total as f64 > 0.9, "web share {}", web as f64 / total as f64);
+        assert!(
+            web as f64 / total as f64 > 0.9,
+            "web share {}",
+            web as f64 / total as f64
+        );
         // The AWS monitor port must be filtered out of the NXDomain view...
         assert!(r.ports_nxdomain.iter().all(|&(p, _)| p != 52_646));
         // ...while dominating the control view (Fig. 10b).
@@ -308,12 +324,16 @@ mod tests {
         assert!(b.distinct_phones > 100);
         // google-proxy carries the majority of requests (Fig. 15).
         assert_eq!(
-            b.hostname_classes[0].0, "google-proxy",
+            b.hostname_classes[0].0,
+            "google-proxy",
             "classes: {:?}",
             &b.hostname_classes[..3.min(b.hostname_classes.len())]
         );
         let gp_share = b.hostname_classes[0].1 as f64 / b.total_requests as f64;
-        assert!((0.45..0.68).contains(&gp_share), "paper 56.1%, got {gp_share}");
+        assert!(
+            (0.45..0.68).contains(&gp_share),
+            "paper 56.1%, got {gp_share}"
+        );
         // All four continents appear (Fig. 14).
         assert_eq!(b.continents.len(), 4);
         // Nexus models dominate.
@@ -326,7 +346,10 @@ mod tests {
     fn in_app_mix_whatsapp_leads() {
         // Needs a larger sample than the other tests: Fig. 13's mix only
         // stabilizes with a few hundred in-app visits.
-        let world = honeypot_era::generate(HoneypotConfig { scale: 50, ..Default::default() });
+        let world = honeypot_era::generate(HoneypotConfig {
+            scale: 50,
+            ..Default::default()
+        });
         let r = run(&world);
         assert!(!r.in_app_mix.is_empty());
         // Fig. 13: WhatsApp is the largest in-app source (26%).

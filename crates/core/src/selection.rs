@@ -104,7 +104,13 @@ mod tests {
         let mut d = PassiveDb::new();
         for i in 0..50 {
             for day in 0..300u32 {
-                d.record_str(&format!("busy{i}.com"), 17_000 + day, 0, RCode::NxDomain, 10);
+                d.record_str(
+                    &format!("busy{i}.com"),
+                    17_000 + day,
+                    0,
+                    RCode::NxDomain,
+                    10,
+                );
             }
         }
         let picked = select(&d, &criteria());

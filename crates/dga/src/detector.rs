@@ -112,7 +112,10 @@ pub struct DgaDetector {
 
 impl Default for DgaDetector {
     fn default() -> Self {
-        DgaDetector { weights: Weights::default(), threshold: 3.2 }
+        DgaDetector {
+            weights: Weights::default(),
+            threshold: 3.2,
+        }
     }
 }
 
@@ -125,7 +128,10 @@ impl DgaDetector {
     /// label.
     pub fn features(domain: &str) -> Features {
         let label = domain.split('.').next().unwrap_or(domain);
-        let bytes: Vec<u8> = label.bytes().filter(|b| b.is_ascii_alphanumeric()).collect();
+        let bytes: Vec<u8> = label
+            .bytes()
+            .filter(|b| b.is_ascii_alphanumeric())
+            .collect();
         let len = bytes.len().max(1) as f64;
 
         let mut counts = [0u32; 36];
@@ -134,7 +140,11 @@ impl DgaDetector {
         let mut run = 0u32;
         let mut max_run = 0u32;
         for &b in &bytes {
-            let idx = if b.is_ascii_digit() { (b - b'0') as usize + 26 } else { (b - b'a') as usize };
+            let idx = if b.is_ascii_digit() {
+                (b - b'0') as usize + 26
+            } else {
+                (b - b'a') as usize
+            };
             counts[idx] += 1;
             if b.is_ascii_digit() {
                 digits += 1;
@@ -255,8 +265,8 @@ fn word_coverage(label: &str) -> f64 {
             }
         }
         if matched > 0 {
-            for k in i..i + matched {
-                covered[k] = true;
+            for c in covered.iter_mut().skip(i).take(matched) {
+                *c = true;
             }
             i += matched;
         } else {
@@ -314,7 +324,10 @@ mod tests {
         let d = DgaDetector::default();
         let fp = BENIGN_DOMAINS.iter().filter(|b| d.is_dga(b)).count();
         let rate = fp as f64 / BENIGN_DOMAINS.len() as f64;
-        assert!(rate < 0.08, "false-positive rate {rate} too high ({fp} hits)");
+        assert!(
+            rate < 0.08,
+            "false-positive rate {rate} too high ({fp} hits)"
+        );
     }
 
     #[test]
@@ -388,9 +401,11 @@ mod tests {
     #[test]
     fn feature_ablation_changes_decisions() {
         let full = DgaDetector::default();
-        let mut w = Weights::default();
-        w.bigram_score = 0.0;
-        w.entropy = 0.0;
+        let w = Weights {
+            bigram_score: 0.0,
+            entropy: 0.0,
+            ..Default::default()
+        };
         let ablated = DgaDetector::new(w, 3.2);
         let names: Vec<String> = all_families()[0].generate(2, (2020, 5, 5), 200);
         let full_hits = names.iter().filter(|n| full.is_dga(n)).count();

@@ -85,11 +85,15 @@ impl DgaFamily for LcgDga {
             .map(|_| {
                 // Classic LCG constants (Numerical Recipes).
                 let mut step = || {
-                    state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+                    state = state
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1_442_695_040_888_963_407);
                     state >> 33
                 };
                 let len = 8 + (step() % 5) as usize;
-                let label: String = (0..len).map(|_| (b'a' + (step() % 26) as u8) as char).collect();
+                let label: String = (0..len)
+                    .map(|_| (b'a' + (step() % 26) as u8) as char)
+                    .collect();
                 format!("{label}.com")
             })
             .collect()
@@ -108,7 +112,9 @@ impl DgaFamily for XorShiftDga {
         (0..count)
             .map(|_| {
                 let len = 6 + rng.below(6) as usize;
-                let label: String = (0..len).map(|_| (b'a' + rng.below(26) as u8) as char).collect();
+                let label: String = (0..len)
+                    .map(|_| (b'a' + rng.below(26) as u8) as char)
+                    .collect();
                 let tld = if rng.below(2) == 0 { "net" } else { "com" };
                 format!("{label}.{tld}")
             })
@@ -127,9 +133,7 @@ impl DgaFamily for DateHashDga {
         let (y, m, d) = date;
         (0..count)
             .map(|i| {
-                let mut h = seed
-                    .wrapping_add(i as u64)
-                    .wrapping_mul(0x100_0000_01B3)
+                let mut h = seed.wrapping_add(i as u64).wrapping_mul(0x100_0000_01B3)
                     ^ ((y as u64) << 16 | (m as u64) << 8 | d as u64);
                 let len = 12 + (h % 4) as usize;
                 let label: String = (0..len)
@@ -155,7 +159,7 @@ impl DgaFamily for DictionaryDga {
         "dictionary"
     }
     fn generate(&self, seed: u64, date: Date, count: usize) -> Vec<String> {
-        let mut rng = Xs64::new(mix(seed, date) ^ 0x0DDB_A11);
+        let mut rng = Xs64::new(mix(seed, date) ^ 0x00DD_BA11);
         (0..count)
             .map(|_| {
                 let a = WORDS[rng.below(WORDS.len() as u64) as usize];
@@ -177,8 +181,9 @@ impl DgaFamily for HexDga {
         let mut rng = Xs64::new(mix(seed, date) ^ 0x4E3F);
         (0..count)
             .map(|_| {
-                let label: String =
-                    (0..16).map(|_| char::from_digit(rng.below(16) as u32, 16).unwrap()).collect();
+                let label: String = (0..16)
+                    .map(|_| char::from_digit(rng.below(16) as u32, 16).unwrap())
+                    .collect();
                 format!("{label}.info")
             })
             .collect()
@@ -249,12 +254,16 @@ impl DgaFamily for MultiTldDga {
         "multitld"
     }
     fn generate(&self, seed: u64, date: Date, count: usize) -> Vec<String> {
-        const TLDS: &[&str] = &["com", "net", "org", "ru", "cn", "info", "biz", "xyz", "top", "online"];
+        const TLDS: &[&str] = &[
+            "com", "net", "org", "ru", "cn", "info", "biz", "xyz", "top", "online",
+        ];
         let mut rng = Xs64::new(mix(seed, date) ^ 0x4EC5);
         (0..count)
             .map(|_| {
                 let len = 7 + rng.below(15) as usize;
-                let label: String = (0..len).map(|_| (b'a' + rng.below(26) as u8) as char).collect();
+                let label: String = (0..len)
+                    .map(|_| (b'a' + rng.below(26) as u8) as char)
+                    .collect();
                 let tld = TLDS[rng.below(TLDS.len() as u64) as usize];
                 format!("{label}.{tld}")
             })
@@ -337,7 +346,10 @@ mod tests {
         for n in names {
             let label = n.split('.').next().unwrap();
             let hit = WORDS.iter().any(|w| label.starts_with(w));
-            assert!(hit, "dictionary label {label} should start with a corpus word");
+            assert!(
+                hit,
+                "dictionary label {label} should start with a corpus word"
+            );
         }
     }
 

@@ -29,5 +29,5 @@ pub mod families;
 pub mod stream;
 
 pub use detector::{DgaDetector, Evaluation, Features, Weights};
-pub use stream::{ClientVerdict, StreamConfig, StreamDetector};
 pub use families::{all_families, Date, DgaFamily};
+pub use stream::{ClientVerdict, StreamConfig, StreamDetector};

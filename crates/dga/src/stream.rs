@@ -43,7 +43,12 @@ pub struct StreamConfig {
 
 impl Default for StreamConfig {
     fn default() -> Self {
-        StreamConfig { window_secs: 300, min_burst: 10, score_threshold: 2.0, min_distinct: 0.8 }
+        StreamConfig {
+            window_secs: 300,
+            min_burst: 10,
+            score_threshold: 2.0,
+            min_distinct: 0.8,
+        }
     }
 }
 
@@ -64,7 +69,11 @@ pub struct StreamDetector {
 
 impl StreamDetector {
     pub fn new(config: StreamConfig, detector: DgaDetector) -> Self {
-        StreamDetector { config, detector, clients: HashMap::new() }
+        StreamDetector {
+            config,
+            detector,
+            clients: HashMap::new(),
+        }
     }
 
     /// Feeds one NXDOMAIN response observed for `client` at `now` (Unix
@@ -100,13 +109,21 @@ impl StreamDetector {
             };
         }
         let mean_score = window.events.iter().map(|&(_, _, s)| s).sum::<f64>() / n as f64;
-        let distinct: std::collections::HashSet<&str> =
-            window.events.iter().map(|(_, name, _)| name.as_str()).collect();
+        let distinct: std::collections::HashSet<&str> = window
+            .events
+            .iter()
+            .map(|(_, name, _)| name.as_str())
+            .collect();
         let distinct_fraction = distinct.len() as f64 / n as f64;
         let infected = n >= self.config.min_burst
             && mean_score > self.config.score_threshold
             && distinct_fraction >= self.config.min_distinct;
-        ClientVerdict { infected, nx_in_window: n, mean_score, distinct_fraction }
+        ClientVerdict {
+            infected,
+            nx_in_window: n,
+            mean_score,
+            distinct_fraction,
+        }
     }
 
     /// Number of clients currently tracked.
@@ -158,9 +175,18 @@ mod tests {
         // character statistics.
         let mut d = detector();
         let typos = [
-            "gogle.com", "facebok.com", "wikipedai.org", "amazn.com", "youtub.com",
-            "redit.com", "netflx.com", "linkedn.com", "twiter.com", "githb.com",
-            "spotfy.com", "microsft.com",
+            "gogle.com",
+            "facebok.com",
+            "wikipedai.org",
+            "amazn.com",
+            "youtub.com",
+            "redit.com",
+            "netflx.com",
+            "linkedn.com",
+            "twiter.com",
+            "githb.com",
+            "spotfy.com",
+            "microsft.com",
         ];
         let mut verdict = None;
         for (i, name) in typos.iter().enumerate() {

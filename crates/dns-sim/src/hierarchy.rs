@@ -5,9 +5,10 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-use nxd_dns_wire::{Name, RData, RType, Record};
+use nxd_dns_wire::{Message, Name, RCode, RData, RType, Record, WireError};
 
 use crate::registry::{EventKind, Phase, Registry, RegistryConfig, RegistryError};
+use crate::resolver::clamp_negative_soa;
 use crate::time::SimTime;
 use crate::zone::{Zone, ZoneAnswer};
 
@@ -39,14 +40,24 @@ impl SimDns {
     /// Builds a hierarchy serving the given TLDs.
     pub fn new(tlds: &[&str], config: RegistryConfig, start: SimTime) -> Self {
         let root_apex = Name::root();
-        let soa = Zone::default_soa(&Name::from_labels(["root-servers"]).unwrap(), DEFAULT_NEGATIVE_TTL);
+        let soa = Zone::default_soa(
+            &Name::from_labels(["root-servers"]).unwrap(),
+            DEFAULT_NEGATIVE_TTL,
+        );
         let mut root = Zone::new(root_apex, soa, DEFAULT_POSITIVE_TTL);
         let mut tld_zones = HashMap::new();
         for tld in tlds {
             let apex: Name = tld.parse().expect("valid TLD label");
             assert_eq!(apex.label_count(), 1, "TLDs are single labels");
             let ns = apex.child("ns").unwrap();
-            root.add(Record::new(apex.clone(), 172_800, RData::Ns(ns)));
+            root.add(Record::new(apex.clone(), 172_800, RData::Ns(ns.clone())));
+            // In-bailiwick delegation: the root carries glue for the TLD's
+            // nameserver (RFC 1034 §4.2.1).
+            root.add(Record::new(
+                ns,
+                172_800,
+                RData::A(Ipv4Addr::new(192, 0, 2, 53)),
+            ));
             let soa = Zone::default_soa(&apex, DEFAULT_NEGATIVE_TTL);
             tld_zones.insert(tld.to_string(), Zone::new(apex, soa, DEFAULT_POSITIVE_TTL));
         }
@@ -89,6 +100,14 @@ impl SimDns {
         self.tlds.keys().map(|s| s.as_str())
     }
 
+    /// Every zone the hierarchy currently serves (root, TLDs, authoritative),
+    /// e.g. for sweeping them through the `nxd-analyzer` zone passes.
+    pub fn zones(&self) -> impl Iterator<Item = &Zone> {
+        std::iter::once(&self.root)
+            .chain(self.tlds.values())
+            .chain(self.auth.values())
+    }
+
     /// Registers a domain and provisions its authoritative zone (apex A,
     /// `www` A, apex NS) plus the TLD delegation.
     pub fn register_domain(
@@ -113,13 +132,27 @@ impl SimDns {
         let tld = name.tld().expect("registered names have a TLD").to_string();
         let ns_name = name.child("ns1").expect("short label");
         if let Some(tld_zone) = self.tlds.get_mut(&tld) {
-            tld_zone.add(Record::new(name.clone(), 172_800, RData::Ns(ns_name.clone())));
+            tld_zone.add(Record::new(
+                name.clone(),
+                172_800,
+                RData::Ns(ns_name.clone()),
+            ));
+            // Glue for the in-bailiwick nameserver below the cut.
+            tld_zone.add(Record::new(ns_name.clone(), 172_800, RData::A(ip)));
         }
         let soa = Zone::default_soa(name, DEFAULT_NEGATIVE_TTL);
         let mut zone = Zone::new(name.clone(), soa, DEFAULT_POSITIVE_TTL);
-        zone.add(Record::new(name.clone(), DEFAULT_POSITIVE_TTL, RData::Ns(ns_name.clone())));
+        zone.add(Record::new(
+            name.clone(),
+            DEFAULT_POSITIVE_TTL,
+            RData::Ns(ns_name.clone()),
+        ));
         zone.add(Record::new(ns_name, DEFAULT_POSITIVE_TTL, RData::A(ip)));
-        zone.add(Record::new(name.clone(), DEFAULT_POSITIVE_TTL, RData::A(ip)));
+        zone.add(Record::new(
+            name.clone(),
+            DEFAULT_POSITIVE_TTL,
+            RData::A(ip),
+        ));
         zone.add(Record::new(
             name.child("www").expect("short label"),
             DEFAULT_POSITIVE_TTL,
@@ -133,6 +166,9 @@ impl SimDns {
             let tld = tld.to_string();
             if let Some(tld_zone) = self.tlds.get_mut(&tld) {
                 tld_zone.remove_name(name);
+                if let Ok(ns_name) = name.child("ns1") {
+                    tld_zone.remove_name(&ns_name);
+                }
             }
         }
         self.auth.remove(name);
@@ -157,15 +193,15 @@ impl SimDns {
         for ev in &events {
             match &ev.kind {
                 EventKind::Expired => self.deprovision(&ev.domain),
-                EventKind::Renewed { .. } | EventKind::Restored { .. } => {
-                    if self.auth.get(&ev.domain).is_none() {
-                        let ip = self
-                            .hosting
-                            .get(&ev.domain)
-                            .copied()
-                            .unwrap_or(Ipv4Addr::new(198, 51, 100, 1));
-                        self.provision(&ev.domain, ip);
-                    }
+                EventKind::Renewed { .. } | EventKind::Restored { .. }
+                    if !self.auth.contains_key(&ev.domain) =>
+                {
+                    let ip = self
+                        .hosting
+                        .get(&ev.domain)
+                        .copied()
+                        .unwrap_or(Ipv4Addr::new(198, 51, 100, 1));
+                    self.provision(&ev.domain, ip);
                 }
                 EventKind::DropCaught { .. } => {
                     let ip = Ipv4Addr::new(203, 0, 113, 7); // parking page
@@ -194,6 +230,48 @@ impl SimDns {
                 None => ZoneAnswer::OutOfZone,
             },
         }
+    }
+
+    /// Wire-level authoritative responder: decodes a query, answers it from
+    /// one server's zone, and encodes the response with conformant header
+    /// bits — AA set on authoritative data and denials (RFC 1035 §4.1.1),
+    /// RA clear (authoritative servers offer no recursion), and the zone
+    /// SOA (TTL capped at the SOA MINIMUM) in the authority section of
+    /// negative answers (RFC 2308 §2.1).
+    pub fn respond(&self, server: &ServerRef, query_wire: &[u8]) -> Result<Vec<u8>, WireError> {
+        let query = Message::decode(query_wire)?;
+        let mut resp = match query.questions.first() {
+            Some(q) => match self.query_server(server, &q.qname, q.qtype) {
+                ZoneAnswer::Answer(answers) => {
+                    let mut resp = Message::response(&query, RCode::NoError);
+                    resp.header.aa = true;
+                    resp.answers = answers;
+                    resp
+                }
+                ZoneAnswer::NoData(soa) => {
+                    let mut resp = Message::response(&query, RCode::NoError);
+                    resp.header.aa = true;
+                    resp.authorities = vec![clamp_negative_soa(&soa)];
+                    resp
+                }
+                ZoneAnswer::NxDomain(soa) => {
+                    let mut resp = Message::response(&query, RCode::NxDomain);
+                    resp.header.aa = true;
+                    resp.authorities = vec![clamp_negative_soa(&soa)];
+                    resp
+                }
+                ZoneAnswer::Delegation(ns) => {
+                    // Referral: not authoritative for the child zone.
+                    let mut resp = Message::response(&query, RCode::NoError);
+                    resp.authorities = ns;
+                    resp
+                }
+                ZoneAnswer::OutOfZone => Message::response(&query, RCode::Refused),
+            },
+            None => Message::response(&query, RCode::FormErr),
+        };
+        resp.header.ra = false;
+        resp.encode()
     }
 
     /// Resolves a referral: the server responsible for the zone whose apex
@@ -244,9 +322,19 @@ mod tests {
     }
 
     fn dns() -> SimDns {
-        let mut d = SimDns::new(&["com", "net"], RegistryConfig::default(), SimTime::ERA_START);
-        d.register_domain(&n("example.com"), "alice", "godaddy", 1, Ipv4Addr::new(192, 0, 2, 80))
-            .unwrap();
+        let mut d = SimDns::new(
+            &["com", "net"],
+            RegistryConfig::default(),
+            SimTime::ERA_START,
+        );
+        d.register_domain(
+            &n("example.com"),
+            "alice",
+            "godaddy",
+            1,
+            Ipv4Addr::new(192, 0, 2, 80),
+        )
+        .unwrap();
         d
     }
 
@@ -271,7 +359,11 @@ mod tests {
     #[test]
     fn tld_delegates_registered_domain() {
         let d = dns();
-        match d.query_server(&ServerRef::Tld("com".into()), &n("www.example.com"), RType::A) {
+        match d.query_server(
+            &ServerRef::Tld("com".into()),
+            &n("www.example.com"),
+            RType::A,
+        ) {
             ZoneAnswer::Delegation(ns) => assert_eq!(ns[0].name, n("example.com")),
             other => panic!("expected delegation, got {other:?}"),
         }
@@ -281,7 +373,11 @@ mod tests {
     fn tld_nxdomain_for_unregistered() {
         let d = dns();
         assert!(matches!(
-            d.query_server(&ServerRef::Tld("com".into()), &n("unregistered.com"), RType::A),
+            d.query_server(
+                &ServerRef::Tld("com".into()),
+                &n("unregistered.com"),
+                RType::A
+            ),
             ZoneAnswer::NxDomain(_)
         ));
     }
@@ -289,7 +385,11 @@ mod tests {
     #[test]
     fn auth_answers_a_queries() {
         let d = dns();
-        match d.query_server(&ServerRef::Auth(n("example.com")), &n("www.example.com"), RType::A) {
+        match d.query_server(
+            &ServerRef::Auth(n("example.com")),
+            &n("www.example.com"),
+            RType::A,
+        ) {
             ZoneAnswer::Answer(recs) => {
                 assert_eq!(recs[0].rdata, RData::A(Ipv4Addr::new(192, 0, 2, 80)));
             }
@@ -327,7 +427,11 @@ mod tests {
         d.registry_mut().drop_catch(&n("example.com"), "speculator");
         d.tick(SimTime::ERA_START + SimDuration::days(446));
         assert!(matches!(
-            d.query_server(&ServerRef::Auth(n("example.com")), &n("example.com"), RType::A),
+            d.query_server(
+                &ServerRef::Auth(n("example.com")),
+                &n("example.com"),
+                RType::A
+            ),
             ZoneAnswer::Answer(_)
         ));
     }
@@ -335,8 +439,14 @@ mod tests {
     #[test]
     fn next_server_routing() {
         let d = dns();
-        assert_eq!(d.next_server(&n("www.example.com")), Some(ServerRef::Auth(n("example.com"))));
-        assert_eq!(d.next_server(&n("other.com")), Some(ServerRef::Tld("com".into())));
+        assert_eq!(
+            d.next_server(&n("www.example.com")),
+            Some(ServerRef::Auth(n("example.com")))
+        );
+        assert_eq!(
+            d.next_server(&n("other.com")),
+            Some(ServerRef::Tld("com".into()))
+        );
         assert_eq!(d.next_server(&n("x.zz")), None);
     }
 
@@ -345,13 +455,24 @@ mod tests {
         let mut d = dns();
         let ok = d.add_record(
             &n("example.com"),
-            Record::new(n("api.example.com"), 60, RData::A(Ipv4Addr::new(192, 0, 2, 81))),
+            Record::new(
+                n("api.example.com"),
+                60,
+                RData::A(Ipv4Addr::new(192, 0, 2, 81)),
+            ),
         );
         assert!(ok);
         assert!(matches!(
-            d.query_server(&ServerRef::Auth(n("example.com")), &n("api.example.com"), RType::A),
+            d.query_server(
+                &ServerRef::Auth(n("example.com")),
+                &n("api.example.com"),
+                RType::A
+            ),
             ZoneAnswer::Answer(_)
         ));
-        assert!(!d.add_record(&n("ghost.com"), Record::new(n("ghost.com"), 60, RData::A(Ipv4Addr::LOCALHOST))));
+        assert!(!d.add_record(
+            &n("ghost.com"),
+            Record::new(n("ghost.com"), 60, RData::A(Ipv4Addr::LOCALHOST))
+        ));
     }
 }

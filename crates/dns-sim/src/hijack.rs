@@ -30,12 +30,20 @@ pub struct HijackPolicy {
 impl HijackPolicy {
     /// The paper's measured wild hijack rate (4.8%).
     pub fn paper_rate(salt: u64) -> Self {
-        HijackPolicy { rate_permille: 48, ad_server: Ipv4Addr::new(203, 0, 113, 80), salt }
+        HijackPolicy {
+            rate_permille: 48,
+            ad_server: Ipv4Addr::new(203, 0, 113, 80),
+            salt,
+        }
     }
 
     /// A policy that never hijacks.
     pub fn none() -> Self {
-        HijackPolicy { rate_permille: 0, ad_server: Ipv4Addr::UNSPECIFIED, salt: 0 }
+        HijackPolicy {
+            rate_permille: 0,
+            ad_server: Ipv4Addr::UNSPECIFIED,
+            salt: 0,
+        }
     }
 
     /// Whether this policy hijacks `name` (stable per name).
@@ -53,6 +61,7 @@ impl HijackPolicy {
             Resolution {
                 rcode: RCode::NoError,
                 answers: vec![Record::new(qname.clone(), 60, RData::A(self.ad_server))],
+                authorities: Vec::new(),
                 from_cache: resolution.from_cache,
                 upstream_queries: resolution.upstream_queries,
             }
@@ -77,7 +86,13 @@ mod tests {
     use super::*;
 
     fn nxdomain() -> Resolution {
-        Resolution { rcode: RCode::NxDomain, answers: vec![], from_cache: false, upstream_queries: 2 }
+        Resolution {
+            rcode: RCode::NxDomain,
+            answers: vec![],
+            authorities: vec![],
+            from_cache: false,
+            upstream_queries: 2,
+        }
     }
 
     fn n(s: &str) -> Name {
@@ -94,7 +109,11 @@ mod tests {
 
     #[test]
     fn full_rate_always_hijacks() {
-        let p = HijackPolicy { rate_permille: 1000, ad_server: Ipv4Addr::LOCALHOST, salt: 1 };
+        let p = HijackPolicy {
+            rate_permille: 1000,
+            ad_server: Ipv4Addr::LOCALHOST,
+            salt: 1,
+        };
         assert!(p.hijacks(&n("anything.com")));
         let res = p.apply(&n("anything.com"), nxdomain());
         assert_eq!(res.rcode, RCode::NoError);
@@ -118,7 +137,10 @@ mod tests {
             .filter(|i| p.hijacks(&n(&format!("sample-{i}.com"))))
             .count();
         let rate = hijacked as f64 / 20_000.0;
-        assert!((0.035..0.062).contains(&rate), "rate {rate} too far from 4.8%");
+        assert!(
+            (0.035..0.062).contains(&rate),
+            "rate {rate} too far from 4.8%"
+        );
     }
 
     #[test]
@@ -133,8 +155,18 @@ mod tests {
 
     #[test]
     fn noerror_passes_through() {
-        let p = HijackPolicy { rate_permille: 1000, ad_server: Ipv4Addr::LOCALHOST, salt: 0 };
-        let ok = Resolution { rcode: RCode::NoError, answers: vec![], from_cache: true, upstream_queries: 0 };
+        let p = HijackPolicy {
+            rate_permille: 1000,
+            ad_server: Ipv4Addr::LOCALHOST,
+            salt: 0,
+        };
+        let ok = Resolution {
+            rcode: RCode::NoError,
+            answers: vec![],
+            authorities: vec![],
+            from_cache: true,
+            upstream_queries: 0,
+        };
         assert_eq!(p.apply(&n("x.com"), ok.clone()), ok);
     }
 }

@@ -43,7 +43,9 @@ pub mod zonefile;
 pub use hierarchy::{ServerRef, SimDns, DEFAULT_NEGATIVE_TTL, DEFAULT_POSITIVE_TTL};
 pub use hijack::HijackPolicy;
 pub use registry::{Event, EventKind, Phase, Registry, RegistryConfig, RegistryError};
-pub use resolver::{Resolution, Resolver, ResolverConfig, ResolverStats};
+pub use resolver::{
+    clamp_negative_soa, Resolution, ResolveEvent, Resolver, ResolverConfig, ResolverStats,
+};
 pub use reverse::ReverseDns;
 pub use sinkhole::{Sinkhole, SinkholeEvent};
 pub use time::{SimDuration, SimTime, SECONDS_PER_DAY};

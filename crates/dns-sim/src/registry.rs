@@ -86,7 +86,11 @@ pub struct Event {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EventKind {
     /// Fresh registration (`years` terms) by `owner` via `registrar`.
-    Registered { owner: String, registrar: String, expires: SimTime },
+    Registered {
+        owner: String,
+        registrar: String,
+        expires: SimTime,
+    },
     /// Term extended to `expires`.
     Renewed { expires: SimTime },
     /// Expiration notice n-of-3 (two pre-expiry, one post-expiry).
@@ -170,7 +174,10 @@ impl Registry {
 
     /// The current phase of a name ([`Phase::Available`] if never seen).
     pub fn phase(&self, name: &Name) -> Phase {
-        self.domains.get(name).map(|d| d.phase).unwrap_or(Phase::Available)
+        self.domains
+            .get(name)
+            .map(|d| d.phase)
+            .unwrap_or(Phase::Available)
     }
 
     /// Whether the name currently resolves in DNS.
@@ -180,7 +187,10 @@ impl Registry {
 
     /// Expiration time of a currently registered domain.
     pub fn expires_at(&self, name: &Name) -> Option<SimTime> {
-        self.domains.get(name).filter(|d| d.phase == Phase::Registered).map(|d| d.expires_at)
+        self.domains
+            .get(name)
+            .filter(|d| d.phase == Phase::Registered)
+            .map(|d| d.expires_at)
     }
 
     /// Registers an available two-label name for `years` terms.
@@ -202,8 +212,7 @@ impl Registry {
             return Err(RegistryError::NotAvailable(phase));
         }
         let expires = self.now + SimDuration::seconds(self.config.term.as_seconds() * years as u64);
-        let first_notice =
-            expires - SimDuration::days(self.config.first_notice_days);
+        let first_notice = expires - SimDuration::days(self.config.first_notice_days);
         let state = DomainState {
             phase: Phase::Registered,
             owner: owner.to_string(),
@@ -213,7 +222,10 @@ impl Registry {
             next_transition: first_notice,
             notices_sent: 0,
         };
-        self.schedule.entry(first_notice).or_default().push(name.clone());
+        self.schedule
+            .entry(first_notice)
+            .or_default()
+            .push(name.clone());
         self.domains.insert(name.clone(), state);
         self.events.push(Event {
             at: self.now,
@@ -241,8 +253,7 @@ impl Registry {
                 state.expires_at = base + SimDuration::seconds(term);
                 state.phase = Phase::Registered;
                 state.notices_sent = 0;
-                state.next_transition =
-                    state.expires_at - SimDuration::days(first_notice_days);
+                state.next_transition = state.expires_at - SimDuration::days(first_notice_days);
                 let expires = state.expires_at;
                 let due = state.next_transition;
                 self.schedule.entry(due).or_default().push(name.clone());
@@ -253,7 +264,10 @@ impl Registry {
                 });
                 Ok(expires)
             }
-            actual => Err(RegistryError::WrongPhase { expected: Phase::Registered, actual }),
+            actual => Err(RegistryError::WrongPhase {
+                expected: Phase::Registered,
+                actual,
+            }),
         }
     }
 
@@ -268,8 +282,7 @@ impl Registry {
                 state.phase = Phase::Registered;
                 state.expires_at = now + SimDuration::seconds(term);
                 state.notices_sent = 0;
-                state.next_transition =
-                    state.expires_at - SimDuration::days(first_notice_days);
+                state.next_transition = state.expires_at - SimDuration::days(first_notice_days);
                 let expires = state.expires_at;
                 let due = state.next_transition;
                 self.schedule.entry(due).or_default().push(name.clone());
@@ -280,9 +293,10 @@ impl Registry {
                 });
                 Ok(expires)
             }
-            actual => {
-                Err(RegistryError::WrongPhase { expected: Phase::RedemptionGrace, actual })
-            }
+            actual => Err(RegistryError::WrongPhase {
+                expected: Phase::RedemptionGrace,
+                actual,
+            }),
         }
     }
 
@@ -313,7 +327,9 @@ impl Registry {
 
     fn transition(&mut self, name: &Name, at: SimTime) {
         let cfg = self.config.clone();
-        let Some(state) = self.domains.get_mut(name) else { return };
+        let Some(state) = self.domains.get_mut(name) else {
+            return;
+        };
         // Stale schedule entries (from renewals) are filtered by comparing
         // the stored next_transition.
         if state.next_transition != at {
@@ -322,8 +338,7 @@ impl Registry {
         match state.phase {
             Phase::Registered => {
                 // Notice sequence, then expiry.
-                let second_notice =
-                    state.expires_at - SimDuration::days(cfg.second_notice_days);
+                let second_notice = state.expires_at - SimDuration::days(cfg.second_notice_days);
                 if state.notices_sent == 0 && at < state.expires_at {
                     state.notices_sent = 1;
                     state.next_transition = second_notice.max(at);
@@ -351,7 +366,11 @@ impl Registry {
                     state.next_transition = at + cfg.auto_renew_grace;
                     let due = state.next_transition;
                     self.schedule.entry(due).or_default().push(name.clone());
-                    self.events.push(Event { at, domain: name.clone(), kind: EventKind::Expired });
+                    self.events.push(Event {
+                        at,
+                        domain: name.clone(),
+                        kind: EventKind::Expired,
+                    });
                     self.events.push(Event {
                         at,
                         domain: name.clone(),
@@ -375,11 +394,19 @@ impl Registry {
                 state.next_transition = at + cfg.pending_delete;
                 let due = state.next_transition;
                 self.schedule.entry(due).or_default().push(name.clone());
-                self.events.push(Event { at, domain: name.clone(), kind: EventKind::PendingDelete });
+                self.events.push(Event {
+                    at,
+                    domain: name.clone(),
+                    kind: EventKind::PendingDelete,
+                });
             }
             Phase::PendingDelete => {
                 self.domains.remove(name);
-                self.events.push(Event { at, domain: name.clone(), kind: EventKind::Released });
+                self.events.push(Event {
+                    at,
+                    domain: name.clone(),
+                    kind: EventKind::Released,
+                });
                 if let Some(catcher) = self.watchlist.remove(name) {
                     // Drop-catch: immediate re-registration at release time.
                     let saved_now = self.now;
@@ -409,13 +436,22 @@ impl Registry {
 
     /// All currently registered (resolving) domains.
     pub fn registered_domains(&self) -> impl Iterator<Item = &Name> {
-        self.domains.iter().filter(|(_, s)| s.phase == Phase::Registered).map(|(n, _)| n)
+        self.domains
+            .iter()
+            .filter(|(_, s)| s.phase == Phase::Registered)
+            .map(|(n, _)| n)
     }
 
     /// Registration metadata for WHOIS-style consumers.
     pub fn whois_view(&self, name: &Name) -> Option<(String, String, SimTime, SimTime, Phase)> {
         self.domains.get(name).map(|s| {
-            (s.owner.clone(), s.registrar.clone(), s.registered_at, s.expires_at, s.phase)
+            (
+                s.owner.clone(),
+                s.registrar.clone(),
+                s.registered_at,
+                s.expires_at,
+                s.phase,
+            )
         })
     }
 }
@@ -436,7 +472,13 @@ mod tests {
         reg.events()
             .iter()
             .filter(|e| &e.domain == name)
-            .map(|e| format!("{:?}", e.kind).split(['{', ' ']).next().unwrap().to_string())
+            .map(|e| {
+                format!("{:?}", e.kind)
+                    .split(['{', ' '])
+                    .next()
+                    .unwrap()
+                    .to_string()
+            })
             .collect()
     }
 
@@ -469,8 +511,14 @@ mod tests {
             reg.register(&n("www.example.com"), "a", "r", 1),
             Err(RegistryError::NotRegistrable)
         );
-        assert_eq!(reg.register(&n("com"), "a", "r", 1), Err(RegistryError::NotRegistrable));
-        assert_eq!(reg.register(&n("x.com"), "a", "r", 0), Err(RegistryError::BadTerm));
+        assert_eq!(
+            reg.register(&n("com"), "a", "r", 1),
+            Err(RegistryError::NotRegistrable)
+        );
+        assert_eq!(
+            reg.register(&n("x.com"), "a", "r", 0),
+            Err(RegistryError::BadTerm)
+        );
     }
 
     #[test]
@@ -546,7 +594,10 @@ mod tests {
         reg.tick(SimTime::ERA_START + SimDuration::days(365 + 46));
         assert_eq!(reg.phase(&d), Phase::RedemptionGrace);
         // A plain renew is not allowed in RGP.
-        assert!(matches!(reg.renew(&d, 1), Err(RegistryError::WrongPhase { .. })));
+        assert!(matches!(
+            reg.renew(&d, 1),
+            Err(RegistryError::WrongPhase { .. })
+        ));
         reg.restore(&d).unwrap();
         assert_eq!(reg.phase(&d), Phase::Registered);
     }

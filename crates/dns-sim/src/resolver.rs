@@ -20,6 +20,10 @@ use crate::zone::ZoneAnswer;
 pub struct Resolution {
     pub rcode: RCode,
     pub answers: Vec<Record>,
+    /// Authority-section records for the wire response. Negative results
+    /// carry the denying zone's SOA here (RFC 2308 §2.1), with its TTL
+    /// already capped at the SOA MINIMUM.
+    pub authorities: Vec<Record>,
     /// True if served entirely from cache.
     pub from_cache: bool,
     /// Number of server queries performed (0 when cached).
@@ -30,6 +34,33 @@ impl Resolution {
     pub fn is_nxdomain(&self) -> bool {
         self.rcode == RCode::NxDomain
     }
+}
+
+/// One entry of the resolver's event trace (enabled by
+/// [`ResolverConfig::record_trace`]): the per-query facts the trace passes
+/// of `nxd-analyzer` check RFC 2308/8020 cache behaviour against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolveEvent {
+    pub at: SimTime,
+    pub qname: Name,
+    pub qtype: RType,
+    pub rcode: RCode,
+    pub from_cache: bool,
+    pub upstream_queries: u32,
+    /// Remaining seconds of the negative-cache window for this name/type,
+    /// when the result is negative and cached (fresh entries report the
+    /// full window).
+    pub negative_ttl: Option<u32>,
+}
+
+/// Caps a negative-response SOA record's TTL at its MINIMUM field, the
+/// effective negative TTL of RFC 2308 §5.
+pub fn clamp_negative_soa(soa: &Record) -> Record {
+    let mut capped = soa.clone();
+    if let RData::Soa(s) = &capped.rdata {
+        capped.ttl = capped.ttl.min(s.minimum);
+    }
+    capped
 }
 
 /// Resolver metrics, cumulative since construction.
@@ -59,6 +90,9 @@ enum NegKind {
 struct NegativeEntry {
     expires: SimTime,
     kind: NegKind,
+    /// The denying zone's SOA (TTL already capped), replayed in the
+    /// authority section of cached negative answers.
+    soa: Record,
 }
 
 /// Resolver configuration.
@@ -73,11 +107,19 @@ pub struct ResolverConfig {
     pub positive_cache: bool,
     /// Iteration guard against delegation loops.
     pub max_steps: u32,
+    /// Record a [`ResolveEvent`] per query for trace analysis.
+    pub record_trace: bool,
 }
 
 impl Default for ResolverConfig {
     fn default() -> Self {
-        ResolverConfig { max_ttl: 86_400, negative_cache: true, positive_cache: true, max_steps: 16 }
+        ResolverConfig {
+            max_ttl: 86_400,
+            negative_cache: true,
+            positive_cache: true,
+            max_steps: 16,
+            record_trace: false,
+        }
     }
 }
 
@@ -90,6 +132,7 @@ pub struct Resolver {
     nxdomain: HashMap<Name, NegativeEntry>,
     nodata: HashMap<(Name, u16), NegativeEntry>,
     stats: ResolverStats,
+    trace: Vec<ResolveEvent>,
 }
 
 impl Resolver {
@@ -100,11 +143,22 @@ impl Resolver {
             nxdomain: HashMap::new(),
             nodata: HashMap::new(),
             stats: ResolverStats::default(),
+            trace: Vec::new(),
         }
     }
 
     pub fn stats(&self) -> &ResolverStats {
         &self.stats
+    }
+
+    /// The recorded event trace (empty unless `record_trace` is set).
+    pub fn trace(&self) -> &[ResolveEvent] {
+        &self.trace
+    }
+
+    /// Drains the recorded trace for batch analysis.
+    pub fn take_trace(&mut self) -> Vec<ResolveEvent> {
+        std::mem::take(&mut self.trace)
     }
 
     /// Entries currently cached (positive, nxdomain, nodata).
@@ -120,7 +174,48 @@ impl Resolver {
     }
 
     /// Resolves `qname`/`qtype` at simulated instant `now`.
-    pub fn resolve(&mut self, dns: &SimDns, qname: &Name, qtype: RType, now: SimTime) -> Resolution {
+    pub fn resolve(
+        &mut self,
+        dns: &SimDns,
+        qname: &Name,
+        qtype: RType,
+        now: SimTime,
+    ) -> Resolution {
+        let resolution = self.resolve_inner(dns, qname, qtype, now);
+        if self.config.record_trace {
+            // Remaining negative window, read back from the cache (fresh
+            // entries were just inserted, so this reports the full TTL).
+            let negative_ttl = match resolution.rcode {
+                RCode::NxDomain => self
+                    .nxdomain
+                    .get(qname)
+                    .map(|e| e.expires.0.saturating_sub(now.0) as u32),
+                RCode::NoError if resolution.answers.is_empty() => self
+                    .nodata
+                    .get(&(qname.clone(), qtype.to_u16()))
+                    .map(|e| e.expires.0.saturating_sub(now.0) as u32),
+                _ => None,
+            };
+            self.trace.push(ResolveEvent {
+                at: now,
+                qname: qname.clone(),
+                qtype,
+                rcode: resolution.rcode,
+                from_cache: resolution.from_cache,
+                upstream_queries: resolution.upstream_queries,
+                negative_ttl,
+            });
+        }
+        resolution
+    }
+
+    fn resolve_inner(
+        &mut self,
+        dns: &SimDns,
+        qname: &Name,
+        qtype: RType,
+        now: SimTime,
+    ) -> Resolution {
         self.stats.queries += 1;
 
         // Cache lookups.
@@ -133,6 +228,7 @@ impl Resolver {
                     return Resolution {
                         rcode: RCode::NxDomain,
                         answers: Vec::new(),
+                        authorities: vec![e.soa.clone()],
                         from_cache: true,
                         upstream_queries: 0,
                     };
@@ -145,6 +241,7 @@ impl Resolver {
                     return Resolution {
                         rcode: RCode::NoError,
                         answers: Vec::new(),
+                        authorities: vec![e.soa.clone()],
                         from_cache: true,
                         upstream_queries: 0,
                     };
@@ -158,6 +255,7 @@ impl Resolver {
                     return Resolution {
                         rcode: RCode::NoError,
                         answers: e.answers.clone(),
+                        authorities: Vec::new(),
                         from_cache: true,
                         upstream_queries: 0,
                     };
@@ -177,6 +275,7 @@ impl Resolver {
                     return Resolution {
                         rcode: RCode::NoError,
                         answers,
+                        authorities: Vec::new(),
                         from_cache: false,
                         upstream_queries: upstream,
                     };
@@ -184,20 +283,24 @@ impl Resolver {
                 ZoneAnswer::NxDomain(soa) => {
                     self.stats.upstream_queries += upstream as u64;
                     self.stats.nxdomain_responses += 1;
+                    let soa = clamp_negative_soa(&soa);
                     self.cache_negative(qname, qtype, &soa, NegKind::NxDomain, now);
                     return Resolution {
                         rcode: RCode::NxDomain,
                         answers: Vec::new(),
+                        authorities: vec![soa],
                         from_cache: false,
                         upstream_queries: upstream,
                     };
                 }
                 ZoneAnswer::NoData(soa) => {
                     self.stats.upstream_queries += upstream as u64;
+                    let soa = clamp_negative_soa(&soa);
                     self.cache_negative(qname, qtype, &soa, NegKind::NoData, now);
                     return Resolution {
                         rcode: RCode::NoError,
                         answers: Vec::new(),
+                        authorities: vec![soa],
                         from_cache: false,
                         upstream_queries: upstream,
                     };
@@ -223,6 +326,7 @@ impl Resolver {
         Resolution {
             rcode: RCode::ServFail,
             answers: Vec::new(),
+            authorities: Vec::new(),
             from_cache: false,
             upstream_queries: upstream,
         }
@@ -230,7 +334,12 @@ impl Resolver {
 
     /// Wire-level entry point: decodes a query message, resolves it, and
     /// encodes the response (exercising the full codec path).
-    pub fn resolve_message(&mut self, dns: &SimDns, query_wire: &[u8], now: SimTime) -> Result<Vec<u8>, nxd_dns_wire::WireError> {
+    pub fn resolve_message(
+        &mut self,
+        dns: &SimDns,
+        query_wire: &[u8],
+        now: SimTime,
+    ) -> Result<Vec<u8>, nxd_dns_wire::WireError> {
         let query = Message::decode(query_wire)?;
         let (qname, qtype) = match query.questions.first() {
             Some(q) => (q.qname.clone(), q.qtype),
@@ -242,6 +351,7 @@ impl Resolver {
         let resolution = self.resolve(dns, &qname, qtype, now);
         let mut resp = Message::response(&query, resolution.rcode);
         resp.answers = resolution.answers;
+        resp.authorities = resolution.authorities;
         resp.encode()
     }
 
@@ -249,17 +359,35 @@ impl Resolver {
         if !self.config.positive_cache {
             return;
         }
-        let ttl = answers.iter().map(|r| r.ttl).min().unwrap_or(0).min(self.config.max_ttl);
+        let ttl = answers
+            .iter()
+            .map(|r| r.ttl)
+            .min()
+            .unwrap_or(0)
+            .min(self.config.max_ttl);
         if ttl == 0 {
             return;
         }
         self.positive.insert(
             (qname.clone(), qtype.to_u16()),
-            PositiveEntry { expires: SimTime(now.0 + ttl as u64), answers: answers.to_vec() },
+            PositiveEntry {
+                expires: SimTime(now.0 + ttl as u64),
+                answers: answers.to_vec(),
+            },
         );
     }
 
-    fn cache_negative(&mut self, qname: &Name, qtype: RType, soa: &Record, kind: NegKind, now: SimTime) {
+    /// Caches a negative result. `soa` must already be TTL-capped (see
+    /// [`clamp_negative_soa`]), so the capped record is also what cached
+    /// answers replay in their authority section.
+    fn cache_negative(
+        &mut self,
+        qname: &Name,
+        qtype: RType,
+        soa: &Record,
+        kind: NegKind,
+        now: SimTime,
+    ) {
         if !self.config.negative_cache {
             return;
         }
@@ -272,7 +400,11 @@ impl Resolver {
         if ttl == 0 {
             return;
         }
-        let entry = NegativeEntry { expires: SimTime(now.0 + ttl as u64), kind };
+        let entry = NegativeEntry {
+            expires: SimTime(now.0 + ttl as u64),
+            kind,
+            soa: soa.clone(),
+        };
         match kind {
             NegKind::NxDomain => {
                 self.nxdomain.insert(qname.clone(), entry);
@@ -298,8 +430,14 @@ mod tests {
 
     fn world() -> (SimDns, Resolver) {
         let mut d = SimDns::new(&["com"], RegistryConfig::default(), SimTime::ERA_START);
-        d.register_domain(&n("example.com"), "alice", "godaddy", 1, Ipv4Addr::new(192, 0, 2, 80))
-            .unwrap();
+        d.register_domain(
+            &n("example.com"),
+            "alice",
+            "godaddy",
+            1,
+            Ipv4Addr::new(192, 0, 2, 80),
+        )
+        .unwrap();
         (d, Resolver::new(ResolverConfig::default()))
     }
 
@@ -327,7 +465,12 @@ mod tests {
         let (dns, mut r) = world();
         let t = SimTime::ERA_START;
         r.resolve(&dns, &n("www.example.com"), RType::A, t);
-        let res = r.resolve(&dns, &n("www.example.com"), RType::A, t + SimDuration::seconds(10));
+        let res = r.resolve(
+            &dns,
+            &n("www.example.com"),
+            RType::A,
+            t + SimDuration::seconds(10),
+        );
         assert!(res.from_cache);
         assert_eq!(res.upstream_queries, 0);
         assert_eq!(r.stats().cache_hits, 1);
@@ -339,7 +482,12 @@ mod tests {
         let t = SimTime::ERA_START;
         r.resolve(&dns, &n("www.example.com"), RType::A, t);
         // Positive TTL is 3600 in the simulated zones.
-        let res = r.resolve(&dns, &n("www.example.com"), RType::A, t + SimDuration::seconds(3601));
+        let res = r.resolve(
+            &dns,
+            &n("www.example.com"),
+            RType::A,
+            t + SimDuration::seconds(3601),
+        );
         assert!(!res.from_cache);
     }
 
@@ -354,8 +502,12 @@ mod tests {
         assert!(second.is_nxdomain());
         assert_eq!(r.stats().negative_cache_hits, 1);
         // After the negative TTL the query goes upstream again.
-        let third =
-            r.resolve(&dns, &n("ghost.com"), RType::A, t + SimDuration::seconds(DEFAULT_NEGATIVE_TTL as u64 + 1));
+        let third = r.resolve(
+            &dns,
+            &n("ghost.com"),
+            RType::A,
+            t + SimDuration::seconds(DEFAULT_NEGATIVE_TTL as u64 + 1),
+        );
         assert!(!third.from_cache);
     }
 
@@ -364,7 +516,12 @@ mod tests {
         let (dns, mut r) = world();
         let t = SimTime::ERA_START;
         r.resolve(&dns, &n("ghost.com"), RType::A, t);
-        let res = r.resolve(&dns, &n("ghost.com"), RType::Aaaa, t + SimDuration::seconds(5));
+        let res = r.resolve(
+            &dns,
+            &n("ghost.com"),
+            RType::Aaaa,
+            t + SimDuration::seconds(5),
+        );
         assert!(res.from_cache, "NXDOMAIN is name-wide, not per-type");
     }
 
@@ -376,17 +533,30 @@ mod tests {
         let res = r.resolve(&dns, &n("www.example.com"), RType::Mx, t);
         assert_eq!(res.rcode, RCode::NoError);
         assert!(res.answers.is_empty());
-        let cached = r.resolve(&dns, &n("www.example.com"), RType::Mx, t + SimDuration::seconds(1));
+        let cached = r.resolve(
+            &dns,
+            &n("www.example.com"),
+            RType::Mx,
+            t + SimDuration::seconds(1),
+        );
         assert!(cached.from_cache);
         // A different type still goes upstream.
-        let a = r.resolve(&dns, &n("www.example.com"), RType::A, t + SimDuration::seconds(2));
+        let a = r.resolve(
+            &dns,
+            &n("www.example.com"),
+            RType::A,
+            t + SimDuration::seconds(2),
+        );
         assert!(!a.from_cache);
     }
 
     #[test]
     fn negative_cache_disabled_ablation() {
         let (dns, _) = world();
-        let mut r = Resolver::new(ResolverConfig { negative_cache: false, ..Default::default() });
+        let mut r = Resolver::new(ResolverConfig {
+            negative_cache: false,
+            ..Default::default()
+        });
         let t = SimTime::ERA_START;
         r.resolve(&dns, &n("ghost.com"), RType::A, t);
         let res = r.resolve(&dns, &n("ghost.com"), RType::A, t + SimDuration::seconds(1));
@@ -401,7 +571,12 @@ mod tests {
         dns.tick(t);
         let res = r.resolve(&dns, &n("www.example.com"), RType::A, t);
         assert!(res.is_nxdomain());
-        let cached = r.resolve(&dns, &n("www.example.com"), RType::A, t + SimDuration::seconds(1));
+        let cached = r.resolve(
+            &dns,
+            &n("www.example.com"),
+            RType::A,
+            t + SimDuration::seconds(1),
+        );
         assert!(cached.from_cache && cached.is_nxdomain());
     }
 
@@ -417,7 +592,9 @@ mod tests {
     fn wire_level_roundtrip() {
         let (dns, mut r) = world();
         let q = Message::query(0x55AA, n("ghost.com"), RType::A);
-        let resp_wire = r.resolve_message(&dns, &q.encode().unwrap(), SimTime::ERA_START).unwrap();
+        let resp_wire = r
+            .resolve_message(&dns, &q.encode().unwrap(), SimTime::ERA_START)
+            .unwrap();
         let resp = Message::decode(&resp_wire).unwrap();
         assert_eq!(resp.header.id, 0x55AA);
         assert!(resp.is_nxdomain());
@@ -433,7 +610,9 @@ mod tests {
             authorities: vec![],
             additionals: vec![],
         };
-        let resp_wire = r.resolve_message(&dns, &q.encode().unwrap(), SimTime::ERA_START).unwrap();
+        let resp_wire = r
+            .resolve_message(&dns, &q.encode().unwrap(), SimTime::ERA_START)
+            .unwrap();
         let resp = Message::decode(&resp_wire).unwrap();
         assert_eq!(resp.header.rcode, RCode::FormErr);
     }

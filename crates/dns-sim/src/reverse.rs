@@ -47,7 +47,9 @@ impl ReverseDns {
     pub fn insert_range(&mut self, network: Ipv4Addr, prefix_len: u8, template: &str) {
         assert!(prefix_len <= 32, "bad prefix length");
         let sample = template.replace("{ip}", "192-0-2-1");
-        sample.parse::<Name>().expect("template must expand to a valid name");
+        sample
+            .parse::<Name>()
+            .expect("template must expand to a valid name");
         let mask = prefix_mask(prefix_len);
         self.ranges.push(RangeEntry {
             network: u32::from(network) & mask,
@@ -55,13 +57,15 @@ impl ReverseDns {
             template: template.to_string(),
         });
         // Keep longest-prefix-first so the first match wins.
-        self.ranges.sort_by(|a, b| b.prefix_len.cmp(&a.prefix_len));
+        self.ranges.sort_by_key(|r| std::cmp::Reverse(r.prefix_len));
     }
 
     /// The PTR owner name for an address (`1.2.0.192.in-addr.arpa`).
     pub fn ptr_name(ip: Ipv4Addr) -> Name {
         let o = ip.octets();
-        format!("{}.{}.{}.{}.in-addr.arpa", o[3], o[2], o[1], o[0]).parse().expect("valid")
+        format!("{}.{}.{}.{}.in-addr.arpa", o[3], o[2], o[1], o[0])
+            .parse()
+            .expect("valid")
     }
 
     /// Resolves an address to its hostname, if any mapping covers it.
@@ -109,8 +113,14 @@ mod tests {
         let mut r = ReverseDns::new();
         r.insert_range(ip("10.0.0.0"), 8, "host-{ip}.cloud.example");
         r.insert(ip("10.1.2.3"), "special.example.com".parse().unwrap());
-        assert_eq!(r.lookup(ip("10.1.2.3")).unwrap().to_string(), "special.example.com");
-        assert_eq!(r.lookup(ip("10.1.2.4")).unwrap().to_string(), "host-10-1-2-4.cloud.example");
+        assert_eq!(
+            r.lookup(ip("10.1.2.3")).unwrap().to_string(),
+            "special.example.com"
+        );
+        assert_eq!(
+            r.lookup(ip("10.1.2.4")).unwrap().to_string(),
+            "host-10-1-2-4.cloud.example"
+        );
     }
 
     #[test]
@@ -118,8 +128,16 @@ mod tests {
         let mut r = ReverseDns::new();
         r.insert_range(ip("10.0.0.0"), 8, "wide-{ip}.a.example");
         r.insert_range(ip("10.99.0.0"), 16, "narrow-{ip}.b.example");
-        assert!(r.lookup(ip("10.99.5.5")).unwrap().to_string().starts_with("narrow"));
-        assert!(r.lookup(ip("10.5.5.5")).unwrap().to_string().starts_with("wide"));
+        assert!(r
+            .lookup(ip("10.99.5.5"))
+            .unwrap()
+            .to_string()
+            .starts_with("narrow"));
+        assert!(r
+            .lookup(ip("10.5.5.5"))
+            .unwrap()
+            .to_string()
+            .starts_with("wide"));
     }
 
     #[test]
@@ -140,7 +158,10 @@ mod tests {
     fn provider_extracts_registrable() {
         let mut r = ReverseDns::new();
         r.insert_range(ip("66.249.80.0"), 20, "google-proxy-{ip}.google.com");
-        assert_eq!(r.provider(ip("66.249.81.7")).unwrap().to_string(), "google.com");
+        assert_eq!(
+            r.provider(ip("66.249.81.7")).unwrap().to_string(),
+            "google.com"
+        );
     }
 
     #[test]

@@ -39,7 +39,12 @@ pub struct Sinkhole {
 
 impl Sinkhole {
     pub fn new(server: Ipv4Addr) -> Self {
-        Sinkhole { watchlist: HashSet::new(), server, ttl: 60, log: Vec::new() }
+        Sinkhole {
+            watchlist: HashSet::new(),
+            server,
+            ttl: 60,
+            log: Vec::new(),
+        }
     }
 
     /// Adds one name to the watchlist.
@@ -71,10 +76,15 @@ impl Sinkhole {
         now: SimTime,
     ) -> Resolution {
         if resolution.rcode == RCode::NxDomain && self.watchlist.contains(qname) {
-            self.log.push(SinkholeEvent { at: now, client, qname: qname.clone() });
+            self.log.push(SinkholeEvent {
+                at: now,
+                client,
+                qname: qname.clone(),
+            });
             Resolution {
                 rcode: RCode::NoError,
                 answers: vec![Record::new(qname.clone(), self.ttl, RData::A(self.server))],
+                authorities: Vec::new(),
                 from_cache: resolution.from_cache,
                 upstream_queries: resolution.upstream_queries,
             }
@@ -99,7 +109,13 @@ mod tests {
     use super::*;
 
     fn nx() -> Resolution {
-        Resolution { rcode: RCode::NxDomain, answers: vec![], from_cache: false, upstream_queries: 2 }
+        Resolution {
+            rcode: RCode::NxDomain,
+            answers: vec![],
+            authorities: vec![],
+            from_cache: false,
+            upstream_queries: 2,
+        }
     }
 
     fn n(s: &str) -> Name {
@@ -118,7 +134,10 @@ mod tests {
         let res = s.apply(42, &n("dga-candidate.com"), nx(), SimTime(1_000));
         assert_eq!(res.rcode, RCode::NoError);
         assert_eq!(res.answers.len(), 1);
-        assert_eq!(res.answers[0].rdata, RData::A(Ipv4Addr::new(198, 51, 100, 53)));
+        assert_eq!(
+            res.answers[0].rdata,
+            RData::A(Ipv4Addr::new(198, 51, 100, 53))
+        );
         assert_eq!(res.answers[0].ttl, 60);
         assert_eq!(s.log().len(), 1);
         assert_eq!(s.log()[0].client, 42);
@@ -138,6 +157,7 @@ mod tests {
         let ok = Resolution {
             rcode: RCode::NoError,
             answers: vec![],
+            authorities: vec![],
             from_cache: true,
             upstream_queries: 0,
         };

@@ -28,7 +28,12 @@ pub struct TransportConfig {
 
 impl Default for TransportConfig {
     fn default() -> Self {
-        TransportConfig { loss_permille: 0, max_retries: 2, edns_payload: Some(1232), seed: 0 }
+        TransportConfig {
+            loss_permille: 0,
+            max_retries: 2,
+            edns_payload: Some(1232),
+            seed: 0,
+        }
     }
 }
 
@@ -62,7 +67,11 @@ pub struct WireChannel {
 impl WireChannel {
     pub fn new(config: TransportConfig) -> Self {
         let seed = config.seed | 1;
-        WireChannel { config, rng_state: seed, stats: TransportStats::default() }
+        WireChannel {
+            config,
+            rng_state: seed,
+            stats: TransportStats::default(),
+        }
     }
 
     pub fn stats(&self) -> TransportStats {
@@ -89,7 +98,10 @@ impl WireChannel {
         now: SimTime,
     ) -> Result<Message, TransportError> {
         if let Some(payload) = self.config.edns_payload {
-            query.set_edns(Edns { udp_payload: payload, ..Default::default() });
+            query.set_edns(Edns {
+                udp_payload: payload,
+                ..Default::default()
+            });
         }
         let limit = query.udp_limit();
         let query_wire = query.encode().map_err(TransportError::Wire)?;
@@ -106,8 +118,9 @@ impl WireChannel {
                 self.stats.udp_datagrams_lost += 1;
                 continue;
             }
-            let resp_wire =
-                resolver.resolve_message(dns, &query_wire, now).map_err(TransportError::Wire)?;
+            let resp_wire = resolver
+                .resolve_message(dns, &query_wire, now)
+                .map_err(TransportError::Wire)?;
             // Server-side truncation: answers beyond the advertised limit
             // are stripped and TC is set.
             let resp_wire = if resp_wire.len() > limit {
@@ -135,8 +148,9 @@ impl WireChannel {
         // Truncated: fall back to TCP (reliable, no size limit).
         if resp.header.tc {
             self.stats.tcp_fallbacks += 1;
-            let full =
-                resolver.resolve_message(dns, &query_wire, now).map_err(TransportError::Wire)?;
+            let full = resolver
+                .resolve_message(dns, &query_wire, now)
+                .map_err(TransportError::Wire)?;
             return Message::decode(&full).map_err(TransportError::Wire);
         }
         Ok(resp)
@@ -158,7 +172,8 @@ mod tests {
     /// A world where `big.com` has a TXT RRset far larger than 512 bytes.
     fn world() -> SimDns {
         let mut dns = SimDns::new(&["com"], RegistryConfig::default(), SimTime::ERA_START);
-        dns.register_domain(&n("big.com"), "o", "r", 1, Ipv4Addr::new(192, 0, 2, 1)).unwrap();
+        dns.register_domain(&n("big.com"), "o", "r", 1, Ipv4Addr::new(192, 0, 2, 1))
+            .unwrap();
         for i in 0..8 {
             dns.add_record(
                 &n("big.com"),
@@ -178,7 +193,12 @@ mod tests {
         let mut resolver = Resolver::new(ResolverConfig::default());
         let mut ch = WireChannel::new(TransportConfig::default());
         let resp = ch
-            .exchange(&mut resolver, &dns, Message::query(1, n("www.big.com"), RType::A), SimTime::ERA_START)
+            .exchange(
+                &mut resolver,
+                &dns,
+                Message::query(1, n("www.big.com"), RType::A),
+                SimTime::ERA_START,
+            )
             .unwrap();
         assert_eq!(resp.answers.len(), 1);
         assert_eq!(ch.stats().failures, 0);
@@ -190,11 +210,23 @@ mod tests {
         let dns = world();
         let mut resolver = Resolver::new(ResolverConfig::default());
         // Classic 512-byte client: the 8×200-byte TXT answer cannot fit.
-        let mut ch = WireChannel::new(TransportConfig { edns_payload: None, ..Default::default() });
+        let mut ch = WireChannel::new(TransportConfig {
+            edns_payload: None,
+            ..Default::default()
+        });
         let resp = ch
-            .exchange(&mut resolver, &dns, Message::query(2, n("big.com"), RType::Txt), SimTime::ERA_START)
+            .exchange(
+                &mut resolver,
+                &dns,
+                Message::query(2, n("big.com"), RType::Txt),
+                SimTime::ERA_START,
+            )
             .unwrap();
-        assert_eq!(resp.answers.len(), 8, "TCP fallback must deliver everything");
+        assert_eq!(
+            resp.answers.len(),
+            8,
+            "TCP fallback must deliver everything"
+        );
         let s = ch.stats();
         assert_eq!(s.truncated_responses, 1);
         assert_eq!(s.tcp_fallbacks, 1);
@@ -209,7 +241,12 @@ mod tests {
             ..Default::default()
         });
         let resp = ch
-            .exchange(&mut resolver, &dns, Message::query(3, n("big.com"), RType::Txt), SimTime::ERA_START)
+            .exchange(
+                &mut resolver,
+                &dns,
+                Message::query(3, n("big.com"), RType::Txt),
+                SimTime::ERA_START,
+            )
             .unwrap();
         assert_eq!(resp.answers.len(), 8);
         let s = ch.stats();
@@ -230,14 +267,22 @@ mod tests {
         let mut ok = 0;
         for i in 0..100u16 {
             if ch
-                .exchange(&mut resolver, &dns, Message::query(i, n("www.big.com"), RType::A), SimTime::ERA_START)
+                .exchange(
+                    &mut resolver,
+                    &dns,
+                    Message::query(i, n("www.big.com"), RType::A),
+                    SimTime::ERA_START,
+                )
                 .is_ok()
             {
                 ok += 1;
             }
         }
         assert_eq!(ok, 100, "8 retries beat 15% loss");
-        assert!(ch.stats().udp_datagrams_lost > 0, "faults must actually fire");
+        assert!(
+            ch.stats().udp_datagrams_lost > 0,
+            "faults must actually fire"
+        );
         assert!(ch.stats().retries > 0);
     }
 
@@ -252,7 +297,12 @@ mod tests {
             ..Default::default()
         });
         let err = ch
-            .exchange(&mut resolver, &dns, Message::query(9, n("www.big.com"), RType::A), SimTime::ERA_START)
+            .exchange(
+                &mut resolver,
+                &dns,
+                Message::query(9, n("www.big.com"), RType::A),
+                SimTime::ERA_START,
+            )
             .unwrap_err();
         assert_eq!(err, TransportError::Timeout);
         let s = ch.stats();
@@ -291,7 +341,12 @@ mod tests {
         let mut resolver = Resolver::new(ResolverConfig::default());
         let mut ch = WireChannel::new(TransportConfig::default());
         let resp = ch
-            .exchange(&mut resolver, &dns, Message::query(4, n("ghost.com"), RType::A), SimTime::ERA_START)
+            .exchange(
+                &mut resolver,
+                &dns,
+                Message::query(4, n("ghost.com"), RType::A),
+                SimTime::ERA_START,
+            )
             .unwrap();
         assert!(resp.is_nxdomain());
     }

@@ -77,7 +77,11 @@ impl Zone {
 
     /// The SOA record used in negative responses.
     pub fn soa_record(&self) -> Record {
-        Record::new(self.apex.clone(), self.soa_ttl, RData::Soa(self.soa.clone()))
+        Record::new(
+            self.apex.clone(),
+            self.soa_ttl,
+            RData::Soa(self.soa.clone()),
+        )
     }
 
     /// Number of RRsets (including the apex SOA).
@@ -204,16 +208,32 @@ mod tests {
         let apex = n("example.com");
         let soa = Zone::default_soa(&apex, 900);
         let mut z = Zone::new(apex.clone(), soa, 3600);
-        z.add(Record::new(n("example.com"), 3600, RData::Ns(n("ns1.example.com"))));
-        z.add(Record::new(n("ns1.example.com"), 3600, RData::A(Ipv4Addr::new(192, 0, 2, 1))));
-        z.add(Record::new(n("www.example.com"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 80))));
+        z.add(Record::new(
+            n("example.com"),
+            3600,
+            RData::Ns(n("ns1.example.com")),
+        ));
+        z.add(Record::new(
+            n("ns1.example.com"),
+            3600,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ));
+        z.add(Record::new(
+            n("www.example.com"),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 80)),
+        ));
         z.add(Record::new(
             n("alias.example.com"),
             300,
             RData::Cname(n("www.example.com")),
         ));
         // Delegated child zone.
-        z.add(Record::new(n("sub.example.com"), 3600, RData::Ns(n("ns1.sub.example.com"))));
+        z.add(Record::new(
+            n("sub.example.com"),
+            3600,
+            RData::Ns(n("ns1.sub.example.com")),
+        ));
         z
     }
 
@@ -244,15 +264,25 @@ mod tests {
     #[test]
     fn nodata_for_existing_name_wrong_type() {
         let z = example_zone();
-        assert!(matches!(z.lookup(&n("www.example.com"), RType::Mx), ZoneAnswer::NoData(_)));
+        assert!(matches!(
+            z.lookup(&n("www.example.com"), RType::Mx),
+            ZoneAnswer::NoData(_)
+        ));
     }
 
     #[test]
     fn nodata_for_empty_non_terminal() {
         let mut z = example_zone();
-        z.add(Record::new(n("a.b.example.com"), 60, RData::A(Ipv4Addr::new(192, 0, 2, 9))));
+        z.add(Record::new(
+            n("a.b.example.com"),
+            60,
+            RData::A(Ipv4Addr::new(192, 0, 2, 9)),
+        ));
         // "b.example.com" holds no records but has a descendant.
-        assert!(matches!(z.lookup(&n("b.example.com"), RType::A), ZoneAnswer::NoData(_)));
+        assert!(matches!(
+            z.lookup(&n("b.example.com"), RType::A),
+            ZoneAnswer::NoData(_)
+        ));
     }
 
     #[test]
@@ -269,7 +299,11 @@ mod tests {
     #[test]
     fn delegation_below_cut() {
         let z = example_zone();
-        for q in ["sub.example.com", "deep.sub.example.com", "a.b.sub.example.com"] {
+        for q in [
+            "sub.example.com",
+            "deep.sub.example.com",
+            "a.b.sub.example.com",
+        ] {
             match z.lookup(&n(q), RType::A) {
                 ZoneAnswer::Delegation(ns) => {
                     assert_eq!(ns[0].rdata, RData::Ns(n("ns1.sub.example.com")));
@@ -289,7 +323,10 @@ mod tests {
     #[test]
     fn apex_ns_is_authoritative_answer() {
         let z = example_zone();
-        assert!(matches!(z.lookup(&n("example.com"), RType::Ns), ZoneAnswer::Answer(_)));
+        assert!(matches!(
+            z.lookup(&n("example.com"), RType::Ns),
+            ZoneAnswer::Answer(_)
+        ));
     }
 
     #[test]
@@ -305,7 +342,10 @@ mod tests {
     fn remove_name_produces_nxdomain() {
         let mut z = example_zone();
         assert_eq!(z.remove_name(&n("www.example.com")), 1);
-        assert!(matches!(z.lookup(&n("www.example.com"), RType::A), ZoneAnswer::NxDomain(_)));
+        assert!(matches!(
+            z.lookup(&n("www.example.com"), RType::A),
+            ZoneAnswer::NxDomain(_)
+        ));
         assert_eq!(z.remove_name(&n("www.example.com")), 0);
     }
 
@@ -313,7 +353,11 @@ mod tests {
     #[should_panic(expected = "outside zone")]
     fn adding_out_of_zone_record_panics() {
         let mut z = example_zone();
-        z.add(Record::new(n("other.org"), 60, RData::A(Ipv4Addr::LOCALHOST)));
+        z.add(Record::new(
+            n("other.org"),
+            60,
+            RData::A(Ipv4Addr::LOCALHOST),
+        ));
     }
 
     #[test]

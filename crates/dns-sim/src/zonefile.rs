@@ -31,7 +31,10 @@ impl fmt::Display for ZoneFileError {
 impl std::error::Error for ZoneFileError {}
 
 fn err(line: usize, message: impl Into<String>) -> ZoneFileError {
-    ZoneFileError { line, message: message.into() }
+    ZoneFileError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Joins parenthesized groups into single logical lines and strips
@@ -89,7 +92,9 @@ fn resolve_name(token: &str, origin: &Name, line: usize) -> Result<Name, ZoneFil
         return Ok(origin.clone());
     }
     if let Some(absolute) = token.strip_suffix('.') {
-        return absolute.parse().map_err(|e| err(line, format!("bad name {token:?}: {e}")));
+        return absolute
+            .parse()
+            .map_err(|e| err(line, format!("bad name {token:?}: {e}")));
     }
     // Relative: append the origin.
     let mut labels: Vec<String> = token.split('.').map(str::to_string).collect();
@@ -113,7 +118,9 @@ pub fn parse_records(input: &str, default_origin: &Name) -> Result<Vec<Record>, 
         }
         match tokens[0] {
             "$ORIGIN" => {
-                let target = tokens.get(1).ok_or_else(|| err(line_no, "$ORIGIN needs a name"))?;
+                let target = tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "$ORIGIN needs a name"))?;
                 origin = resolve_name(target, &Name::root(), line_no)?;
                 continue;
             }
@@ -130,7 +137,9 @@ pub fn parse_records(input: &str, default_origin: &Name) -> Result<Vec<Record>, 
         // Owner: inherited when the line starts with whitespace.
         let mut rest = &tokens[..];
         let owner = if starts_with_space {
-            last_owner.clone().ok_or_else(|| err(line_no, "no previous owner to inherit"))?
+            last_owner
+                .clone()
+                .ok_or_else(|| err(line_no, "no previous owner to inherit"))?
         } else {
             let owner = resolve_name(tokens[0], &origin, line_no)?;
             rest = &tokens[1..];
@@ -169,7 +178,10 @@ fn parse_rdata(
 ) -> Result<RData, ZoneFileError> {
     let need = |n: usize| -> Result<(), ZoneFileError> {
         if data.len() < n {
-            Err(err(line, format!("{rtype} needs {n} fields, got {}", data.len())))
+            Err(err(
+                line,
+                format!("{rtype} needs {n} fields, got {}", data.len()),
+            ))
         } else {
             Ok(())
         }
@@ -177,14 +189,16 @@ fn parse_rdata(
     match rtype.to_ascii_uppercase().as_str() {
         "A" => {
             need(1)?;
-            let ip: Ipv4Addr =
-                data[0].parse().map_err(|_| err(line, format!("bad IPv4 {:?}", data[0])))?;
+            let ip: Ipv4Addr = data[0]
+                .parse()
+                .map_err(|_| err(line, format!("bad IPv4 {:?}", data[0])))?;
             Ok(RData::A(ip))
         }
         "AAAA" => {
             need(1)?;
-            let ip: Ipv6Addr =
-                data[0].parse().map_err(|_| err(line, format!("bad IPv6 {:?}", data[0])))?;
+            let ip: Ipv6Addr = data[0]
+                .parse()
+                .map_err(|_| err(line, format!("bad IPv6 {:?}", data[0])))?;
             Ok(RData::Aaaa(ip))
         }
         "NS" => {
@@ -201,9 +215,13 @@ fn parse_rdata(
         }
         "MX" => {
             need(2)?;
-            let preference =
-                data[0].parse().map_err(|_| err(line, format!("bad MX preference {:?}", data[0])))?;
-            Ok(RData::Mx { preference, exchange: resolve_name(data[1], origin, line)? })
+            let preference = data[0]
+                .parse()
+                .map_err(|_| err(line, format!("bad MX preference {:?}", data[0])))?;
+            Ok(RData::Mx {
+                preference,
+                exchange: resolve_name(data[1], origin, line)?,
+            })
         }
         "TXT" => {
             need(1)?;
@@ -216,7 +234,8 @@ fn parse_rdata(
         "SOA" => {
             need(7)?;
             let parse_u32 = |tok: &str| -> Result<u32, ZoneFileError> {
-                tok.parse().map_err(|_| err(line, format!("bad SOA number {tok:?}")))
+                tok.parse()
+                    .map_err(|_| err(line, format!("bad SOA number {tok:?}")))
             };
             Ok(RData::Soa(Soa {
                 mname: resolve_name(data[0], origin, line)?,
@@ -241,16 +260,24 @@ pub fn parse_zone(input: &str, apex: &Name) -> Result<Zone, ZoneFileError> {
         .find(|r| matches!(r.rdata, RData::Soa(_)))
         .ok_or_else(|| err(0, "zone has no SOA record"))?;
     if soa_record.name != *apex {
-        return Err(err(0, format!("SOA owner {} is not the apex {apex}", soa_record.name)));
+        return Err(err(
+            0,
+            format!("SOA owner {} is not the apex {apex}", soa_record.name),
+        ));
     }
-    let RData::Soa(soa) = soa_record.rdata.clone() else { unreachable!() };
+    let RData::Soa(soa) = soa_record.rdata.clone() else {
+        unreachable!()
+    };
     let mut zone = Zone::new(apex.clone(), soa, soa_record.ttl);
     for record in records {
         if matches!(record.rdata, RData::Soa(_)) {
             continue; // Zone::new installed it
         }
         if !record.name.is_subdomain_of(apex) {
-            return Err(err(0, format!("record owner {} outside zone {apex}", record.name)));
+            return Err(err(
+                0,
+                format!("record owner {} outside zone {apex}", record.name),
+            ));
         }
         zone.add(record);
     }
@@ -330,7 +357,9 @@ sub     IN  NS   ns1.sub
         assert_eq!(mx.rdata.to_string(), "10 mx1.example.com");
         let txt = records.iter().find(|r| r.rtype() == RType::Txt).unwrap();
         match &txt.rdata {
-            RData::Txt(strings) => assert_eq!(strings, &vec!["hello".to_string(), "world".to_string()]),
+            RData::Txt(strings) => {
+                assert_eq!(strings, &vec!["hello".to_string(), "world".to_string()])
+            }
             other => panic!("{other:?}"),
         }
     }
@@ -363,9 +392,15 @@ sub     IN  NS   ns1.sub
     #[test]
     fn zone_requires_soa_at_apex() {
         let no_soa = "www IN A 192.0.2.1\n";
-        assert!(parse_zone(no_soa, &apex()).unwrap_err().message.contains("no SOA"));
+        assert!(parse_zone(no_soa, &apex())
+            .unwrap_err()
+            .message
+            .contains("no SOA"));
         let wrong_apex = "$ORIGIN other.org.\n@ IN SOA ns1 host 1 2 3 4 5\n";
-        assert!(parse_zone(wrong_apex, &apex()).unwrap_err().message.contains("not the apex"));
+        assert!(parse_zone(wrong_apex, &apex())
+            .unwrap_err()
+            .message
+            .contains("not the apex"));
     }
 
     #[test]

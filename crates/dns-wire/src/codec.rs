@@ -31,7 +31,11 @@ pub struct WireWriter {
 
 impl WireWriter {
     pub fn new() -> Self {
-        WireWriter { buf: BytesMut::with_capacity(512), compress: HashMap::new(), compression_enabled: true }
+        WireWriter {
+            buf: BytesMut::with_capacity(512),
+            compress: HashMap::new(),
+            compression_enabled: true,
+        }
     }
 
     /// A writer that never emits compression pointers (for measuring the
@@ -86,7 +90,11 @@ impl WireWriter {
                 self.compress.insert(key, self.buf.len() as u16);
             }
             let label = name.label(i);
-            debug_assert!(label.len() <= 63);
+            // `Name` validates labels on construction, but a silent `as u8`
+            // truncation here would corrupt the wire format — fail instead.
+            if label.len() > 63 {
+                return Err(WireError::LabelTooLong(label.len()));
+            }
             self.buf.put_u8(label.len() as u8);
             self.buf.put_slice(label.as_bytes());
         }
@@ -139,7 +147,10 @@ impl<'a> WireReader<'a> {
 
     fn need(&self, n: usize) -> Result<(), WireError> {
         if self.remaining() < n {
-            Err(WireError::Truncated { needed: n, available: self.remaining() })
+            Err(WireError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            })
         } else {
             Ok(())
         }
@@ -183,7 +194,10 @@ impl<'a> WireReader<'a> {
 
         loop {
             if at >= self.data.len() {
-                return Err(WireError::Truncated { needed: 1, available: 0 });
+                return Err(WireError::Truncated {
+                    needed: 1,
+                    available: 0,
+                });
             }
             let len = self.data[at];
             match len & 0xC0 {
@@ -204,16 +218,21 @@ impl<'a> WireReader<'a> {
                         });
                     }
                     let raw = &self.data[start..end];
-                    let label: String = raw.iter().map(|&b| (b as char).to_ascii_lowercase()).collect();
+                    let label: String = raw
+                        .iter()
+                        .map(|&b| (b as char).to_ascii_lowercase())
+                        .collect();
                     labels.push(label);
                     at = end;
                 }
                 0xC0 => {
                     if at + 1 >= self.data.len() {
-                        return Err(WireError::Truncated { needed: 2, available: 1 });
+                        return Err(WireError::Truncated {
+                            needed: 2,
+                            available: 1,
+                        });
                     }
-                    let target =
-                        (((len & 0x3F) as usize) << 8) | self.data[at + 1] as usize;
+                    let target = (((len & 0x3F) as usize) << 8) | self.data[at + 1] as usize;
                     if cursor_after.is_none() {
                         cursor_after = Some(at + 2);
                     }
@@ -231,7 +250,10 @@ impl<'a> WireReader<'a> {
             }
         }
 
-        self.pos = cursor_after.expect("loop always sets cursor_after before break");
+        // The loop always sets `cursor_after` before breaking, but a decoder
+        // must never panic on wire input — degrade to an error if that
+        // invariant is ever broken by a future edit.
+        self.pos = cursor_after.ok_or(WireError::BadPointer(self.pos))?;
         if labels.is_empty() {
             Ok(Name::root())
         } else {

@@ -71,7 +71,9 @@ impl Edns {
     /// Decodes an OPT record; `None` if the record is not OPT or its RDATA
     /// is malformed.
     pub fn from_record(record: &Record) -> Option<Edns> {
-        let RData::Opt(raw) = &record.rdata else { return None };
+        let RData::Opt(raw) = &record.rdata else {
+            return None;
+        };
         let udp_payload = record.class.to_u16();
         let extended_rcode = (record.ttl >> 24) as u8;
         let version = (record.ttl >> 16) as u8;
@@ -84,13 +86,22 @@ impl Edns {
             if i + 4 + len > raw.len() {
                 return None;
             }
-            options.push(EdnsOption { code, data: raw[i + 4..i + 4 + len].to_vec() });
+            options.push(EdnsOption {
+                code,
+                data: raw[i + 4..i + 4 + len].to_vec(),
+            });
             i += 4 + len;
         }
         if i != raw.len() {
             return None;
         }
-        Some(Edns { udp_payload, extended_rcode, version, dnssec_ok, options })
+        Some(Edns {
+            udp_payload,
+            extended_rcode,
+            version,
+            dnssec_ok,
+            options,
+        })
     }
 }
 
@@ -136,7 +147,10 @@ mod tests {
             extended_rcode: 1,
             version: 0,
             dnssec_ok: true,
-            options: vec![EdnsOption { code: 10, data: vec![1, 2, 3, 4, 5, 6, 7, 8] }],
+            options: vec![EdnsOption {
+                code: 10,
+                data: vec![1, 2, 3, 4, 5, 6, 7, 8],
+            }],
         };
         let record = edns.to_record();
         assert_eq!(record.rtype(), RType::Opt);
@@ -146,7 +160,10 @@ mod tests {
     #[test]
     fn message_roundtrip_through_wire() {
         let mut msg = Message::query(7, "edns-test.com".parse().unwrap(), RType::A);
-        msg.set_edns(Edns { udp_payload: 1400, ..Default::default() });
+        msg.set_edns(Edns {
+            udp_payload: 1400,
+            ..Default::default()
+        });
         let wire = msg.encode().unwrap();
         let back = Message::decode(&wire).unwrap();
         let edns = back.edns().expect("OPT survived the wire");
@@ -164,15 +181,24 @@ mod tests {
     #[test]
     fn tiny_advertised_payload_clamps_to_classic() {
         let mut msg = Message::query(7, "tiny.com".parse().unwrap(), RType::A);
-        msg.set_edns(Edns { udp_payload: 100, ..Default::default() });
+        msg.set_edns(Edns {
+            udp_payload: 100,
+            ..Default::default()
+        });
         assert_eq!(msg.udp_limit(), CLASSIC_UDP_LIMIT);
     }
 
     #[test]
     fn set_edns_replaces_existing() {
         let mut msg = Message::query(7, "x.com".parse().unwrap(), RType::A);
-        msg.set_edns(Edns { udp_payload: 1232, ..Default::default() });
-        msg.set_edns(Edns { udp_payload: 4096, ..Default::default() });
+        msg.set_edns(Edns {
+            udp_payload: 1232,
+            ..Default::default()
+        });
+        msg.set_edns(Edns {
+            udp_payload: 4096,
+            ..Default::default()
+        });
         assert_eq!(msg.additionals.len(), 1);
         assert_eq!(msg.edns().unwrap().udp_payload, 4096);
     }
@@ -197,7 +223,11 @@ mod tests {
 
     #[test]
     fn non_opt_record_is_not_edns() {
-        let a = Record::new("a.com".parse().unwrap(), 60, RData::A(std::net::Ipv4Addr::LOCALHOST));
+        let a = Record::new(
+            "a.com".parse().unwrap(),
+            60,
+            RData::A(std::net::Ipv4Addr::LOCALHOST),
+        );
         assert_eq!(Edns::from_record(&a), None);
     }
 
@@ -206,7 +236,10 @@ mod tests {
         // Extended-rcode packing must not disturb the base header rcode.
         let q = Message::query(9, "y.com".parse().unwrap(), RType::A);
         let mut resp = Message::response(&q, RCode::NxDomain);
-        resp.set_edns(Edns { extended_rcode: 0, ..Default::default() });
+        resp.set_edns(Edns {
+            extended_rcode: 0,
+            ..Default::default()
+        });
         let back = Message::decode(&resp.encode().unwrap()).unwrap();
         assert!(back.is_nxdomain());
     }

@@ -36,12 +36,18 @@ impl fmt::Display for WireError {
             WireError::InvalidLabelChar(c) => write!(f, "invalid character {c:?} in label"),
             WireError::NameTooLong(n) => write!(f, "name encodes to {n} octets, exceeds 255"),
             WireError::Truncated { needed, available } => {
-                write!(f, "truncated input: needed {needed} octets, {available} available")
+                write!(
+                    f,
+                    "truncated input: needed {needed} octets, {available} available"
+                )
             }
             WireError::BadPointer(at) => write!(f, "invalid compression pointer at offset {at}"),
             WireError::BadLabelType(b) => write!(f, "unsupported label type bits {b:#04x}"),
             WireError::RdataLengthMismatch { declared, parsed } => {
-                write!(f, "RDLENGTH {declared} disagrees with parsed length {parsed}")
+                write!(
+                    f,
+                    "RDLENGTH {declared} disagrees with parsed length {parsed}"
+                )
             }
             WireError::InvalidValue(what, v) => write!(f, "invalid {what} value {v}"),
             WireError::MessageTooLong(n) => write!(f, "message of {n} octets exceeds 65535"),

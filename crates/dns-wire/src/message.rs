@@ -64,7 +64,11 @@ pub struct Question {
 
 impl Question {
     pub fn new(qname: Name, qtype: RType) -> Self {
-        Question { qname, qtype, qclass: RClass::In }
+        Question {
+            qname,
+            qtype,
+            qclass: RClass::In,
+        }
     }
 }
 
@@ -79,7 +83,12 @@ pub struct Record {
 
 impl Record {
     pub fn new(name: Name, ttl: u32, rdata: RData) -> Self {
-        Record { name, class: RClass::In, ttl, rdata }
+        Record {
+            name,
+            class: RClass::In,
+            ttl,
+            rdata,
+        }
     }
 
     pub fn rtype(&self) -> RType {
@@ -215,23 +224,35 @@ impl Message {
                 qclass: RClass::from_u16(r.read_u16()?),
             });
         }
-        let read_section = |count: usize, r: &mut WireReader<'_>| -> Result<Vec<Record>, WireError> {
-            let mut out = Vec::with_capacity(count.min(64));
-            for _ in 0..count {
-                let name = r.read_name()?;
-                let rtype = RType::from_u16(r.read_u16()?);
-                let class = RClass::from_u16(r.read_u16()?);
-                let ttl = r.read_u32()?;
-                let rdlength = r.read_u16()? as usize;
-                let rdata = RData::decode(rtype, rdlength, r)?;
-                out.push(Record { name, class, ttl, rdata });
-            }
-            Ok(out)
-        };
+        let read_section =
+            |count: usize, r: &mut WireReader<'_>| -> Result<Vec<Record>, WireError> {
+                let mut out = Vec::with_capacity(count.min(64));
+                for _ in 0..count {
+                    let name = r.read_name()?;
+                    let rtype = RType::from_u16(r.read_u16()?);
+                    let class = RClass::from_u16(r.read_u16()?);
+                    let ttl = r.read_u32()?;
+                    let rdlength = r.read_u16()? as usize;
+                    let rdata = RData::decode(rtype, rdlength, r)?;
+                    out.push(Record {
+                        name,
+                        class,
+                        ttl,
+                        rdata,
+                    });
+                }
+                Ok(out)
+            };
         let answers = read_section(ancount, &mut r)?;
         let authorities = read_section(nscount, &mut r)?;
         let additionals = read_section(arcount, &mut r)?;
-        Ok(Message { header, questions, answers, authorities, additionals })
+        Ok(Message {
+            header,
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
     }
 }
 
@@ -285,7 +306,11 @@ mod tests {
         let q = Message::query(99, qname(), RType::A);
         let mut resp = Message::response(&q, RCode::NoError);
         resp.header.aa = true;
-        resp.answers.push(Record::new(qname(), 300, RData::A(Ipv4Addr::new(93, 184, 216, 34))));
+        resp.answers.push(Record::new(
+            qname(),
+            300,
+            RData::A(Ipv4Addr::new(93, 184, 216, 34)),
+        ));
         resp.authorities.push(Record::new(
             "example.com".parse().unwrap(),
             86400,
@@ -307,12 +332,19 @@ mod tests {
         let q = Message::query(5, qname(), RType::A);
         let mut resp = Message::response(&q, RCode::NoError);
         for i in 0..4 {
-            resp.answers.push(Record::new(qname(), 300, RData::A(Ipv4Addr::new(192, 0, 2, i))));
+            resp.answers.push(Record::new(
+                qname(),
+                300,
+                RData::A(Ipv4Addr::new(192, 0, 2, i)),
+            ));
         }
         let compressed = resp.encode().unwrap();
         let plain = resp.encode_uncompressed().unwrap();
         assert!(compressed.len() < plain.len());
-        assert_eq!(Message::decode(&compressed).unwrap(), Message::decode(&plain).unwrap());
+        assert_eq!(
+            Message::decode(&compressed).unwrap(),
+            Message::decode(&plain).unwrap()
+        );
     }
 
     #[test]
@@ -361,7 +393,10 @@ mod tests {
         let msg = Message::query(1, qname(), RType::A);
         let buf = msg.encode().unwrap();
         for cut in [0, 5, 11, buf.len() - 1] {
-            assert!(Message::decode(&buf[..cut]).is_err(), "cut at {cut} should fail");
+            assert!(
+                Message::decode(&buf[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
         }
     }
 

@@ -40,7 +40,10 @@ pub struct Name {
 impl Name {
     /// The DNS root (zero labels).
     pub fn root() -> Self {
-        Name { repr: String::new(), label_starts: Vec::new() }
+        Name {
+            repr: String::new(),
+            label_starts: Vec::new(),
+        }
     }
 
     /// Whether this is the root name.
@@ -70,7 +73,10 @@ impl Name {
                 repr.extend(ch.to_lowercase());
             }
         }
-        let name = Name { repr, label_starts: starts };
+        let name = Name {
+            repr,
+            label_starts: starts,
+        };
         if name.encoded_len() > MAX_NAME_LEN {
             return Err(WireError::NameTooLong(name.encoded_len()));
         }

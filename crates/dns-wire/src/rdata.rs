@@ -29,7 +29,10 @@ pub enum RData {
     Ns(Name),
     Cname(Name),
     Ptr(Name),
-    Mx { preference: u16, exchange: Name },
+    Mx {
+        preference: u16,
+        exchange: Name,
+    },
     /// One or more character-strings.
     Txt(Vec<String>),
     Soa(Soa),
@@ -63,7 +66,10 @@ impl RData {
             RData::A(ip) => w.put_slice(&ip.octets()),
             RData::Aaaa(ip) => w.put_slice(&ip.octets()),
             RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => w.put_name(n)?,
-            RData::Mx { preference, exchange } => {
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
                 w.put_u16(*preference);
                 w.put_name(exchange)?;
             }
@@ -90,7 +96,11 @@ impl RData {
     }
 
     /// Decodes `rdlength` octets of payload for record type `rtype`.
-    pub fn decode(rtype: RType, rdlength: usize, r: &mut WireReader<'_>) -> Result<Self, WireError> {
+    pub fn decode(
+        rtype: RType,
+        rdlength: usize,
+        r: &mut WireReader<'_>,
+    ) -> Result<Self, WireError> {
         let start = r.position();
         let value = match rtype {
             RType::A => {
@@ -106,7 +116,10 @@ impl RData {
             RType::Ns => RData::Ns(r.read_name()?),
             RType::Cname => RData::Cname(r.read_name()?),
             RType::Ptr => RData::Ptr(r.read_name()?),
-            RType::Mx => RData::Mx { preference: r.read_u16()?, exchange: r.read_name()? },
+            RType::Mx => RData::Mx {
+                preference: r.read_u16()?,
+                exchange: r.read_name()?,
+            },
             RType::Txt => {
                 let mut strings = Vec::new();
                 while r.position() - start < rdlength {
@@ -130,7 +143,10 @@ impl RData {
         };
         let parsed = r.position() - start;
         if parsed != rdlength {
-            return Err(WireError::RdataLengthMismatch { declared: rdlength, parsed });
+            return Err(WireError::RdataLengthMismatch {
+                declared: rdlength,
+                parsed,
+            });
         }
         Ok(value)
     }
@@ -144,7 +160,10 @@ impl fmt::Display for RData {
             RData::Ns(n) => write!(f, "{n}"),
             RData::Cname(n) => write!(f, "{n}"),
             RData::Ptr(n) => write!(f, "{n}"),
-            RData::Mx { preference, exchange } => write!(f, "{preference} {exchange}"),
+            RData::Mx {
+                preference,
+                exchange,
+            } => write!(f, "{preference} {exchange}"),
             RData::Txt(strings) => {
                 for (i, s) in strings.iter().enumerate() {
                     if i > 0 {
@@ -191,12 +210,15 @@ mod tests {
             RData::Ns(name.clone()),
             RData::Cname(name.clone()),
             RData::Ptr(name.clone()),
-            RData::Mx { preference: 10, exchange: name.clone() },
+            RData::Mx {
+                preference: 10,
+                exchange: name.clone(),
+            },
             RData::Txt(vec!["hello".into(), "world".into()]),
             RData::Soa(Soa {
                 mname: name.clone(),
                 rname: "hostmaster.example.com".parse().unwrap(),
-                serial: 2023_10_24,
+                serial: 20_231_024,
                 refresh: 7200,
                 retry: 3600,
                 expire: 1209600,

@@ -75,15 +75,25 @@ impl TrafficCategory {
 /// Reverse-DNS providers trusted as crawler infrastructure (§6.2 ④: "if the
 /// reverse IP lookup results in a hostname that belongs to a popular
 /// service, such as Google or Yahoo crawler").
-const CRAWLER_PROVIDERS: &[&str] =
-    &["googlebot.com", "google.com", "yahoo.com", "msn.com", "yandex.ru", "mail.ru", "baidu.com"];
+const CRAWLER_PROVIDERS: &[&str] = &[
+    "googlebot.com",
+    "google.com",
+    "yahoo.com",
+    "msn.com",
+    "yandex.ru",
+    "mail.ru",
+    "baidu.com",
+];
 
 /// Extensions a search-engine crawler fetches (HTML pages); anything else a
 /// crawler requests makes it a file grabber.
 fn is_page_fetch(req: &HttpRequest) -> bool {
     match req.uri.extension() {
         None => true,
-        Some(ext) => matches!(ext.as_str(), "html" | "htm" | "xhtml" | "php" | "asp" | "aspx"),
+        Some(ext) => matches!(
+            ext.as_str(),
+            "html" | "htm" | "xhtml" | "php" | "asp" | "aspx"
+        ),
     }
 }
 
@@ -192,8 +202,21 @@ impl Categorizer {
     /// `imei`/`phone`/`balance`) are exfiltration or tasking traffic.
     fn automated(&self, req: &HttpRequest) -> TrafficCategory {
         const SENSITIVE_PARAMS: &[&str] = &[
-            "imei", "imsi", "phone", "msisdn", "password", "passwd", "pwd", "token", "card",
-            "cvv", "ssn", "balance", "account", "pin", "creditcard",
+            "imei",
+            "imsi",
+            "phone",
+            "msisdn",
+            "password",
+            "passwd",
+            "pwd",
+            "token",
+            "card",
+            "cvv",
+            "ssn",
+            "balance",
+            "account",
+            "pin",
+            "creditcard",
         ];
         let pii_query = req
             .uri
@@ -237,7 +260,11 @@ mod tests {
         wf.add_page("https://forum.example/t/1", ["resheba.online"]);
         wf.add_page("https://blog.example/p", ["unrelated.com"]);
         let mut rdns = ReverseDns::new();
-        rdns.insert_range("66.249.64.0".parse().unwrap(), 19, "crawl-{ip}.googlebot.com");
+        rdns.insert_range(
+            "66.249.64.0".parse().unwrap(),
+            19,
+            "crawl-{ip}.googlebot.com",
+        );
         Categorizer::new("resheba.online", wf, rdns)
     }
 
@@ -294,7 +321,9 @@ mod tests {
     #[test]
     fn script_tools_split_by_sensitivity() {
         let c = cat();
-        let ok = pkt(HttpRequest::get("/data.json").with_src(ip(4)).with_header("User-Agent", "curl/8.0"));
+        let ok = pkt(HttpRequest::get("/data.json")
+            .with_src(ip(4))
+            .with_header("User-Agent", "curl/8.0"));
         assert_eq!(one(&c, &ok), TrafficCategory::ScriptSoftware);
 
         let probe = pkt(HttpRequest::get("/wp-login.php")
@@ -309,9 +338,11 @@ mod tests {
         // not in the NVD table, but the query string carries IMEI/phone
         // exfiltration parameters — the query-string rule flags it.
         let c = cat();
-        let p = pkt(HttpRequest::get("/getTask.php?imei=1&phone=%2B1555&country=us")
-            .with_src(ip(5))
-            .with_header("User-Agent", "Apache-HttpClient/UNAVAILABLE (java 1.4)"));
+        let p = pkt(
+            HttpRequest::get("/getTask.php?imei=1&phone=%2B1555&country=us")
+                .with_src(ip(5))
+                .with_header("User-Agent", "Apache-HttpClient/UNAVAILABLE (java 1.4)"),
+        );
         // PII-bearing query strings from script tools are malicious requests.
         assert_eq!(one(&c, &p), TrafficCategory::MaliciousRequest);
     }
@@ -319,9 +350,10 @@ mod tests {
     #[test]
     fn user_visits() {
         let c = cat();
-        let pc = pkt(HttpRequest::get("/komiks/12")
-            .with_src(ip(6))
-            .with_header("User-Agent", "Mozilla/5.0 (Windows NT 10.0; Win64; x64) Chrome/112"));
+        let pc = pkt(HttpRequest::get("/komiks/12").with_src(ip(6)).with_header(
+            "User-Agent",
+            "Mozilla/5.0 (Windows NT 10.0; Win64; x64) Chrome/112",
+        ));
         assert_eq!(one(&c, &pc), TrafficCategory::UserPcMobile);
 
         let inapp = pkt(HttpRequest::get("/komiks/12")
@@ -335,7 +367,10 @@ mod tests {
         let c = cat();
         let req = HttpRequest::get("/status.json")
             .with_src(ip(8))
-            .with_header("User-Agent", "Mozilla/5.0 (Windows NT 6.3; WOW64) Chrome/41.0.2272.118");
+            .with_header(
+                "User-Agent",
+                "Mozilla/5.0 (Windows NT 6.3; WOW64) Chrome/41.0.2272.118",
+            );
         let packets: Vec<Packet> = (0..10).map(|_| pkt(req.clone())).collect();
         let tally = c.tally(&packets);
         assert_eq!(tally[&TrafficCategory::ScriptSoftware], 10);

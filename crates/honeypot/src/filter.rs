@@ -24,7 +24,9 @@ pub struct NoHostingBaseline {
 impl NoHostingBaseline {
     /// Builds the profile from packets recorded on bare instances.
     pub fn from_packets(packets: &[Packet]) -> Self {
-        NoHostingBaseline { src_ips: packets.iter().map(|p| p.src_ip).collect() }
+        NoHostingBaseline {
+            src_ips: packets.iter().map(|p| p.src_ip).collect(),
+        }
     }
 }
 
@@ -98,7 +100,10 @@ impl NoiseFilter {
 
     /// Applies both stages, returning kept packets and per-stage counts.
     pub fn apply(&self, packets: Vec<Packet>) -> (Vec<Packet>, FilterStats) {
-        let mut stats = FilterStats { input: packets.len() as u64, ..Default::default() };
+        let mut stats = FilterStats {
+            input: packets.len() as u64,
+            ..Default::default()
+        };
         let mut kept = Vec::with_capacity(packets.len());
         for p in packets {
             if self.baseline.src_ips.contains(&p.src_ip) {
@@ -125,19 +130,18 @@ mod tests {
     }
 
     fn http(path: &str, src: Ipv4Addr) -> Packet {
-        Packet::http(HttpRequest::get(path).with_src(src).with_header("Host", "resheba.online"))
+        Packet::http(
+            HttpRequest::get(path)
+                .with_src(src)
+                .with_header("Host", "resheba.online"),
+        )
     }
 
     fn filter() -> NoiseFilter {
         // Scanner 1 appears pre-hosting; ACME (ip 2) probed the control
         // group on the well-known path.
-        let baseline = NoHostingBaseline::from_packets(&[Packet::raw(
-            ip(1),
-            22,
-            Transport::Tcp,
-            0,
-            b"",
-        )]);
+        let baseline =
+            NoHostingBaseline::from_packets(&[Packet::raw(ip(1), 22, Transport::Tcp, 0, b"")]);
         let control = ControlGroupProfile::from_packets(&[
             Packet::http(
                 HttpRequest::get("/.well-known/acme-challenge/token")
@@ -162,13 +166,16 @@ mod tests {
     fn drops_control_sources_and_paths() {
         let f = filter();
         let (kept, stats) = f.apply(vec![
-            http("/anything", ip(2)),                           // control source IP
-            http("/.well-known/acme-challenge/token", ip(9)),   // control path
+            http("/anything", ip(2)),                         // control source IP
+            http("/.well-known/acme-challenge/token", ip(9)), // control path
             http("/real-content.html", ip(10)),
         ]);
         assert_eq!(kept.len(), 1);
         assert_eq!(stats.dropped_control, 2);
-        assert_eq!(kept[0].http_request().unwrap().uri.path, "/real-content.html");
+        assert_eq!(
+            kept[0].http_request().unwrap().uri.path,
+            "/real-content.html"
+        );
     }
 
     #[test]
@@ -214,6 +221,9 @@ mod tests {
         ];
         let (_, stats) = f.apply(input);
         assert_eq!(stats.input, 4);
-        assert_eq!(stats.dropped_no_hosting + stats.dropped_control + stats.kept, stats.input);
+        assert_eq!(
+            stats.dropped_no_hosting + stats.dropped_control + stats.kept,
+            stats.input
+        );
     }
 }

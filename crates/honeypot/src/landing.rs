@@ -13,10 +13,13 @@ pub fn serve(req: &HttpRequest) -> HttpResponse {
     match req.method {
         Method::Get | Method::Head => {
             let mut resp = if req.uri.path == "/" {
-                HttpResponse::new(200, "OK").with_body("text/html; charset=utf-8", LANDING_PAGE.as_bytes())
+                HttpResponse::new(200, "OK")
+                    .with_body("text/html; charset=utf-8", LANDING_PAGE.as_bytes())
             } else {
-                HttpResponse::new(404, "Not Found")
-                    .with_body("text/html; charset=utf-8", b"<html><body>Not found.</body></html>")
+                HttpResponse::new(404, "Not Found").with_body(
+                    "text/html; charset=utf-8",
+                    b"<html><body>Not found.</body></html>",
+                )
             };
             if req.method == Method::Head {
                 resp.body.clear();

@@ -118,7 +118,10 @@ mod tests {
 
     #[test]
     fn http_packet_wraps_request() {
-        let req = HttpRequest::get("/").with_src(Ipv4Addr::new(10, 0, 0, 1)).with_port(443).with_time(5);
+        let req = HttpRequest::get("/")
+            .with_src(Ipv4Addr::new(10, 0, 0, 1))
+            .with_port(443)
+            .with_time(5);
         let pkt = Packet::http(req.clone());
         assert!(pkt.is_http());
         assert_eq!(pkt.dst_port, 443);
@@ -128,7 +131,13 @@ mod tests {
 
     #[test]
     fn raw_packet_has_no_request() {
-        let pkt = Packet::raw(Ipv4Addr::new(10, 0, 0, 2), 22, Transport::Tcp, 9, b"SSH-2.0-probe");
+        let pkt = Packet::raw(
+            Ipv4Addr::new(10, 0, 0, 2),
+            22,
+            Transport::Tcp,
+            9,
+            b"SSH-2.0-probe",
+        );
         assert!(!pkt.is_http());
         assert!(pkt.http_request().is_none());
     }

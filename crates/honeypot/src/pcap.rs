@@ -39,7 +39,11 @@ impl PcapWriter {
         buf.put_u32(0); // sigfigs
         buf.put_u32(65_535); // snaplen
         buf.put_u32(LINKTYPE_ETHERNET);
-        PcapWriter { buf, server_ip, packets: 0 }
+        PcapWriter {
+            buf,
+            server_ip,
+            packets: 0,
+        }
     }
 
     /// Number of packets written so far.
@@ -194,8 +198,8 @@ pub fn parse_pcap(data: &[u8]) -> Result<Vec<PcapRecord>, String> {
     let mut i = 24;
     while i + 16 <= data.len() {
         let ts_sec = u32::from_be_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
-        let incl = u32::from_be_bytes([data[i + 8], data[i + 9], data[i + 10], data[i + 11]])
-            as usize;
+        let incl =
+            u32::from_be_bytes([data[i + 8], data[i + 9], data[i + 10], data[i + 11]]) as usize;
         i += 16;
         if i + incl > data.len() {
             return Err("truncated record".into());
@@ -271,7 +275,13 @@ mod tests {
     #[test]
     fn roundtrip_udp_raw_packet() {
         let mut w = PcapWriter::new(server());
-        let pkt = Packet::raw(Ipv4Addr::new(171, 25, 1, 2), 53, Transport::Udp, 7, b"probe-bytes");
+        let pkt = Packet::raw(
+            Ipv4Addr::new(171, 25, 1, 2),
+            53,
+            Transport::Udp,
+            7,
+            b"probe-bytes",
+        );
         w.write_packet(&pkt);
         let records = parse_pcap(&w.finish()).unwrap();
         assert_eq!(records[0].transport, Transport::Udp);

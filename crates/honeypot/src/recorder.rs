@@ -17,7 +17,10 @@ pub struct TrafficRecorder {
 impl TrafficRecorder {
     /// A recorder for a server hosting `domain`.
     pub fn for_domain(domain: &str) -> Self {
-        TrafficRecorder { domain: Some(domain.to_string()), packets: Vec::new() }
+        TrafficRecorder {
+            domain: Some(domain.to_string()),
+            packets: Vec::new(),
+        }
     }
 
     /// A recorder for a bare cloud instance (§6.1's no-hosting phase).
@@ -90,8 +93,12 @@ mod tests {
     #[test]
     fn records_and_counts() {
         let mut r = TrafficRecorder::for_domain("resheba.online");
-        r.record(Packet::http(HttpRequest::get("/a").with_src(ip(1)).with_port(80)));
-        r.record(Packet::http(HttpRequest::get("/a").with_src(ip(1)).with_port(80)));
+        r.record(Packet::http(
+            HttpRequest::get("/a").with_src(ip(1)).with_port(80),
+        ));
+        r.record(Packet::http(
+            HttpRequest::get("/a").with_src(ip(1)).with_port(80),
+        ));
         r.record(Packet::raw(ip(2), 22, Transport::Tcp, 0, b"probe"));
         assert_eq!(r.len(), 3);
         assert_eq!(r.source_ips().len(), 2);
@@ -113,9 +120,13 @@ mod tests {
     fn stream_counts_group_by_ip_and_path() {
         let mut r = TrafficRecorder::for_domain("1x-sport-bk7.com");
         for _ in 0..5 {
-            r.record(Packet::http(HttpRequest::get("/status.json").with_src(ip(7))));
+            r.record(Packet::http(
+                HttpRequest::get("/status.json").with_src(ip(7)),
+            ));
         }
-        r.record(Packet::http(HttpRequest::get("/status.json").with_src(ip(8))));
+        r.record(Packet::http(
+            HttpRequest::get("/status.json").with_src(ip(8)),
+        ));
         let streams = r.stream_counts();
         assert_eq!(streams[&(ip(7), "/status.json".to_string())], 5);
         assert_eq!(streams[&(ip(8), "/status.json".to_string())], 1);

@@ -56,9 +56,9 @@ impl InteractionStats {
 /// Smallest valid 1×1 transparent GIF (43 bytes) — the classic tracking-
 /// pixel payload, served to image grabbers.
 pub const PIXEL_GIF: [u8; 43] = [
-    0x47, 0x49, 0x46, 0x38, 0x39, 0x61, 0x01, 0x00, 0x01, 0x00, 0x80, 0x00, 0x00, 0x00, 0x00,
-    0x00, 0xFF, 0xFF, 0xFF, 0x21, 0xF9, 0x04, 0x01, 0x00, 0x00, 0x00, 0x00, 0x2C, 0x00, 0x00,
-    0x00, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x02, 0x02, 0x44, 0x01, 0x00, 0x3B,
+    0x47, 0x49, 0x46, 0x38, 0x39, 0x61, 0x01, 0x00, 0x01, 0x00, 0x80, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0xFF, 0xFF, 0xFF, 0x21, 0xF9, 0x04, 0x01, 0x00, 0x00, 0x00, 0x00, 0x2C, 0x00, 0x00, 0x00, 0x00,
+    0x01, 0x00, 0x01, 0x00, 0x00, 0x02, 0x02, 0x44, 0x01, 0x00, 0x3B,
 ];
 
 /// The interactive responder.
@@ -80,7 +80,10 @@ impl InteractiveResponder {
     pub fn respond(&mut self, req: &HttpRequest) -> (HttpResponse, Interaction) {
         if !matches!(req.method, Method::Get | Method::Head) {
             self.stats.method_rejected += 1;
-            return (HttpResponse::new(405, "Method Not Allowed"), Interaction::MethodRejected);
+            return (
+                HttpResponse::new(405, "Method Not Allowed"),
+                Interaction::MethodRejected,
+            );
         }
         // Vulnerability probes are refused before anything else: serving
         // even a decoy would invite follow-up exploitation.
@@ -187,7 +190,11 @@ mod tests {
     fn vulnerability_probes_refused() {
         let mut r = InteractiveResponder::new();
         let (resp, kind) = r.respond(&get("/wp-login.php?user=admin"));
-        assert_eq!(kind, Interaction::RefusedProbe, "sensitivity beats the php-query decoy");
+        assert_eq!(
+            kind,
+            Interaction::RefusedProbe,
+            "sensitivity beats the php-query decoy"
+        );
         assert_eq!(resp.status, 403);
     }
 

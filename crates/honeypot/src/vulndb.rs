@@ -82,7 +82,13 @@ mod tests {
 
     #[test]
     fn ordinary_content_is_not() {
-        for p in ["/", "/index.html", "/status.json", "/images/logo.png", "/video.mp4"] {
+        for p in [
+            "/",
+            "/index.html",
+            "/status.json",
+            "/images/logo.png",
+            "/video.mp4",
+        ] {
             assert!(!is_sensitive(p), "{p}");
         }
     }

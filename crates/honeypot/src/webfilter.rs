@@ -18,8 +18,18 @@ pub enum ReferralKind {
 
 /// Search-engine referrer hosts (registrable domains).
 const SEARCH_ENGINES: &[&str] = &[
-    "google.com", "bing.com", "yahoo.com", "duckduckgo.com", "yandex.ru", "baidu.com",
-    "mail.ru", "sogou.com", "naver.com", "seznam.cz", "qwant.com", "ecosia.org",
+    "google.com",
+    "bing.com",
+    "yahoo.com",
+    "duckduckgo.com",
+    "yandex.ru",
+    "baidu.com",
+    "mail.ru",
+    "sogou.com",
+    "naver.com",
+    "seznam.cz",
+    "qwant.com",
+    "ecosia.org",
 ];
 
 /// The web-of-pages model: which referer URLs exist, and which domains each
@@ -40,14 +50,18 @@ impl WebFilter {
 
     /// Registers a fetchable page and the domains it links to.
     pub fn add_page<'a, I: IntoIterator<Item = &'a str>>(&mut self, url: &str, links_to: I) {
-        self.pages
-            .insert(url.to_string(), links_to.into_iter().map(str::to_string).collect());
+        self.pages.insert(
+            url.to_string(),
+            links_to.into_iter().map(str::to_string).collect(),
+        );
     }
 
     /// Whether `url`'s host is a known search engine.
     pub fn is_search_engine(url: &str) -> bool {
         let host = host_of(url);
-        SEARCH_ENGINES.iter().any(|se| host == *se || host.ends_with(&format!(".{se}")))
+        SEARCH_ENGINES
+            .iter()
+            .any(|se| host == *se || host.ends_with(&format!(".{se}")))
     }
 
     /// Classifies a Referer URL with respect to `our_domain`.
@@ -85,16 +99,23 @@ mod tests {
 
     #[test]
     fn search_engines_detected() {
-        assert!(WebFilter::is_search_engine("https://www.google.com/search?q=resheba"));
+        assert!(WebFilter::is_search_engine(
+            "https://www.google.com/search?q=resheba"
+        ));
         assert!(WebFilter::is_search_engine("https://go.mail.ru/search?q=x"));
         assert!(WebFilter::is_search_engine("http://yandex.ru/yandsearch"));
-        assert!(!WebFilter::is_search_engine("https://someforum.example/thread/1"));
+        assert!(!WebFilter::is_search_engine(
+            "https://someforum.example/thread/1"
+        ));
     }
 
     #[test]
     fn embedded_link_detected() {
         let mut wf = WebFilter::new();
-        wf.add_page("https://forum.example/thread/42", ["resheba.online", "other.com"]);
+        wf.add_page(
+            "https://forum.example/thread/42",
+            ["resheba.online", "other.com"],
+        );
         assert_eq!(
             wf.classify("https://forum.example/thread/42", "resheba.online"),
             ReferralKind::EmbeddedUrl

@@ -179,19 +179,21 @@ impl HttpRequest {
         let mut lines = head.split("\r\n");
         let request_line = lines.next().ok_or(HttpParseError::BadRequestLine)?;
         let mut parts = request_line.split(' ');
-        let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-            (Some(m), Some(t), Some(v), None) if !m.is_empty() && v.starts_with("HTTP/") => {
-                (Method::parse(m), t, v)
-            }
-            _ => return Err(HttpParseError::BadRequestLine),
-        };
+        let (method, target, version) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(m), Some(t), Some(v), None) if !m.is_empty() && v.starts_with("HTTP/") => {
+                    (Method::parse(m), t, v)
+                }
+                _ => return Err(HttpParseError::BadRequestLine),
+            };
         let mut headers = Vec::new();
         for line in lines {
             if line.is_empty() {
                 continue;
             }
-            let (name, value) =
-                line.split_once(':').ok_or_else(|| HttpParseError::BadHeader(line.to_string()))?;
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| HttpParseError::BadHeader(line.to_string()))?;
             headers.push((name.trim().to_string(), value.trim().to_string()));
         }
         Ok(HttpRequest {
@@ -221,12 +223,19 @@ pub struct HttpResponse {
 
 impl HttpResponse {
     pub fn new(status: u16, reason: &str) -> Self {
-        HttpResponse { status, reason: reason.to_string(), headers: Vec::new(), body: Vec::new() }
+        HttpResponse {
+            status,
+            reason: reason.to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
     }
 
     pub fn with_body(mut self, content_type: &str, body: &[u8]) -> Self {
-        self.headers.push(("Content-Type".into(), content_type.into()));
-        self.headers.push(("Content-Length".into(), body.len().to_string()));
+        self.headers
+            .push(("Content-Type".into(), content_type.into()));
+        self.headers
+            .push(("Content-Length".into(), body.len().to_string()));
         self.body = body.to_vec();
         self
     }
@@ -292,14 +301,26 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        assert_eq!(HttpRequest::parse(b"\r\n\r\n"), Err(HttpParseError::BadRequestLine));
-        assert_eq!(HttpRequest::parse(b"GET /\r\n\r\n"), Err(HttpParseError::BadRequestLine));
-        assert_eq!(HttpRequest::parse(b"GET / HTTP/1.1"), Err(HttpParseError::Truncated));
+        assert_eq!(
+            HttpRequest::parse(b"\r\n\r\n"),
+            Err(HttpParseError::BadRequestLine)
+        );
+        assert_eq!(
+            HttpRequest::parse(b"GET /\r\n\r\n"),
+            Err(HttpParseError::BadRequestLine)
+        );
+        assert_eq!(
+            HttpRequest::parse(b"GET / HTTP/1.1"),
+            Err(HttpParseError::Truncated)
+        );
         assert!(matches!(
             HttpRequest::parse(b"GET / HTTP/1.1\r\nbroken header line\r\n\r\n"),
             Err(HttpParseError::BadHeader(_))
         ));
-        assert_eq!(HttpRequest::parse(b"GET / HTTP/1.1 extra\r\n\r\n"), Err(HttpParseError::BadRequestLine));
+        assert_eq!(
+            HttpRequest::parse(b"GET / HTTP/1.1 extra\r\n\r\n"),
+            Err(HttpParseError::BadRequestLine)
+        );
     }
 
     #[test]

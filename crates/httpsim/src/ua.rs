@@ -53,7 +53,9 @@ pub fn classify_user_agent(ua: &str) -> UaClass {
         ("office365scanner", "outlook"),
     ] {
         if l.contains(pat) {
-            return UaClass::EmailCrawler { provider: provider.to_string() };
+            return UaClass::EmailCrawler {
+                provider: provider.to_string(),
+            };
         }
     }
 
@@ -84,7 +86,9 @@ pub fn classify_user_agent(ua: &str) -> UaClass {
         ("spider", "generic-crawler"),
     ] {
         if l.contains(pat) {
-            return UaClass::Crawler { service: service.to_string() };
+            return UaClass::Crawler {
+                service: service.to_string(),
+            };
         }
     }
 
@@ -113,7 +117,9 @@ pub fn classify_user_agent(ua: &str) -> UaClass {
         ("nmap", "nmap"),
     ] {
         if l.contains(pat) {
-            return UaClass::ScriptTool { tool: tool.to_string() };
+            return UaClass::ScriptTool {
+                tool: tool.to_string(),
+            };
         }
     }
 
@@ -138,17 +144,29 @@ pub fn classify_user_agent(ua: &str) -> UaClass {
         ("musical_ly", "TikTok"),
     ] {
         if l.contains(pat) {
-            return UaClass::InAppBrowser { app: app.to_string() };
+            return UaClass::InAppBrowser {
+                app: app.to_string(),
+            };
         }
     }
 
     // Plain browsers.
-    let mobile = ["android", "iphone", "ipad", "mobile safari", "windows phone"]
+    let mobile = [
+        "android",
+        "iphone",
+        "ipad",
+        "mobile safari",
+        "windows phone",
+    ]
+    .iter()
+    .any(|p| l.contains(p));
+    let pc = ["windows nt", "macintosh", "x11; linux", "cros"]
         .iter()
         .any(|p| l.contains(p));
-    let pc = ["windows nt", "macintosh", "x11; linux", "cros"].iter().any(|p| l.contains(p));
     if mobile {
-        return UaClass::Browser { device: Device::Mobile };
+        return UaClass::Browser {
+            device: Device::Mobile,
+        };
     }
     if pc {
         return UaClass::Browser { device: Device::Pc };
@@ -163,16 +181,24 @@ mod tests {
     #[test]
     fn search_engine_bots() {
         assert_eq!(
-            classify_user_agent("Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)"),
-            UaClass::Crawler { service: "googlebot".into() }
+            classify_user_agent(
+                "Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)"
+            ),
+            UaClass::Crawler {
+                service: "googlebot".into()
+            }
         );
         assert_eq!(
             classify_user_agent("Mozilla/5.0 (compatible; bingbot/2.0)"),
-            UaClass::Crawler { service: "bingbot".into() }
+            UaClass::Crawler {
+                service: "bingbot".into()
+            }
         );
         assert_eq!(
             classify_user_agent("Mozilla/5.0 (compatible; Mail.RU_Bot/2.0)"),
-            UaClass::Crawler { service: "mailru-bot".into() }
+            UaClass::Crawler {
+                service: "mailru-bot".into()
+            }
         );
     }
 
@@ -184,46 +210,74 @@ mod tests {
         );
         assert_eq!(
             classify_user_agent("YahooMailProxy; https://help.yahoo.com"),
-            UaClass::EmailCrawler { provider: "yahoo-mail".into() }
+            UaClass::EmailCrawler {
+                provider: "yahoo-mail".into()
+            }
         );
     }
 
     #[test]
     fn script_tools() {
-        assert_eq!(classify_user_agent("curl/7.88.1"), UaClass::ScriptTool { tool: "curl".into() });
-        assert_eq!(classify_user_agent("Wget/1.21"), UaClass::ScriptTool { tool: "wget".into() });
+        assert_eq!(
+            classify_user_agent("curl/7.88.1"),
+            UaClass::ScriptTool {
+                tool: "curl".into()
+            }
+        );
+        assert_eq!(
+            classify_user_agent("Wget/1.21"),
+            UaClass::ScriptTool {
+                tool: "wget".into()
+            }
+        );
         assert_eq!(
             classify_user_agent("python-requests/2.28.0"),
-            UaClass::ScriptTool { tool: "python-requests".into() }
+            UaClass::ScriptTool {
+                tool: "python-requests".into()
+            }
         );
         // The paper's botnet UA (Fig. 12 requests).
         assert_eq!(
             classify_user_agent("Apache-HttpClient/UNAVAILABLE (java 1.4)"),
-            UaClass::ScriptTool { tool: "apache-httpclient".into() }
+            UaClass::ScriptTool {
+                tool: "apache-httpclient".into()
+            }
         );
     }
 
     #[test]
     fn in_app_browsers() {
         assert_eq!(
-            classify_user_agent("Mozilla/5.0 (iPhone; CPU iPhone OS 15_0 like Mac OS X) WhatsApp/2.21"),
-            UaClass::InAppBrowser { app: "WhatsApp".into() }
+            classify_user_agent(
+                "Mozilla/5.0 (iPhone; CPU iPhone OS 15_0 like Mac OS X) WhatsApp/2.21"
+            ),
+            UaClass::InAppBrowser {
+                app: "WhatsApp".into()
+            }
         );
         assert_eq!(
             classify_user_agent("Mozilla/5.0 (Linux; Android 11) MicroMessenger/8.0.2"),
-            UaClass::InAppBrowser { app: "WeChat".into() }
+            UaClass::InAppBrowser {
+                app: "WeChat".into()
+            }
         );
         assert_eq!(
             classify_user_agent("Mozilla/5.0 (Linux; Android 10) [FBAN/FB4A;FBAV/300.0]"),
-            UaClass::InAppBrowser { app: "Facebook".into() }
+            UaClass::InAppBrowser {
+                app: "Facebook".into()
+            }
         );
         assert_eq!(
             classify_user_agent("Mozilla/5.0 (Linux; Android 12) Instagram 210.0"),
-            UaClass::InAppBrowser { app: "Instagram".into() }
+            UaClass::InAppBrowser {
+                app: "Instagram".into()
+            }
         );
         assert_eq!(
             classify_user_agent("Mozilla/5.0 (Linux; Android 9) DingTalk/6.5.45"),
-            UaClass::InAppBrowser { app: "DingTalk".into() }
+            UaClass::InAppBrowser {
+                app: "DingTalk".into()
+            }
         );
     }
 
@@ -239,11 +293,15 @@ mod tests {
         );
         assert_eq!(
             classify_user_agent("Mozilla/5.0 (Linux; Android 13; Pixel 7) Chrome/112 Mobile"),
-            UaClass::Browser { device: Device::Mobile }
+            UaClass::Browser {
+                device: Device::Mobile
+            }
         );
         assert_eq!(
             classify_user_agent("Mozilla/5.0 (iPhone; CPU iPhone OS 16_3) Safari/604.1"),
-            UaClass::Browser { device: Device::Mobile }
+            UaClass::Browser {
+                device: Device::Mobile
+            }
         );
     }
 
@@ -251,7 +309,10 @@ mod tests {
     fn in_app_beats_mobile_browser_tokens() {
         // The WhatsApp UA also contains "iPhone": the in-app marker wins.
         let ua = "Mozilla/5.0 (iPhone; CPU iPhone OS 15_0) WhatsApp/2.21";
-        assert!(matches!(classify_user_agent(ua), UaClass::InAppBrowser { .. }));
+        assert!(matches!(
+            classify_user_agent(ua),
+            UaClass::InAppBrowser { .. }
+        ));
     }
 
     #[test]
@@ -264,7 +325,10 @@ mod tests {
     fn unknown_cases() {
         assert_eq!(classify_user_agent(""), UaClass::Unknown);
         assert_eq!(classify_user_agent("   "), UaClass::Unknown);
-        assert_eq!(classify_user_agent("totally-custom-agent/1.0"), UaClass::Unknown);
+        assert_eq!(
+            classify_user_agent("totally-custom-agent/1.0"),
+            UaClass::Unknown
+        );
     }
 
     #[test]
@@ -273,6 +337,9 @@ mod tests {
         // UA alone says PC browser — the categorizer uses repetition and the
         // requested file to overrule it (tested in nxd-honeypot).
         let ua = "Mozilla/5.0 (Windows NT 6.3; WOW64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/41.0.2272.118 Safari/537.36";
-        assert_eq!(classify_user_agent(ua), UaClass::Browser { device: Device::Pc });
+        assert_eq!(
+            classify_user_agent(ua),
+            UaClass::Browser { device: Device::Pc }
+        );
     }
 }

@@ -56,7 +56,10 @@ impl Uri {
 
     /// First value for a query key.
     pub fn query_value(&self, key: &str) -> Option<&str> {
-        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// The final path segment (`getTask.php` for `/api/getTask.php`).
@@ -205,7 +208,10 @@ mod tests {
 
     #[test]
     fn extension_edge_cases() {
-        assert_eq!(Uri::parse("/archive.tar.gz").extension().as_deref(), Some("gz"));
+        assert_eq!(
+            Uri::parse("/archive.tar.gz").extension().as_deref(),
+            Some("gz")
+        );
         assert_eq!(Uri::parse("/.hidden").extension(), None);
         assert_eq!(Uri::parse("/noext").extension(), None);
         assert_eq!(Uri::parse("/UPPER.JPG").extension().as_deref(), Some("jpg"));

@@ -89,7 +89,9 @@ impl Federation {
         self.providers
             .iter()
             .map(|(_, db)| {
-                db.nx_names().map(|(id, _)| db.interner().resolve(id).to_string()).collect()
+                db.nx_names()
+                    .map(|(id, _)| db.interner().resolve(id).to_string())
+                    .collect()
             })
             .collect()
     }
@@ -157,7 +159,11 @@ impl Federation {
                 let mine = &sets[i];
                 let unique = mine
                     .iter()
-                    .filter(|n| sets.iter().enumerate().all(|(j, s)| j == i || !s.contains(*n)))
+                    .filter(|n| {
+                        sets.iter()
+                            .enumerate()
+                            .all(|(j, s)| j == i || !s.contains(*n))
+                    })
                     .count() as u64;
                 let jaccard = if union.is_empty() {
                     1.0
@@ -179,7 +185,9 @@ impl Federation {
     /// Names observed by *every* provider (the high-confidence core).
     pub fn consensus_names(&self) -> Vec<String> {
         let sets = self.name_sets();
-        let Some(first) = sets.first() else { return Vec::new() };
+        let Some(first) = sets.first() else {
+            return Vec::new();
+        };
         let mut out: Vec<String> = first
             .iter()
             .filter(|n| sets.iter().all(|s| s.contains(*n)))

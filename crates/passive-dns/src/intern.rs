@@ -100,12 +100,18 @@ impl Interner {
 
     /// Iterates `(id, name)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (NameId, &str)> {
-        self.names.iter().enumerate().map(|(i, s)| (NameId(i as u32), s.as_ref()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (NameId(i as u32), s.as_ref()))
     }
 
     /// Approximate heap footprint in bytes (for the interning ablation).
     pub fn heap_bytes(&self) -> usize {
-        self.names.iter().map(|s| s.len() + std::mem::size_of::<Box<str>>()).sum::<usize>()
+        self.names
+            .iter()
+            .map(|s| s.len() + std::mem::size_of::<Box<str>>())
+            .sum::<usize>()
             + self.tld_of.len() * 4
     }
 }

@@ -105,7 +105,9 @@ pub fn tld_distribution(db: &PassiveDb) -> Vec<TldStat> {
     let mut queries_by_tld: HashMap<u32, u64> = HashMap::new();
     for i in 0..ids.len() {
         if rcodes[i] == want {
-            *queries_by_tld.entry(db.interner().tld_id(ids[i])).or_insert(0) += counts[i] as u64;
+            *queries_by_tld
+                .entry(db.interner().tld_id(ids[i]))
+                .or_insert(0) += counts[i] as u64;
         }
     }
     let mut out: Vec<TldStat> = names_by_tld
@@ -126,7 +128,7 @@ pub fn sample_nx_names(db: &PassiveDb, n: u64, salt: u64) -> Vec<NameId> {
     assert!(n > 0, "sampling ratio must be positive");
     let mut out: Vec<NameId> = db
         .nx_names()
-        .filter(|(id, _)| fnv1a(db.interner().resolve(*id).as_bytes(), salt) % n == 0)
+        .filter(|(id, _)| fnv1a(db.interner().resolve(*id).as_bytes(), salt).is_multiple_of(n))
         .map(|(id, _)| id)
         .collect();
     out.sort();
@@ -145,7 +147,9 @@ pub fn lifespan_histogram(db: &PassiveDb, max_days: u32) -> Vec<LifespanBucket> 
         if rcodes[i] != want {
             continue;
         }
-        let Some(agg) = db.aggregate(ids[i]) else { continue };
+        let Some(agg) = db.aggregate(ids[i]) else {
+            continue;
+        };
         let offset = days[i].saturating_sub(agg.first_nx_day);
         if offset <= max_days {
             queries[offset as usize] += counts[i] as u64;
@@ -177,7 +181,9 @@ pub fn expiry_aligned_series(
     let span = (before + after + 1) as usize;
     let mut totals = vec![0u64; span];
     for i in 0..ids.len() {
-        let Some(&e) = expiry_day.get(&ids[i]) else { continue };
+        let Some(&e) = expiry_day.get(&ids[i]) else {
+            continue;
+        };
         let offset = days[i] as i64 - e as i64;
         if offset < -(before as i64) || offset > after as i64 {
             continue;

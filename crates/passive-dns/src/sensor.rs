@@ -22,8 +22,12 @@ pub enum VantagePoint {
 }
 
 impl VantagePoint {
-    pub const ALL: [VantagePoint; 4] =
-        [VantagePoint::Isp, VantagePoint::Enterprise, VantagePoint::Academia, VantagePoint::Research];
+    pub const ALL: [VantagePoint; 4] = [
+        VantagePoint::Isp,
+        VantagePoint::Enterprise,
+        VantagePoint::Academia,
+        VantagePoint::Research,
+    ];
 
     pub fn label(self) -> &'static str {
         match self {
@@ -49,8 +53,20 @@ impl Sensor {
 
     /// Builds an observation row for a batch of identical responses seen on
     /// `day` (days since the Unix epoch).
-    pub fn observe(&self, name: crate::intern::NameId, day: u32, rcode: RCode, count: u32) -> Observation {
-        Observation { name, day, sensor: self.id, rcode: rcode.to_u8(), count }
+    pub fn observe(
+        &self,
+        name: crate::intern::NameId,
+        day: u32,
+        rcode: RCode,
+        count: u32,
+    ) -> Observation {
+        Observation {
+            name,
+            day,
+            sensor: self.id,
+            rcode: rcode.to_u8(),
+            count,
+        }
     }
 }
 

@@ -26,7 +26,9 @@ impl SieProducer {
     pub fn submit(&self, shard: PassiveDb) {
         // A closed channel means the collector is gone; losing data silently
         // would corrupt experiments, so fail loudly.
-        self.tx.send(ShardBatch(shard)).expect("SIE collector hung up");
+        self.tx
+            .send(ShardBatch(shard))
+            .expect("SIE collector hung up");
     }
 }
 
@@ -81,7 +83,13 @@ mod tests {
                     let mut shard = PassiveDb::new();
                     // Every shard sees the same name plus one unique name.
                     shard.record_str("shared.com", 10, shard_id, RCode::NxDomain, 1);
-                    shard.record_str(&format!("only-{shard_id}.com"), 10, shard_id, RCode::NxDomain, 1);
+                    shard.record_str(
+                        &format!("only-{shard_id}.com"),
+                        10,
+                        shard_id,
+                        RCode::NxDomain,
+                        1,
+                    );
                     p.submit(shard);
                 }) as Box<dyn FnOnce(SieProducer) + Send>
             })

@@ -12,6 +12,9 @@ use nxd_dns_wire::{Name, RCode};
 
 use crate::intern::{Interner, NameId};
 
+/// Borrowed column slices `(name, day, sensor, rcode, count)`, one row per index.
+pub(crate) type RawColumns<'a> = (&'a [NameId], &'a [u32], &'a [u16], &'a [u8], &'a [u32]);
+
 /// One pre-aggregated observation row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Observation {
@@ -74,22 +77,51 @@ impl PassiveDb {
     }
 
     /// Interns a name and appends an observation in one step.
-    pub fn record(&mut self, name: &Name, day: u32, sensor: u16, rcode: RCode, count: u32) -> NameId {
+    pub fn record(
+        &mut self,
+        name: &Name,
+        day: u32,
+        sensor: u16,
+        rcode: RCode,
+        count: u32,
+    ) -> NameId {
         let id = self.interner.intern(name);
-        self.append(Observation { name: id, day, sensor, rcode: rcode.to_u8(), count });
+        self.append(Observation {
+            name: id,
+            day,
+            sensor,
+            rcode: rcode.to_u8(),
+            count,
+        });
         id
     }
 
     /// Interns a pre-normalized name string and appends an observation.
-    pub fn record_str(&mut self, name: &str, day: u32, sensor: u16, rcode: RCode, count: u32) -> NameId {
+    pub fn record_str(
+        &mut self,
+        name: &str,
+        day: u32,
+        sensor: u16,
+        rcode: RCode,
+        count: u32,
+    ) -> NameId {
         let id = self.interner.intern_str(name);
-        self.append(Observation { name: id, day, sensor, rcode: rcode.to_u8(), count });
+        self.append(Observation {
+            name: id,
+            day,
+            sensor,
+            rcode: rcode.to_u8(),
+            count,
+        });
         id
     }
 
     /// Appends a row whose name id was produced by this store's interner.
     pub fn append(&mut self, obs: Observation) {
-        debug_assert!((obs.name.0 as usize) < self.interner.len(), "foreign NameId");
+        debug_assert!(
+            (obs.name.0 as usize) < self.interner.len(),
+            "foreign NameId"
+        );
         self.col_name.push(obs.name);
         self.col_day.push(obs.day);
         self.col_sensor.push(obs.sensor);
@@ -117,7 +149,9 @@ impl PassiveDb {
 
     /// The aggregate for a name string.
     pub fn aggregate_of(&self, name: &str) -> Option<&NameAggregate> {
-        self.interner.get(name).and_then(|id| self.per_name.get(&id))
+        self.interner
+            .get(name)
+            .and_then(|id| self.per_name.get(&id))
     }
 
     /// Iterates rows as [`Observation`]s.
@@ -140,14 +174,23 @@ impl PassiveDb {
     }
 
     /// Raw column access for the query engine's tight scans.
-    pub(crate) fn columns(&self) -> (&[NameId], &[u32], &[u16], &[u8], &[u32]) {
-        (&self.col_name, &self.col_day, &self.col_sensor, &self.col_rcode, &self.col_count)
+    pub(crate) fn columns(&self) -> RawColumns<'_> {
+        (
+            &self.col_name,
+            &self.col_day,
+            &self.col_sensor,
+            &self.col_rcode,
+            &self.col_count,
+        )
     }
 
     /// Iterates `(id, aggregate)` for every name with at least one NXDOMAIN
     /// observation.
     pub fn nx_names(&self) -> impl Iterator<Item = (NameId, &NameAggregate)> {
-        self.per_name.iter().filter(|(_, a)| a.nx_queries > 0).map(|(&id, a)| (id, a))
+        self.per_name
+            .iter()
+            .filter(|(_, a)| a.nx_queries > 0)
+            .map(|(&id, a)| (id, a))
     }
 
     /// Merges another store built against the *same logical name space*

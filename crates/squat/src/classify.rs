@@ -22,8 +22,13 @@ pub enum SquatKind {
 }
 
 impl SquatKind {
-    pub const ALL: [SquatKind; 5] =
-        [SquatKind::Typo, SquatKind::Combo, SquatKind::Dot, SquatKind::Bit, SquatKind::Homo];
+    pub const ALL: [SquatKind; 5] = [
+        SquatKind::Typo,
+        SquatKind::Combo,
+        SquatKind::Dot,
+        SquatKind::Bit,
+        SquatKind::Homo,
+    ];
 
     pub fn label(self) -> &'static str {
         match self {
@@ -112,7 +117,10 @@ impl SquatClassifier {
     fn check_bit(&self, label: &str, tld: &str) -> Option<SquatMatch> {
         for (brand, btld) in &self.targets {
             if btld == tld && bit_hamming(label, brand) == Some(1) {
-                return Some(SquatMatch { kind: SquatKind::Bit, target: format!("{brand}.{btld}") });
+                return Some(SquatMatch {
+                    kind: SquatKind::Bit,
+                    target: format!("{brand}.{btld}"),
+                });
             }
         }
         None
@@ -149,8 +157,7 @@ impl SquatClassifier {
                     let mut start = 0;
                     while let Some(pos) = label[start..].find(f) {
                         let at = start + pos;
-                        let rewritten =
-                            format!("{}{}{}", &label[..at], t, &label[at + f.len()..]);
+                        let rewritten = format!("{}{}{}", &label[..at], t, &label[at + f.len()..]);
                         if rewritten == *brand {
                             return Some(SquatMatch {
                                 kind: SquatKind::Homo,
@@ -170,11 +177,17 @@ impl SquatClassifier {
             // Same TLD, one edit in the label (omission/duplication/
             // substitution/insertion/transposition)...
             if btld == tld && damerau_levenshtein(label, brand) == 1 {
-                return Some(SquatMatch { kind: SquatKind::Typo, target: format!("{brand}.{btld}") });
+                return Some(SquatMatch {
+                    kind: SquatKind::Typo,
+                    target: format!("{brand}.{btld}"),
+                });
             }
             // ...or same label with a one-edit TLD (`google.co`).
             if label == brand && damerau_levenshtein(tld, btld) == 1 {
-                return Some(SquatMatch { kind: SquatKind::Typo, target: format!("{brand}.{btld}") });
+                return Some(SquatMatch {
+                    kind: SquatKind::Typo,
+                    target: format!("{brand}.{btld}"),
+                });
             }
         }
         None
@@ -187,12 +200,18 @@ impl SquatClassifier {
             }
             // Fused or hyphenated www prefix.
             if label == format!("www{brand}") || label == format!("www-{brand}") {
-                return Some(SquatMatch { kind: SquatKind::Dot, target: format!("{brand}.{btld}") });
+                return Some(SquatMatch {
+                    kind: SquatKind::Dot,
+                    target: format!("{brand}.{btld}"),
+                });
             }
             // Dot-shift: the label is a proper suffix of the brand (≥ 3
             // chars, shorter than the brand).
             if label.len() >= 3 && label.len() < brand.len() && brand.ends_with(label) {
-                return Some(SquatMatch { kind: SquatKind::Dot, target: format!("{brand}.{btld}") });
+                return Some(SquatMatch {
+                    kind: SquatKind::Dot,
+                    target: format!("{brand}.{btld}"),
+                });
             }
         }
         None

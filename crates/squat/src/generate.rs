@@ -24,14 +24,18 @@ fn valid_label(label: &str) -> bool {
         && !label.starts_with('-')
         && !label.ends_with('-')
         && label.len() <= 63
-        && label.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+        && label
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
 }
 
 /// Classic typosquats (Agten et al., NDSS'15 models): character omission,
 /// duplication, adjacent transposition, QWERTY-adjacent substitution and
 /// insertion.
 pub fn typosquats(target: &str) -> Vec<String> {
-    let Some((brand, tld)) = split(target) else { return Vec::new() };
+    let Some((brand, tld)) = split(target) else {
+        return Vec::new();
+    };
     let chars: Vec<char> = brand.chars().collect();
     let mut out = BTreeSet::new();
     // Omission.
@@ -73,7 +77,9 @@ pub fn typosquats(target: &str) -> Vec<String> {
 /// Combosquats (Kintis et al., CCS'17): brand combined with a trust keyword,
 /// hyphenated or fused, on either side.
 pub fn combosquats(target: &str) -> Vec<String> {
-    let Some((brand, tld)) = split(target) else { return Vec::new() };
+    let Some((brand, tld)) = split(target) else {
+        return Vec::new();
+    };
     let mut out = BTreeSet::new();
     for kw in COMBO_KEYWORDS {
         out.insert(format!("{brand}-{kw}.{tld}"));
@@ -90,7 +96,9 @@ pub fn combosquats(target: &str) -> Vec<String> {
 /// generator emits every proper suffix of the brand (length ≥ 3) as a
 /// registrable.
 pub fn dotsquats(target: &str) -> Vec<String> {
-    let Some((brand, tld)) = split(target) else { return Vec::new() };
+    let Some((brand, tld)) = split(target) else {
+        return Vec::new();
+    };
     let mut out = BTreeSet::new();
     out.insert(format!("www{brand}.{tld}"));
     out.insert(format!("www-{brand}.{tld}"));
@@ -107,7 +115,9 @@ pub fn dotsquats(target: &str) -> Vec<String> {
 /// Bitsquats (Nikiforakis et al., WWW'13): every single-bit flip of every
 /// byte of the brand that still yields a valid LDH label.
 pub fn bitsquats(target: &str) -> Vec<String> {
-    let Some((brand, tld)) = split(target) else { return Vec::new() };
+    let Some((brand, tld)) = split(target) else {
+        return Vec::new();
+    };
     let bytes = brand.as_bytes();
     let mut out = BTreeSet::new();
     for i in 0..bytes.len() {
@@ -130,7 +140,9 @@ pub fn bitsquats(target: &str) -> Vec<String> {
 /// Homosquats (IDN-free homoglyphs): visually confusable substitutions that
 /// stay inside the LDH alphabet (`0↔o`, `1↔l`, `rn→m`, `vv→w`, …).
 pub fn homosquats(target: &str) -> Vec<String> {
-    let Some((brand, tld)) = split(target) else { return Vec::new() };
+    let Some((brand, tld)) = split(target) else {
+        return Vec::new();
+    };
     let mut out = BTreeSet::new();
     // Single-char confusions, each position, both directions.
     let chars: Vec<char> = brand.chars().collect();
@@ -147,7 +159,10 @@ pub fn homosquats(target: &str) -> Vec<String> {
     }
     // Digraph confusions, both directions.
     for &(from, to) in DIGRAPH_GLYPHS {
-        for (f, t) in [(from.to_string(), to.to_string()), (to.to_string(), from.to_string())] {
+        for (f, t) in [
+            (from.to_string(), to.to_string()),
+            (to.to_string(), from.to_string()),
+        ] {
             let mut start = 0;
             while let Some(pos) = brand[start..].find(&f) {
                 let at = start + pos;

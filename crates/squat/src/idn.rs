@@ -107,7 +107,7 @@ pub fn punycode_decode(input: &str) -> Option<String> {
         Some(pos) => (&input[..pos], &input[pos + 1..]),
         None => ("", input),
     };
-    if !basic.chars().all(|c| c.is_ascii()) {
+    if !basic.is_ascii() {
         return None;
     }
     let mut output: Vec<char> = basic.chars().collect();
@@ -196,7 +196,9 @@ pub const UNICODE_CONFUSABLES: &[(char, char)] = &[
 /// Generates IDN homograph squats of `brand.tld`: each single confusable
 /// substitution, returned as `(unicode_form, idna_ascii_form)`.
 pub fn idn_homosquats(target: &str) -> Vec<(String, String)> {
-    let Some((brand, tld)) = target.split_once('.') else { return Vec::new() };
+    let Some((brand, tld)) = target.split_once('.') else {
+        return Vec::new();
+    };
     let mut out = Vec::new();
     let chars: Vec<char> = brand.chars().collect();
     for i in 0..chars.len() {
@@ -244,7 +246,10 @@ where
         return None;
     }
     let projected = ascii_projection(domain)?;
-    targets.into_iter().find(|t| *t == projected).map(str::to_string)
+    targets
+        .into_iter()
+        .find(|t| *t == projected)
+        .map(str::to_string)
 }
 
 #[cfg(test)]

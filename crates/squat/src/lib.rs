@@ -26,4 +26,7 @@ pub mod tables;
 
 pub use classify::{SquatClassifier, SquatKind, SquatMatch};
 pub use edit::{bit_hamming, damerau_levenshtein};
-pub use idn::{ascii_projection, classify_idn, idn_homosquats, punycode_decode, punycode_encode, to_ascii, to_unicode};
+pub use idn::{
+    ascii_projection, classify_idn, idn_homosquats, punycode_decode, punycode_encode, to_ascii,
+    to_unicode,
+};

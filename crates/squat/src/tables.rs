@@ -59,23 +59,88 @@ pub const DIGRAPH_GLYPHS: &[(&str, &str)] = &[("rn", "m"), ("vv", "w"), ("cl", "
 
 /// Keywords combosquatters append/prepend to brands (Kintis et al., CCS'17).
 pub const COMBO_KEYWORDS: &[&str] = &[
-    "login", "secure", "security", "support", "help", "online", "account", "accounts", "verify",
-    "verification", "update", "service", "services", "pay", "payment", "billing", "mail",
-    "webmail", "app", "apps", "shop", "store", "official", "portal", "my", "web", "net", "info",
-    "download", "free", "bonus", "promo", "signin", "auth", "wallet", "bank",
+    "login",
+    "secure",
+    "security",
+    "support",
+    "help",
+    "online",
+    "account",
+    "accounts",
+    "verify",
+    "verification",
+    "update",
+    "service",
+    "services",
+    "pay",
+    "payment",
+    "billing",
+    "mail",
+    "webmail",
+    "app",
+    "apps",
+    "shop",
+    "store",
+    "official",
+    "portal",
+    "my",
+    "web",
+    "net",
+    "info",
+    "download",
+    "free",
+    "bonus",
+    "promo",
+    "signin",
+    "auth",
+    "wallet",
+    "bank",
 ];
 
 /// Popular domains squatters target (brand, tld) — stand-in for a top-site
 /// list. `twitter.com` is among them because the honeypot set contains the
 /// real squat `twitter-sup0rt.com`.
 pub const POPULAR_TARGETS: &[&str] = &[
-    "google.com", "youtube.com", "facebook.com", "twitter.com", "instagram.com", "wikipedia.org",
-    "yahoo.com", "amazon.com", "reddit.com", "netflix.com", "microsoft.com", "linkedin.com",
-    "twitch.tv", "ebay.com", "apple.com", "spotify.com", "adobe.com", "dropbox.com",
-    "github.com", "paypal.com", "walmart.com", "chase.com", "wellsfargo.com", "coinbase.com",
-    "binance.com", "steam.com", "roblox.com", "whatsapp.com", "telegram.org", "tiktok.com",
-    "baidu.com", "yandex.ru", "vk.com", "mail.ru", "alibaba.com", "taobao.com", "qq.com",
-    "akamai.com", "cloudflare.com", "office.com",
+    "google.com",
+    "youtube.com",
+    "facebook.com",
+    "twitter.com",
+    "instagram.com",
+    "wikipedia.org",
+    "yahoo.com",
+    "amazon.com",
+    "reddit.com",
+    "netflix.com",
+    "microsoft.com",
+    "linkedin.com",
+    "twitch.tv",
+    "ebay.com",
+    "apple.com",
+    "spotify.com",
+    "adobe.com",
+    "dropbox.com",
+    "github.com",
+    "paypal.com",
+    "walmart.com",
+    "chase.com",
+    "wellsfargo.com",
+    "coinbase.com",
+    "binance.com",
+    "steam.com",
+    "roblox.com",
+    "whatsapp.com",
+    "telegram.org",
+    "tiktok.com",
+    "baidu.com",
+    "yandex.ru",
+    "vk.com",
+    "mail.ru",
+    "alibaba.com",
+    "taobao.com",
+    "qq.com",
+    "akamai.com",
+    "cloudflare.com",
+    "office.com",
 ];
 
 #[cfg(test)]

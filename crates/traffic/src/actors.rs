@@ -38,20 +38,64 @@ impl IpPool {
     /// unresolvable space.
     pub fn spec(self) -> (Ipv4Addr, u8, Option<&'static str>) {
         match self {
-            IpPool::Googlebot => (Ipv4Addr::new(66, 249, 64, 0), 19, Some("crawl-{ip}.googlebot.com")),
-            IpPool::Bingbot => (Ipv4Addr::new(157, 55, 0, 0), 16, Some("msnbot-{ip}.search.msn.com")),
-            IpPool::MailRuBot => (Ipv4Addr::new(217, 69, 128, 0), 20, Some("fetcher-{ip}.mail.ru")),
-            IpPool::YandexBot => (Ipv4Addr::new(77, 88, 0, 0), 18, Some("spider-{ip}.yandex.ru")),
-            IpPool::BaiduSpider => (Ipv4Addr::new(180, 76, 0, 0), 16, Some("baiduspider-{ip}.baidu.com")),
-            IpPool::GoogleProxy => (Ipv4Addr::new(66, 102, 0, 0), 16, Some("google-proxy-{ip}.google.com")),
-            IpPool::AmazonEc2 => (Ipv4Addr::new(52, 32, 0, 0), 11, Some("ec2-{ip}.compute-1.amazonaws.com")),
-            IpPool::AzureCloud => (Ipv4Addr::new(40, 76, 0, 0), 14, Some("azure-{ip}.cloudapp.azure.com")),
+            IpPool::Googlebot => (
+                Ipv4Addr::new(66, 249, 64, 0),
+                19,
+                Some("crawl-{ip}.googlebot.com"),
+            ),
+            IpPool::Bingbot => (
+                Ipv4Addr::new(157, 55, 0, 0),
+                16,
+                Some("msnbot-{ip}.search.msn.com"),
+            ),
+            IpPool::MailRuBot => (
+                Ipv4Addr::new(217, 69, 128, 0),
+                20,
+                Some("fetcher-{ip}.mail.ru"),
+            ),
+            IpPool::YandexBot => (
+                Ipv4Addr::new(77, 88, 0, 0),
+                18,
+                Some("spider-{ip}.yandex.ru"),
+            ),
+            IpPool::BaiduSpider => (
+                Ipv4Addr::new(180, 76, 0, 0),
+                16,
+                Some("baiduspider-{ip}.baidu.com"),
+            ),
+            IpPool::GoogleProxy => (
+                Ipv4Addr::new(66, 102, 0, 0),
+                16,
+                Some("google-proxy-{ip}.google.com"),
+            ),
+            IpPool::AmazonEc2 => (
+                Ipv4Addr::new(52, 32, 0, 0),
+                11,
+                Some("ec2-{ip}.compute-1.amazonaws.com"),
+            ),
+            IpPool::AzureCloud => (
+                Ipv4Addr::new(40, 76, 0, 0),
+                14,
+                Some("azure-{ip}.cloudapp.azure.com"),
+            ),
             IpPool::Ovh => (Ipv4Addr::new(51, 38, 0, 0), 16, Some("vps-{ip}.ovh.net")),
-            IpPool::DigitalOcean => (Ipv4Addr::new(167, 99, 0, 0), 16, Some("do-{ip}.digitalocean.com")),
-            IpPool::Hetzner => (Ipv4Addr::new(95, 216, 0, 0), 16, Some("static-{ip}.hetzner.de")),
+            IpPool::DigitalOcean => (
+                Ipv4Addr::new(167, 99, 0, 0),
+                16,
+                Some("do-{ip}.digitalocean.com"),
+            ),
+            IpPool::Hetzner => (
+                Ipv4Addr::new(95, 216, 0, 0),
+                16,
+                Some("static-{ip}.hetzner.de"),
+            ),
             IpPool::Residential => (Ipv4Addr::new(93, 0, 0, 0), 10, None),
             IpPool::Scanner => (Ipv4Addr::new(171, 25, 0, 0), 16, None),
-            IpPool::Acme => (Ipv4Addr::new(172, 65, 32, 0), 20, Some("acme-{ip}.letsencrypt.org")),
+            IpPool::Acme => (
+                Ipv4Addr::new(172, 65, 32, 0),
+                20,
+                Some("acme-{ip}.letsencrypt.org"),
+            ),
         }
     }
 
@@ -150,7 +194,9 @@ pub fn crawler_ua(service: &str) -> &'static str {
         "bingbot" => "Mozilla/5.0 (compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)",
         "mailru" => "Mozilla/5.0 (compatible; Mail.RU_Bot/2.0; +http://go.mail.ru/help/robots)",
         "yandex" => "Mozilla/5.0 (compatible; YandexBot/3.0; +http://yandex.com/bots)",
-        "baidu" => "Mozilla/5.0 (compatible; Baiduspider/2.0; +http://www.baidu.com/search/spider.html)",
+        "baidu" => {
+            "Mozilla/5.0 (compatible; Baiduspider/2.0; +http://www.baidu.com/search/spider.html)"
+        }
         "semrush" => "Mozilla/5.0 (compatible; SemrushBot/7~bl; +http://www.semrush.com/bot.html)",
         "ahrefs" => "Mozilla/5.0 (compatible; AhrefsBot/7.0; +http://ahrefs.com/robot/)",
         _ => "Mozilla/5.0 (compatible; generic-crawler/1.0)",
@@ -176,10 +222,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for pool in IpPool::ALL {
             let (net, prefix, _) = pool.spec();
-            let mask = if prefix == 0 { 0 } else { u32::MAX << (32 - prefix as u32) };
+            let mask = if prefix == 0 {
+                0
+            } else {
+                u32::MAX << (32 - prefix as u32)
+            };
             for _ in 0..50 {
                 let ip = pool.draw(&mut rng);
-                assert_eq!(u32::from(ip) & mask, u32::from(net) & mask, "{pool:?} drew {ip}");
+                assert_eq!(
+                    u32::from(ip) & mask,
+                    u32::from(net) & mask,
+                    "{pool:?} drew {ip}"
+                );
             }
         }
     }
@@ -209,23 +263,66 @@ mod tests {
     fn ua_tables_classify_as_expected() {
         use nxd_httpsim::{classify_user_agent, UaClass};
         for ua in PC_UAS {
-            assert!(matches!(classify_user_agent(ua), UaClass::Browser { device: nxd_httpsim::Device::Pc }), "{ua}");
+            assert!(
+                matches!(
+                    classify_user_agent(ua),
+                    UaClass::Browser {
+                        device: nxd_httpsim::Device::Pc
+                    }
+                ),
+                "{ua}"
+            );
         }
         for ua in MOBILE_UAS {
-            assert!(matches!(classify_user_agent(ua), UaClass::Browser { device: nxd_httpsim::Device::Mobile }), "{ua}");
+            assert!(
+                matches!(
+                    classify_user_agent(ua),
+                    UaClass::Browser {
+                        device: nxd_httpsim::Device::Mobile
+                    }
+                ),
+                "{ua}"
+            );
         }
         for ua in SCRIPT_UAS {
-            assert!(matches!(classify_user_agent(ua), UaClass::ScriptTool { .. }), "{ua}");
+            assert!(
+                matches!(classify_user_agent(ua), UaClass::ScriptTool { .. }),
+                "{ua}"
+            );
         }
         for (app, _) in crate::table1::IN_APP_MIX {
             let ua = in_app_ua(app);
-            assert!(matches!(classify_user_agent(ua), UaClass::InAppBrowser { .. }), "{app}: {ua}");
+            assert!(
+                matches!(classify_user_agent(ua), UaClass::InAppBrowser { .. }),
+                "{app}: {ua}"
+            );
         }
-        for svc in ["googlebot", "bingbot", "mailru", "yandex", "baidu", "semrush", "ahrefs", "x"] {
-            assert!(matches!(classify_user_agent(crawler_ua(svc)), UaClass::Crawler { .. }), "{svc}");
+        for svc in [
+            "googlebot",
+            "bingbot",
+            "mailru",
+            "yandex",
+            "baidu",
+            "semrush",
+            "ahrefs",
+            "x",
+        ] {
+            assert!(
+                matches!(
+                    classify_user_agent(crawler_ua(svc)),
+                    UaClass::Crawler { .. }
+                ),
+                "{svc}"
+            );
         }
         for p in ["gmail", "yahoo", "outlook"] {
-            assert!(matches!(classify_user_agent(email_ua(p)), UaClass::EmailCrawler { .. }), "{p}");
+            assert!(
+                matches!(
+                    classify_user_agent(email_ua(p)),
+                    UaClass::EmailCrawler { .. }
+                ),
+                "{p}"
+            );
         }
     }
 }

@@ -111,7 +111,10 @@ pub fn gettask_request(rng: &mut StdRng, timestamp: u64) -> HttpRequest {
         rng.gen_range(0..1_000_000u32),
         rng.gen_range(0..10u32)
     );
-    let phone = format!("{calling}{}", rng.gen_range(100_000_0000u64..999_999_9999u64));
+    let phone = format!(
+        "{calling}{}",
+        rng.gen_range(1_000_000_000_u64..9_999_999_999_u64)
+    );
     let src_mix_total: u32 = SOURCE_MIX.iter().map(|(_, w)| w).sum();
     let roll = rng.gen_range(0..1000u32);
     let src = if roll < src_mix_total {
@@ -167,7 +170,9 @@ mod tests {
         let req = gettask_request(&mut rng, 1_650_000_000);
         assert_eq!(req.uri.file_name(), "getTask.php");
         assert_eq!(req.user_agent(), Some(BOTNET_UA));
-        for key in ["imei", "balance", "country", "phone", "op", "mnc", "mcc", "model", "os"] {
+        for key in [
+            "imei", "balance", "country", "phone", "op", "mnc", "mcc", "model", "os",
+        ] {
             assert!(req.uri.query_value(key).is_some(), "missing {key}");
         }
         assert_eq!(req.uri.query_value("op"), Some("Android"));
@@ -181,8 +186,10 @@ mod tests {
         for _ in 0..2000 {
             let req = gettask_request(&mut rng, 0);
             let c = req.uri.query_value("country").unwrap().to_string();
-            let (_, _, continent, _) =
-                COUNTRY_MIX.iter().find(|(code, _, _, _)| *code == c).unwrap();
+            let (_, _, continent, _) = COUNTRY_MIX
+                .iter()
+                .find(|(code, _, _, _)| *code == c)
+                .unwrap();
             continents.insert(*continent);
         }
         assert_eq!(continents.len(), 4, "all continents represented");

@@ -48,7 +48,12 @@ pub struct EraConfig {
 
 impl Default for EraConfig {
     fn default() -> Self {
-        EraConfig { seed: 0xE5A, nx_names: 60_000, expired_panel: 1_500, resolver_checks: 200 }
+        EraConfig {
+            seed: 0xE5A,
+            nx_names: 60_000,
+            expired_panel: 1_500,
+            resolver_checks: 200,
+        }
     }
 }
 
@@ -80,9 +85,26 @@ const YEAR_MULT: [f64; 9] = [8.0, 12.0, 15.0, 15.2, 15.4, 15.5, 16.0, 19.8, 22.3
 
 /// TLD mix for names that do not inherit one (Fig. 4's top-20 shape).
 const TLD_MIX: [(&str, u32); 20] = [
-    ("com", 430), ("net", 100), ("cn", 85), ("ru", 75), ("org", 60), ("de", 30), ("uk", 28),
-    ("info", 25), ("top", 22), ("xyz", 20), ("nl", 15), ("br", 14), ("io", 12), ("fr", 11),
-    ("eu", 10), ("online", 9), ("jp", 8), ("biz", 7), ("it", 6), ("au", 5),
+    ("com", 430),
+    ("net", 100),
+    ("cn", 85),
+    ("ru", 75),
+    ("org", 60),
+    ("de", 30),
+    ("uk", 28),
+    ("info", 25),
+    ("top", 22),
+    ("xyz", 20),
+    ("nl", 15),
+    ("br", 14),
+    ("io", 12),
+    ("fr", 11),
+    ("eu", 10),
+    ("online", 9),
+    ("jp", 8),
+    ("biz", 7),
+    ("it", 6),
+    ("au", 5),
 ];
 
 fn weighted_tld(rng: &mut StdRng) -> &'static str {
@@ -146,8 +168,7 @@ pub fn generate(config: EraConfig) -> EraWorld {
 
     // ---- registry + WHOIS for the expired panel -------------------------
     // The registry's fixed one-year term sets (registration = expiry − 1y).
-    let mut registry =
-        Registry::new(RegistryConfig::default(), SimTime(0));
+    let mut registry = Registry::new(RegistryConfig::default(), SimTime(0));
     let mut whois = HistoricWhoisDb::new();
     let mut panel: Vec<usize> = (0..specs.len()).filter(|&i| specs[i].expired).collect();
     panel.sort_by_key(|&i| specs[i].registered_day);
@@ -217,7 +238,13 @@ pub fn generate(config: EraConfig) -> EraWorld {
     // ---- resolver/registry consistency subsample ------------------------
     let consistency = verify_consistency(&mut rng, &config, &db, &registry);
 
-    EraWorld { db, whois, expiry_days, config, consistency }
+    EraWorld {
+        db,
+        whois,
+        expiry_days,
+        config,
+        consistency,
+    }
 }
 
 fn year_mult(day: u32) -> f64 {
@@ -260,7 +287,7 @@ fn pick_sensor(rng: &mut StdRng, tld: &str) -> u16 {
 }
 
 fn pick_registrar(rng: &mut StdRng) -> &'static str {
-    ["godaddy", "namecheap", "101domain", "enom", "gandi"][rng.gen_range(0..5)]
+    ["godaddy", "namecheap", "101domain", "enom", "gandi"][rng.gen_range(0..5usize)]
 }
 
 fn build_name_specs(
@@ -313,7 +340,11 @@ fn build_name_specs(
         let name = if roll < 62 {
             // DGA candidates.
             let fam = &families[rng.gen_range(0..families.len())];
-            let date = (2014 + rng.gen_range(0..9), rng.gen_range(1..13u32), rng.gen_range(1..29u32));
+            let date = (
+                2014 + rng.gen_range(0..9),
+                rng.gen_range(1..13u32),
+                rng.gen_range(1..29u32),
+            );
             fam.generate(rng.gen(), date, 1).pop().unwrap()
         } else if roll < 80 {
             // Typos of popular targets.
@@ -421,7 +452,7 @@ fn verify_consistency(
                 && matches!(e.kind, nxd_dns_sim::EventKind::Registered { expires, .. }
                     if e.at <= day_time && day_time < expires)
         });
-        if was_registered == !expect_nx {
+        if was_registered != expect_nx {
             passed += 1;
         }
     }
@@ -440,7 +471,13 @@ fn verify_consistency(
     regs.sort();
     for (at, name) in regs {
         dns.tick(at);
-        let _ = dns.register_domain(&name, "owner", "registrar", 1, std::net::Ipv4Addr::new(198, 51, 100, 1));
+        let _ = dns.register_domain(
+            &name,
+            "owner",
+            "registrar",
+            1,
+            std::net::Ipv4Addr::new(198, 51, 100, 1),
+        );
     }
     dns.tick(SimTime::ERA_END);
     let mut resolver = Resolver::new(ResolverConfig::default());
@@ -464,7 +501,12 @@ mod tests {
     use nxd_passive_dns::query;
 
     fn small_world() -> EraWorld {
-        generate(EraConfig { nx_names: 4_000, expired_panel: 200, resolver_checks: 100, ..Default::default() })
+        generate(EraConfig {
+            nx_names: 4_000,
+            expired_panel: 200,
+            resolver_checks: 100,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -479,7 +521,7 @@ mod tests {
     fn whois_covers_exactly_the_panel() {
         let w = small_world();
         assert_eq!(w.whois.distinct_domains(), w.expiry_days.len());
-        for (&id, _) in &w.expiry_days {
+        for &id in w.expiry_days.keys() {
             let name = w.db.interner().resolve(id);
             assert!(w.whois.has_history(name), "{name}");
         }
@@ -497,8 +539,19 @@ mod tests {
     fn fig3_shape_monotone_rise_then_jump() {
         let w = small_world();
         let yearly = query::yearly_avg_monthly_nx(&w.db);
-        let get = |y: i32| yearly.iter().find(|&&(yy, _)| yy == y).map(|&(_, v)| v).unwrap_or(0.0);
-        assert!(get(2014) < get(2016), "2014 {} !< 2016 {}", get(2014), get(2016));
+        let get = |y: i32| {
+            yearly
+                .iter()
+                .find(|&&(yy, _)| yy == y)
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0)
+        };
+        assert!(
+            get(2014) < get(2016),
+            "2014 {} !< 2016 {}",
+            get(2014),
+            get(2016)
+        );
         assert!(get(2021) > get(2020) * 1.1, "2021 jump missing");
         assert!(get(2022) > get(2021) * 0.95, "2022 should stay high");
     }
@@ -550,8 +603,16 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = generate(EraConfig { nx_names: 500, expired_panel: 30, ..Default::default() });
-        let b = generate(EraConfig { nx_names: 500, expired_panel: 30, ..Default::default() });
+        let a = generate(EraConfig {
+            nx_names: 500,
+            expired_panel: 30,
+            ..Default::default()
+        });
+        let b = generate(EraConfig {
+            nx_names: 500,
+            expired_panel: 30,
+            ..Default::default()
+        });
         assert_eq!(a.db.row_count(), b.db.row_count());
         assert_eq!(
             query::total_nx_responses(&a.db),

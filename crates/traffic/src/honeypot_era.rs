@@ -90,7 +90,10 @@ pub fn generate(config: HoneypotConfig) -> HoneypotWorld {
     for spec in &TABLE1 {
         for i in 0..16 {
             webfilter.add_page(
-                &format!("https://forum{i}.example-boards.net/thread/{}", fnv(spec.name) % 10_000 + i),
+                &format!(
+                    "https://forum{i}.example-boards.net/thread/{}",
+                    fnv(spec.name) % 10_000 + i
+                ),
                 [spec.name],
             );
         }
@@ -98,13 +101,14 @@ pub fn generate(config: HoneypotConfig) -> HoneypotWorld {
     // Pages that exist but do NOT link to any study domain (crafted referers
     // pointing at them classify as malicious links).
     for i in 0..8 {
-        webfilter.add_page(&format!("https://blog{i}.example-unrelated.org/post"), ["elsewhere.com"]);
+        webfilter.add_page(
+            &format!("https://blog{i}.example-unrelated.org/post"),
+            ["elsewhere.com"],
+        );
     }
 
-    let baseline_packets =
-        gen_baseline(&mut rng, &config, &scanner_ips, monitor_ip);
-    let control_packets =
-        gen_control(&mut rng, &config, &scanner_ips, monitor_ip, &acme_ips);
+    let baseline_packets = gen_baseline(&mut rng, &config, &scanner_ips, monitor_ip);
+    let control_packets = gen_control(&mut rng, &config, &scanner_ips, monitor_ip, &acme_ips);
 
     let captures = TABLE1
         .iter()
@@ -114,7 +118,14 @@ pub fn generate(config: HoneypotConfig) -> HoneypotWorld {
         })
         .collect();
 
-    HoneypotWorld { captures, baseline_packets, control_packets, webfilter, reverse_dns, config }
+    HoneypotWorld {
+        captures,
+        baseline_packets,
+        control_packets,
+        webfilter,
+        reverse_dns,
+        config,
+    }
 }
 
 fn fnv(s: &str) -> u64 {
@@ -129,7 +140,7 @@ fn fnv(s: &str) -> u64 {
 fn stamp(rng: &mut StdRng, config: &HoneypotConfig) -> u64 {
     config.start.as_secs()
         + rng.gen_range(0..config.days as u64) * 86_400
-        + rng.gen_range(0..86_400)
+        + rng.gen_range(0..86_400u64)
 }
 
 fn http_port(rng: &mut StdRng) -> u16 {
@@ -155,11 +166,23 @@ fn gen_baseline(
         let t = stamp(rng, config);
         // 60% AWS monitor chatter, 40% internet scanners.
         if rng.gen_range(0..10) < 6 {
-            out.push(Packet::raw(monitor_ip, 52_646, Transport::Tcp, t, b"aws-health"));
+            out.push(Packet::raw(
+                monitor_ip,
+                52_646,
+                Transport::Tcp,
+                t,
+                b"aws-health",
+            ));
         } else {
             let ip = scanner_ips[rng.gen_range(0..scanner_ips.len())];
             let port = PROBE_PORTS[rng.gen_range(0..PROBE_PORTS.len())];
-            out.push(Packet::raw(ip, port, Transport::Tcp, t, b"\x16\x03\x01probe"));
+            out.push(Packet::raw(
+                ip,
+                port,
+                Transport::Tcp,
+                t,
+                b"\x16\x03\x01probe",
+            ));
         }
     }
     out
@@ -184,12 +207,18 @@ fn gen_control(
             0..=2 => {
                 let ip = acme_ips[rng.gen_range(0..acme_ips.len())];
                 out.push(Packet::http(
-                    HttpRequest::get(&format!("/.well-known/acme-challenge/tok{}", rng.gen_range(0..99)))
-                        .with_header("Host", &host)
-                        .with_header("User-Agent", "Mozilla/5.0 (compatible; Let's Encrypt validation server)")
-                        .with_src(ip)
-                        .with_port(80)
-                        .with_time(t),
+                    HttpRequest::get(&format!(
+                        "/.well-known/acme-challenge/tok{}",
+                        rng.gen_range(0..99)
+                    ))
+                    .with_header("Host", &host)
+                    .with_header(
+                        "User-Agent",
+                        "Mozilla/5.0 (compatible; Let's Encrypt validation server)",
+                    )
+                    .with_src(ip)
+                    .with_port(80)
+                    .with_time(t),
                 ));
             }
             // New-domain crawlers fetching the landing page.
@@ -205,7 +234,13 @@ fn gen_control(
                 ));
             }
             // AWS monitor (Fig. 10b's dominant port).
-            5..=8 => out.push(Packet::raw(monitor_ip, 52_646, Transport::Tcp, t, b"aws-health")),
+            5..=8 => out.push(Packet::raw(
+                monitor_ip,
+                52_646,
+                Transport::Tcp,
+                t,
+                b"aws-health",
+            )),
             // Residual scanning.
             _ => {
                 let ip = scanner_ips[rng.gen_range(0..scanner_ips.len())];
@@ -232,7 +267,13 @@ fn gen_domain(
     gen_search_engine(rng, config, spec, scaled(spec.search_engine, s), &mut out);
     gen_file_grabber(rng, config, spec, scaled(spec.file_grabber, s), &mut out);
     gen_script_software(rng, config, spec, scaled(spec.script_software, s), &mut out);
-    gen_malicious_request(rng, config, spec, scaled(spec.malicious_request, s), &mut out);
+    gen_malicious_request(
+        rng,
+        config,
+        spec,
+        scaled(spec.malicious_request, s),
+        &mut out,
+    );
     gen_referrals(rng, config, spec, &mut out);
     gen_users(rng, config, spec, &mut out);
     gen_others(rng, config, spec, scaled(spec.others, s), &mut out);
@@ -243,17 +284,29 @@ fn gen_domain(
         let t = stamp(rng, config);
         match rng.gen_range(0..4) {
             0 => out.push(Packet::http(
-                HttpRequest::get(&format!("/.well-known/acme-challenge/tok{}", rng.gen_range(0..99)))
-                    .with_header("Host", spec.name)
-                    .with_header("User-Agent", "Mozilla/5.0 (compatible; Let's Encrypt validation server)")
-                    .with_src(acme_ips[rng.gen_range(0..acme_ips.len())])
-                    .with_port(80)
-                    .with_time(t),
+                HttpRequest::get(&format!(
+                    "/.well-known/acme-challenge/tok{}",
+                    rng.gen_range(0..99)
+                ))
+                .with_header("Host", spec.name)
+                .with_header(
+                    "User-Agent",
+                    "Mozilla/5.0 (compatible; Let's Encrypt validation server)",
+                )
+                .with_src(acme_ips[rng.gen_range(0..acme_ips.len())])
+                .with_port(80)
+                .with_time(t),
             )),
-            1 => out.push(Packet::raw(monitor_ip, 52_646, Transport::Tcp, t, b"aws-health")),
+            1 => out.push(Packet::raw(
+                monitor_ip,
+                52_646,
+                Transport::Tcp,
+                t,
+                b"aws-health",
+            )),
             _ => {
                 let ip = scanner_ips[rng.gen_range(0..scanner_ips.len())];
-                let port = [22, 23, 445, 3389, 8080][rng.gen_range(0..5)];
+                let port = [22, 23, 445, 3389, 8080][rng.gen_range(0..5usize)];
                 out.push(Packet::raw(ip, port, Transport::Tcp, t, b"probe"));
             }
         }
@@ -263,7 +316,7 @@ fn gen_domain(
     for _ in 0..(out.len() / 200).max(2) {
         let t = stamp(rng, config);
         let ip = IpPool::Residential.draw(rng);
-        let port = [21, 22, 25, 8443][rng.gen_range(0..4)];
+        let port = [21, 22, 25, 8443][rng.gen_range(0..4usize)];
         out.push(Packet::raw(ip, port, Transport::Tcp, t, b"stray"));
     }
     out
@@ -391,7 +444,7 @@ fn gen_script_software(
         // one file, requested in streams (≥ threshold per address) — the
         // categorizer must re-classify it as automated.
         const STORM_UA: &str = "Mozilla/5.0 (Windows NT 6.3; WOW64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/41.0.2272.118 Safari/537.36";
-        let per_ip = 40.max(8);
+        let per_ip = 40;
         let ips = (count / per_ip).max(1);
         let mut emitted = 0;
         'outer: for _ in 0..ips {
@@ -482,7 +535,12 @@ fn gen_malicious_request(
     }
 }
 
-fn gen_referrals(rng: &mut StdRng, config: &HoneypotConfig, spec: &DomainSpec, out: &mut Vec<Packet>) {
+fn gen_referrals(
+    rng: &mut StdRng,
+    config: &HoneypotConfig,
+    spec: &DomainSpec,
+    out: &mut Vec<Packet>,
+) {
     let s = config.scale;
     const SEARCH_REFERERS: [&str; 4] = [
         "https://www.google.com/search?q=",
@@ -510,7 +568,10 @@ fn gen_referrals(rng: &mut StdRng, config: &HoneypotConfig, spec: &DomainSpec, o
         // Crafted referers: either unresolvable pages or real pages with no
         // link to us.
         let referer = if i % 2 == 0 {
-            format!("https://spam-{}.example-junk.biz/landing", rng.gen_range(0..500))
+            format!(
+                "https://spam-{}.example-junk.biz/landing",
+                rng.gen_range(0..500)
+            )
         } else {
             format!("https://blog{}.example-unrelated.org/post", i % 8)
         };
@@ -604,7 +665,10 @@ mod tests {
     use super::*;
 
     fn small_world() -> HoneypotWorld {
-        generate(HoneypotConfig { scale: 2000, ..Default::default() })
+        generate(HoneypotConfig {
+            scale: 2000,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -629,8 +693,14 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = generate(HoneypotConfig { scale: 3000, ..Default::default() });
-        let b = generate(HoneypotConfig { scale: 3000, ..Default::default() });
+        let a = generate(HoneypotConfig {
+            scale: 3000,
+            ..Default::default()
+        });
+        let b = generate(HoneypotConfig {
+            scale: 3000,
+            ..Default::default()
+        });
         for (ca, cb) in a.captures.iter().zip(&b.captures) {
             assert_eq!(ca.packets, cb.packets, "{}", ca.spec.name);
         }
@@ -659,7 +729,11 @@ mod tests {
     #[test]
     fn gpclick_carries_botnet_traffic() {
         let w = small_world();
-        let gp = w.captures.iter().find(|c| c.spec.name == "gpclick.com").unwrap();
+        let gp = w
+            .captures
+            .iter()
+            .find(|c| c.spec.name == "gpclick.com")
+            .unwrap();
         let gettask = gp
             .packets
             .iter()

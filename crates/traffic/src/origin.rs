@@ -81,11 +81,11 @@ pub fn generate(config: OriginConfig) -> OriginWorld {
 
     // Planted squats, drawn from the generators against popular targets.
     let plant_squats = |kind: nxd_squat::SquatKind,
-                            count: usize,
-                            gen: fn(&str) -> Vec<String>,
-                            rng: &mut StdRng,
-                            domains: &mut Vec<ExpiredDomain>,
-                            seen: &mut std::collections::HashSet<String>| {
+                        count: usize,
+                        gen: fn(&str) -> Vec<String>,
+                        rng: &mut StdRng,
+                        domains: &mut Vec<ExpiredDomain>,
+                        seen: &mut std::collections::HashSet<String>| {
         let mut planted = 0;
         let mut attempts = 0;
         while planted < count && attempts < count * 50 {
@@ -97,38 +97,103 @@ pub fn generate(config: OriginConfig) -> OriginWorld {
             }
             let name = candidates[rng.gen_range(0..candidates.len())].clone();
             if seen.insert(name.clone()) {
-                domains.push(ExpiredDomain { name, truth: OriginTruth::Squat(kind) });
+                domains.push(ExpiredDomain {
+                    name,
+                    truth: OriginTruth::Squat(kind),
+                });
                 planted += 1;
             }
         }
     };
-    plant_squats(nxd_squat::SquatKind::Typo, n_typo, squatgen::typosquats, &mut rng, &mut domains, &mut seen);
-    plant_squats(nxd_squat::SquatKind::Combo, n_combo, squatgen::combosquats, &mut rng, &mut domains, &mut seen);
-    plant_squats(nxd_squat::SquatKind::Dot, n_dot, squatgen::dotsquats, &mut rng, &mut domains, &mut seen);
-    plant_squats(nxd_squat::SquatKind::Bit, n_bit, squatgen::bitsquats, &mut rng, &mut domains, &mut seen);
-    plant_squats(nxd_squat::SquatKind::Homo, n_homo, squatgen::homosquats, &mut rng, &mut domains, &mut seen);
+    plant_squats(
+        nxd_squat::SquatKind::Typo,
+        n_typo,
+        squatgen::typosquats,
+        &mut rng,
+        &mut domains,
+        &mut seen,
+    );
+    plant_squats(
+        nxd_squat::SquatKind::Combo,
+        n_combo,
+        squatgen::combosquats,
+        &mut rng,
+        &mut domains,
+        &mut seen,
+    );
+    plant_squats(
+        nxd_squat::SquatKind::Dot,
+        n_dot,
+        squatgen::dotsquats,
+        &mut rng,
+        &mut domains,
+        &mut seen,
+    );
+    plant_squats(
+        nxd_squat::SquatKind::Bit,
+        n_bit,
+        squatgen::bitsquats,
+        &mut rng,
+        &mut domains,
+        &mut seen,
+    );
+    plant_squats(
+        nxd_squat::SquatKind::Homo,
+        n_homo,
+        squatgen::homosquats,
+        &mut rng,
+        &mut domains,
+        &mut seen,
+    );
 
     // Planted DGA registrations (the small set a botmaster actually
     // registered, §5.2).
-    while domains.iter().filter(|d| d.truth == OriginTruth::Dga).count() < dga_target {
+    while domains
+        .iter()
+        .filter(|d| d.truth == OriginTruth::Dga)
+        .count()
+        < dga_target
+    {
         let fam = &families[rng.gen_range(0..families.len())];
-        let date = (2014 + rng.gen_range(0..9), rng.gen_range(1..13u32), rng.gen_range(1..29u32));
+        let date = (
+            2014 + rng.gen_range(0..9),
+            rng.gen_range(1..13u32),
+            rng.gen_range(1..29u32),
+        );
         let name = fam.generate(rng.gen(), date, 1).pop().unwrap();
         if seen.insert(name.clone()) {
-            domains.push(ExpiredDomain { name, truth: OriginTruth::Dga });
+            domains.push(ExpiredDomain {
+                name,
+                truth: OriginTruth::Dga,
+            });
         }
     }
 
     // Benign background: human-plausible expired names.
     while domains.len() < config.expired_total {
         let name = match rng.gen_range(0..4) {
-            0 => format!("{}{}.com", words[rng.gen_range(0..words.len())], words[rng.gen_range(0..words.len())]),
-            1 => format!("{}-{}.net", words[rng.gen_range(0..words.len())], words[rng.gen_range(0..words.len())]),
-            2 => format!("{}{}.org", words[rng.gen_range(0..words.len())], rng.gen_range(1..999u32)),
+            0 => format!(
+                "{}{}.com",
+                words[rng.gen_range(0..words.len())],
+                words[rng.gen_range(0..words.len())]
+            ),
+            1 => format!(
+                "{}-{}.net",
+                words[rng.gen_range(0..words.len())],
+                words[rng.gen_range(0..words.len())]
+            ),
+            2 => format!(
+                "{}{}.org",
+                words[rng.gen_range(0..words.len())],
+                rng.gen_range(1..999u32)
+            ),
             _ => format!("my{}.info", words[rng.gen_range(0..words.len())]),
         };
         if seen.insert(name.clone()) {
-            domains.push(ExpiredDomain { name, truth: OriginTruth::Benign });
+            domains.push(ExpiredDomain {
+                name,
+                truth: OriginTruth::Benign,
+            });
         }
     }
 
@@ -176,7 +241,12 @@ pub fn generate(config: OriginConfig) -> OriginWorld {
         listed += 1;
     }
 
-    OriginWorld { domains, whois, blocklist, config }
+    OriginWorld {
+        domains,
+        whois,
+        blocklist,
+        config,
+    }
 }
 
 #[cfg(test)]
@@ -184,7 +254,10 @@ mod tests {
     use super::*;
 
     fn small() -> OriginWorld {
-        generate(OriginConfig { expired_total: 5_000, ..Default::default() })
+        generate(OriginConfig {
+            expired_total: 5_000,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -198,7 +271,11 @@ mod tests {
     #[test]
     fn truth_mix_matches_config() {
         let w = small();
-        let dga = w.domains.iter().filter(|d| d.truth == OriginTruth::Dga).count();
+        let dga = w
+            .domains
+            .iter()
+            .filter(|d| d.truth == OriginTruth::Dga)
+            .count();
         assert_eq!(dga, 150); // 30‰ of 5000
         let squats = w
             .domains
@@ -224,13 +301,22 @@ mod tests {
         assert_eq!(total, 120); // 24‰ of 5000
         let counts = w.blocklist.category_counts();
         let malware = counts.get(&ThreatCategory::Malware).copied().unwrap_or(0);
-        assert!(malware as f64 / total as f64 > 0.6, "malware should dominate");
+        assert!(
+            malware as f64 / total as f64 > 0.6,
+            "malware should dominate"
+        );
     }
 
     #[test]
     fn deterministic() {
-        let a = generate(OriginConfig { expired_total: 1_000, ..Default::default() });
-        let b = generate(OriginConfig { expired_total: 1_000, ..Default::default() });
+        let a = generate(OriginConfig {
+            expired_total: 1_000,
+            ..Default::default()
+        });
+        let b = generate(OriginConfig {
+            expired_total: 1_000,
+            ..Default::default()
+        });
         assert_eq!(a.domains, b.domains);
     }
 }

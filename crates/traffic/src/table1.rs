@@ -42,25 +42,272 @@ impl DomainSpec {
 /// from the cell sums by small typesetting errors in two rows — we use the
 /// cells).
 pub const TABLE1: [DomainSpec; 19] = [
-    DomainSpec { name: "resheba.online", malicious: false, search_engine: 15_223, file_grabber: 105_221, script_software: 1_866_523, malicious_request: 52_263, referral_search: 1_052, referral_embedded: 655, referral_malicious: 265, user_pc_mobile: 56, user_in_app: 20, others: 55_874 },
-    DomainSpec { name: "1x-sport-bk7.com", malicious: true, search_engine: 4_058, file_grabber: 328, script_software: 1_215_606, malicious_request: 725, referral_search: 3_054, referral_embedded: 143, referral_malicious: 522, user_pc_mobile: 2_952, user_in_app: 43, others: 15_428 },
-    DomainSpec { name: "fanserials.moda", malicious: false, search_engine: 2_536, file_grabber: 5_622, script_software: 996_968, malicious_request: 6_225, referral_search: 1_556, referral_embedded: 4_112, referral_malicious: 2_189, user_pc_mobile: 106, user_in_app: 122, others: 4_071 },
-    DomainSpec { name: "gpclick.com", malicious: true, search_engine: 415, file_grabber: 144, script_software: 365, malicious_request: 939_420, referral_search: 10_524, referral_embedded: 248, referral_malicious: 115, user_pc_mobile: 1_014, user_in_app: 22, others: 5_014 },
-    DomainSpec { name: "porno-komiksy.com", malicious: false, search_engine: 43_285, file_grabber: 105_412, script_software: 2_952, malicious_request: 7_441, referral_search: 2_482, referral_embedded: 10_244, referral_malicious: 3_052, user_pc_mobile: 25_112, user_in_app: 1_825, others: 4_552 },
-    DomainSpec { name: "conf-cdn.com", malicious: true, search_engine: 2_653, file_grabber: 55_842, script_software: 10_228, malicious_request: 1_699, referral_search: 3_455, referral_embedded: 2_568, referral_malicious: 623, user_pc_mobile: 2_004, user_in_app: 652, others: 11_957 },
-    DomainSpec { name: "pro100diplom.com", malicious: false, search_engine: 796, file_grabber: 48_868, script_software: 16_500, malicious_request: 9_734, referral_search: 83, referral_embedded: 261, referral_malicious: 53, user_pc_mobile: 351, user_in_app: 108, others: 1_026 },
-    DomainSpec { name: "yebeda.org", malicious: false, search_engine: 5_509, file_grabber: 25_742, script_software: 26_564, malicious_request: 2_094, referral_search: 1_993, referral_embedded: 351, referral_malicious: 314, user_pc_mobile: 205, user_in_app: 30, others: 4_625 },
-    DomainSpec { name: "oboru.work", malicious: false, search_engine: 1_052, file_grabber: 49_954, script_software: 2_651, malicious_request: 6_048, referral_search: 50, referral_embedded: 366, referral_malicious: 30, user_pc_mobile: 4_852, user_in_app: 66, others: 501 },
-    DomainSpec { name: "kinopack.org", malicious: false, search_engine: 1_205, file_grabber: 5_624, script_software: 6_401, malicious_request: 3_255, referral_search: 1_054, referral_embedded: 213, referral_malicious: 201, user_pc_mobile: 83, user_in_app: 304, others: 522 },
-    DomainSpec { name: "sfscl.info", malicious: false, search_engine: 421, file_grabber: 10_566, script_software: 2_946, malicious_request: 1_098, referral_search: 152, referral_embedded: 62, referral_malicious: 97, user_pc_mobile: 401, user_in_app: 65, others: 957 },
-    DomainSpec { name: "ipservl.net", malicious: true, search_engine: 2_016, file_grabber: 7_815, script_software: 3_297, malicious_request: 1_552, referral_search: 336, referral_embedded: 105, referral_malicious: 78, user_pc_mobile: 105, user_in_app: 63, others: 1_192 },
-    DomainSpec { name: "cservll.net", malicious: true, search_engine: 1_487, file_grabber: 263, script_software: 92, malicious_request: 65, referral_search: 2_055, referral_embedded: 263, referral_malicious: 102, user_pc_mobile: 198, user_in_app: 105, others: 6_234 },
-    DomainSpec { name: "ipserv2.net", malicious: true, search_engine: 323, file_grabber: 52, script_software: 144, malicious_request: 1_486, referral_search: 203, referral_embedded: 96, referral_malicious: 58, user_pc_mobile: 98, user_in_app: 86, others: 6_811 },
-    DomainSpec { name: "redirectmyquery.com", malicious: false, search_engine: 266, file_grabber: 128, script_software: 62, malicious_request: 1_547, referral_search: 269, referral_embedded: 75, referral_malicious: 63, user_pc_mobile: 188, user_in_app: 42, others: 5_022 },
-    DomainSpec { name: "adrenali.gq", malicious: false, search_engine: 1_089, file_grabber: 357, script_software: 215, malicious_request: 98, referral_search: 52, referral_embedded: 144, referral_malicious: 82, user_pc_mobile: 1_096, user_in_app: 65, others: 3_054 },
-    DomainSpec { name: "dns2.name", malicious: false, search_engine: 396, file_grabber: 88, script_software: 105, malicious_request: 93, referral_search: 835, referral_embedded: 35, referral_malicious: 56, user_pc_mobile: 48, user_in_app: 51, others: 3_987 },
-    DomainSpec { name: "akamai-technology.com", malicious: true, search_engine: 86, file_grabber: 85, script_software: 85, malicious_request: 196, referral_search: 65, referral_embedded: 88, referral_malicious: 352, user_pc_mobile: 620, user_in_app: 73, others: 672 },
-    DomainSpec { name: "twitter-sup0rt.com", malicious: true, search_engine: 126, file_grabber: 185, script_software: 58, malicious_request: 57, referral_search: 107, referral_embedded: 63, referral_malicious: 65, user_pc_mobile: 118, user_in_app: 66, others: 589 },
+    DomainSpec {
+        name: "resheba.online",
+        malicious: false,
+        search_engine: 15_223,
+        file_grabber: 105_221,
+        script_software: 1_866_523,
+        malicious_request: 52_263,
+        referral_search: 1_052,
+        referral_embedded: 655,
+        referral_malicious: 265,
+        user_pc_mobile: 56,
+        user_in_app: 20,
+        others: 55_874,
+    },
+    DomainSpec {
+        name: "1x-sport-bk7.com",
+        malicious: true,
+        search_engine: 4_058,
+        file_grabber: 328,
+        script_software: 1_215_606,
+        malicious_request: 725,
+        referral_search: 3_054,
+        referral_embedded: 143,
+        referral_malicious: 522,
+        user_pc_mobile: 2_952,
+        user_in_app: 43,
+        others: 15_428,
+    },
+    DomainSpec {
+        name: "fanserials.moda",
+        malicious: false,
+        search_engine: 2_536,
+        file_grabber: 5_622,
+        script_software: 996_968,
+        malicious_request: 6_225,
+        referral_search: 1_556,
+        referral_embedded: 4_112,
+        referral_malicious: 2_189,
+        user_pc_mobile: 106,
+        user_in_app: 122,
+        others: 4_071,
+    },
+    DomainSpec {
+        name: "gpclick.com",
+        malicious: true,
+        search_engine: 415,
+        file_grabber: 144,
+        script_software: 365,
+        malicious_request: 939_420,
+        referral_search: 10_524,
+        referral_embedded: 248,
+        referral_malicious: 115,
+        user_pc_mobile: 1_014,
+        user_in_app: 22,
+        others: 5_014,
+    },
+    DomainSpec {
+        name: "porno-komiksy.com",
+        malicious: false,
+        search_engine: 43_285,
+        file_grabber: 105_412,
+        script_software: 2_952,
+        malicious_request: 7_441,
+        referral_search: 2_482,
+        referral_embedded: 10_244,
+        referral_malicious: 3_052,
+        user_pc_mobile: 25_112,
+        user_in_app: 1_825,
+        others: 4_552,
+    },
+    DomainSpec {
+        name: "conf-cdn.com",
+        malicious: true,
+        search_engine: 2_653,
+        file_grabber: 55_842,
+        script_software: 10_228,
+        malicious_request: 1_699,
+        referral_search: 3_455,
+        referral_embedded: 2_568,
+        referral_malicious: 623,
+        user_pc_mobile: 2_004,
+        user_in_app: 652,
+        others: 11_957,
+    },
+    DomainSpec {
+        name: "pro100diplom.com",
+        malicious: false,
+        search_engine: 796,
+        file_grabber: 48_868,
+        script_software: 16_500,
+        malicious_request: 9_734,
+        referral_search: 83,
+        referral_embedded: 261,
+        referral_malicious: 53,
+        user_pc_mobile: 351,
+        user_in_app: 108,
+        others: 1_026,
+    },
+    DomainSpec {
+        name: "yebeda.org",
+        malicious: false,
+        search_engine: 5_509,
+        file_grabber: 25_742,
+        script_software: 26_564,
+        malicious_request: 2_094,
+        referral_search: 1_993,
+        referral_embedded: 351,
+        referral_malicious: 314,
+        user_pc_mobile: 205,
+        user_in_app: 30,
+        others: 4_625,
+    },
+    DomainSpec {
+        name: "oboru.work",
+        malicious: false,
+        search_engine: 1_052,
+        file_grabber: 49_954,
+        script_software: 2_651,
+        malicious_request: 6_048,
+        referral_search: 50,
+        referral_embedded: 366,
+        referral_malicious: 30,
+        user_pc_mobile: 4_852,
+        user_in_app: 66,
+        others: 501,
+    },
+    DomainSpec {
+        name: "kinopack.org",
+        malicious: false,
+        search_engine: 1_205,
+        file_grabber: 5_624,
+        script_software: 6_401,
+        malicious_request: 3_255,
+        referral_search: 1_054,
+        referral_embedded: 213,
+        referral_malicious: 201,
+        user_pc_mobile: 83,
+        user_in_app: 304,
+        others: 522,
+    },
+    DomainSpec {
+        name: "sfscl.info",
+        malicious: false,
+        search_engine: 421,
+        file_grabber: 10_566,
+        script_software: 2_946,
+        malicious_request: 1_098,
+        referral_search: 152,
+        referral_embedded: 62,
+        referral_malicious: 97,
+        user_pc_mobile: 401,
+        user_in_app: 65,
+        others: 957,
+    },
+    DomainSpec {
+        name: "ipservl.net",
+        malicious: true,
+        search_engine: 2_016,
+        file_grabber: 7_815,
+        script_software: 3_297,
+        malicious_request: 1_552,
+        referral_search: 336,
+        referral_embedded: 105,
+        referral_malicious: 78,
+        user_pc_mobile: 105,
+        user_in_app: 63,
+        others: 1_192,
+    },
+    DomainSpec {
+        name: "cservll.net",
+        malicious: true,
+        search_engine: 1_487,
+        file_grabber: 263,
+        script_software: 92,
+        malicious_request: 65,
+        referral_search: 2_055,
+        referral_embedded: 263,
+        referral_malicious: 102,
+        user_pc_mobile: 198,
+        user_in_app: 105,
+        others: 6_234,
+    },
+    DomainSpec {
+        name: "ipserv2.net",
+        malicious: true,
+        search_engine: 323,
+        file_grabber: 52,
+        script_software: 144,
+        malicious_request: 1_486,
+        referral_search: 203,
+        referral_embedded: 96,
+        referral_malicious: 58,
+        user_pc_mobile: 98,
+        user_in_app: 86,
+        others: 6_811,
+    },
+    DomainSpec {
+        name: "redirectmyquery.com",
+        malicious: false,
+        search_engine: 266,
+        file_grabber: 128,
+        script_software: 62,
+        malicious_request: 1_547,
+        referral_search: 269,
+        referral_embedded: 75,
+        referral_malicious: 63,
+        user_pc_mobile: 188,
+        user_in_app: 42,
+        others: 5_022,
+    },
+    DomainSpec {
+        name: "adrenali.gq",
+        malicious: false,
+        search_engine: 1_089,
+        file_grabber: 357,
+        script_software: 215,
+        malicious_request: 98,
+        referral_search: 52,
+        referral_embedded: 144,
+        referral_malicious: 82,
+        user_pc_mobile: 1_096,
+        user_in_app: 65,
+        others: 3_054,
+    },
+    DomainSpec {
+        name: "dns2.name",
+        malicious: false,
+        search_engine: 396,
+        file_grabber: 88,
+        script_software: 105,
+        malicious_request: 93,
+        referral_search: 835,
+        referral_embedded: 35,
+        referral_malicious: 56,
+        user_pc_mobile: 48,
+        user_in_app: 51,
+        others: 3_987,
+    },
+    DomainSpec {
+        name: "akamai-technology.com",
+        malicious: true,
+        search_engine: 86,
+        file_grabber: 85,
+        script_software: 85,
+        malicious_request: 196,
+        referral_search: 65,
+        referral_embedded: 88,
+        referral_malicious: 352,
+        user_pc_mobile: 620,
+        user_in_app: 73,
+        others: 672,
+    },
+    DomainSpec {
+        name: "twitter-sup0rt.com",
+        malicious: true,
+        search_engine: 126,
+        file_grabber: 185,
+        script_software: 58,
+        malicious_request: 57,
+        referral_search: 107,
+        referral_embedded: 63,
+        referral_malicious: 65,
+        user_pc_mobile: 118,
+        user_in_app: 66,
+        others: 589,
+    },
 ];
 
 /// Paper-reported column totals (used as EXPERIMENTS.md reference values).
@@ -109,20 +356,37 @@ mod tests {
     fn cell_sums_close_to_paper_totals() {
         // Column sums over rows must match the paper's totals row to within
         // the two known typesetting discrepancies (< 0.2% per column).
-        let sum =
-            |f: fn(&DomainSpec) -> u64| TABLE1.iter().map(f).sum::<u64>();
+        let sum = |f: fn(&DomainSpec) -> u64| TABLE1.iter().map(f).sum::<u64>();
         let close = |got: u64, paper: u64| {
             let diff = got.abs_diff(paper) as f64;
             diff / (paper as f64) < 0.01
         };
         assert!(close(sum(|d| d.search_engine), PAPER_TOTALS.search_engine));
         assert!(close(sum(|d| d.file_grabber), PAPER_TOTALS.file_grabber));
-        assert!(close(sum(|d| d.script_software), PAPER_TOTALS.script_software));
-        assert!(close(sum(|d| d.malicious_request), PAPER_TOTALS.malicious_request));
-        assert!(close(sum(|d| d.referral_search), PAPER_TOTALS.referral_search));
-        assert!(close(sum(|d| d.referral_embedded), PAPER_TOTALS.referral_embedded));
-        assert!(close(sum(|d| d.referral_malicious), PAPER_TOTALS.referral_malicious));
-        assert!(close(sum(|d| d.user_pc_mobile), PAPER_TOTALS.user_pc_mobile));
+        assert!(close(
+            sum(|d| d.script_software),
+            PAPER_TOTALS.script_software
+        ));
+        assert!(close(
+            sum(|d| d.malicious_request),
+            PAPER_TOTALS.malicious_request
+        ));
+        assert!(close(
+            sum(|d| d.referral_search),
+            PAPER_TOTALS.referral_search
+        ));
+        assert!(close(
+            sum(|d| d.referral_embedded),
+            PAPER_TOTALS.referral_embedded
+        ));
+        assert!(close(
+            sum(|d| d.referral_malicious),
+            PAPER_TOTALS.referral_malicious
+        ));
+        assert!(close(
+            sum(|d| d.user_pc_mobile),
+            PAPER_TOTALS.user_pc_mobile
+        ));
         assert!(close(sum(|d| d.user_in_app), PAPER_TOTALS.user_in_app));
         assert!(close(sum(|d| d.others), PAPER_TOTALS.others));
         let grand: u64 = TABLE1.iter().map(|d| d.total()).sum();

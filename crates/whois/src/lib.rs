@@ -64,7 +64,10 @@ impl HistoricWhoisDb {
 
     /// All spans for a domain, oldest first.
     pub fn history(&self, domain: &str) -> &[WhoisRecord] {
-        self.records.get(domain).map(|v| v.as_slice()).unwrap_or(&[])
+        self.records
+            .get(domain)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// The most recent span, if any.

@@ -13,7 +13,10 @@ fn main() {
     let date = (2022, 3, 14);
     let seed = 0xC0FFEE;
 
-    println!("{:<12} {:>8} {:>9}   sample candidates", "family", "detected", "recall");
+    println!(
+        "{:<12} {:>8} {:>9}   sample candidates",
+        "family", "detected", "recall"
+    );
     println!("{}", "-".repeat(76));
     let mut all: Vec<String> = Vec::new();
     for family in all_families() {
@@ -33,7 +36,10 @@ fn main() {
         corpus::BENIGN_DOMAINS.iter().copied(),
         all.iter().map(|s| s.as_str()),
     );
-    println!("\noverall vs the benign corpus ({} domains):", corpus::BENIGN_DOMAINS.len());
+    println!(
+        "\noverall vs the benign corpus ({} domains):",
+        corpus::BENIGN_DOMAINS.len()
+    );
     println!(
         "  precision {:.3}   recall {:.3}   f1 {:.3}   false positives {}",
         ev.precision(),
@@ -49,11 +55,20 @@ fn main() {
 
     // Feature scores for a few instructive names.
     println!("\n{:<28} {:>8}  verdict", "domain", "score");
-    for name in ["google.com", "xkqzvwpjh.com", "silverdragon.net", "a8f3e19c77b2d4f0.info"] {
+    for name in [
+        "google.com",
+        "xkqzvwpjh.com",
+        "silverdragon.net",
+        "a8f3e19c77b2d4f0.info",
+    ] {
         println!(
             "{name:<28} {:>8.2}  {}",
             detector.score(name),
-            if detector.is_dga(name) { "DGA" } else { "benign" }
+            if detector.is_dga(name) {
+                "DGA"
+            } else {
+                "benign"
+            }
         );
     }
 }

@@ -13,7 +13,10 @@ use nxdomain::traffic::{honeypot_era, HoneypotConfig};
 
 fn main() {
     // 1/500 of the paper's volumes keeps this example quick.
-    let world = honeypot_era::generate(HoneypotConfig { scale: 500, ..Default::default() });
+    let world = honeypot_era::generate(HoneypotConfig {
+        scale: 500,
+        ..Default::default()
+    });
     println!(
         "generated {} domain captures + {} baseline + {} control packets",
         world.captures.len(),
@@ -24,9 +27,12 @@ fn main() {
     let report = security::run(&world);
 
     println!("\nper-domain traffic after filtering (top 8 by volume):");
-    println!("{:<24} {:>7} {:>9} {:>8} {:>8} {:>7}", "domain", "total", "script", "malreq", "crawler", "user");
+    println!(
+        "{:<24} {:>7} {:>9} {:>8} {:>8} {:>7}",
+        "domain", "total", "script", "malreq", "crawler", "user"
+    );
     let mut rows = report.rows.iter().collect::<Vec<_>>();
-    rows.sort_by(|a, b| b.total.cmp(&a.total));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.total));
     for row in rows.iter().take(8) {
         let g = |c: TrafficCategory| row.counts.get(&c).copied().unwrap_or(0);
         println!(
@@ -51,21 +57,33 @@ fn main() {
 
     println!("\ntop NXDomain ports (Fig. 10a):");
     for &(port, n) in report.ports_nxdomain.iter().take(5) {
-        println!("  {port:>6} ({}) — {n}", nxdomain::honeypot::port_service(port));
+        println!(
+            "  {port:>6} ({}) — {n}",
+            nxdomain::honeypot::port_service(port)
+        );
     }
     println!("top control ports (Fig. 10b):");
     for &(port, n) in report.ports_control.iter().take(3) {
-        println!("  {port:>6} ({}) — {n}", nxdomain::honeypot::port_service(port));
+        println!(
+            "  {port:>6} ({}) — {n}",
+            nxdomain::honeypot::port_service(port)
+        );
     }
 
     let b = &report.botnet;
     println!("\ngpclick.com botnet takeover view (§6.4):");
-    println!("  {} getTask.php polls from {} distinct victim phones", b.total_requests, b.distinct_phones);
+    println!(
+        "  {} getTask.php polls from {} distinct victim phones",
+        b.total_requests, b.distinct_phones
+    );
     println!("  example request: {}", b.example_request);
     println!("  top source classes:");
     for (class, n) in b.hostname_classes.iter().take(3) {
         println!("    {class:<16} {n}");
     }
     println!("  victim continents: {:?}", b.continents);
-    println!("  top phone models: {:?}", &b.models[..2.min(b.models.len())]);
+    println!(
+        "  top phone models: {:?}",
+        &b.models[..2.min(b.models.len())]
+    );
 }

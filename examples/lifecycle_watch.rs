@@ -15,7 +15,9 @@ fn main() {
     let mut registry = Registry::new(RegistryConfig::default(), start);
     let domain: Name = "beloved-project.com".parse().unwrap();
 
-    registry.register(&domain, "original-owner", "namecheap", 1).unwrap();
+    registry
+        .register(&domain, "original-owner", "namecheap", 1)
+        .unwrap();
     // A speculator watches the name with a drop-catching service (§2).
     registry.drop_catch(&domain, "speculator-llc");
 
@@ -25,14 +27,20 @@ fn main() {
         for event in registry.drain_events() {
             let phase = registry.phase(&event.domain);
             let what = match &event.kind {
-                EventKind::Registered { owner, registrar, expires } => {
+                EventKind::Registered {
+                    owner,
+                    registrar,
+                    expires,
+                } => {
                     format!("registered to {owner} via {registrar}, expires {expires}")
                 }
                 EventKind::Renewed { expires } => format!("renewed until {expires}"),
                 EventKind::ExpirationNotice { number } => {
                     format!("expiration notice {number}/3 sent to owner")
                 }
-                EventKind::Expired => "EXPIRED — name stops resolving (NXDomain from now on)".into(),
+                EventKind::Expired => {
+                    "EXPIRED — name stops resolving (NXDomain from now on)".into()
+                }
                 EventKind::EnteredRedemption => {
                     "entered the 30-day Redemption Grace Period (restore fee applies)".into()
                 }
@@ -50,7 +58,9 @@ fn main() {
     println!(
         "\nfinal state: {:?}, owner view: {:?}",
         registry.phase(&domain),
-        registry.whois_view(&domain).map(|(owner, registrar, ..)| (owner, registrar))
+        registry
+            .whois_view(&domain)
+            .map(|(owner, registrar, ..)| (owner, registrar))
     );
     println!(
         "\nThis 445-day arc (365 term + 45 auto-renew grace + 30 redemption + 5\n\

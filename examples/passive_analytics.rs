@@ -39,13 +39,18 @@ fn main() {
     );
 
     println!("\nFig. 3 — average monthly NXDOMAIN responses by year:");
-    let fig3: Vec<(String, f64)> =
-        scale::fig3(db).into_iter().map(|(y, v)| (y.to_string(), v)).collect();
+    let fig3: Vec<(String, f64)> = scale::fig3(db)
+        .into_iter()
+        .map(|(y, v)| (y.to_string(), v))
+        .collect();
     print!("{}", report::bar_series(&fig3, 40));
 
     println!("\nFig. 4 — top-10 TLDs:");
     for t in scale::fig4(db, 10) {
-        println!("  .{:<8} {:>8} names {:>10} queries", t.tld, t.nx_names, t.nx_queries);
+        println!(
+            "  .{:<8} {:>8} names {:>10} queries",
+            t.tld, t.nx_names, t.nx_queries
+        );
     }
 
     println!("\nFig. 5 — decay of attention after becoming NX:");

@@ -29,16 +29,25 @@ fn main() {
         "resolve {domain}: {:?} via {} upstream queries → {:?}",
         res.rcode,
         res.upstream_queries,
-        res.answers.iter().map(|r| r.rdata.to_string()).collect::<Vec<_>>()
+        res.answers
+            .iter()
+            .map(|r| r.rdata.to_string())
+            .collect::<Vec<_>>()
     );
 
     // A year and a day later the registration has lapsed (ICANN ERRP).
     let later = start + SimDuration::days(366);
     dns.tick(later);
-    println!("\n{later}: registration lapsed (phase: {:?})", dns.phase(&domain));
+    println!(
+        "\n{later}: registration lapsed (phase: {:?})",
+        dns.phase(&domain)
+    );
 
     let res = resolver.resolve(&dns, &domain, RType::A, later);
-    println!("resolve {domain}: {} (upstream queries: {})", res.rcode, res.upstream_queries);
+    println!(
+        "resolve {domain}: {} (upstream queries: {})",
+        res.rcode, res.upstream_queries
+    );
     assert!(res.is_nxdomain());
 
     // Repeat queries are answered from the negative cache (RFC 2308).
@@ -51,7 +60,11 @@ fn main() {
     // The same exchange at wire level, exercising the RFC 1035 codec.
     let query = Message::query(0x29A, domain.clone(), RType::A);
     let wire = resolver
-        .resolve_message(&dns, &query.encode().unwrap(), later + SimDuration::minutes(1))
+        .resolve_message(
+            &dns,
+            &query.encode().unwrap(),
+            later + SimDuration::minutes(1),
+        )
         .unwrap();
     let response = Message::decode(&wire).unwrap();
     println!(

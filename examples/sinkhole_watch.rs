@@ -12,12 +12,18 @@
 use std::net::Ipv4Addr;
 
 use nxdomain::dga::{all_families, DgaDetector, StreamConfig, StreamDetector};
-use nxdomain::sim::{RegistryConfig, Resolver, ResolverConfig, SimDns, SimDuration, SimTime, Sinkhole};
+use nxdomain::sim::{
+    RegistryConfig, Resolver, ResolverConfig, SimDns, SimDuration, SimTime, Sinkhole,
+};
 use nxdomain::wire::{Name, RType};
 
 fn main() {
     let start = SimTime::from_ymd(2022, 9, 1);
-    let dns = SimDns::new(&["com", "net", "org", "ru", "info"], RegistryConfig::default(), start);
+    let dns = SimDns::new(
+        &["com", "net", "org", "ru", "info"],
+        RegistryConfig::default(),
+        start,
+    );
     let mut resolver = Resolver::new(ResolverConfig::default());
     let mut sinkhole = Sinkhole::new(Ipv4Addr::new(198, 51, 100, 53));
 
@@ -44,7 +50,11 @@ fn main() {
                 println!(
                     "{label} asked {qname} → {} {}",
                     after.rcode,
-                    after.answers.first().map(|r| r.rdata.to_string()).unwrap_or_default()
+                    after
+                        .answers
+                        .first()
+                        .map(|r| r.rdata.to_string())
+                        .unwrap_or_default()
                 );
             }
         }
@@ -59,7 +69,11 @@ fn main() {
 
     // Analysis server: stream detection over the sinkhole log.
     let mut stream = StreamDetector::new(
-        StreamConfig { min_burst: 10, window_secs: 86_400, ..Default::default() },
+        StreamConfig {
+            min_burst: 10,
+            window_secs: 86_400,
+            ..Default::default()
+        },
         DgaDetector::default(),
     );
     for event in sinkhole.log() {

@@ -11,7 +11,9 @@ use std::collections::HashMap;
 use nxdomain::squat::{generate, SquatClassifier, SquatKind};
 
 fn main() {
-    let target = std::env::args().nth(1).unwrap_or_else(|| "paypal.com".to_string());
+    let target = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "paypal.com".to_string());
     let classifier = SquatClassifier::default();
 
     println!("squat audit for {target}\n");
@@ -25,7 +27,11 @@ fn main() {
 
     let mut classified: HashMap<SquatKind, u64> = HashMap::new();
     for (label, squats) in &sets {
-        println!("{label:>15}: {:>4} candidates   e.g. {}", squats.len(), preview(squats));
+        println!(
+            "{label:>15}: {:>4} candidates   e.g. {}",
+            squats.len(),
+            preview(squats)
+        );
         for s in squats {
             if let Some(m) = classifier.classify(s) {
                 *classified.entry(m.kind).or_insert(0) += 1;
@@ -35,11 +41,21 @@ fn main() {
 
     println!("\nclassifier verdicts over all generated candidates:");
     for kind in SquatKind::ALL {
-        println!("{:>15}: {}", kind.label(), classified.get(&kind).copied().unwrap_or(0));
+        println!(
+            "{:>15}: {}",
+            kind.label(),
+            classified.get(&kind).copied().unwrap_or(0)
+        );
     }
 
     println!("\nspot checks:");
-    for name in ["gogle.com", "paypal-login.com", "wwwfacebook.com", "g0ogle.com", "twitter-support.com"] {
+    for name in [
+        "gogle.com",
+        "paypal-login.com",
+        "wwwfacebook.com",
+        "g0ogle.com",
+        "twitter-support.com",
+    ] {
         match classifier.classify(name) {
             Some(m) => println!("  {name:<24} → {} of {}", m.kind.label(), m.target),
             None => println!("  {name:<24} → not a squat"),
@@ -48,5 +64,10 @@ fn main() {
 }
 
 fn preview(squats: &[String]) -> String {
-    squats.iter().take(3).cloned().collect::<Vec<_>>().join(", ")
+    squats
+        .iter()
+        .take(3)
+        .cloned()
+        .collect::<Vec<_>>()
+        .join(", ")
 }

@@ -67,13 +67,15 @@ fn cmd_resolve(args: &[&str]) -> i32 {
     let mut dns = SimDns::with_popular_tlds(start);
     if args.contains(&"--register") {
         match name.registrable() {
-            Some(reg) => match dns.register_domain(&reg, "nxdctl", "cli", 1, Ipv4Addr::new(192, 0, 2, 80)) {
-                Ok(expires) => println!("registered {reg} until {expires}"),
-                Err(e) => {
-                    eprintln!("cannot register {reg}: {e:?}");
-                    return 1;
+            Some(reg) => {
+                match dns.register_domain(&reg, "nxdctl", "cli", 1, Ipv4Addr::new(192, 0, 2, 80)) {
+                    Ok(expires) => println!("registered {reg} until {expires}"),
+                    Err(e) => {
+                        eprintln!("cannot register {reg}: {e:?}");
+                        return 1;
+                    }
                 }
-            },
+            }
             None => {
                 eprintln!("{name} has no registrable form");
                 return 1;
@@ -139,7 +141,11 @@ fn cmd_dga(args: &[&str]) -> i32 {
                 println!(
                     "{name:<32} score {:>7.2}  {}",
                     detector.score(name),
-                    if detector.is_dga(name) { "DGA" } else { "benign" }
+                    if detector.is_dga(name) {
+                        "DGA"
+                    } else {
+                        "benign"
+                    }
                 );
             }
             0

@@ -13,6 +13,7 @@
 //! |---|---|---|
 //! | [`wire`] | `nxd-dns-wire` | RFC 1035 protocol |
 //! | [`sim`] | `nxd-dns-sim` | registry lifecycle, hierarchy, resolver |
+//! | [`analyzer`] | `nxd-analyzer` | RFC-conformance rule engine |
 //! | [`passive`] | `nxd-passive-dns` | Farsight-substitute database |
 //! | [`whois`] | `nxd-whois` | historic WHOIS |
 //! | [`dga`] | `nxd-dga` | DGA families + detector |
@@ -27,6 +28,7 @@
 //! `crates/bench` for the `repro` binary regenerating every table and
 //! figure.
 
+pub use nxd_analyzer as analyzer;
 pub use nxd_blocklist as blocklist;
 pub use nxd_core as study;
 pub use nxd_dga as dga;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_scale-3f8e2151e6c27fb8.d: tests/end_to_end_scale.rs
+
+/root/repo/target/debug/deps/end_to_end_scale-3f8e2151e6c27fb8: tests/end_to_end_scale.rs
+
+tests/end_to_end_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_scale-6629bab579e99e3b.d: tests/end_to_end_scale.rs
+
+/root/repo/target/debug/deps/end_to_end_scale-6629bab579e99e3b: tests/end_to_end_scale.rs
+
+tests/end_to_end_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_security-1292fc1dad10a60d.d: tests/end_to_end_security.rs
+
+/root/repo/target/debug/deps/end_to_end_security-1292fc1dad10a60d: tests/end_to_end_security.rs
+
+tests/end_to_end_security.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_security-85d9047b6f1d7335.d: tests/end_to_end_security.rs
+
+/root/repo/target/debug/deps/end_to_end_security-85d9047b6f1d7335: tests/end_to_end_security.rs
+
+tests/end_to_end_security.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nxd_analyze-84d9fe2b3a4bc5bb.d: src/bin/nxd-analyze.rs
+
+/root/repo/target/debug/deps/nxd_analyze-84d9fe2b3a4bc5bb: src/bin/nxd-analyze.rs
+
+src/bin/nxd-analyze.rs:

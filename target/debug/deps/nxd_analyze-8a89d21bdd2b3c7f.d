@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nxd_analyze-8a89d21bdd2b3c7f.d: src/bin/nxd-analyze.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxd_analyze-8a89d21bdd2b3c7f.rmeta: src/bin/nxd-analyze.rs Cargo.toml
+
+src/bin/nxd-analyze.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

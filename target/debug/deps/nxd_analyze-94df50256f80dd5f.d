@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nxd_analyze-94df50256f80dd5f.d: src/bin/nxd-analyze.rs
+
+/root/repo/target/debug/deps/nxd_analyze-94df50256f80dd5f: src/bin/nxd-analyze.rs
+
+src/bin/nxd-analyze.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nxd_analyzer-6e9f2e51376294b2.d: crates/analyzer/src/lib.rs crates/analyzer/src/diagnostic.rs crates/analyzer/src/rules.rs crates/analyzer/src/trace.rs crates/analyzer/src/wire.rs crates/analyzer/src/zone.rs
+
+/root/repo/target/debug/deps/libnxd_analyzer-6e9f2e51376294b2.rlib: crates/analyzer/src/lib.rs crates/analyzer/src/diagnostic.rs crates/analyzer/src/rules.rs crates/analyzer/src/trace.rs crates/analyzer/src/wire.rs crates/analyzer/src/zone.rs
+
+/root/repo/target/debug/deps/libnxd_analyzer-6e9f2e51376294b2.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/diagnostic.rs crates/analyzer/src/rules.rs crates/analyzer/src/trace.rs crates/analyzer/src/wire.rs crates/analyzer/src/zone.rs
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/diagnostic.rs:
+crates/analyzer/src/rules.rs:
+crates/analyzer/src/trace.rs:
+crates/analyzer/src/wire.rs:
+crates/analyzer/src/zone.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nxd_bench-0c8cd1e4727de344.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxd_bench-0c8cd1e4727de344.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nxd_bench-64c792755deaf955.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/nxd_bench-64c792755deaf955: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

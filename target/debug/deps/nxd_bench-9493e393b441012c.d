@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nxd_bench-9493e393b441012c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnxd_bench-9493e393b441012c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnxd_bench-9493e393b441012c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nxd_bench-9d7c5a1ddadd2951.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnxd_bench-9d7c5a1ddadd2951.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnxd_bench-9d7c5a1ddadd2951.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nxd_bench-b48bb1ce4f6a2f2c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/nxd_bench-b48bb1ce4f6a2f2c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/nxd_blocklist-313482124d4ae9db.d: crates/blocklist/src/lib.rs crates/blocklist/src/bucket.rs
+
+/root/repo/target/debug/deps/nxd_blocklist-313482124d4ae9db: crates/blocklist/src/lib.rs crates/blocklist/src/bucket.rs
+
+crates/blocklist/src/lib.rs:
+crates/blocklist/src/bucket.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nxd_blocklist-5db9851075cc121a.d: crates/blocklist/src/lib.rs crates/blocklist/src/bucket.rs
+
+/root/repo/target/debug/deps/libnxd_blocklist-5db9851075cc121a.rlib: crates/blocklist/src/lib.rs crates/blocklist/src/bucket.rs
+
+/root/repo/target/debug/deps/libnxd_blocklist-5db9851075cc121a.rmeta: crates/blocklist/src/lib.rs crates/blocklist/src/bucket.rs
+
+crates/blocklist/src/lib.rs:
+crates/blocklist/src/bucket.rs:

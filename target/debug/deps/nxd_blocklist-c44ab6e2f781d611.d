@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nxd_blocklist-c44ab6e2f781d611.d: crates/blocklist/src/lib.rs crates/blocklist/src/bucket.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxd_blocklist-c44ab6e2f781d611.rmeta: crates/blocklist/src/lib.rs crates/blocklist/src/bucket.rs Cargo.toml
+
+crates/blocklist/src/lib.rs:
+crates/blocklist/src/bucket.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

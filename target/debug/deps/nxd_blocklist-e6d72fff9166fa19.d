@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nxd_blocklist-e6d72fff9166fa19.d: crates/blocklist/src/lib.rs crates/blocklist/src/bucket.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxd_blocklist-e6d72fff9166fa19.rmeta: crates/blocklist/src/lib.rs crates/blocklist/src/bucket.rs Cargo.toml
+
+crates/blocklist/src/lib.rs:
+crates/blocklist/src/bucket.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nxd_core-63b4c94ae11fd98f.d: crates/core/src/lib.rs crates/core/src/exposure.rs crates/core/src/extensions.rs crates/core/src/market.rs crates/core/src/origin.rs crates/core/src/report.rs crates/core/src/scale.rs crates/core/src/security.rs crates/core/src/selection.rs
+
+/root/repo/target/debug/deps/libnxd_core-63b4c94ae11fd98f.rlib: crates/core/src/lib.rs crates/core/src/exposure.rs crates/core/src/extensions.rs crates/core/src/market.rs crates/core/src/origin.rs crates/core/src/report.rs crates/core/src/scale.rs crates/core/src/security.rs crates/core/src/selection.rs
+
+/root/repo/target/debug/deps/libnxd_core-63b4c94ae11fd98f.rmeta: crates/core/src/lib.rs crates/core/src/exposure.rs crates/core/src/extensions.rs crates/core/src/market.rs crates/core/src/origin.rs crates/core/src/report.rs crates/core/src/scale.rs crates/core/src/security.rs crates/core/src/selection.rs
+
+crates/core/src/lib.rs:
+crates/core/src/exposure.rs:
+crates/core/src/extensions.rs:
+crates/core/src/market.rs:
+crates/core/src/origin.rs:
+crates/core/src/report.rs:
+crates/core/src/scale.rs:
+crates/core/src/security.rs:
+crates/core/src/selection.rs:

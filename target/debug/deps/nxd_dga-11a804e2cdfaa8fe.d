@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nxd_dga-11a804e2cdfaa8fe.d: crates/dga/src/lib.rs crates/dga/src/corpus.rs crates/dga/src/detector.rs crates/dga/src/families.rs crates/dga/src/stream.rs
+
+/root/repo/target/debug/deps/nxd_dga-11a804e2cdfaa8fe: crates/dga/src/lib.rs crates/dga/src/corpus.rs crates/dga/src/detector.rs crates/dga/src/families.rs crates/dga/src/stream.rs
+
+crates/dga/src/lib.rs:
+crates/dga/src/corpus.rs:
+crates/dga/src/detector.rs:
+crates/dga/src/families.rs:
+crates/dga/src/stream.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nxd_dga-3f5d2d92b551386c.d: crates/dga/src/lib.rs crates/dga/src/corpus.rs crates/dga/src/detector.rs crates/dga/src/families.rs crates/dga/src/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxd_dga-3f5d2d92b551386c.rmeta: crates/dga/src/lib.rs crates/dga/src/corpus.rs crates/dga/src/detector.rs crates/dga/src/families.rs crates/dga/src/stream.rs Cargo.toml
+
+crates/dga/src/lib.rs:
+crates/dga/src/corpus.rs:
+crates/dga/src/detector.rs:
+crates/dga/src/families.rs:
+crates/dga/src/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nxd_dga-b77a91de452ff801.d: crates/dga/src/lib.rs crates/dga/src/corpus.rs crates/dga/src/detector.rs crates/dga/src/families.rs crates/dga/src/stream.rs
+
+/root/repo/target/debug/deps/libnxd_dga-b77a91de452ff801.rlib: crates/dga/src/lib.rs crates/dga/src/corpus.rs crates/dga/src/detector.rs crates/dga/src/families.rs crates/dga/src/stream.rs
+
+/root/repo/target/debug/deps/libnxd_dga-b77a91de452ff801.rmeta: crates/dga/src/lib.rs crates/dga/src/corpus.rs crates/dga/src/detector.rs crates/dga/src/families.rs crates/dga/src/stream.rs
+
+crates/dga/src/lib.rs:
+crates/dga/src/corpus.rs:
+crates/dga/src/detector.rs:
+crates/dga/src/families.rs:
+crates/dga/src/stream.rs:

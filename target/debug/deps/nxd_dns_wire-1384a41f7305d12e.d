@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nxd_dns_wire-1384a41f7305d12e.d: crates/dns-wire/src/lib.rs crates/dns-wire/src/codec.rs crates/dns-wire/src/edns.rs crates/dns-wire/src/error.rs crates/dns-wire/src/message.rs crates/dns-wire/src/name.rs crates/dns-wire/src/rdata.rs crates/dns-wire/src/types.rs
+
+/root/repo/target/debug/deps/nxd_dns_wire-1384a41f7305d12e: crates/dns-wire/src/lib.rs crates/dns-wire/src/codec.rs crates/dns-wire/src/edns.rs crates/dns-wire/src/error.rs crates/dns-wire/src/message.rs crates/dns-wire/src/name.rs crates/dns-wire/src/rdata.rs crates/dns-wire/src/types.rs
+
+crates/dns-wire/src/lib.rs:
+crates/dns-wire/src/codec.rs:
+crates/dns-wire/src/edns.rs:
+crates/dns-wire/src/error.rs:
+crates/dns-wire/src/message.rs:
+crates/dns-wire/src/name.rs:
+crates/dns-wire/src/rdata.rs:
+crates/dns-wire/src/types.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nxd_dns_wire-47b079e2406af15c.d: crates/dns-wire/src/lib.rs crates/dns-wire/src/codec.rs crates/dns-wire/src/edns.rs crates/dns-wire/src/error.rs crates/dns-wire/src/message.rs crates/dns-wire/src/name.rs crates/dns-wire/src/rdata.rs crates/dns-wire/src/types.rs
+
+/root/repo/target/debug/deps/libnxd_dns_wire-47b079e2406af15c.rlib: crates/dns-wire/src/lib.rs crates/dns-wire/src/codec.rs crates/dns-wire/src/edns.rs crates/dns-wire/src/error.rs crates/dns-wire/src/message.rs crates/dns-wire/src/name.rs crates/dns-wire/src/rdata.rs crates/dns-wire/src/types.rs
+
+/root/repo/target/debug/deps/libnxd_dns_wire-47b079e2406af15c.rmeta: crates/dns-wire/src/lib.rs crates/dns-wire/src/codec.rs crates/dns-wire/src/edns.rs crates/dns-wire/src/error.rs crates/dns-wire/src/message.rs crates/dns-wire/src/name.rs crates/dns-wire/src/rdata.rs crates/dns-wire/src/types.rs
+
+crates/dns-wire/src/lib.rs:
+crates/dns-wire/src/codec.rs:
+crates/dns-wire/src/edns.rs:
+crates/dns-wire/src/error.rs:
+crates/dns-wire/src/message.rs:
+crates/dns-wire/src/name.rs:
+crates/dns-wire/src/rdata.rs:
+crates/dns-wire/src/types.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nxd_dns_wire-b148e37578fea043.d: crates/dns-wire/src/lib.rs crates/dns-wire/src/codec.rs crates/dns-wire/src/edns.rs crates/dns-wire/src/error.rs crates/dns-wire/src/message.rs crates/dns-wire/src/name.rs crates/dns-wire/src/rdata.rs crates/dns-wire/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxd_dns_wire-b148e37578fea043.rmeta: crates/dns-wire/src/lib.rs crates/dns-wire/src/codec.rs crates/dns-wire/src/edns.rs crates/dns-wire/src/error.rs crates/dns-wire/src/message.rs crates/dns-wire/src/name.rs crates/dns-wire/src/rdata.rs crates/dns-wire/src/types.rs Cargo.toml
+
+crates/dns-wire/src/lib.rs:
+crates/dns-wire/src/codec.rs:
+crates/dns-wire/src/edns.rs:
+crates/dns-wire/src/error.rs:
+crates/dns-wire/src/message.rs:
+crates/dns-wire/src/name.rs:
+crates/dns-wire/src/rdata.rs:
+crates/dns-wire/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nxd_httpsim-613ae69d42dc865f.d: crates/httpsim/src/lib.rs crates/httpsim/src/request.rs crates/httpsim/src/ua.rs crates/httpsim/src/uri.rs
+
+/root/repo/target/debug/deps/libnxd_httpsim-613ae69d42dc865f.rlib: crates/httpsim/src/lib.rs crates/httpsim/src/request.rs crates/httpsim/src/ua.rs crates/httpsim/src/uri.rs
+
+/root/repo/target/debug/deps/libnxd_httpsim-613ae69d42dc865f.rmeta: crates/httpsim/src/lib.rs crates/httpsim/src/request.rs crates/httpsim/src/ua.rs crates/httpsim/src/uri.rs
+
+crates/httpsim/src/lib.rs:
+crates/httpsim/src/request.rs:
+crates/httpsim/src/ua.rs:
+crates/httpsim/src/uri.rs:

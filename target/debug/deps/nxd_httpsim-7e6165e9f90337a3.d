@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nxd_httpsim-7e6165e9f90337a3.d: crates/httpsim/src/lib.rs crates/httpsim/src/request.rs crates/httpsim/src/ua.rs crates/httpsim/src/uri.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxd_httpsim-7e6165e9f90337a3.rmeta: crates/httpsim/src/lib.rs crates/httpsim/src/request.rs crates/httpsim/src/ua.rs crates/httpsim/src/uri.rs Cargo.toml
+
+crates/httpsim/src/lib.rs:
+crates/httpsim/src/request.rs:
+crates/httpsim/src/ua.rs:
+crates/httpsim/src/uri.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nxd_httpsim-878b9b91aa9562e5.d: crates/httpsim/src/lib.rs crates/httpsim/src/request.rs crates/httpsim/src/ua.rs crates/httpsim/src/uri.rs
+
+/root/repo/target/debug/deps/nxd_httpsim-878b9b91aa9562e5: crates/httpsim/src/lib.rs crates/httpsim/src/request.rs crates/httpsim/src/ua.rs crates/httpsim/src/uri.rs
+
+crates/httpsim/src/lib.rs:
+crates/httpsim/src/request.rs:
+crates/httpsim/src/ua.rs:
+crates/httpsim/src/uri.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nxd_squat-0dba37daa2917153.d: crates/squat/src/lib.rs crates/squat/src/classify.rs crates/squat/src/edit.rs crates/squat/src/generate.rs crates/squat/src/idn.rs crates/squat/src/tables.rs
+
+/root/repo/target/debug/deps/libnxd_squat-0dba37daa2917153.rlib: crates/squat/src/lib.rs crates/squat/src/classify.rs crates/squat/src/edit.rs crates/squat/src/generate.rs crates/squat/src/idn.rs crates/squat/src/tables.rs
+
+/root/repo/target/debug/deps/libnxd_squat-0dba37daa2917153.rmeta: crates/squat/src/lib.rs crates/squat/src/classify.rs crates/squat/src/edit.rs crates/squat/src/generate.rs crates/squat/src/idn.rs crates/squat/src/tables.rs
+
+crates/squat/src/lib.rs:
+crates/squat/src/classify.rs:
+crates/squat/src/edit.rs:
+crates/squat/src/generate.rs:
+crates/squat/src/idn.rs:
+crates/squat/src/tables.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nxd_squat-d176ea8bf7671451.d: crates/squat/src/lib.rs crates/squat/src/classify.rs crates/squat/src/edit.rs crates/squat/src/generate.rs crates/squat/src/idn.rs crates/squat/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxd_squat-d176ea8bf7671451.rmeta: crates/squat/src/lib.rs crates/squat/src/classify.rs crates/squat/src/edit.rs crates/squat/src/generate.rs crates/squat/src/idn.rs crates/squat/src/tables.rs Cargo.toml
+
+crates/squat/src/lib.rs:
+crates/squat/src/classify.rs:
+crates/squat/src/edit.rs:
+crates/squat/src/generate.rs:
+crates/squat/src/idn.rs:
+crates/squat/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nxd_squat-e99480f8e2cd457b.d: crates/squat/src/lib.rs crates/squat/src/classify.rs crates/squat/src/edit.rs crates/squat/src/generate.rs crates/squat/src/idn.rs crates/squat/src/tables.rs
+
+/root/repo/target/debug/deps/nxd_squat-e99480f8e2cd457b: crates/squat/src/lib.rs crates/squat/src/classify.rs crates/squat/src/edit.rs crates/squat/src/generate.rs crates/squat/src/idn.rs crates/squat/src/tables.rs
+
+crates/squat/src/lib.rs:
+crates/squat/src/classify.rs:
+crates/squat/src/edit.rs:
+crates/squat/src/generate.rs:
+crates/squat/src/idn.rs:
+crates/squat/src/tables.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nxd_whois-2e173340c376f8d3.d: crates/whois/src/lib.rs
+
+/root/repo/target/debug/deps/libnxd_whois-2e173340c376f8d3.rlib: crates/whois/src/lib.rs
+
+/root/repo/target/debug/deps/libnxd_whois-2e173340c376f8d3.rmeta: crates/whois/src/lib.rs
+
+crates/whois/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nxd_whois-d4302d8b9d7a485b.d: crates/whois/src/lib.rs
+
+/root/repo/target/debug/deps/nxd_whois-d4302d8b9d7a485b: crates/whois/src/lib.rs
+
+crates/whois/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nxd_whois-d8386143dc4e835b.d: crates/whois/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxd_whois-d8386143dc4e835b.rmeta: crates/whois/src/lib.rs Cargo.toml
+
+crates/whois/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

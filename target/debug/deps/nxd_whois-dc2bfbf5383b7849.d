@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nxd_whois-dc2bfbf5383b7849.d: crates/whois/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxd_whois-dc2bfbf5383b7849.rmeta: crates/whois/src/lib.rs Cargo.toml
+
+crates/whois/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

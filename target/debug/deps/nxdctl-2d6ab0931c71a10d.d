@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nxdctl-2d6ab0931c71a10d.d: src/bin/nxdctl.rs
+
+/root/repo/target/debug/deps/nxdctl-2d6ab0931c71a10d: src/bin/nxdctl.rs
+
+src/bin/nxdctl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nxdctl-3b8addc664171fe1.d: src/bin/nxdctl.rs
+
+/root/repo/target/debug/deps/nxdctl-3b8addc664171fe1: src/bin/nxdctl.rs
+
+src/bin/nxdctl.rs:

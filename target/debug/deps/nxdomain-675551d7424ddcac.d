@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nxdomain-675551d7424ddcac.d: src/lib.rs
+
+/root/repo/target/debug/deps/nxdomain-675551d7424ddcac: src/lib.rs
+
+src/lib.rs:

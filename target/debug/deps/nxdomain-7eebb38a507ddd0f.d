@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nxdomain-7eebb38a507ddd0f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnxdomain-7eebb38a507ddd0f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnxdomain-7eebb38a507ddd0f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-714b03b4ba087ec8.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-714b03b4ba087ec8: tests/paper_claims.rs
+
+tests/paper_claims.rs:

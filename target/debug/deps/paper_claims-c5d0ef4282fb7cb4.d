@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-c5d0ef4282fb7cb4.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-c5d0ef4282fb7cb4: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_http-4db9ca01eacd646a.d: crates/httpsim/tests/prop_http.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_http-4db9ca01eacd646a.rmeta: crates/httpsim/tests/prop_http.rs Cargo.toml
+
+crates/httpsim/tests/prop_http.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_http-d690e362ec952ced.d: crates/httpsim/tests/prop_http.rs
+
+/root/repo/target/debug/deps/prop_http-d690e362ec952ced: crates/httpsim/tests/prop_http.rs
+
+crates/httpsim/tests/prop_http.rs:

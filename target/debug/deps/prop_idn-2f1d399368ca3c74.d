@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_idn-2f1d399368ca3c74.d: crates/squat/tests/prop_idn.rs
+
+/root/repo/target/debug/deps/prop_idn-2f1d399368ca3c74: crates/squat/tests/prop_idn.rs
+
+crates/squat/tests/prop_idn.rs:

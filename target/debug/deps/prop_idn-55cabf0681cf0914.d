@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_idn-55cabf0681cf0914.d: crates/squat/tests/prop_idn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_idn-55cabf0681cf0914.rmeta: crates/squat/tests/prop_idn.rs Cargo.toml
+
+crates/squat/tests/prop_idn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_invariants-40e25de9146b340e.d: tests/prop_invariants.rs
+
+/root/repo/target/debug/deps/prop_invariants-40e25de9146b340e: tests/prop_invariants.rs
+
+tests/prop_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_invariants-820189feee95a4dc.d: tests/prop_invariants.rs
+
+/root/repo/target/debug/deps/prop_invariants-820189feee95a4dc: tests/prop_invariants.rs
+
+tests/prop_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_roundtrip-1b34f7be19c50eb2.d: crates/dns-wire/tests/prop_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_roundtrip-1b34f7be19c50eb2.rmeta: crates/dns-wire/tests/prop_roundtrip.rs Cargo.toml
+
+crates/dns-wire/tests/prop_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

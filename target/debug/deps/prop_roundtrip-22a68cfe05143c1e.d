@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-22a68cfe05143c1e.d: crates/dns-wire/tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-22a68cfe05143c1e: crates/dns-wire/tests/prop_roundtrip.rs
+
+crates/dns-wire/tests/prop_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_squat-33b2a4128e2e0445.d: crates/squat/tests/prop_squat.rs
+
+/root/repo/target/debug/deps/prop_squat-33b2a4128e2e0445: crates/squat/tests/prop_squat.rs
+
+crates/squat/tests/prop_squat.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_squat-e4d55f8c92e47f37.d: crates/squat/tests/prop_squat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_squat-e4d55f8c92e47f37.rmeta: crates/squat/tests/prop_squat.rs Cargo.toml
+
+crates/squat/tests/prop_squat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

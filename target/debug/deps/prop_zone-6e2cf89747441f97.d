@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_zone-6e2cf89747441f97.d: crates/dns-sim/tests/prop_zone.rs
+
+/root/repo/target/debug/deps/prop_zone-6e2cf89747441f97: crates/dns-sim/tests/prop_zone.rs
+
+crates/dns-sim/tests/prop_zone.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_zone-82be18523414c0d7.d: crates/dns-sim/tests/prop_zone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_zone-82be18523414c0d7.rmeta: crates/dns-sim/tests/prop_zone.rs Cargo.toml
+
+crates/dns-sim/tests/prop_zone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-e9e005bfb8d59c78.d: crates/analyzer/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-e9e005bfb8d59c78.rmeta: crates/analyzer/tests/props.rs Cargo.toml
+
+crates/analyzer/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-f3964ea7ae776404.d: crates/analyzer/tests/props.rs
+
+/root/repo/target/debug/deps/props-f3964ea7ae776404: crates/analyzer/tests/props.rs
+
+crates/analyzer/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-1e5991421ba6fe13.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-1e5991421ba6fe13: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-4fa9da974b8dbec1.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-4fa9da974b8dbec1: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-d6c4afefe29ddfa6.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-d6c4afefe29ddfa6: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

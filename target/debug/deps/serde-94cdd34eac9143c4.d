@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-94cdd34eac9143c4.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-94cdd34eac9143c4: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-ade669a957dd55a0.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ade669a957dd55a0.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ade669a957dd55a0.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive_shim-282093281ffd9b62.d: vendor/serde-derive-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive_shim-282093281ffd9b62.so: vendor/serde-derive-shim/src/lib.rs Cargo.toml
+
+vendor/serde-derive-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

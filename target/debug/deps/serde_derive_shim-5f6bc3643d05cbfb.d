@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive_shim-5f6bc3643d05cbfb.d: vendor/serde-derive-shim/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive_shim-5f6bc3643d05cbfb: vendor/serde-derive-shim/src/lib.rs
+
+vendor/serde-derive-shim/src/lib.rs:

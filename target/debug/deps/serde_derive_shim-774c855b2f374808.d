@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive_shim-774c855b2f374808.d: vendor/serde-derive-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive_shim-774c855b2f374808.rmeta: vendor/serde-derive-shim/src/lib.rs Cargo.toml
+
+vendor/serde-derive-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive_shim-e525a7b908f5e548.d: vendor/serde-derive-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive_shim-e525a7b908f5e548.so: vendor/serde-derive-shim/src/lib.rs
+
+vendor/serde-derive-shim/src/lib.rs:

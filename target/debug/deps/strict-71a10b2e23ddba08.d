@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strict-71a10b2e23ddba08.d: crates/analyzer/tests/strict.rs
+
+/root/repo/target/debug/deps/strict-71a10b2e23ddba08: crates/analyzer/tests/strict.rs
+
+crates/analyzer/tests/strict.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dga_hunt-41a87f2a0b372ef1.d: examples/dga_hunt.rs
+
+/root/repo/target/debug/examples/dga_hunt-41a87f2a0b372ef1: examples/dga_hunt.rs
+
+examples/dga_hunt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dga_hunt-b6b14f944f4f95d3.d: examples/dga_hunt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdga_hunt-b6b14f944f4f95d3.rmeta: examples/dga_hunt.rs Cargo.toml
+
+examples/dga_hunt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

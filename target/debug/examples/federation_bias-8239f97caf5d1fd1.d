@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/federation_bias-8239f97caf5d1fd1.d: examples/federation_bias.rs
+
+/root/repo/target/debug/examples/federation_bias-8239f97caf5d1fd1: examples/federation_bias.rs
+
+examples/federation_bias.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/honeypot_forensics-248457a990b9fad9.d: examples/honeypot_forensics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhoneypot_forensics-248457a990b9fad9.rmeta: examples/honeypot_forensics.rs Cargo.toml
+
+examples/honeypot_forensics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

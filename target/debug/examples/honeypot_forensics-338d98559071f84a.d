@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/honeypot_forensics-338d98559071f84a.d: examples/honeypot_forensics.rs
+
+/root/repo/target/debug/examples/honeypot_forensics-338d98559071f84a: examples/honeypot_forensics.rs
+
+examples/honeypot_forensics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lifecycle_watch-57e36d25d90777bb.d: examples/lifecycle_watch.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblifecycle_watch-57e36d25d90777bb.rmeta: examples/lifecycle_watch.rs Cargo.toml
+
+examples/lifecycle_watch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

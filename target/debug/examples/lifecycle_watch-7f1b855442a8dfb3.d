@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lifecycle_watch-7f1b855442a8dfb3.d: examples/lifecycle_watch.rs
+
+/root/repo/target/debug/examples/lifecycle_watch-7f1b855442a8dfb3: examples/lifecycle_watch.rs
+
+examples/lifecycle_watch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/passive_analytics-5523e7c54940660d.d: examples/passive_analytics.rs
+
+/root/repo/target/debug/examples/passive_analytics-5523e7c54940660d: examples/passive_analytics.rs
+
+examples/passive_analytics.rs:

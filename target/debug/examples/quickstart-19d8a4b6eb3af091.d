@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-19d8a4b6eb3af091.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-19d8a4b6eb3af091: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sinkhole_watch-517dd96119123391.d: examples/sinkhole_watch.rs
+
+/root/repo/target/debug/examples/sinkhole_watch-517dd96119123391: examples/sinkhole_watch.rs
+
+examples/sinkhole_watch.rs:

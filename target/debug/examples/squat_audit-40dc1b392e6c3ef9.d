@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/squat_audit-40dc1b392e6c3ef9.d: examples/squat_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsquat_audit-40dc1b392e6c3ef9.rmeta: examples/squat_audit.rs Cargo.toml
+
+examples/squat_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

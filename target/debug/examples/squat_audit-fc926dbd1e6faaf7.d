@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/squat_audit-fc926dbd1e6faaf7.d: examples/squat_audit.rs
+
+/root/repo/target/debug/examples/squat_audit-fc926dbd1e6faaf7: examples/squat_audit.rs
+
+examples/squat_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_scale-fccd49e528c394f9.d: tests/end_to_end_scale.rs
+
+/root/repo/target/release/deps/end_to_end_scale-fccd49e528c394f9: tests/end_to_end_scale.rs
+
+tests/end_to_end_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_security-1e108db93a633864.d: tests/end_to_end_security.rs
+
+/root/repo/target/release/deps/end_to_end_security-1e108db93a633864: tests/end_to_end_security.rs
+
+tests/end_to_end_security.rs:

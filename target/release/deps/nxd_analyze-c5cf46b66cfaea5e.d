@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nxd_analyze-c5cf46b66cfaea5e.d: src/bin/nxd-analyze.rs
+
+/root/repo/target/release/deps/nxd_analyze-c5cf46b66cfaea5e: src/bin/nxd-analyze.rs
+
+src/bin/nxd-analyze.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nxd_bench-554584c5e0f6d55b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/nxd_bench-554584c5e0f6d55b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

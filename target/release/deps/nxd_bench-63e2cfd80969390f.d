@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nxd_bench-63e2cfd80969390f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnxd_bench-63e2cfd80969390f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnxd_bench-63e2cfd80969390f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nxd_bench-a62d4a8890854fbf.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnxd_bench-a62d4a8890854fbf.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnxd_bench-a62d4a8890854fbf.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

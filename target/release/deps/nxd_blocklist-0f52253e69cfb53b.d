@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/nxd_blocklist-0f52253e69cfb53b.d: crates/blocklist/src/lib.rs crates/blocklist/src/bucket.rs
+
+/root/repo/target/release/deps/nxd_blocklist-0f52253e69cfb53b: crates/blocklist/src/lib.rs crates/blocklist/src/bucket.rs
+
+crates/blocklist/src/lib.rs:
+crates/blocklist/src/bucket.rs:

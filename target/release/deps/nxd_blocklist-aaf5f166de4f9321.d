@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/nxd_blocklist-aaf5f166de4f9321.d: crates/blocklist/src/lib.rs crates/blocklist/src/bucket.rs
+
+/root/repo/target/release/deps/libnxd_blocklist-aaf5f166de4f9321.rlib: crates/blocklist/src/lib.rs crates/blocklist/src/bucket.rs
+
+/root/repo/target/release/deps/libnxd_blocklist-aaf5f166de4f9321.rmeta: crates/blocklist/src/lib.rs crates/blocklist/src/bucket.rs
+
+crates/blocklist/src/lib.rs:
+crates/blocklist/src/bucket.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/nxd_dga-bffedeb321f83a31.d: crates/dga/src/lib.rs crates/dga/src/corpus.rs crates/dga/src/detector.rs crates/dga/src/families.rs crates/dga/src/stream.rs
+
+/root/repo/target/release/deps/libnxd_dga-bffedeb321f83a31.rlib: crates/dga/src/lib.rs crates/dga/src/corpus.rs crates/dga/src/detector.rs crates/dga/src/families.rs crates/dga/src/stream.rs
+
+/root/repo/target/release/deps/libnxd_dga-bffedeb321f83a31.rmeta: crates/dga/src/lib.rs crates/dga/src/corpus.rs crates/dga/src/detector.rs crates/dga/src/families.rs crates/dga/src/stream.rs
+
+crates/dga/src/lib.rs:
+crates/dga/src/corpus.rs:
+crates/dga/src/detector.rs:
+crates/dga/src/families.rs:
+crates/dga/src/stream.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/nxd_dga-dbfeb287a46209ce.d: crates/dga/src/lib.rs crates/dga/src/corpus.rs crates/dga/src/detector.rs crates/dga/src/families.rs crates/dga/src/stream.rs
+
+/root/repo/target/release/deps/nxd_dga-dbfeb287a46209ce: crates/dga/src/lib.rs crates/dga/src/corpus.rs crates/dga/src/detector.rs crates/dga/src/families.rs crates/dga/src/stream.rs
+
+crates/dga/src/lib.rs:
+crates/dga/src/corpus.rs:
+crates/dga/src/detector.rs:
+crates/dga/src/families.rs:
+crates/dga/src/stream.rs:

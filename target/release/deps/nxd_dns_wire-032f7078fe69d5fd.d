@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/nxd_dns_wire-032f7078fe69d5fd.d: crates/dns-wire/src/lib.rs crates/dns-wire/src/codec.rs crates/dns-wire/src/edns.rs crates/dns-wire/src/error.rs crates/dns-wire/src/message.rs crates/dns-wire/src/name.rs crates/dns-wire/src/rdata.rs crates/dns-wire/src/types.rs
+
+/root/repo/target/release/deps/libnxd_dns_wire-032f7078fe69d5fd.rlib: crates/dns-wire/src/lib.rs crates/dns-wire/src/codec.rs crates/dns-wire/src/edns.rs crates/dns-wire/src/error.rs crates/dns-wire/src/message.rs crates/dns-wire/src/name.rs crates/dns-wire/src/rdata.rs crates/dns-wire/src/types.rs
+
+/root/repo/target/release/deps/libnxd_dns_wire-032f7078fe69d5fd.rmeta: crates/dns-wire/src/lib.rs crates/dns-wire/src/codec.rs crates/dns-wire/src/edns.rs crates/dns-wire/src/error.rs crates/dns-wire/src/message.rs crates/dns-wire/src/name.rs crates/dns-wire/src/rdata.rs crates/dns-wire/src/types.rs
+
+crates/dns-wire/src/lib.rs:
+crates/dns-wire/src/codec.rs:
+crates/dns-wire/src/edns.rs:
+crates/dns-wire/src/error.rs:
+crates/dns-wire/src/message.rs:
+crates/dns-wire/src/name.rs:
+crates/dns-wire/src/rdata.rs:
+crates/dns-wire/src/types.rs:

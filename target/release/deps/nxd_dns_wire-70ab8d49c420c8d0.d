@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/nxd_dns_wire-70ab8d49c420c8d0.d: crates/dns-wire/src/lib.rs crates/dns-wire/src/codec.rs crates/dns-wire/src/edns.rs crates/dns-wire/src/error.rs crates/dns-wire/src/message.rs crates/dns-wire/src/name.rs crates/dns-wire/src/rdata.rs crates/dns-wire/src/types.rs
+
+/root/repo/target/release/deps/nxd_dns_wire-70ab8d49c420c8d0: crates/dns-wire/src/lib.rs crates/dns-wire/src/codec.rs crates/dns-wire/src/edns.rs crates/dns-wire/src/error.rs crates/dns-wire/src/message.rs crates/dns-wire/src/name.rs crates/dns-wire/src/rdata.rs crates/dns-wire/src/types.rs
+
+crates/dns-wire/src/lib.rs:
+crates/dns-wire/src/codec.rs:
+crates/dns-wire/src/edns.rs:
+crates/dns-wire/src/error.rs:
+crates/dns-wire/src/message.rs:
+crates/dns-wire/src/name.rs:
+crates/dns-wire/src/rdata.rs:
+crates/dns-wire/src/types.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/nxd_httpsim-1655d301fe3f4c44.d: crates/httpsim/src/lib.rs crates/httpsim/src/request.rs crates/httpsim/src/ua.rs crates/httpsim/src/uri.rs
+
+/root/repo/target/release/deps/nxd_httpsim-1655d301fe3f4c44: crates/httpsim/src/lib.rs crates/httpsim/src/request.rs crates/httpsim/src/ua.rs crates/httpsim/src/uri.rs
+
+crates/httpsim/src/lib.rs:
+crates/httpsim/src/request.rs:
+crates/httpsim/src/ua.rs:
+crates/httpsim/src/uri.rs:

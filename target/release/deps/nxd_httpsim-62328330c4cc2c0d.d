@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nxd_httpsim-62328330c4cc2c0d.d: crates/httpsim/src/lib.rs crates/httpsim/src/request.rs crates/httpsim/src/ua.rs crates/httpsim/src/uri.rs
+
+/root/repo/target/release/deps/libnxd_httpsim-62328330c4cc2c0d.rlib: crates/httpsim/src/lib.rs crates/httpsim/src/request.rs crates/httpsim/src/ua.rs crates/httpsim/src/uri.rs
+
+/root/repo/target/release/deps/libnxd_httpsim-62328330c4cc2c0d.rmeta: crates/httpsim/src/lib.rs crates/httpsim/src/request.rs crates/httpsim/src/ua.rs crates/httpsim/src/uri.rs
+
+crates/httpsim/src/lib.rs:
+crates/httpsim/src/request.rs:
+crates/httpsim/src/ua.rs:
+crates/httpsim/src/uri.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/nxd_passive_dns-39885587f55545a8.d: crates/passive-dns/src/lib.rs crates/passive-dns/src/federation.rs crates/passive-dns/src/intern.rs crates/passive-dns/src/query.rs crates/passive-dns/src/sensor.rs crates/passive-dns/src/sie.rs crates/passive-dns/src/store.rs
+
+/root/repo/target/release/deps/nxd_passive_dns-39885587f55545a8: crates/passive-dns/src/lib.rs crates/passive-dns/src/federation.rs crates/passive-dns/src/intern.rs crates/passive-dns/src/query.rs crates/passive-dns/src/sensor.rs crates/passive-dns/src/sie.rs crates/passive-dns/src/store.rs
+
+crates/passive-dns/src/lib.rs:
+crates/passive-dns/src/federation.rs:
+crates/passive-dns/src/intern.rs:
+crates/passive-dns/src/query.rs:
+crates/passive-dns/src/sensor.rs:
+crates/passive-dns/src/sie.rs:
+crates/passive-dns/src/store.rs:

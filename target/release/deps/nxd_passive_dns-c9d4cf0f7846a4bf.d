@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/nxd_passive_dns-c9d4cf0f7846a4bf.d: crates/passive-dns/src/lib.rs crates/passive-dns/src/federation.rs crates/passive-dns/src/intern.rs crates/passive-dns/src/query.rs crates/passive-dns/src/sensor.rs crates/passive-dns/src/sie.rs crates/passive-dns/src/store.rs
+
+/root/repo/target/release/deps/libnxd_passive_dns-c9d4cf0f7846a4bf.rlib: crates/passive-dns/src/lib.rs crates/passive-dns/src/federation.rs crates/passive-dns/src/intern.rs crates/passive-dns/src/query.rs crates/passive-dns/src/sensor.rs crates/passive-dns/src/sie.rs crates/passive-dns/src/store.rs
+
+/root/repo/target/release/deps/libnxd_passive_dns-c9d4cf0f7846a4bf.rmeta: crates/passive-dns/src/lib.rs crates/passive-dns/src/federation.rs crates/passive-dns/src/intern.rs crates/passive-dns/src/query.rs crates/passive-dns/src/sensor.rs crates/passive-dns/src/sie.rs crates/passive-dns/src/store.rs
+
+crates/passive-dns/src/lib.rs:
+crates/passive-dns/src/federation.rs:
+crates/passive-dns/src/intern.rs:
+crates/passive-dns/src/query.rs:
+crates/passive-dns/src/sensor.rs:
+crates/passive-dns/src/sie.rs:
+crates/passive-dns/src/store.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nxd_squat-00b167c469d5e773.d: crates/squat/src/lib.rs crates/squat/src/classify.rs crates/squat/src/edit.rs crates/squat/src/generate.rs crates/squat/src/idn.rs crates/squat/src/tables.rs
+
+/root/repo/target/release/deps/nxd_squat-00b167c469d5e773: crates/squat/src/lib.rs crates/squat/src/classify.rs crates/squat/src/edit.rs crates/squat/src/generate.rs crates/squat/src/idn.rs crates/squat/src/tables.rs
+
+crates/squat/src/lib.rs:
+crates/squat/src/classify.rs:
+crates/squat/src/edit.rs:
+crates/squat/src/generate.rs:
+crates/squat/src/idn.rs:
+crates/squat/src/tables.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/nxd_squat-87268838eb001f51.d: crates/squat/src/lib.rs crates/squat/src/classify.rs crates/squat/src/edit.rs crates/squat/src/generate.rs crates/squat/src/idn.rs crates/squat/src/tables.rs
+
+/root/repo/target/release/deps/libnxd_squat-87268838eb001f51.rlib: crates/squat/src/lib.rs crates/squat/src/classify.rs crates/squat/src/edit.rs crates/squat/src/generate.rs crates/squat/src/idn.rs crates/squat/src/tables.rs
+
+/root/repo/target/release/deps/libnxd_squat-87268838eb001f51.rmeta: crates/squat/src/lib.rs crates/squat/src/classify.rs crates/squat/src/edit.rs crates/squat/src/generate.rs crates/squat/src/idn.rs crates/squat/src/tables.rs
+
+crates/squat/src/lib.rs:
+crates/squat/src/classify.rs:
+crates/squat/src/edit.rs:
+crates/squat/src/generate.rs:
+crates/squat/src/idn.rs:
+crates/squat/src/tables.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/nxd_traffic-d435850c0c4b279c.d: crates/traffic/src/lib.rs crates/traffic/src/actors.rs crates/traffic/src/botnet.rs crates/traffic/src/era.rs crates/traffic/src/honeypot_era.rs crates/traffic/src/origin.rs crates/traffic/src/table1.rs
+
+/root/repo/target/release/deps/nxd_traffic-d435850c0c4b279c: crates/traffic/src/lib.rs crates/traffic/src/actors.rs crates/traffic/src/botnet.rs crates/traffic/src/era.rs crates/traffic/src/honeypot_era.rs crates/traffic/src/origin.rs crates/traffic/src/table1.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/actors.rs:
+crates/traffic/src/botnet.rs:
+crates/traffic/src/era.rs:
+crates/traffic/src/honeypot_era.rs:
+crates/traffic/src/origin.rs:
+crates/traffic/src/table1.rs:

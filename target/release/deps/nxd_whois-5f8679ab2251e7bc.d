@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nxd_whois-5f8679ab2251e7bc.d: crates/whois/src/lib.rs
+
+/root/repo/target/release/deps/nxd_whois-5f8679ab2251e7bc: crates/whois/src/lib.rs
+
+crates/whois/src/lib.rs:

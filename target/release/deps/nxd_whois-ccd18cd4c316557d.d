@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nxd_whois-ccd18cd4c316557d.d: crates/whois/src/lib.rs
+
+/root/repo/target/release/deps/libnxd_whois-ccd18cd4c316557d.rlib: crates/whois/src/lib.rs
+
+/root/repo/target/release/deps/libnxd_whois-ccd18cd4c316557d.rmeta: crates/whois/src/lib.rs
+
+crates/whois/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nxdctl-68296e7ac7588e88.d: src/bin/nxdctl.rs
+
+/root/repo/target/release/deps/nxdctl-68296e7ac7588e88: src/bin/nxdctl.rs
+
+src/bin/nxdctl.rs:

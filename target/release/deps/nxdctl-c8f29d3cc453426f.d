@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nxdctl-c8f29d3cc453426f.d: src/bin/nxdctl.rs
+
+/root/repo/target/release/deps/nxdctl-c8f29d3cc453426f: src/bin/nxdctl.rs
+
+src/bin/nxdctl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nxdctl-fc4ffc89d9e834c2.d: src/bin/nxdctl.rs
+
+/root/repo/target/release/deps/nxdctl-fc4ffc89d9e834c2: src/bin/nxdctl.rs
+
+src/bin/nxdctl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nxdomain-582000af665f9c8c.d: src/lib.rs
+
+/root/repo/target/release/deps/nxdomain-582000af665f9c8c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nxdomain-efc14b70a3b78ebe.d: src/lib.rs
+
+/root/repo/target/release/deps/libnxdomain-efc14b70a3b78ebe.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnxdomain-efc14b70a3b78ebe.rmeta: src/lib.rs
+
+src/lib.rs:

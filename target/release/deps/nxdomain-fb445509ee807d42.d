@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nxdomain-fb445509ee807d42.d: src/lib.rs
+
+/root/repo/target/release/deps/libnxdomain-fb445509ee807d42.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnxdomain-fb445509ee807d42.rmeta: src/lib.rs
+
+src/lib.rs:

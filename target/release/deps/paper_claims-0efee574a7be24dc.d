@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-0efee574a7be24dc.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-0efee574a7be24dc: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_http-a6951ed2f9bc996d.d: crates/httpsim/tests/prop_http.rs
+
+/root/repo/target/release/deps/prop_http-a6951ed2f9bc996d: crates/httpsim/tests/prop_http.rs
+
+crates/httpsim/tests/prop_http.rs:

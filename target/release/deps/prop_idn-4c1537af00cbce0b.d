@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_idn-4c1537af00cbce0b.d: crates/squat/tests/prop_idn.rs
+
+/root/repo/target/release/deps/prop_idn-4c1537af00cbce0b: crates/squat/tests/prop_idn.rs
+
+crates/squat/tests/prop_idn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_invariants-a2e5966f7779b585.d: tests/prop_invariants.rs
+
+/root/repo/target/release/deps/prop_invariants-a2e5966f7779b585: tests/prop_invariants.rs
+
+tests/prop_invariants.rs:

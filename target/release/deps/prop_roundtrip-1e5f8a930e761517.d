@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_roundtrip-1e5f8a930e761517.d: crates/dns-wire/tests/prop_roundtrip.rs
+
+/root/repo/target/release/deps/prop_roundtrip-1e5f8a930e761517: crates/dns-wire/tests/prop_roundtrip.rs
+
+crates/dns-wire/tests/prop_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_squat-c3480f70d2274c46.d: crates/squat/tests/prop_squat.rs
+
+/root/repo/target/release/deps/prop_squat-c3480f70d2274c46: crates/squat/tests/prop_squat.rs
+
+crates/squat/tests/prop_squat.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_zone-49c0f6cc62c43e29.d: crates/dns-sim/tests/prop_zone.rs
+
+/root/repo/target/release/deps/prop_zone-49c0f6cc62c43e29: crates/dns-sim/tests/prop_zone.rs
+
+crates/dns-sim/tests/prop_zone.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-3a4f2c342948d94c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-3a4f2c342948d94c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-b1bd3f5015f55d6b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-b1bd3f5015f55d6b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

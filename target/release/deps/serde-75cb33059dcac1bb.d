@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-75cb33059dcac1bb.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-75cb33059dcac1bb: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-ba9862fe8b18996e.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-ba9862fe8b18996e.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-ba9862fe8b18996e.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

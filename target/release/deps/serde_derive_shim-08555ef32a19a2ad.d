@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive_shim-08555ef32a19a2ad.d: vendor/serde-derive-shim/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive_shim-08555ef32a19a2ad: vendor/serde-derive-shim/src/lib.rs
+
+vendor/serde-derive-shim/src/lib.rs:

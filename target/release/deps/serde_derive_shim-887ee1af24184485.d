@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive_shim-887ee1af24184485.d: vendor/serde-derive-shim/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive_shim-887ee1af24184485.so: vendor/serde-derive-shim/src/lib.rs
+
+vendor/serde-derive-shim/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dga_hunt-93ed744f6cc89725.d: examples/dga_hunt.rs
+
+/root/repo/target/release/examples/dga_hunt-93ed744f6cc89725: examples/dga_hunt.rs
+
+examples/dga_hunt.rs:

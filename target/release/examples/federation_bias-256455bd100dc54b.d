@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/federation_bias-256455bd100dc54b.d: examples/federation_bias.rs
+
+/root/repo/target/release/examples/federation_bias-256455bd100dc54b: examples/federation_bias.rs
+
+examples/federation_bias.rs:

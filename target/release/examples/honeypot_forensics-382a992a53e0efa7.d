@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/honeypot_forensics-382a992a53e0efa7.d: examples/honeypot_forensics.rs
+
+/root/repo/target/release/examples/honeypot_forensics-382a992a53e0efa7: examples/honeypot_forensics.rs
+
+examples/honeypot_forensics.rs:

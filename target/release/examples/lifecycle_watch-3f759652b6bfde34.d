@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/lifecycle_watch-3f759652b6bfde34.d: examples/lifecycle_watch.rs
+
+/root/repo/target/release/examples/lifecycle_watch-3f759652b6bfde34: examples/lifecycle_watch.rs
+
+examples/lifecycle_watch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/passive_analytics-d2ad9c0537356cac.d: examples/passive_analytics.rs
+
+/root/repo/target/release/examples/passive_analytics-d2ad9c0537356cac: examples/passive_analytics.rs
+
+examples/passive_analytics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-32b863627a78d8bb.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-32b863627a78d8bb: examples/quickstart.rs
+
+examples/quickstart.rs:

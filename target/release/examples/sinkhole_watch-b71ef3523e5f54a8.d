@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sinkhole_watch-b71ef3523e5f54a8.d: examples/sinkhole_watch.rs
+
+/root/repo/target/release/examples/sinkhole_watch-b71ef3523e5f54a8: examples/sinkhole_watch.rs
+
+examples/sinkhole_watch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/squat_audit-cccee1874adbd0da.d: examples/squat_audit.rs
+
+/root/repo/target/release/examples/squat_audit-cccee1874adbd0da: examples/squat_audit.rs
+
+examples/squat_audit.rs:

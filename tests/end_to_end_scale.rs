@@ -27,13 +27,26 @@ fn full_scale_pipeline_shapes() {
     let headline = scale::headline(&w.db);
     assert!(headline.total_nx_responses > 10_000);
     assert!(headline.distinct_nx_names > 5_000);
-    assert!(headline.five_year_names > 0, "a long tail of ≥5y NXDomains must exist");
+    assert!(
+        headline.five_year_names > 0,
+        "a long tail of ≥5y NXDomains must exist"
+    );
 
     // Fig. 3: 2014 < 2016; 2021 jumps over 2020; 2022 stays high.
     let fig3 = scale::fig3(&w.db);
-    let get = |y: i32| fig3.iter().find(|&&(yy, _)| yy == y).map(|&(_, v)| v).unwrap_or(0.0);
+    let get = |y: i32| {
+        fig3.iter()
+            .find(|&&(yy, _)| yy == y)
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0)
+    };
     assert!(get(2014) < get(2016));
-    assert!(get(2021) > get(2020) * 1.05, "2021 {} vs 2020 {}", get(2021), get(2020));
+    assert!(
+        get(2021) > get(2020) * 1.05,
+        "2021 {} vs 2020 {}",
+        get(2021),
+        get(2020)
+    );
     assert!(get(2022) > get(2020));
 
     // Fig. 4: .com leads both axes; queries align with names.
@@ -108,7 +121,10 @@ fn hijack_rates_scale_monotonically() {
     let w = world();
     let mut last = 0.0;
     for rate in [0u16, 48, 200, 600] {
-        let policy = HijackPolicy { rate_permille: rate, ..HijackPolicy::paper_rate(3) };
+        let policy = HijackPolicy {
+            rate_permille: rate,
+            ..HijackPolicy::paper_rate(3)
+        };
         let (_, _, fraction) = scale::hijack_sensitivity(&w.db, &policy);
         assert!(fraction >= last, "hijack fraction must grow with rate");
         last = fraction;

@@ -8,7 +8,10 @@ use nxdomain::study::security;
 use nxdomain::traffic::{honeypot_era, HoneypotConfig, TABLE1};
 
 fn report() -> (honeypot_era::HoneypotWorld, nxdomain::study::SecurityReport) {
-    let world = honeypot_era::generate(HoneypotConfig { scale: 200, ..Default::default() });
+    let world = honeypot_era::generate(HoneypotConfig {
+        scale: 200,
+        ..Default::default()
+    });
     let report = security::run(&world);
     (world, report)
 }
@@ -32,7 +35,10 @@ fn table1_structure_matches_paper() {
         TrafficCategory::UserInApp,
         TrafficCategory::Other,
     ] {
-        assert!(malreq > g(cat), "{cat:?} should be below malicious requests");
+        assert!(
+            malreq > g(cat),
+            "{cat:?} should be below malicious requests"
+        );
     }
 }
 
@@ -45,7 +51,11 @@ fn per_domain_signatures() {
     // gpclick.com: ≥90% of all malicious requests (paper: 90.8%).
     let gp = row("gpclick.com");
     let gp_mal = g(gp, TrafficCategory::MaliciousRequest);
-    let all_mal: u64 = r.rows.iter().map(|t| g(t, TrafficCategory::MaliciousRequest)).sum();
+    let all_mal: u64 = r
+        .rows
+        .iter()
+        .map(|t| g(t, TrafficCategory::MaliciousRequest))
+        .sum();
     assert!(
         gp_mal as f64 / all_mal as f64 > 0.85,
         "gpclick share {} of {}",
@@ -75,7 +85,11 @@ fn per_domain_signatures() {
         g(t, TrafficCategory::UserPcMobile) + g(t, TrafficCategory::UserInApp)
     };
     for t in &r.rows {
-        assert!(user_total(porno) >= user_total(t), "{} outranks porno-komiksy", t.spec.name);
+        assert!(
+            user_total(porno) >= user_total(t),
+            "{} outranks porno-komiksy",
+            t.spec.name
+        );
     }
 
     // conf-cdn.com: file grabbers dominated by e-mail proxies (95.1%).
@@ -141,7 +155,10 @@ fn botnet_analysis_matches_paper_shape() {
 fn wire_parse_roundtrip_on_generated_traffic() {
     // Every generated HTTP request must survive wire serialization and
     // re-parsing — ties nxd-httpsim's codec to the actor output.
-    let world = honeypot_era::generate(HoneypotConfig { scale: 2_000, ..Default::default() });
+    let world = honeypot_era::generate(HoneypotConfig {
+        scale: 2_000,
+        ..Default::default()
+    });
     let mut checked = 0;
     for capture in &world.captures {
         for p in capture.packets.iter().take(50) {

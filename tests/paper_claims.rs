@@ -17,7 +17,10 @@ fn era_world() -> era::EraWorld {
 }
 
 fn origin_world() -> origin::OriginWorld {
-    origin::generate(OriginConfig { expired_total: 20_000, ..Default::default() })
+    origin::generate(OriginConfig {
+        expired_total: 20_000,
+        ..Default::default()
+    })
 }
 
 /// §4.1: "the number of NXDomains is over 225 times greater than the total
@@ -46,7 +49,10 @@ fn claim_long_lived_nxdomains_still_receive_queries() {
     let w = era_world();
     let r = scale::headline(&w.db);
     assert!(r.five_year_names > 0);
-    assert!(r.five_year_queries > r.five_year_names, "multiple queries each");
+    assert!(
+        r.five_year_queries > r.five_year_names,
+        "multiple queries each"
+    );
 }
 
 /// §5.1: only a tiny fraction of NXDomains were ever registered; the rest
@@ -116,7 +122,10 @@ fn claim_malware_dominates_blocklist() {
 /// carry the largest share (paper: 5,186,858 of 5,925,311 ≈ 87.5%).
 #[test]
 fn claim_automated_processes_dominate_honeypot_traffic() {
-    let world = honeypot_era::generate(HoneypotConfig { scale: 300, ..Default::default() });
+    let world = honeypot_era::generate(HoneypotConfig {
+        scale: 300,
+        ..Default::default()
+    });
     let report = security::run(&world);
     use nxdomain::honeypot::TrafficCategory as C;
     let g = |c: C| report.totals.get(&c).copied().unwrap_or(0);
@@ -137,13 +146,19 @@ fn claim_automated_processes_dominate_honeypot_traffic() {
 fn claim_dns_queries_exceed_http_visits() {
     let w = era_world();
     let candidates = scale::headline(&w.db).distinct_nx_names;
-    assert!(candidates > 19, "only 19 of {candidates} names were registered for HTTP study");
+    assert!(
+        candidates > 19,
+        "only 19 of {candidates} names were registered for HTTP study"
+    );
 }
 
 /// §6.4: gpclick's botnet — one UA, global victims, cloud-proxied sources.
 #[test]
 fn claim_botnet_takeover_signature() {
-    let world = honeypot_era::generate(HoneypotConfig { scale: 300, ..Default::default() });
+    let world = honeypot_era::generate(HoneypotConfig {
+        scale: 300,
+        ..Default::default()
+    });
     let report = security::run(&world);
     let b = &report.botnet;
     assert!(b.total_requests > 1_000);
@@ -193,7 +208,10 @@ fn claim_nxdomain_share_of_all_responses() {
     let w = era_world();
     let share = nxdomain::passive::query::nxdomain_share(&w.db);
     assert!(share > 0.10, "share {share}");
-    assert!(share < 1.0, "NOERROR traffic must exist (expired panel pre-expiry)");
+    assert!(
+        share < 1.0,
+        "NOERROR traffic must exist (expired panel pre-expiry)"
+    );
     let breakdown = nxdomain::passive::query::rcode_breakdown(&w.db);
     assert_eq!(breakdown.len(), 2, "NOERROR and NXDOMAIN rcodes present");
 }

@@ -12,8 +12,7 @@ use nxdomain::wire::{Name, RCode, RType};
 use proptest::prelude::*;
 
 fn name_strategy() -> impl Strategy<Value = Name> {
-    "[a-z]{3,12}"
-        .prop_map(|label| format!("{label}.com").parse::<Name>().unwrap())
+    "[a-z]{3,12}".prop_map(|label| format!("{label}.com").parse::<Name>().unwrap())
 }
 
 proptest! {

@@ -1,0 +1,111 @@
+//! Offline stand-in for the `bytes` crate, covering the subset this
+//! workspace uses: `BytesMut` as a growable byte buffer plus the `BufMut`
+//! put-methods. Backed by a plain `Vec<u8>`; no shared-ownership views.
+
+use std::ops::{Deref, DerefMut};
+
+/// Growable byte buffer, API-compatible with `bytes::BytesMut` for the
+/// operations the workspace performs (put_*, indexing, `to_vec`, `len`).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn freeze(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = Vec<u8>;
+
+    fn deref(&self) -> &Vec<u8> {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.inner
+    }
+}
+
+/// Write-cursor operations in network byte order.
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16);
+    fn put_u32(&mut self, v: u32);
+    fn put_u64(&mut self, v: u64);
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.inner.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_methods_append_big_endian() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(1);
+        b.put_u16(0x0203);
+        b.put_u32(0x0405_0607);
+        b.put_slice(&[8, 9]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(b.len(), 9);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn indexing_and_mutation() {
+        let mut b = BytesMut::new();
+        b.put_u16(0);
+        b[0] = 0xAB;
+        b[1] = 0xCD;
+        assert_eq!(&b[..], &[0xAB, 0xCD]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Offline stand-in for `crossbeam` covering the workspace's usage:
+//! `channel::bounded` MPSC pipes with cloneable senders, and
+//! `thread::scope` with crossbeam's `spawn(|scope| ...)` closure shape and
+//! `Result`-on-panic return. Everything delegates to `std`.
+
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Cloneable bounded-channel sender (backed by `std::sync::mpsc::SyncSender`).
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// Returned when the receiving side has hung up; carries the message back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks while the channel is full (backpressure), errs if closed.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving side; iterable by value until all senders drop.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.into_iter()
+        }
+    }
+
+    /// Creates a bounded channel holding at most `capacity` in-flight items.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Scoped-thread spawner mirroring `crossbeam::thread::Scope`: the spawn
+    /// closure receives the scope again so spawned threads can spawn more.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || {
+                f(&Scope { inner });
+            });
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before
+    /// returning. A panic on any thread surfaces as `Err`, like crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_fans_in_from_scoped_threads() {
+        let (tx, rx) = super::channel::bounded::<u32>(2);
+        let total = super::thread::scope(|scope| {
+            for i in 0..4u32 {
+                let tx = tx.clone();
+                scope.spawn(move |_| tx.send(i).unwrap());
+            }
+            drop(tx);
+            rx.into_iter().sum::<u32>()
+        })
+        .unwrap();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn panicked_worker_surfaces_as_err() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,946 @@
+//! Offline stand-in for `proptest` covering the workspace's usage: the
+//! `proptest!` / `prop_assert*` / `prop_oneof!` macros, `Strategy` with
+//! `prop_map` / `prop_filter` / `prop_filter_map` / `boxed`, regex-literal
+//! string strategies (a generation-oriented regex subset), `any::<T>()`,
+//! integer-range and tuple strategies, `collection::{vec, hash_set}`,
+//! `char::range`, `sample::select`, and `string::string_regex`.
+//!
+//! Generation is deterministic: each test derives its RNG seed from its
+//! module path and name, so failures reproduce across runs. There is **no
+//! shrinking** — a failing case reports the assertion message only.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    /// Per-`proptest!` block configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator seeded from the test's name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the fully-qualified test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..bound` (`bound` must be non-zero).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Runs one generated case; exists so `proptest!`'s expansion is a plain
+    /// function call rather than an immediately-invoked closure.
+    pub fn run_case<F>(f: F) -> Result<(), String>
+    where
+        F: FnOnce() -> Result<(), String>,
+    {
+        f()
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, f }
+    }
+
+    fn prop_filter<F>(self, label: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            label,
+            f,
+        }
+    }
+
+    fn prop_filter_map<U, F>(self, label: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap {
+            source: self,
+            label,
+            f,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// How many times filtering strategies retry before giving up.
+const MAX_FILTER_RETRIES: u32 = 10_000;
+
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    source: S,
+    label: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_FILTER_RETRIES {
+            let candidate = self.source.generate(rng);
+            if (self.f)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!("prop_filter {:?}: no candidate accepted", self.label);
+    }
+}
+
+pub struct FilterMap<S, F> {
+    source: S,
+    label: &'static str,
+    f: F,
+}
+
+impl<S, U, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<U>,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        for _ in 0..MAX_FILTER_RETRIES {
+            if let Some(value) = (self.f)(self.source.generate(rng)) {
+                return value;
+            }
+        }
+        panic!("prop_filter_map {:?}: no candidate accepted", self.label);
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Type-erased strategy, as returned by `Strategy::boxed`.
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn DynStrategy<T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.dyn_generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between boxed strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(
+            arms.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! needs a positive weight"
+        );
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.below(total);
+        for (weight, strategy) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strategy.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick out of range");
+    }
+}
+
+/// A regex literal is a strategy for strings matching it.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::string_regex(self)
+            .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}"))
+            .generate(rng)
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*
+    };
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_tuple {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A.0, B.1);
+impl_strategy_tuple!(A.0, B.1, C.2);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+pub struct Any<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Uniform strategy over `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec`s of `size.start..size.end` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `HashSet`s of `size.start..size.end` distinct elements; duplicates are
+    /// re-drawn (bounded retries), so sparse domains may yield smaller sets.
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        assert!(size.start < size.end, "empty size range");
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let target = self.size.start + rng.below(span) as usize;
+            let mut set = HashSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 100 + 100 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod char {
+    use super::{Strategy, TestRng};
+
+    pub struct CharRange {
+        lo: u32,
+        hi: u32,
+    }
+
+    /// Uniform strategy over the inclusive codepoint range `lo..=hi`.
+    pub fn range(lo: ::core::primitive::char, hi: ::core::primitive::char) -> CharRange {
+        assert!(lo <= hi, "empty char range");
+        CharRange {
+            lo: lo as u32,
+            hi: hi as u32,
+        }
+    }
+
+    impl Strategy for CharRange {
+        type Value = ::core::primitive::char;
+
+        fn generate(&self, rng: &mut TestRng) -> ::core::primitive::char {
+            loop {
+                let v = self.lo + rng.below(u64::from(self.hi - self.lo + 1)) as u32;
+                if let Some(c) = ::core::primitive::char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    /// Uniform choice from a non-empty list.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "sample::select on empty list");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod string {
+    use super::regex::{parse, Node};
+    use super::{Strategy, TestRng};
+
+    pub struct RegexStrategy {
+        root: Node,
+    }
+
+    /// Compiles a generation-oriented regex subset (literals, `[...]` classes
+    /// with ranges / `^` / `&&[...]` intersection, `(...)` groups, and the
+    /// `?` `*` `+` `{n}` `{n,m}` quantifiers; no alternation or anchors).
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, String> {
+        parse(pattern).map(|root| RegexStrategy { root })
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            self.root.generate_into(rng, &mut out);
+            out
+        }
+    }
+}
+
+mod regex {
+    use super::TestRng;
+
+    /// Upper repetition bound substituted for the open-ended `*` / `+`.
+    const UNBOUNDED_MAX: u32 = 8;
+
+    pub enum Node {
+        Lit(char),
+        Class(Vec<char>),
+        Seq(Vec<Node>),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    impl Node {
+        pub fn generate_into(&self, rng: &mut TestRng, out: &mut String) {
+            match self {
+                Node::Lit(c) => out.push(*c),
+                Node::Class(set) => {
+                    out.push(set[rng.below(set.len() as u64) as usize]);
+                }
+                Node::Seq(items) => {
+                    for item in items {
+                        item.generate_into(rng, out);
+                    }
+                }
+                Node::Repeat(inner, lo, hi) => {
+                    let n = lo + rng.below(u64::from(hi - lo + 1)) as u32;
+                    for _ in 0..n {
+                        inner.generate_into(rng, out);
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn parse(pattern: &str) -> Result<Node, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (node, pos) = parse_seq(&chars, 0)?;
+        if pos != chars.len() {
+            return Err(format!("unexpected {:?} at offset {pos}", chars[pos]));
+        }
+        Ok(node)
+    }
+
+    fn parse_seq(chars: &[char], mut pos: usize) -> Result<(Node, usize), String> {
+        let mut items = Vec::new();
+        while pos < chars.len() {
+            let atom = match chars[pos] {
+                ')' => break,
+                '|' => return Err("alternation is not supported".into()),
+                '(' => {
+                    let (inner, after) = parse_seq(chars, pos + 1)?;
+                    if chars.get(after) != Some(&')') {
+                        return Err("unclosed group".into());
+                    }
+                    pos = after + 1;
+                    inner
+                }
+                '[' => {
+                    let (set, after) = parse_class(chars, pos + 1)?;
+                    pos = after;
+                    Node::Class(set)
+                }
+                '\\' => {
+                    let c = *chars.get(pos + 1).ok_or("dangling escape")?;
+                    pos += 2;
+                    Node::Lit(c)
+                }
+                c => {
+                    pos += 1;
+                    Node::Lit(c)
+                }
+            };
+            let (atom, after) = parse_quantifier(chars, pos, atom)?;
+            pos = after;
+            items.push(atom);
+        }
+        Ok((Node::Seq(items), pos))
+    }
+
+    fn parse_quantifier(chars: &[char], pos: usize, atom: Node) -> Result<(Node, usize), String> {
+        match chars.get(pos) {
+            Some(&'?') => Ok((Node::Repeat(Box::new(atom), 0, 1), pos + 1)),
+            Some(&'*') => Ok((Node::Repeat(Box::new(atom), 0, UNBOUNDED_MAX), pos + 1)),
+            Some(&'+') => Ok((Node::Repeat(Box::new(atom), 1, UNBOUNDED_MAX), pos + 1)),
+            Some(&'{') => {
+                let close = chars[pos..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or("unclosed {n,m} quantifier")?
+                    + pos;
+                let body: String = chars[pos + 1..close].iter().collect();
+                let (lo, hi) = match body.split_once(',') {
+                    Some((lo, "")) => (parse_u32(lo)?, parse_u32(lo)?.max(UNBOUNDED_MAX)),
+                    Some((lo, hi)) => (parse_u32(lo)?, parse_u32(hi)?),
+                    None => (parse_u32(&body)?, parse_u32(&body)?),
+                };
+                if lo > hi {
+                    return Err(format!("invalid quantifier {{{body}}}"));
+                }
+                Ok((Node::Repeat(Box::new(atom), lo, hi), close + 1))
+            }
+            _ => Ok((atom, pos)),
+        }
+    }
+
+    fn parse_u32(s: &str) -> Result<u32, String> {
+        s.trim()
+            .parse::<u32>()
+            .map_err(|_| format!("bad quantifier bound {s:?}"))
+    }
+
+    /// Every printable-ASCII codepoint, the universe for negated classes.
+    fn ascii_printable() -> Vec<char> {
+        (0x20u8..=0x7E).map(char::from).collect()
+    }
+
+    struct RawClass {
+        negated: bool,
+        chars: Vec<char>,
+    }
+
+    /// Parses a class body starting just past `[`; returns the allowed set
+    /// and the offset just past the closing `]`.
+    fn parse_class(chars: &[char], pos: usize) -> Result<(Vec<char>, usize), String> {
+        let (base, mut pos) = parse_class_items(chars, pos)?;
+        let mut allowed: Vec<char> = if base.negated {
+            ascii_printable()
+                .into_iter()
+                .filter(|c| !base.chars.contains(c))
+                .collect()
+        } else {
+            base.chars
+        };
+        // `&&[...]` intersection terms (e.g. `[ -~&&[^:]]`) follow the base
+        // set, each wrapped in its own brackets inside the outer class.
+        while chars.get(pos) == Some(&'&') && chars.get(pos + 1) == Some(&'&') {
+            if chars.get(pos + 2) != Some(&'[') {
+                return Err("expected [...] after && in class".into());
+            }
+            let (term, after) = parse_class_items(chars, pos + 3)?;
+            if chars.get(after) != Some(&']') {
+                return Err("unterminated && class term".into());
+            }
+            allowed.retain(|c| term.chars.contains(c) != term.negated);
+            pos = after + 1;
+        }
+        if chars.get(pos) != Some(&']') {
+            return Err("unterminated character class".into());
+        }
+        if allowed.is_empty() {
+            return Err("empty character class".into());
+        }
+        Ok((allowed, pos + 1))
+    }
+
+    /// Parses class items (chars / ranges / escapes) up to an un-consumed
+    /// `]` or `&&`; returns the raw set plus negation flag.
+    fn parse_class_items(chars: &[char], mut pos: usize) -> Result<(RawClass, usize), String> {
+        let mut negated = false;
+        if chars.get(pos) == Some(&'^') {
+            negated = true;
+            pos += 1;
+        }
+        let mut set = Vec::new();
+        let mut first = true;
+        loop {
+            match chars.get(pos) {
+                None => return Err("unterminated character class".into()),
+                Some(&']') if !first => break,
+                Some(&'&') if chars.get(pos + 1) == Some(&'&') => break,
+                Some(&c) => {
+                    let c = if c == '\\' {
+                        pos += 1;
+                        *chars.get(pos).ok_or("dangling escape in class")?
+                    } else {
+                        c
+                    };
+                    // `a-z` is a range unless `-` is last (then literal).
+                    if chars.get(pos + 1) == Some(&'-')
+                        && !matches!(chars.get(pos + 2), None | Some(&']') | Some(&'&'))
+                    {
+                        let hi = chars[pos + 2];
+                        if (c as u32) > (hi as u32) {
+                            return Err(format!("inverted range {c}-{hi}"));
+                        }
+                        for v in (c as u32)..=(hi as u32) {
+                            if let Some(ch) = char::from_u32(v) {
+                                set.push(ch);
+                            }
+                        }
+                        pos += 3;
+                    } else {
+                        set.push(c);
+                        pos += 1;
+                    }
+                }
+            }
+            first = false;
+        }
+        set.sort_unstable();
+        set.dedup();
+        Ok((
+            RawClass {
+                negated,
+                chars: set,
+            },
+            pos,
+        ))
+    }
+}
+
+impl Strategy for Range<::core::primitive::char> {
+    type Value = ::core::primitive::char;
+
+    fn generate(&self, rng: &mut TestRng) -> ::core::primitive::char {
+        assert!(self.start < self.end, "cannot sample empty range");
+        loop {
+            let span = u64::from(self.end as u32) - u64::from(self.start as u32);
+            let v = self.start as u32 + rng.below(span) as u32;
+            if let Some(c) = ::core::primitive::char::from_u32(v) {
+                return c;
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy,
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+    )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    let outcome = $crate::test_runner::run_case(|| {
+                        $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    });
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            message,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ...)` — fails the
+/// current case (via early `Err` return) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `{left:?}` != `{right:?}`"),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err(
+                format!("{}: `{left:?}` != `{right:?}`", format!($($fmt)+)),
+            );
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{left:?}` == `{right:?}`"
+            ));
+        }
+    }};
+}
+
+/// `prop_oneof![s1, s2, ...]` or `prop_oneof![w1 => s1, w2 => s2, ...]` —
+/// weighted choice between strategies sharing a `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("proptest::stub::tests")
+    }
+
+    #[test]
+    fn regex_classes_ranges_and_groups() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z0-9]([a-z0-9-]{0,14}[a-z0-9])?".generate(&mut r);
+            assert!(!s.is_empty() && s.len() <= 16, "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+            assert!(!s.starts_with('-') && !s.ends_with('-'), "{s:?}");
+
+            let path = "(/[a-zA-Z0-9._-]{1,12}){1,4}".generate(&mut r);
+            assert!(path.starts_with('/'), "{path:?}");
+            assert!(path
+                .split('/')
+                .skip(1)
+                .all(|seg| !seg.is_empty() && seg.len() <= 12));
+        }
+    }
+
+    #[test]
+    fn regex_class_intersection_excludes() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = "[ -~&&[^&=#%+]]{0,12}".generate(&mut r);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+            assert!(!s.contains(['&', '=', '#', '%', '+']), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn collections_honor_size_ranges() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = crate::collection::vec("[a-z]{1,10}", 1..8).generate(&mut r);
+            assert!((1..8).contains(&v.len()));
+            let hs = crate::collection::hash_set("[a-z]{1,10}", 1..8).generate(&mut r);
+            assert!(!hs.is_empty() && hs.len() < 8);
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let mut r = rng();
+        let u = prop_oneof![
+            4 => crate::char::range('a', 'a').boxed(),
+            1 => crate::sample::select(vec!['z']).boxed(),
+        ];
+        let zs = (0..1000).filter(|_| u.generate(&mut r) == 'z').count();
+        assert!((100..350).contains(&zs), "got {zs}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_patterns(x in 0u32..10, (a, b) in (0u8..4, 0u8..4), s in "[a-c]{1,2}") {
+            prop_assert!(x < 10);
+            prop_assert!(a < 4 && b < 4);
+            prop_assert_ne!(s.len(), 0);
+            prop_assert_eq!(s.len(), s.chars().count());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest always_fails failed at case 1/")]
+    fn failing_case_panics_with_message() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(3))]
+            fn always_fails(x in 0u8..2, ) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,17 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (it never invokes
+//! a serializer), so the derives can expand to nothing while keeping the
+//! `#[derive(Serialize, Deserialize)]` attributes compiling offline.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,6 @@
+//! Offline stand-in for `serde`: re-exports no-op `Serialize`/`Deserialize`
+//! derive macros. The workspace derives the traits for API-documentation
+//! purposes but never feeds the types to an actual serializer, so empty
+//! derives are sufficient to compile without registry access.
+
+pub use serde_derive_shim::{Deserialize, Serialize};
