@@ -1,0 +1,61 @@
+//! Microbenchmarks of the observability layer itself — the instrumentation
+//! must stay cheap enough to leave on in every hot path (DESIGN.md budget:
+//! a counter increment well under 50 ns, i.e. invisible next to a resolver
+//! cache lookup or a sensor row append).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use nxd_telemetry::{Histogram, ManualClock, Registry, Telemetry};
+use std::sync::Arc;
+
+fn bench_counter(c: &mut Criterion) {
+    let registry = Registry::new();
+    let counter = registry.counter("bench_items_total");
+    let labeled = registry.counter_with("bench_labeled_total", &[("stage", "ingest")]);
+    let mut g = c.benchmark_group("telemetry");
+    // Nanosecond-scale ops need enough iterations to outrun timer noise.
+    g.sample_size(1_000_000);
+    g.bench_function("counter_inc", |b| b.iter(|| black_box(&counter).inc()));
+    g.bench_function("counter_inc_labeled_handle", |b| {
+        b.iter(|| black_box(&labeled).inc())
+    });
+    // The registry lookup itself (lock + BTreeMap) — the reason components
+    // hold handles instead of resolving names per increment.
+    g.bench_function("registry_lookup_and_inc", |b| {
+        b.iter(|| registry.counter(black_box("bench_items_total")).inc())
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let h = Histogram::new();
+    let mut v = 0u64;
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(1_000_000);
+    g.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            h.record(black_box(v >> 40));
+        })
+    });
+    g.finish();
+}
+
+fn bench_span(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry");
+    // Each enter/exit appends a SpanRecord, so keep the buffers bounded.
+    g.sample_size(100_000);
+    // ManualClock isolates the span bookkeeping from clock syscall cost.
+    let manual = Telemetry::with_time(Arc::new(ManualClock::new()));
+    g.bench_function("span_enter_exit", |b| {
+        b.iter(|| drop(manual.span(black_box("bench.stage"))))
+    });
+    let wall = Telemetry::wall();
+    g.bench_function("span_enter_exit_wall", |b| {
+        b.iter(|| drop(wall.span(black_box("bench.stage"))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_counter, bench_histogram, bench_span);
+criterion_main!(benches);

@@ -4,14 +4,24 @@
 //! ```text
 //! cargo run -p nxd-bench --bin repro --release -- all
 //! cargo run -p nxd-bench --bin repro --release -- fig3 fig7 table1
+//! cargo run -p nxd-bench --bin repro --release -- table1 --metrics
+//! cargo run -p nxd-bench --bin repro --release -- all --metrics-json m.json --trace-out t.json
 //! ```
 //!
 //! Experiments: scalars fig3 fig4 fig5 fig6 fig7 fig8 table1 fig10 fig12
 //! fig13 fig14 fig15 filter hijack selection detector sinkhole federation analyzer
+//!
+//! Observability flags:
+//!
+//! * `--metrics` — print a per-experiment metrics delta after each
+//!   experiment plus the cumulative snapshot at the end (text table).
+//! * `--metrics-json <file>` — write the cumulative snapshot as JSON.
+//! * `--trace-out <file>` — write the span timeline as Chrome trace-event
+//!   JSON (loadable in `chrome://tracing` / Perfetto).
 
 use std::collections::HashMap;
 
-use nxd_bench::{era_world, honeypot_world, origin_world, security_report};
+use nxd_bench::{era_world_with, honeypot_world_with, origin_world, security_report_with};
 use nxd_blocklist::ThreatCategory;
 use nxd_core::report::{bar_series, commas, compare_line, pct, table};
 use nxd_core::{origin as origin_analysis, scale, selection};
@@ -19,19 +29,22 @@ use nxd_dga::DgaDetector;
 use nxd_dns_sim::HijackPolicy;
 use nxd_honeypot::TrafficCategory;
 use nxd_squat::{SquatClassifier, SquatKind};
+use nxd_telemetry::Telemetry;
 use nxd_traffic::era::EraWorld;
 use nxd_traffic::origin::OriginWorld;
 use nxd_traffic::{HoneypotWorld, IN_APP_MIX, PAPER_GRAND_TOTAL, PAPER_TOTALS, TABLE1};
 
-struct Worlds {
+struct Worlds<'a> {
+    telemetry: &'a Telemetry,
     era: Option<EraWorld>,
     origin: Option<OriginWorld>,
     honeypot: Option<(HoneypotWorld, nxd_core::SecurityReport)>,
 }
 
-impl Worlds {
-    fn new() -> Self {
+impl<'a> Worlds<'a> {
+    fn new(telemetry: &'a Telemetry) -> Self {
         Worlds {
+            telemetry,
             era: None,
             origin: None,
             honeypot: None,
@@ -41,7 +54,7 @@ impl Worlds {
     fn era(&mut self) -> &EraWorld {
         if self.era.is_none() {
             eprintln!("[repro] generating passive-DNS era world ...");
-            self.era = Some(era_world());
+            self.era = Some(era_world_with(self.telemetry));
         }
         self.era.as_ref().unwrap()
     }
@@ -49,6 +62,7 @@ impl Worlds {
     fn origin(&mut self) -> &OriginWorld {
         if self.origin.is_none() {
             eprintln!("[repro] generating origin population ...");
+            let _span = self.telemetry.span("origin.generate");
             self.origin = Some(origin_world());
         }
         self.origin.as_ref().unwrap()
@@ -57,8 +71,8 @@ impl Worlds {
     fn honeypot(&mut self) -> &(HoneypotWorld, nxd_core::SecurityReport) {
         if self.honeypot.is_none() {
             eprintln!("[repro] generating honeypot world + running §6 pipeline ...");
-            let world = honeypot_world();
-            let report = security_report(&world);
+            let world = honeypot_world_with(self.telemetry);
+            let report = security_report_with(&world, self.telemetry);
             self.honeypot = Some((world, report));
         }
         self.honeypot.as_ref().unwrap()
@@ -66,10 +80,25 @@ impl Worlds {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut experiments: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
-    if experiments.is_empty() || experiments.contains(&"all") {
-        experiments = vec![
+    let mut metrics = false;
+    let mut metrics_json: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--metrics" => metrics = true,
+            "--metrics-json" => {
+                metrics_json = Some(raw.next().expect("--metrics-json needs a file path"));
+            }
+            "--trace-out" => {
+                trace_out = Some(raw.next().expect("--trace-out needs a file path"));
+            }
+            _ => experiments.push(arg),
+        }
+    }
+    if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
+        experiments = [
             "scalars",
             "fig3",
             "fig4",
@@ -92,11 +121,17 @@ fn main() {
             "exposure",
             "market",
             "analyzer",
-        ];
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
     }
-    let mut worlds = Worlds::new();
-    for exp in experiments {
-        match exp {
+    let telemetry = Telemetry::wall();
+    let mut worlds = Worlds::new(&telemetry);
+    for exp in &experiments {
+        let before = telemetry.snapshot();
+        let span = telemetry.span(&format!("repro.{exp}"));
+        match exp.as_str() {
             "scalars" => scalars(&mut worlds),
             "fig3" => fig3(&mut worlds),
             "fig4" => fig4(&mut worlds),
@@ -123,6 +158,28 @@ fn main() {
                 "[repro] unknown experiment {other:?} (see --help text in the doc comment)"
             ),
         }
+        drop(span);
+        if metrics {
+            let delta = telemetry.snapshot().delta(&before);
+            if !delta.is_empty() {
+                println!("\n--- metrics delta: {exp} ---");
+                print!("{}", delta.to_text_table());
+            }
+        }
+    }
+    if metrics {
+        heading("TELEMETRY — cumulative metrics snapshot");
+        print!("{}", telemetry.snapshot().to_text_table());
+    }
+    if let Some(path) = metrics_json {
+        let json = telemetry.snapshot().to_json();
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("[repro] wrote metrics snapshot to {path}");
+    }
+    if let Some(path) = trace_out {
+        let trace = telemetry.tracer.to_chrome_trace();
+        std::fs::write(&path, trace).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("[repro] wrote Chrome trace to {path}");
     }
 }
 

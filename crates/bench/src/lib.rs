@@ -14,11 +14,19 @@
 //! the benches stay in sync.
 
 use nxd_core::{origin as origin_analysis, scale, security};
+use nxd_telemetry::Telemetry;
 use nxd_traffic::{era, honeypot_era, origin, EraConfig, HoneypotConfig, OriginConfig};
 
 /// Standard reproduction-scale era world (shared by bin + benches).
 pub fn era_world() -> era::EraWorld {
     era::generate(EraConfig::default())
+}
+
+/// Instrumented variant of [`era_world`]: the embedded sensor database and
+/// consistency-check resolver attach to `telemetry`, and each generation
+/// stage records a span.
+pub fn era_world_with(telemetry: &Telemetry) -> era::EraWorld {
+    era::generate_with(EraConfig::default(), telemetry)
 }
 
 /// A smaller era world for quick benches.
@@ -49,6 +57,12 @@ pub fn honeypot_world() -> honeypot_era::HoneypotWorld {
     honeypot_era::generate(HoneypotConfig::default())
 }
 
+/// Instrumented variant of [`honeypot_world`]: per-phase packet counters
+/// and per-stage spans land in `telemetry`.
+pub fn honeypot_world_with(telemetry: &Telemetry) -> honeypot_era::HoneypotWorld {
+    honeypot_era::generate_with(HoneypotConfig::default(), telemetry)
+}
+
 /// A smaller honeypot world for quick benches.
 pub fn honeypot_world_small() -> honeypot_era::HoneypotWorld {
     honeypot_era::generate(HoneypotConfig {
@@ -60,6 +74,15 @@ pub fn honeypot_world_small() -> honeypot_era::HoneypotWorld {
 /// Full §6 security report.
 pub fn security_report(world: &honeypot_era::HoneypotWorld) -> nxd_core::SecurityReport {
     security::run(world)
+}
+
+/// Instrumented variant of [`security_report`]: filter and categorizer
+/// counters plus the two stage spans land in `telemetry`.
+pub fn security_report_with(
+    world: &honeypot_era::HoneypotWorld,
+    telemetry: &Telemetry,
+) -> nxd_core::SecurityReport {
+    security::run_with(world, telemetry)
 }
 
 /// Headline scalars.

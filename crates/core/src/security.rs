@@ -9,6 +9,7 @@ use nxd_honeypot::{
     Categorizer, ControlGroupProfile, FilterStats, NoHostingBaseline, NoiseFilter, TrafficCategory,
 };
 use nxd_httpsim::{classify_user_agent, UaClass};
+use nxd_telemetry::Telemetry;
 use nxd_traffic::botnet::{Continent, COUNTRY_MIX};
 use nxd_traffic::{DomainSpec, HoneypotWorld};
 
@@ -56,9 +57,22 @@ pub struct SecurityReport {
 
 /// Runs the complete §6 pipeline over a generated honeypot world.
 pub fn run(world: &HoneypotWorld) -> SecurityReport {
+    run_with(world, &Telemetry::wall())
+}
+
+/// Instrumented variant of [`run`]: the noise filter and every per-domain
+/// categorizer attach their counters to the telemetry registry
+/// (`honeypot_filter_*`, `honeypot_categorized_total{category=...}`), and
+/// the two pipeline stages record spans (`security.profiles`,
+/// `security.categorize`).
+pub fn run_with(world: &HoneypotWorld, telemetry: &Telemetry) -> SecurityReport {
+    let span_profiles = telemetry.span("security.profiles");
     let baseline = NoHostingBaseline::from_packets(&world.baseline_packets);
     let control = ControlGroupProfile::from_packets(&world.control_packets);
-    let filter = NoiseFilter::new(baseline, control);
+    let mut filter = NoiseFilter::new(baseline, control);
+    filter.attach_metrics(&telemetry.registry);
+    drop(span_profiles);
+    let _span_categorize = telemetry.span("security.categorize");
 
     let mut rows = Vec::new();
     let mut totals: HashMap<TrafficCategory, u64> = HashMap::new();
@@ -73,11 +87,12 @@ pub fn run(world: &HoneypotWorld) -> SecurityReport {
     let mut hostclasses: HashMap<String, u64> = HashMap::new();
 
     for capture in &world.captures {
-        let categorizer = Categorizer::new(
+        let mut categorizer = Categorizer::new(
             capture.spec.name,
             world.webfilter.clone(),
             world.reverse_dns.clone(),
         );
+        categorizer.attach_metrics(&telemetry.registry);
         let (kept, stats) = filter.apply(capture.packets.clone());
 
         // Stream counts over the kept packets of this domain.
@@ -271,6 +286,37 @@ mod tests {
             ..Default::default()
         });
         run(&world)
+    }
+
+    #[test]
+    fn instrumented_run_reports_filter_and_categorizer() {
+        let world = honeypot_era::generate(HoneypotConfig {
+            scale: 1_000,
+            ..Default::default()
+        });
+        let telemetry = Telemetry::wall();
+        let r = run_with(&world, &telemetry);
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.counter_total("honeypot_categorized_total"),
+            r.grand_total,
+            "every HTTP packet that survives the filter is categorized once"
+        );
+        // The filter also keeps non-HTTP packets, which never reach the
+        // categorizer — so kept >= categorized, and input >= kept.
+        let kept = snap.counter_total("honeypot_filter_kept_total");
+        assert!(kept >= r.grand_total, "kept {kept} < {}", r.grand_total);
+        assert!(snap.counter_total("honeypot_filter_input_total") >= kept);
+        let spans = telemetry.tracer.spans();
+        let names: Vec<String> = spans.iter().map(|s| s.name.clone()).collect();
+        assert!(
+            names.iter().any(|n| n == "security.profiles"),
+            "spans: {names:?}"
+        );
+        assert!(
+            names.iter().any(|n| n == "security.categorize"),
+            "spans: {names:?}"
+        );
     }
 
     #[test]

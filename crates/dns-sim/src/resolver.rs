@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use nxd_dns_wire::{Message, Name, RCode, RData, RType, Record};
+use nxd_telemetry::{Counter, Registry};
 
 use crate::hierarchy::{ServerRef, SimDns};
 use crate::time::SimTime;
@@ -63,7 +64,9 @@ pub fn clamp_negative_soa(soa: &Record) -> Record {
     capped
 }
 
-/// Resolver metrics, cumulative since construction.
+/// Resolver metrics, cumulative since construction (or since
+/// [`Resolver::attach_metrics`], a point-in-time copy of the shared
+/// registry counters).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ResolverStats {
     pub queries: u64,
@@ -72,6 +75,76 @@ pub struct ResolverStats {
     pub upstream_queries: u64,
     pub nxdomain_responses: u64,
     pub servfail_responses: u64,
+}
+
+impl ResolverStats {
+    /// Counter consistency inherent in the resolve paths:
+    ///
+    /// * every negative cache hit is also a cache hit (the NXDOMAIN and
+    ///   NODATA hit paths increment both; the positive hit path increments
+    ///   only `cache_hits`);
+    /// * a cache hit never reaches upstream, so hits are bounded by queries;
+    /// * each query yields at most one NXDOMAIN or SERVFAIL response, and
+    ///   the two outcomes are disjoint.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.negative_cache_hits > self.cache_hits {
+            return Err(format!(
+                "negative_cache_hits {} > cache_hits {}",
+                self.negative_cache_hits, self.cache_hits
+            ));
+        }
+        if self.cache_hits > self.queries {
+            return Err(format!(
+                "cache_hits {} > queries {}",
+                self.cache_hits, self.queries
+            ));
+        }
+        if self.nxdomain_responses + self.servfail_responses > self.queries {
+            return Err(format!(
+                "nxdomain {} + servfail {} > queries {}",
+                self.nxdomain_responses, self.servfail_responses, self.queries
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The resolver's counters as telemetry handles. Detached by default (a
+/// private set of cells, so per-instance stats behave exactly as before);
+/// [`Resolver::attach_metrics`] swaps in registry-backed handles so the
+/// resolver shows up in shared snapshots.
+#[derive(Debug, Clone)]
+struct ResolverMetrics {
+    queries: Counter,
+    cache_hits: Counter,
+    negative_cache_hits: Counter,
+    upstream_queries: Counter,
+    nxdomain_responses: Counter,
+    servfail_responses: Counter,
+}
+
+impl ResolverMetrics {
+    fn detached() -> Self {
+        ResolverMetrics {
+            queries: Counter::new(),
+            cache_hits: Counter::new(),
+            negative_cache_hits: Counter::new(),
+            upstream_queries: Counter::new(),
+            nxdomain_responses: Counter::new(),
+            servfail_responses: Counter::new(),
+        }
+    }
+
+    fn registered(registry: &Registry) -> Self {
+        ResolverMetrics {
+            queries: registry.counter("resolver_queries_total"),
+            cache_hits: registry.counter("resolver_cache_hits_total"),
+            negative_cache_hits: registry.counter("resolver_negative_cache_hits_total"),
+            upstream_queries: registry.counter("resolver_upstream_queries_total"),
+            nxdomain_responses: registry.counter("resolver_nxdomain_responses_total"),
+            servfail_responses: registry.counter("resolver_servfail_responses_total"),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -131,7 +204,7 @@ pub struct Resolver {
     /// per-(name, type) with type stored in the key's second slot.
     nxdomain: HashMap<Name, NegativeEntry>,
     nodata: HashMap<(Name, u16), NegativeEntry>,
-    stats: ResolverStats,
+    metrics: ResolverMetrics,
     trace: Vec<ResolveEvent>,
 }
 
@@ -142,13 +215,44 @@ impl Resolver {
             positive: HashMap::new(),
             nxdomain: HashMap::new(),
             nodata: HashMap::new(),
-            stats: ResolverStats::default(),
+            metrics: ResolverMetrics::detached(),
             trace: Vec::new(),
         }
     }
 
-    pub fn stats(&self) -> &ResolverStats {
-        &self.stats
+    /// Point-in-time copy of the resolver's counters. With metrics attached
+    /// to a shared registry this reads the registry cells, so resolvers
+    /// sharing one registry report aggregated stats.
+    pub fn stats(&self) -> ResolverStats {
+        let stats = ResolverStats {
+            queries: self.metrics.queries.get(),
+            cache_hits: self.metrics.cache_hits.get(),
+            negative_cache_hits: self.metrics.negative_cache_hits.get(),
+            upstream_queries: self.metrics.upstream_queries.get(),
+            nxdomain_responses: self.metrics.nxdomain_responses.get(),
+            servfail_responses: self.metrics.servfail_responses.get(),
+        };
+        debug_assert!(stats.check_invariants().is_ok(), "{stats:?}");
+        stats
+    }
+
+    /// Re-homes the resolver's counters onto `registry` (as
+    /// `resolver_*_total`), carrying current values over. Registry handles
+    /// aggregate: two resolvers attached to the same registry add into the
+    /// same cells.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        let next = ResolverMetrics::registered(registry);
+        next.queries.add(self.metrics.queries.get());
+        next.cache_hits.add(self.metrics.cache_hits.get());
+        next.negative_cache_hits
+            .add(self.metrics.negative_cache_hits.get());
+        next.upstream_queries
+            .add(self.metrics.upstream_queries.get());
+        next.nxdomain_responses
+            .add(self.metrics.nxdomain_responses.get());
+        next.servfail_responses
+            .add(self.metrics.servfail_responses.get());
+        self.metrics = next;
     }
 
     /// The recorded event trace (empty unless `record_trace` is set).
@@ -216,15 +320,15 @@ impl Resolver {
         qtype: RType,
         now: SimTime,
     ) -> Resolution {
-        self.stats.queries += 1;
+        self.metrics.queries.inc();
 
         // Cache lookups.
         if self.config.negative_cache {
             if let Some(e) = self.nxdomain.get(qname) {
                 if e.expires > now {
-                    self.stats.cache_hits += 1;
-                    self.stats.negative_cache_hits += 1;
-                    self.stats.nxdomain_responses += 1;
+                    self.metrics.cache_hits.inc();
+                    self.metrics.negative_cache_hits.inc();
+                    self.metrics.nxdomain_responses.inc();
                     return Resolution {
                         rcode: RCode::NxDomain,
                         answers: Vec::new(),
@@ -236,8 +340,8 @@ impl Resolver {
             }
             if let Some(e) = self.nodata.get(&(qname.clone(), qtype.to_u16())) {
                 if e.expires > now && e.kind == NegKind::NoData {
-                    self.stats.cache_hits += 1;
-                    self.stats.negative_cache_hits += 1;
+                    self.metrics.cache_hits.inc();
+                    self.metrics.negative_cache_hits.inc();
                     return Resolution {
                         rcode: RCode::NoError,
                         answers: Vec::new(),
@@ -251,7 +355,7 @@ impl Resolver {
         if self.config.positive_cache {
             if let Some(e) = self.positive.get(&(qname.clone(), qtype.to_u16())) {
                 if e.expires > now {
-                    self.stats.cache_hits += 1;
+                    self.metrics.cache_hits.inc();
                     return Resolution {
                         rcode: RCode::NoError,
                         answers: e.answers.clone(),
@@ -270,7 +374,7 @@ impl Resolver {
             upstream += 1;
             match dns.query_server(&server, qname, qtype) {
                 ZoneAnswer::Answer(answers) => {
-                    self.stats.upstream_queries += upstream as u64;
+                    self.metrics.upstream_queries.add(upstream as u64);
                     self.cache_positive(qname, qtype, &answers, now);
                     return Resolution {
                         rcode: RCode::NoError,
@@ -281,8 +385,8 @@ impl Resolver {
                     };
                 }
                 ZoneAnswer::NxDomain(soa) => {
-                    self.stats.upstream_queries += upstream as u64;
-                    self.stats.nxdomain_responses += 1;
+                    self.metrics.upstream_queries.add(upstream as u64);
+                    self.metrics.nxdomain_responses.inc();
                     let soa = clamp_negative_soa(&soa);
                     self.cache_negative(qname, qtype, &soa, NegKind::NxDomain, now);
                     return Resolution {
@@ -294,7 +398,7 @@ impl Resolver {
                     };
                 }
                 ZoneAnswer::NoData(soa) => {
-                    self.stats.upstream_queries += upstream as u64;
+                    self.metrics.upstream_queries.add(upstream as u64);
                     let soa = clamp_negative_soa(&soa);
                     self.cache_negative(qname, qtype, &soa, NegKind::NoData, now);
                     return Resolution {
@@ -321,8 +425,8 @@ impl Resolver {
             }
         }
         // Lame delegation / loop: SERVFAIL, uncached.
-        self.stats.upstream_queries += upstream as u64;
-        self.stats.servfail_responses += 1;
+        self.metrics.upstream_queries.add(upstream as u64);
+        self.metrics.servfail_responses.inc();
         Resolution {
             rcode: RCode::ServFail,
             answers: Vec::new(),
@@ -615,6 +719,87 @@ mod tests {
             .unwrap();
         let resp = Message::decode(&resp_wire).unwrap();
         assert_eq!(resp.header.rcode, RCode::FormErr);
+    }
+
+    #[test]
+    fn stats_invariants_across_cache_hit_paths() {
+        let (dns, mut r) = world();
+        let t = SimTime::ERA_START;
+        // Exercise all three cache-hit paths: NXDOMAIN hit, NODATA hit,
+        // positive hit — plus a fresh SERVFAIL (unknown TLD stays at the
+        // root, answered NXDOMAIN there, so force SERVFAIL via loop cap).
+        r.resolve(&dns, &n("ghost.com"), RType::A, t); // fresh NXDOMAIN
+        r.resolve(&dns, &n("ghost.com"), RType::A, t + SimDuration::seconds(1)); // nxd hit
+        r.resolve(&dns, &n("www.example.com"), RType::Mx, t); // fresh NODATA
+        r.resolve(
+            &dns,
+            &n("www.example.com"),
+            RType::Mx,
+            t + SimDuration::seconds(1),
+        ); // nodata hit
+        r.resolve(&dns, &n("www.example.com"), RType::A, t); // fresh answer
+        r.resolve(
+            &dns,
+            &n("www.example.com"),
+            RType::A,
+            t + SimDuration::seconds(1),
+        ); // positive hit
+        let s = r.stats();
+        s.check_invariants().unwrap();
+        assert_eq!(s.queries, 6);
+        assert_eq!(s.cache_hits, 3);
+        // Positive hits are cache hits but not negative ones.
+        assert_eq!(s.negative_cache_hits, 2);
+        // One fresh + one cached NXDOMAIN response.
+        assert_eq!(s.nxdomain_responses, 2);
+        assert_eq!(s.servfail_responses, 0);
+    }
+
+    #[test]
+    fn stats_invariants_catch_drift() {
+        let bad = ResolverStats {
+            queries: 1,
+            cache_hits: 1,
+            negative_cache_hits: 2,
+            ..Default::default()
+        };
+        assert!(bad.check_invariants().is_err());
+        let bad = ResolverStats {
+            queries: 1,
+            nxdomain_responses: 1,
+            servfail_responses: 1,
+            ..Default::default()
+        };
+        assert!(bad.check_invariants().is_err());
+    }
+
+    #[test]
+    fn attach_metrics_carries_values_and_aggregates() {
+        use nxd_telemetry::Registry;
+        let (dns, mut r) = world();
+        let t = SimTime::ERA_START;
+        r.resolve(&dns, &n("ghost.com"), RType::A, t);
+        let registry = Registry::new();
+        r.attach_metrics(&registry);
+        // Pre-attach counts carried onto the registry.
+        assert_eq!(
+            registry.snapshot().counter_total("resolver_queries_total"),
+            1
+        );
+        r.resolve(&dns, &n("ghost.com"), RType::A, t + SimDuration::seconds(1));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("resolver_queries_total"), 2);
+        assert_eq!(snap.counter_total("resolver_negative_cache_hits_total"), 1);
+        assert_eq!(snap.counter_total("resolver_nxdomain_responses_total"), 2);
+        // A second resolver on the same registry aggregates into the cells.
+        let mut r2 = Resolver::new(ResolverConfig::default());
+        r2.attach_metrics(&registry);
+        r2.resolve(&dns, &n("other.com"), RType::A, t);
+        assert_eq!(
+            registry.snapshot().counter_total("resolver_queries_total"),
+            3
+        );
+        r.stats().check_invariants().unwrap();
     }
 
     #[test]

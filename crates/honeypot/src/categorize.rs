@@ -10,6 +10,8 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
+use nxd_telemetry::{Counter, Registry};
+
 use nxd_dns_sim::ReverseDns;
 use nxd_httpsim::{classify_user_agent, HttpRequest, UaClass};
 
@@ -70,6 +72,23 @@ impl TrafficCategory {
             TrafficCategory::Other => "Others",
         }
     }
+
+    /// Machine-friendly identifier, used as the `category` label value on
+    /// `honeypot_categorized_total`.
+    pub fn slug(self) -> &'static str {
+        match self {
+            TrafficCategory::SearchEngineCrawler => "search_engine_crawler",
+            TrafficCategory::FileGrabber => "file_grabber",
+            TrafficCategory::ScriptSoftware => "script_software",
+            TrafficCategory::MaliciousRequest => "malicious_request",
+            TrafficCategory::ReferralSearchEngine => "referral_search_engine",
+            TrafficCategory::ReferralEmbedded => "referral_embedded",
+            TrafficCategory::ReferralMalicious => "referral_malicious",
+            TrafficCategory::UserPcMobile => "user_pc_mobile",
+            TrafficCategory::UserInApp => "user_in_app",
+            TrafficCategory::Other => "other",
+        }
+    }
 }
 
 /// Reverse-DNS providers trusted as crawler infrastructure (§6.2 ④: "if the
@@ -106,6 +125,9 @@ pub struct Categorizer {
     pub reverse_dns: ReverseDns,
     /// Requests from one `(ip, path)` at or above this count are streams.
     pub stream_threshold: u64,
+    /// One counter per category, keyed by [`TrafficCategory::ALL`] order.
+    /// Detached cells until [`Categorizer::attach_metrics`].
+    categorized: Vec<Counter>,
 }
 
 impl Categorizer {
@@ -115,12 +137,50 @@ impl Categorizer {
             webfilter,
             reverse_dns,
             stream_threshold: 5,
+            categorized: TrafficCategory::ALL
+                .iter()
+                .map(|_| Counter::new())
+                .collect(),
         }
+    }
+
+    /// Re-homes the per-category decision counters onto `registry` (as
+    /// `honeypot_categorized_total{category=<slug>}`), carrying current
+    /// values over.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        let next: Vec<Counter> = TrafficCategory::ALL
+            .iter()
+            .map(|cat| {
+                registry.counter_with("honeypot_categorized_total", &[("category", cat.slug())])
+            })
+            .collect();
+        for (counter, old) in next.iter().zip(&self.categorized) {
+            counter.add(old.get());
+        }
+        self.categorized = next;
+    }
+
+    fn count_decision(&self, category: TrafficCategory) {
+        let idx = TrafficCategory::ALL
+            .iter()
+            .position(|&c| c == category)
+            .expect("category in ALL");
+        self.categorized[idx].inc();
     }
 
     /// Categorizes one packet. `streams` are the per-`(ip, path)` request
     /// counts from [`crate::recorder::TrafficRecorder::stream_counts`].
     pub fn categorize(
+        &self,
+        packet: &Packet,
+        streams: &HashMap<(Ipv4Addr, String), u64>,
+    ) -> TrafficCategory {
+        let category = self.categorize_inner(packet, streams);
+        self.count_decision(category);
+        category
+    }
+
+    fn categorize_inner(
         &self,
         packet: &Packet,
         streams: &HashMap<(Ipv4Addr, String), u64>,
@@ -425,6 +485,37 @@ mod tests {
     fn all_categories_have_labels() {
         for cat in TrafficCategory::ALL {
             assert!(!cat.label().is_empty());
+            assert!(!cat.slug().is_empty());
         }
+    }
+
+    #[test]
+    fn attach_metrics_counts_decisions_by_category() {
+        use nxd_telemetry::Registry;
+        let mut c = cat();
+        let registry = Registry::new();
+        // One decision before attaching carries over.
+        let p = pkt(HttpRequest::get("/data.json")
+            .with_src(ip(4))
+            .with_header("User-Agent", "curl/8.0"));
+        one(&c, &p);
+        c.attach_metrics(&registry);
+        one(&c, &p);
+        let user = pkt(HttpRequest::get("/komiks/12").with_src(ip(6)).with_header(
+            "User-Agent",
+            "Mozilla/5.0 (Windows NT 10.0; Win64; x64) Chrome/112",
+        ));
+        one(&c, &user);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("honeypot_categorized_total"), 3);
+        let script = snap
+            .counters
+            .iter()
+            .find(|(id, _)| {
+                id.name() == "honeypot_categorized_total"
+                    && id.labels() == [("category".to_string(), "script_software".to_string())]
+            })
+            .map(|&(_, v)| v);
+        assert_eq!(script, Some(2));
     }
 }

@@ -13,6 +13,8 @@
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
+use nxd_telemetry::{Counter, Registry};
+
 use crate::packet::Packet;
 
 /// Exclusion profile distilled from the no-hosting run.
@@ -66,16 +68,55 @@ pub struct FilterStats {
     pub kept: u64,
 }
 
+/// Per-stage telemetry counters for [`NoiseFilter::apply`]. Detached cells
+/// until [`NoiseFilter::attach_metrics`] re-homes them onto a registry.
+#[derive(Debug, Default, Clone)]
+struct FilterMetrics {
+    input: Counter,
+    dropped_no_hosting: Counter,
+    dropped_control: Counter,
+    kept: Counter,
+}
+
+impl FilterMetrics {
+    fn registered(registry: &Registry) -> Self {
+        FilterMetrics {
+            input: registry.counter("honeypot_filter_input_total"),
+            dropped_no_hosting: registry.counter("honeypot_filter_dropped_no_hosting_total"),
+            dropped_control: registry.counter("honeypot_filter_dropped_control_total"),
+            kept: registry.counter("honeypot_filter_kept_total"),
+        }
+    }
+}
+
 /// The assembled filter.
 #[derive(Debug, Default, Clone)]
 pub struct NoiseFilter {
     baseline: NoHostingBaseline,
     control: ControlGroupProfile,
+    metrics: FilterMetrics,
 }
 
 impl NoiseFilter {
     pub fn new(baseline: NoHostingBaseline, control: ControlGroupProfile) -> Self {
-        NoiseFilter { baseline, control }
+        NoiseFilter {
+            baseline,
+            control,
+            metrics: FilterMetrics::default(),
+        }
+    }
+
+    /// Re-homes the filter's counters onto `registry` (as
+    /// `honeypot_filter_{input,dropped_no_hosting,dropped_control,kept}_total`),
+    /// carrying current values over.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        let next = FilterMetrics::registered(registry);
+        next.input.add(self.metrics.input.get());
+        next.dropped_no_hosting
+            .add(self.metrics.dropped_no_hosting.get());
+        next.dropped_control.add(self.metrics.dropped_control.get());
+        next.kept.add(self.metrics.kept.get());
+        self.metrics = next;
     }
 
     /// Whether a packet is establishment noise per the control profile.
@@ -115,6 +156,12 @@ impl NoiseFilter {
             }
         }
         stats.kept = kept.len() as u64;
+        self.metrics.input.add(stats.input);
+        self.metrics
+            .dropped_no_hosting
+            .add(stats.dropped_no_hosting);
+        self.metrics.dropped_control.add(stats.dropped_control);
+        self.metrics.kept.add(stats.kept);
         (kept, stats)
     }
 }
@@ -208,6 +255,32 @@ mod tests {
         assert_eq!(kept.len(), 1);
         assert_eq!(stats.dropped_no_hosting, 1);
         assert!(kept[0].is_http());
+    }
+
+    #[test]
+    fn attach_metrics_mirrors_stats() {
+        let registry = Registry::new();
+        let mut f = filter();
+        f.attach_metrics(&registry);
+        let (_, stats) = f.apply(vec![
+            http("/a", ip(1)),
+            http("/b", ip(2)),
+            http("/c", ip(30)),
+        ]);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_total("honeypot_filter_input_total"),
+            stats.input
+        );
+        assert_eq!(
+            snap.counter_total("honeypot_filter_dropped_no_hosting_total"),
+            stats.dropped_no_hosting
+        );
+        assert_eq!(
+            snap.counter_total("honeypot_filter_dropped_control_total"),
+            stats.dropped_control
+        );
+        assert_eq!(snap.counter_total("honeypot_filter_kept_total"), stats.kept);
     }
 
     #[test]

@@ -4,6 +4,8 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
+use nxd_telemetry::{Counter, Registry};
+
 use crate::packet::Packet;
 
 /// Recorder attached to one hosting server (optionally serving a domain).
@@ -12,6 +14,7 @@ pub struct TrafficRecorder {
     /// Domain hosted on this server; `None` for the no-hosting baseline run.
     pub domain: Option<String>,
     packets: Vec<Packet>,
+    packets_total: Counter,
 }
 
 impl TrafficRecorder {
@@ -20,6 +23,7 @@ impl TrafficRecorder {
         TrafficRecorder {
             domain: Some(domain.to_string()),
             packets: Vec::new(),
+            packets_total: Counter::new(),
         }
     }
 
@@ -28,8 +32,21 @@ impl TrafficRecorder {
         TrafficRecorder::default()
     }
 
+    /// Counts recorded packets on `registry` as
+    /// `honeypot_recorded_packets_total{phase=...}` (phase: the hosted
+    /// domain, or `no-hosting`), carrying the current count over. The
+    /// counter is cumulative — unlike [`TrafficRecorder::take_packets`], it
+    /// is not reset by draining.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        let phase = self.domain.as_deref().unwrap_or("no-hosting");
+        let next = registry.counter_with("honeypot_recorded_packets_total", &[("phase", phase)]);
+        next.add(self.packets_total.get());
+        self.packets_total = next;
+    }
+
     /// Records one packet.
     pub fn record(&mut self, packet: Packet) {
+        self.packets_total.inc();
         self.packets.push(packet);
     }
 

@@ -33,6 +33,7 @@ pub struct LifespanBucket {
 
 /// Total responses carrying the given rcode.
 pub fn total_responses(db: &PassiveDb, rcode: RCode) -> u64 {
+    let _t = db.time_query();
     let (_, _, _, rcodes, counts) = db.columns();
     let want = rcode.to_u8();
     rcodes
@@ -51,6 +52,7 @@ pub fn total_nx_responses(db: &PassiveDb) -> u64 {
 /// Number of distinct names that ever received an NXDOMAIN response (the
 /// paper's 146,363,745,785 at full scale).
 pub fn distinct_nx_names(db: &PassiveDb) -> u64 {
+    let _t = db.time_query();
     db.nx_names().count() as u64
 }
 
@@ -59,6 +61,7 @@ pub fn distinct_nx_names(db: &PassiveDb) -> u64 {
 /// Returns `(month_index, responses)` sorted by month, where `month_index`
 /// counts months since January 2014 (matching [`SimTime::month_index`]).
 pub fn monthly_nx_series(db: &PassiveDb) -> Vec<(i64, u64)> {
+    let _t = db.time_query();
     let (_, days, _, rcodes, counts) = db.columns();
     let want = RCode::NxDomain.to_u8();
     let mut buckets: HashMap<i64, u64> = HashMap::new();
@@ -95,6 +98,7 @@ pub fn yearly_avg_monthly_nx(db: &PassiveDb) -> Vec<(i32, f64)> {
 /// NXDomain counts and query volumes grouped by TLD, sorted by descending
 /// name count (Fig. 4 plots the top 20).
 pub fn tld_distribution(db: &PassiveDb) -> Vec<TldStat> {
+    let _t = db.time_query();
     // Names per TLD come from the aggregate index; queries need a scan.
     let mut names_by_tld: HashMap<u32, u64> = HashMap::new();
     for (id, _) in db.nx_names() {
@@ -125,6 +129,7 @@ pub fn tld_distribution(db: &PassiveDb) -> Vec<TldStat> {
 /// Deterministic 1-in-`n` sample of NXDomain names (§4.2's 1/1,000
 /// sampling). Stable across runs: membership is a salted hash of the name.
 pub fn sample_nx_names(db: &PassiveDb, n: u64, salt: u64) -> Vec<NameId> {
+    let _t = db.time_query();
     assert!(n > 0, "sampling ratio must be positive");
     let mut out: Vec<NameId> = db
         .nx_names()
@@ -138,6 +143,7 @@ pub fn sample_nx_names(db: &PassiveDb, n: u64, salt: u64) -> Vec<NameId> {
 /// Fig. 5: for each day-offset since a name's first NXDOMAIN observation,
 /// how many names still receive queries and how many responses they get.
 pub fn lifespan_histogram(db: &PassiveDb, max_days: u32) -> Vec<LifespanBucket> {
+    let _t = db.time_query();
     let (ids, days, _, rcodes, counts) = db.columns();
     let want = RCode::NxDomain.to_u8();
     let mut queries = vec![0u64; max_days as usize + 1];
@@ -174,6 +180,7 @@ pub fn expiry_aligned_series(
     before: u32,
     after: u32,
 ) -> Vec<(i32, f64)> {
+    let _t = db.time_query();
     if expiry_day.is_empty() {
         return Vec::new();
     }
@@ -200,6 +207,7 @@ pub fn expiry_aligned_series(
 /// with their total NXDOMAIN query volume — §4.4's "1,018,964 NXDomains
 /// receiving 107,020,820 queries while non-existent for more than 5 years".
 pub fn long_lived_nx(db: &PassiveDb, min_days: u32) -> (u64, u64) {
+    let _t = db.time_query();
     let mut names = 0u64;
     let mut queries = 0u64;
     for (_, agg) in db.nx_names() {
@@ -216,6 +224,7 @@ pub fn long_lived_nx(db: &PassiveDb, min_days: u32) -> (u64, u64) {
 /// to 42% of DNS responses are NXDomain responses", Jung et al. / Plonka
 /// et al.). Returns `(rcode wire value, responses)` sorted by rcode.
 pub fn rcode_breakdown(db: &PassiveDb) -> Vec<(u8, u64)> {
+    let _t = db.time_query();
     let (_, _, _, rcodes, counts) = db.columns();
     let mut map: HashMap<u8, u64> = HashMap::new();
     for i in 0..rcodes.len() {
@@ -243,6 +252,7 @@ pub fn nxdomain_share(db: &PassiveDb) -> f64 {
 
 /// NXDOMAIN responses grouped by sensor id (coverage diagnostics).
 pub fn nx_by_sensor(db: &PassiveDb) -> HashMap<u16, u64> {
+    let _t = db.time_query();
     let (_, _, sensors, rcodes, counts) = db.columns();
     let want = RCode::NxDomain.to_u8();
     let mut out = HashMap::new();

@@ -7,8 +7,10 @@
 //! on ingest for O(1) lifespan lookups.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use nxd_dns_wire::{Name, RCode};
+use nxd_telemetry::{Counter, Gauge, Histogram, Registry};
 
 use crate::intern::{Interner, NameId};
 
@@ -40,6 +42,32 @@ pub struct NameAggregate {
     pub total_queries: u64,
 }
 
+/// Ingest and query-engine telemetry for one [`PassiveDb`]. Detached cells
+/// by default; [`PassiveDb::attach_metrics`] re-homes them onto a shared
+/// registry as `passive_*` metrics.
+#[derive(Debug, Default, Clone)]
+struct StoreMetrics {
+    rows_ingested: Counter,
+    nx_rows: Counter,
+    queries: Counter,
+    query_latency_us: Histogram,
+    intern_names: Gauge,
+    intern_tlds: Gauge,
+}
+
+impl StoreMetrics {
+    fn registered(registry: &Registry) -> Self {
+        StoreMetrics {
+            rows_ingested: registry.counter("passive_rows_ingested_total"),
+            nx_rows: registry.counter("passive_nx_rows_total"),
+            queries: registry.counter("passive_queries_total"),
+            query_latency_us: registry.histogram("passive_query_latency_us"),
+            intern_names: registry.gauge("passive_intern_names"),
+            intern_tlds: registry.gauge("passive_intern_tlds"),
+        }
+    }
+}
+
 /// The passive-DNS database (Farsight substitute).
 #[derive(Debug, Default)]
 pub struct PassiveDb {
@@ -51,6 +79,7 @@ pub struct PassiveDb {
     col_rcode: Vec<u8>,
     col_count: Vec<u32>,
     per_name: HashMap<NameId, NameAggregate>,
+    metrics: StoreMetrics,
 }
 
 impl PassiveDb {
@@ -64,6 +93,31 @@ impl PassiveDb {
 
     pub fn interner_mut(&mut self) -> &mut Interner {
         &mut self.interner
+    }
+
+    /// Re-homes this store's telemetry onto `registry` (as
+    /// `passive_rows_ingested_total`, `passive_nx_rows_total`,
+    /// `passive_queries_total`, `passive_query_latency_us`,
+    /// `passive_intern_names`, `passive_intern_tlds`), carrying counter and
+    /// gauge values over. Latency samples recorded before attaching stay in
+    /// the detached histogram, so attach before running queries.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        let next = StoreMetrics::registered(registry);
+        next.rows_ingested.add(self.metrics.rows_ingested.get());
+        next.nx_rows.add(self.metrics.nx_rows.get());
+        next.queries.add(self.metrics.queries.get());
+        next.intern_names.set(self.interner.len() as i64);
+        next.intern_tlds.set(self.interner.tld_count() as i64);
+        self.metrics = next;
+    }
+
+    /// Times one query-engine call: records latency (µs) and bumps the
+    /// query counter when the returned guard drops.
+    pub(crate) fn time_query(&self) -> QueryTimer<'_> {
+        QueryTimer {
+            metrics: &self.metrics,
+            start: Instant::now(),
+        }
     }
 
     /// Number of rows (pre-aggregated observations).
@@ -127,6 +181,14 @@ impl PassiveDb {
         self.col_sensor.push(obs.sensor);
         self.col_rcode.push(obs.rcode);
         self.col_count.push(obs.count);
+        self.metrics.rows_ingested.inc();
+        if obs.rcode == RCode::NxDomain.to_u8() {
+            self.metrics.nx_rows.inc();
+        }
+        self.metrics.intern_names.set(self.interner.len() as i64);
+        self.metrics
+            .intern_tlds
+            .set(self.interner.tld_count() as i64);
 
         let agg = self.per_name.entry(obs.name).or_insert(NameAggregate {
             first_nx_day: u32::MAX,
@@ -211,6 +273,21 @@ impl PassiveDb {
     }
 }
 
+/// Drop guard for [`PassiveDb::time_query`].
+pub(crate) struct QueryTimer<'a> {
+    metrics: &'a StoreMetrics,
+    start: Instant,
+}
+
+impl Drop for QueryTimer<'_> {
+    fn drop(&mut self) {
+        self.metrics.queries.inc();
+        self.metrics
+            .query_latency_us
+            .record(self.start.elapsed().as_micros() as u64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,5 +349,37 @@ mod tests {
     fn aggregate_missing_name() {
         let db = PassiveDb::new();
         assert!(db.aggregate_of("nothing.com").is_none());
+    }
+
+    #[test]
+    fn attach_metrics_tracks_ingest() {
+        let registry = Registry::new();
+        let mut db = PassiveDb::new();
+        db.record_str("early.com", 1, 0, RCode::NxDomain, 1);
+        db.attach_metrics(&registry);
+        // Pre-attach rows carried over.
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter_total("passive_rows_ingested_total"),
+            1
+        );
+        db.record_str("late.com", 2, 0, RCode::NxDomain, 2);
+        db.record_str("fine.com", 2, 0, RCode::NoError, 3);
+        {
+            let _t = db.time_query();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("passive_rows_ingested_total"), 3);
+        assert_eq!(snap.counter_total("passive_nx_rows_total"), 2);
+        assert_eq!(snap.counter_total("passive_queries_total"), 1);
+        assert_eq!(snap.gauge_value("passive_intern_names"), Some(3));
+        assert_eq!(snap.gauge_value("passive_intern_tlds"), Some(1));
+        assert_eq!(
+            snap.histogram_named("passive_query_latency_us")
+                .unwrap()
+                .count(),
+            1
+        );
     }
 }

@@ -1,0 +1,285 @@
+//! Exporters: human text table, JSON, and Prometheus text format for
+//! [`Snapshot`]; Chrome trace-event JSON for [`Tracer`] span timelines
+//! (loadable in `chrome://tracing` / Perfetto).
+
+use std::fmt::Write as _;
+
+use crate::histogram::bucket_upper_bound;
+use crate::metrics::{MetricId, Snapshot};
+use crate::span::Tracer;
+
+impl Snapshot {
+    /// Fixed-width table for terminals — the `repro --metrics` rendering.
+    pub fn to_text_table(&self) -> String {
+        let mut rows: Vec<(String, String)> = Vec::new();
+        for (id, v) in &self.counters {
+            rows.push((id.to_string(), v.to_string()));
+        }
+        for (id, v) in &self.gauges {
+            rows.push((id.to_string(), v.to_string()));
+        }
+        for (id, h) in &self.histograms {
+            rows.push((
+                id.to_string(),
+                format!(
+                    "count {} sum {} mean {:.1} p50 {} p99 {} max {}",
+                    h.count(),
+                    h.sum,
+                    h.mean(),
+                    h.quantile(0.5).unwrap_or(0),
+                    h.quantile(0.99).unwrap_or(0),
+                    h.max().unwrap_or(0),
+                ),
+            ));
+        }
+        let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (k, v) in rows {
+            let _ = writeln!(out, "{k:<width$}  {v}");
+        }
+        out
+    }
+
+    /// JSON document: `{"counters": [...], "gauges": [...],
+    /// "histograms": [...]}` with per-metric name/labels/value objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":[");
+        for (i, (id, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{{},\"value\":{v}}}", json_id(id));
+        }
+        out.push_str("],\"gauges\":[");
+        for (i, (id, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{{},\"value\":{v}}}", json_id(id));
+        }
+        out.push_str("],\"histograms\":[");
+        for (i, (id, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                json_id(id),
+                h.count(),
+                h.sum,
+                h.min().unwrap_or(0),
+                h.max().unwrap_or(0),
+            );
+            // Only non-empty buckets, as [upper_bound, count] pairs.
+            let mut first = true;
+            for (b, &count) in h.buckets.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "[{},{count}]", bucket_upper_bound(b));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Prometheus text exposition format (counters as `# TYPE counter`,
+    /// histograms with cumulative `_bucket{le=...}` series).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (id, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {} counter", id.name());
+            let _ = writeln!(out, "{id} {v}");
+        }
+        for (id, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {} gauge", id.name());
+            let _ = writeln!(out, "{id} {v}");
+        }
+        for (id, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {} histogram", id.name());
+            let mut cumulative = 0u64;
+            for (b, &count) in h.buckets.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                cumulative += count;
+                let _ = writeln!(
+                    out,
+                    "{} {cumulative}",
+                    prometheus_series(id, &[("le", &bucket_upper_bound(b).to_string())], "_bucket")
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{} {cumulative}",
+                prometheus_series(id, &[("le", "+Inf")], "_bucket")
+            );
+            let _ = writeln!(out, "{} {}", prometheus_series(id, &[], "_sum"), h.sum);
+            let _ = writeln!(
+                out,
+                "{} {}",
+                prometheus_series(id, &[], "_count"),
+                h.count()
+            );
+        }
+        out
+    }
+}
+
+/// `"name":"...","labels":{...}` (no braces) for one metric id.
+fn json_id(id: &MetricId) -> String {
+    let mut out = format!("\"name\":{}", json_string(id.name()));
+    out.push_str(",\"labels\":{");
+    for (i, (k, v)) in id.labels().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(k), json_string(v));
+    }
+    out.push('}');
+    out
+}
+
+fn prometheus_series(id: &MetricId, extra: &[(&str, &str)], suffix: &str) -> String {
+    let mut labels: Vec<(String, String)> = id.labels().to_vec();
+    for (k, v) in extra {
+        labels.push((k.to_string(), v.to_string()));
+    }
+    let mut out = format!("{}{suffix}", id.name());
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{v}\"");
+        }
+        out.push('}');
+    }
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl Tracer {
+    /// Chrome trace-event JSON: one complete (`"ph":"X"`) event per span.
+    /// Load the file in `chrome://tracing` or <https://ui.perfetto.dev>.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, span) in self.spans().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"cat\":\"pipeline\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":1,\"args\":{{\"depth\":{}}}}}",
+                json_string(&span.name),
+                span.start_us,
+                span.dur_us,
+                span.depth
+            );
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::span::ManualClock;
+    use std::sync::Arc;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.counter_with("stage_items_total", &[("stage", "ingest")])
+            .add(42);
+        r.gauge("intern_names").set(7);
+        let h = r.histogram("latency_us");
+        h.record(3);
+        h.record(100);
+        r.snapshot()
+    }
+
+    #[test]
+    fn text_table_lists_everything() {
+        let text = sample().to_text_table();
+        assert!(text.contains("stage_items_total{stage=\"ingest\"}  42"));
+        assert!(text.contains("intern_names"));
+        assert!(text.contains("count 2 sum 103"));
+    }
+
+    #[test]
+    fn json_is_balanced_and_complete() {
+        let json = sample().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert!(json.contains("\"name\":\"stage_items_total\""));
+        assert!(json.contains("\"stage\":\"ingest\""));
+        assert!(json.contains("\"count\":2"));
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative() {
+        let prom = sample().to_prometheus();
+        assert!(prom.contains("# TYPE latency_us histogram"));
+        assert!(prom.contains("latency_us_bucket{le=\"3\"} 1"));
+        assert!(prom.contains("latency_us_bucket{le=\"127\"} 2"));
+        assert!(prom.contains("latency_us_bucket{le=\"+Inf\"} 2"));
+        assert!(prom.contains("latency_us_sum 103"));
+        assert!(prom.contains("latency_us_count 2"));
+        assert!(prom.contains("stage_items_total{stage=\"ingest\"} 42"));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let clock = Arc::new(ManualClock::new());
+        let t = Tracer::new(clock.clone());
+        {
+            let _a = t.span("stage \"one\"");
+            clock.advance_micros(9);
+        }
+        let trace = t.to_chrome_trace();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"dur\":9"));
+        assert!(trace.contains("stage \\\"one\\\""));
+        assert_eq!(trace.matches('{').count(), trace.matches('}').count());
+    }
+}

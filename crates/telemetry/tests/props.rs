@@ -1,0 +1,87 @@
+//! Property-based tests for the histogram snapshot algebra: the bucket
+//! bookkeeping, the merge monoid, and the snapshot/delta roundtrip the
+//! `repro` binary relies on for per-experiment metric deltas.
+
+use nxd_telemetry::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+// Values span 49 of the 65 log2 buckets while keeping any sum of a few
+// hundred samples far below u64::MAX — `merge` adds sums without widening,
+// which is sound for the microsecond/count magnitudes the pipeline records.
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0..(1u64 << 48), 0..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The total count always equals the sum of the per-bucket counts, and
+    /// the sum equals the sum of the recorded values.
+    #[test]
+    fn count_is_sum_of_buckets(values in arb_values()) {
+        let snap = snapshot_of(&values);
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        prop_assert_eq!(snap.count(), snap.buckets.iter().sum::<u64>());
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.min(), values.iter().min().copied());
+        prop_assert_eq!(snap.max(), values.iter().max().copied());
+    }
+
+    /// Merge is commutative: a ∪ b == b ∪ a.
+    #[test]
+    fn merge_commutes(a in arb_values(), b in arb_values()) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+    }
+
+    /// Merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_associates(a in arb_values(), b in arb_values(), c in arb_values()) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+    }
+
+    /// The empty snapshot is the merge identity.
+    #[test]
+    fn empty_is_identity(values in arb_values()) {
+        let snap = snapshot_of(&values);
+        prop_assert_eq!(snap.merge(&HistogramSnapshot::empty()), snap.clone());
+        prop_assert_eq!(HistogramSnapshot::empty().merge(&snap), snap);
+    }
+
+    /// Merging a snapshot of the combined stream equals recording both
+    /// streams into one histogram.
+    #[test]
+    fn merge_matches_combined_recording(a in arb_values(), b in arb_values()) {
+        let merged = snapshot_of(&a).merge(&snapshot_of(&b));
+        let combined: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, snapshot_of(&combined));
+    }
+
+    /// Snapshot-then-delta roundtrip: for a live histogram observed at two
+    /// points, `earlier.merge(&later.delta(&earlier)) == later` — the law
+    /// that makes per-experiment deltas in `repro --metrics` exact.
+    #[test]
+    fn delta_roundtrips(first in arb_values(), second in arb_values()) {
+        let h = Histogram::new();
+        for &v in &first {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for &v in &second {
+            h.record(v);
+        }
+        let later = h.snapshot();
+        let delta = later.delta(&earlier);
+        prop_assert_eq!(delta.count(), second.len() as u64);
+        prop_assert_eq!(earlier.merge(&delta), later);
+    }
+}

@@ -27,6 +27,7 @@ use nxd_dns_wire::{Name, RCode};
 use nxd_passive_dns::{NameId, PassiveDb};
 use nxd_squat::generate as squatgen;
 use nxd_squat::tables::POPULAR_TARGETS;
+use nxd_telemetry::Telemetry;
 use nxd_whois::{HistoricWhoisDb, SpanEnd, WhoisRecord};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -159,13 +160,29 @@ struct NameSpec {
 
 /// Generates the era world.
 pub fn generate(config: EraConfig) -> EraWorld {
+    generate_with(config, &Telemetry::wall())
+}
+
+/// Instrumented variant of [`generate`]: stage spans (`era.specs`,
+/// `era.registry`, `era.emit`, `era.consistency`) land on the telemetry
+/// tracer, and the generated [`PassiveDb`] plus the consistency resolver
+/// attach their metrics to the telemetry registry.
+pub fn generate_with(config: EraConfig, telemetry: &Telemetry) -> EraWorld {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let era_start_day = SimTime::ERA_START.day_number() as u32;
     let era_end_day = SimTime::ERA_END.day_number() as u32;
     let era_days = era_end_day - era_start_day;
 
-    let mut specs = build_name_specs(&mut rng, &config, era_start_day, era_days);
+    let mut specs = {
+        let _span = telemetry.span("era.specs");
+        build_name_specs(&mut rng, &config, era_start_day, era_days)
+    };
+    telemetry
+        .registry
+        .counter("traffic_era_names_total")
+        .add(specs.len() as u64);
 
+    let span_registry = telemetry.span("era.registry");
     // ---- registry + WHOIS for the expired panel -------------------------
     // The registry's fixed one-year term sets (registration = expiry − 1y).
     let mut registry = Registry::new(RegistryConfig::default(), SimTime(0));
@@ -192,9 +209,12 @@ pub fn generate(config: EraConfig) -> EraWorld {
     }
     // Roll the registry through the whole era so every panel domain expires.
     registry.tick(SimTime::ERA_END);
+    drop(span_registry);
 
     // ---- emit observations ---------------------------------------------
+    let span_emit = telemetry.span("era.emit");
     let mut db = PassiveDb::new();
+    db.attach_metrics(&telemetry.registry);
     let mut expiry_days = HashMap::new();
     for spec in &mut specs {
         let tld = spec.name.rsplit('.').next().unwrap_or("").to_string();
@@ -235,8 +255,13 @@ pub fn generate(config: EraConfig) -> EraWorld {
         }
     }
 
+    drop(span_emit);
+
     // ---- resolver/registry consistency subsample ------------------------
-    let consistency = verify_consistency(&mut rng, &config, &db, &registry);
+    let consistency = {
+        let _span = telemetry.span("era.consistency");
+        verify_consistency(&mut rng, &config, &db, &registry, telemetry)
+    };
 
     EraWorld {
         db,
@@ -427,6 +452,7 @@ fn verify_consistency(
     config: &EraConfig,
     db: &PassiveDb,
     registry: &Registry,
+    telemetry: &Telemetry,
 ) -> (usize, usize) {
     use nxd_dns_sim::{Resolver, ResolverConfig, SimDns};
     use nxd_dns_wire::RType;
@@ -481,6 +507,7 @@ fn verify_consistency(
     }
     dns.tick(SimTime::ERA_END);
     let mut resolver = Resolver::new(ResolverConfig::default());
+    resolver.attach_metrics(&telemetry.registry);
     for _ in 0..config.resolver_checks.min(rows) {
         total += 1;
         let obs = db.row(rng.gen_range(0..rows));
@@ -618,6 +645,37 @@ mod tests {
             query::total_nx_responses(&a.db),
             query::total_nx_responses(&b.db)
         );
+    }
+
+    #[test]
+    fn instrumented_generation_reports_stages() {
+        let telemetry = Telemetry::wall();
+        let w = generate_with(
+            EraConfig {
+                nx_names: 500,
+                expired_panel: 30,
+                resolver_checks: 50,
+                ..Default::default()
+            },
+            &telemetry,
+        );
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.counter_total("passive_rows_ingested_total"),
+            w.db.row_count() as u64
+        );
+        assert_eq!(snap.counter_total("traffic_era_names_total"), 530);
+        // The consistency subsample runs through an attached resolver.
+        assert!(snap.counter_total("resolver_queries_total") >= 50);
+        let names: Vec<String> = telemetry
+            .tracer
+            .spans()
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
+        for stage in ["era.specs", "era.registry", "era.emit", "era.consistency"] {
+            assert!(names.contains(&stage.to_string()), "missing span {stage}");
+        }
     }
 
     #[test]

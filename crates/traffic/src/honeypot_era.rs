@@ -13,6 +13,7 @@ use std::net::Ipv4Addr;
 use nxd_dns_sim::{ReverseDns, SimTime};
 use nxd_honeypot::{Packet, Transport, WebFilter};
 use nxd_httpsim::HttpRequest;
+use nxd_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -74,6 +75,14 @@ fn scaled(v: u64, scale: u64) -> u64 {
 
 /// Generates the full honeypot world.
 pub fn generate(config: HoneypotConfig) -> HoneypotWorld {
+    generate_with(config, &Telemetry::wall())
+}
+
+/// Instrumented variant of [`generate`]: stage spans
+/// (`honeypot_era.baseline`, `honeypot_era.control`,
+/// `honeypot_era.captures`) on the tracer, and phase packet volumes on the
+/// registry as `traffic_honeypot_packets_total{phase=...}`.
+pub fn generate_with(config: HoneypotConfig, telemetry: &Telemetry) -> HoneypotWorld {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut reverse_dns = ReverseDns::new();
     IpPool::register_all(&mut reverse_dns);
@@ -107,16 +116,34 @@ pub fn generate(config: HoneypotConfig) -> HoneypotWorld {
         );
     }
 
-    let baseline_packets = gen_baseline(&mut rng, &config, &scanner_ips, monitor_ip);
-    let control_packets = gen_control(&mut rng, &config, &scanner_ips, monitor_ip, &acme_ips);
+    let baseline_packets = {
+        let _span = telemetry.span("honeypot_era.baseline");
+        gen_baseline(&mut rng, &config, &scanner_ips, monitor_ip)
+    };
+    let control_packets = {
+        let _span = telemetry.span("honeypot_era.control");
+        gen_control(&mut rng, &config, &scanner_ips, monitor_ip, &acme_ips)
+    };
 
-    let captures = TABLE1
-        .iter()
-        .map(|spec| DomainCapture {
-            spec: *spec,
-            packets: gen_domain(&mut rng, &config, spec, &scanner_ips, monitor_ip, &acme_ips),
-        })
-        .collect();
+    let captures: Vec<DomainCapture> = {
+        let _span = telemetry.span("honeypot_era.captures");
+        TABLE1
+            .iter()
+            .map(|spec| DomainCapture {
+                spec: *spec,
+                packets: gen_domain(&mut rng, &config, spec, &scanner_ips, monitor_ip, &acme_ips),
+            })
+            .collect()
+    };
+
+    let packets = |phase: &str| {
+        telemetry
+            .registry
+            .counter_with("traffic_honeypot_packets_total", &[("phase", phase)])
+    };
+    packets("no-hosting").add(baseline_packets.len() as u64);
+    packets("control").add(control_packets.len() as u64);
+    packets("hosting").add(captures.iter().map(|c| c.packets.len() as u64).sum());
 
     HoneypotWorld {
         captures,
@@ -723,6 +750,37 @@ mod tests {
             for p in &c.packets {
                 assert!((start..end).contains(&p.timestamp));
             }
+        }
+    }
+
+    #[test]
+    fn instrumented_generation_counts_phases() {
+        let telemetry = Telemetry::wall();
+        let w = generate_with(
+            HoneypotConfig {
+                scale: 2000,
+                ..Default::default()
+            },
+            &telemetry,
+        );
+        let snap = telemetry.snapshot();
+        let hosted: u64 = w.captures.iter().map(|c| c.packets.len() as u64).sum();
+        assert_eq!(
+            snap.counter_total("traffic_honeypot_packets_total"),
+            hosted + w.baseline_packets.len() as u64 + w.control_packets.len() as u64
+        );
+        let names: Vec<String> = telemetry
+            .tracer
+            .spans()
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
+        for stage in [
+            "honeypot_era.baseline",
+            "honeypot_era.control",
+            "honeypot_era.captures",
+        ] {
+            assert!(names.contains(&stage.to_string()), "missing span {stage}");
         }
     }
 

@@ -24,5 +24,6 @@ pub mod table1;
 
 pub use era::{EraConfig, EraWorld};
 pub use honeypot_era::{DomainCapture, HoneypotConfig, HoneypotWorld};
+pub use nxd_telemetry::Telemetry;
 pub use origin::{ExpiredDomain, OriginConfig, OriginTruth, OriginWorld};
 pub use table1::{DomainSpec, IN_APP_MIX, PAPER_GRAND_TOTAL, PAPER_TOTALS, TABLE1};

@@ -11,6 +11,7 @@
 //!
 //! | module | crate | role |
 //! |---|---|---|
+//! | [`telemetry`] | `nxd-telemetry` | metrics registry + span tracer |
 //! | [`wire`] | `nxd-dns-wire` | RFC 1035 protocol |
 //! | [`sim`] | `nxd-dns-sim` | registry lifecycle, hierarchy, resolver |
 //! | [`analyzer`] | `nxd-analyzer` | RFC-conformance rule engine |
@@ -38,5 +39,6 @@ pub use nxd_honeypot as honeypot;
 pub use nxd_httpsim as http;
 pub use nxd_passive_dns as passive;
 pub use nxd_squat as squat;
+pub use nxd_telemetry as telemetry;
 pub use nxd_traffic as traffic;
 pub use nxd_whois as whois;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detectors-fd963348c99e96fb.d: crates/bench/benches/detectors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetectors-fd963348c99e96fb.rmeta: crates/bench/benches/detectors.rs Cargo.toml
+
+crates/bench/benches/detectors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

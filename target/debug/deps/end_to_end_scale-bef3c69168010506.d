@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_scale-bef3c69168010506.d: tests/end_to_end_scale.rs
+
+/root/repo/target/debug/deps/end_to_end_scale-bef3c69168010506: tests/end_to_end_scale.rs
+
+tests/end_to_end_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_security-fbfd694436b54b50.d: tests/end_to_end_security.rs
+
+/root/repo/target/debug/deps/end_to_end_security-fbfd694436b54b50: tests/end_to_end_security.rs
+
+tests/end_to_end_security.rs:

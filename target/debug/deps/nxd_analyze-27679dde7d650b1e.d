@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nxd_analyze-27679dde7d650b1e.d: src/bin/nxd-analyze.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxd_analyze-27679dde7d650b1e.rmeta: src/bin/nxd-analyze.rs Cargo.toml
+
+src/bin/nxd-analyze.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nxd_analyze-f6597b16258186af.d: src/bin/nxd-analyze.rs
+
+/root/repo/target/debug/deps/nxd_analyze-f6597b16258186af: src/bin/nxd-analyze.rs
+
+src/bin/nxd-analyze.rs:

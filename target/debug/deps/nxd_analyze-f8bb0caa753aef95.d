@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nxd_analyze-f8bb0caa753aef95.d: src/bin/nxd-analyze.rs
+
+/root/repo/target/debug/deps/nxd_analyze-f8bb0caa753aef95: src/bin/nxd-analyze.rs
+
+src/bin/nxd-analyze.rs:

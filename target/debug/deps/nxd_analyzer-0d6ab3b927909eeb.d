@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nxd_analyzer-0d6ab3b927909eeb.d: crates/analyzer/src/lib.rs crates/analyzer/src/diagnostic.rs crates/analyzer/src/rules.rs crates/analyzer/src/trace.rs crates/analyzer/src/wire.rs crates/analyzer/src/zone.rs
+
+/root/repo/target/debug/deps/libnxd_analyzer-0d6ab3b927909eeb.rlib: crates/analyzer/src/lib.rs crates/analyzer/src/diagnostic.rs crates/analyzer/src/rules.rs crates/analyzer/src/trace.rs crates/analyzer/src/wire.rs crates/analyzer/src/zone.rs
+
+/root/repo/target/debug/deps/libnxd_analyzer-0d6ab3b927909eeb.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/diagnostic.rs crates/analyzer/src/rules.rs crates/analyzer/src/trace.rs crates/analyzer/src/wire.rs crates/analyzer/src/zone.rs
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/diagnostic.rs:
+crates/analyzer/src/rules.rs:
+crates/analyzer/src/trace.rs:
+crates/analyzer/src/wire.rs:
+crates/analyzer/src/zone.rs:

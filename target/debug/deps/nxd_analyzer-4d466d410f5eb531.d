@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nxd_analyzer-4d466d410f5eb531.d: crates/analyzer/src/lib.rs crates/analyzer/src/diagnostic.rs crates/analyzer/src/rules.rs crates/analyzer/src/trace.rs crates/analyzer/src/wire.rs crates/analyzer/src/zone.rs
+
+/root/repo/target/debug/deps/nxd_analyzer-4d466d410f5eb531: crates/analyzer/src/lib.rs crates/analyzer/src/diagnostic.rs crates/analyzer/src/rules.rs crates/analyzer/src/trace.rs crates/analyzer/src/wire.rs crates/analyzer/src/zone.rs
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/diagnostic.rs:
+crates/analyzer/src/rules.rs:
+crates/analyzer/src/trace.rs:
+crates/analyzer/src/wire.rs:
+crates/analyzer/src/zone.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nxd_analyzer-fca91e8d8c8f95e1.d: crates/analyzer/src/lib.rs crates/analyzer/src/diagnostic.rs crates/analyzer/src/rules.rs crates/analyzer/src/trace.rs crates/analyzer/src/wire.rs crates/analyzer/src/zone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxd_analyzer-fca91e8d8c8f95e1.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/diagnostic.rs crates/analyzer/src/rules.rs crates/analyzer/src/trace.rs crates/analyzer/src/wire.rs crates/analyzer/src/zone.rs Cargo.toml
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/diagnostic.rs:
+crates/analyzer/src/rules.rs:
+crates/analyzer/src/trace.rs:
+crates/analyzer/src/wire.rs:
+crates/analyzer/src/zone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

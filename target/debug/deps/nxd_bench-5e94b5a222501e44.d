@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nxd_bench-5e94b5a222501e44.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/nxd_bench-5e94b5a222501e44: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

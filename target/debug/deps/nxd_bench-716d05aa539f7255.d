@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nxd_bench-716d05aa539f7255.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxd_bench-716d05aa539f7255.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

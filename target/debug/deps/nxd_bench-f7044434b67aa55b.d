@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nxd_bench-f7044434b67aa55b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnxd_bench-f7044434b67aa55b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnxd_bench-f7044434b67aa55b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/nxd_core-39ba9a10ed446ab8.d: crates/core/src/lib.rs crates/core/src/exposure.rs crates/core/src/extensions.rs crates/core/src/market.rs crates/core/src/origin.rs crates/core/src/report.rs crates/core/src/scale.rs crates/core/src/security.rs crates/core/src/selection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxd_core-39ba9a10ed446ab8.rmeta: crates/core/src/lib.rs crates/core/src/exposure.rs crates/core/src/extensions.rs crates/core/src/market.rs crates/core/src/origin.rs crates/core/src/report.rs crates/core/src/scale.rs crates/core/src/security.rs crates/core/src/selection.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/exposure.rs:
+crates/core/src/extensions.rs:
+crates/core/src/market.rs:
+crates/core/src/origin.rs:
+crates/core/src/report.rs:
+crates/core/src/scale.rs:
+crates/core/src/security.rs:
+crates/core/src/selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

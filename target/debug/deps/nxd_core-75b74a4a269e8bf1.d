@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nxd_core-75b74a4a269e8bf1.d: crates/core/src/lib.rs crates/core/src/exposure.rs crates/core/src/extensions.rs crates/core/src/market.rs crates/core/src/origin.rs crates/core/src/report.rs crates/core/src/scale.rs crates/core/src/security.rs crates/core/src/selection.rs
+
+/root/repo/target/debug/deps/nxd_core-75b74a4a269e8bf1: crates/core/src/lib.rs crates/core/src/exposure.rs crates/core/src/extensions.rs crates/core/src/market.rs crates/core/src/origin.rs crates/core/src/report.rs crates/core/src/scale.rs crates/core/src/security.rs crates/core/src/selection.rs
+
+crates/core/src/lib.rs:
+crates/core/src/exposure.rs:
+crates/core/src/extensions.rs:
+crates/core/src/market.rs:
+crates/core/src/origin.rs:
+crates/core/src/report.rs:
+crates/core/src/scale.rs:
+crates/core/src/security.rs:
+crates/core/src/selection.rs:

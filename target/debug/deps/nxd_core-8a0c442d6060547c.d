@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nxd_core-8a0c442d6060547c.d: crates/core/src/lib.rs crates/core/src/exposure.rs crates/core/src/extensions.rs crates/core/src/market.rs crates/core/src/origin.rs crates/core/src/report.rs crates/core/src/scale.rs crates/core/src/security.rs crates/core/src/selection.rs
+
+/root/repo/target/debug/deps/libnxd_core-8a0c442d6060547c.rlib: crates/core/src/lib.rs crates/core/src/exposure.rs crates/core/src/extensions.rs crates/core/src/market.rs crates/core/src/origin.rs crates/core/src/report.rs crates/core/src/scale.rs crates/core/src/security.rs crates/core/src/selection.rs
+
+/root/repo/target/debug/deps/libnxd_core-8a0c442d6060547c.rmeta: crates/core/src/lib.rs crates/core/src/exposure.rs crates/core/src/extensions.rs crates/core/src/market.rs crates/core/src/origin.rs crates/core/src/report.rs crates/core/src/scale.rs crates/core/src/security.rs crates/core/src/selection.rs
+
+crates/core/src/lib.rs:
+crates/core/src/exposure.rs:
+crates/core/src/extensions.rs:
+crates/core/src/market.rs:
+crates/core/src/origin.rs:
+crates/core/src/report.rs:
+crates/core/src/scale.rs:
+crates/core/src/security.rs:
+crates/core/src/selection.rs:

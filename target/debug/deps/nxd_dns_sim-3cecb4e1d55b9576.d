@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nxd_dns_sim-3cecb4e1d55b9576.d: crates/dns-sim/src/lib.rs crates/dns-sim/src/hierarchy.rs crates/dns-sim/src/hijack.rs crates/dns-sim/src/registry.rs crates/dns-sim/src/resolver.rs crates/dns-sim/src/reverse.rs crates/dns-sim/src/sinkhole.rs crates/dns-sim/src/time.rs crates/dns-sim/src/transport.rs crates/dns-sim/src/zone.rs crates/dns-sim/src/zonefile.rs
+
+/root/repo/target/debug/deps/nxd_dns_sim-3cecb4e1d55b9576: crates/dns-sim/src/lib.rs crates/dns-sim/src/hierarchy.rs crates/dns-sim/src/hijack.rs crates/dns-sim/src/registry.rs crates/dns-sim/src/resolver.rs crates/dns-sim/src/reverse.rs crates/dns-sim/src/sinkhole.rs crates/dns-sim/src/time.rs crates/dns-sim/src/transport.rs crates/dns-sim/src/zone.rs crates/dns-sim/src/zonefile.rs
+
+crates/dns-sim/src/lib.rs:
+crates/dns-sim/src/hierarchy.rs:
+crates/dns-sim/src/hijack.rs:
+crates/dns-sim/src/registry.rs:
+crates/dns-sim/src/resolver.rs:
+crates/dns-sim/src/reverse.rs:
+crates/dns-sim/src/sinkhole.rs:
+crates/dns-sim/src/time.rs:
+crates/dns-sim/src/transport.rs:
+crates/dns-sim/src/zone.rs:
+crates/dns-sim/src/zonefile.rs:

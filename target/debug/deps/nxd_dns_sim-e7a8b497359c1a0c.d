@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/nxd_dns_sim-e7a8b497359c1a0c.d: crates/dns-sim/src/lib.rs crates/dns-sim/src/hierarchy.rs crates/dns-sim/src/hijack.rs crates/dns-sim/src/registry.rs crates/dns-sim/src/resolver.rs crates/dns-sim/src/reverse.rs crates/dns-sim/src/sinkhole.rs crates/dns-sim/src/time.rs crates/dns-sim/src/transport.rs crates/dns-sim/src/zone.rs crates/dns-sim/src/zonefile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxd_dns_sim-e7a8b497359c1a0c.rmeta: crates/dns-sim/src/lib.rs crates/dns-sim/src/hierarchy.rs crates/dns-sim/src/hijack.rs crates/dns-sim/src/registry.rs crates/dns-sim/src/resolver.rs crates/dns-sim/src/reverse.rs crates/dns-sim/src/sinkhole.rs crates/dns-sim/src/time.rs crates/dns-sim/src/transport.rs crates/dns-sim/src/zone.rs crates/dns-sim/src/zonefile.rs Cargo.toml
+
+crates/dns-sim/src/lib.rs:
+crates/dns-sim/src/hierarchy.rs:
+crates/dns-sim/src/hijack.rs:
+crates/dns-sim/src/registry.rs:
+crates/dns-sim/src/resolver.rs:
+crates/dns-sim/src/reverse.rs:
+crates/dns-sim/src/sinkhole.rs:
+crates/dns-sim/src/time.rs:
+crates/dns-sim/src/transport.rs:
+crates/dns-sim/src/zone.rs:
+crates/dns-sim/src/zonefile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

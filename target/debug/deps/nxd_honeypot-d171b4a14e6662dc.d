@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/nxd_honeypot-d171b4a14e6662dc.d: crates/honeypot/src/lib.rs crates/honeypot/src/categorize.rs crates/honeypot/src/filter.rs crates/honeypot/src/landing.rs crates/honeypot/src/packet.rs crates/honeypot/src/pcap.rs crates/honeypot/src/recorder.rs crates/honeypot/src/responder.rs crates/honeypot/src/vulndb.rs crates/honeypot/src/webfilter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxd_honeypot-d171b4a14e6662dc.rmeta: crates/honeypot/src/lib.rs crates/honeypot/src/categorize.rs crates/honeypot/src/filter.rs crates/honeypot/src/landing.rs crates/honeypot/src/packet.rs crates/honeypot/src/pcap.rs crates/honeypot/src/recorder.rs crates/honeypot/src/responder.rs crates/honeypot/src/vulndb.rs crates/honeypot/src/webfilter.rs Cargo.toml
+
+crates/honeypot/src/lib.rs:
+crates/honeypot/src/categorize.rs:
+crates/honeypot/src/filter.rs:
+crates/honeypot/src/landing.rs:
+crates/honeypot/src/packet.rs:
+crates/honeypot/src/pcap.rs:
+crates/honeypot/src/recorder.rs:
+crates/honeypot/src/responder.rs:
+crates/honeypot/src/vulndb.rs:
+crates/honeypot/src/webfilter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nxd_passive_dns-939dd5ee5d5dabd3.d: crates/passive-dns/src/lib.rs crates/passive-dns/src/federation.rs crates/passive-dns/src/intern.rs crates/passive-dns/src/query.rs crates/passive-dns/src/sensor.rs crates/passive-dns/src/sie.rs crates/passive-dns/src/store.rs
+
+/root/repo/target/debug/deps/libnxd_passive_dns-939dd5ee5d5dabd3.rlib: crates/passive-dns/src/lib.rs crates/passive-dns/src/federation.rs crates/passive-dns/src/intern.rs crates/passive-dns/src/query.rs crates/passive-dns/src/sensor.rs crates/passive-dns/src/sie.rs crates/passive-dns/src/store.rs
+
+/root/repo/target/debug/deps/libnxd_passive_dns-939dd5ee5d5dabd3.rmeta: crates/passive-dns/src/lib.rs crates/passive-dns/src/federation.rs crates/passive-dns/src/intern.rs crates/passive-dns/src/query.rs crates/passive-dns/src/sensor.rs crates/passive-dns/src/sie.rs crates/passive-dns/src/store.rs
+
+crates/passive-dns/src/lib.rs:
+crates/passive-dns/src/federation.rs:
+crates/passive-dns/src/intern.rs:
+crates/passive-dns/src/query.rs:
+crates/passive-dns/src/sensor.rs:
+crates/passive-dns/src/sie.rs:
+crates/passive-dns/src/store.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nxd_passive_dns-c782d58ab00fc213.d: crates/passive-dns/src/lib.rs crates/passive-dns/src/federation.rs crates/passive-dns/src/intern.rs crates/passive-dns/src/query.rs crates/passive-dns/src/sensor.rs crates/passive-dns/src/sie.rs crates/passive-dns/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxd_passive_dns-c782d58ab00fc213.rmeta: crates/passive-dns/src/lib.rs crates/passive-dns/src/federation.rs crates/passive-dns/src/intern.rs crates/passive-dns/src/query.rs crates/passive-dns/src/sensor.rs crates/passive-dns/src/sie.rs crates/passive-dns/src/store.rs Cargo.toml
+
+crates/passive-dns/src/lib.rs:
+crates/passive-dns/src/federation.rs:
+crates/passive-dns/src/intern.rs:
+crates/passive-dns/src/query.rs:
+crates/passive-dns/src/sensor.rs:
+crates/passive-dns/src/sie.rs:
+crates/passive-dns/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nxd_telemetry-919e666b9a642cee.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/nxd_telemetry-919e666b9a642cee: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/span.rs:

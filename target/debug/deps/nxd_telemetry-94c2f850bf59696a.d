@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nxd_telemetry-94c2f850bf59696a.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libnxd_telemetry-94c2f850bf59696a.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libnxd_telemetry-94c2f850bf59696a.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/span.rs:

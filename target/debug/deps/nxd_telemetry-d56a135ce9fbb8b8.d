@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nxd_telemetry-d56a135ce9fbb8b8.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxd_telemetry-d56a135ce9fbb8b8.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nxd_traffic-42153cd0357b836f.d: crates/traffic/src/lib.rs crates/traffic/src/actors.rs crates/traffic/src/botnet.rs crates/traffic/src/era.rs crates/traffic/src/honeypot_era.rs crates/traffic/src/origin.rs crates/traffic/src/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxd_traffic-42153cd0357b836f.rmeta: crates/traffic/src/lib.rs crates/traffic/src/actors.rs crates/traffic/src/botnet.rs crates/traffic/src/era.rs crates/traffic/src/honeypot_era.rs crates/traffic/src/origin.rs crates/traffic/src/table1.rs Cargo.toml
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/actors.rs:
+crates/traffic/src/botnet.rs:
+crates/traffic/src/era.rs:
+crates/traffic/src/honeypot_era.rs:
+crates/traffic/src/origin.rs:
+crates/traffic/src/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nxd_traffic-45985961eb4f4f7b.d: crates/traffic/src/lib.rs crates/traffic/src/actors.rs crates/traffic/src/botnet.rs crates/traffic/src/era.rs crates/traffic/src/honeypot_era.rs crates/traffic/src/origin.rs crates/traffic/src/table1.rs
+
+/root/repo/target/debug/deps/nxd_traffic-45985961eb4f4f7b: crates/traffic/src/lib.rs crates/traffic/src/actors.rs crates/traffic/src/botnet.rs crates/traffic/src/era.rs crates/traffic/src/honeypot_era.rs crates/traffic/src/origin.rs crates/traffic/src/table1.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/actors.rs:
+crates/traffic/src/botnet.rs:
+crates/traffic/src/era.rs:
+crates/traffic/src/honeypot_era.rs:
+crates/traffic/src/origin.rs:
+crates/traffic/src/table1.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nxd_traffic-e12722bd9354e798.d: crates/traffic/src/lib.rs crates/traffic/src/actors.rs crates/traffic/src/botnet.rs crates/traffic/src/era.rs crates/traffic/src/honeypot_era.rs crates/traffic/src/origin.rs crates/traffic/src/table1.rs
+
+/root/repo/target/debug/deps/libnxd_traffic-e12722bd9354e798.rlib: crates/traffic/src/lib.rs crates/traffic/src/actors.rs crates/traffic/src/botnet.rs crates/traffic/src/era.rs crates/traffic/src/honeypot_era.rs crates/traffic/src/origin.rs crates/traffic/src/table1.rs
+
+/root/repo/target/debug/deps/libnxd_traffic-e12722bd9354e798.rmeta: crates/traffic/src/lib.rs crates/traffic/src/actors.rs crates/traffic/src/botnet.rs crates/traffic/src/era.rs crates/traffic/src/honeypot_era.rs crates/traffic/src/origin.rs crates/traffic/src/table1.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/actors.rs:
+crates/traffic/src/botnet.rs:
+crates/traffic/src/era.rs:
+crates/traffic/src/honeypot_era.rs:
+crates/traffic/src/origin.rs:
+crates/traffic/src/table1.rs:

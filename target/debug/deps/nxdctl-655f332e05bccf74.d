@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nxdctl-655f332e05bccf74.d: src/bin/nxdctl.rs
+
+/root/repo/target/debug/deps/nxdctl-655f332e05bccf74: src/bin/nxdctl.rs
+
+src/bin/nxdctl.rs:

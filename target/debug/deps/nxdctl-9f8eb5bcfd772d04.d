@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nxdctl-9f8eb5bcfd772d04.d: src/bin/nxdctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxdctl-9f8eb5bcfd772d04.rmeta: src/bin/nxdctl.rs Cargo.toml
+
+src/bin/nxdctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nxdctl-aec63e15d2be3188.d: src/bin/nxdctl.rs
+
+/root/repo/target/debug/deps/nxdctl-aec63e15d2be3188: src/bin/nxdctl.rs
+
+src/bin/nxdctl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nxdctl-bed7c172c011acd0.d: src/bin/nxdctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxdctl-bed7c172c011acd0.rmeta: src/bin/nxdctl.rs Cargo.toml
+
+src/bin/nxdctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

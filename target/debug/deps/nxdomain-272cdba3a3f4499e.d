@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nxdomain-272cdba3a3f4499e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxdomain-272cdba3a3f4499e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nxdomain-34eadc4a9e0c3340.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnxdomain-34eadc4a9e0c3340.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnxdomain-34eadc4a9e0c3340.rmeta: src/lib.rs
+
+src/lib.rs:

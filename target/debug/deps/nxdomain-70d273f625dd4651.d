@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nxdomain-70d273f625dd4651.d: src/lib.rs
+
+/root/repo/target/debug/deps/nxdomain-70d273f625dd4651: src/lib.rs
+
+src/lib.rs:

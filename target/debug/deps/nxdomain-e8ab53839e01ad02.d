@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nxdomain-e8ab53839e01ad02.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnxdomain-e8ab53839e01ad02.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

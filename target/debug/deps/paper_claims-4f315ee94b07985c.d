@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-4f315ee94b07985c.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-4f315ee94b07985c: tests/paper_claims.rs
+
+tests/paper_claims.rs:

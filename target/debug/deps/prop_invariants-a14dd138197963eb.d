@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_invariants-a14dd138197963eb.d: tests/prop_invariants.rs
+
+/root/repo/target/debug/deps/prop_invariants-a14dd138197963eb: tests/prop_invariants.rs
+
+tests/prop_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_invariants-a6358c8c62a9223c.d: tests/prop_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_invariants-a6358c8c62a9223c.rmeta: tests/prop_invariants.rs Cargo.toml
+
+tests/prop_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

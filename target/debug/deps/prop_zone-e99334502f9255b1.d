@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_zone-e99334502f9255b1.d: crates/dns-sim/tests/prop_zone.rs
+
+/root/repo/target/debug/deps/prop_zone-e99334502f9255b1: crates/dns-sim/tests/prop_zone.rs
+
+crates/dns-sim/tests/prop_zone.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_zone-f4a06cef220d1ca4.d: crates/dns-sim/tests/prop_zone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_zone-f4a06cef220d1ca4.rmeta: crates/dns-sim/tests/prop_zone.rs Cargo.toml
+
+crates/dns-sim/tests/prop_zone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

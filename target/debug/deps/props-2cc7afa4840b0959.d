@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-2cc7afa4840b0959.d: crates/analyzer/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-2cc7afa4840b0959.rmeta: crates/analyzer/tests/props.rs Cargo.toml
+
+crates/analyzer/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-5a0e250f61f9d065.d: crates/analyzer/tests/props.rs
+
+/root/repo/target/debug/deps/props-5a0e250f61f9d065: crates/analyzer/tests/props.rs
+
+crates/analyzer/tests/props.rs:

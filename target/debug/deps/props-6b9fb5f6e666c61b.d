@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-6b9fb5f6e666c61b.d: crates/telemetry/tests/props.rs
+
+/root/repo/target/debug/deps/props-6b9fb5f6e666c61b: crates/telemetry/tests/props.rs
+
+crates/telemetry/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-b2110c0a077ba580.d: crates/telemetry/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-b2110c0a077ba580.rmeta: crates/telemetry/tests/props.rs Cargo.toml
+
+crates/telemetry/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol-5c072be366546b6f.d: crates/bench/benches/protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol-5c072be366546b6f.rmeta: crates/bench/benches/protocol.rs Cargo.toml
+
+crates/bench/benches/protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-6b27a3eda318e57e.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-6b27a3eda318e57e: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7fbc360f2bbd45d4.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-7fbc360f2bbd45d4: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strict-2cc506e4dbace694.d: crates/analyzer/tests/strict.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrict-2cc506e4dbace694.rmeta: crates/analyzer/tests/strict.rs Cargo.toml
+
+crates/analyzer/tests/strict.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strict-58a618d6afccff78.d: crates/analyzer/tests/strict.rs
+
+/root/repo/target/debug/deps/strict-58a618d6afccff78: crates/analyzer/tests/strict.rs
+
+crates/analyzer/tests/strict.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry-6418e067fafd2691.d: crates/bench/benches/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-6418e067fafd2691.rmeta: crates/bench/benches/telemetry.rs Cargo.toml
+
+crates/bench/benches/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dga_hunt-2bdee0ee16ec9e0f.d: examples/dga_hunt.rs
+
+/root/repo/target/debug/examples/dga_hunt-2bdee0ee16ec9e0f: examples/dga_hunt.rs
+
+examples/dga_hunt.rs:

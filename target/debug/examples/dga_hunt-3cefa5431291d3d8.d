@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dga_hunt-3cefa5431291d3d8.d: examples/dga_hunt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdga_hunt-3cefa5431291d3d8.rmeta: examples/dga_hunt.rs Cargo.toml
+
+examples/dga_hunt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

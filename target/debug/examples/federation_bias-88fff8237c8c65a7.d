@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/federation_bias-88fff8237c8c65a7.d: examples/federation_bias.rs
+
+/root/repo/target/debug/examples/federation_bias-88fff8237c8c65a7: examples/federation_bias.rs
+
+examples/federation_bias.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/federation_bias-910f882159c3dcd6.d: examples/federation_bias.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfederation_bias-910f882159c3dcd6.rmeta: examples/federation_bias.rs Cargo.toml
+
+examples/federation_bias.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

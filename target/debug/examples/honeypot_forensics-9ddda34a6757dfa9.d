@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/honeypot_forensics-9ddda34a6757dfa9.d: examples/honeypot_forensics.rs
+
+/root/repo/target/debug/examples/honeypot_forensics-9ddda34a6757dfa9: examples/honeypot_forensics.rs
+
+examples/honeypot_forensics.rs:

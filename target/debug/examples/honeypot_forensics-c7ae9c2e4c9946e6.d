@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/honeypot_forensics-c7ae9c2e4c9946e6.d: examples/honeypot_forensics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhoneypot_forensics-c7ae9c2e4c9946e6.rmeta: examples/honeypot_forensics.rs Cargo.toml
+
+examples/honeypot_forensics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lifecycle_watch-6ce5101717f9f9fc.d: examples/lifecycle_watch.rs
+
+/root/repo/target/debug/examples/lifecycle_watch-6ce5101717f9f9fc: examples/lifecycle_watch.rs
+
+examples/lifecycle_watch.rs:

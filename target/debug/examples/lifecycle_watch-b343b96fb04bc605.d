@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lifecycle_watch-b343b96fb04bc605.d: examples/lifecycle_watch.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblifecycle_watch-b343b96fb04bc605.rmeta: examples/lifecycle_watch.rs Cargo.toml
+
+examples/lifecycle_watch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

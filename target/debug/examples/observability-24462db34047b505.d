@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/observability-24462db34047b505.d: examples/observability.rs Cargo.toml
+
+/root/repo/target/debug/examples/libobservability-24462db34047b505.rmeta: examples/observability.rs Cargo.toml
+
+examples/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/observability-567ecf6c6dbb420b.d: examples/observability.rs
+
+/root/repo/target/debug/examples/observability-567ecf6c6dbb420b: examples/observability.rs
+
+examples/observability.rs:

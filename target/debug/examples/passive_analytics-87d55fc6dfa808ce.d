@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/passive_analytics-87d55fc6dfa808ce.d: examples/passive_analytics.rs
+
+/root/repo/target/debug/examples/passive_analytics-87d55fc6dfa808ce: examples/passive_analytics.rs
+
+examples/passive_analytics.rs:

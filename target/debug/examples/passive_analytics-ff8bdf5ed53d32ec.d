@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/passive_analytics-ff8bdf5ed53d32ec.d: examples/passive_analytics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpassive_analytics-ff8bdf5ed53d32ec.rmeta: examples/passive_analytics.rs Cargo.toml
+
+examples/passive_analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-25cbcc36b37319d7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-25cbcc36b37319d7: examples/quickstart.rs
+
+examples/quickstart.rs:

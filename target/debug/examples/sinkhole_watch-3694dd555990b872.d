@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sinkhole_watch-3694dd555990b872.d: examples/sinkhole_watch.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsinkhole_watch-3694dd555990b872.rmeta: examples/sinkhole_watch.rs Cargo.toml
+
+examples/sinkhole_watch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

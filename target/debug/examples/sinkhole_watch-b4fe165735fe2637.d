@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sinkhole_watch-b4fe165735fe2637.d: examples/sinkhole_watch.rs
+
+/root/repo/target/debug/examples/sinkhole_watch-b4fe165735fe2637: examples/sinkhole_watch.rs
+
+examples/sinkhole_watch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/squat_audit-ca726fcd768aebfb.d: examples/squat_audit.rs
+
+/root/repo/target/debug/examples/squat_audit-ca726fcd768aebfb: examples/squat_audit.rs
+
+examples/squat_audit.rs:

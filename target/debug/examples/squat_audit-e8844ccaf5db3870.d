@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/squat_audit-e8844ccaf5db3870.d: examples/squat_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsquat_audit-e8844ccaf5db3870.rmeta: examples/squat_audit.rs Cargo.toml
+
+examples/squat_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

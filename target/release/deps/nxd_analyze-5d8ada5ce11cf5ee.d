@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nxd_analyze-5d8ada5ce11cf5ee.d: src/bin/nxd-analyze.rs
+
+/root/repo/target/release/deps/nxd_analyze-5d8ada5ce11cf5ee: src/bin/nxd-analyze.rs
+
+src/bin/nxd-analyze.rs:

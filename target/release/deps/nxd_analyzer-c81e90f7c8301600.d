@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/nxd_analyzer-c81e90f7c8301600.d: crates/analyzer/src/lib.rs crates/analyzer/src/diagnostic.rs crates/analyzer/src/rules.rs crates/analyzer/src/trace.rs crates/analyzer/src/wire.rs crates/analyzer/src/zone.rs
+
+/root/repo/target/release/deps/libnxd_analyzer-c81e90f7c8301600.rlib: crates/analyzer/src/lib.rs crates/analyzer/src/diagnostic.rs crates/analyzer/src/rules.rs crates/analyzer/src/trace.rs crates/analyzer/src/wire.rs crates/analyzer/src/zone.rs
+
+/root/repo/target/release/deps/libnxd_analyzer-c81e90f7c8301600.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/diagnostic.rs crates/analyzer/src/rules.rs crates/analyzer/src/trace.rs crates/analyzer/src/wire.rs crates/analyzer/src/zone.rs
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/diagnostic.rs:
+crates/analyzer/src/rules.rs:
+crates/analyzer/src/trace.rs:
+crates/analyzer/src/wire.rs:
+crates/analyzer/src/zone.rs:

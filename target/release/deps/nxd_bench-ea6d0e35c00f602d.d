@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nxd_bench-ea6d0e35c00f602d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnxd_bench-ea6d0e35c00f602d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnxd_bench-ea6d0e35c00f602d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/nxd_core-1dc2db84a3467f58.d: crates/core/src/lib.rs crates/core/src/exposure.rs crates/core/src/extensions.rs crates/core/src/market.rs crates/core/src/origin.rs crates/core/src/report.rs crates/core/src/scale.rs crates/core/src/security.rs crates/core/src/selection.rs
+
+/root/repo/target/release/deps/libnxd_core-1dc2db84a3467f58.rlib: crates/core/src/lib.rs crates/core/src/exposure.rs crates/core/src/extensions.rs crates/core/src/market.rs crates/core/src/origin.rs crates/core/src/report.rs crates/core/src/scale.rs crates/core/src/security.rs crates/core/src/selection.rs
+
+/root/repo/target/release/deps/libnxd_core-1dc2db84a3467f58.rmeta: crates/core/src/lib.rs crates/core/src/exposure.rs crates/core/src/extensions.rs crates/core/src/market.rs crates/core/src/origin.rs crates/core/src/report.rs crates/core/src/scale.rs crates/core/src/security.rs crates/core/src/selection.rs
+
+crates/core/src/lib.rs:
+crates/core/src/exposure.rs:
+crates/core/src/extensions.rs:
+crates/core/src/market.rs:
+crates/core/src/origin.rs:
+crates/core/src/report.rs:
+crates/core/src/scale.rs:
+crates/core/src/security.rs:
+crates/core/src/selection.rs:

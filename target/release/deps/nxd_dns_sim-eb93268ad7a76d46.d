@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/nxd_dns_sim-eb93268ad7a76d46.d: crates/dns-sim/src/lib.rs crates/dns-sim/src/hierarchy.rs crates/dns-sim/src/hijack.rs crates/dns-sim/src/registry.rs crates/dns-sim/src/resolver.rs crates/dns-sim/src/reverse.rs crates/dns-sim/src/sinkhole.rs crates/dns-sim/src/time.rs crates/dns-sim/src/transport.rs crates/dns-sim/src/zone.rs crates/dns-sim/src/zonefile.rs
+
+/root/repo/target/release/deps/libnxd_dns_sim-eb93268ad7a76d46.rlib: crates/dns-sim/src/lib.rs crates/dns-sim/src/hierarchy.rs crates/dns-sim/src/hijack.rs crates/dns-sim/src/registry.rs crates/dns-sim/src/resolver.rs crates/dns-sim/src/reverse.rs crates/dns-sim/src/sinkhole.rs crates/dns-sim/src/time.rs crates/dns-sim/src/transport.rs crates/dns-sim/src/zone.rs crates/dns-sim/src/zonefile.rs
+
+/root/repo/target/release/deps/libnxd_dns_sim-eb93268ad7a76d46.rmeta: crates/dns-sim/src/lib.rs crates/dns-sim/src/hierarchy.rs crates/dns-sim/src/hijack.rs crates/dns-sim/src/registry.rs crates/dns-sim/src/resolver.rs crates/dns-sim/src/reverse.rs crates/dns-sim/src/sinkhole.rs crates/dns-sim/src/time.rs crates/dns-sim/src/transport.rs crates/dns-sim/src/zone.rs crates/dns-sim/src/zonefile.rs
+
+crates/dns-sim/src/lib.rs:
+crates/dns-sim/src/hierarchy.rs:
+crates/dns-sim/src/hijack.rs:
+crates/dns-sim/src/registry.rs:
+crates/dns-sim/src/resolver.rs:
+crates/dns-sim/src/reverse.rs:
+crates/dns-sim/src/sinkhole.rs:
+crates/dns-sim/src/time.rs:
+crates/dns-sim/src/transport.rs:
+crates/dns-sim/src/zone.rs:
+crates/dns-sim/src/zonefile.rs:

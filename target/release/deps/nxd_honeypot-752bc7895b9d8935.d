@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/nxd_honeypot-752bc7895b9d8935.d: crates/honeypot/src/lib.rs crates/honeypot/src/categorize.rs crates/honeypot/src/filter.rs crates/honeypot/src/landing.rs crates/honeypot/src/packet.rs crates/honeypot/src/pcap.rs crates/honeypot/src/recorder.rs crates/honeypot/src/responder.rs crates/honeypot/src/vulndb.rs crates/honeypot/src/webfilter.rs
+
+/root/repo/target/release/deps/libnxd_honeypot-752bc7895b9d8935.rlib: crates/honeypot/src/lib.rs crates/honeypot/src/categorize.rs crates/honeypot/src/filter.rs crates/honeypot/src/landing.rs crates/honeypot/src/packet.rs crates/honeypot/src/pcap.rs crates/honeypot/src/recorder.rs crates/honeypot/src/responder.rs crates/honeypot/src/vulndb.rs crates/honeypot/src/webfilter.rs
+
+/root/repo/target/release/deps/libnxd_honeypot-752bc7895b9d8935.rmeta: crates/honeypot/src/lib.rs crates/honeypot/src/categorize.rs crates/honeypot/src/filter.rs crates/honeypot/src/landing.rs crates/honeypot/src/packet.rs crates/honeypot/src/pcap.rs crates/honeypot/src/recorder.rs crates/honeypot/src/responder.rs crates/honeypot/src/vulndb.rs crates/honeypot/src/webfilter.rs
+
+crates/honeypot/src/lib.rs:
+crates/honeypot/src/categorize.rs:
+crates/honeypot/src/filter.rs:
+crates/honeypot/src/landing.rs:
+crates/honeypot/src/packet.rs:
+crates/honeypot/src/pcap.rs:
+crates/honeypot/src/recorder.rs:
+crates/honeypot/src/responder.rs:
+crates/honeypot/src/vulndb.rs:
+crates/honeypot/src/webfilter.rs:

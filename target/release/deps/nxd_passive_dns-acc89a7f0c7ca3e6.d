@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/nxd_passive_dns-acc89a7f0c7ca3e6.d: crates/passive-dns/src/lib.rs crates/passive-dns/src/federation.rs crates/passive-dns/src/intern.rs crates/passive-dns/src/query.rs crates/passive-dns/src/sensor.rs crates/passive-dns/src/sie.rs crates/passive-dns/src/store.rs
+
+/root/repo/target/release/deps/libnxd_passive_dns-acc89a7f0c7ca3e6.rlib: crates/passive-dns/src/lib.rs crates/passive-dns/src/federation.rs crates/passive-dns/src/intern.rs crates/passive-dns/src/query.rs crates/passive-dns/src/sensor.rs crates/passive-dns/src/sie.rs crates/passive-dns/src/store.rs
+
+/root/repo/target/release/deps/libnxd_passive_dns-acc89a7f0c7ca3e6.rmeta: crates/passive-dns/src/lib.rs crates/passive-dns/src/federation.rs crates/passive-dns/src/intern.rs crates/passive-dns/src/query.rs crates/passive-dns/src/sensor.rs crates/passive-dns/src/sie.rs crates/passive-dns/src/store.rs
+
+crates/passive-dns/src/lib.rs:
+crates/passive-dns/src/federation.rs:
+crates/passive-dns/src/intern.rs:
+crates/passive-dns/src/query.rs:
+crates/passive-dns/src/sensor.rs:
+crates/passive-dns/src/sie.rs:
+crates/passive-dns/src/store.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/nxd_traffic-b135bce0512d3293.d: crates/traffic/src/lib.rs crates/traffic/src/actors.rs crates/traffic/src/botnet.rs crates/traffic/src/era.rs crates/traffic/src/honeypot_era.rs crates/traffic/src/origin.rs crates/traffic/src/table1.rs
+
+/root/repo/target/release/deps/libnxd_traffic-b135bce0512d3293.rlib: crates/traffic/src/lib.rs crates/traffic/src/actors.rs crates/traffic/src/botnet.rs crates/traffic/src/era.rs crates/traffic/src/honeypot_era.rs crates/traffic/src/origin.rs crates/traffic/src/table1.rs
+
+/root/repo/target/release/deps/libnxd_traffic-b135bce0512d3293.rmeta: crates/traffic/src/lib.rs crates/traffic/src/actors.rs crates/traffic/src/botnet.rs crates/traffic/src/era.rs crates/traffic/src/honeypot_era.rs crates/traffic/src/origin.rs crates/traffic/src/table1.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/actors.rs:
+crates/traffic/src/botnet.rs:
+crates/traffic/src/era.rs:
+crates/traffic/src/honeypot_era.rs:
+crates/traffic/src/origin.rs:
+crates/traffic/src/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nxdctl-f2f2e5e0e5906821.d: src/bin/nxdctl.rs
+
+/root/repo/target/release/deps/nxdctl-f2f2e5e0e5906821: src/bin/nxdctl.rs
+
+src/bin/nxdctl.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nxdomain-92c5f0c8e4f130c6.d: src/lib.rs
+
+/root/repo/target/release/deps/libnxdomain-92c5f0c8e4f130c6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnxdomain-92c5f0c8e4f130c6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-0dfa9f2419c3626f.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-0dfa9f2419c3626f: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

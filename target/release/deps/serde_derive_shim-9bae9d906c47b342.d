@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive_shim-9bae9d906c47b342.d: vendor/serde-derive-shim/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive_shim-9bae9d906c47b342.so: vendor/serde-derive-shim/src/lib.rs
+
+vendor/serde-derive-shim/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry-a13b222bf6bc408e.d: crates/bench/benches/telemetry.rs
+
+/root/repo/target/release/deps/telemetry-a13b222bf6bc408e: crates/bench/benches/telemetry.rs
+
+crates/bench/benches/telemetry.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libnxd_blocklist.rlib: /root/repo/crates/blocklist/src/bucket.rs /root/repo/crates/blocklist/src/lib.rs

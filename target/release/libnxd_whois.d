@@ -1,0 +1,1 @@
+/root/repo/target/release/libnxd_whois.rlib: /root/repo/crates/whois/src/lib.rs /root/repo/vendor/serde/src/lib.rs /root/repo/vendor/serde-derive-shim/src/lib.rs

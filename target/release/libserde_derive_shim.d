@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde_derive_shim.so: /root/repo/vendor/serde-derive-shim/src/lib.rs
