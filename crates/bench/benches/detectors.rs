@@ -107,7 +107,11 @@ fn bench_passive_ingest(c: &mut Criterion) {
                     }) as Box<dyn FnOnce(SieProducer) + Send>
                 })
                 .collect();
-            black_box(collect_parallel(producers, 4).row_count())
+            black_box(
+                collect_parallel(producers, 4)
+                    .expect("no worker panicked")
+                    .row_count(),
+            )
         })
     });
     // Interning ablation: how much heap the interner saves vs raw strings.

@@ -1,0 +1,117 @@
+//! Serial vs sharded passive-DNS query engine on a large synthetic fixture.
+//!
+//! This bench backs the CI `bench-gate` job: the composite analysis suite
+//! (headline scalars, monthly trend, TLD distribution, lifespan decay) runs
+//! against the serial `PassiveDb` and against `ShardedStore` at 1/2/4/8
+//! shards. CI parses the `bench <name> <ns> ns/iter` lines into
+//! `BENCH_4.json` and fails if the sharded engine is slower than serial at
+//! 4+ shards.
+//!
+//! Set `NXD_BENCH_QUICK=1` for a smaller fixture and fewer samples (the CI
+//! configuration); the default is a heavier local run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use nxd_dns_wire::RCode;
+use nxd_passive_dns::{query, PassiveDb, ShardedStore};
+
+/// Deterministic splitmix64 — the workspace has no rand dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const TLDS: [&str; 8] = ["com", "net", "org", "cn", "ru", "info", "biz", "io"];
+
+/// Builds the large fixture: `rows` observations over `names` distinct
+/// qnames spread across ~4 years of days, mostly NXDomain with a NoError
+/// admixture, deterministic for a given seed.
+fn fixture(rows: usize, names: usize) -> PassiveDb {
+    let mut rng = 0x0DDB_1A5E_5EED_0001u64;
+    let mut db = PassiveDb::new();
+    for _ in 0..rows {
+        let r = splitmix64(&mut rng);
+        let name_idx = (r as usize) % names;
+        let tld = TLDS[name_idx % TLDS.len()];
+        let day = 16_000 + ((r >> 20) % 1_500) as u32;
+        let sensor = ((r >> 36) % 32) as u16;
+        let rcode = if r.is_multiple_of(10) {
+            RCode::NoError
+        } else {
+            RCode::NxDomain
+        };
+        let count = 1 + ((r >> 48) % 8) as u32;
+        db.record_str(&format!("host-{name_idx}.{tld}"), day, sensor, rcode, count);
+    }
+    db
+}
+
+/// The composite analysis suite over the serial engine; returns a digest so
+/// the optimizer cannot elide any query.
+fn suite_serial(db: &PassiveDb) -> u64 {
+    let mut digest = query::total_nx_responses(db);
+    digest ^= query::distinct_nx_names(db);
+    digest ^= query::monthly_nx_series(db).len() as u64;
+    digest ^= query::tld_distribution(db)
+        .first()
+        .map(|t| t.nx_queries)
+        .unwrap_or(0);
+    digest ^= query::lifespan_histogram(db, 60)
+        .iter()
+        .map(|b| b.queries)
+        .sum::<u64>();
+    let (names, queries) = query::long_lived_nx(db, 3 * 365);
+    digest ^ names ^ queries
+}
+
+/// The same suite through the parallel sharded executor.
+fn suite_sharded(store: &ShardedStore) -> u64 {
+    let mut digest = store.total_nx_responses();
+    digest ^= store.distinct_nx_names();
+    digest ^= store.monthly_nx_series().len() as u64;
+    digest ^= store
+        .tld_distribution()
+        .first()
+        .map(|t| t.nx_queries)
+        .unwrap_or(0);
+    digest ^= store
+        .lifespan_histogram(60)
+        .iter()
+        .map(|b| b.queries)
+        .sum::<u64>();
+    let (names, queries) = store.long_lived_nx(3 * 365);
+    digest ^ names ^ queries
+}
+
+fn bench_passive_shard(c: &mut Criterion) {
+    let quick = std::env::var_os("NXD_BENCH_QUICK").is_some();
+    let (rows, names, samples) = if quick {
+        (200_000, 40_000, 10)
+    } else {
+        (800_000, 120_000, 20)
+    };
+    let db = fixture(rows, names);
+
+    let mut g = c.benchmark_group("passive-shard-large");
+    g.sample_size(samples);
+    let serial_digest = suite_serial(&db);
+    g.bench_function("serial", |b| b.iter(|| black_box(suite_serial(&db))));
+    for shards in [1usize, 2, 4, 8] {
+        let store = ShardedStore::from_db(&db, shards);
+        assert_eq!(
+            suite_sharded(&store),
+            serial_digest,
+            "sharded digest diverged at {shards} shards"
+        );
+        g.bench_function(&format!("sharded-{shards}"), |b| {
+            b.iter(|| black_box(suite_sharded(&store)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_passive_shard);
+criterion_main!(benches);

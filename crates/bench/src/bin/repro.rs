@@ -9,7 +9,8 @@
 //! ```
 //!
 //! Experiments: scalars fig3 fig4 fig5 fig6 fig7 fig8 table1 fig10 fig12
-//! fig13 fig14 fig15 filter hijack selection detector sinkhole federation analyzer
+//! fig13 fig14 fig15 filter hijack selection detector sinkhole federation
+//! exposure market analyzer scale-parallel
 //!
 //! Observability flags:
 //!
@@ -18,6 +19,8 @@
 //! * `--metrics-json <file>` — write the cumulative snapshot as JSON.
 //! * `--trace-out <file>` — write the span timeline as Chrome trace-event
 //!   JSON (loadable in `chrome://tracing` / Perfetto).
+//! * `--shards <N>` — shard count for the `scale-parallel` experiment
+//!   (default 4).
 
 use std::collections::HashMap;
 
@@ -83,6 +86,7 @@ fn main() {
     let mut metrics = false;
     let mut metrics_json: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut shards: usize = 4;
     let mut experiments: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(arg) = raw.next() {
@@ -93,6 +97,13 @@ fn main() {
             }
             "--trace-out" => {
                 trace_out = Some(raw.next().expect("--trace-out needs a file path"));
+            }
+            "--shards" => {
+                shards = raw
+                    .next()
+                    .expect("--shards needs a count")
+                    .parse()
+                    .expect("--shards needs an integer");
             }
             _ => experiments.push(arg),
         }
@@ -121,6 +132,7 @@ fn main() {
             "exposure",
             "market",
             "analyzer",
+            "scale-parallel",
         ]
         .into_iter()
         .map(String::from)
@@ -154,6 +166,7 @@ fn main() {
             "market" => market_exp(),
             "federation" => federation_exp(&mut worlds),
             "analyzer" => analyzer_exp(),
+            "scale-parallel" => scale_parallel_exp(&mut worlds, shards),
             other => eprintln!(
                 "[repro] unknown experiment {other:?} (see --help text in the doc comment)"
             ),
@@ -728,6 +741,65 @@ fn federation_exp(worlds: &mut Worlds) {
         )
     );
     println!("paper §7: single-provider bias is real — regional networks deviate in TLD mix");
+}
+
+fn scale_parallel_exp(worlds: &mut Worlds, shards: usize) {
+    use std::time::Instant;
+
+    heading(&format!(
+        "E-SCALE-PARALLEL — sharded executor vs serial engine ({shards} shards)"
+    ));
+    let era = worlds.era();
+    let expiry_strings: HashMap<String, u32> = era
+        .expiry_days
+        .iter()
+        .map(|(&id, &day)| (era.db.interner().resolve(id).to_string(), day))
+        .collect();
+
+    let t0 = Instant::now();
+    let serial = (
+        scale::headline(&era.db),
+        scale::fig3(&era.db),
+        scale::fig4(&era.db, 20),
+        scale::fig5(&era.db),
+        scale::fig6(&era.db, &era.expiry_days),
+    );
+    let serial_elapsed = t0.elapsed();
+
+    let t1 = Instant::now();
+    let store = nxd_passive_dns::ShardedStore::from_db(&era.db, shards);
+    let partition_elapsed = t1.elapsed();
+
+    let t2 = Instant::now();
+    let sharded = (
+        scale::headline_sharded(&store),
+        scale::fig3_sharded(&store),
+        scale::fig4_sharded(&store, 20),
+        scale::fig5_sharded(&store),
+        scale::fig6_sharded(&store, &expiry_strings),
+    );
+    let sharded_elapsed = t2.elapsed();
+
+    assert_eq!(serial, sharded, "sharded results diverged from serial");
+    println!(
+        "all five analyses bit-identical across {} shards ({} rows, {} names)",
+        store.shard_count(),
+        commas(store.row_count() as u64),
+        commas(store.distinct_names() as u64),
+    );
+    let speedup = serial_elapsed.as_secs_f64() / sharded_elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "serial suite {:>9.3} ms | partition {:>9.3} ms | sharded suite {:>9.3} ms | speedup {speedup:.2}x",
+        serial_elapsed.as_secs_f64() * 1e3,
+        partition_elapsed.as_secs_f64() * 1e3,
+        sharded_elapsed.as_secs_f64() * 1e3,
+    );
+    let per_shard: Vec<String> = store
+        .shards()
+        .iter()
+        .map(|s| commas(s.row_count() as u64))
+        .collect();
+    println!("rows per shard: [{}]", per_shard.join(", "));
 }
 
 fn detector_exp() {

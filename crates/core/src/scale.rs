@@ -2,12 +2,16 @@
 //! Fig. 3 (monthly NXDOMAIN trend), Fig. 4 (TLD distribution), Fig. 5
 //! (lifespan decay), Fig. 6 (expiry-aligned query averages), and the §7
 //! hijacking sensitivity experiment.
+//!
+//! Every figure has a `*_sharded` twin running the same analysis through the
+//! parallel [`ShardedStore`] executor; results are bit-identical to the
+//! serial versions for any shard count.
 
 use std::collections::HashMap;
 
 use nxd_dns_sim::HijackPolicy;
 use nxd_dns_wire::RCode;
-use nxd_passive_dns::{query, NameId, PassiveDb};
+use nxd_passive_dns::{query, NameId, PassiveDb, ShardedStore};
 
 /// Headline scalars of §4.1/§4.4 (paper values at full scale:
 /// 1,069,114,764,701 responses; 146,363,745,785 names; 1,018,964 names
@@ -52,6 +56,41 @@ pub fn fig5(db: &PassiveDb) -> Vec<query::LifespanBucket> {
 /// the status change.
 pub fn fig6(db: &PassiveDb, expiry_days: &HashMap<NameId, u32>) -> Vec<(i32, f64)> {
     query::expiry_aligned_series(db, expiry_days, 60, 120)
+}
+
+/// Sharded twin of [`headline`]: the same scalars computed by the parallel
+/// executor, one partial per shard, merged deterministically.
+pub fn headline_sharded(store: &ShardedStore) -> ScaleReport {
+    let (five_year_names, five_year_queries) = store.long_lived_nx(5 * 365);
+    ScaleReport {
+        total_nx_responses: store.total_nx_responses(),
+        distinct_nx_names: store.distinct_nx_names(),
+        five_year_names,
+        five_year_queries,
+    }
+}
+
+/// Sharded twin of [`fig3`].
+pub fn fig3_sharded(store: &ShardedStore) -> Vec<(i32, f64)> {
+    store.yearly_avg_monthly_nx()
+}
+
+/// Sharded twin of [`fig4`].
+pub fn fig4_sharded(store: &ShardedStore, n: usize) -> Vec<query::TldStat> {
+    let mut dist = store.tld_distribution();
+    dist.truncate(n);
+    dist
+}
+
+/// Sharded twin of [`fig5`].
+pub fn fig5_sharded(store: &ShardedStore) -> Vec<query::LifespanBucket> {
+    store.lifespan_histogram(60)
+}
+
+/// Sharded twin of [`fig6`]. The expiry panel is keyed by name string
+/// (not [`NameId`]) because interner ids are shard-local.
+pub fn fig6_sharded(store: &ShardedStore, expiry_days: &HashMap<String, u32>) -> Vec<(i32, f64)> {
+    store.expiry_aligned_series(expiry_days, 60, 120)
 }
 
 /// §7 hijack sensitivity: how much of the NXDOMAIN signal would an ISP
@@ -134,6 +173,46 @@ mod tests {
         let (v, h, f) = hijack_sensitivity(&d, &all);
         assert_eq!((v, h), (0, 15));
         assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharded_twins_match_serial_figures() {
+        let mut d = PassiveDb::new();
+        for i in 0..400u32 {
+            let day = 16_800 + (i * 13) % 900;
+            d.record_str(
+                &format!("name-{}.net", i % 120),
+                day,
+                (i % 5) as u16,
+                RCode::NxDomain,
+                1 + i % 7,
+            );
+            if i % 3 == 0 {
+                d.record_str(&format!("ok-{i}.org"), day, 0, RCode::NoError, 2);
+            }
+        }
+        for shards in [1usize, 2, 4, 8] {
+            let store = ShardedStore::from_db(&d, shards);
+            assert_eq!(headline_sharded(&store), headline(&d), "shards={shards}");
+            assert_eq!(fig3_sharded(&store), fig3(&d), "shards={shards}");
+            assert_eq!(fig4_sharded(&store, 5), fig4(&d, 5), "shards={shards}");
+            assert_eq!(fig5_sharded(&store), fig5(&d), "shards={shards}");
+            let panel_ids: HashMap<NameId, u32> = (0..120u32)
+                .filter_map(|i| {
+                    d.interner()
+                        .get(&format!("name-{i}.net"))
+                        .map(|id| (id, 17_000 + i))
+                })
+                .collect();
+            let panel_strings: HashMap<String, u32> = (0..120u32)
+                .map(|i| (format!("name-{i}.net"), 17_000 + i))
+                .collect();
+            assert_eq!(
+                fig6_sharded(&store, &panel_strings),
+                fig6(&d, &panel_ids),
+                "shards={shards}"
+            );
+        }
     }
 
     #[test]

@@ -18,14 +18,18 @@
 //! ```
 
 pub mod federation;
+pub mod hash;
 pub mod intern;
 pub mod query;
 pub mod sensor;
+pub mod shard;
 pub mod sie;
 pub mod store;
 
 pub use federation::{Coverage, Federation};
+pub use hash::shard_of;
 pub use intern::{Interner, NameId};
 pub use sensor::{Sensor, VantagePoint};
-pub use sie::{collect_parallel, SieProducer};
+pub use shard::ShardedStore;
+pub use sie::{collect_parallel, collect_sharded, SieError, SieProducer};
 pub use store::{NameAggregate, Observation, PassiveDb};

@@ -9,6 +9,7 @@ use std::collections::HashMap;
 use nxd_dns_sim::SimTime;
 use nxd_dns_wire::RCode;
 
+use crate::hash::fnv1a;
 use crate::intern::NameId;
 use crate::store::PassiveDb;
 
@@ -79,9 +80,15 @@ pub fn monthly_nx_series(db: &PassiveDb) -> Vec<(i64, u64)> {
 /// Average NXDOMAIN responses per month for each calendar year (the exact
 /// series Fig. 3 plots).
 pub fn yearly_avg_monthly_nx(db: &PassiveDb) -> Vec<(i32, f64)> {
-    let monthly = monthly_nx_series(db);
+    yearly_from_monthly(&monthly_nx_series(db))
+}
+
+/// Folds a monthly series into per-year monthly averages. Shared by the
+/// serial and sharded engines so both produce bit-identical floats from
+/// the same monthly totals.
+pub fn yearly_from_monthly(monthly: &[(i64, u64)]) -> Vec<(i32, f64)> {
     let mut per_year: HashMap<i32, (u64, u32)> = HashMap::new();
-    for (month_index, responses) in monthly {
+    for &(month_index, responses) in monthly {
         let year = 2014 + month_index.div_euclid(12) as i32;
         let entry = per_year.entry(year).or_insert((0, 0));
         entry.0 += responses;
@@ -140,6 +147,17 @@ pub fn sample_nx_names(db: &PassiveDb, n: u64, salt: u64) -> Vec<NameId> {
     out
 }
 
+/// [`sample_nx_names`] resolved to name strings and sorted — the canonical,
+/// interner-independent form a sharded engine can be compared against.
+pub fn sample_nx_name_strings(db: &PassiveDb, n: u64, salt: u64) -> Vec<String> {
+    let mut out: Vec<String> = sample_nx_names(db, n, salt)
+        .into_iter()
+        .map(|id| db.interner().resolve(id).to_string())
+        .collect();
+    out.sort();
+    out
+}
+
 /// Fig. 5: for each day-offset since a name's first NXDOMAIN observation,
 /// how many names still receive queries and how many responses they get.
 pub fn lifespan_histogram(db: &PassiveDb, max_days: u32) -> Vec<LifespanBucket> {
@@ -184,6 +202,26 @@ pub fn expiry_aligned_series(
     if expiry_day.is_empty() {
         return Vec::new();
     }
+    let totals = expiry_aligned_totals(db, expiry_day, before, after);
+    let denom = expiry_day.len() as f64;
+    totals
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (i as i32 - before as i32, t as f64 / denom))
+        .collect()
+}
+
+/// The un-normalized totals behind [`expiry_aligned_series`]: summed query
+/// counts per day-offset, one slot per offset in `[-before, after]`. The
+/// sharded engine sums these across shards before dividing once by the
+/// full panel size, which keeps the division bit-identical to the serial
+/// path.
+pub(crate) fn expiry_aligned_totals(
+    db: &PassiveDb,
+    expiry_day: &HashMap<NameId, u32>,
+    before: u32,
+    after: u32,
+) -> Vec<u64> {
     let (ids, days, _, _, counts) = db.columns();
     let span = (before + after + 1) as usize;
     let mut totals = vec![0u64; span];
@@ -197,10 +235,7 @@ pub fn expiry_aligned_series(
         }
         totals[(offset + before as i64) as usize] += counts[i] as u64;
     }
-    let denom = expiry_day.len() as f64;
-    (0..span)
-        .map(|i| (i as i32 - before as i32, totals[i] as f64 / denom))
-        .collect()
+    totals
 }
 
 /// Names that have been NXDomain for at least `min_days` (observed NX span),
@@ -262,15 +297,6 @@ pub fn nx_by_sensor(db: &PassiveDb) -> HashMap<u16, u64> {
         }
     }
     out
-}
-
-fn fnv1a(bytes: &[u8], salt: u64) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ salt;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x100_0000_01b3);
-    }
-    hash
 }
 
 #[cfg(test)]

@@ -3,17 +3,66 @@
 //! Farsight distributes NXDomain observations over SIE channel 221 (paper
 //! §4.1). Here the channel is a crossbeam MPSC pipe: any number of sensor
 //! shards produce observation batches on worker threads; a single collector
-//! drains the channel and merges shard-local stores into the final database.
-//! Shards intern independently (no cross-thread locking on the hot path) and
-//! are re-interned at merge time.
+//! drains the channel. Shards intern independently (no cross-thread locking
+//! on the hot path) and are re-interned at merge time.
+//!
+//! Two collection modes:
+//!
+//! * [`collect_parallel`] — the original serial sink: every producer shard
+//!   is merged into one [`PassiveDb`].
+//! * [`collect_sharded`] — the scale path: producer shards are routed into
+//!   a [`ShardedStore`]'s hash partitions instead of being collapsed into a
+//!   single serial store, so the result is immediately queryable by the
+//!   parallel executor.
+//!
+//! A worker panic surfaces as a typed [`SieError`] carrying the panic
+//! payload, so a poisoned shard fails the pipeline with context instead of
+//! aborting the process.
+
+use std::any::Any;
+use std::fmt;
 
 use crossbeam::channel::{bounded, Sender};
 
+use crate::shard::ShardedStore;
 use crate::store::PassiveDb;
 
 /// A batch of rows from one shard, carried with its shard-local interner via
 /// a whole shard store.
 pub struct ShardBatch(pub PassiveDb);
+
+/// Failure of an SIE collection run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SieError {
+    /// A producer worker thread panicked; `detail` carries the panic
+    /// payload (when it was a string) so the failing shard is identifiable.
+    WorkerPanicked { detail: String },
+}
+
+impl fmt::Display for SieError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SieError::WorkerPanicked { detail } => {
+                write!(f, "SIE worker thread panicked: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SieError {}
+
+impl SieError {
+    fn from_panic(payload: Box<dyn Any + Send>) -> Self {
+        let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        SieError::WorkerPanicked { detail }
+    }
+}
 
 /// Handle used by producers to submit finished shards.
 #[derive(Clone)]
@@ -33,10 +82,12 @@ impl SieProducer {
 }
 
 /// Runs `producers` closures on worker threads, each building shard stores
-/// and submitting them; returns the merged database.
-///
-/// `capacity` bounds in-flight shards to apply backpressure.
-pub fn collect_parallel<F>(producers: Vec<F>, capacity: usize) -> PassiveDb
+/// and submitting them; drains the channel through `sink`.
+fn collect_with<F, T>(
+    producers: Vec<F>,
+    capacity: usize,
+    sink: impl FnOnce(crossbeam::channel::Receiver<ShardBatch>) -> T,
+) -> Result<T, SieError>
 where
     F: FnOnce(SieProducer) + Send + 'static,
 {
@@ -47,13 +98,48 @@ where
             scope.spawn(move |_| p(producer));
         }
         drop(tx);
+        sink(rx)
+    })
+    .map_err(SieError::from_panic)
+}
+
+/// Runs `producers` closures on worker threads, each building shard stores
+/// and submitting them; returns the merged serial database.
+///
+/// `capacity` bounds in-flight shards to apply backpressure. A worker panic
+/// discards the partial result and returns [`SieError::WorkerPanicked`].
+pub fn collect_parallel<F>(producers: Vec<F>, capacity: usize) -> Result<PassiveDb, SieError>
+where
+    F: FnOnce(SieProducer) + Send + 'static,
+{
+    collect_with(producers, capacity, |rx| {
         let mut db = PassiveDb::new();
         for ShardBatch(shard) in rx {
             db.merge(&shard);
         }
         db
     })
-    .expect("SIE worker thread panicked")
+}
+
+/// Like [`collect_parallel`], but routes every producer shard into a
+/// [`ShardedStore`] with `shards` hash partitions instead of collapsing
+/// them into one serial store — the ingest half of the sharded scale
+/// engine.
+pub fn collect_sharded<F>(
+    producers: Vec<F>,
+    capacity: usize,
+    shards: usize,
+) -> Result<ShardedStore, SieError>
+where
+    F: FnOnce(SieProducer) + Send + 'static,
+{
+    collect_with(producers, capacity, |rx| {
+        let mut store = ShardedStore::new(shards);
+        for ShardBatch(shard) in rx {
+            store.merge_db(&shard);
+        }
+        store
+    })
 }
 
 #[cfg(test)]
@@ -70,7 +156,8 @@ mod tests {
                 p.submit(shard);
             }],
             4,
-        );
+        )
+        .expect("no worker panicked");
         assert_eq!(db.row_count(), 1);
         assert_eq!(db.aggregate_of("a.com").unwrap().nx_queries, 2);
     }
@@ -94,7 +181,7 @@ mod tests {
                 }) as Box<dyn FnOnce(SieProducer) + Send>
             })
             .collect();
-        let db = collect_parallel(producers, 2);
+        let db = collect_parallel(producers, 2).expect("no worker panicked");
         assert_eq!(db.aggregate_of("shared.com").unwrap().nx_queries, 8);
         assert_eq!(db.distinct_names(), 9);
         assert_eq!(db.row_count(), 16);
@@ -111,7 +198,75 @@ mod tests {
                 }
             }],
             1,
-        );
+        )
+        .expect("no worker panicked");
         assert_eq!(db.aggregate_of("multi.com").unwrap().nx_queries, 3);
+    }
+
+    #[test]
+    fn worker_panic_is_a_typed_error_with_context() {
+        let result = collect_parallel(
+            vec![|_p: SieProducer| {
+                panic!("sensor 7 fed us garbage");
+            }],
+            4,
+        );
+        match result {
+            Err(SieError::WorkerPanicked { detail }) => {
+                assert!(detail.contains("sensor 7"), "lost context: {detail}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_poisoned_shard_fails_the_whole_collection() {
+        let producers: Vec<Box<dyn FnOnce(SieProducer) + Send>> = vec![
+            Box::new(|p: SieProducer| {
+                let mut shard = PassiveDb::new();
+                shard.record_str("fine.com", 1, 0, RCode::NxDomain, 1);
+                p.submit(shard);
+            }),
+            Box::new(|_p: SieProducer| panic!("poisoned shard")),
+        ];
+        assert!(collect_parallel(producers, 4).is_err());
+    }
+
+    #[test]
+    fn collect_sharded_keeps_shard_stores_alive() {
+        let producers: Vec<Box<dyn FnOnce(SieProducer) + Send>> = (0..4)
+            .map(|shard_id: u16| {
+                Box::new(move |p: SieProducer| {
+                    let mut shard = PassiveDb::new();
+                    shard.record_str("shared.com", 10, shard_id, RCode::NxDomain, 1);
+                    shard.record_str(
+                        &format!("only-{shard_id}.com"),
+                        10 + shard_id as u32,
+                        shard_id,
+                        RCode::NxDomain,
+                        2,
+                    );
+                    p.submit(shard);
+                }) as Box<dyn FnOnce(SieProducer) + Send>
+            })
+            .collect();
+        let store = collect_sharded(producers, 2, 4).expect("no worker panicked");
+        assert_eq!(store.shard_count(), 4);
+        assert_eq!(store.row_count(), 8);
+        // shared.com's four rows all landed in its single home shard.
+        assert_eq!(store.aggregate_of("shared.com").unwrap().nx_queries, 4);
+        assert_eq!(store.total_nx_responses(), 12);
+        assert_eq!(store.distinct_nx_names(), 5);
+    }
+
+    #[test]
+    fn collect_sharded_propagates_panics() {
+        let result = collect_sharded(vec![|_p: SieProducer| panic!("boom")], 1, 4);
+        assert_eq!(
+            result.err(),
+            Some(SieError::WorkerPanicked {
+                detail: "boom".to_string()
+            })
+        );
     }
 }

@@ -56,14 +56,14 @@ struct StoreMetrics {
 }
 
 impl StoreMetrics {
-    fn registered(registry: &Registry) -> Self {
+    fn registered(registry: &Registry, labels: &[(&str, &str)]) -> Self {
         StoreMetrics {
-            rows_ingested: registry.counter("passive_rows_ingested_total"),
-            nx_rows: registry.counter("passive_nx_rows_total"),
-            queries: registry.counter("passive_queries_total"),
-            query_latency_us: registry.histogram("passive_query_latency_us"),
-            intern_names: registry.gauge("passive_intern_names"),
-            intern_tlds: registry.gauge("passive_intern_tlds"),
+            rows_ingested: registry.counter_with("passive_rows_ingested_total", labels),
+            nx_rows: registry.counter_with("passive_nx_rows_total", labels),
+            queries: registry.counter_with("passive_queries_total", labels),
+            query_latency_us: registry.histogram_with("passive_query_latency_us", labels),
+            intern_names: registry.gauge_with("passive_intern_names", labels),
+            intern_tlds: registry.gauge_with("passive_intern_tlds", labels),
         }
     }
 }
@@ -102,7 +102,17 @@ impl PassiveDb {
     /// gauge values over. Latency samples recorded before attaching stay in
     /// the detached histogram, so attach before running queries.
     pub fn attach_metrics(&mut self, registry: &Registry) {
-        let next = StoreMetrics::registered(registry);
+        self.attach_metrics_labeled(registry, &[]);
+    }
+
+    /// [`PassiveDb::attach_metrics`] with a label set on every series —
+    /// how a [`crate::ShardedStore`](crate::shard::ShardedStore) gives each
+    /// shard its own `passive_*{shard="i"}` cells. Per-shard series roll up
+    /// through the snapshot algebra: [`nxd_telemetry::Snapshot::counter_total`]
+    /// sums across label sets and
+    /// [`nxd_telemetry::Snapshot::histogram_total`] merges them.
+    pub fn attach_metrics_labeled(&mut self, registry: &Registry, labels: &[(&str, &str)]) {
+        let next = StoreMetrics::registered(registry, labels);
         next.rows_ingested.add(self.metrics.rows_ingested.get());
         next.nx_rows.add(self.metrics.nx_rows.get());
         next.queries.add(self.metrics.queries.get());

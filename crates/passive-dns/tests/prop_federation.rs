@@ -1,0 +1,153 @@
+//! Property tests for the federation merge paths: federating K
+//! independently collected shard stores must answer the trend, TLD, and
+//! lifespan queries exactly like one combined store — including degenerate
+//! shards (empty providers, single-observation providers).
+
+use nxd_dns_wire::RCode;
+use nxd_passive_dns::{query, Federation, PassiveDb};
+use proptest::prelude::*;
+
+const TLDS: [&str; 5] = ["com", "net", "ru", "cn", "org"];
+
+type Obs = (usize, u32, u16, u32);
+
+fn db_of(observations: &[Obs]) -> PassiveDb {
+    let mut db = PassiveDb::new();
+    for &(idx, day, sensor, count) in observations {
+        db.record_str(
+            &format!("name-{idx}.{}", TLDS[idx % TLDS.len()]),
+            day,
+            sensor,
+            RCode::NxDomain,
+            count,
+        );
+    }
+    db
+}
+
+/// 1..=5 providers, each 0..30 observations — empty providers are common by
+/// construction.
+fn arb_providers() -> impl Strategy<Value = Vec<Vec<Obs>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0usize..30, 16_000u32..18_000, 0u16..6, 1u32..8), 0..30),
+        1..6,
+    )
+}
+
+fn federation_of(providers: &[Vec<Obs>]) -> Federation {
+    let mut f = Federation::new();
+    for (i, obs) in providers.iter().enumerate() {
+        f.add_provider(&format!("provider-{i}"), db_of(obs));
+    }
+    f
+}
+
+/// One store holding every provider's observations, ingested in order.
+fn combined_of(providers: &[Vec<Obs>]) -> PassiveDb {
+    let all: Vec<Obs> = providers.iter().flatten().copied().collect();
+    db_of(&all)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Federation::merged` equals the combined store for the monthly
+    /// trend, the TLD distribution, and the lifespan decay histogram.
+    #[test]
+    fn merged_equals_combined_store(providers in arb_providers()) {
+        let merged = federation_of(&providers).merged();
+        let combined = combined_of(&providers);
+        prop_assert_eq!(
+            query::monthly_nx_series(&merged),
+            query::monthly_nx_series(&combined)
+        );
+        prop_assert_eq!(
+            query::tld_distribution(&merged),
+            query::tld_distribution(&combined)
+        );
+        prop_assert_eq!(
+            query::lifespan_histogram(&merged, 60),
+            query::lifespan_histogram(&combined, 60)
+        );
+        prop_assert_eq!(
+            query::total_nx_responses(&merged),
+            query::total_nx_responses(&combined)
+        );
+        prop_assert_eq!(
+            query::distinct_nx_names(&merged),
+            query::distinct_nx_names(&combined)
+        );
+    }
+
+    /// Merge order does not matter: reversing the provider list gives the
+    /// same analysis results.
+    #[test]
+    fn merge_is_order_independent(providers in arb_providers()) {
+        let forward = federation_of(&providers).merged();
+        let reversed: Vec<Vec<Obs>> = providers.iter().rev().cloned().collect();
+        let backward = federation_of(&reversed).merged();
+        prop_assert_eq!(
+            query::monthly_nx_series(&forward),
+            query::monthly_nx_series(&backward)
+        );
+        prop_assert_eq!(
+            query::tld_distribution(&forward),
+            query::tld_distribution(&backward)
+        );
+        prop_assert_eq!(
+            query::lifespan_histogram(&forward, 60),
+            query::lifespan_histogram(&backward, 60)
+        );
+    }
+
+    /// Coverage accounting stays consistent for any provider mix: name
+    /// counts bound unique counts, and the union view matches the merged
+    /// store.
+    #[test]
+    fn coverage_is_consistent(providers in arb_providers()) {
+        let f = federation_of(&providers);
+        let merged = f.merged();
+        let union_names = query::distinct_nx_names(&merged);
+        let cov = f.coverage();
+        prop_assert_eq!(cov.len(), providers.len());
+        let unique_total: u64 = cov.iter().map(|c| c.unique_names).sum();
+        prop_assert!(unique_total <= union_names);
+        for c in &cov {
+            prop_assert!(c.unique_names <= c.nx_names);
+            prop_assert!((0.0..=1.0).contains(&c.jaccard_vs_union));
+            prop_assert!((0.0..=2.0 + 1e-9).contains(&c.tld_bias_l1));
+        }
+        let responses_total: u64 = cov.iter().map(|c| c.nx_responses).sum();
+        prop_assert_eq!(responses_total, query::total_nx_responses(&merged));
+    }
+}
+
+/// The degenerate shapes named in the issue, pinned deterministically on
+/// top of the random sweep: an empty provider and single-observation
+/// providers.
+#[test]
+fn empty_and_single_observation_shards_merge_exactly() {
+    let providers: Vec<Vec<Obs>> = vec![
+        vec![],
+        vec![(0, 17_000, 0, 3)],
+        vec![(1, 17_100, 1, 1)],
+        vec![],
+        vec![(0, 17_200, 2, 2)],
+    ];
+    let merged = federation_of(&providers).merged();
+    let combined = combined_of(&providers);
+    assert_eq!(
+        query::monthly_nx_series(&merged),
+        query::monthly_nx_series(&combined)
+    );
+    assert_eq!(
+        query::tld_distribution(&merged),
+        query::tld_distribution(&combined)
+    );
+    assert_eq!(
+        query::lifespan_histogram(&merged, 60),
+        query::lifespan_histogram(&combined, 60)
+    );
+    assert_eq!(query::distinct_nx_names(&merged), 2);
+    assert_eq!(query::total_nx_responses(&merged), 6);
+}

@@ -257,6 +257,45 @@ impl Snapshot {
             .map(|(_, h)| h)
     }
 
+    /// The merge of every histogram sharing `name`, across label sets —
+    /// the rollup view of per-shard (or otherwise labeled) series. Empty
+    /// if no histogram carries the name.
+    pub fn histogram_total(&self, name: &str) -> HistogramSnapshot {
+        self.histograms
+            .iter()
+            .filter(|(id, _)| id.name() == name)
+            .fold(HistogramSnapshot::empty(), |acc, (_, h)| acc.merge(h))
+    }
+
+    /// Pointwise union of two snapshots, matching series by full metric id:
+    /// counters and histogram buckets add, gauges add (levels of disjoint
+    /// components sum to the whole — e.g. per-shard intern sizes). With
+    /// [`Snapshot::empty`] as identity this makes snapshots a commutative
+    /// monoid, mirroring [`HistogramSnapshot::merge`] one level up.
+    pub fn merge(&self, other: &Snapshot) -> Snapshot {
+        let mut counters: BTreeMap<MetricId, u64> = self.counters.iter().cloned().collect();
+        for (id, v) in &other.counters {
+            *counters.entry(id.clone()).or_insert(0) += v;
+        }
+        let mut gauges: BTreeMap<MetricId, i64> = self.gauges.iter().cloned().collect();
+        for (id, v) in &other.gauges {
+            *gauges.entry(id.clone()).or_insert(0) += v;
+        }
+        let mut histograms: BTreeMap<MetricId, HistogramSnapshot> =
+            self.histograms.iter().cloned().collect();
+        for (id, h) in &other.histograms {
+            let entry = histograms
+                .entry(id.clone())
+                .or_insert_with(HistogramSnapshot::empty);
+            *entry = entry.merge(h);
+        }
+        Snapshot {
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            histograms: histograms.into_iter().collect(),
+        }
+    }
+
     /// What happened between `earlier` and `self` (both from the same
     /// registry): counter and histogram differences; gauges keep their
     /// current value (they are levels, not flows). Metrics registered
@@ -359,6 +398,45 @@ mod tests {
         assert!(r.snapshot().is_empty());
         r.counter("a_total").inc();
         assert!(!r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn histogram_total_merges_label_sets() {
+        let r = Registry::new();
+        r.histogram_with("latency_us", &[("shard", "0")]).record(10);
+        r.histogram_with("latency_us", &[("shard", "1")]).record(20);
+        r.histogram_with("latency_us", &[("shard", "1")]).record(30);
+        let s = r.snapshot();
+        let total = s.histogram_total("latency_us");
+        assert_eq!(total.count(), 3);
+        assert_eq!(total.sum, 60);
+        // First-label-set accessor still sees only one series.
+        assert_eq!(s.histogram_named("latency_us").unwrap().count(), 1);
+        assert!(s.histogram_total("absent_us").is_empty());
+    }
+
+    #[test]
+    fn snapshot_merge_is_a_commutative_monoid() {
+        let build = |shard: &str, c: u64, g: i64, h: u64| {
+            let r = Registry::new();
+            r.counter_with("rows_total", &[("shard", shard)]).add(c);
+            r.gauge_with("names", &[("shard", shard)]).set(g);
+            r.histogram_with("lat_us", &[("shard", shard)]).record(h);
+            r.snapshot()
+        };
+        let a = build("0", 3, 10, 100);
+        let b = build("1", 5, 7, 200);
+        let ab = a.merge(&b);
+        assert_eq!(ab.counter_total("rows_total"), 8);
+        assert_eq!(ab.histogram_total("lat_us").count(), 2);
+        assert_eq!(ab, b.merge(&a));
+        assert_eq!(a.merge(&Snapshot::empty()), a);
+        assert_eq!(Snapshot::empty().merge(&a), a);
+        // Same id on both sides: values add instead of duplicating series.
+        let twice = a.merge(&a);
+        assert_eq!(twice.counters.len(), a.counters.len());
+        assert_eq!(twice.counter_total("rows_total"), 6);
+        assert_eq!(twice.gauge_value("names"), Some(20));
     }
 
     #[test]

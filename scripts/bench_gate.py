@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the sharded passive-DNS engine.
+
+Reads the `passive_shard` bench output (lines shaped like
+``bench <name> <ns> ns/iter``) from the file given as argv[1], writes the
+parsed results to BENCH_4.json (argv[2], default), and exits non-zero if
+the sharded engine regressed against serial at 4+ shards.
+
+On a single-core runner the sharded engine cannot beat serial, so the gate
+is a *regression* bound, not a speedup requirement: sharded-4 and sharded-8
+must stay within TOLERANCE of the serial time. A real regression — a merge
+gone quadratic, a lock serializing the fan-out — blows far past that.
+"""
+
+import json
+import re
+import sys
+
+TOLERANCE = 1.15  # sharded may cost at most 15% over serial
+GATED = ["passive-shard-large/sharded-4", "passive-shard-large/sharded-8"]
+SERIAL = "passive-shard-large/serial"
+
+LINE = re.compile(r"^bench\s+(\S+)\s+(\d+)\s+ns/iter")
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print("usage: bench_gate.py <bench-output> [BENCH_4.json]", file=sys.stderr)
+        return 2
+    out_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_4.json"
+
+    results = {}
+    with open(sys.argv[1]) as fh:
+        for line in fh:
+            m = LINE.match(line.strip())
+            if m:
+                results[m.group(1)] = int(m.group(2))
+
+    missing = [n for n in [SERIAL, *GATED] if n not in results]
+    if missing:
+        print(f"bench gate: missing results for {missing}; got {sorted(results)}",
+              file=sys.stderr)
+        return 2
+
+    report = {
+        "tolerance": TOLERANCE,
+        "serial_ns": results[SERIAL],
+        "results_ns": results,
+        "gate": [],
+    }
+    serial = results[SERIAL]
+    failed = False
+    for name in GATED:
+        ratio = results[name] / serial
+        ok = ratio <= TOLERANCE
+        report["gate"].append({"name": name, "ns": results[name],
+                               "ratio_vs_serial": round(ratio, 4), "ok": ok})
+        status = "ok" if ok else "REGRESSED"
+        print(f"{name}: {results[name]} ns vs serial {serial} ns "
+              f"(x{ratio:.3f}, limit x{TOLERANCE}) {status}")
+        failed |= not ok
+
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out_path} with {len(results)} bench results")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -75,11 +75,19 @@ pub mod channel {
 pub mod thread {
     use std::any::Any;
     use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    type PanicPayload = Box<dyn Any + Send + 'static>;
+    type PanicSlot = Arc<Mutex<Option<PanicPayload>>>;
 
     /// Scoped-thread spawner mirroring `crossbeam::thread::Scope`: the spawn
     /// closure receives the scope again so spawned threads can spawn more.
     pub struct Scope<'scope, 'env: 'scope> {
         inner: &'scope std::thread::Scope<'scope, 'env>,
+        /// First worker panic payload, preserved so `scope` can hand the
+        /// caller the original panic message (std's scope would replace it
+        /// with a generic "a scoped thread panicked").
+        panic: PanicSlot,
     }
 
     impl<'scope, 'env> Scope<'scope, 'env> {
@@ -89,21 +97,42 @@ pub mod thread {
             T: Send + 'scope,
         {
             let inner = self.inner;
+            let panic = Arc::clone(&self.panic);
             inner.spawn(move || {
-                f(&Scope { inner });
+                let scope = Scope {
+                    inner,
+                    panic: Arc::clone(&panic),
+                };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&scope))) {
+                    let mut slot = panic.lock().unwrap_or_else(|e| e.into_inner());
+                    slot.get_or_insert(payload);
+                }
             });
         }
     }
 
     /// Runs `f` with a scope; all spawned threads are joined before
-    /// returning. A panic on any thread surfaces as `Err`, like crossbeam.
-    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    /// returning. A panic on any thread surfaces as `Err` carrying the
+    /// first panicking worker's payload, like crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
     where
         F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
     {
-        catch_unwind(AssertUnwindSafe(|| {
-            std::thread::scope(|s| f(&Scope { inner: s }))
-        }))
+        let panic: PanicSlot = Arc::new(Mutex::new(None));
+        let inner_slot = Arc::clone(&panic);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                f(&Scope {
+                    inner: s,
+                    panic: inner_slot,
+                })
+            })
+        }));
+        let recorded = panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+        match recorded {
+            Some(payload) => Err(payload),
+            None => result,
+        }
     }
 }
 
