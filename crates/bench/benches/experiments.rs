@@ -71,7 +71,7 @@ fn bench_origin_figures(c: &mut Criterion) {
     g.bench_function("fig8_blocklist_xref", |b| {
         b.iter(|| {
             black_box(origin_analysis::blocklist_xref(
-                &names,
+                names.iter().map(|s| s.as_str()),
                 &world.blocklist,
                 names.len() * 20 / 91,
                 1_000,

@@ -1,0 +1,59 @@
+//! Serial four-pass §5 origin analysis vs the fused sharded pipeline.
+//!
+//! This bench backs the second CI `bench-gate` check: the four origin legs
+//! (WHOIS join, DGA scan, squat classification, blocklist xref) run as four
+//! separate serial passes and as ONE fused pass over `ShardedStore` at
+//! 1/2/4/8 shards. CI parses the `bench <name> <ns> ns/iter` lines into
+//! `BENCH_5.json` and fails if the fused engine regresses past the gate at
+//! 4+ shards.
+//!
+//! Set `NXD_BENCH_QUICK=1` for a smaller population and fewer samples (the
+//! CI configuration); the default is a heavier local run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use nxd_bench::{origin_db, origin_xref_params};
+use nxd_core::OriginPipeline;
+use nxd_dga::DgaDetector;
+use nxd_passive_dns::ShardedStore;
+use nxd_squat::SquatClassifier;
+use nxd_traffic::{origin, OriginConfig};
+
+fn bench_origin_pipeline(c: &mut Criterion) {
+    let quick = std::env::var_os("NXD_BENCH_QUICK").is_some();
+    let (population, samples) = if quick { (8_000, 10) } else { (40_000, 10) };
+    let world = origin::generate(OriginConfig {
+        expired_total: population,
+        ..Default::default()
+    });
+    let db = origin_db(&world);
+    let detector = DgaDetector::default();
+    let classifier = SquatClassifier::default();
+    let pipeline = OriginPipeline {
+        whois: &world.whois,
+        detector: &detector,
+        classifier: &classifier,
+        blocklist: &world.blocklist,
+        xref: origin_xref_params(db.distinct_names()),
+    };
+
+    let mut g = c.benchmark_group("origin-pipeline");
+    g.sample_size(samples);
+    let serial = pipeline.run_serial(&db);
+    g.bench_function("serial", |b| b.iter(|| black_box(pipeline.run_serial(&db))));
+    for shards in [1usize, 2, 4, 8] {
+        let store = ShardedStore::from_db(&db, shards);
+        assert_eq!(
+            pipeline.run(&store),
+            serial,
+            "fused results diverged at {shards} shards"
+        );
+        g.bench_function(&format!("fused-{shards}"), |b| {
+            b.iter(|| black_box(pipeline.run(&store)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_origin_pipeline);
+criterion_main!(benches);

@@ -10,7 +10,7 @@
 //!
 //! Experiments: scalars fig3 fig4 fig5 fig6 fig7 fig8 table1 fig10 fig12
 //! fig13 fig14 fig15 filter hijack selection detector sinkhole federation
-//! exposure market analyzer scale-parallel
+//! exposure market analyzer scale-parallel origin-parallel
 //!
 //! Observability flags:
 //!
@@ -19,12 +19,15 @@
 //! * `--metrics-json <file>` — write the cumulative snapshot as JSON.
 //! * `--trace-out <file>` — write the span timeline as Chrome trace-event
 //!   JSON (loadable in `chrome://tracing` / Perfetto).
-//! * `--shards <N>` — shard count for the `scale-parallel` experiment
-//!   (default 4).
+//! * `--shards <N>` — shard count for the `scale-parallel` and
+//!   `origin-parallel` experiments (default 4).
 
 use std::collections::HashMap;
 
-use nxd_bench::{era_world_with, honeypot_world_with, origin_world, security_report_with};
+use nxd_bench::{
+    era_world_with, honeypot_world_with, origin_db, origin_world, origin_xref_params,
+    security_report_with,
+};
 use nxd_blocklist::ThreatCategory;
 use nxd_core::report::{bar_series, commas, compare_line, pct, table};
 use nxd_core::{origin as origin_analysis, scale, selection};
@@ -133,6 +136,7 @@ fn main() {
             "market",
             "analyzer",
             "scale-parallel",
+            "origin-parallel",
         ]
         .into_iter()
         .map(String::from)
@@ -167,6 +171,7 @@ fn main() {
             "federation" => federation_exp(&mut worlds),
             "analyzer" => analyzer_exp(),
             "scale-parallel" => scale_parallel_exp(&mut worlds, shards),
+            "origin-parallel" => origin_parallel_exp(&mut worlds, shards),
             other => eprintln!(
                 "[repro] unknown experiment {other:?} (see --help text in the doc comment)"
             ),
@@ -335,10 +340,15 @@ fn fig7(worlds: &mut Worlds) {
 fn fig8(worlds: &mut Worlds) {
     heading("Fig. 8 — blocklisted NXDomains by category (rate-limited xref)");
     let world = worlds.origin();
-    let names: Vec<String> = world.domains.iter().map(|d| d.name.clone()).collect();
     // Paper: 20 M of 91 M sampled due to the API rate limit; same ratio here.
-    let sample = names.len() * 20 / 91;
-    let xref = origin_analysis::blocklist_xref(&names, &world.blocklist, sample, 500, 200);
+    let sample = world.domains.len() * 20 / 91;
+    let xref = origin_analysis::blocklist_xref(
+        world.domains.iter().map(|d| d.name.as_str()),
+        &world.blocklist,
+        sample,
+        500,
+        200,
+    );
     let paper: [(ThreatCategory, u64, &str); 4] = [
         (ThreatCategory::Malware, 382_135, "79%"),
         (ThreatCategory::Grayware, 42_050, "9%"),
@@ -361,7 +371,7 @@ fn fig8(worlds: &mut Worlds) {
     println!(
         "sampled {} of {} domains; rate limiter forced {} one-second backoffs",
         commas(xref.queried),
-        commas(names.len() as u64),
+        commas(world.domains.len() as u64),
         commas(xref.rate_limited_rejections)
     );
 }
@@ -800,6 +810,74 @@ fn scale_parallel_exp(worlds: &mut Worlds, shards: usize) {
         .map(|s| commas(s.row_count() as u64))
         .collect();
     println!("rows per shard: [{}]", per_shard.join(", "));
+}
+
+fn origin_parallel_exp(worlds: &mut Worlds, shards: usize) {
+    use std::time::Instant;
+
+    heading(&format!(
+        "E-ORIGIN-PARALLEL — fused §5 engine vs serial four-pass ({shards} shards)"
+    ));
+    let telemetry = worlds.telemetry;
+    let world = worlds.origin();
+    let db = origin_db(world);
+    let detector = DgaDetector::default();
+    let classifier = SquatClassifier::default();
+    let pipeline = nxd_core::OriginPipeline {
+        whois: &world.whois,
+        detector: &detector,
+        classifier: &classifier,
+        blocklist: &world.blocklist,
+        xref: origin_xref_params(db.distinct_names()),
+    };
+
+    let t0 = Instant::now();
+    let serial = pipeline.run_serial(&db);
+    let serial_elapsed = t0.elapsed();
+
+    let t1 = Instant::now();
+    let store = nxd_passive_dns::ShardedStore::from_db(&db, shards);
+    let partition_elapsed = t1.elapsed();
+
+    let t2 = Instant::now();
+    let fused = pipeline.run_with(&store, telemetry);
+    let fused_elapsed = t2.elapsed();
+
+    assert_eq!(fused, serial, "fused origin results diverged from serial");
+    println!(
+        "all four §5 legs bit-identical across {} shards ({} names)",
+        store.shard_count(),
+        commas(store.distinct_names() as u64),
+    );
+    println!(
+        "whois: {} with history / {} without ({:.3}% expired)",
+        commas(fused.whois.with_history),
+        commas(fused.whois.without_history),
+        fused.whois.expired_fraction * 100.0
+    );
+    println!(
+        "dga: {} flagged ({:.2}%)",
+        commas(fused.dga_flagged),
+        fused.dga_fraction * 100.0
+    );
+    let squats: Vec<String> = SquatKind::ALL
+        .iter()
+        .filter_map(|k| fused.squat.get(k).map(|n| format!("{} {}", k.label(), n)))
+        .collect();
+    println!("squats: [{}]", squats.join(", "));
+    println!(
+        "xref: {} queried, {} blocklist hits, {} rate-limit backoffs",
+        commas(fused.xref.queried),
+        commas(fused.xref.hits.values().sum::<u64>()),
+        commas(fused.xref.rate_limited_rejections)
+    );
+    let speedup = serial_elapsed.as_secs_f64() / fused_elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "serial four-pass {:>9.3} ms | partition {:>9.3} ms | fused scan {:>9.3} ms | speedup {speedup:.2}x",
+        serial_elapsed.as_secs_f64() * 1e3,
+        partition_elapsed.as_secs_f64() * 1e3,
+        fused_elapsed.as_secs_f64() * 1e3,
+    );
 }
 
 fn detector_exp() {

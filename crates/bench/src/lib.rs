@@ -13,7 +13,9 @@
 //! This library crate only hosts shared experiment drivers so the bin and
 //! the benches stay in sync.
 
-use nxd_core::{origin as origin_analysis, scale, security};
+use nxd_core::{origin as origin_analysis, scale, security, XrefParams};
+use nxd_dns_wire::RCode;
+use nxd_passive_dns::PassiveDb;
 use nxd_telemetry::Telemetry;
 use nxd_traffic::{era, honeypot_era, origin, EraConfig, HoneypotConfig, OriginConfig};
 
@@ -71,6 +73,34 @@ pub fn honeypot_world_small() -> honeypot_era::HoneypotWorld {
     })
 }
 
+/// Interns an origin world's expired population into a passive database —
+/// every row NXDomain, days/sensors/counts cycling deterministically — so
+/// the fused §5 engine (and its benches) can scan it shard-parallel.
+pub fn origin_db(world: &origin::OriginWorld) -> PassiveDb {
+    let mut db = PassiveDb::new();
+    for (i, d) in world.domains.iter().enumerate() {
+        db.record_str(
+            &d.name,
+            17_000 + (i % 365) as u32,
+            (i % 8) as u16,
+            RCode::NxDomain,
+            1 + (i % 7) as u32,
+        );
+    }
+    db
+}
+
+/// The §5.2 cross-reference parameters shared by `repro origin-parallel`
+/// and the origin-pipeline bench: the paper's 20 M-of-91 M sampling ratio
+/// with the Fig. 8 token bucket.
+pub fn origin_xref_params(population: usize) -> XrefParams {
+    XrefParams {
+        sample_size: population * 20 / 91,
+        burst: 500,
+        refill_per_sec: 200,
+    }
+}
+
 /// Full §6 security report.
 pub fn security_report(world: &honeypot_era::HoneypotWorld) -> nxd_core::SecurityReport {
     security::run(world)
@@ -107,5 +137,15 @@ mod tests {
         assert_eq!(origin.domains.len(), 8_000);
         let honeypot = honeypot_world_small();
         assert_eq!(honeypot.captures.len(), 19);
+    }
+
+    #[test]
+    fn origin_db_interns_full_population() {
+        let world = origin_world_small();
+        let db = origin_db(&world);
+        assert_eq!(db.distinct_names(), world.domains.len());
+        assert_eq!(db.nx_names().count(), world.domains.len());
+        let params = origin_xref_params(db.distinct_names());
+        assert_eq!(params.sample_size, world.domains.len() * 20 / 91);
     }
 }

@@ -59,9 +59,15 @@ impl Blocklist {
         self.entries.insert(domain.to_ascii_lowercase(), category);
     }
 
-    /// Looks up a domain.
+    /// Looks up a domain. Already-lowercase inputs (the common case — the
+    /// passive store normalizes qnames) probe the map directly; only mixed-
+    /// case queries pay for a lowercased copy.
     pub fn lookup(&self, domain: &str) -> Option<ThreatCategory> {
-        self.entries.get(&domain.to_ascii_lowercase()).copied()
+        if domain.bytes().any(|b| b.is_ascii_uppercase()) {
+            self.entries.get(&domain.to_ascii_lowercase()).copied()
+        } else {
+            self.entries.get(domain).copied()
+        }
     }
 
     pub fn len(&self) -> usize {

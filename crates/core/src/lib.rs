@@ -41,6 +41,7 @@ pub mod selection;
 pub use exposure::{exposure_report, DomainExposure};
 pub use extensions::{federation_report, sinkhole_takedown, SinkholeReport};
 pub use market::{reregistration_market, MarketReport};
+pub use origin::pipeline::{OriginPipeline, OriginReport, XrefParams};
 pub use scale::ScaleReport;
 pub use security::{BotnetReport, DomainTally, SecurityReport};
 pub use selection::{Candidate, SelectionCriteria};

@@ -1,12 +1,18 @@
 //! §5 — the origin analyses: the WHOIS history join (§5.1), DGA detection,
 //! squat classification (Fig. 7), and the rate-limited blocklist
 //! cross-reference (Fig. 8).
+//!
+//! The four functions here are the *serial reference*: one pass each over
+//! the population. [`pipeline`] fuses all four legs into a single sharded
+//! parallel scan with bit-identical results.
+
+pub mod pipeline;
 
 use std::collections::HashMap;
 
 use nxd_blocklist::{Blocklist, ThreatCategory};
 use nxd_dga::DgaDetector;
-use nxd_passive_dns::{query, PassiveDb};
+use nxd_passive_dns::{query, NameId, PassiveDb};
 use nxd_squat::{SquatClassifier, SquatKind};
 use nxd_whois::HistoricWhoisDb;
 
@@ -20,15 +26,7 @@ pub struct WhoisJoin {
 
 /// Joins every NXDomain in the passive database against historic WHOIS.
 pub fn whois_join(db: &PassiveDb, whois: &HistoricWhoisDb) -> WhoisJoin {
-    let mut with = 0u64;
-    let mut without = 0u64;
-    for (id, _) in db.nx_names() {
-        if whois.has_history(db.interner().resolve(id)) {
-            with += 1;
-        } else {
-            without += 1;
-        }
-    }
+    let (with, without) = whois.join_counts(db.nx_names().map(|(id, _)| db.interner().resolve(id)));
     let total = with + without;
     WhoisJoin {
         with_history: with,
@@ -92,19 +90,46 @@ pub struct BlocklistXref {
 /// a rate-limited blocklist view, spacing queries so the token bucket
 /// refills (the §5.2 constraint that forced the paper down to a 20 M
 /// sample). `domains` must be the full population; sampling is by stable
-/// hash, mirroring §4.2.
-pub fn blocklist_xref(
-    domains: &[String],
+/// hash, mirroring §4.2. Takes borrowed `&str`s so callers feed it straight
+/// from the intern tables without materializing a `Vec<String>`.
+pub fn blocklist_xref<'a, I>(
+    domains: I,
     blocklist: &Blocklist,
     sample_size: usize,
     burst: u64,
     refill_per_sec: u64,
-) -> BlocklistXref {
+) -> BlocklistXref
+where
+    I: IntoIterator<Item = &'a str>,
+{
     // Deterministic sample: order by salted hash, take the first k.
-    let mut keyed: Vec<(u64, &String)> = domains.iter().map(|d| (fnv(d.as_bytes()), d)).collect();
-    keyed.sort();
-    let sample = keyed.into_iter().take(sample_size).map(|(_, d)| d);
+    let mut keyed: Vec<(u64, &str)> = domains
+        .into_iter()
+        .map(|d| (fnv(d.as_bytes()), d))
+        .collect();
+    keyed.sort_unstable();
+    keyed.truncate(sample_size);
+    xref_sample(
+        keyed.iter().map(|&(_, d)| d),
+        blocklist,
+        burst,
+        refill_per_sec,
+    )
+}
 
+/// The rate-limited lookup loop over an already-sampled, already-ordered
+/// domain sequence — shared by [`blocklist_xref`] and the fused pipeline
+/// (which builds the identical sample from per-shard top-k merges). The
+/// token bucket is stateful, so this stage is inherently serial.
+pub(crate) fn xref_sample<'a, I>(
+    sample: I,
+    blocklist: &Blocklist,
+    burst: u64,
+    refill_per_sec: u64,
+) -> BlocklistXref
+where
+    I: IntoIterator<Item = &'a str>,
+{
     let mut view = blocklist.rate_limited(burst, refill_per_sec);
     let mut hits: HashMap<ThreatCategory, u64> = HashMap::new();
     let mut queried = 0u64;
@@ -137,15 +162,18 @@ pub fn blocklist_xref(
 }
 
 /// The §4.2-style deterministic sampling of NXDomain names from the passive
-/// database (1/`n` by stable hash), rendered as strings.
-pub fn sample_names(db: &PassiveDb, n: u64, salt: u64) -> Vec<String> {
+/// database (1/`n` by stable hash), as interned ids — resolve lazily with
+/// [`resolve_names`] instead of eagerly rendering strings.
+pub fn sample_names(db: &PassiveDb, n: u64, salt: u64) -> Vec<NameId> {
     query::sample_nx_names(db, n, salt)
-        .into_iter()
-        .map(|id| db.interner().resolve(id).to_string())
-        .collect()
 }
 
-fn fnv(bytes: &[u8]) -> u64 {
+/// Lazily resolves sampled ids to borrowed name strings.
+pub fn resolve_names<'a>(db: &'a PassiveDb, ids: &'a [NameId]) -> impl Iterator<Item = &'a str> {
+    ids.iter().map(|&id| db.interner().resolve(id))
+}
+
+pub(crate) fn fnv(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;
@@ -215,7 +243,7 @@ mod tests {
         for d in domains.iter().take(50) {
             bl.insert(d, ThreatCategory::Malware);
         }
-        let x = blocklist_xref(&domains, &bl, 40, 5, 5);
+        let x = blocklist_xref(domains.iter().map(String::as_str), &bl, 40, 5, 5);
         assert_eq!(x.queried, 40);
         assert!(
             x.rate_limited_rejections > 0,
@@ -235,5 +263,9 @@ mod tests {
         let s = sample_names(&db, 10, 99);
         assert!((100..350).contains(&s.len()), "got {}", s.len());
         assert_eq!(s, sample_names(&db, 10, 99));
+        // Lazy resolution yields real names from the population.
+        for name in resolve_names(&db, &s) {
+            assert!(name.starts_with('x') && name.ends_with(".com"));
+        }
     }
 }

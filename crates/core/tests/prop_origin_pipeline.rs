@@ -1,0 +1,187 @@
+//! Property tests for the fused origin engine: for ANY generated population
+//! and ANY shard count, the single fused parallel pass must return results
+//! bit-identical to the four serial §5 functions — counts, fractions,
+//! per-kind and per-category maps, and the rate-limited xref trajectory.
+//! Mirrors `nxd-passive-dns/tests/prop_shard.rs` for the §5 leg.
+
+use nxd_blocklist::{Blocklist, ThreatCategory};
+use nxd_core::origin;
+use nxd_core::{OriginPipeline, XrefParams};
+use nxd_dga::DgaDetector;
+use nxd_dns_wire::RCode;
+use nxd_passive_dns::{PassiveDb, ShardedStore};
+use nxd_squat::SquatClassifier;
+use nxd_telemetry::Telemetry;
+use nxd_whois::{HistoricWhoisDb, SpanEnd, WhoisRecord};
+use proptest::prelude::*;
+
+const TLDS: [&str; 4] = ["com", "net", "co", "org"];
+
+/// Names that exercise every detector leg: squats of popular targets
+/// (typo/combo/dot/bit/homo), DGA-looking labels, and benign shapes.
+const SPECIAL: [&str; 12] = [
+    "gogle.com",
+    "google.co",
+    "paypal-login.com",
+    "wwwfacebook.com",
+    "twitter-support.com",
+    "appld.com",
+    "arnazon.com",
+    "xkqzjvwpyh.com",
+    "qwjzkvbnmx.net",
+    "zxqvkwjptn.com",
+    "example.com",
+    "news-site.org",
+];
+
+fn name_of(idx: usize) -> String {
+    if idx < SPECIAL.len() {
+        SPECIAL[idx].to_string()
+    } else {
+        format!("name-{idx}.{}", TLDS[idx % TLDS.len()])
+    }
+}
+
+/// One generated observation: name index into the pool, day, NX flag.
+type Obs = (usize, u32, bool);
+
+fn db_of(observations: &[Obs]) -> PassiveDb {
+    let mut db = PassiveDb::new();
+    for &(idx, day, nx) in observations {
+        let rcode = if nx { RCode::NxDomain } else { RCode::NoError };
+        db.record_str(
+            &name_of(idx),
+            day,
+            (idx % 8) as u16,
+            rcode,
+            1 + (idx % 5) as u32,
+        );
+    }
+    db
+}
+
+/// WHOIS history for a third of the pool, blocklist entries (cycling
+/// categories) for a quarter — so the join and the xref both see hits.
+fn substrates() -> (HistoricWhoisDb, Blocklist) {
+    let mut whois = HistoricWhoisDb::new();
+    let mut blocklist = Blocklist::new();
+    for idx in 0..40 {
+        let name = name_of(idx);
+        if idx % 3 == 0 {
+            whois.add(WhoisRecord {
+                domain: name.clone(),
+                registered: 100,
+                expires: 200,
+                registrar: "r".into(),
+                registrant: "a".into(),
+                nameservers: vec![],
+                end: SpanEnd::Expired,
+            });
+        }
+        if idx % 4 == 0 {
+            let cat = ThreatCategory::ALL[idx % ThreatCategory::ALL.len()];
+            blocklist.insert(&name, cat);
+        }
+    }
+    (whois, blocklist)
+}
+
+fn arb_observations() -> impl Strategy<Value = Vec<Obs>> {
+    proptest::collection::vec(
+        (0usize..40, 16_000u32..18_500, 0u32..10)
+            // 80% NXDomain, 20% NoError.
+            .prop_map(|(idx, day, nx_sel)| (idx, day, nx_sel < 8)),
+        0..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fused pass reproduces the serial composite bit-for-bit at every
+    /// shard count, including the f64 fractions.
+    #[test]
+    fn fused_matches_serial_composite(observations in arb_observations(), sample_div in 1usize..4) {
+        let db = db_of(&observations);
+        let (whois, blocklist) = substrates();
+        let detector = DgaDetector::default();
+        let classifier = SquatClassifier::default();
+        let pipeline = OriginPipeline {
+            whois: &whois,
+            detector: &detector,
+            classifier: &classifier,
+            blocklist: &blocklist,
+            xref: XrefParams {
+                sample_size: db.distinct_names() / sample_div + 1,
+                burst: 4,
+                refill_per_sec: 3,
+            },
+        };
+        let serial = pipeline.run_serial(&db);
+        for shards in [1usize, 2, 4, 8] {
+            let store = ShardedStore::from_db(&db, shards);
+            let fused = pipeline.run(&store);
+            prop_assert_eq!(&fused, &serial, "{} shards", shards);
+            // PartialEq on f64 is numeric; pin the bit patterns explicitly.
+            prop_assert_eq!(
+                fused.whois.expired_fraction.to_bits(),
+                serial.whois.expired_fraction.to_bits()
+            );
+            prop_assert_eq!(fused.dga_fraction.to_bits(), serial.dga_fraction.to_bits());
+        }
+    }
+
+    /// The serial composite itself agrees with the four standalone §5
+    /// functions — so fused ≡ composite ≡ each individual serial pass.
+    #[test]
+    fn serial_composite_matches_standalone_functions(observations in arb_observations()) {
+        let db = db_of(&observations);
+        let (whois, blocklist) = substrates();
+        let detector = DgaDetector::default();
+        let classifier = SquatClassifier::default();
+        let sample_size = db.distinct_names() / 2 + 1;
+        let pipeline = OriginPipeline {
+            whois: &whois,
+            detector: &detector,
+            classifier: &classifier,
+            blocklist: &blocklist,
+            xref: XrefParams { sample_size, burst: 4, refill_per_sec: 3 },
+        };
+        let composite = pipeline.run_serial(&db);
+        let names = || db.nx_names().map(|(id, _)| db.interner().resolve(id));
+
+        prop_assert_eq!(&composite.whois, &origin::whois_join(&db, &whois));
+        let (flagged, fraction) = origin::dga_scan(names(), &detector);
+        prop_assert_eq!(composite.dga_flagged, flagged);
+        prop_assert_eq!(composite.dga_fraction.to_bits(), fraction.to_bits());
+        prop_assert_eq!(&composite.squat, &origin::squat_scan(names(), &classifier));
+        prop_assert_eq!(
+            &composite.xref,
+            &origin::blocklist_xref(names(), &blocklist, sample_size, 4, 3)
+        );
+    }
+
+    /// Telemetry instrumentation must never change results.
+    #[test]
+    fn instrumented_run_matches_bare_run(observations in arb_observations()) {
+        let db = db_of(&observations);
+        let (whois, blocklist) = substrates();
+        let detector = DgaDetector::default();
+        let classifier = SquatClassifier::default();
+        let pipeline = OriginPipeline {
+            whois: &whois,
+            detector: &detector,
+            classifier: &classifier,
+            blocklist: &blocklist,
+            xref: XrefParams { sample_size: 16, burst: 8, refill_per_sec: 8 },
+        };
+        let store = ShardedStore::from_db(&db, 4);
+        let telemetry = Telemetry::wall();
+        prop_assert_eq!(pipeline.run_with(&store, &telemetry), pipeline.run(&store));
+        let snap = telemetry.registry.snapshot();
+        prop_assert_eq!(
+            snap.counter_total("origin_names_scanned_total"),
+            db.nx_names().count() as u64
+        );
+    }
+}

@@ -17,7 +17,6 @@
 //! to the labels it produces (the paper treats its detector as an oracle —
 //! we surface the error bars instead).
 
-use std::collections::HashMap;
 use std::sync::OnceLock;
 
 use crate::corpus::{BENIGN_DOMAINS, WORDS};
@@ -125,21 +124,21 @@ impl DgaDetector {
     }
 
     /// Extracts features from a registrable domain (`label.tld`) or a bare
-    /// label.
+    /// label. Single streaming pass — no intermediate byte buffer.
     pub fn features(domain: &str) -> Features {
         let label = domain.split('.').next().unwrap_or(domain);
-        let bytes: Vec<u8> = label
-            .bytes()
-            .filter(|b| b.is_ascii_alphanumeric())
-            .collect();
-        let len = bytes.len().max(1) as f64;
 
         let mut counts = [0u32; 36];
+        let mut alnum = 0u32;
         let mut digits = 0u32;
         let mut vowels = 0u32;
         let mut run = 0u32;
         let mut max_run = 0u32;
-        for &b in &bytes {
+        for b in label.bytes() {
+            if !b.is_ascii_alphanumeric() {
+                continue;
+            }
+            alnum += 1;
             let idx = if b.is_ascii_digit() {
                 (b - b'0') as usize + 26
             } else {
@@ -157,6 +156,7 @@ impl DgaDetector {
             }
             max_run = max_run.max(run);
         }
+        let len = alnum.max(1) as f64;
         let entropy: f64 = counts
             .iter()
             .filter(|&&c| c > 0)
@@ -165,7 +165,7 @@ impl DgaDetector {
                 -p * p.log2()
             })
             .sum();
-        let letters = (bytes.len() as u32 - digits).max(1) as f64;
+        let letters = (alnum - digits).max(1) as f64;
         // English text runs ~38–40% vowels among letters.
         let vowel_distance = (vowels as f64 / letters - 0.39).abs();
 
@@ -225,21 +225,25 @@ impl DgaDetector {
 }
 
 /// Average per-bigram negative log-likelihood under the benign model, minus
-/// a baseline; ≥0 and larger for unusual character transitions.
+/// a baseline; ≥0 and larger for unusual character transitions. Streams the
+/// label's lowercase bytes through the dense table — no buffer, no hashing.
 fn bigram_anomaly(label: &str) -> f64 {
-    let model = benign_bigram_model();
-    let bytes: Vec<u8> = label.bytes().filter(u8::is_ascii_lowercase).collect();
-    if bytes.len() < 2 {
-        return 0.0;
-    }
+    let table = benign_bigram_table();
+    let mut prev: Option<u8> = None;
     let mut total = 0.0;
     let mut n = 0u32;
-    for pair in bytes.windows(2) {
-        let key = (pair[0], pair[1]);
-        // Laplace-smoothed probability.
-        let p = model.get(&key).copied().unwrap_or(0.0) + 1e-4;
-        total += -p.ln();
-        n += 1;
+    for b in label.bytes() {
+        if !b.is_ascii_lowercase() {
+            continue;
+        }
+        if let Some(p) = prev {
+            total += table[(p - b'a') as usize][(b - b'a') as usize];
+            n += 1;
+        }
+        prev = Some(b);
+    }
+    if n == 0 {
+        return 0.0;
     }
     (total / n as f64 - 4.0).max(0.0)
 }
@@ -247,6 +251,37 @@ fn bigram_anomaly(label: &str) -> f64 {
 /// Fraction of the label covered by dictionary words of length ≥ 4 (greedy).
 fn word_coverage(label: &str) -> f64 {
     let words = word_set();
+    if label.is_ascii() {
+        // Byte-slice fast path: char and byte indices coincide, so the
+        // greedy matcher can probe `&label[i..j]` directly with no per-probe
+        // allocation. Greedy segments are disjoint, so summing match
+        // lengths equals counting covered positions.
+        let n = label.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut covered = 0usize;
+        let mut i = 0;
+        while i < n {
+            let mut matched = 0;
+            // Longest match first.
+            for j in ((i + 4)..=n.min(i + 12)).rev() {
+                if words.contains(&label[i..j]) {
+                    matched = j - i;
+                    break;
+                }
+            }
+            if matched > 0 {
+                covered += matched;
+                i += matched;
+            } else {
+                i += 1;
+            }
+        }
+        return covered as f64 / n as f64;
+    }
+    // Non-ASCII labels take the original char-indexed path (dictionary
+    // words are ASCII, so matches are only possible on ASCII runs).
     let chars: Vec<char> = label.chars().collect();
     let n = chars.len();
     if n == 0 {
@@ -256,7 +291,6 @@ fn word_coverage(label: &str) -> f64 {
     let mut i = 0;
     while i < n {
         let mut matched = 0;
-        // Longest match first.
         for j in ((i + 4)..=n.min(i + 12)).rev() {
             let slice: String = chars[i..j].iter().collect();
             if words.contains(slice.as_str()) {
@@ -276,22 +310,44 @@ fn word_coverage(label: &str) -> f64 {
     covered.iter().filter(|&&c| c).count() as f64 / n as f64
 }
 
-fn benign_bigram_model() -> &'static HashMap<(u8, u8), f64> {
-    static MODEL: OnceLock<HashMap<(u8, u8), f64>> = OnceLock::new();
-    MODEL.get_or_init(|| {
-        let mut counts: HashMap<(u8, u8), u64> = HashMap::new();
+/// Dense benign-bigram cost table: cell `[a][b]` holds the Laplace-smoothed
+/// negative log-likelihood `-ln(count(ab) / total + 1e-4)` over the benign
+/// corpus, exactly the per-pair value the old `HashMap<(u8, u8), f64>`
+/// model produced (unseen pairs cost `-ln(1e-4)`). 26×26 f64 cells — one
+/// cache-friendly 5.4 KiB array instead of a hash probe per bigram.
+fn benign_bigram_table() -> &'static [[f64; 26]; 26] {
+    static TABLE: OnceLock<[[f64; 26]; 26]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut counts = [[0u64; 26]; 26];
         let mut total = 0u64;
         for name in BENIGN_DOMAINS.iter().chain(WORDS) {
-            let bytes: Vec<u8> = name.bytes().filter(u8::is_ascii_lowercase).collect();
-            for pair in bytes.windows(2) {
-                *counts.entry((pair[0], pair[1])).or_insert(0) += 1;
-                total += 1;
+            let mut prev: Option<u8> = None;
+            for b in name.bytes() {
+                if !b.is_ascii_lowercase() {
+                    continue;
+                }
+                if let Some(p) = prev {
+                    counts[(p - b'a') as usize][(b - b'a') as usize] += 1;
+                    total += 1;
+                }
+                prev = Some(b);
             }
         }
-        counts
-            .into_iter()
-            .map(|(k, c)| (k, c as f64 / total as f64))
-            .collect()
+        let mut table = [[0.0f64; 26]; 26];
+        for (row, count_row) in table.iter_mut().zip(counts.iter()) {
+            for (cell, &c) in row.iter_mut().zip(count_row.iter()) {
+                // Same smoothing as the old model: probability first (0 for
+                // unseen pairs), then + 1e-4, then -ln — pinned bit-for-bit
+                // by the `dense_table_matches_hashmap_model` test.
+                let p = if total == 0 {
+                    0.0
+                } else {
+                    c as f64 / total as f64
+                };
+                *cell = -(p + 1e-4).ln();
+            }
+        }
+        table
     })
 }
 
@@ -386,6 +442,124 @@ mod tests {
     fn word_coverage_detects_dictionary_labels() {
         assert!(word_coverage("silverdragon") > 0.9);
         assert!(word_coverage("xkqzvwpjh") < 0.1);
+    }
+
+    /// Reimplements the retired `HashMap<(u8, u8), f64>` bigram model and
+    /// pins the dense-table scorer to it bit-for-bit: same smoothing, same
+    /// scores, for benign names and every generator family.
+    #[test]
+    fn dense_table_matches_hashmap_model() {
+        use std::collections::HashMap;
+
+        let mut counts: HashMap<(u8, u8), u64> = HashMap::new();
+        let mut total = 0u64;
+        for name in BENIGN_DOMAINS.iter().chain(crate::corpus::WORDS) {
+            let bytes: Vec<u8> = name.bytes().filter(u8::is_ascii_lowercase).collect();
+            for pair in bytes.windows(2) {
+                *counts.entry((pair[0], pair[1])).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        let model: HashMap<(u8, u8), f64> = counts
+            .into_iter()
+            .map(|(k, c)| (k, c as f64 / total as f64))
+            .collect();
+        let reference = |label: &str| -> f64 {
+            let bytes: Vec<u8> = label.bytes().filter(u8::is_ascii_lowercase).collect();
+            if bytes.len() < 2 {
+                return 0.0;
+            }
+            let mut sum = 0.0;
+            let mut n = 0u32;
+            for pair in bytes.windows(2) {
+                let p = model.get(&(pair[0], pair[1])).copied().unwrap_or(0.0) + 1e-4;
+                sum += -p.ln();
+                n += 1;
+            }
+            (sum / n as f64 - 4.0).max(0.0)
+        };
+
+        let mut probed = 0u32;
+        for name in BENIGN_DOMAINS.iter().take(200) {
+            assert_eq!(
+                bigram_anomaly(name).to_bits(),
+                reference(name).to_bits(),
+                "{name}"
+            );
+            probed += 1;
+        }
+        for fam in all_families() {
+            for name in fam.generate(3, (2022, 7, 1), 50) {
+                let label = name.split('.').next().unwrap_or(&name);
+                assert_eq!(
+                    bigram_anomaly(label).to_bits(),
+                    reference(label).to_bits(),
+                    "{label}"
+                );
+                probed += 1;
+            }
+        }
+        // Mixed-case / separator / short inputs hit the filter edges.
+        for label in ["", "a", "Ab-9z", "MIXED", "a-b-c"] {
+            assert_eq!(
+                bigram_anomaly(label).to_bits(),
+                reference(label).to_bits(),
+                "{label}"
+            );
+            probed += 1;
+        }
+        assert!(probed > 400);
+    }
+
+    /// The ASCII byte-slice fast path of `word_coverage` agrees with the
+    /// char-indexed reference on representative labels.
+    #[test]
+    fn word_coverage_ascii_fast_path_matches_char_path() {
+        let words = word_set();
+        let reference = |label: &str| -> f64 {
+            let chars: Vec<char> = label.chars().collect();
+            let n = chars.len();
+            if n == 0 {
+                return 0.0;
+            }
+            let mut covered = vec![false; n];
+            let mut i = 0;
+            while i < n {
+                let mut matched = 0;
+                for j in ((i + 4)..=n.min(i + 12)).rev() {
+                    let slice: String = chars[i..j].iter().collect();
+                    if words.contains(slice.as_str()) {
+                        matched = j - i;
+                        break;
+                    }
+                }
+                if matched > 0 {
+                    for c in covered.iter_mut().skip(i).take(matched) {
+                        *c = true;
+                    }
+                    i += matched;
+                } else {
+                    i += 1;
+                }
+            }
+            covered.iter().filter(|&&c| c).count() as f64 / n as f64
+        };
+        for label in [
+            "silverdragon",
+            "xkqzvwpjh",
+            "secureloginportal",
+            "freebonus",
+            "",
+            "abc",
+            "wordword",
+            "caf\u{e9}dragon",
+        ] {
+            assert_eq!(
+                word_coverage(label).to_bits(),
+                reference(label).to_bits(),
+                "{label}"
+            );
+        }
     }
 
     #[test]

@@ -141,12 +141,18 @@ impl ShardedStore {
     /// shard) and returns the partial results in shard order. A single
     /// shard runs inline.
     ///
+    /// This is the building block the parallel query methods below are made
+    /// of, public so higher layers (e.g. the fused origin pipeline in
+    /// `nxd-core`) can fan their own scans out over the same partitions.
+    /// The explicit `'s` lifetime lets partials borrow from the shards —
+    /// e.g. return interner-resolved `&'s str` names — instead of cloning.
+    ///
     /// # Panics
     /// Propagates worker panics (queries over a well-formed store do not
     /// panic).
-    fn fan_out<R, F>(&self, f: F) -> Vec<R>
+    pub fn par_map<'s, R, F>(&'s self, f: F) -> Vec<R>
     where
-        F: Fn(&PassiveDb) -> R + Sync,
+        F: Fn(&'s PassiveDb) -> R + Sync,
         R: Send,
     {
         if self.shards.len() == 1 {
@@ -183,7 +189,7 @@ impl ShardedStore {
 
     /// Total responses carrying `rcode` (parallel [`query::total_responses`]).
     pub fn total_responses(&self, rcode: RCode) -> u64 {
-        self.fan_out(|db| query::total_responses(db, rcode))
+        self.par_map(|db| query::total_responses(db, rcode))
             .into_iter()
             .sum()
     }
@@ -196,14 +202,14 @@ impl ShardedStore {
     /// Distinct names that ever received an NXDOMAIN response (parallel
     /// [`query::distinct_nx_names`]).
     pub fn distinct_nx_names(&self) -> u64 {
-        self.fan_out(query::distinct_nx_names).into_iter().sum()
+        self.par_map(query::distinct_nx_names).into_iter().sum()
     }
 
     /// NXDOMAIN responses per calendar month (parallel
     /// [`query::monthly_nx_series`]).
     pub fn monthly_nx_series(&self) -> Vec<(i64, u64)> {
         let mut merged: BTreeMap<i64, u64> = BTreeMap::new();
-        for partial in self.fan_out(query::monthly_nx_series) {
+        for partial in self.par_map(query::monthly_nx_series) {
             for (month, responses) in partial {
                 *merged.entry(month).or_insert(0) += responses;
             }
@@ -220,7 +226,7 @@ impl ShardedStore {
     /// Fig. 4's TLD distribution (parallel [`query::tld_distribution`]).
     pub fn tld_distribution(&self) -> Vec<TldStat> {
         let mut merged: BTreeMap<String, (u64, u64)> = BTreeMap::new();
-        for partial in self.fan_out(query::tld_distribution) {
+        for partial in self.par_map(query::tld_distribution) {
             for stat in partial {
                 let entry = merged.entry(stat.tld).or_insert((0, 0));
                 entry.0 += stat.nx_names;
@@ -244,7 +250,7 @@ impl ShardedStore {
     /// hash of the name, so the sample is identical for any shard count.
     pub fn sample_nx_names(&self, n: u64, salt: u64) -> Vec<String> {
         let mut out: Vec<String> = self
-            .fan_out(|db| query::sample_nx_name_strings(db, n, salt))
+            .par_map(|db| query::sample_nx_name_strings(db, n, salt))
             .into_iter()
             .flatten()
             .collect();
@@ -263,7 +269,7 @@ impl ShardedStore {
                 queries: 0,
             })
             .collect();
-        for partial in self.fan_out(|db| query::lifespan_histogram(db, max_days)) {
+        for partial in self.par_map(|db| query::lifespan_histogram(db, max_days)) {
             for (slot, bucket) in merged.iter_mut().zip(partial) {
                 slot.names += bucket.names;
                 slot.queries += bucket.queries;
@@ -299,7 +305,7 @@ impl ShardedStore {
         }
         let span = (before + after + 1) as usize;
         let mut totals = vec![0u64; span];
-        let partials = self.fan_out_indexed(|idx, db| {
+        let partials = self.par_map_indexed(|idx, db| {
             query::expiry_aligned_totals(db, &per_shard[idx], before, after)
         });
         for partial in partials {
@@ -317,7 +323,7 @@ impl ShardedStore {
 
     /// §4.4's long-lived NXDomain counts (parallel [`query::long_lived_nx`]).
     pub fn long_lived_nx(&self, min_days: u32) -> (u64, u64) {
-        self.fan_out(|db| query::long_lived_nx(db, min_days))
+        self.par_map(|db| query::long_lived_nx(db, min_days))
             .into_iter()
             .fold((0, 0), |(n, q), (pn, pq)| (n + pn, q + pq))
     }
@@ -325,7 +331,7 @@ impl ShardedStore {
     /// Responses per rcode (parallel [`query::rcode_breakdown`]).
     pub fn rcode_breakdown(&self) -> Vec<(u8, u64)> {
         let mut merged: BTreeMap<u8, u64> = BTreeMap::new();
-        for partial in self.fan_out(query::rcode_breakdown) {
+        for partial in self.par_map(query::rcode_breakdown) {
             for (rcode, responses) in partial {
                 *merged.entry(rcode).or_insert(0) += responses;
             }
@@ -352,7 +358,7 @@ impl ShardedStore {
     /// NXDOMAIN responses per sensor (parallel [`query::nx_by_sensor`]).
     pub fn nx_by_sensor(&self) -> HashMap<u16, u64> {
         let mut merged: HashMap<u16, u64> = HashMap::new();
-        for partial in self.fan_out(query::nx_by_sensor) {
+        for partial in self.par_map(query::nx_by_sensor) {
             for (sensor, responses) in partial {
                 *merged.entry(sensor).or_insert(0) += responses;
             }
@@ -360,11 +366,12 @@ impl ShardedStore {
         merged
     }
 
-    /// [`ShardedStore::fan_out`] with the shard index passed through, for
-    /// closures that need per-shard side inputs.
-    fn fan_out_indexed<R, F>(&self, f: F) -> Vec<R>
+    /// [`ShardedStore::par_map`] with the shard index passed through, for
+    /// closures that need per-shard side inputs (or per-shard telemetry
+    /// labels).
+    pub fn par_map_indexed<'s, R, F>(&'s self, f: F) -> Vec<R>
     where
-        F: Fn(usize, &PassiveDb) -> R + Sync,
+        F: Fn(usize, &'s PassiveDb) -> R + Sync,
         R: Send,
     {
         if self.shards.len() == 1 {

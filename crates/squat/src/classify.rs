@@ -7,8 +7,20 @@
 //! tests): bit before homo before typo (a bit-flip and some glyph swaps are
 //! also edit-distance-1), and dot/combo last because their shapes are
 //! unambiguous at larger edit distances.
+//!
+//! The hot path is [`SquatClassifier::classify_with`]: targets are indexed
+//! by TLD with precomputed byte/char lengths so each check screens targets
+//! by length and first byte before running an edit distance, the
+//! Damerau–Levenshtein call is the banded scratch-reusing
+//! [`damerau_levenshtein_bounded`], and every rewrite comparison (homoglyph,
+//! dot, combo) works on borrowed slices instead of building candidate
+//! strings. A [`SquatScratch`] per worker thread makes a whole-population
+//! scan allocation-free except for the rare positive match.
 
-use crate::edit::{bit_hamming, damerau_levenshtein};
+use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
+
+use crate::edit::{bit_hamming, damerau_levenshtein_bounded, EditScratch};
 use crate::tables::{CHAR_GLYPHS, COMBO_KEYWORDS, DIGRAPH_GLYPHS, POPULAR_TARGETS};
 
 /// The five squat categories of Fig. 7.
@@ -48,10 +60,32 @@ pub struct SquatMatch {
     pub target: String,
 }
 
+/// One indexed target: the parsed brand/TLD plus precomputed lengths and
+/// the rendered `brand.tld` handed out in matches.
+#[derive(Debug, Clone)]
+struct Target {
+    brand: String,
+    tld: String,
+    full: String,
+    brand_chars: usize,
+    tld_chars: usize,
+}
+
+/// Reusable per-thread buffers for [`SquatClassifier::classify_with`].
+#[derive(Debug, Default, Clone)]
+pub struct SquatScratch {
+    edit: EditScratch,
+    buf: String,
+}
+
 /// Classifier over a set of popular target domains.
 #[derive(Debug, Clone)]
 pub struct SquatClassifier {
-    targets: Vec<(String, String)>, // (brand, tld)
+    /// All targets in insertion order — the order ties break in.
+    targets: Vec<Target>,
+    /// Target indices grouped by TLD (insertion order preserved within a
+    /// group), for the checks that require the TLDs to match exactly.
+    by_tld: HashMap<String, Vec<usize>>,
 }
 
 impl Default for SquatClassifier {
@@ -60,22 +94,65 @@ impl Default for SquatClassifier {
     }
 }
 
+fn combo_keyword_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| COMBO_KEYWORDS.iter().copied().collect())
+}
+
+/// Whether `(x, y)` is a confusable pair in either orientation.
+fn char_glyph_pair(x: char, y: char) -> bool {
+    CHAR_GLYPHS
+        .iter()
+        .any(|&(a, b)| (x == a && y == b) || (x == b && y == a))
+}
+
+/// Whether rewriting one occurrence of `f` in `label` to `t` yields `brand`,
+/// without materializing the rewrite (pure slice comparisons).
+fn digraph_rewrite_matches(label: &str, brand: &str, f: &str, t: &str) -> bool {
+    if label.len() + t.len() != brand.len() + f.len() {
+        return false;
+    }
+    let (lb, bb, tb) = (label.as_bytes(), brand.as_bytes(), t.as_bytes());
+    let mut start = 0;
+    while let Some(pos) = label[start..].find(f) {
+        let at = start + pos;
+        if bb[..at] == lb[..at]
+            && bb[at..at + t.len()] == *tb
+            && bb[at + t.len()..] == lb[at + f.len()..]
+        {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
 impl SquatClassifier {
     /// Builds a classifier for the given targets (each `brand.tld`).
     pub fn new<'a, I: IntoIterator<Item = &'a str>>(targets: I) -> Self {
-        let targets = targets
+        let targets: Vec<Target> = targets
             .into_iter()
             .filter_map(|t| {
                 let mut it = t.split('.');
                 match (it.next(), it.next(), it.next()) {
                     (Some(b), Some(tld), None) if !b.is_empty() && !tld.is_empty() => {
-                        Some((b.to_string(), tld.to_string()))
+                        Some(Target {
+                            brand: b.to_string(),
+                            tld: tld.to_string(),
+                            full: format!("{b}.{tld}"),
+                            brand_chars: b.chars().count(),
+                            tld_chars: tld.chars().count(),
+                        })
                     }
                     _ => None,
                 }
             })
             .collect();
-        SquatClassifier { targets }
+        let mut by_tld: HashMap<String, Vec<usize>> = HashMap::new();
+        for (idx, t) in targets.iter().enumerate() {
+            by_tld.entry(t.tld.clone()).or_default().push(idx);
+        }
+        SquatClassifier { targets, by_tld }
     }
 
     pub fn target_count(&self) -> usize {
@@ -83,8 +160,15 @@ impl SquatClassifier {
     }
 
     /// Classifies a registrable domain. Returns `None` for exact targets and
-    /// non-squats.
+    /// non-squats. Allocation-per-call convenience wrapper over
+    /// [`SquatClassifier::classify_with`].
     pub fn classify(&self, domain: &str) -> Option<SquatMatch> {
+        self.classify_with(domain, &mut SquatScratch::default())
+    }
+
+    /// Classifies a registrable domain, reusing `scratch` across calls —
+    /// the hot path of the fused origin pipeline.
+    pub fn classify_with(&self, domain: &str, scratch: &mut SquatScratch) -> Option<SquatMatch> {
         let (label, tld) = {
             let mut it = domain.split('.');
             let l = it.next()?;
@@ -94,77 +178,88 @@ impl SquatClassifier {
             }
             (l, t)
         };
+        let same_tld = self.by_tld.get(tld).map(Vec::as_slice).unwrap_or(&[]);
         // Exact target → not a squat.
-        if self.targets.iter().any(|(b, t)| b == label && t == tld) {
+        if same_tld.iter().any(|&i| self.targets[i].brand == label) {
             return None;
         }
+        let label_chars = label.chars().count();
+        let tld_chars = tld.chars().count();
 
         // Precedence: bit, homo, typo, dot, combo.
-        for check in [
-            Self::check_bit,
-            Self::check_homo,
-            Self::check_typo,
-            Self::check_dot,
-            Self::check_combo,
-        ] {
-            if let Some(m) = check(self, label, tld) {
-                return Some(m);
+        if let Some(m) = self.check_bit(label, same_tld) {
+            return Some(m);
+        }
+        if let Some(m) = self.check_homo(label, label_chars, same_tld) {
+            return Some(m);
+        }
+        if let Some(m) = self.check_typo(label, label_chars, tld, tld_chars, scratch) {
+            return Some(m);
+        }
+        if let Some(m) = self.check_dot(label, same_tld) {
+            return Some(m);
+        }
+        self.check_combo(label, same_tld, scratch)
+    }
+
+    fn found(&self, kind: SquatKind, idx: usize) -> Option<SquatMatch> {
+        Some(SquatMatch {
+            kind,
+            target: self.targets[idx].full.clone(),
+        })
+    }
+
+    fn check_bit(&self, label: &str, same_tld: &[usize]) -> Option<SquatMatch> {
+        let lb = label.as_bytes();
+        for &idx in same_tld {
+            let brand = &self.targets[idx].brand;
+            // One flipped bit leaves the length intact and the first bytes
+            // within one bit of each other — both screens are free.
+            if lb.len() == brand.len()
+                && !lb.is_empty()
+                && (lb[0] ^ brand.as_bytes()[0]).count_ones() <= 1
+                && bit_hamming(label, brand) == Some(1)
+            {
+                return self.found(SquatKind::Bit, idx);
             }
         }
         None
     }
 
-    fn check_bit(&self, label: &str, tld: &str) -> Option<SquatMatch> {
-        for (brand, btld) in &self.targets {
-            if btld == tld && bit_hamming(label, brand) == Some(1) {
-                return Some(SquatMatch {
-                    kind: SquatKind::Bit,
-                    target: format!("{brand}.{btld}"),
-                });
-            }
-        }
-        None
-    }
-
-    fn check_homo(&self, label: &str, tld: &str) -> Option<SquatMatch> {
-        // De-confuse: map the label back through every glyph table entry and
-        // see if any single rewrite reconstructs a target brand.
-        for (brand, btld) in &self.targets {
-            if btld != tld {
-                continue;
-            }
-            // Single-char glyphs.
-            let chars: Vec<char> = label.chars().collect();
-            for i in 0..chars.len() {
-                for &(a, b) in CHAR_GLYPHS {
-                    for (from, to) in [(a, b), (b, a)] {
-                        if chars[i] == from {
-                            let mut c = chars.clone();
-                            c[i] = to;
-                            if c.iter().collect::<String>() == *brand {
-                                return Some(SquatMatch {
-                                    kind: SquatKind::Homo,
-                                    target: format!("{brand}.{btld}"),
-                                });
-                            }
+    fn check_homo(
+        &self,
+        label: &str,
+        label_chars: usize,
+        same_tld: &[usize],
+    ) -> Option<SquatMatch> {
+        for &idx in same_tld {
+            let target = &self.targets[idx];
+            // Single-char glyphs: the label must match the brand everywhere
+            // except exactly one position holding a confusable pair.
+            if label_chars == target.brand_chars {
+                let mut diffs = 0u32;
+                let mut pair = None;
+                for (lc, bc) in label.chars().zip(target.brand.chars()) {
+                    if lc != bc {
+                        diffs += 1;
+                        if diffs > 1 {
+                            break;
                         }
+                        pair = Some((lc, bc));
+                    }
+                }
+                if diffs == 1 {
+                    let (lc, bc) = pair.expect("one diff recorded");
+                    if char_glyph_pair(lc, bc) {
+                        return self.found(SquatKind::Homo, idx);
                     }
                 }
             }
             // Digraph glyphs, both directions.
             for &(from, to) in DIGRAPH_GLYPHS {
                 for (f, t) in [(from, to), (to, from)] {
-                    let mut start = 0;
-                    while let Some(pos) = label[start..].find(f) {
-                        let at = start + pos;
-                        let rewritten = format!("{}{}{}", &label[..at], t, &label[at + f.len()..]);
-                        if rewritten == *brand {
-                            return Some(SquatMatch {
-                                kind: SquatKind::Homo,
-                                target: format!("{brand}.{btld}"),
-                            });
-                        }
-                        start = at + 1;
+                    if digraph_rewrite_matches(label, &target.brand, f, t) {
+                        return self.found(SquatKind::Homo, idx);
                     }
                 }
             }
@@ -172,67 +267,80 @@ impl SquatClassifier {
         None
     }
 
-    fn check_typo(&self, label: &str, tld: &str) -> Option<SquatMatch> {
-        for (brand, btld) in &self.targets {
+    fn check_typo(
+        &self,
+        label: &str,
+        label_chars: usize,
+        tld: &str,
+        tld_chars: usize,
+        scratch: &mut SquatScratch,
+    ) -> Option<SquatMatch> {
+        // Iterates the full target list (not the TLD group): the cross-TLD
+        // arm competes with the same-TLD arm of *later* targets, and ties
+        // must keep breaking in insertion order.
+        for (idx, target) in self.targets.iter().enumerate() {
             // Same TLD, one edit in the label (omission/duplication/
             // substitution/insertion/transposition)...
-            if btld == tld && damerau_levenshtein(label, brand) == 1 {
-                return Some(SquatMatch {
-                    kind: SquatKind::Typo,
-                    target: format!("{brand}.{btld}"),
-                });
+            if target.tld == tld
+                && label_chars.abs_diff(target.brand_chars) <= 1
+                && damerau_levenshtein_bounded(label, &target.brand, 1, &mut scratch.edit)
+                    == Some(1)
+            {
+                return self.found(SquatKind::Typo, idx);
             }
             // ...or same label with a one-edit TLD (`google.co`).
-            if label == brand && damerau_levenshtein(tld, btld) == 1 {
-                return Some(SquatMatch {
-                    kind: SquatKind::Typo,
-                    target: format!("{brand}.{btld}"),
-                });
+            if label == target.brand
+                && tld_chars.abs_diff(target.tld_chars) <= 1
+                && damerau_levenshtein_bounded(tld, &target.tld, 1, &mut scratch.edit) == Some(1)
+            {
+                return self.found(SquatKind::Typo, idx);
             }
         }
         None
     }
 
-    fn check_dot(&self, label: &str, tld: &str) -> Option<SquatMatch> {
-        for (brand, btld) in &self.targets {
-            if btld != tld {
-                continue;
-            }
+    fn check_dot(&self, label: &str, same_tld: &[usize]) -> Option<SquatMatch> {
+        for &idx in same_tld {
+            let brand = self.targets[idx].brand.as_str();
             // Fused or hyphenated www prefix.
-            if label == format!("www{brand}") || label == format!("www-{brand}") {
-                return Some(SquatMatch {
-                    kind: SquatKind::Dot,
-                    target: format!("{brand}.{btld}"),
-                });
+            if (label.len() == brand.len() + 3 && label.starts_with("www") && &label[3..] == brand)
+                || (label.len() == brand.len() + 4
+                    && label.starts_with("www-")
+                    && &label[4..] == brand)
+            {
+                return self.found(SquatKind::Dot, idx);
             }
             // Dot-shift: the label is a proper suffix of the brand (≥ 3
             // chars, shorter than the brand).
             if label.len() >= 3 && label.len() < brand.len() && brand.ends_with(label) {
-                return Some(SquatMatch {
-                    kind: SquatKind::Dot,
-                    target: format!("{brand}.{btld}"),
-                });
+                return self.found(SquatKind::Dot, idx);
             }
         }
         None
     }
 
-    fn check_combo(&self, label: &str, tld: &str) -> Option<SquatMatch> {
-        for (brand, btld) in &self.targets {
-            if btld != tld || label.len() <= brand.len() {
+    fn check_combo(
+        &self,
+        label: &str,
+        same_tld: &[usize],
+        scratch: &mut SquatScratch,
+    ) -> Option<SquatMatch> {
+        let keywords = combo_keyword_set();
+        for &idx in same_tld {
+            let brand = self.targets[idx].brand.as_str();
+            if label.len() <= brand.len() {
                 continue;
             }
             // Try removing *each* occurrence of the brand (a brand can also
             // appear inside a keyword: brand "ecur" in "secure-ecur"); the
             // remainder minus separators must be a known combo keyword.
-            for (at, _) in label.match_indices(brand.as_str()) {
-                let rest = format!("{}{}", &label[..at], &label[at + brand.len()..]);
-                let rest = rest.trim_matches('-');
-                if !rest.is_empty() && COMBO_KEYWORDS.contains(&rest) {
-                    return Some(SquatMatch {
-                        kind: SquatKind::Combo,
-                        target: format!("{brand}.{btld}"),
-                    });
+            for (at, _) in label.match_indices(brand) {
+                scratch.buf.clear();
+                scratch.buf.push_str(&label[..at]);
+                scratch.buf.push_str(&label[at + brand.len()..]);
+                let rest = scratch.buf.trim_matches('-');
+                if !rest.is_empty() && keywords.contains(rest) {
+                    return self.found(SquatKind::Combo, idx);
                 }
             }
         }
@@ -355,6 +463,28 @@ mod tests {
     #[test]
     fn subdomains_rejected() {
         assert_eq!(classifier().classify("www.google.com"), None);
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent() {
+        let c = classifier();
+        let mut scratch = SquatScratch::default();
+        for domain in [
+            "gogle.com",
+            "paypal-login.com",
+            "wwwfacebook.com",
+            "rnail.ru",
+            "appl4.com",
+            "unrelated.net",
+            "google.co",
+            "twitter-support.com",
+        ] {
+            assert_eq!(
+                c.classify_with(domain, &mut scratch),
+                c.classify(domain),
+                "{domain}"
+            );
+        }
     }
 
     #[test]

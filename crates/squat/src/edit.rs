@@ -1,34 +1,106 @@
 //! Edit distances used by squat classification.
+//!
+//! The classifier only ever asks "is the distance ≤ 1?", so the workhorse is
+//! [`damerau_levenshtein_bounded`]: a banded OSA computation that early-exits
+//! on length mismatch, clamps cells above the bound, and reuses caller-owned
+//! row buffers ([`EditScratch`]) so the per-name hot loop of the fused origin
+//! pipeline performs no allocation. The classic unbounded
+//! [`damerau_levenshtein`] is a thin wrapper with the bound set to the longer
+//! input, kept for callers that need the exact distance.
+
+/// Reusable row buffers for [`damerau_levenshtein_bounded`]. One instance
+/// per worker thread amortizes every allocation across a whole scan.
+#[derive(Debug, Default, Clone)]
+pub struct EditScratch {
+    a_chars: Vec<char>,
+    b_chars: Vec<char>,
+    prev2: Vec<usize>,
+    prev: Vec<usize>,
+    cur: Vec<usize>,
+}
+
+/// Damerau–Levenshtein distance (optimal string alignment variant) if it is
+/// at most `max_dist`, else `None`.
+///
+/// Exits before touching the matrix when `|len(a) - len(b)| > max_dist`,
+/// computes only the diagonal band of width `2 * max_dist + 1` (cells
+/// outside the band cannot be ≤ `max_dist`), and abandons the scan as soon
+/// as an entire row exceeds the bound. Equivalent to comparing
+/// [`damerau_levenshtein`] against `max_dist` — property-tested in
+/// `tests/prop_squat.rs`.
+pub fn damerau_levenshtein_bounded(
+    a: &str,
+    b: &str,
+    max_dist: usize,
+    scratch: &mut EditScratch,
+) -> Option<usize> {
+    scratch.a_chars.clear();
+    scratch.a_chars.extend(a.chars());
+    scratch.b_chars.clear();
+    scratch.b_chars.extend(b.chars());
+    let (n, m) = (scratch.a_chars.len(), scratch.b_chars.len());
+    if n.abs_diff(m) > max_dist {
+        return None;
+    }
+    if n == 0 {
+        return Some(m); // m ≤ max_dist by the length check above
+    }
+    if m == 0 {
+        return Some(n);
+    }
+    // Everything ≥ `inf` means "already beyond the bound"; cells are clamped
+    // there so sentinel arithmetic cannot overflow and the band stays tight.
+    let inf = max_dist + 1;
+    scratch.prev2.clear();
+    scratch.prev2.resize(m + 1, inf);
+    scratch.prev.clear();
+    scratch.prev.extend(0..=m);
+    scratch.cur.clear();
+    scratch.cur.resize(m + 1, inf);
+    let EditScratch {
+        a_chars,
+        b_chars,
+        prev2,
+        prev,
+        cur,
+    } = scratch;
+    for i in 1..=n {
+        let lo = i.saturating_sub(max_dist).max(1);
+        let hi = (i + max_dist).min(m);
+        cur[lo - 1] = if lo == 1 { i.min(inf) } else { inf };
+        let mut row_min = cur[lo - 1];
+        for j in lo..=hi {
+            let cost = usize::from(a_chars[i - 1] != b_chars[j - 1]);
+            let mut v = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
+            if i > 1
+                && j > 1
+                && a_chars[i - 1] == b_chars[j - 2]
+                && a_chars[i - 2] == b_chars[j - 1]
+            {
+                v = v.min(prev2[j - 2] + 1);
+            }
+            let v = v.min(inf);
+            cur[j] = v;
+            row_min = row_min.min(v);
+        }
+        if row_min >= inf {
+            return None; // every path through this row already exceeds the bound
+        }
+        std::mem::swap(prev2, prev);
+        std::mem::swap(prev, cur);
+    }
+    let d = prev[m];
+    (d <= max_dist).then_some(d)
+}
 
 /// Damerau–Levenshtein distance (optimal string alignment variant):
 /// insertions, deletions, substitutions, and adjacent transpositions.
 pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    let (n, m) = (a.len(), b.len());
-    if n == 0 {
-        return m;
-    }
-    if m == 0 {
-        return n;
-    }
-    // Three rolling rows are enough for OSA.
-    let mut prev2 = vec![0usize; m + 1];
-    let mut prev = (0..=m).collect::<Vec<_>>();
-    let mut cur = vec![0usize; m + 1];
-    for i in 1..=n {
-        cur[0] = i;
-        for j in 1..=m {
-            let cost = usize::from(a[i - 1] != b[j - 1]);
-            cur[j] = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
-            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
-                cur[j] = cur[j].min(prev2[j - 2] + 1);
-            }
-        }
-        std::mem::swap(&mut prev2, &mut prev);
-        std::mem::swap(&mut prev, &mut cur);
-    }
-    prev[m]
+    let mut scratch = EditScratch::default();
+    // With the bound set to the longer input the band covers the whole
+    // matrix and the result always exists (d ≤ max(n, m)).
+    let bound = a.chars().count().max(b.chars().count());
+    damerau_levenshtein_bounded(a, b, bound, &mut scratch).unwrap_or(bound)
 }
 
 /// Hamming distance in bits between two equal-length ASCII strings; `None`
@@ -78,6 +150,50 @@ mod tests {
     fn transposition_counts_once() {
         assert_eq!(damerau_levenshtein("ab", "ba"), 1);
         assert_eq!(damerau_levenshtein("google", "goolge"), 1);
+    }
+
+    #[test]
+    fn bounded_agrees_with_exact() {
+        let mut scratch = EditScratch::default();
+        for (a, b) in [
+            ("example", "exmple"),
+            ("kitten", "sitting"),
+            ("google", "goolge"),
+            ("", "abc"),
+            ("paypal", "paypal"),
+            ("short", "muchlongerstring"),
+        ] {
+            let exact = damerau_levenshtein(a, b);
+            for max_dist in 0..6 {
+                let got = damerau_levenshtein_bounded(a, b, max_dist, &mut scratch);
+                let want = (exact <= max_dist).then_some(exact);
+                assert_eq!(got, want, "{a:?} vs {b:?} bound {max_dist}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_length_early_exit() {
+        let mut scratch = EditScratch::default();
+        assert_eq!(
+            damerau_levenshtein_bounded("ab", "abcdef", 1, &mut scratch),
+            None
+        );
+        // Scratch is reusable across calls of different sizes.
+        assert_eq!(
+            damerau_levenshtein_bounded("abc", "abd", 1, &mut scratch),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn bounded_handles_multibyte() {
+        let mut scratch = EditScratch::default();
+        // One char substitution even though the byte lengths differ by 1.
+        assert_eq!(
+            damerau_levenshtein_bounded("caf\u{e9}", "cafe", 1, &mut scratch),
+            Some(1)
+        );
     }
 
     #[test]

@@ -24,8 +24,8 @@ pub mod generate;
 pub mod idn;
 pub mod tables;
 
-pub use classify::{SquatClassifier, SquatKind, SquatMatch};
-pub use edit::{bit_hamming, damerau_levenshtein};
+pub use classify::{SquatClassifier, SquatKind, SquatMatch, SquatScratch};
+pub use edit::{bit_hamming, damerau_levenshtein, damerau_levenshtein_bounded, EditScratch};
 pub use idn::{
     ascii_projection, classify_idn, idn_homosquats, punycode_decode, punycode_encode, to_ascii,
     to_unicode,

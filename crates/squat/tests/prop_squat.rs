@@ -2,7 +2,10 @@
 //! target, the target itself never classifies, and the edit-distance metric
 //! behaves like a metric on the axes the classifier relies on.
 
-use nxd_squat::{damerau_levenshtein, generate, SquatClassifier};
+use nxd_squat::{
+    damerau_levenshtein, damerau_levenshtein_bounded, generate, EditScratch, SquatClassifier,
+    SquatScratch,
+};
 use proptest::prelude::*;
 
 fn arb_brand() -> impl Strategy<Value = String> {
@@ -44,6 +47,30 @@ proptest! {
         prop_assert_eq!(damerau_levenshtein(&a, &b), damerau_levenshtein(&b, &a));
         // Distance bounded by the longer string's length.
         prop_assert!(damerau_levenshtein(&a, &b) <= a.len().max(b.len()));
+    }
+
+    #[test]
+    fn bounded_distance_agrees_with_exact(a in "[a-z0-9-]{0,12}", b in "[a-z0-9-]{0,12}", max_dist in 0usize..6) {
+        let exact = damerau_levenshtein(&a, &b);
+        let mut scratch = EditScratch::default();
+        let bounded = damerau_levenshtein_bounded(&a, &b, max_dist, &mut scratch);
+        prop_assert_eq!(bounded, (exact <= max_dist).then_some(exact), "{} vs {}", a, b);
+        // The scratch survives reuse on swapped operands.
+        let swapped = damerau_levenshtein_bounded(&b, &a, max_dist, &mut scratch);
+        prop_assert_eq!(swapped, bounded);
+    }
+
+    #[test]
+    fn classify_with_scratch_matches_classify(label in "[a-z0-9-]{1,16}", tld_pick in 0usize..5) {
+        let tld = ["com", "co", "net", "org", "tv"][tld_pick];
+        let domain = format!("{label}.{tld}");
+        let classifier = SquatClassifier::default();
+        let mut scratch = SquatScratch::default();
+        prop_assert_eq!(
+            classifier.classify_with(&domain, &mut scratch),
+            classifier.classify(&domain),
+            "{}", domain
+        );
     }
 
     #[test]

@@ -108,6 +108,25 @@ impl HistoricWhoisDb {
         (with, without)
     }
 
+    /// Counts `names` with and without history — the allocation-free twin
+    /// of [`HistoricWhoisDb::join`] for scans that only need the §5.1
+    /// tallies, not the split name lists.
+    pub fn join_counts<'a, I>(&self, names: I) -> (u64, u64)
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut with = 0u64;
+        let mut without = 0u64;
+        for name in names {
+            if self.has_history(name) {
+                with += 1;
+            } else {
+                without += 1;
+            }
+        }
+        (with, without)
+    }
+
     /// Domains whose latest span expired at least `min_gap_secs` before
     /// `now` — the §3.3 criterion "in non-existent status for at least six
     /// months".
@@ -186,6 +205,18 @@ mod tests {
         let (with, without) = db.join(names);
         assert_eq!(with, vec!["seen.com"]);
         assert_eq!(without.len(), 2);
+    }
+
+    #[test]
+    fn join_counts_matches_join() {
+        let mut db = HistoricWhoisDb::new();
+        db.add(rec("seen.com", 1, 2, SpanEnd::Expired));
+        let names = ["seen.com", "never1.com", "never2.com"];
+        let (with, without) = db.join_counts(names);
+        let (with_v, without_v) = db.join(names);
+        assert_eq!(with, with_v.len() as u64);
+        assert_eq!(without, without_v.len() as u64);
+        assert_eq!((with, without), (1, 2));
     }
 
     #[test]

@@ -1,71 +1,109 @@
 #!/usr/bin/env python3
-"""CI perf-regression gate for the sharded passive-DNS engine.
+"""CI perf-regression gate for the parallel engines.
 
-Reads the `passive_shard` bench output (lines shaped like
-``bench <name> <ns> ns/iter``) from the file given as argv[1], writes the
-parsed results to BENCH_4.json (argv[2], default), and exits non-zero if
-the sharded engine regressed against serial at 4+ shards.
+Reads criterion-style bench output (lines shaped like
+``bench <name> <ns> ns/iter``) from ``--input``, writes the parsed results
+to the JSON baseline file, and exits non-zero if any gated bench regressed
+past ``--tolerance`` times the serial reference.
 
-On a single-core runner the sharded engine cannot beat serial, so the gate
-is a *regression* bound, not a speedup requirement: sharded-4 and sharded-8
-must stay within TOLERANCE of the serial time. A real regression — a merge
-gone quadratic, a lock serializing the fan-out — blows far past that.
+Two gates share this script:
+
+* passive-DNS query engine (PR 3)::
+
+    bench_gate.py --input bench.txt --baseline BENCH_4.json \
+        --group passive-shard-large --serial serial \
+        --gated sharded-4 sharded-8
+
+* fused origin pipeline (PR 4)::
+
+    bench_gate.py --input bench.txt --baseline BENCH_5.json \
+        --group origin-pipeline --serial serial \
+        --gated fused-4 fused-8
+
+Defaults reproduce the PR 3 invocation, so the original positional form
+``bench_gate.py <bench-output> [BENCH_4.json]`` still works.
+
+On a single-core runner a parallel engine cannot beat serial, so the gate
+is a *regression* bound, not a speedup requirement: the gated shard counts
+must stay within the tolerance of the serial time. A real regression — a
+merge gone quadratic, a lock serializing the fan-out — blows far past that.
 """
 
+import argparse
 import json
 import re
 import sys
 
-TOLERANCE = 1.15  # sharded may cost at most 15% over serial
-GATED = ["passive-shard-large/sharded-4", "passive-shard-large/sharded-8"]
-SERIAL = "passive-shard-large/serial"
-
 LINE = re.compile(r"^bench\s+(\S+)\s+(\d+)\s+ns/iter")
 
 
-def main() -> int:
-    if len(sys.argv) < 2:
-        print("usage: bench_gate.py <bench-output> [BENCH_4.json]", file=sys.stderr)
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("input", nargs="?", help="bench output file (positional)")
+    parser.add_argument("baseline_pos", nargs="?", help="baseline JSON (positional)")
+    parser.add_argument("--input", dest="input_opt", help="bench output file")
+    parser.add_argument("--baseline", default=None, help="baseline JSON path")
+    parser.add_argument("--group", default="passive-shard-large",
+                        help="criterion group prefix")
+    parser.add_argument("--serial", default="serial",
+                        help="serial reference bench within the group")
+    parser.add_argument("--gated", nargs="+", default=["sharded-4", "sharded-8"],
+                        help="gated benches within the group")
+    parser.add_argument("--tolerance", type=float, default=1.15,
+                        help="max gated/serial time ratio")
+    args = parser.parse_args(argv)
+    args.input = args.input_opt or args.input
+    args.baseline = args.baseline or args.baseline_pos or "BENCH_4.json"
+    return args
+
+
+def main(argv) -> int:
+    args = parse_args(argv)
+    if not args.input:
+        print("usage: bench_gate.py --input <bench-output> [--baseline F.json]"
+              " [--group G --serial S --gated N...]", file=sys.stderr)
         return 2
-    out_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_4.json"
+
+    serial_name = f"{args.group}/{args.serial}"
+    gated_names = [f"{args.group}/{g}" for g in args.gated]
 
     results = {}
-    with open(sys.argv[1]) as fh:
+    with open(args.input) as fh:
         for line in fh:
             m = LINE.match(line.strip())
             if m:
                 results[m.group(1)] = int(m.group(2))
 
-    missing = [n for n in [SERIAL, *GATED] if n not in results]
+    missing = [n for n in [serial_name, *gated_names] if n not in results]
     if missing:
         print(f"bench gate: missing results for {missing}; got {sorted(results)}",
               file=sys.stderr)
         return 2
 
     report = {
-        "tolerance": TOLERANCE,
-        "serial_ns": results[SERIAL],
+        "tolerance": args.tolerance,
+        "serial_ns": results[serial_name],
         "results_ns": results,
         "gate": [],
     }
-    serial = results[SERIAL]
+    serial = results[serial_name]
     failed = False
-    for name in GATED:
+    for name in gated_names:
         ratio = results[name] / serial
-        ok = ratio <= TOLERANCE
+        ok = ratio <= args.tolerance
         report["gate"].append({"name": name, "ns": results[name],
                                "ratio_vs_serial": round(ratio, 4), "ok": ok})
         status = "ok" if ok else "REGRESSED"
         print(f"{name}: {results[name]} ns vs serial {serial} ns "
-              f"(x{ratio:.3f}, limit x{TOLERANCE}) {status}")
+              f"(x{ratio:.3f}, limit x{args.tolerance}) {status}")
         failed |= not ok
 
-    with open(out_path, "w") as fh:
+    with open(args.baseline, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
-    print(f"wrote {out_path} with {len(results)} bench results")
+    print(f"wrote {args.baseline} with {len(results)} bench results")
     return 1 if failed else 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))

@@ -102,8 +102,13 @@ fn claim_squat_type_ordering() {
 #[test]
 fn claim_malware_dominates_blocklist() {
     let w = origin_world();
-    let names: Vec<String> = w.domains.iter().map(|d| d.name.clone()).collect();
-    let xref = origin_analysis::blocklist_xref(&names, &w.blocklist, names.len() / 4, 1_000, 1_000);
+    let xref = origin_analysis::blocklist_xref(
+        w.domains.iter().map(|d| d.name.as_str()),
+        &w.blocklist,
+        w.domains.len() / 4,
+        1_000,
+        1_000,
+    );
     let total: u64 = xref.hits.values().sum();
     let malware = xref
         .hits
