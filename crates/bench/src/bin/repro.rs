@@ -10,7 +10,7 @@
 //!
 //! Experiments: scalars fig3 fig4 fig5 fig6 fig7 fig8 table1 fig10 fig12
 //! fig13 fig14 fig15 filter hijack selection detector sinkhole federation
-//! exposure market analyzer scale-parallel origin-parallel
+//! exposure market analyzer lint scale-parallel origin-parallel
 //!
 //! Observability flags:
 //!
@@ -135,6 +135,7 @@ fn main() {
             "exposure",
             "market",
             "analyzer",
+            "lint",
             "scale-parallel",
             "origin-parallel",
         ]
@@ -170,6 +171,7 @@ fn main() {
             "market" => market_exp(),
             "federation" => federation_exp(&mut worlds),
             "analyzer" => analyzer_exp(),
+            "lint" => lint_exp(),
             "scale-parallel" => scale_parallel_exp(&mut worlds, shards),
             "origin-parallel" => origin_parallel_exp(&mut worlds, shards),
             other => eprintln!(
@@ -1034,4 +1036,41 @@ fn analyzer_exp() {
         "ablation (negative_cache off): {} requery-inside-negative-ttl violations in 20 queries",
         ablation_report.high_count()
     );
+}
+
+fn lint_exp() {
+    use nxd_lint::{find_workspace_root, Baseline, Linter};
+
+    heading("E-LINT — workspace invariant sweep (nxd-lint, strict)");
+    let Some(root) = find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR"))) else {
+        eprintln!("[repro] no workspace root found; skipping lint sweep");
+        return;
+    };
+    let baseline = match std::fs::read_to_string(root.join("lint-baseline.txt")) {
+        Ok(text) => Baseline::parse(&text),
+        Err(_) => Baseline::default(),
+    };
+    let report = match Linter::new().with_baseline(baseline).lint_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("[repro] lint walk failed: {e}");
+            return;
+        }
+    };
+    println!(
+        "scanned {} files: {} findings, {} suppressed inline, {} baselined, {} stale baseline entries",
+        report.files_scanned,
+        report.len(),
+        report.suppressed,
+        report.baselined,
+        report.stale_baseline.len()
+    );
+    for rule in nxd_lint::catalog() {
+        let n = report.count_for(rule.id);
+        if n > 0 {
+            println!("  {} {}: {n}", rule.id, rule.name);
+        }
+    }
+    report.assert_clean("repro lint sweep");
+    println!("strict mode holds: zero unsuppressed invariant violations");
 }

@@ -8,7 +8,7 @@
 
 pub mod pipeline;
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use nxd_blocklist::{Blocklist, ThreatCategory};
 use nxd_dga::DgaDetector;
@@ -64,11 +64,15 @@ where
 }
 
 /// Fig. 7: squat classification over an expired-domain population.
-pub fn squat_scan<'a, I>(domains: I, classifier: &SquatClassifier) -> HashMap<SquatKind, u64>
+///
+/// Returns a `BTreeMap` so tallies iterate in kind order — the fused
+/// pipeline's merged report compares `==` against this without any
+/// order-sensitivity.
+pub fn squat_scan<'a, I>(domains: I, classifier: &SquatClassifier) -> BTreeMap<SquatKind, u64>
 where
     I: IntoIterator<Item = &'a str>,
 {
-    let mut counts = HashMap::new();
+    let mut counts = BTreeMap::new();
     for d in domains {
         if let Some(m) = classifier.classify(d) {
             *counts.entry(m.kind).or_insert(0) += 1;

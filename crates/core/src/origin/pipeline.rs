@@ -25,14 +25,13 @@
 //! `tests/prop_origin_pipeline.rs`; throughput is tracked by
 //! `benches/origin_pipeline.rs` and the CI bench gate (`BENCH_5.json`).
 
-use std::collections::HashMap;
-use std::time::Instant;
+use std::collections::BTreeMap;
 
 use nxd_blocklist::Blocklist;
 use nxd_dga::DgaDetector;
 use nxd_passive_dns::{PassiveDb, ShardedStore};
 use nxd_squat::{SquatClassifier, SquatKind, SquatScratch};
-use nxd_telemetry::{Histogram, Telemetry};
+use nxd_telemetry::{Histogram, Stopwatch, Telemetry};
 use nxd_whois::HistoricWhoisDb;
 
 use crate::origin::{self, BlocklistXref, WhoisJoin};
@@ -68,8 +67,10 @@ pub struct OriginReport {
     /// §5.2 DGA scan: flagged count and fraction of the population.
     pub dga_flagged: u64,
     pub dga_fraction: f64,
-    /// Fig. 7 squat tallies (kinds with at least one match).
-    pub squat: HashMap<SquatKind, u64>,
+    /// Fig. 7 squat tallies (kinds with at least one match). A `BTreeMap`
+    /// so iteration (and therefore any downstream rendering or export) is
+    /// deterministic regardless of merge order.
+    pub squat: BTreeMap<SquatKind, u64>,
     /// Fig. 8 rate-limited blocklist cross-reference.
     pub xref: BlocklistXref,
 }
@@ -114,9 +115,9 @@ const KIND_BY_SLOT: [SquatKind; 5] = [
 fn timed<T>(hist: Option<&Histogram>, f: impl FnOnce() -> T) -> T {
     match hist {
         Some(h) => {
-            let t0 = Instant::now();
+            let watch = Stopwatch::start();
             let out = f();
-            h.record(t0.elapsed().as_nanos() as u64);
+            h.record(watch.elapsed_nanos());
             out
         }
         None => f(),
@@ -200,7 +201,7 @@ impl OriginPipeline<'_> {
         // the global top-k is necessarily in its own shard's top-k.
         sample.sort_unstable();
         sample.truncate(k);
-        let squat: HashMap<SquatKind, u64> = squat_slots
+        let squat: BTreeMap<SquatKind, u64> = squat_slots
             .iter()
             .enumerate()
             .filter(|&(_, &n)| n > 0)

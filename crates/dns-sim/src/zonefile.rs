@@ -44,10 +44,7 @@ fn logical_lines(input: &str) -> Result<Vec<(usize, String)>, ZoneFileError> {
     let mut pending: Option<(usize, String)> = None;
     for (idx, raw) in input.lines().enumerate() {
         let line_no = idx + 1;
-        let text = match raw.find(';') {
-            Some(pos) => &raw[..pos],
-            None => raw,
-        };
+        let text = raw.split(';').next().unwrap_or(raw);
         let mut depth_delta = 0i32;
         for c in text.chars() {
             match c {
@@ -113,10 +110,10 @@ pub fn parse_records(input: &str, default_origin: &Name) -> Result<Vec<Record>, 
     for (line_no, text) in logical_lines(input)? {
         let starts_with_space = text.starts_with(' ') || text.starts_with('\t');
         let tokens: Vec<&str> = text.split_whitespace().collect();
-        if tokens.is_empty() {
+        let Some(&first) = tokens.first() else {
             continue;
-        }
-        match tokens[0] {
+        };
+        match first {
             "$ORIGIN" => {
                 let target = tokens
                     .get(1)
@@ -135,14 +132,14 @@ pub fn parse_records(input: &str, default_origin: &Name) -> Result<Vec<Record>, 
         }
 
         // Owner: inherited when the line starts with whitespace.
-        let mut rest = &tokens[..];
+        let mut rest = tokens.as_slice();
         let owner = if starts_with_space {
             last_owner
                 .clone()
                 .ok_or_else(|| err(line_no, "no previous owner to inherit"))?
         } else {
-            let owner = resolve_name(tokens[0], &origin, line_no)?;
-            rest = &tokens[1..];
+            let owner = resolve_name(first, &origin, line_no)?;
+            rest = rest.get(1..).unwrap_or(&[]);
             owner
         };
         last_owner = Some(owner.clone());
@@ -163,7 +160,7 @@ pub fn parse_records(input: &str, default_origin: &Name) -> Result<Vec<Record>, 
         let Some(&rtype) = rest.get(i) else {
             return Err(err(line_no, "missing record type"));
         };
-        let data = &rest[i + 1..];
+        let data = rest.get(i + 1..).unwrap_or(&[]);
         let rdata = parse_rdata(rtype, data, &origin, line_no)?;
         records.push(Record::new(owner, ttl, rdata));
     }
@@ -176,77 +173,77 @@ fn parse_rdata(
     origin: &Name,
     line: usize,
 ) -> Result<RData, ZoneFileError> {
-    let need = |n: usize| -> Result<(), ZoneFileError> {
-        if data.len() < n {
-            Err(err(
-                line,
-                format!("{rtype} needs {n} fields, got {}", data.len()),
-            ))
-        } else {
-            Ok(())
-        }
+    // Slice patterns keep every field access total: a short line falls to
+    // the `wrong` arm instead of panicking, and extra fields are tolerated
+    // (`..`) exactly as the old positional indexing was.
+    let wrong = |n: usize| {
+        err(
+            line,
+            format!("{rtype} needs {n} fields, got {}", data.len()),
+        )
     };
     match rtype.to_ascii_uppercase().as_str() {
-        "A" => {
-            need(1)?;
-            let ip: Ipv4Addr = data[0]
-                .parse()
-                .map_err(|_| err(line, format!("bad IPv4 {:?}", data[0])))?;
-            Ok(RData::A(ip))
-        }
-        "AAAA" => {
-            need(1)?;
-            let ip: Ipv6Addr = data[0]
-                .parse()
-                .map_err(|_| err(line, format!("bad IPv6 {:?}", data[0])))?;
-            Ok(RData::Aaaa(ip))
-        }
-        "NS" => {
-            need(1)?;
-            Ok(RData::Ns(resolve_name(data[0], origin, line)?))
-        }
-        "CNAME" => {
-            need(1)?;
-            Ok(RData::Cname(resolve_name(data[0], origin, line)?))
-        }
-        "PTR" => {
-            need(1)?;
-            Ok(RData::Ptr(resolve_name(data[0], origin, line)?))
-        }
-        "MX" => {
-            need(2)?;
-            let preference = data[0]
-                .parse()
-                .map_err(|_| err(line, format!("bad MX preference {:?}", data[0])))?;
-            Ok(RData::Mx {
-                preference,
-                exchange: resolve_name(data[1], origin, line)?,
-            })
-        }
-        "TXT" => {
-            need(1)?;
-            let strings = data
-                .iter()
-                .map(|s| s.trim_matches('"').to_string())
-                .collect();
-            Ok(RData::Txt(strings))
-        }
-        "SOA" => {
-            need(7)?;
-            let parse_u32 = |tok: &str| -> Result<u32, ZoneFileError> {
-                tok.parse()
-                    .map_err(|_| err(line, format!("bad SOA number {tok:?}")))
-            };
-            Ok(RData::Soa(Soa {
-                mname: resolve_name(data[0], origin, line)?,
-                rname: resolve_name(data[1], origin, line)?,
-                serial: parse_u32(data[2])?,
-                refresh: parse_u32(data[3])?,
-                retry: parse_u32(data[4])?,
-                expire: parse_u32(data[5])?,
-                minimum: parse_u32(data[6])?,
-            }))
-        }
+        "A" => match data {
+            [ip, ..] => ip
+                .parse::<Ipv4Addr>()
+                .map(RData::A)
+                .map_err(|_| err(line, format!("bad IPv4 {ip:?}"))),
+            [] => Err(wrong(1)),
+        },
+        "AAAA" => match data {
+            [ip, ..] => ip
+                .parse::<Ipv6Addr>()
+                .map(RData::Aaaa)
+                .map_err(|_| err(line, format!("bad IPv6 {ip:?}"))),
+            [] => Err(wrong(1)),
+        },
+        "NS" => match data {
+            [target, ..] => Ok(RData::Ns(resolve_name(target, origin, line)?)),
+            [] => Err(wrong(1)),
+        },
+        "CNAME" => match data {
+            [target, ..] => Ok(RData::Cname(resolve_name(target, origin, line)?)),
+            [] => Err(wrong(1)),
+        },
+        "PTR" => match data {
+            [target, ..] => Ok(RData::Ptr(resolve_name(target, origin, line)?)),
+            [] => Err(wrong(1)),
+        },
+        "MX" => match data {
+            [preference, exchange, ..] => Ok(RData::Mx {
+                preference: preference
+                    .parse()
+                    .map_err(|_| err(line, format!("bad MX preference {preference:?}")))?,
+                exchange: resolve_name(exchange, origin, line)?,
+            }),
+            _ => Err(wrong(2)),
+        },
+        "TXT" => match data {
+            [_, ..] => Ok(RData::Txt(
+                data.iter()
+                    .map(|s| s.trim_matches('"').to_string())
+                    .collect(),
+            )),
+            [] => Err(wrong(1)),
+        },
+        "SOA" => match data {
+            [mname, rname, serial, refresh, retry, expire, minimum, ..] => {
+                let parse_u32 = |tok: &str| -> Result<u32, ZoneFileError> {
+                    tok.parse()
+                        .map_err(|_| err(line, format!("bad SOA number {tok:?}")))
+                };
+                Ok(RData::Soa(Soa {
+                    mname: resolve_name(mname, origin, line)?,
+                    rname: resolve_name(rname, origin, line)?,
+                    serial: parse_u32(serial)?,
+                    refresh: parse_u32(refresh)?,
+                    retry: parse_u32(retry)?,
+                    expire: parse_u32(expire)?,
+                    minimum: parse_u32(minimum)?,
+                }))
+            }
+            _ => Err(wrong(7)),
+        },
         other => Err(err(line, format!("unsupported record type {other:?}"))),
     }
 }
@@ -255,20 +252,20 @@ fn parse_rdata(
 /// every record is loaded into a [`Zone`].
 pub fn parse_zone(input: &str, apex: &Name) -> Result<Zone, ZoneFileError> {
     let records = parse_records(input, apex)?;
-    let soa_record = records
+    let (soa_owner, soa, soa_ttl) = records
         .iter()
-        .find(|r| matches!(r.rdata, RData::Soa(_)))
+        .find_map(|r| match &r.rdata {
+            RData::Soa(soa) => Some((&r.name, soa.clone(), r.ttl)),
+            _ => None,
+        })
         .ok_or_else(|| err(0, "zone has no SOA record"))?;
-    if soa_record.name != *apex {
+    if *soa_owner != *apex {
         return Err(err(
             0,
-            format!("SOA owner {} is not the apex {apex}", soa_record.name),
+            format!("SOA owner {soa_owner} is not the apex {apex}"),
         ));
     }
-    let RData::Soa(soa) = soa_record.rdata.clone() else {
-        unreachable!()
-    };
-    let mut zone = Zone::new(apex.clone(), soa, soa_record.ttl);
+    let mut zone = Zone::new(apex.clone(), soa, soa_ttl);
     for record in records {
         if matches!(record.rdata, RData::Soa(_)) {
             continue; // Zone::new installed it

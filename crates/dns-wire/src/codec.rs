@@ -111,10 +111,18 @@ impl WireWriter {
     }
 
     /// Patches a previously written 16-bit field (used for RDLENGTH).
-    pub fn patch_u16(&mut self, at: usize, v: u16) {
-        let bytes = v.to_be_bytes();
-        self.buf[at] = bytes[0];
-        self.buf[at + 1] = bytes[1];
+    /// Errs if `at..at + 2` is not inside the written buffer.
+    pub fn patch_u16(&mut self, at: usize, v: u16) -> Result<(), WireError> {
+        let len = self.buf.len();
+        let slot = at
+            .checked_add(2)
+            .and_then(|end| self.buf.get_mut(at..end))
+            .ok_or(WireError::Truncated {
+                needed: 2,
+                available: len.saturating_sub(at),
+            })?;
+        slot.copy_from_slice(&v.to_be_bytes());
+        Ok(())
     }
 }
 
@@ -145,44 +153,54 @@ impl<'a> WireReader<'a> {
         self.data.len() - self.pos
     }
 
-    fn need(&self, n: usize) -> Result<(), WireError> {
-        if self.remaining() < n {
-            Err(WireError::Truncated {
+    /// Takes the next `n` bytes, advancing the cursor. The single bounds
+    /// check every primitive read goes through — `.get()` instead of
+    /// indexing, so no input can panic the reader.
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let s = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.data.get(self.pos..end))
+            .ok_or(WireError::Truncated {
                 needed: n,
                 available: self.remaining(),
-            })
-        } else {
-            Ok(())
-        }
+            })?;
+        self.pos += n;
+        Ok(s)
     }
 
     pub fn read_u8(&mut self) -> Result<u8, WireError> {
-        self.need(1)?;
-        let v = self.data[self.pos];
-        self.pos += 1;
-        Ok(v)
+        match *self.take(1)? {
+            [v] => Ok(v),
+            _ => Err(WireError::Truncated {
+                needed: 1,
+                available: 0,
+            }),
+        }
     }
 
     pub fn read_u16(&mut self) -> Result<u16, WireError> {
-        self.need(2)?;
-        let v = u16::from_be_bytes([self.data[self.pos], self.data[self.pos + 1]]);
-        self.pos += 2;
-        Ok(v)
+        match *self.take(2)? {
+            [a, b] => Ok(u16::from_be_bytes([a, b])),
+            _ => Err(WireError::Truncated {
+                needed: 2,
+                available: 0,
+            }),
+        }
     }
 
     pub fn read_u32(&mut self) -> Result<u32, WireError> {
-        self.need(4)?;
-        let mut b = [0u8; 4];
-        b.copy_from_slice(&self.data[self.pos..self.pos + 4]);
-        self.pos += 4;
-        Ok(u32::from_be_bytes(b))
+        match *self.take(4)? {
+            [a, b, c, d] => Ok(u32::from_be_bytes([a, b, c, d])),
+            _ => Err(WireError::Truncated {
+                needed: 4,
+                available: 0,
+            }),
+        }
     }
 
     pub fn read_slice(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        self.need(n)?;
-        let s = &self.data[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
+        self.take(n)
     }
 
     /// Decodes a possibly-compressed name starting at the cursor.
@@ -193,13 +211,12 @@ impl<'a> WireReader<'a> {
         let mut hops = 0usize;
 
         loop {
-            if at >= self.data.len() {
+            let Some(&len) = self.data.get(at) else {
                 return Err(WireError::Truncated {
                     needed: 1,
                     available: 0,
                 });
-            }
-            let len = self.data[at];
+            };
             match len & 0xC0 {
                 0x00 => {
                     if len == 0 {
@@ -211,13 +228,12 @@ impl<'a> WireReader<'a> {
                     }
                     let start = at + 1;
                     let end = start + len as usize;
-                    if end > self.data.len() {
+                    let Some(raw) = self.data.get(start..end) else {
                         return Err(WireError::Truncated {
                             needed: len as usize,
                             available: self.data.len().saturating_sub(start),
                         });
-                    }
-                    let raw = &self.data[start..end];
+                    };
                     let label: String = raw
                         .iter()
                         .map(|&b| (b as char).to_ascii_lowercase())
@@ -226,13 +242,13 @@ impl<'a> WireReader<'a> {
                     at = end;
                 }
                 0xC0 => {
-                    if at + 1 >= self.data.len() {
+                    let Some(&low) = self.data.get(at + 1) else {
                         return Err(WireError::Truncated {
                             needed: 2,
                             available: 1,
                         });
-                    }
-                    let target = (((len & 0x3F) as usize) << 8) | self.data[at + 1] as usize;
+                    };
+                    let target = (((len & 0x3F) as usize) << 8) | low as usize;
                     if cursor_after.is_none() {
                         cursor_after = Some(at + 2);
                     }
@@ -389,9 +405,17 @@ mod tests {
         let mut w = WireWriter::new();
         w.put_u16(0);
         w.put_u8(9);
-        w.patch_u16(0, 0x1234);
+        w.patch_u16(0, 0x1234).unwrap();
         let buf = w.finish().unwrap();
         assert_eq!(buf, vec![0x12, 0x34, 9]);
+    }
+
+    #[test]
+    fn patch_u16_out_of_range_is_an_error() {
+        let mut w = WireWriter::new();
+        w.put_u8(9);
+        assert!(w.patch_u16(0, 1).is_err());
+        assert!(w.patch_u16(usize::MAX, 1).is_err());
     }
 
     #[test]

@@ -80,15 +80,13 @@ impl Edns {
         let dnssec_ok = record.ttl & 0x8000 != 0;
         let mut options = Vec::new();
         let mut i = 0;
-        while i + 4 <= raw.len() {
-            let code = u16::from_be_bytes([raw[i], raw[i + 1]]);
-            let len = u16::from_be_bytes([raw[i + 2], raw[i + 3]]) as usize;
-            if i + 4 + len > raw.len() {
-                return None;
-            }
+        while let Some(&[c0, c1, l0, l1]) = raw.get(i..i + 4) {
+            let code = u16::from_be_bytes([c0, c1]);
+            let len = u16::from_be_bytes([l0, l1]) as usize;
+            let data = raw.get(i + 4..i + 4 + len)?;
             options.push(EdnsOption {
                 code,
-                data: raw[i + 4..i + 4 + len].to_vec(),
+                data: data.to_vec(),
             });
             i += 4 + len;
         }

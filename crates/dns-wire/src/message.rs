@@ -190,7 +190,7 @@ impl Message {
                 if rdlen > u16::MAX as usize {
                     return Err(WireError::MessageTooLong(rdlen));
                 }
-                w.patch_u16(len_at, rdlen as u16);
+                w.patch_u16(len_at, rdlen as u16)?;
             }
         }
         w.finish()

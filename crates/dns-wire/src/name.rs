@@ -98,12 +98,14 @@ impl Name {
     /// # Panics
     /// Panics if `i >= label_count()`.
     pub fn label(&self, i: usize) -> &str {
+        // nxd-lint: allow(NXL002, reason="documented panic contract: i < label_count(); not a wire-decode path")
         let start = self.label_starts[i] as usize;
         let end = self
             .label_starts
             .get(i + 1)
             .map(|&s| s as usize - 1)
             .unwrap_or(self.repr.len());
+        // nxd-lint: allow(NXL002, reason="start/end are label_starts offsets into repr, a construction-time invariant")
         &self.repr[start..end]
     }
 
@@ -138,8 +140,11 @@ impl Name {
             return Name::root();
         }
         let first = self.label_count() - n;
+        // nxd-lint: allow(NXL002, reason="guarded by the assert above: first < label_count(); documented panic contract")
         let start = self.label_starts[first] as usize;
+        // nxd-lint: allow(NXL002, reason="start is a label boundary inside repr by construction")
         let repr = self.repr[start..].to_string();
+        // nxd-lint: allow(NXL002, reason="first < label_starts.len() is guarded by the assert above")
         let label_starts = self.label_starts[first..]
             .iter()
             .map(|&s| s - start as u16)

@@ -78,7 +78,7 @@ impl RData {
                     let bytes = s.as_bytes();
                     let len = bytes.len().min(255);
                     w.put_u8(len as u8);
-                    w.put_slice(&bytes[..len]);
+                    w.put_slice(bytes.get(..len).unwrap_or(bytes));
                 }
             }
             RData::Soa(soa) => {
@@ -103,10 +103,15 @@ impl RData {
     ) -> Result<Self, WireError> {
         let start = r.position();
         let value = match rtype {
-            RType::A => {
-                let o = r.read_slice(4)?;
-                RData::A(Ipv4Addr::new(o[0], o[1], o[2], o[3]))
-            }
+            RType::A => match *r.read_slice(4)? {
+                [a, b, c, d] => RData::A(Ipv4Addr::new(a, b, c, d)),
+                _ => {
+                    return Err(WireError::Truncated {
+                        needed: 4,
+                        available: 0,
+                    })
+                }
+            },
             RType::Aaaa => {
                 let o = r.read_slice(16)?;
                 let mut b = [0u8; 16];
@@ -194,7 +199,7 @@ mod tests {
         w.put_u16(0);
         rd.encode(&mut w).unwrap();
         let len = w.len() - 2;
-        w.patch_u16(0, len as u16);
+        w.patch_u16(0, len as u16).unwrap();
         let buf = w.finish().unwrap();
         let mut r = WireReader::new(&buf);
         let rdlength = r.read_u16().unwrap() as usize;

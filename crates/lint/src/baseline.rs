@@ -1,0 +1,143 @@
+//! The committed baseline: grandfathered findings that don't fail strict
+//! mode (yet).
+//!
+//! Format: one entry per line, tab-separated `RULE<TAB>PATH<TAB>SNIPPET`,
+//! `#` comments and blank lines ignored. The snippet is the trimmed source
+//! line, so entries survive line-number drift; duplicates act as a
+//! multiset (two identical offending lines need two entries). Entries that
+//! match nothing are reported as stale so the file only ever shrinks.
+
+use crate::diagnostic::Finding;
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(rule_id, path, trimmed snippet)` entries, multiset semantics.
+    entries: Vec<(String, String, String)>,
+}
+
+impl Baseline {
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Parses baseline text. Lines that don't split into three fields are
+    /// ignored (a malformed baseline must never hide findings).
+    pub fn parse(text: &str) -> Baseline {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            if let (Some(rule), Some(path), Some(snippet)) =
+                (parts.next(), parts.next(), parts.next())
+            {
+                entries.push((rule.to_string(), path.to_string(), snippet.to_string()));
+            }
+        }
+        Baseline { entries }
+    }
+
+    /// Renders findings as baseline text (for `--write-baseline`).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::from(
+            "# nxd-lint baseline: grandfathered findings, one `RULE<TAB>PATH<TAB>SNIPPET` per line.\n\
+             # Fix the code and delete the entry; stale entries are reported. Keep this file shrinking.\n",
+        );
+        for f in findings {
+            out.push_str(&format!("{}\t{}\t{}\n", f.rule.id, f.path, f.snippet));
+        }
+        out
+    }
+
+    /// Splits `findings` into (surviving, grandfathered), consuming one
+    /// baseline entry per matched finding. Afterwards [`Baseline::stale`]
+    /// lists what never matched.
+    pub fn absorb(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>, Vec<String>) {
+        let mut remaining: Vec<Option<&(String, String, String)>> =
+            self.entries.iter().map(Some).collect();
+        let mut surviving = Vec::new();
+        let mut grandfathered = Vec::new();
+        for f in findings {
+            let hit = remaining.iter_mut().find(|slot| {
+                matches!(slot, Some((r, p, s)) if *r == f.rule.id && *p == f.path && *s == f.snippet)
+            });
+            match hit {
+                Some(slot) => {
+                    *slot = None;
+                    grandfathered.push(f);
+                }
+                None => surviving.push(f),
+            }
+        }
+        let stale: Vec<String> = remaining
+            .into_iter()
+            .flatten()
+            .map(|(r, p, s)| format!("{r}\t{p}\t{s}"))
+            .collect();
+        (surviving, grandfathered, stale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::NXL001;
+
+    fn finding(path: &str, snippet: &str) -> Finding {
+        Finding {
+            rule: &NXL001,
+            path: path.into(),
+            line: 1,
+            snippet: snippet.into(),
+            message: String::new(),
+            suggestion: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_skips_comments_and_garbage() {
+        let b = Baseline::parse("# header\n\nNXL001\ta.rs\tlet m = HashMap::new();\nnot-a-line\n");
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn absorb_is_a_multiset() {
+        let b = Baseline::parse("NXL001\ta.rs\tx\nNXL001\ta.rs\tx\n");
+        let fs = vec![
+            finding("a.rs", "x"),
+            finding("a.rs", "x"),
+            finding("a.rs", "x"),
+        ];
+        let (surviving, grandfathered, stale) = b.absorb(fs);
+        assert_eq!(grandfathered.len(), 2);
+        assert_eq!(surviving.len(), 1);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn unmatched_entries_are_stale() {
+        let b = Baseline::parse("NXL001\ta.rs\tgone-line\n");
+        let (surviving, grandfathered, stale) = b.absorb(vec![finding("a.rs", "other")]);
+        assert_eq!(surviving.len(), 1);
+        assert!(grandfathered.is_empty());
+        assert_eq!(stale, vec!["NXL001\ta.rs\tgone-line".to_string()]);
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let text = Baseline::render(&[finding("a.rs", "let m = HashMap::new();")]);
+        let b = Baseline::parse(&text);
+        assert_eq!(b.len(), 1);
+        let (s, g, st) = b.absorb(vec![finding("a.rs", "let m = HashMap::new();")]);
+        assert!(s.is_empty());
+        assert_eq!(g.len(), 1);
+        assert!(st.is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! Findings: what a rule reports when source code violates an invariant.
+//!
+//! Mirrors `nxd_analyzer::diagnostic` one layer down the stack: stable rule
+//! IDs in the `NXLnnn` namespace, severities, text and JSON renderings, and
+//! a strict-mode gate. A [`Finding`] points at a file and 1-based line
+//! rather than a wire-message section.
+
+use std::fmt;
+
+/// How severe a violation is.
+///
+/// `High` findings break an invariant the paper's results rely on
+/// (determinism of merges, panic-freedom of decoders); strict mode fails on
+/// *any* unsuppressed finding, but `High` ones are listed first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Low,
+    Medium,
+    High,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Low => "low",
+            Severity::Medium => "medium",
+            Severity::High => "high",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Static description of one rule: stable ID, severity, and the workspace
+/// invariant whose violation it detects. One `'static` instance per rule.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RuleInfo {
+    /// Stable identifier in the `NXLnnn` namespace. Never reused.
+    pub id: &'static str,
+    /// Short machine-friendly name (kebab-case).
+    pub name: &'static str,
+    pub severity: Severity,
+    /// The invariant this rule enforces, e.g. `"serial ≡ sharded merges"`.
+    pub invariant: &'static str,
+    /// One-line summary for catalogs and `--list-rules` output.
+    pub summary: &'static str,
+}
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static RuleInfo,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// The offending source line, trimmed (also the baseline key).
+    pub snippet: String,
+    /// What is wrong, with the concrete construct named.
+    pub message: String,
+    /// How to make the code conformant.
+    pub suggestion: String,
+}
+
+impl Finding {
+    /// Single-line rendering:
+    /// `NXL001 high at path:12: <msg> (fix: ...)`.
+    pub fn to_text(&self) -> String {
+        format!(
+            "{} {} at {}:{}: {} (fix: {})",
+            self.rule.id, self.rule.severity, self.path, self.line, self.message, self.suggestion
+        )
+    }
+
+    /// JSON object rendering.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":{},\"name\":{},\"severity\":{},\"path\":{},\"line\":{},\"snippet\":{},\"message\":{},\"suggestion\":{}}}",
+            json_str(self.rule.id),
+            json_str(self.rule.name),
+            json_str(self.rule.severity.as_str()),
+            json_str(&self.path),
+            self.line,
+            json_str(&self.snippet),
+            json_str(&self.message),
+            json_str(&self.suggestion),
+        )
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The outcome of linting a file set: surviving findings plus bookkeeping
+/// about what suppressions and the baseline absorbed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[must_use = "a lint report carries findings that gate strict mode"]
+pub struct LintReport {
+    /// Findings that survived suppressions and the baseline.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by an inline `nxd-lint: allow(...)`.
+    pub suppressed: usize,
+    /// Findings silenced by the committed baseline file.
+    pub baselined: usize,
+    /// Baseline entries that matched nothing (candidates for removal).
+    pub stale_baseline: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.findings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings at exactly `severity`.
+    pub fn at_severity(&self, severity: Severity) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(move |d| d.rule.severity == severity)
+    }
+
+    /// Number of `High` findings.
+    pub fn high_count(&self) -> usize {
+        self.at_severity(Severity::High).count()
+    }
+
+    /// Number of findings for one rule ID.
+    pub fn count_for(&self, rule_id: &str) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.rule.id == rule_id)
+            .count()
+    }
+
+    /// Absorbs another report's findings and tallies.
+    pub fn merge(&mut self, other: LintReport) {
+        self.findings.extend(other.findings);
+        self.suppressed += other.suppressed;
+        self.baselined += other.baselined;
+        self.stale_baseline.extend(other.stale_baseline);
+        self.files_scanned += other.files_scanned;
+    }
+
+    /// Asserts strict conformance: panics with every finding listed if any
+    /// survived. Meant for the in-repo workspace gate test.
+    pub fn assert_clean(&self, context: &str) {
+        let lines: Vec<String> = self.findings.iter().map(|f| f.to_text()).collect();
+        assert!(
+            lines.is_empty(),
+            "strict mode: {} unsuppressed finding(s) for {context}:\n{}",
+            lines.len(),
+            lines.join("\n")
+        );
+    }
+
+    /// One line per finding, sorted High→Low, stable within a severity.
+    pub fn to_text(&self) -> String {
+        let mut sorted: Vec<&Finding> = self.findings.iter().collect();
+        sorted.sort_by_key(|d| std::cmp::Reverse(d.rule.severity));
+        let mut out: Vec<String> = sorted.iter().map(|d| d.to_text()).collect();
+        for stale in &self.stale_baseline {
+            out.push(format!("warning: stale baseline entry: {stale}"));
+        }
+        out.join("\n")
+    }
+
+    /// JSON rendering with per-severity counts and suppression tallies.
+    pub fn to_json(&self) -> String {
+        let items: Vec<String> = self.findings.iter().map(|d| d.to_json()).collect();
+        let stale: Vec<String> = self.stale_baseline.iter().map(|s| json_str(s)).collect();
+        format!(
+            "{{\"findings\":[{}],\"counts\":{{\"high\":{},\"medium\":{},\"low\":{}}},\"suppressed\":{},\"baselined\":{},\"stale_baseline\":[{}],\"files_scanned\":{}}}",
+            items.join(","),
+            self.high_count(),
+            self.at_severity(Severity::Medium).count(),
+            self.at_severity(Severity::Low).count(),
+            self.suppressed,
+            self.baselined,
+            stale.join(","),
+            self.files_scanned,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_RULE: RuleInfo = RuleInfo {
+        id: "NXL999",
+        name: "test-rule",
+        severity: Severity::High,
+        invariant: "tests stay honest",
+        summary: "a rule for tests",
+    };
+
+    fn finding() -> Finding {
+        Finding {
+            rule: &TEST_RULE,
+            path: "crates/x/src/lib.rs".into(),
+            line: 12,
+            snippet: "let v = m.unwrap();".into(),
+            message: "something \"quoted\" broke".into(),
+            suggestion: "fix it".into(),
+        }
+    }
+
+    #[test]
+    fn text_rendering_contains_all_parts() {
+        let t = finding().to_text();
+        assert!(t.contains("NXL999"));
+        assert!(t.contains("high"));
+        assert!(t.contains("crates/x/src/lib.rs:12"));
+        assert!(t.contains("fix it"));
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let j = finding().to_json();
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("\"id\":\"NXL999\""));
+        let mut r = LintReport::default();
+        r.findings.push(finding());
+        let rj = r.to_json();
+        assert!(rj.starts_with("{\"findings\":["));
+        assert!(rj.contains("\"high\":1"));
+    }
+
+    #[test]
+    fn report_merge_and_counts() {
+        let mut r = LintReport::default();
+        assert!(r.is_clean());
+        let mut other = LintReport::default();
+        other.findings.push(finding());
+        other.suppressed = 2;
+        other.files_scanned = 3;
+        r.merge(other);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.high_count(), 1);
+        assert_eq!(r.suppressed, 2);
+        assert_eq!(r.count_for("NXL999"), 1);
+        assert_eq!(r.count_for("NXL001"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strict mode")]
+    fn assert_clean_panics_on_findings() {
+        let mut r = LintReport::default();
+        r.findings.push(finding());
+        r.assert_clean("unit test");
+    }
+
+    #[test]
+    fn stale_baseline_renders_as_warning() {
+        let mut r = LintReport::default();
+        r.stale_baseline.push("NXL001\tfoo.rs\tgone".into());
+        assert!(r.to_text().contains("stale baseline entry"));
+        assert!(r.is_clean());
+    }
+}

@@ -1,0 +1,463 @@
+//! A panic-free, single-pass Rust source scrubber.
+//!
+//! Rules must never fire inside comments or string literals ("`HashMap`"
+//! in a doc comment is not a violation), so every file is first *scrubbed*:
+//! comment and string contents are blanked to spaces while line structure is
+//! preserved exactly. Comments are captured separately so suppression
+//! directives (`// nxd-lint: allow(...)`) survive the blanking.
+//!
+//! The scrubber is total: one forward pass, the cursor strictly advances,
+//! no slice indexing, no recursion — it terminates without panicking on
+//! arbitrary input, including unterminated literals, lone surrogates-free
+//! garbage from lossy decoding, and raw strings with hundreds of `#`s.
+//! `tests/props.rs` proves this over arbitrary byte strings.
+
+/// One comment, with the 1-based line it starts on. Block comments keep
+/// their full (possibly multi-line) text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The scrubbed view of one source file.
+#[derive(Debug, Clone, Default)]
+pub struct Scrubbed {
+    /// Source with comment and string/char contents replaced by spaces.
+    /// Newlines are preserved, so line numbers in `code` match the input.
+    pub code: String,
+    /// Every comment, in order of appearance.
+    pub comments: Vec<Comment>,
+    /// `mask[i]` is true when 0-based line `i` sits inside a
+    /// `#[cfg(test)] mod … { … }` region. Panic-safety and determinism
+    /// rules do not apply to test code.
+    pub test_mask: Vec<bool>,
+}
+
+impl Scrubbed {
+    /// 0-based line count (at least 1 for non-empty input).
+    pub fn line_count(&self) -> usize {
+        self.test_mask.len()
+    }
+
+    /// Whether 0-based line `i` is inside a `#[cfg(test)]` module.
+    pub fn is_test_line(&self, i: usize) -> bool {
+        self.test_mask.get(i).copied().unwrap_or(false)
+    }
+}
+
+/// Scrubs raw bytes: lossy-decodes to UTF-8 first, so the lexer is total
+/// on arbitrary byte strings, not just valid Rust.
+pub fn scrub_bytes(bytes: &[u8]) -> Scrubbed {
+    scrub(&String::from_utf8_lossy(bytes))
+}
+
+/// Scrubs a source string. See the module docs for guarantees.
+pub fn scrub(src: &str) -> Scrubbed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut comments = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+
+    // Pushes `c` or its blank to `out`, tracking lines.
+    fn put(out: &mut String, line: &mut u32, c: char, keep: bool) {
+        if c == '\n' {
+            *line += 1;
+            out.push('\n');
+        } else if keep {
+            out.push(c);
+        } else {
+            out.push(' ');
+        }
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        // Line comment.
+        if c == '/' && next == Some('/') {
+            let start_line = line;
+            let mut text = String::new();
+            while i < chars.len() && chars[i] != '\n' {
+                text.push(chars[i]);
+                put(&mut out, &mut line, chars[i], false);
+                i += 1;
+            }
+            comments.push(Comment {
+                line: start_line,
+                text,
+            });
+            continue;
+        }
+
+        // Block comment (nested).
+        if c == '/' && next == Some('*') {
+            let start_line = line;
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while i < chars.len() {
+                let c = chars[i];
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    depth += 1;
+                    text.push_str("/*");
+                    put(&mut out, &mut line, '/', false);
+                    put(&mut out, &mut line, '*', false);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    depth = depth.saturating_sub(1);
+                    text.push_str("*/");
+                    put(&mut out, &mut line, '*', false);
+                    put(&mut out, &mut line, '/', false);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(c);
+                    put(&mut out, &mut line, c, false);
+                    i += 1;
+                }
+            }
+            comments.push(Comment {
+                line: start_line,
+                text,
+            });
+            continue;
+        }
+
+        // Raw / byte / C strings: (b|c)?r#*" … "#*  — only when the prefix
+        // letter starts an identifier boundary.
+        let at_boundary = i == 0 || !is_ident_char(chars.get(i.wrapping_sub(1)).copied());
+        if at_boundary {
+            if let Some(consumed) = try_raw_string(&chars, i) {
+                for _ in 0..consumed {
+                    let c = chars.get(i).copied().unwrap_or(' ');
+                    put(&mut out, &mut line, c, false);
+                    i += 1;
+                }
+                continue;
+            }
+            // b"..." / c"..." prefix: emit the prefix blanked, then fall
+            // through to the plain-string scanner at the quote.
+            if matches!(c, 'b' | 'c') && next == Some('"') {
+                put(&mut out, &mut line, c, false);
+                i += 1;
+                // The quote is handled below on the next loop turn.
+                continue;
+            }
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            put(&mut out, &mut line, '"', true);
+            i += 1;
+            while i < chars.len() {
+                let c = chars[i];
+                if c == '\\' {
+                    put(&mut out, &mut line, c, false);
+                    i += 1;
+                    if i < chars.len() {
+                        put(&mut out, &mut line, chars[i], false);
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    put(&mut out, &mut line, '"', true);
+                    i += 1;
+                    break;
+                } else {
+                    put(&mut out, &mut line, c, false);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        // Char literal vs lifetime. A `'` starts a char literal when it is
+        // followed by an escape, or by one char and a closing `'`.
+        if c == '\'' {
+            if next == Some('\\') {
+                // Escaped char: consume until the closing quote or newline.
+                put(&mut out, &mut line, '\'', true);
+                i += 1;
+                let mut hops = 0usize;
+                while i < chars.len() && hops < 64 {
+                    let c = chars[i];
+                    if c == '\\' {
+                        put(&mut out, &mut line, c, false);
+                        i += 1;
+                        if i < chars.len() && chars[i] != '\n' {
+                            put(&mut out, &mut line, chars[i], false);
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        put(&mut out, &mut line, '\'', true);
+                        i += 1;
+                        break;
+                    } else if c == '\n' {
+                        break;
+                    } else {
+                        put(&mut out, &mut line, c, false);
+                        i += 1;
+                    }
+                    hops += 1;
+                }
+                continue;
+            }
+            if chars.get(i + 2).copied() == Some('\'') && next != Some('\'') {
+                // 'x'
+                put(&mut out, &mut line, '\'', true);
+                put(&mut out, &mut line, next.unwrap_or(' '), false);
+                put(&mut out, &mut line, '\'', true);
+                i += 3;
+                continue;
+            }
+            // Lifetime (or stray quote): keep as code.
+            put(&mut out, &mut line, '\'', true);
+            i += 1;
+            continue;
+        }
+
+        put(&mut out, &mut line, c, true);
+        i += 1;
+    }
+
+    let total_lines = out.split('\n').count();
+    let test_mask = compute_test_mask(&out, total_lines);
+    Scrubbed {
+        code: out,
+        comments,
+        test_mask,
+    }
+}
+
+fn is_ident_char(c: Option<char>) -> bool {
+    matches!(c, Some(c) if c.is_alphanumeric() || c == '_')
+}
+
+/// If a raw string literal starts at `chars[i]`, returns how many chars it
+/// spans (prefix, hashes, quotes, and body). `None` otherwise.
+fn try_raw_string(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    // Optional b / c prefix before r.
+    if matches!(chars.get(j), Some('b') | Some('c')) {
+        j += 1;
+    }
+    if chars.get(j).copied() != Some('r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while chars.get(j).copied() == Some('#') {
+        hashes += 1;
+        j += 1;
+        if hashes > 255 {
+            return None; // rustc's own limit; treat as not-a-raw-string
+        }
+    }
+    if chars.get(j).copied() != Some('"') {
+        return None;
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` hashes.
+    while j < chars.len() {
+        if chars[j] == '"' {
+            let mut k = 0usize;
+            while k < hashes && chars.get(j + 1 + k).copied() == Some('#') {
+                k += 1;
+            }
+            if k == hashes {
+                return Some(j + 1 + hashes - i);
+            }
+        }
+        j += 1;
+    }
+    Some(chars.len() - i) // unterminated: consume the rest
+}
+
+/// Marks lines inside `#[cfg(test)] mod … { … }` regions by brace counting
+/// over scrubbed code (safe: no braces hide in strings or comments).
+fn compute_test_mask(code: &str, total_lines: usize) -> Vec<bool> {
+    let mut mask = vec![false; total_lines];
+    let bytes: Vec<char> = code.chars().collect();
+    let needle: Vec<char> = "#[cfg(test)]".chars().collect();
+    let mut line_of = Vec::with_capacity(bytes.len() + 1);
+    let mut ln = 0usize;
+    for &c in &bytes {
+        line_of.push(ln);
+        if c == '\n' {
+            ln += 1;
+        }
+    }
+    line_of.push(ln);
+
+    let mut i = 0usize;
+    while i + needle.len() <= bytes.len() {
+        if bytes[i..i + needle.len()] != needle[..] {
+            i += 1;
+            continue;
+        }
+        let attr_at = i;
+        let mut j = i + needle.len();
+        // Skip whitespace and further attributes, then require `mod`.
+        loop {
+            while j < bytes.len() && bytes[j].is_whitespace() {
+                j += 1;
+            }
+            if bytes.get(j).copied() == Some('#') && bytes.get(j + 1).copied() == Some('[') {
+                // Skip a whole attribute by bracket counting.
+                let mut depth = 0usize;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        '[' => depth += 1,
+                        ']' => {
+                            depth = depth.saturating_sub(1);
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                continue;
+            }
+            break;
+        }
+        let is_mod = bytes
+            .get(j..j + 3)
+            .map(|w| w == ['m', 'o', 'd'].as_slice())
+            .unwrap_or(false)
+            && !is_ident_char(bytes.get(j + 3).copied());
+        if !is_mod {
+            i = attr_at + needle.len();
+            continue;
+        }
+        // Find the opening brace (a `mod x;` has none) and match it.
+        while j < bytes.len() && bytes[j] != '{' && bytes[j] != ';' {
+            j += 1;
+        }
+        if bytes.get(j).copied() != Some('{') {
+            i = j;
+            continue;
+        }
+        let mut depth = 0usize;
+        let open = j;
+        while j < bytes.len() {
+            match bytes[j] {
+                '{' => depth += 1,
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let start_line = line_of.get(attr_at).copied().unwrap_or(0);
+        let end_line = line_of
+            .get(j.min(line_of.len() - 1))
+            .copied()
+            .unwrap_or(start_line);
+        for entry in mask.iter_mut().take(end_line + 1).skip(start_line) {
+            *entry = true;
+        }
+        i = open + 1;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let s = scrub("let x = \"HashMap\"; // HashMap here\nlet y = 1;");
+        assert!(!s.code.contains("HashMap"));
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].text.contains("HashMap here"));
+        assert_eq!(s.code.split('\n').count(), 2);
+    }
+
+    #[test]
+    fn code_outside_literals_is_kept() {
+        let s = scrub("use std::collections::HashMap;\n");
+        assert!(s.code.contains("HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let s = scrub("let x = r#\"panic!(\"inner\")\"#; let ok = 1;");
+        assert!(!s.code.contains("panic!"));
+        assert!(s.code.contains("let ok = 1;"));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let s = scrub("let a = b\"unwrap()\"; let b2 = br#\"x[0]\"#;");
+        assert!(!s.code.contains("unwrap"));
+        assert!(!s.code.contains("x[0]"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scrub("/* outer /* panic!() */ still comment */ let z = 3;");
+        assert!(!s.code.contains("panic!"));
+        assert!(s.code.contains("let z = 3;"));
+        assert_eq!(s.comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scrub("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(s.code.contains("&'a str"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let s = scrub("let c = '\\n'; let q = '\"'; let open = '['; let x = v[0];");
+        assert!(!s.code.contains("'['"), "char '[' blanked: {}", s.code);
+        // v[0] survives:
+        assert!(s.code.contains("v[0]"));
+    }
+
+    #[test]
+    fn multiline_string_preserves_line_numbers() {
+        let s = scrub("let s = \"line1\nline2\nline3\";\nlet t = 1;");
+        assert_eq!(s.code.split('\n').count(), 4);
+        assert!(s.code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src =
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let s = scrub(src);
+        assert!(!s.is_test_line(0));
+        assert!(s.is_test_line(1));
+        assert!(s.is_test_line(3));
+        assert!(s.is_test_line(4));
+        assert!(!s.is_test_line(5));
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_is_ignored() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn f() {}\n";
+        let s = scrub(src);
+        assert!(!s.is_test_line(2));
+    }
+
+    #[test]
+    fn unterminated_everything_is_total() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'x", "b\"", "'", "r###"] {
+            let s = scrub(src);
+            assert_eq!(s.code.split('\n').count(), src.split('\n').count());
+        }
+    }
+}

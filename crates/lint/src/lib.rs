@@ -1,0 +1,300 @@
+//! # nxd-lint
+//!
+//! A source-level static-analysis pass over the whole workspace, enforcing
+//! the invariants the paper's numbers rest on: deterministic shard merges
+//! (PR 3/4), panic-free decoding of hostile input (PR 1), and
+//! observation-neutral telemetry (PR 2). Architected like `nxd-analyzer`
+//! one layer down the stack: stable rule IDs (`NXL001`–`NXL008`), a total
+//! panic-free lexer that strips comments and strings before matching,
+//! per-rule path scoping, text + JSON reports, strict mode, inline
+//! suppressions with mandatory reasons, and a committed baseline for
+//! grandfathered findings.
+//!
+//! ```
+//! use nxd_lint::Linter;
+//!
+//! let src = "use std::collections::HashMap;\nfn merge() { let m: HashMap<u8, u8> = HashMap::new(); }\n";
+//! let report = Linter::new().lint_file_content("crates/passive-dns/src/shard.rs", src);
+//! assert_eq!(report.count_for("NXL001"), 3); // use + type + constructor
+//! assert!(report.to_text().contains("BTree"));
+//!
+//! // The same source outside a determinism-critical module is clean.
+//! let elsewhere = Linter::new().lint_file_content("crates/traffic/src/era.rs", src);
+//! assert!(elsewhere.is_clean());
+//! ```
+
+pub mod baseline;
+pub mod diagnostic;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+pub mod walk;
+
+use std::io;
+use std::path::Path;
+
+pub use baseline::Baseline;
+pub use diagnostic::{Finding, LintReport, RuleInfo, Severity};
+pub use lexer::{scrub, scrub_bytes, Scrubbed};
+pub use rules::{catalog, Rule, Scope, NXL008};
+pub use suppress::{parse_suppressions, Suppression};
+pub use walk::{collect_sources, find_workspace_root, SourceFile};
+
+/// The lint engine: the full rule set plus an optional baseline.
+pub struct Linter {
+    rules: Vec<Rule>,
+    baseline: Baseline,
+}
+
+impl Default for Linter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Linter {
+    /// A linter running every registered rule with an empty baseline.
+    pub fn new() -> Self {
+        Linter {
+            rules: rules::rules(),
+            baseline: Baseline::default(),
+        }
+    }
+
+    /// Replaces the baseline used to grandfather findings.
+    pub fn with_baseline(mut self, baseline: Baseline) -> Self {
+        self.baseline = baseline;
+        self
+    }
+
+    /// Lints one file's content under its workspace-relative path (the
+    /// path drives rule scoping). Suppressions apply; the baseline applies.
+    pub fn lint_file_content(&self, rel_path: &str, src: &str) -> LintReport {
+        let scrubbed = lexer::scrub(src);
+        let src_lines: Vec<&str> = src.split('\n').collect();
+        let (suppressions, problems) = suppress::parse_suppressions(&scrubbed);
+
+        // Phase 1: raw findings from every in-scope rule.
+        let mut raw: Vec<Finding> = Vec::new();
+        for rule in &self.rules {
+            if !rule.scope.contains(rel_path) {
+                continue;
+            }
+            for (idx, line) in scrubbed.code.split('\n').enumerate() {
+                if scrubbed.is_test_line(idx) {
+                    continue;
+                }
+                let mut matches = Vec::new();
+                rule.check_line(line, &mut matches);
+                for m in matches {
+                    raw.push(Finding {
+                        rule: rule.info,
+                        path: rel_path.to_string(),
+                        line: (idx + 1) as u32,
+                        snippet: src_lines
+                            .get(idx)
+                            .map(|l| l.trim())
+                            .unwrap_or("")
+                            .to_string(),
+                        message: format!("{} ({})", rule.info.summary, m.construct),
+                        suggestion: m.suggestion,
+                    });
+                }
+            }
+        }
+
+        // Phase 2: inline suppressions (each listed ID must earn its keep).
+        let mut used = vec![false; suppressions.len()];
+        let mut suppressed = 0usize;
+        let mut surviving = Vec::new();
+        'findings: for f in raw {
+            for (si, sup) in suppressions.iter().enumerate() {
+                if sup.target_line == f.line && sup.ids.iter().any(|id| id == f.rule.id) {
+                    used[si] = true;
+                    suppressed += 1;
+                    continue 'findings;
+                }
+            }
+            surviving.push(f);
+        }
+
+        // Phase 3: hygiene findings (NXL008) — malformed directives and
+        // directives that suppressed nothing. Never suppressible.
+        let mut hygiene = Vec::new();
+        for p in &problems {
+            hygiene.push(self.hygiene_finding(rel_path, p.line, &src_lines, p.message.clone()));
+        }
+        for (si, sup) in suppressions.iter().enumerate() {
+            if !used[si] {
+                hygiene.push(self.hygiene_finding(
+                    rel_path,
+                    sup.comment_line,
+                    &src_lines,
+                    format!(
+                        "suppression of {} matched no finding; remove it",
+                        sup.ids.join(", ")
+                    ),
+                ));
+            }
+        }
+
+        // Phase 4: the baseline grandfathers surviving findings (but never
+        // hygiene findings).
+        let (mut surviving, grandfathered, stale) = self.baseline.absorb(surviving);
+        surviving.extend(hygiene);
+        surviving.sort_by(|a, b| (a.line, a.rule.id).cmp(&(b.line, b.rule.id)));
+
+        LintReport {
+            findings: surviving,
+            suppressed,
+            baselined: grandfathered.len(),
+            stale_baseline: stale,
+            files_scanned: 1,
+        }
+    }
+
+    fn hygiene_finding(
+        &self,
+        rel_path: &str,
+        line: u32,
+        src_lines: &[&str],
+        message: String,
+    ) -> Finding {
+        Finding {
+            rule: &rules::NXL008,
+            path: rel_path.to_string(),
+            line,
+            snippet: src_lines
+                .get(line.saturating_sub(1) as usize)
+                .map(|l| l.trim())
+                .unwrap_or("")
+                .to_string(),
+            message,
+            suggestion: "write `// nxd-lint: allow(NXLnnn, reason=\"...\")` with known IDs, a non-empty reason, and only where a finding exists".into(),
+        }
+    }
+
+    /// Lints every workspace source under `root`. Stale-baseline warnings
+    /// are computed across the whole run, not per file.
+    pub fn lint_workspace(&self, root: &Path) -> io::Result<LintReport> {
+        let files = walk::collect_sources(root)?;
+        // Run file-by-file without the baseline, then absorb globally so
+        // multiset entries match across files.
+        let bare = Linter {
+            rules: rules::rules(),
+            baseline: Baseline::default(),
+        };
+        let mut all_findings = Vec::new();
+        let mut report = LintReport::default();
+        for file in &files {
+            let text = std::fs::read(&file.abs_path)?;
+            let text = String::from_utf8_lossy(&text);
+            let file_report = bare.lint_file_content(&file.rel_path, &text);
+            report.suppressed += file_report.suppressed;
+            all_findings.extend(file_report.findings);
+        }
+        // Hygiene findings must not be baselined: split, absorb, rejoin.
+        let (hygiene, normal): (Vec<Finding>, Vec<Finding>) = all_findings
+            .into_iter()
+            .partition(|f| f.rule.id == rules::NXL008.id);
+        let (mut surviving, grandfathered, stale) = self.baseline.absorb(normal);
+        surviving.extend(hygiene);
+        surviving.sort_by(|a, b| {
+            (a.path.clone(), a.line, a.rule.id).cmp(&(b.path.clone(), b.line, b.rule.id))
+        });
+        report.findings = surviving;
+        report.baselined = grandfathered.len();
+        report.stale_baseline = stale;
+        report.files_scanned = files.len();
+        Ok(report)
+    }
+}
+
+/// One-shot convenience: lint a single source string under a path, no
+/// baseline.
+pub fn lint_source(rel_path: &str, src: &str) -> LintReport {
+    Linter::new().lint_file_content(rel_path, src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoping_gates_rules() {
+        let src = "fn f() { let m = std::collections::HashMap::<u8, u8>::new(); }\n";
+        assert_eq!(
+            lint_source("crates/core/src/origin/pipeline.rs", src).count_for("NXL001"),
+            1
+        );
+        assert!(lint_source("crates/core/src/report.rs", src).is_clean());
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        let src = "// HashMap in a comment\nfn f() { let s = \"Instant::now()\"; let _ = s; }\n";
+        assert!(lint_source("crates/passive-dns/src/shard.rs", src).is_clean());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g(m: std::collections::HashMap<u8, u8>) { let _ = m; }\n}\n";
+        assert!(lint_source("crates/passive-dns/src/shard.rs", src).is_clean());
+    }
+
+    #[test]
+    fn suppression_silences_and_is_tracked() {
+        let src = "fn f(m: &std::collections::HashMap<u8, u8>) { // nxd-lint: allow(NXL001, reason=\"lookup only\")\n    let _ = m;\n}\n";
+        let r = lint_source("crates/passive-dns/src/shard.rs", src);
+        assert!(r.is_clean(), "{}", r.to_text());
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn unused_suppression_is_nxl008() {
+        let src = "// nxd-lint: allow(NXL005, reason=\"no spawn here\")\nfn f() {}\n";
+        let r = lint_source("crates/core/src/scale.rs", src);
+        assert_eq!(r.count_for("NXL008"), 1);
+        assert!(r.to_text().contains("matched no finding"));
+    }
+
+    #[test]
+    fn reasonless_suppression_is_nxl008_even_when_it_matches() {
+        let src = "fn f(m: &std::collections::HashMap<u8, u8>) { // nxd-lint: allow(NXL001)\n    let _ = m;\n}\n";
+        let r = lint_source("crates/passive-dns/src/shard.rs", src);
+        assert_eq!(r.count_for("NXL008"), 1);
+        assert_eq!(r.suppressed, 1, "the finding is still silenced");
+    }
+
+    #[test]
+    fn baseline_grandfathers_but_reports_stale() {
+        let src = "fn f() { let t = std::time::Instant::now(); let _ = t; }\n";
+        let path = "crates/traffic/src/era.rs";
+        let raw = lint_source(path, src);
+        assert_eq!(raw.count_for("NXL003"), 1);
+
+        let baseline = Baseline::parse(&Baseline::render(&raw.findings));
+        let linted = Linter::new()
+            .with_baseline(baseline)
+            .lint_file_content(path, src);
+        assert!(linted.is_clean(), "{}", linted.to_text());
+        assert_eq!(linted.baselined, 1);
+
+        let stale_only = Linter::new()
+            .with_baseline(Baseline::parse("NXL003\tcrates/traffic/src/era.rs\tgone\n"))
+            .lint_file_content(path, "fn f() {}\n");
+        assert_eq!(stale_only.stale_baseline.len(), 1);
+    }
+
+    #[test]
+    fn multiple_rules_fire_in_one_file() {
+        let src = "fn decode(b: &[u8]) -> u8 { b[0] }\nfn count(n: u64) -> u32 { n as u32 }\n";
+        let r = lint_source("crates/dns-wire/src/codec.rs", src);
+        assert_eq!(r.count_for("NXL002"), 1);
+        // NXL007 is not scoped to dns-wire, so the cast is clean here.
+        assert_eq!(r.count_for("NXL007"), 0);
+        let r = lint_source("crates/passive-dns/src/query.rs", src);
+        assert_eq!(r.count_for("NXL007"), 1);
+        assert_eq!(r.count_for("NXL002"), 0);
+    }
+}

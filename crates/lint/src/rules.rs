@@ -1,0 +1,512 @@
+//! The NXL rule catalog: stable IDs, per-rule path scopes, and line
+//! matchers over scrubbed source.
+//!
+//! Every rule encodes an invariant the repo already relies on and
+//! property-tests elsewhere; the linter refuses the *constructs* that have
+//! historically broken those invariants, at the source level, before any
+//! test runs. Scopes are deliberately narrow: `HashMap` is fine in a world
+//! generator, it is not fine in a shard-merge path whose output must be
+//! bit-identical to the serial engine.
+
+use crate::diagnostic::{RuleInfo, Severity};
+
+/// Where a rule applies, as workspace-relative `/`-separated path patterns.
+///
+/// * patterns starting with `/` match anywhere in the path (`"/bin/"`);
+/// * patterns ending with `.rs` match one exact file;
+/// * every other pattern is a prefix (`"crates/dns-wire/src/"`).
+#[derive(Debug, Clone, Copy)]
+pub struct Scope {
+    pub include: &'static [&'static str],
+    pub exclude: &'static [&'static str],
+}
+
+impl Scope {
+    fn pattern_matches(path: &str, pat: &str) -> bool {
+        if let Some(inner) = pat.strip_prefix('/') {
+            path.contains(&format!("/{inner}")) || path.starts_with(inner)
+        } else if pat.ends_with(".rs") {
+            path == pat
+        } else {
+            path.starts_with(pat)
+        }
+    }
+
+    /// Whether `path` is inside this scope.
+    pub fn contains(&self, path: &str) -> bool {
+        self.include.iter().any(|p| Self::pattern_matches(path, p))
+            && !self.exclude.iter().any(|p| Self::pattern_matches(path, p))
+    }
+}
+
+/// One textual match on one line: the construct found and a rule-specific
+/// fix suggestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match {
+    pub construct: String,
+    pub suggestion: String,
+}
+
+/// A lint rule: static info, scope, and a matcher over one scrubbed line.
+pub struct Rule {
+    pub info: &'static RuleInfo,
+    pub scope: Scope,
+    matcher: fn(&str, &mut Vec<Match>),
+}
+
+impl Rule {
+    /// Runs the matcher over one scrubbed code line.
+    pub fn check_line(&self, line: &str, out: &mut Vec<Match>) {
+        (self.matcher)(line, out);
+    }
+}
+
+pub static NXL001: RuleInfo = RuleInfo {
+    id: "NXL001",
+    name: "no-hash-collections-in-merge-paths",
+    severity: Severity::High,
+    invariant: "serial ≡ sharded merges (prop_shard, prop_origin_pipeline)",
+    summary: "HashMap/HashSet in determinism-critical merge modules; iteration order would leak into merged results",
+};
+
+pub static NXL002: RuleInfo = RuleInfo {
+    id: "NXL002",
+    name: "no-panics-in-parse-paths",
+    severity: Severity::High,
+    invariant: "decoders never panic on hostile input (analyzer/dns-wire proptests)",
+    summary: "unwrap/expect/panic!/indexing in wire-decode and line-parse paths; hostile input must surface as Err",
+};
+
+pub static NXL003: RuleInfo = RuleInfo {
+    id: "NXL003",
+    name: "no-raw-clocks",
+    severity: Severity::Medium,
+    invariant: "telemetry is observation-neutral and replayable (TimeSource)",
+    summary: "Instant::now/SystemTime::now outside the TimeSource abstraction",
+};
+
+pub static NXL004: RuleInfo = RuleInfo {
+    id: "NXL004",
+    name: "no-float-accumulation-in-merges",
+    severity: Severity::High,
+    invariant: "fractions are computed once from summed integer totals",
+    summary: "floating-point accumulation in shard-merge loops; float addition is not associative across shard orders",
+};
+
+pub static NXL005: RuleInfo = RuleInfo {
+    id: "NXL005",
+    name: "no-raw-thread-spawn",
+    severity: Severity::High,
+    invariant: "worker panics surface as typed errors (vendored crossbeam scope)",
+    summary: "raw std::thread::spawn; spawn inside the crossbeam scope so panics propagate",
+};
+
+pub static NXL006: RuleInfo = RuleInfo {
+    id: "NXL006",
+    name: "no-print-in-libraries",
+    severity: Severity::Low,
+    invariant: "library crates report through telemetry/Result, not stdout",
+    summary: "print!/println!/eprint!/eprintln! in a library crate",
+};
+
+pub static NXL007: RuleInfo = RuleInfo {
+    id: "NXL007",
+    name: "no-lossy-casts-in-tallies",
+    severity: Severity::Medium,
+    invariant: "counting code is exact at Farsight scale (1.07 T rows)",
+    summary:
+        "narrowing `as` cast in counting/tally code; use From/try_from or widen the accumulator",
+};
+
+pub static NXL008: RuleInfo = RuleInfo {
+    id: "NXL008",
+    name: "suppression-hygiene",
+    severity: Severity::Medium,
+    invariant: "every suppression is justified and current",
+    summary: "malformed, reason-less, unknown-rule, or unused nxd-lint suppression",
+};
+
+/// Every rule with a matcher (NXL008 is emitted by the engine itself).
+pub fn rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            info: &NXL001,
+            scope: Scope {
+                include: &[
+                    "crates/passive-dns/src/shard.rs",
+                    "crates/core/src/origin/pipeline.rs",
+                    "crates/telemetry/src/metrics.rs",
+                    "crates/telemetry/src/histogram.rs",
+                    "crates/telemetry/src/export.rs",
+                ],
+                exclude: &[],
+            },
+            matcher: match_hash_collections,
+        },
+        Rule {
+            info: &NXL002,
+            scope: Scope {
+                include: &[
+                    "crates/dns-wire/src/",
+                    "crates/dns-sim/src/zonefile.rs",
+                    "crates/blocklist/src/lib.rs",
+                    "crates/whois/src/lib.rs",
+                ],
+                exclude: &[],
+            },
+            matcher: match_panics_and_indexing,
+        },
+        Rule {
+            info: &NXL003,
+            scope: Scope {
+                include: &["crates/", "src/"],
+                exclude: &[
+                    "crates/telemetry/src/span.rs",
+                    "crates/bench/",
+                    "crates/lint/",
+                    "/bin/",
+                    "/tests/",
+                    "/benches/",
+                    "/examples/",
+                ],
+            },
+            matcher: match_raw_clocks,
+        },
+        Rule {
+            info: &NXL004,
+            scope: Scope {
+                include: &[
+                    "crates/passive-dns/src/shard.rs",
+                    "crates/core/src/origin/pipeline.rs",
+                    "crates/telemetry/src/metrics.rs",
+                    "crates/telemetry/src/histogram.rs",
+                ],
+                exclude: &[],
+            },
+            matcher: match_float_accumulation,
+        },
+        Rule {
+            info: &NXL005,
+            scope: Scope {
+                include: &["crates/", "src/", "examples/", "tests/"],
+                exclude: &[],
+            },
+            matcher: match_thread_spawn,
+        },
+        Rule {
+            info: &NXL006,
+            scope: Scope {
+                include: &["crates/", "src/"],
+                exclude: &[
+                    "crates/bench/",
+                    "/bin/",
+                    "/tests/",
+                    "/benches/",
+                    "/examples/",
+                ],
+            },
+            matcher: match_prints,
+        },
+        Rule {
+            info: &NXL007,
+            scope: Scope {
+                include: &[
+                    "crates/core/src/scale.rs",
+                    "crates/core/src/origin.rs",
+                    "crates/core/src/origin/",
+                    "crates/passive-dns/src/query.rs",
+                    "crates/passive-dns/src/shard.rs",
+                    "crates/passive-dns/src/store.rs",
+                    "crates/telemetry/src/histogram.rs",
+                ],
+                exclude: &[],
+            },
+            matcher: match_lossy_casts,
+        },
+    ]
+}
+
+/// The full catalog (including engine-emitted NXL008), for `--list-rules`.
+pub fn catalog() -> Vec<&'static RuleInfo> {
+    let mut infos: Vec<&'static RuleInfo> = rules().iter().map(|r| r.info).collect();
+    infos.push(&NXL008);
+    infos
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Positions where `word` occurs in `line` with non-identifier boundaries.
+fn word_positions(line: &str, word: &str) -> Vec<usize> {
+    let chars: Vec<char> = line.chars().collect();
+    let needle: Vec<char> = word.chars().collect();
+    let mut out = Vec::new();
+    if needle.is_empty() || chars.len() < needle.len() {
+        return out;
+    }
+    for i in 0..=chars.len() - needle.len() {
+        if chars[i..i + needle.len()] != needle[..] {
+            continue;
+        }
+        let before_ok = i == 0 || !is_ident(chars[i - 1]);
+        let after = chars.get(i + needle.len()).copied();
+        let after_ok = !matches!(after, Some(c) if is_ident(c));
+        if before_ok && after_ok {
+            out.push(i);
+        }
+    }
+    out
+}
+
+fn contains_word(line: &str, word: &str) -> bool {
+    !word_positions(line, word).is_empty()
+}
+
+fn match_hash_collections(line: &str, out: &mut Vec<Match>) {
+    for ty in ["HashMap", "HashSet"] {
+        for _ in word_positions(line, ty) {
+            out.push(Match {
+                construct: ty.to_string(),
+                suggestion: format!(
+                    "replace {ty} with a BTree collection, or sort explicitly before anything order-dependent"
+                ),
+            });
+        }
+    }
+}
+
+fn match_panics_and_indexing(line: &str, out: &mut Vec<Match>) {
+    for pat in [".unwrap()", ".expect("] {
+        let mut at = 0;
+        while let Some(p) = line[at..].find(pat) {
+            out.push(Match {
+                construct: pat.trim_end_matches('(').to_string(),
+                suggestion: "propagate a typed error (ok_or / map_err / ?), never panic on input"
+                    .into(),
+            });
+            at += p + pat.len();
+        }
+    }
+    for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+        for _ in word_positions(line, mac.trim_end_matches('!')) {
+            // word_positions sees the ident without `!`; confirm the bang.
+            if line.contains(mac) {
+                out.push(Match {
+                    construct: mac.to_string(),
+                    suggestion: "return a structured error variant instead of panicking".into(),
+                });
+                break;
+            }
+        }
+    }
+    // Indexing: `[` whose previous non-space char closes an expression.
+    let chars: Vec<char> = line.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' || i == 0 {
+            continue;
+        }
+        let prev = chars[i - 1];
+        if is_ident(prev) || prev == ')' || prev == ']' {
+            out.push(Match {
+                construct: "slice/array indexing".into(),
+                suggestion: "use .get()/.get_mut() (or split_at/chunks/slice patterns) and surface a truncation error".into(),
+            });
+        }
+    }
+}
+
+fn match_raw_clocks(line: &str, out: &mut Vec<Match>) {
+    for pat in ["Instant::now", "SystemTime::now"] {
+        if line.contains(pat) {
+            out.push(Match {
+                construct: pat.to_string(),
+                suggestion:
+                    "route through nxd_telemetry::TimeSource (WallClock/ManualClock) or Stopwatch"
+                        .into(),
+            });
+        }
+    }
+}
+
+fn match_float_accumulation(line: &str, out: &mut Vec<Match>) {
+    for pat in [
+        "sum::<f64>",
+        "sum::<f32>",
+        ".fold(0.0",
+        ".fold(0f64",
+        ".fold(0f32",
+    ] {
+        if line.contains(pat) {
+            out.push(Match {
+                construct: pat.to_string(),
+                suggestion: "sum integer totals across shards, compute the float once at the end"
+                    .into(),
+            });
+        }
+    }
+    if line.contains("+=")
+        && (contains_word(line, "f64") || contains_word(line, "f32") || has_float_literal(line))
+    {
+        out.push(Match {
+            construct: "float `+=` accumulation".into(),
+            suggestion: "accumulate in integers; derive fractions once from the summed totals"
+                .into(),
+        });
+    }
+}
+
+fn has_float_literal(line: &str) -> bool {
+    let chars: Vec<char> = line.chars().collect();
+    chars
+        .windows(3)
+        .any(|w| w[0].is_ascii_digit() && w[1] == '.' && w[2].is_ascii_digit())
+}
+
+fn match_thread_spawn(line: &str, out: &mut Vec<Match>) {
+    if line.contains("thread::spawn") {
+        out.push(Match {
+            construct: "thread::spawn".into(),
+            suggestion: "use the vendored crossbeam scope so worker panics become typed errors"
+                .into(),
+        });
+    }
+}
+
+fn match_prints(line: &str, out: &mut Vec<Match>) {
+    for mac in ["eprintln!", "eprint!", "println!", "print!"] {
+        if !word_positions(line, mac.trim_end_matches('!')).is_empty() && line.contains(mac) {
+            out.push(Match {
+                construct: mac.to_string(),
+                suggestion: "return data to the caller or record telemetry; only binaries print"
+                    .into(),
+            });
+            break; // longest macro wins; avoid println! matching inside eprintln!
+        }
+    }
+}
+
+fn match_lossy_casts(line: &str, out: &mut Vec<Match>) {
+    for ty in ["u8", "u16", "u32", "i8", "i16", "i32", "f32"] {
+        let pat = format!("as {ty}");
+        // `word_positions` on a multi-word needle still boundary-checks
+        // both ends, which is what we need (`as u8` not `as usize`).
+        for _ in word_positions(line, &pat) {
+            out.push(Match {
+                construct: format!("`as {ty}`"),
+                suggestion: format!(
+                    "use {ty}::try_from (or widen the tally); silent truncation corrupts counts"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(f: fn(&str, &mut Vec<Match>), line: &str) -> Vec<Match> {
+        let mut out = Vec::new();
+        f(line, &mut out);
+        out
+    }
+
+    #[test]
+    fn scope_patterns() {
+        let s = Scope {
+            include: &["crates/dns-wire/src/", "crates/core/src/scale.rs"],
+            exclude: &["/bin/"],
+        };
+        assert!(s.contains("crates/dns-wire/src/codec.rs"));
+        assert!(s.contains("crates/core/src/scale.rs"));
+        assert!(!s.contains("crates/core/src/origin.rs"));
+        assert!(!s.contains("crates/dns-wire/src/bin/tool.rs"));
+    }
+
+    #[test]
+    fn hash_matcher_ignores_substrings() {
+        assert_eq!(
+            run(match_hash_collections, "let m: HashMap<u8, u8>;").len(),
+            1
+        );
+        assert!(run(match_hash_collections, "let m = MyHashMapLike::new();").is_empty());
+    }
+
+    #[test]
+    fn panic_matcher_finds_each_construct() {
+        assert_eq!(
+            run(match_panics_and_indexing, "x.unwrap().y.unwrap()").len(),
+            2
+        );
+        assert_eq!(run(match_panics_and_indexing, "x.expect(\"\")").len(), 1);
+        assert_eq!(run(match_panics_and_indexing, "panic!(\"boom\")").len(), 1);
+        assert_eq!(run(match_panics_and_indexing, "unreachable!()").len(), 1);
+        assert!(run(match_panics_and_indexing, "x.unwrap_or(0)").is_empty());
+        assert!(run(match_panics_and_indexing, "x.expected_len").is_empty());
+    }
+
+    #[test]
+    fn indexing_heuristic() {
+        assert_eq!(
+            run(match_panics_and_indexing, "let v = data[pos];").len(),
+            1
+        );
+        assert_eq!(run(match_panics_and_indexing, "f(x)[0]").len(), 1);
+        assert_eq!(run(match_panics_and_indexing, "m[a][b]").len(), 2);
+        assert!(run(match_panics_and_indexing, "let t: &[u8] = x;").is_empty());
+        assert!(run(match_panics_and_indexing, "#[must_use]").is_empty());
+        assert!(run(match_panics_and_indexing, "vec![1, 2]").is_empty());
+        assert!(run(match_panics_and_indexing, "let a = [0u8; 4];").is_empty());
+    }
+
+    #[test]
+    fn clock_and_spawn_matchers() {
+        assert_eq!(run(match_raw_clocks, "let t = Instant::now();").len(), 1);
+        assert_eq!(run(match_raw_clocks, "SystemTime::now()").len(), 1);
+        assert!(run(match_raw_clocks, "self.time.now_micros()").is_empty());
+        assert_eq!(
+            run(match_thread_spawn, "std::thread::spawn(|| {})").len(),
+            1
+        );
+        assert!(run(match_thread_spawn, "scope.spawn(|_| ())").is_empty());
+    }
+
+    #[test]
+    fn float_accumulation_matcher() {
+        assert_eq!(run(match_float_accumulation, "total += x as f64;").len(), 1);
+        assert_eq!(run(match_float_accumulation, "acc += 0.5;").len(), 1);
+        assert_eq!(
+            run(match_float_accumulation, "xs.iter().sum::<f64>()").len(),
+            1
+        );
+        assert!(run(match_float_accumulation, "count += 1;").is_empty());
+        assert!(run(match_float_accumulation, "let f = t as f64 / d;").is_empty());
+    }
+
+    #[test]
+    fn print_matcher_reports_longest_macro() {
+        let m = run(match_prints, "eprintln!(\"x\");");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].construct, "eprintln!");
+        assert!(run(match_prints, "writeln!(f, \"x\")").is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_matcher() {
+        assert_eq!(run(match_lossy_casts, "let x = n as u32;").len(), 1);
+        assert_eq!(run(match_lossy_casts, "(a as u16, b as i32)").len(), 2);
+        assert!(run(match_lossy_casts, "let x = n as usize;").is_empty());
+        assert!(run(match_lossy_casts, "let x = n as u64;").is_empty());
+        assert!(run(match_lossy_casts, "let x = n as f64;").is_empty());
+    }
+
+    #[test]
+    fn catalog_ids_are_unique_and_ordered() {
+        let infos = catalog();
+        assert_eq!(infos.len(), 8);
+        for (i, info) in infos.iter().enumerate() {
+            assert_eq!(info.id, format!("NXL{:03}", i + 1));
+        }
+    }
+}

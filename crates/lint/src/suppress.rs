@@ -1,0 +1,267 @@
+//! Inline suppressions: `// nxd-lint: allow(NXL002, reason="...")`.
+//!
+//! A trailing directive silences matching findings on its own line; a
+//! standalone comment line silences them on the next line. Every directive
+//! must carry a non-empty `reason` and only known rule IDs; the engine
+//! reports hygiene violations (and directives that suppressed nothing) as
+//! `NXL008`, which itself can never be suppressed.
+
+use crate::lexer::{Comment, Scrubbed};
+
+/// One parsed `allow` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// 1-based line the directive comment starts on.
+    pub comment_line: u32,
+    /// 1-based line the directive applies to.
+    pub target_line: u32,
+    /// Rule IDs listed in `allow(...)`.
+    pub ids: Vec<String>,
+    /// The mandatory justification.
+    pub reason: Option<String>,
+}
+
+/// A hygiene problem with a directive, reported as NXL008.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressionProblem {
+    pub line: u32,
+    pub message: String,
+}
+
+/// Extracts every directive from a scrubbed file's comments.
+///
+/// Returns well-formed suppressions plus hygiene problems for malformed
+/// ones. A directive is *trailing* when code precedes the comment on its
+/// starting line (the scrubbed code line is non-blank), *standalone*
+/// otherwise.
+pub fn parse_suppressions(scrubbed: &Scrubbed) -> (Vec<Suppression>, Vec<SuppressionProblem>) {
+    let code_lines: Vec<&str> = scrubbed.code.split('\n').collect();
+    let mut found = Vec::new();
+    let mut problems = Vec::new();
+    for comment in &scrubbed.comments {
+        // Anchored at the start of the comment (after `//`/`/*`/doc
+        // markers) so prose *mentioning* the grammar is not a directive.
+        let body = comment
+            .text
+            .trim_start_matches(['/', '!', '*'])
+            .trim_start();
+        let Some(directive) = body.strip_prefix("nxd-lint:") else {
+            continue;
+        };
+        match parse_allow(directive) {
+            Ok((ids, reason)) => {
+                let line_idx = comment.line.saturating_sub(1) as usize;
+                let trailing = code_lines
+                    .get(line_idx)
+                    .map(|l| !l.trim().is_empty())
+                    .unwrap_or(false);
+                let target_line = if trailing {
+                    comment.line
+                } else {
+                    comment.line + 1
+                };
+                if reason.as_deref().map(str::trim).unwrap_or("").is_empty() {
+                    problems.push(SuppressionProblem {
+                        line: comment.line,
+                        message: format!(
+                            "suppression of {} has no reason; add reason=\"...\"",
+                            ids.join(", ")
+                        ),
+                    });
+                }
+                for id in &ids {
+                    if !is_known_rule(id) {
+                        problems.push(SuppressionProblem {
+                            line: comment.line,
+                            message: format!("suppression names unknown rule {id}"),
+                        });
+                    }
+                    if id == "NXL008" {
+                        problems.push(SuppressionProblem {
+                            line: comment.line,
+                            message: "NXL008 (suppression hygiene) cannot be suppressed".into(),
+                        });
+                    }
+                }
+                found.push(Suppression {
+                    comment_line: comment.line,
+                    target_line,
+                    ids,
+                    reason,
+                });
+            }
+            Err(msg) => problems.push(SuppressionProblem {
+                line: comment.line,
+                message: msg,
+            }),
+        }
+    }
+    (found, problems)
+}
+
+fn is_known_rule(id: &str) -> bool {
+    crate::rules::catalog().iter().any(|r| r.id == id)
+}
+
+/// Parses `allow(NXL001, NXL007, reason="...")` after the `nxd-lint:` tag.
+fn parse_allow(directive: &str) -> Result<(Vec<String>, Option<String>), String> {
+    let d = directive.trim();
+    let Some(rest) = d.strip_prefix("allow") else {
+        return Err(format!(
+            "unknown nxd-lint directive {d:?}; expected allow(...)"
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(inner) = rest.strip_prefix('(').and_then(|r| r.split(')').next()) else {
+        return Err("allow directive is missing its (...) argument list".into());
+    };
+    let mut ids = Vec::new();
+    let mut reason = None;
+    for part in split_args(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some(r) = part.strip_prefix("reason") {
+            let r = r
+                .trim_start()
+                .strip_prefix('=')
+                .map(str::trim)
+                .unwrap_or("");
+            let r = r.strip_prefix('"').unwrap_or(r);
+            let r = r.strip_suffix('"').unwrap_or(r);
+            reason = Some(r.to_string());
+        } else if part.starts_with("NXL") {
+            ids.push(part.to_string());
+        } else {
+            return Err(format!("unrecognized allow argument {part:?}"));
+        }
+    }
+    if ids.is_empty() {
+        return Err("allow directive lists no rule IDs".into());
+    }
+    Ok((ids, reason))
+}
+
+/// Splits on commas that sit outside double quotes.
+fn split_args(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    out.push(cur);
+    out
+}
+
+/// Convenience for tests: parse a directive from one comment string.
+pub fn parse_comment(line: u32, text: &str) -> (Vec<Suppression>, Vec<SuppressionProblem>) {
+    let scrubbed = Scrubbed {
+        code: String::new(),
+        comments: vec![Comment {
+            line,
+            text: text.to_string(),
+        }],
+        test_mask: vec![false],
+    };
+    parse_suppressions(&scrubbed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scrub;
+
+    #[test]
+    fn trailing_directive_targets_its_own_line() {
+        let s = scrub("let m = HashMap::new(); // nxd-lint: allow(NXL001, reason=\"test map\")\n");
+        let (sup, probs) = parse_suppressions(&s);
+        assert!(probs.is_empty(), "{probs:?}");
+        assert_eq!(sup.len(), 1);
+        assert_eq!(sup[0].target_line, 1);
+        assert_eq!(sup[0].ids, vec!["NXL001"]);
+        assert_eq!(sup[0].reason.as_deref(), Some("test map"));
+    }
+
+    #[test]
+    fn standalone_directive_targets_next_line() {
+        let s =
+            scrub("// nxd-lint: allow(NXL002, reason=\"bounded by need()\")\nlet v = data[pos];\n");
+        let (sup, probs) = parse_suppressions(&s);
+        assert!(probs.is_empty(), "{probs:?}");
+        assert_eq!(sup[0].target_line, 2);
+    }
+
+    #[test]
+    fn multiple_ids_one_reason() {
+        let (sup, probs) = parse_comment(
+            5,
+            "// nxd-lint: allow(NXL001, NXL007, reason=\"both fine here\")",
+        );
+        assert!(probs.is_empty());
+        assert_eq!(sup[0].ids, vec!["NXL001", "NXL007"]);
+    }
+
+    #[test]
+    fn missing_reason_is_a_problem() {
+        let (sup, probs) = parse_comment(3, "// nxd-lint: allow(NXL001)");
+        assert_eq!(sup.len(), 1);
+        assert_eq!(probs.len(), 1);
+        assert!(probs[0].message.contains("no reason"));
+    }
+
+    #[test]
+    fn empty_reason_is_a_problem() {
+        let (_, probs) = parse_comment(3, "// nxd-lint: allow(NXL001, reason=\"  \")");
+        assert_eq!(probs.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_a_problem() {
+        let (_, probs) = parse_comment(3, "// nxd-lint: allow(NXL042, reason=\"x\")");
+        assert!(probs
+            .iter()
+            .any(|p| p.message.contains("unknown rule NXL042")));
+    }
+
+    #[test]
+    fn nxl008_cannot_be_suppressed() {
+        let (_, probs) = parse_comment(3, "// nxd-lint: allow(NXL008, reason=\"nope\")");
+        assert!(probs
+            .iter()
+            .any(|p| p.message.contains("cannot be suppressed")));
+    }
+
+    #[test]
+    fn malformed_directives_are_problems() {
+        for bad in [
+            "// nxd-lint: deny(NXL001)",
+            "// nxd-lint: allow",
+            "// nxd-lint: allow()",
+            "// nxd-lint: allow(what, reason=\"x\")",
+        ] {
+            let (_, probs) = parse_comment(1, bad);
+            assert!(!probs.is_empty(), "expected problem for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn commas_inside_reason_are_kept() {
+        let (sup, probs) = parse_comment(
+            1,
+            "// nxd-lint: allow(NXL003, reason=\"wall, not sim, clock\")",
+        );
+        assert!(probs.is_empty(), "{probs:?}");
+        assert_eq!(sup[0].reason.as_deref(), Some("wall, not sim, clock"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Workspace file discovery: every `.rs` file we own, in a deterministic
+//! order.
+//!
+//! Skips `target/` (build output), `vendor/` (third-party code with its own
+//! style), `.git/`, and the linter's own violation fixtures. Results are
+//! sorted by workspace-relative path so reports and baselines are stable
+//! across filesystems.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "node_modules"];
+
+/// Path fragments (workspace-relative, `/`-separated) never linted: the
+/// linter's own positive fixtures are *supposed* to violate rules.
+const SKIP_FRAGMENTS: &[&str] = &["crates/lint/tests/fixtures"];
+
+/// One discovered source file.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SourceFile {
+    /// Workspace-relative, `/`-separated.
+    pub rel_path: String,
+    pub abs_path: PathBuf,
+}
+
+/// Collects every lintable `.rs` file under `root`, sorted by relative
+/// path.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            if SKIP_FRAGMENTS.iter().any(|f| rel.starts_with(f)) {
+                continue;
+            }
+            out.push(SourceFile {
+                rel_path: rel,
+                abs_path: path,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Walks upward from `start` to the workspace root (the first ancestor
+/// whose `Cargo.toml` contains a `[workspace]` table).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+        cur = dir.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+    }
+
+    #[test]
+    fn collects_own_sources_sorted_without_vendor_or_fixtures() {
+        let files = collect_sources(&repo_root()).expect("walk");
+        assert!(files
+            .iter()
+            .any(|f| f.rel_path == "crates/lint/src/walk.rs"));
+        assert!(files
+            .iter()
+            .any(|f| f.rel_path == "crates/dns-wire/src/codec.rs"));
+        assert!(!files.iter().any(|f| f.rel_path.starts_with("vendor/")));
+        assert!(!files.iter().any(|f| f.rel_path.starts_with("target/")));
+        assert!(!files.iter().any(|f| f.rel_path.contains("tests/fixtures")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "collect_sources returns sorted output");
+    }
+
+    #[test]
+    fn finds_workspace_root_from_crate_dir() {
+        let root = repo_root();
+        assert!(root.join("crates/lint/Cargo.toml").exists());
+    }
+}

@@ -1,0 +1,142 @@
+//! Fixture tests: for every rule, a violating fixture fires and its clean
+//! twin stays silent when linted under the same (scoped) workspace path.
+//!
+//! Fixtures live under `tests/fixtures/` as real files (the workspace
+//! walker skips that directory); each is linted under a *fake* path inside
+//! the rule's scope, because scoping is path-driven, not location-driven.
+
+use std::fs;
+use std::path::Path;
+
+use nxd_lint::{lint_source, LintReport};
+
+fn lint_fixture(fixture: &str, as_path: &str) -> LintReport {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    let src = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    lint_source(as_path, &src)
+}
+
+/// (rule, violating fixture, clean fixture, scoped path, expected count)
+const CASES: &[(&str, &str, &str, &str, usize)] = &[
+    (
+        "NXL001",
+        "nxl001_bad.rs",
+        "nxl001_ok.rs",
+        "crates/passive-dns/src/shard.rs",
+        6,
+    ),
+    (
+        "NXL002",
+        "nxl002_bad.rs",
+        "nxl002_ok.rs",
+        "crates/dns-wire/src/codec.rs",
+        7,
+    ),
+    (
+        "NXL003",
+        "nxl003_bad.rs",
+        "nxl003_ok.rs",
+        "crates/passive-dns/src/store.rs",
+        2,
+    ),
+    (
+        "NXL004",
+        "nxl004_bad.rs",
+        "nxl004_ok.rs",
+        "crates/passive-dns/src/shard.rs",
+        2,
+    ),
+    (
+        "NXL005",
+        "nxl005_bad.rs",
+        "nxl005_ok.rs",
+        "crates/passive-dns/src/federation.rs",
+        2,
+    ),
+    (
+        "NXL006",
+        "nxl006_bad.rs",
+        "nxl006_ok.rs",
+        "crates/traffic/src/era.rs",
+        4,
+    ),
+    (
+        "NXL007",
+        "nxl007_bad.rs",
+        "nxl007_ok.rs",
+        "crates/passive-dns/src/query.rs",
+        3,
+    ),
+    (
+        "NXL008",
+        "nxl008_bad.rs",
+        "nxl008_ok.rs",
+        "crates/passive-dns/src/shard.rs",
+        4,
+    ),
+];
+
+#[test]
+fn violating_fixtures_fire() {
+    for &(rule, bad, _, path, expected) in CASES {
+        let report = lint_fixture(bad, path);
+        assert_eq!(
+            report.count_for(rule),
+            expected,
+            "{rule}: {bad} under {path} should yield {expected} findings:\n{}",
+            report.to_text()
+        );
+    }
+}
+
+#[test]
+fn clean_fixtures_stay_silent() {
+    for &(rule, _, ok, path, _) in CASES {
+        let report = lint_fixture(ok, path);
+        assert!(
+            report.is_clean(),
+            "{rule}: {ok} under {path} should be clean:\n{}",
+            report.to_text()
+        );
+    }
+}
+
+#[test]
+fn violating_fixtures_fire_only_their_rule_or_scoped_neighbors() {
+    // A violating fixture must not trip unrelated rules: everything it
+    // reports carries its own rule ID (NXL008 fixtures may also carry the
+    // suppressed rule's, by design they do not here).
+    for &(rule, bad, _, path, _) in CASES {
+        let report = lint_fixture(bad, path);
+        for f in &report.findings {
+            assert_eq!(
+                f.rule.id,
+                rule,
+                "{bad}: unexpected {} finding at line {}:\n{}",
+                f.rule.id,
+                f.line,
+                report.to_text()
+            );
+        }
+    }
+}
+
+#[test]
+fn suppressed_finding_in_hygiene_fixture_is_counted() {
+    let report = lint_fixture("nxl008_bad.rs", "crates/passive-dns/src/shard.rs");
+    assert_eq!(
+        report.suppressed, 1,
+        "the reason-less directive still silences NXL001"
+    );
+}
+
+#[test]
+fn fixture_reports_serialize_to_json() {
+    let report = lint_fixture("nxl002_bad.rs", "crates/dns-wire/src/codec.rs");
+    let json = report.to_json();
+    assert!(json.contains("\"id\":\"NXL002\""), "{json}");
+    assert!(json.contains("crates/dns-wire/src/codec.rs"), "{json}");
+}

@@ -1,0 +1,14 @@
+// Fixture: NXL001 must fire — hash collections in a merge-critical module.
+use std::collections::{HashMap, HashSet};
+
+pub fn merge_counts(parts: &[Vec<(u16, u64)>]) -> HashMap<u16, u64> {
+    let mut out = HashMap::new();
+    let mut seen: HashSet<u16> = HashSet::new();
+    for part in parts {
+        for &(k, v) in part {
+            *out.entry(k).or_insert(0) += v;
+            seen.insert(k);
+        }
+    }
+    out
+}

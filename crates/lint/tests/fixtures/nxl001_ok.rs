@@ -1,0 +1,15 @@
+// Fixture: clean twin of nxl001_bad — BTree collections keep merge order
+// deterministic.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn merge_counts(parts: &[Vec<(u16, u64)>]) -> BTreeMap<u16, u64> {
+    let mut out = BTreeMap::new();
+    let mut seen: BTreeSet<u16> = BTreeSet::new();
+    for part in parts {
+        for &(k, v) in part {
+            *out.entry(k).or_insert(0) += v;
+            seen.insert(k);
+        }
+    }
+    out
+}

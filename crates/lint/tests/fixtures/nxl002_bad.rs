@@ -1,0 +1,13 @@
+// Fixture: NXL002 must fire — panicking constructs in a decode path.
+pub fn decode_header(data: &[u8]) -> (u16, u16) {
+    let id = u16::from_be_bytes([data[0], data[1]]);
+    let flags = data.get(2..4).map(|w| u16::from_be_bytes([w[0], w[1]])).unwrap();
+    if data.len() > 512 {
+        panic!("oversized datagram");
+    }
+    (id, flags)
+}
+
+pub fn first_label(name: &str) -> &str {
+    name.split('.').next().expect("names are never empty")
+}

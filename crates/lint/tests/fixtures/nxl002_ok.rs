@@ -1,0 +1,15 @@
+// Fixture: clean twin of nxl002_bad — every truncation surfaces as an
+// error, every access is checked.
+pub fn decode_header(data: &[u8]) -> Result<(u16, u16), &'static str> {
+    match data {
+        [a, b, c, d, ..] if data.len() <= 512 => Ok((
+            u16::from_be_bytes([*a, *b]),
+            u16::from_be_bytes([*c, *d]),
+        )),
+        _ => Err("truncated or oversized datagram"),
+    }
+}
+
+pub fn first_label(name: &str) -> Result<&str, &'static str> {
+    name.split('.').next().ok_or("empty name")
+}

@@ -1,0 +1,22 @@
+// Fixture: NXL003 must fire — raw clocks outside the TimeSource
+// abstraction.
+use std::time::{Instant, SystemTime};
+
+pub struct QueryTimer {
+    start: Instant,
+}
+
+impl QueryTimer {
+    pub fn begin() -> Self {
+        QueryTimer {
+            start: Instant::now(),
+        }
+    }
+
+    pub fn wall_clock_secs() -> u64 {
+        match SystemTime::now().duration_since(SystemTime::UNIX_EPOCH) {
+            Ok(d) => d.as_secs(),
+            Err(_) => 0,
+        }
+    }
+}

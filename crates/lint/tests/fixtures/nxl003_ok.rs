@@ -1,0 +1,19 @@
+// Fixture: clean twin of nxl003_bad — elapsed time flows through the
+// telemetry Stopwatch, so replays can substitute a ManualClock.
+use nxd_telemetry::Stopwatch;
+
+pub struct QueryTimer {
+    watch: Stopwatch,
+}
+
+impl QueryTimer {
+    pub fn begin() -> Self {
+        QueryTimer {
+            watch: Stopwatch::start(),
+        }
+    }
+
+    pub fn elapsed_micros(&self) -> u64 {
+        self.watch.elapsed_micros()
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: NXL004 must fire — float accumulation inside a shard-merge
+// loop is order-sensitive.
+pub fn merged_fraction(shards: &[(u64, u64)]) -> f64 {
+    let mut frac = 0.0;
+    for &(nx, total) in shards {
+        frac += nx as f64 / total as f64;
+    }
+    frac / shards.len() as f64
+}
+
+pub fn total_rate(rates: &[f64]) -> f64 {
+    rates.iter().copied().sum::<f64>()
+}

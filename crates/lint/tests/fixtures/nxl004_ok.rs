@@ -1,0 +1,15 @@
+// Fixture: clean twin of nxl004_bad — integer totals are summed across
+// shards and the fraction is computed once at the end.
+pub fn merged_fraction(shards: &[(u64, u64)]) -> f64 {
+    let mut nx_total: u64 = 0;
+    let mut all_total: u64 = 0;
+    for &(nx, total) in shards {
+        nx_total += nx;
+        all_total += total;
+    }
+    if all_total == 0 {
+        0.0
+    } else {
+        nx_total as f64 / all_total as f64
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: NXL005 must fire — raw std::thread::spawn loses worker panics.
+use std::thread;
+
+pub fn run_workers(n: usize) -> Vec<thread::JoinHandle<()>> {
+    (0..n).map(|_| thread::spawn(|| {})).collect()
+}
+
+pub fn run_one() -> std::thread::JoinHandle<u64> {
+    std::thread::spawn(|| 42)
+}

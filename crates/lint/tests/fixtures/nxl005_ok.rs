@@ -1,0 +1,11 @@
+// Fixture: clean twin of nxl005_bad — workers run inside the vendored
+// crossbeam scope, so a panicking worker becomes a typed error at join.
+use crossbeam::thread as cb;
+
+pub fn run_workers(n: usize) -> Result<Vec<u64>, String> {
+    cb::scope(|scope| {
+        let handles: Vec<_> = (0..n).map(|i| scope.spawn(move |_| i as u64)).collect();
+        handles.into_iter().map(|h| h.join().map_err(|_| "worker panicked".to_string())).collect()
+    })
+    .map_err(|_| "scope panicked".to_string())?
+}

@@ -1,0 +1,9 @@
+// Fixture: NXL006 must fire — library code writing to stdout/stderr.
+pub fn report_progress(done: usize, total: usize) {
+    println!("processed {done}/{total}");
+    if done > total {
+        eprintln!("overshot!");
+    }
+    print!(".");
+    eprint!("!");
+}

@@ -1,0 +1,12 @@
+// Fixture: clean twin of nxl006_bad — progress is returned to the caller
+// (who may be a binary that prints) instead of written to stdout.
+use std::fmt::Write as _;
+
+pub fn report_progress(done: usize, total: usize) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "processed {done}/{total}");
+    if done > total {
+        let _ = writeln!(out, " (overshot!)");
+    }
+    out
+}

@@ -1,0 +1,9 @@
+// Fixture: NXL007 must fire — narrowing casts silently corrupt tallies at
+// trillion-row scale.
+pub fn bucket_index(count: u64) -> u32 {
+    count as u32
+}
+
+pub fn sensor_pair(shard: usize, sensor: u64) -> (u16, i32) {
+    (shard as u16, sensor as i32)
+}

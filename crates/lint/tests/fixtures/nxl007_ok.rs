@@ -1,0 +1,8 @@
+// Fixture: clean twin of nxl007_bad — conversions are checked or widening.
+pub fn bucket_index(count: u64) -> u32 {
+    u32::try_from(count).unwrap_or(u32::MAX)
+}
+
+pub fn sensor_pair(shard: usize, sensor: u32) -> (u64, u64) {
+    (shard as u64, u64::from(sensor))
+}

@@ -1,0 +1,12 @@
+// Fixture: NXL008 must fire — three flavors of suppression-hygiene
+// violation: a reason-less directive, an unknown rule ID, and a directive
+// that suppresses nothing.
+pub fn merge(m: &std::collections::HashMap<u8, u8>) -> usize { // nxd-lint: allow(NXL001)
+    m.len()
+}
+
+// nxd-lint: allow(NXL099, reason="no such rule")
+pub fn other() {}
+
+// nxd-lint: allow(NXL005, reason="there is no spawn below")
+pub fn spawnless() {}

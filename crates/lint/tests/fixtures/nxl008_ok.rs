@@ -1,0 +1,5 @@
+// Fixture: clean suppression hygiene — a real finding, silenced with a
+// known rule ID and a non-empty reason.
+pub fn lookup(m: &std::collections::HashMap<u8, u8>, k: u8) -> Option<u8> { // nxd-lint: allow(NXL001, reason="read-only lookup; iteration order never observed")
+    m.get(&k).copied()
+}

@@ -1,0 +1,61 @@
+//! Property tests: the lexer (and the whole single-file lint pipeline) is
+//! total — it never panics and never loses lines — over arbitrary input,
+//! including invalid UTF-8 and pathological nesting.
+
+use nxd_lint::{lint_source, scrub, scrub_bytes};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Totality over arbitrary bytes: scrubbing must neither panic nor
+    /// change the number of lines (line numbers in findings depend on it).
+    #[test]
+    fn scrub_bytes_is_total_and_line_preserving(buf in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let scrubbed = scrub_bytes(&buf);
+        let newlines = buf.iter().filter(|&&b| b == b'\n').count();
+        prop_assert_eq!(
+            scrubbed.code.split('\n').count(),
+            newlines + 1,
+            "scrubbing changed the line count"
+        );
+    }
+
+    /// Totality over arbitrary (valid UTF-8) strings built from the
+    /// characters that drive the lexer's state machine.
+    #[test]
+    fn scrub_is_total_on_lexer_triggers(s in "[\"'/*rb#\\\\ na-z0-9\\n{}\\[\\]!.:();=<>_-]{0,200}") {
+        let scrubbed = scrub(&s);
+        let newlines = s.chars().filter(|&c| c == '\n').count();
+        prop_assert_eq!(scrubbed.code.split('\n').count(), newlines + 1);
+        for c in &scrubbed.comments {
+            prop_assert!(c.line >= 1 && c.line as usize <= newlines + 1);
+        }
+    }
+
+    /// The full pipeline (scrub → suppressions → rules → report) is total
+    /// for any path and any content.
+    #[test]
+    fn lint_pipeline_never_panics(
+        path in "crates/[a-z-]{1,12}/src/[a-z_]{1,12}\\.rs",
+        src in "[\"'/*rb# a-zA-Z0-9\\n{}\\[\\]!.:();=<>_,-]{0,300}",
+    ) {
+        let report = lint_source(&path, &src);
+        for f in &report.findings {
+            prop_assert!(f.line >= 1);
+            prop_assert!(f.line as usize <= src.split('\n').count());
+        }
+        // Rendering is total too.
+        let _ = report.to_text();
+        let _ = report.to_json();
+    }
+
+    /// Raw strings with arbitrary hash counts and missing terminators must
+    /// not hang or panic the lexer.
+    #[test]
+    fn unterminated_raw_strings_terminate(hashes in 0usize..300, body in "[a-z\" ]{0,40}") {
+        let src = format!("let s = r{}\"{}", "#".repeat(hashes), body);
+        let scrubbed = scrub(&src);
+        prop_assert_eq!(scrubbed.code.split('\n').count(), src.chars().filter(|&c| c == '\n').count() + 1);
+    }
+}

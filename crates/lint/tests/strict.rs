@@ -1,0 +1,44 @@
+//! The workspace gate: `cargo test -p nxd-lint` fails if any source file
+//! in the repo violates an NXL rule without a reasoned suppression or a
+//! baseline entry. This is the same check CI runs via `nxd-lint --strict`.
+
+use std::fs;
+use std::path::Path;
+
+use nxd_lint::{find_workspace_root, Baseline, Linter};
+
+fn workspace_root() -> std::path::PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root not found")
+}
+
+fn load_baseline(root: &Path) -> Baseline {
+    let path = root.join("lint-baseline.txt");
+    match fs::read_to_string(&path) {
+        Ok(text) => Baseline::parse(&text),
+        Err(_) => Baseline::default(),
+    }
+}
+
+#[test]
+fn workspace_is_lint_clean_in_strict_mode() {
+    let root = workspace_root();
+    let linter = Linter::new().with_baseline(load_baseline(&root));
+    let report = linter.lint_workspace(&root).expect("workspace walk failed");
+    assert!(
+        report.files_scanned > 50,
+        "walker found suspiciously few files"
+    );
+    report.assert_clean("workspace strict gate");
+}
+
+#[test]
+fn baseline_has_no_stale_entries() {
+    let root = workspace_root();
+    let linter = Linter::new().with_baseline(load_baseline(&root));
+    let report = linter.lint_workspace(&root).expect("workspace walk failed");
+    assert!(
+        report.stale_baseline.is_empty(),
+        "stale baseline entries (delete them from lint-baseline.txt):\n{}",
+        report.stale_baseline.join("\n")
+    );
+}

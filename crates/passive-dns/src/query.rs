@@ -4,7 +4,7 @@
 //! lifespan decay (Fig. 5), expiry-aligned averages (Fig. 6), deterministic
 //! 1/N sampling (§4.2), and long-lived NXDomain counts (§4.4).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use nxd_dns_sim::SimTime;
 use nxd_dns_wire::RCode;
@@ -15,6 +15,7 @@ use crate::store::PassiveDb;
 
 /// Row of the TLD distribution (Fig. 4).
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "query results are pure; dropping them unread answers nothing"]
 pub struct TldStat {
     pub tld: String,
     pub nx_names: u64,
@@ -23,6 +24,7 @@ pub struct TldStat {
 
 /// Row of the lifespan histogram (Fig. 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "query results are pure; dropping them unread answers nothing"]
 pub struct LifespanBucket {
     /// Days since the name was first seen as NXDomain.
     pub day_offset: u32,
@@ -33,6 +35,7 @@ pub struct LifespanBucket {
 }
 
 /// Total responses carrying the given rcode.
+#[must_use]
 pub fn total_responses(db: &PassiveDb, rcode: RCode) -> u64 {
     let _t = db.time_query();
     let (_, _, _, rcodes, counts) = db.columns();
@@ -46,12 +49,14 @@ pub fn total_responses(db: &PassiveDb, rcode: RCode) -> u64 {
 }
 
 /// Total NXDOMAIN responses (the paper's 1,069,114,764,701 at full scale).
+#[must_use]
 pub fn total_nx_responses(db: &PassiveDb) -> u64 {
     total_responses(db, RCode::NxDomain)
 }
 
 /// Number of distinct names that ever received an NXDOMAIN response (the
 /// paper's 146,363,745,785 at full scale).
+#[must_use]
 pub fn distinct_nx_names(db: &PassiveDb) -> u64 {
     let _t = db.time_query();
     db.nx_names().count() as u64
@@ -61,6 +66,7 @@ pub fn distinct_nx_names(db: &PassiveDb) -> u64 {
 ///
 /// Returns `(month_index, responses)` sorted by month, where `month_index`
 /// counts months since January 2014 (matching [`SimTime::month_index`]).
+#[must_use]
 pub fn monthly_nx_series(db: &PassiveDb) -> Vec<(i64, u64)> {
     let _t = db.time_query();
     let (_, days, _, rcodes, counts) = db.columns();
@@ -79,6 +85,7 @@ pub fn monthly_nx_series(db: &PassiveDb) -> Vec<(i64, u64)> {
 
 /// Average NXDOMAIN responses per month for each calendar year (the exact
 /// series Fig. 3 plots).
+#[must_use]
 pub fn yearly_avg_monthly_nx(db: &PassiveDb) -> Vec<(i32, f64)> {
     yearly_from_monthly(&monthly_nx_series(db))
 }
@@ -89,7 +96,7 @@ pub fn yearly_avg_monthly_nx(db: &PassiveDb) -> Vec<(i32, f64)> {
 pub fn yearly_from_monthly(monthly: &[(i64, u64)]) -> Vec<(i32, f64)> {
     let mut per_year: HashMap<i32, (u64, u32)> = HashMap::new();
     for &(month_index, responses) in monthly {
-        let year = 2014 + month_index.div_euclid(12) as i32;
+        let year = i32::try_from(2014 + month_index.div_euclid(12)).unwrap_or(i32::MAX);
         let entry = per_year.entry(year).or_insert((0, 0));
         entry.0 += responses;
         entry.1 += 1;
@@ -207,8 +214,15 @@ pub fn expiry_aligned_series(
     totals
         .iter()
         .enumerate()
-        .map(|(i, &t)| (i as i32 - before as i32, t as f64 / denom))
+        .map(|(i, &t)| (day_offset(i, before), t as f64 / denom))
         .collect()
+}
+
+/// Slot index → signed day offset relative to expiry. Shared by the serial
+/// and sharded engines so both label series identically; saturates instead
+/// of truncating on (impossible in practice) >i32 spans.
+pub(crate) fn day_offset(slot: usize, before: u32) -> i32 {
+    i32::try_from(slot as i64 - i64::from(before)).unwrap_or(i32::MAX)
 }
 
 /// The un-normalized totals behind [`expiry_aligned_series`]: summed query
@@ -241,6 +255,7 @@ pub(crate) fn expiry_aligned_totals(
 /// Names that have been NXDomain for at least `min_days` (observed NX span),
 /// with their total NXDOMAIN query volume — §4.4's "1,018,964 NXDomains
 /// receiving 107,020,820 queries while non-existent for more than 5 years".
+#[must_use]
 pub fn long_lived_nx(db: &PassiveDb, min_days: u32) -> (u64, u64) {
     let _t = db.time_query();
     let mut names = 0u64;
@@ -258,6 +273,7 @@ pub fn long_lived_nx(db: &PassiveDb, min_days: u32) -> (u64, u64) {
 /// statistic the paper opens with ("previous studies discovered that 10%
 /// to 42% of DNS responses are NXDomain responses", Jung et al. / Plonka
 /// et al.). Returns `(rcode wire value, responses)` sorted by rcode.
+#[must_use]
 pub fn rcode_breakdown(db: &PassiveDb) -> Vec<(u8, u64)> {
     let _t = db.time_query();
     let (_, _, _, rcodes, counts) = db.columns();
@@ -271,6 +287,7 @@ pub fn rcode_breakdown(db: &PassiveDb) -> Vec<(u8, u64)> {
 }
 
 /// The NXDOMAIN share of all responses (0.0–1.0).
+#[must_use]
 pub fn nxdomain_share(db: &PassiveDb) -> f64 {
     let breakdown = rcode_breakdown(db);
     let total: u64 = breakdown.iter().map(|&(_, n)| n).sum();
@@ -285,12 +302,15 @@ pub fn nxdomain_share(db: &PassiveDb) -> f64 {
     nx as f64 / total as f64
 }
 
-/// NXDOMAIN responses grouped by sensor id (coverage diagnostics).
-pub fn nx_by_sensor(db: &PassiveDb) -> HashMap<u16, u64> {
+/// NXDOMAIN responses grouped by sensor id (coverage diagnostics). A
+/// `BTreeMap` so the serial and sharded engines agree element-for-element
+/// under iteration, not just as sets.
+#[must_use]
+pub fn nx_by_sensor(db: &PassiveDb) -> BTreeMap<u16, u64> {
     let _t = db.time_query();
     let (_, _, sensors, rcodes, counts) = db.columns();
     let want = RCode::NxDomain.to_u8();
-    let mut out = HashMap::new();
+    let mut out = BTreeMap::new();
     for i in 0..sensors.len() {
         if rcodes[i] == want {
             *out.entry(sensors[i]).or_insert(0) += counts[i] as u64;

@@ -24,7 +24,7 @@
 //! [`ShardedStore::attach_metrics`] labels them `shard="i"` so they roll up
 //! through `nxd-telemetry`'s snapshot/merge algebra.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap}; // nxd-lint: allow(NXL001, reason="HashMap is only the panel side-input type below; all merge state is BTreeMap")
 
 use crossbeam::channel::bounded;
 use nxd_dns_wire::{Name, RCode};
@@ -285,7 +285,7 @@ impl ShardedStore {
     /// the full panel size — the same division the serial engine performs.
     pub fn expiry_aligned_series(
         &self,
-        expiry_day: &HashMap<String, u32>,
+        expiry_day: &HashMap<String, u32>, // nxd-lint: allow(NXL001, reason="iterated only to bucket names by home shard; per-offset sums are order-free and the denominator is len()")
         before: u32,
         after: u32,
     ) -> Vec<(i32, f64)> {
@@ -295,8 +295,8 @@ impl ShardedStore {
         // Split the panel by home shard, translating to shard-local ids.
         // Panel names the store never saw contribute no rows (exactly as in
         // the serial engine) but still count toward the denominator.
-        let mut per_shard: Vec<HashMap<crate::intern::NameId, u32>> =
-            (0..self.shards.len()).map(|_| HashMap::new()).collect();
+        // nxd-lint: allow(NXL001, reason="per-shard side input read only via .get() in expiry_aligned_totals; iteration order never observed")
+        let mut per_shard = vec![HashMap::<crate::intern::NameId, u32>::new(); self.shards.len()];
         for (name, &day) in expiry_day {
             let shard = self.shard_of(name);
             if let Some(id) = self.shards[shard].interner().get(name) {
@@ -317,7 +317,7 @@ impl ShardedStore {
         totals
             .iter()
             .enumerate()
-            .map(|(i, &t)| (i as i32 - before as i32, t as f64 / denom))
+            .map(|(i, &t)| (query::day_offset(i, before), t as f64 / denom))
             .collect()
     }
 
@@ -356,8 +356,8 @@ impl ShardedStore {
     }
 
     /// NXDOMAIN responses per sensor (parallel [`query::nx_by_sensor`]).
-    pub fn nx_by_sensor(&self) -> HashMap<u16, u64> {
-        let mut merged: HashMap<u16, u64> = HashMap::new();
+    pub fn nx_by_sensor(&self) -> BTreeMap<u16, u64> {
+        let mut merged: BTreeMap<u16, u64> = BTreeMap::new();
         for partial in self.par_map(query::nx_by_sensor) {
             for (sensor, responses) in partial {
                 *merged.entry(sensor).or_insert(0) += responses;

@@ -7,10 +7,9 @@
 //! on ingest for O(1) lifespan lookups.
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use nxd_dns_wire::{Name, RCode};
-use nxd_telemetry::{Counter, Gauge, Histogram, Registry};
+use nxd_telemetry::{Counter, Gauge, Histogram, Registry, Stopwatch};
 
 use crate::intern::{Interner, NameId};
 
@@ -126,7 +125,7 @@ impl PassiveDb {
     pub(crate) fn time_query(&self) -> QueryTimer<'_> {
         QueryTimer {
             metrics: &self.metrics,
-            start: Instant::now(),
+            watch: Stopwatch::start(),
         }
     }
 
@@ -286,7 +285,7 @@ impl PassiveDb {
 /// Drop guard for [`PassiveDb::time_query`].
 pub(crate) struct QueryTimer<'a> {
     metrics: &'a StoreMetrics,
-    start: Instant,
+    watch: Stopwatch,
 }
 
 impl Drop for QueryTimer<'_> {
@@ -294,7 +293,7 @@ impl Drop for QueryTimer<'_> {
         self.metrics.queries.inc();
         self.metrics
             .query_latency_us
-            .record(self.start.elapsed().as_micros() as u64);
+            .record(self.watch.elapsed_micros());
     }
 }
 

@@ -90,6 +90,7 @@ impl Histogram {
 /// [`HistogramSnapshot::delta`] inverts merge for monotonically grown
 /// histograms — the property tests in `tests/props.rs` pin all three laws.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "a snapshot is a pure copy; dropping it unread observes nothing"]
 pub struct HistogramSnapshot {
     /// Per-bucket observation counts (`BUCKET_COUNT` entries).
     pub buckets: Vec<u64>,

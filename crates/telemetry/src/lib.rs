@@ -48,7 +48,7 @@ pub mod span;
 
 pub use histogram::{Histogram, HistogramSnapshot, BUCKET_COUNT};
 pub use metrics::{Counter, Gauge, MetricId, Registry, Snapshot};
-pub use span::{ManualClock, SpanGuard, SpanRecord, TimeSource, Tracer, WallClock};
+pub use span::{ManualClock, SpanGuard, SpanRecord, Stopwatch, TimeSource, Tracer, WallClock};
 
 use std::sync::Arc;
 

@@ -208,6 +208,7 @@ fn id_of(name: &str, labels: &[(&str, &str)]) -> MetricId {
 
 /// A point-in-time copy of a registry's metrics, sorted by id.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "a snapshot is a pure copy; dropping it unread observes nothing"]
 pub struct Snapshot {
     pub counters: Vec<(MetricId, u64)>,
     pub gauges: Vec<(MetricId, i64)>,

@@ -12,6 +12,12 @@ use std::time::Instant;
 /// Where "now" comes from, in microseconds since an arbitrary origin.
 pub trait TimeSource: Send + Sync {
     fn now_micros(&self) -> u64;
+
+    /// Nanosecond reading; sources without sub-µs resolution inherit this
+    /// µs-derived default.
+    fn now_nanos(&self) -> u64 {
+        self.now_micros().saturating_mul(1_000)
+    }
 }
 
 /// Monotonic wall clock anchored at construction.
@@ -37,6 +43,10 @@ impl Default for WallClock {
 impl TimeSource for WallClock {
     fn now_micros(&self) -> u64 {
         self.origin.elapsed().as_micros() as u64
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
     }
 }
 
@@ -64,6 +74,64 @@ impl ManualClock {
 impl TimeSource for ManualClock {
     fn now_micros(&self) -> u64 {
         self.micros.load(Ordering::Relaxed)
+    }
+}
+
+/// A started measurement over a [`TimeSource`] — the sanctioned way to
+/// time an operation outside a [`Tracer`].
+///
+/// Library code must not call `Instant::now()` directly (lint rule
+/// `NXL003`): a raw clock read can't be replayed. A `Stopwatch` defaults
+/// to a wall clock but accepts any `TimeSource`, so tests drive it with a
+/// [`ManualClock`].
+#[derive(Clone)]
+pub struct Stopwatch {
+    time: Arc<dyn TimeSource>,
+    start_ns: u64,
+}
+
+impl Stopwatch {
+    /// Starts a wall-clock stopwatch.
+    pub fn start() -> Self {
+        Stopwatch::with_source(Arc::new(WallClock::new()))
+    }
+
+    /// Starts a stopwatch over an explicit time source.
+    pub fn with_source(time: Arc<dyn TimeSource>) -> Self {
+        let start_ns = time.now_nanos();
+        Stopwatch { time, start_ns }
+    }
+
+    /// Nanoseconds since the stopwatch started (µs resolution on sources
+    /// that don't override [`TimeSource::now_nanos`]).
+    #[must_use]
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.time.now_nanos().saturating_sub(self.start_ns)
+    }
+
+    /// Microseconds since the stopwatch started.
+    #[must_use]
+    pub fn elapsed_micros(&self) -> u64 {
+        self.elapsed_nanos() / 1_000
+    }
+
+    /// Elapsed time as a `Duration`.
+    #[must_use]
+    pub fn elapsed(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.elapsed_nanos())
+    }
+
+    /// Restarts the measurement from the source's current reading.
+    pub fn restart(&mut self) {
+        self.start_ns = self.time.now_nanos();
+    }
+}
+
+impl std::fmt::Debug for Stopwatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stopwatch")
+            .field("start_ns", &self.start_ns)
+            .finish_non_exhaustive()
     }
 }
 
@@ -202,6 +270,28 @@ mod tests {
         let spans = t.spans();
         assert_eq!(spans[0].depth, 0);
         assert_eq!(spans[1].depth, 0);
+    }
+
+    #[test]
+    fn stopwatch_over_manual_clock() {
+        let clock = Arc::new(ManualClock::new());
+        let mut sw = Stopwatch::with_source(clock.clone());
+        assert_eq!(sw.elapsed_micros(), 0);
+        clock.advance_micros(250);
+        assert_eq!(sw.elapsed_micros(), 250);
+        assert_eq!(sw.elapsed(), std::time::Duration::from_micros(250));
+        sw.restart();
+        assert_eq!(sw.elapsed_micros(), 0);
+        clock.advance_micros(7);
+        assert_eq!(sw.elapsed_micros(), 7);
+    }
+
+    #[test]
+    fn stopwatch_wall_default_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_micros();
+        let b = sw.elapsed_micros();
+        assert!(b >= a);
     }
 
     #[test]

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Vendor-consistency check.
+
+The workspace has no registry access: every external dependency must
+resolve to a `path = "vendor/..."` stub. This script cross-checks the
+three places that must agree:
+
+1. every `vendor/...` path dependency declared in the root Cargo.toml
+   (or transitively by a vendored stub) exists on disk with its own
+   Cargo.toml;
+2. every directory under vendor/ is actually declared (no orphan stubs);
+3. if a Cargo.lock is committed, every package in it is either a
+   workspace crate or a vendored stub — nothing expects the registry.
+
+Exit codes: 0 = consistent, 1 = inconsistency found, 2 = can't read the
+workspace layout.
+"""
+
+import os
+import re
+import sys
+
+VENDOR_DEP = re.compile(r'path\s*=\s*"(vendor/[^"]+)"')
+SIBLING_DEP = re.compile(r'path\s*=\s*"\.\./([^"]+)"')
+LOCK_NAME = re.compile(r'^name\s*=\s*"([^"]+)"$')
+LOCK_SOURCE = re.compile(r"^source\s*=")
+
+
+def fail(msg):
+    print(f"vendor check: {msg}", file=sys.stderr)
+
+
+def main(root) -> int:
+    manifest_path = os.path.join(root, "Cargo.toml")
+    try:
+        manifest = open(manifest_path).read()
+    except OSError as e:
+        fail(f"cannot read {manifest_path}: {e}")
+        return 2
+
+    declared = set(VENDOR_DEP.findall(manifest))
+    if not declared:
+        fail("root Cargo.toml declares no vendor/ path dependencies")
+        return 2
+
+    # Vendored stubs may depend on sibling stubs (`path = "../x"`); those
+    # count as declared too.
+    vendor_dir = os.path.join(root, "vendor")
+    for name in sorted(os.listdir(vendor_dir)):
+        stub = os.path.join(vendor_dir, name, "Cargo.toml")
+        if os.path.isfile(stub):
+            for sibling in SIBLING_DEP.findall(open(stub).read()):
+                declared.add(f"vendor/{sibling}")
+
+    bad = 0
+    for rel in sorted(declared):
+        stub_manifest = os.path.join(root, rel, "Cargo.toml")
+        if not os.path.isfile(stub_manifest):
+            fail(f"declared dependency {rel} has no {rel}/Cargo.toml on disk")
+            bad += 1
+
+    on_disk = {
+        f"vendor/{name}"
+        for name in sorted(os.listdir(vendor_dir))
+        if os.path.isfile(os.path.join(vendor_dir, name, "Cargo.toml"))
+    }
+    for rel in sorted(on_disk - declared):
+        fail(f"{rel} exists on disk but is not declared in the root Cargo.toml")
+        bad += 1
+
+    lock_path = os.path.join(root, "Cargo.lock")
+    if os.path.isfile(lock_path):
+        # A lockfile entry with a `source` line would need the registry.
+        name = None
+        for line in open(lock_path):
+            line = line.strip()
+            m = LOCK_NAME.match(line)
+            if m:
+                name = m.group(1)
+            elif LOCK_SOURCE.match(line):
+                fail(f"Cargo.lock package {name!r} has a registry source")
+                bad += 1
+
+    if bad:
+        fail(f"{bad} inconsistencies")
+        return 1
+    print(
+        f"vendor check ok: {len(declared)} vendored stubs declared, "
+        f"{len(on_disk)} present, lockfile registry-free"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "."))

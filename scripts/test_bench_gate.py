@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_gate.py: both CLI forms, the regression-failure
+path, the missing-bench path, and the baseline JSON artifact.
+
+Run with ``python3 -m unittest discover scripts`` from the repo root (CI
+does exactly that).
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_gate
+
+
+def bench_lines(group, **ns_by_name):
+    return "".join(
+        f"bench {group}/{name} {ns} ns/iter\n" for name, ns in ns_by_name.items()
+    )
+
+
+class BenchGateTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def path(self, name):
+        return os.path.join(self.dir.name, name)
+
+    def write_input(self, text, name="bench.txt"):
+        path = self.path(name)
+        with open(path, "w") as fh:
+            fh.write(text)
+        return path
+
+    def read_json(self, path):
+        with open(path) as fh:
+            return json.load(fh)
+
+    def test_positional_form_passes_within_tolerance(self):
+        # The original PR 3 invocation: bench_gate.py <output> [BENCH_4.json]
+        inp = self.write_input(
+            bench_lines(
+                "passive-shard-large", serial=1000, **{"sharded-4": 1100, "sharded-8": 900}
+            )
+        )
+        baseline = self.path("BENCH_4.json")
+        self.assertEqual(bench_gate.main([inp, baseline]), 0)
+        report = self.read_json(baseline)
+        self.assertEqual(report["serial_ns"], 1000)
+        self.assertTrue(all(g["ok"] for g in report["gate"]))
+
+    def test_parameterized_form_passes(self):
+        inp = self.write_input(
+            bench_lines("origin-pipeline", serial=2000, **{"fused-4": 2100, "fused-8": 1500})
+        )
+        baseline = self.path("BENCH_5.json")
+        code = bench_gate.main(
+            [
+                "--input", inp,
+                "--baseline", baseline,
+                "--group", "origin-pipeline",
+                "--serial", "serial",
+                "--gated", "fused-4", "fused-8",
+            ]
+        )
+        self.assertEqual(code, 0)
+        report = self.read_json(baseline)
+        self.assertEqual(
+            {g["name"] for g in report["gate"]},
+            {"origin-pipeline/fused-4", "origin-pipeline/fused-8"},
+        )
+
+    def test_regression_beyond_tolerance_fails(self):
+        # 16% over serial with the default 1.15 tolerance must exit 1.
+        inp = self.write_input(
+            bench_lines(
+                "passive-shard-large", serial=1000, **{"sharded-4": 1160, "sharded-8": 1000}
+            )
+        )
+        baseline = self.path("BENCH_4.json")
+        self.assertEqual(bench_gate.main([inp, baseline]), 1)
+        report = self.read_json(baseline)
+        verdicts = {g["name"]: g["ok"] for g in report["gate"]}
+        self.assertFalse(verdicts["passive-shard-large/sharded-4"])
+        self.assertTrue(verdicts["passive-shard-large/sharded-8"])
+
+    def test_custom_tolerance_is_respected(self):
+        inp = self.write_input(
+            bench_lines(
+                "passive-shard-large", serial=1000, **{"sharded-4": 1160, "sharded-8": 1000}
+            )
+        )
+        code = bench_gate.main(
+            [inp, self.path("BENCH_4.json"), "--tolerance", "1.2"]
+        )
+        self.assertEqual(code, 0)
+
+    def test_missing_bench_exits_2(self):
+        inp = self.write_input(bench_lines("passive-shard-large", serial=1000))
+        self.assertEqual(bench_gate.main([inp, self.path("BENCH_4.json")]), 2)
+
+    def test_no_input_exits_2(self):
+        self.assertEqual(bench_gate.main([]), 2)
+
+    def test_non_bench_lines_are_ignored(self):
+        inp = self.write_input(
+            "Compiling nxd-bench v0.1.0\n"
+            + bench_lines(
+                "passive-shard-large", serial=1000, **{"sharded-4": 500, "sharded-8": 600}
+            )
+            + "test result: ok\n"
+        )
+        baseline = self.path("BENCH_4.json")
+        self.assertEqual(bench_gate.main([inp, baseline]), 0)
+        report = self.read_json(baseline)
+        self.assertEqual(len(report["results_ns"]), 3)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,122 @@
+//! `nxd-lint` — the workspace invariant linter's command-line front end.
+//!
+//! ```text
+//! nxd-lint                        # lint the workspace, text report
+//! nxd-lint --strict               # non-zero exit on any surviving finding
+//! nxd-lint --json                 # machine-readable report
+//! nxd-lint --baseline FILE        # absorb grandfathered findings (default: lint-baseline.txt)
+//! nxd-lint --write-baseline FILE  # snapshot current findings as a new baseline
+//! nxd-lint --list-rules           # print the rule catalog and exit
+//! ```
+//!
+//! Exit codes: 0 = clean (stale baseline entries still exit 0 without
+//! `--strict`), 1 = surviving findings (or, with `--strict`, stale baseline
+//! entries), 2 = usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use nxd_lint::{catalog, find_workspace_root, Baseline, Linter};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("nxd-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut strict = false;
+    let mut json = false;
+    let mut list_rules = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--strict" => strict = true,
+            "--json" => json = true,
+            "--list-rules" => list_rules = true,
+            "--baseline" => {
+                let path = it.next().ok_or("--baseline needs a file path")?;
+                baseline_path = Some(PathBuf::from(path));
+            }
+            "--write-baseline" => {
+                let path = it.next().ok_or("--write-baseline needs a file path")?;
+                write_baseline = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+
+    if list_rules {
+        for info in catalog() {
+            println!(
+                "{} {:<24} [{}] {}\n    invariant: {}",
+                info.id, info.name, info.severity, info.summary, info.invariant
+            );
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let cwd = std::env::current_dir().map_err(|e| format!("getting cwd: {e}"))?;
+    let root = find_workspace_root(&cwd).ok_or("no workspace root above the current directory")?;
+
+    if let Some(out) = write_baseline {
+        // Snapshot what a bare run (no baseline) reports.
+        let report = Linter::new()
+            .lint_workspace(&root)
+            .map_err(|e| format!("walking {}: {e}", root.display()))?;
+        let text = Baseline::render(&report.findings);
+        std::fs::write(&out, text).map_err(|e| format!("writing {}: {e}", out.display()))?;
+        eprintln!(
+            "nxd-lint: wrote {} baseline entries to {}",
+            report.findings.len(),
+            out.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline_file = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
+    let baseline = load_baseline(&baseline_file)?;
+    let report = Linter::new()
+        .with_baseline(baseline)
+        .lint_workspace(&root)
+        .map_err(|e| format!("walking {}: {e}", root.display()))?;
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+
+    let stale = !report.stale_baseline.is_empty();
+    if !report.is_clean() || (strict && stale) {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// Reads the baseline file; a missing file is an empty baseline, any other
+/// I/O failure is fatal (a truncated read must never hide findings).
+fn load_baseline(path: &Path) -> Result<Baseline, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(Baseline::parse(&text)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+        Err(e) => Err(format!("reading {}: {e}", path.display())),
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: nxd-lint [--strict] [--json] [--baseline FILE] [--write-baseline FILE] [--list-rules]"
+}
