@@ -21,8 +21,15 @@
 //!   JSON (loadable in `chrome://tracing` / Perfetto).
 //! * `--shards <N>` — shard count for the `scale-parallel` and
 //!   `origin-parallel` experiments (default 4).
+//! * `--serve <addr>` — start the live observability plane (nxd-obs) on
+//!   `addr` (e.g. `127.0.0.1:9090`, or port 0 for an ephemeral port) before
+//!   the first experiment. `/metrics`, `/journal?since=<seq>`, `/spans`,
+//!   and `/snapshot.json` update live while experiments run; `/readyz`
+//!   flips to 200 once the first experiment completes. The bound address
+//!   is printed on stderr.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use nxd_bench::{
     era_world_with, honeypot_world_with, origin_db, origin_world, origin_xref_params,
@@ -90,11 +97,15 @@ fn main() {
     let mut metrics_json: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut shards: usize = 4;
+    let mut serve: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(arg) = raw.next() {
         match arg.as_str() {
             "--metrics" => metrics = true,
+            "--serve" => {
+                serve = Some(raw.next().expect("--serve needs a listen address"));
+            }
             "--metrics-json" => {
                 metrics_json = Some(raw.next().expect("--metrics-json needs a file path"));
             }
@@ -143,13 +154,22 @@ fn main() {
         .map(String::from)
         .collect();
     }
-    let telemetry = Telemetry::wall();
+    let telemetry = Arc::new(Telemetry::wall());
+    let server = serve.map(|addr| {
+        let server = nxd_obs::ObsServer::bind(&addr, telemetry.clone())
+            .unwrap_or_else(|e| panic!("--serve {addr}: {e}"));
+        eprintln!(
+            "[repro] observability plane listening on http://{}",
+            server.local_addr()
+        );
+        server
+    });
     let mut worlds = Worlds::new(&telemetry);
     for exp in &experiments {
         let before = telemetry.snapshot();
         let span = telemetry.span(&format!("repro.{exp}"));
         match exp.as_str() {
-            "scalars" => scalars(&mut worlds),
+            "scalars" | "scale" => scalars(&mut worlds),
             "fig3" => fig3(&mut worlds),
             "fig4" => fig4(&mut worlds),
             "fig5" => fig5(&mut worlds),
@@ -179,6 +199,10 @@ fn main() {
             ),
         }
         drop(span);
+        if let Some(server) = &server {
+            // Readiness flips (once) when the first phase completes.
+            server.set_ready();
+        }
         if metrics {
             let delta = telemetry.snapshot().delta(&before);
             if !delta.is_empty() {
@@ -200,6 +224,9 @@ fn main() {
         let trace = telemetry.tracer.to_chrome_trace();
         std::fs::write(&path, trace).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("[repro] wrote Chrome trace to {path}");
+    }
+    if let Some(server) = server {
+        server.shutdown();
     }
 }
 

@@ -31,7 +31,7 @@ use nxd_blocklist::Blocklist;
 use nxd_dga::DgaDetector;
 use nxd_passive_dns::{PassiveDb, ShardedStore};
 use nxd_squat::{SquatClassifier, SquatKind, SquatScratch};
-use nxd_telemetry::{Histogram, Stopwatch, Telemetry};
+use nxd_telemetry::{Counter, Histogram, Journal, Stopwatch, Telemetry};
 use nxd_whois::HistoricWhoisDb;
 
 use crate::origin::{self, BlocklistXref, WhoisJoin};
@@ -91,6 +91,15 @@ struct DetectorHists {
     whois: Histogram,
     dga: Histogram,
     squat: Histogram,
+}
+
+/// Live-progress plumbing for the parallel scan, present only when
+/// telemetry is attached: a shards-completed counter that advances while
+/// the fan-out is in flight (so `/metrics` moves mid-scan) and per-shard
+/// flight-recorder events.
+struct ShardProgress {
+    shards_completed: Counter,
+    journal: Journal,
 }
 
 fn kind_slot(kind: SquatKind) -> usize {
@@ -174,11 +183,29 @@ impl OriginPipeline<'_> {
                 .registry
                 .histogram_with("origin_detector_latency_ns", &[("detector", "squat")]),
         });
+        let progress = telemetry.map(|t| ShardProgress {
+            shards_completed: t.registry.counter("origin_shards_completed_total"),
+            journal: t.journal.clone(),
+        });
         let k = self.xref.sample_size;
 
         // Phase 1: one fused scan per shard, in parallel.
         let scan_span = telemetry.map(|t| t.span("origin.scan"));
-        let tallies = store.par_map(|db| self.scan_shard(db, k, hists.as_ref()));
+        let tallies = store.par_map(|db| {
+            let tally = self.scan_shard(db, k, hists.as_ref());
+            if let Some(p) = progress.as_ref() {
+                p.shards_completed.inc();
+                p.journal.debug(
+                    "origin",
+                    "shard scanned",
+                    &[
+                        ("names", &tally.total.to_string()),
+                        ("shards_done", &p.shards_completed.get().to_string()),
+                    ],
+                );
+            }
+            tally
+        });
         drop(scan_span);
 
         // Phase 2: deterministic merge of the partials.
@@ -208,6 +235,16 @@ impl OriginPipeline<'_> {
             .map(|(slot, &n)| (KIND_BY_SLOT[slot], n))
             .collect();
         drop(merge_span);
+        if let Some(t) = telemetry {
+            t.journal.info(
+                "origin",
+                "scan merged",
+                &[
+                    ("names", &total.to_string()),
+                    ("shards", &tallies.len().to_string()),
+                ],
+            );
+        }
 
         // Phase 3: the serial rate-limited xref over the merged sample.
         let xref_span = telemetry.map(|t| t.span("origin.xref"));
@@ -440,6 +477,19 @@ mod tests {
         for phase in ["origin.scan", "origin.merge", "origin.xref"] {
             assert!(names.contains(&phase), "missing span {phase}: {names:?}");
         }
+
+        // Live progress: one shard-completed tick per shard and the
+        // per-shard + merge events in the flight recorder.
+        assert_eq!(snap.counter_total("origin_shards_completed_total"), 4);
+        let events = telemetry.journal.snapshot();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.message == "shard scanned")
+                .count(),
+            4
+        );
+        assert!(events.iter().any(|e| e.message == "scan merged"));
     }
 
     #[test]

@@ -71,8 +71,20 @@ pub fn run_with(world: &HoneypotWorld, telemetry: &Telemetry) -> SecurityReport 
     let control = ControlGroupProfile::from_packets(&world.control_packets);
     let mut filter = NoiseFilter::new(baseline, control);
     filter.attach_metrics(&telemetry.registry);
+    telemetry.journal.info(
+        "security",
+        "noise profiles built",
+        &[
+            (
+                "baseline_packets",
+                &world.baseline_packets.len().to_string(),
+            ),
+            ("control_packets", &world.control_packets.len().to_string()),
+        ],
+    );
     drop(span_profiles);
     let _span_categorize = telemetry.span("security.categorize");
+    let domains_processed = telemetry.registry.gauge("security_domains_processed");
 
     let mut rows = Vec::new();
     let mut totals: HashMap<TrafficCategory, u64> = HashMap::new();
@@ -86,7 +98,7 @@ pub fn run_with(world: &HoneypotWorld, telemetry: &Telemetry) -> SecurityReport 
     let mut models: HashMap<String, u64> = HashMap::new();
     let mut hostclasses: HashMap<String, u64> = HashMap::new();
 
-    for capture in &world.captures {
+    for (capture_index, capture) in world.captures.iter().enumerate() {
         let mut categorizer = Categorizer::new(
             capture.spec.name,
             world.webfilter.clone(),
@@ -151,7 +163,16 @@ pub fn run_with(world: &HoneypotWorld, telemetry: &Telemetry) -> SecurityReport 
                 }
             }
         }
-        let total = counts.values().sum();
+        let total: u64 = counts.values().sum();
+        domains_processed.set(capture_index as i64 + 1);
+        telemetry.journal.debug(
+            "security",
+            "domain categorized",
+            &[
+                ("domain", capture.spec.name),
+                ("categorized", &total.to_string()),
+            ],
+        );
         rows.push(DomainTally {
             spec: capture.spec,
             counts,
@@ -159,6 +180,14 @@ pub fn run_with(world: &HoneypotWorld, telemetry: &Telemetry) -> SecurityReport 
             filter: stats,
         });
     }
+    telemetry.journal.info(
+        "security",
+        "categorization complete",
+        &[
+            ("domains", &rows.len().to_string()),
+            ("packets", &grand_total.to_string()),
+        ],
+    );
 
     botnet.distinct_phones = phones.len() as u64;
     botnet.countries = sorted_desc(countries);
@@ -316,6 +345,26 @@ mod tests {
         assert!(
             names.iter().any(|n| n == "security.categorize"),
             "spans: {names:?}"
+        );
+        // Progress heartbeats: the gauge lands on the domain count and the
+        // journal narrates the stage boundaries plus one event per domain.
+        assert_eq!(
+            snap.gauge_value("security_domains_processed"),
+            Some(r.rows.len() as i64),
+        );
+        let events = telemetry.journal.snapshot();
+        let messages: Vec<&str> = events.iter().map(|e| e.message.as_str()).collect();
+        assert!(messages.contains(&"noise profiles built"), "{messages:?}");
+        assert!(
+            messages.contains(&"categorization complete"),
+            "{messages:?}"
+        );
+        assert_eq!(
+            messages
+                .iter()
+                .filter(|m| **m == "domain categorized")
+                .count(),
+            r.rows.len(),
         );
     }
 

@@ -138,6 +138,7 @@ pub fn rules() -> Vec<Rule> {
                     "crates/telemetry/src/metrics.rs",
                     "crates/telemetry/src/histogram.rs",
                     "crates/telemetry/src/export.rs",
+                    "crates/telemetry/src/journal.rs",
                 ],
                 exclude: &[],
             },
@@ -151,6 +152,8 @@ pub fn rules() -> Vec<Rule> {
                     "crates/dns-sim/src/zonefile.rs",
                     "crates/blocklist/src/lib.rs",
                     "crates/whois/src/lib.rs",
+                    "crates/obs/src/http.rs",
+                    "crates/obs/src/client.rs",
                 ],
                 exclude: &[],
             },
@@ -180,6 +183,7 @@ pub fn rules() -> Vec<Rule> {
                     "crates/core/src/origin/pipeline.rs",
                     "crates/telemetry/src/metrics.rs",
                     "crates/telemetry/src/histogram.rs",
+                    "crates/telemetry/src/journal.rs",
                 ],
                 exclude: &[],
             },

@@ -1,0 +1,128 @@
+//! CI observability smoke test: start the plane on an ephemeral port,
+//! scrape it with the crate's own client (no curl dependency), and assert
+//! the exposition and journal wire formats are well formed.
+
+use std::sync::Arc;
+
+use nxd_obs::{client, ObsServer};
+use nxd_telemetry::Telemetry;
+
+fn well_formed_prometheus(body: &str) {
+    assert!(!body.is_empty(), "empty exposition");
+    for line in body.lines() {
+        if line.starts_with('#') {
+            let mut parts = line.split_whitespace();
+            assert_eq!(parts.next(), Some("#"), "bad comment line: {line}");
+            let kind = parts.next().unwrap_or("");
+            assert!(
+                kind == "TYPE" || kind == "HELP",
+                "unknown comment kind in: {line}"
+            );
+            assert!(
+                parts.next().is_some(),
+                "comment without metric name: {line}"
+            );
+        } else {
+            // `name{labels} value` or `name value`; the value parses as a
+            // number.
+            let value = line.rsplit(' ').next().unwrap_or("");
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "series line without numeric value: {line}"
+            );
+        }
+    }
+}
+
+fn well_formed_jsonl(body: &str) {
+    for line in body.lines() {
+        assert!(
+            line.starts_with("{\"seq\":") && line.ends_with("}}"),
+            "bad JSONL line: {line}"
+        );
+        assert_eq!(
+            line.matches('{').count(),
+            line.matches('}').count(),
+            "unbalanced JSONL line: {line}"
+        );
+        for key in ["\"t_us\":", "\"level\":", "\"component\":", "\"message\":"] {
+            assert!(line.contains(key), "JSONL line missing {key}: {line}");
+        }
+    }
+}
+
+#[test]
+fn smoke_scrape_all_endpoints() {
+    let telemetry = Arc::new(Telemetry::wall());
+    telemetry
+        .registry
+        .describe("smoke_rows_total", "Rows seen by the smoke test");
+    telemetry
+        .registry
+        .counter_with("smoke_rows_total", &[("stage", "ingest")])
+        .add(7);
+    telemetry.registry.histogram("smoke_latency_us").record(42);
+    telemetry
+        .journal
+        .info("smoke", "phase start", &[("phase", "ingest")]);
+
+    let server = ObsServer::bind("127.0.0.1:0", telemetry.clone()).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().to_string();
+
+    let health = client::http_get(&addr, "/healthz").expect("healthz");
+    assert_eq!((health.status, health.body.as_str()), (200, "ok\n"));
+
+    let metrics = client::http_get(&addr, "/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    well_formed_prometheus(&metrics.body);
+    assert!(metrics
+        .body
+        .contains("# HELP smoke_rows_total Rows seen by the smoke test"));
+    assert!(metrics
+        .body
+        .contains("smoke_rows_total{stage=\"ingest\"} 7"));
+    assert!(metrics.body.contains("smoke_latency_us_count 1"));
+
+    let journal = client::http_get(&addr, "/journal").expect("journal");
+    assert_eq!(journal.status, 200);
+    well_formed_jsonl(&journal.body);
+    assert!(journal.body.contains("\"message\":\"phase start\""));
+
+    // The cursor protocol: events after `since` only.
+    let cursor = telemetry.journal.last_seq();
+    telemetry.journal.warn("smoke", "late event", &[]);
+    let tail = client::http_get(&addr, &format!("/journal?since={cursor}")).expect("journal tail");
+    well_formed_jsonl(&tail.body);
+    assert_eq!(tail.body.lines().count(), 1);
+    assert!(tail.body.contains("\"message\":\"late event\""));
+
+    // Metrics move between scrapes while the "pipeline" works.
+    telemetry
+        .registry
+        .counter_with("smoke_rows_total", &[("stage", "ingest")])
+        .add(3);
+    let rescrape = client::http_get(&addr, "/metrics").expect("metrics rescrape");
+    assert!(rescrape
+        .body
+        .contains("smoke_rows_total{stage=\"ingest\"} 10"));
+    assert_ne!(metrics.body, rescrape.body);
+
+    server.shutdown();
+}
+
+#[test]
+fn smoke_readiness_protocol() {
+    let telemetry = Arc::new(Telemetry::wall());
+    let server = ObsServer::bind("127.0.0.1:0", telemetry).expect("bind");
+    let addr = server.local_addr().to_string();
+    assert_eq!(
+        client::http_get(&addr, "/readyz").expect("readyz").status,
+        503
+    );
+    server.set_ready();
+    assert_eq!(
+        client::http_get(&addr, "/readyz").expect("readyz").status,
+        200
+    );
+    server.shutdown();
+}

@@ -9,9 +9,13 @@
 use std::collections::HashMap;
 
 use nxd_dns_wire::{Name, RCode};
-use nxd_telemetry::{Counter, Gauge, Histogram, Registry, Stopwatch};
+use nxd_telemetry::{Counter, Gauge, Histogram, Journal, Registry, Stopwatch};
 
 use crate::intern::{Interner, NameId};
+
+/// How often ingest emits a journal heartbeat: every this-many appended
+/// rows (power of two so the check is a mask).
+const INGEST_HEARTBEAT_ROWS: u64 = 65_536;
 
 /// Borrowed column slices `(name, day, sensor, rcode, count)`, one row per index.
 pub(crate) type RawColumns<'a> = (&'a [NameId], &'a [u32], &'a [u16], &'a [u8], &'a [u32]);
@@ -79,6 +83,9 @@ pub struct PassiveDb {
     col_count: Vec<u32>,
     per_name: HashMap<NameId, NameAggregate>,
     metrics: StoreMetrics,
+    /// Optional flight recorder ([`PassiveDb::attach_journal`]); ingest
+    /// heartbeats every [`INGEST_HEARTBEAT_ROWS`] rows land here.
+    journal: Option<Journal>,
 }
 
 impl PassiveDb {
@@ -118,6 +125,14 @@ impl PassiveDb {
         next.intern_names.set(self.interner.len() as i64);
         next.intern_tlds.set(self.interner.tld_count() as i64);
         self.metrics = next;
+    }
+
+    /// Attaches a flight recorder: every [`INGEST_HEARTBEAT_ROWS`] appended
+    /// rows emit one `store`-component heartbeat event (rows so far,
+    /// distinct names), so a live observer sees ingest advance long before
+    /// the batch completes.
+    pub fn attach_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
     }
 
     /// Times one query-engine call: records latency (µs) and bumps the
@@ -193,6 +208,19 @@ impl PassiveDb {
         self.metrics.rows_ingested.inc();
         if obs.rcode == RCode::NxDomain.to_u8() {
             self.metrics.nx_rows.inc();
+        }
+        if let Some(journal) = &self.journal {
+            let rows = self.metrics.rows_ingested.get();
+            if rows.is_multiple_of(INGEST_HEARTBEAT_ROWS) {
+                journal.info(
+                    "store",
+                    "ingest heartbeat",
+                    &[
+                        ("rows", &rows.to_string()),
+                        ("names", &self.interner.len().to_string()),
+                    ],
+                );
+            }
         }
         self.metrics.intern_names.set(self.interner.len() as i64);
         self.metrics
@@ -358,6 +386,33 @@ mod tests {
     fn aggregate_missing_name() {
         let db = PassiveDb::new();
         assert!(db.aggregate_of("nothing.com").is_none());
+    }
+
+    #[test]
+    fn journal_heartbeat_fires_on_the_row_interval() {
+        let mut db = PassiveDb::new();
+        let journal = Journal::with_capacity(8);
+        db.attach_journal(journal.clone());
+        let id = db.interner_mut().intern_str("hb.com");
+        let obs = Observation {
+            name: id,
+            day: 1,
+            sensor: 0,
+            rcode: RCode::NxDomain.to_u8(),
+            count: 1,
+        };
+        for _ in 0..INGEST_HEARTBEAT_ROWS - 1 {
+            db.append(obs);
+        }
+        assert!(journal.is_empty(), "heartbeat fired early");
+        db.append(obs);
+        let events = journal.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].component, "store");
+        assert!(events[0]
+            .fields
+            .iter()
+            .any(|(k, v)| k == "rows" && v == &INGEST_HEARTBEAT_ROWS.to_string()));
     }
 
     #[test]

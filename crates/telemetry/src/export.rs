@@ -2,6 +2,7 @@
 //! [`Snapshot`]; Chrome trace-event JSON for [`Tracer`] span timelines
 //! (loadable in `chrome://tracing` / Perfetto).
 
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 use crate::histogram::bucket_upper_bound;
@@ -90,18 +91,25 @@ impl Snapshot {
     }
 
     /// Prometheus text exposition format (counters as `# TYPE counter`,
-    /// histograms with cumulative `_bucket{le=...}` series).
+    /// histograms with cumulative `_bucket{le=...}` series). Names with a
+    /// registered description ([`crate::Registry::describe`]) get a
+    /// `# HELP` line before their first `# TYPE`; without descriptions the
+    /// output is byte-identical to the pre-`describe` format.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut helped: BTreeSet<String> = BTreeSet::new();
         for (id, v) in &self.counters {
+            self.prometheus_help(&mut out, &mut helped, id.name());
             let _ = writeln!(out, "# TYPE {} counter", id.name());
-            let _ = writeln!(out, "{id} {v}");
+            let _ = writeln!(out, "{} {v}", prometheus_series(id, &[], ""));
         }
         for (id, v) in &self.gauges {
+            self.prometheus_help(&mut out, &mut helped, id.name());
             let _ = writeln!(out, "# TYPE {} gauge", id.name());
-            let _ = writeln!(out, "{id} {v}");
+            let _ = writeln!(out, "{} {v}", prometheus_series(id, &[], ""));
         }
         for (id, h) in &self.histograms {
+            self.prometheus_help(&mut out, &mut helped, id.name());
             let _ = writeln!(out, "# TYPE {} histogram", id.name());
             let mut cumulative = 0u64;
             for (b, &count) in h.buckets.iter().enumerate() {
@@ -129,6 +137,16 @@ impl Snapshot {
             );
         }
         out
+    }
+
+    /// Writes `# HELP name text` once per name, and only when a
+    /// description was registered — absent descriptions add zero bytes.
+    fn prometheus_help(&self, out: &mut String, helped: &mut BTreeSet<String>, name: &str) {
+        if let Some(text) = self.help_for(name) {
+            if helped.insert(name.to_string()) {
+                let _ = writeln!(out, "# HELP {name} {}", prometheus_help_text(text));
+            }
+        }
     }
 }
 
@@ -158,9 +176,39 @@ fn prometheus_series(id: &MetricId, extra: &[(&str, &str)], suffix: &str) -> Str
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "{k}=\"{v}\"");
+            let _ = write!(out, "{k}=\"{}\"", prometheus_label_value(v));
         }
         out.push('}');
+    }
+    out
+}
+
+/// Label-value escaping per the Prometheus text exposition format:
+/// backslash, double-quote, and newline must be escaped inside the quoted
+/// value; everything else passes through verbatim.
+fn prometheus_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `# HELP` text escaping: the exposition format escapes backslash and
+/// newline in help lines (quotes are legal verbatim there).
+fn prometheus_help_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
     }
     out
 }
@@ -265,6 +313,62 @@ mod tests {
         assert!(prom.contains("latency_us_sum 103"));
         assert!(prom.contains("latency_us_count 2"));
         assert!(prom.contains("stage_items_total{stage=\"ingest\"} 42"));
+    }
+
+    #[test]
+    fn prometheus_escapes_hostile_label_values() {
+        let r = Registry::new();
+        r.counter_with("lookups_total", &[("qname", "evil\"dom\\ain\ncom")])
+            .inc();
+        let prom = r.snapshot().to_prometheus();
+        assert!(
+            prom.contains(r#"lookups_total{qname="evil\"dom\\ain\ncom"} 1"#),
+            "unescaped exposition: {prom}"
+        );
+        // A raw newline in a label value would split the series line in two.
+        let series: Vec<&str> = prom.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(series.len(), 1, "series line split by raw newline: {prom}");
+    }
+
+    #[test]
+    fn prometheus_help_lines_are_optional_and_byte_stable() {
+        let r = Registry::new();
+        r.counter_with("stage_items_total", &[("stage", "ingest")])
+            .add(1);
+        r.counter_with("stage_items_total", &[("stage", "scan")])
+            .add(2);
+        r.gauge("intern_names").set(7);
+        let plain = r.snapshot().to_prometheus();
+        assert!(
+            !plain.contains("# HELP"),
+            "undesired HELP without describe: {plain}"
+        );
+
+        r.describe(
+            "stage_items_total",
+            "Items processed per stage\nline2 \\ end",
+        );
+        let helped = r.snapshot().to_prometheus();
+        assert_eq!(
+            helped
+                .matches("# HELP stage_items_total Items processed per stage\\nline2 \\\\ end")
+                .count(),
+            1,
+            "HELP once per name, escaped: {helped}"
+        );
+        // The undescribed metric's section is untouched.
+        assert!(!helped.contains("# HELP intern_names"));
+        // Removing the HELP line recovers the describe-free exposition.
+        let stripped: String = helped
+            .lines()
+            .filter(|l| !l.starts_with("# HELP"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(stripped, plain);
+        // HELP precedes the first TYPE of its name.
+        let help_at = helped.find("# HELP stage_items_total").unwrap();
+        let type_at = helped.find("# TYPE stage_items_total").unwrap();
+        assert!(help_at < type_at);
     }
 
     #[test]

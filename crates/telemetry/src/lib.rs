@@ -43,37 +43,40 @@
 
 pub mod export;
 pub mod histogram;
+pub mod journal;
 pub mod metrics;
 pub mod span;
 
 pub use histogram::{Histogram, HistogramSnapshot, BUCKET_COUNT};
+pub use journal::{EventLevel, Journal, JournalEvent, DEFAULT_JOURNAL_CAPACITY};
 pub use metrics::{Counter, Gauge, MetricId, Registry, Snapshot};
 pub use span::{ManualClock, SpanGuard, SpanRecord, Stopwatch, TimeSource, Tracer, WallClock};
 
 use std::sync::Arc;
 
-/// A registry and a tracer sharing one time source — the bundle the
-/// pipeline components accept.
+/// A registry, a tracer, and a flight-recorder journal sharing one time
+/// source — the bundle the pipeline components accept.
 pub struct Telemetry {
     pub registry: Registry,
     pub tracer: Tracer,
+    pub journal: Journal,
 }
 
 impl Telemetry {
     /// Wall-clock telemetry for real binaries (`repro`).
     pub fn wall() -> Self {
-        Telemetry {
-            registry: Registry::new(),
-            tracer: Tracer::wall(),
-        }
+        Telemetry::with_time(Arc::new(WallClock::new()))
     }
 
     /// Telemetry over an explicit time source (e.g. a [`ManualClock`]
-    /// advanced in lockstep with a simulated clock).
+    /// advanced in lockstep with a simulated clock). The tracer and the
+    /// journal share the source, so span timings and event timestamps stay
+    /// on one axis.
     pub fn with_time(time: Arc<dyn TimeSource>) -> Self {
         Telemetry {
             registry: Registry::new(),
-            tracer: Tracer::new(time),
+            tracer: Tracer::new(time.clone()),
+            journal: Journal::with_time(DEFAULT_JOURNAL_CAPACITY, time),
         }
     }
 
@@ -112,5 +115,17 @@ mod tests {
         let spans = t.tracer.spans();
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].dur_us, 250);
+    }
+
+    #[test]
+    fn journal_shares_the_bundle_clock() {
+        let clock = Arc::new(ManualClock::new());
+        let t = Telemetry::with_time(clock.clone());
+        clock.set_micros(77);
+        t.journal.info("stage", "checkpoint", &[]);
+        let events = t.journal.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].t_us, 77);
+        assert_eq!(events[0].seq, 1);
     }
 }

@@ -113,6 +113,8 @@ struct Inner {
     counters: BTreeMap<MetricId, Counter>,
     gauges: BTreeMap<MetricId, Gauge>,
     histograms: BTreeMap<MetricId, Histogram>,
+    /// Optional per-name descriptions, exported as `# HELP` lines.
+    help: BTreeMap<String, String>,
 }
 
 /// The labeled metrics registry. Get-or-create semantics: asking twice for
@@ -175,6 +177,18 @@ impl Registry {
             .clone()
     }
 
+    /// Registers a description for a metric *name* (across all label
+    /// sets), exported as a Prometheus `# HELP` line. Describing a name
+    /// twice keeps the latest text; names without a description export
+    /// byte-identically to a registry that never called `describe`.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.inner
+            .lock()
+            .expect("registry poisoned")
+            .help
+            .insert(name.to_string(), help.to_string());
+    }
+
     /// Point-in-time copy of every registered metric.
     pub fn snapshot(&self) -> Snapshot {
         let inner = self.inner.lock().expect("registry poisoned");
@@ -193,6 +207,11 @@ impl Registry {
                 .histograms
                 .iter()
                 .map(|(id, h)| (id.clone(), h.snapshot()))
+                .collect(),
+            help: inner
+                .help
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
                 .collect(),
         }
     }
@@ -213,6 +232,8 @@ pub struct Snapshot {
     pub counters: Vec<(MetricId, u64)>,
     pub gauges: Vec<(MetricId, i64)>,
     pub histograms: Vec<(MetricId, HistogramSnapshot)>,
+    /// Per-name `# HELP` descriptions ([`Registry::describe`]), sorted.
+    pub help: Vec<(String, String)>,
 }
 
 impl Snapshot {
@@ -222,7 +243,16 @@ impl Snapshot {
             counters: Vec::new(),
             gauges: Vec::new(),
             histograms: Vec::new(),
+            help: Vec::new(),
         }
+    }
+
+    /// The registered description for a metric name, if any.
+    pub fn help_for(&self, name: &str) -> Option<&str> {
+        self.help
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.help[i].1.as_str())
     }
 
     /// True when no metric is registered OR every registered metric is
@@ -290,10 +320,15 @@ impl Snapshot {
                 .or_insert_with(HistogramSnapshot::empty);
             *entry = entry.merge(h);
         }
+        let mut help: BTreeMap<String, String> = self.help.iter().cloned().collect();
+        for (name, text) in &other.help {
+            help.entry(name.clone()).or_insert_with(|| text.clone());
+        }
         Snapshot {
             counters: counters.into_iter().collect(),
             gauges: gauges.into_iter().collect(),
             histograms: histograms.into_iter().collect(),
+            help: help.into_iter().collect(),
         }
     }
 
@@ -329,6 +364,7 @@ impl Snapshot {
                     (id.clone(), d)
                 })
                 .collect(),
+            help: self.help.clone(),
         }
     }
 }

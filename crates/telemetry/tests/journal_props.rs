@@ -1,0 +1,113 @@
+//! Property-based tests for the flight-recorder journal ring: bounded
+//! capacity, strictly monotonic sequence numbers, cursor semantics of
+//! `since`, and FIFO eviction — the invariants the `/journal?since=<seq>`
+//! polling protocol depends on.
+
+use std::sync::Arc;
+
+use nxd_telemetry::{EventLevel, Journal, JournalEvent, ManualClock};
+use proptest::prelude::*;
+
+/// A scripted recording: (level index, component index, clock advance).
+fn arb_script() -> impl Strategy<Value = Vec<(u8, u8, u64)>> {
+    proptest::collection::vec((0u8..4, 0u8..3, 0u64..1000), 0..200)
+}
+
+fn arb_capacity() -> impl Strategy<Value = usize> {
+    1usize..32
+}
+
+const COMPONENTS: [&str; 3] = ["store", "pipeline", "traffic"];
+
+fn level_of(i: u8) -> EventLevel {
+    match i % 4 {
+        0 => EventLevel::Debug,
+        1 => EventLevel::Info,
+        2 => EventLevel::Warn,
+        _ => EventLevel::Error,
+    }
+}
+
+/// Replays a script into a fresh manual-clock journal.
+fn replay(capacity: usize, script: &[(u8, u8, u64)]) -> (Journal, Vec<u64>) {
+    let clock = Arc::new(ManualClock::new());
+    let journal = Journal::with_time(capacity, clock.clone());
+    let mut seqs = Vec::with_capacity(script.len());
+    for &(level, component, advance) in script {
+        clock.advance_micros(advance);
+        let idx = usize::from(component) % COMPONENTS.len();
+        seqs.push(journal.record(
+            level_of(level),
+            COMPONENTS[idx],
+            "scripted event",
+            &[("step", "replay")],
+        ));
+    }
+    (journal, seqs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The ring never retains more than `capacity` events, and the evicted
+    /// counter accounts for every overflow exactly.
+    #[test]
+    fn capacity_is_never_exceeded(cap in arb_capacity(), script in arb_script()) {
+        let (journal, _) = replay(cap, &script);
+        prop_assert!(journal.len() <= cap);
+        prop_assert_eq!(journal.len(), script.len().min(cap));
+        prop_assert_eq!(
+            journal.evicted(),
+            script.len().saturating_sub(cap) as u64
+        );
+    }
+
+    /// Sequence numbers are strictly monotonic from 1 with no gaps, both in
+    /// the values `record` returns and in the retained snapshot.
+    #[test]
+    fn seq_is_strictly_monotonic(cap in arb_capacity(), script in arb_script()) {
+        let (journal, seqs) = replay(cap, &script);
+        let expected: Vec<u64> = (1..=script.len() as u64).collect();
+        prop_assert_eq!(seqs, expected);
+        let snapshot = journal.snapshot();
+        for pair in snapshot.windows(2) {
+            prop_assert_eq!(pair[1].seq, pair[0].seq + 1);
+        }
+        prop_assert_eq!(journal.last_seq(), script.len() as u64);
+    }
+
+    /// `since(s)` equals filtering the full snapshot by `seq > s`, for any
+    /// cursor including 0, mid-ring, and beyond the newest event.
+    #[test]
+    fn since_equals_filtered_snapshot(
+        cap in arb_capacity(),
+        script in arb_script(),
+        cursor in 0u64..256,
+    ) {
+        let (journal, _) = replay(cap, &script);
+        let filtered: Vec<JournalEvent> = journal
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.seq > cursor)
+            .collect();
+        prop_assert_eq!(journal.since(cursor), filtered);
+        prop_assert_eq!(journal.since(journal.last_seq()), vec![]);
+    }
+
+    /// Eviction is FIFO: the retained window is exactly the newest
+    /// `min(len, capacity)` events, oldest first, timestamps non-decreasing.
+    #[test]
+    fn eviction_is_fifo(cap in arb_capacity(), script in arb_script()) {
+        let (journal, _) = replay(cap, &script);
+        let snapshot = journal.snapshot();
+        let retained = script.len().min(cap);
+        let first_kept = script.len() - retained;
+        let expected_seqs: Vec<u64> =
+            (first_kept as u64 + 1..=script.len() as u64).collect();
+        let got_seqs: Vec<u64> = snapshot.iter().map(|e| e.seq).collect();
+        prop_assert_eq!(got_seqs, expected_seqs);
+        for pair in snapshot.windows(2) {
+            prop_assert!(pair[0].t_us <= pair[1].t_us);
+        }
+    }
+}

@@ -173,7 +173,7 @@ pub fn generate_with(config: EraConfig, telemetry: &Telemetry) -> EraWorld {
     let era_end_day = SimTime::ERA_END.day_number() as u32;
     let era_days = era_end_day - era_start_day;
 
-    let mut specs = {
+    let specs = {
         let _span = telemetry.span("era.specs");
         build_name_specs(&mut rng, &config, era_start_day, era_days)
     };
@@ -181,6 +181,11 @@ pub fn generate_with(config: EraConfig, telemetry: &Telemetry) -> EraWorld {
         .registry
         .counter("traffic_era_names_total")
         .add(specs.len() as u64);
+    telemetry.journal.info(
+        "traffic.era",
+        "name specs built",
+        &[("specs", &specs.len().to_string())],
+    );
 
     let span_registry = telemetry.span("era.registry");
     // ---- registry + WHOIS for the expired panel -------------------------
@@ -210,13 +215,24 @@ pub fn generate_with(config: EraConfig, telemetry: &Telemetry) -> EraWorld {
     // Roll the registry through the whole era so every panel domain expires.
     registry.tick(SimTime::ERA_END);
     drop(span_registry);
+    telemetry.journal.info(
+        "traffic.era",
+        "expired panel registered",
+        &[("panel", &panel.len().to_string())],
+    );
 
     // ---- emit observations ---------------------------------------------
     let span_emit = telemetry.span("era.emit");
     let mut db = PassiveDb::new();
     db.attach_metrics(&telemetry.registry);
+    db.attach_journal(telemetry.journal.clone());
+    // Per-phase progress for live observers: the gauge climbs to
+    // `traffic_era_names_total` while emit is in flight, so two `/metrics`
+    // scrapes mid-run visibly differ.
+    let specs_emitted = telemetry.registry.gauge("traffic_era_specs_emitted");
+    let total_specs = specs.len();
     let mut expiry_days = HashMap::new();
-    for spec in &mut specs {
+    for (spec_index, spec) in specs.iter().enumerate() {
         let tld = spec.name.rsplit('.').next().unwrap_or("").to_string();
         let id = db.interner_mut().intern_str(&spec.name);
         if spec.expired {
@@ -253,15 +269,45 @@ pub fn generate_with(config: EraConfig, telemetry: &Telemetry) -> EraWorld {
                 db.record_str(&spec.name, day, sensor, RCode::NxDomain, count);
             }
         }
+        let done = spec_index + 1;
+        if done.is_multiple_of(2048) || done == total_specs {
+            specs_emitted.set(done as i64);
+        }
+        if done.is_multiple_of(16_384) {
+            telemetry.journal.info(
+                "traffic.era",
+                "emit heartbeat",
+                &[
+                    ("specs", &format!("{done}/{total_specs}")),
+                    ("rows", &db.row_count().to_string()),
+                ],
+            );
+        }
     }
 
     drop(span_emit);
+    telemetry.journal.info(
+        "traffic.era",
+        "emit complete",
+        &[
+            ("rows", &db.row_count().to_string()),
+            ("names", &db.distinct_names().to_string()),
+        ],
+    );
 
     // ---- resolver/registry consistency subsample ------------------------
     let consistency = {
         let _span = telemetry.span("era.consistency");
         verify_consistency(&mut rng, &config, &db, &registry, telemetry)
     };
+    telemetry.journal.info(
+        "traffic.era",
+        "consistency checked",
+        &[
+            ("passed", &consistency.0.to_string()),
+            ("total", &consistency.1.to_string()),
+        ],
+    );
 
     EraWorld {
         db,
@@ -665,6 +711,26 @@ mod tests {
             w.db.row_count() as u64
         );
         assert_eq!(snap.counter_total("traffic_era_names_total"), 530);
+        // The emit-progress gauge ends at the full spec count, and the
+        // stage transitions landed in the flight recorder.
+        assert_eq!(snap.gauge_value("traffic_era_specs_emitted"), Some(530));
+        let messages: Vec<String> = telemetry
+            .journal
+            .snapshot()
+            .iter()
+            .map(|e| e.message.clone())
+            .collect();
+        for expected in [
+            "name specs built",
+            "expired panel registered",
+            "emit complete",
+            "consistency checked",
+        ] {
+            assert!(
+                messages.contains(&expected.to_string()),
+                "missing journal event {expected:?} in {messages:?}"
+            );
+        }
         // The consistency subsample runs through an attached resolver.
         assert!(snap.counter_total("resolver_queries_total") >= 50);
         let names: Vec<String> = telemetry

@@ -120,18 +120,53 @@ pub fn generate_with(config: HoneypotConfig, telemetry: &Telemetry) -> HoneypotW
         let _span = telemetry.span("honeypot_era.baseline");
         gen_baseline(&mut rng, &config, &scanner_ips, monitor_ip)
     };
+    telemetry.journal.info(
+        "traffic.honeypot",
+        "no-hosting baseline generated",
+        &[("packets", &baseline_packets.len().to_string())],
+    );
     let control_packets = {
         let _span = telemetry.span("honeypot_era.control");
         gen_control(&mut rng, &config, &scanner_ips, monitor_ip, &acme_ips)
     };
+    telemetry.journal.info(
+        "traffic.honeypot",
+        "control group generated",
+        &[("packets", &control_packets.len().to_string())],
+    );
 
+    // Per-domain progress for live observers: the gauge climbs 1..=19 and
+    // each capture lands one journal event while the phase is in flight.
+    let domains_generated = telemetry
+        .registry
+        .gauge("traffic_honeypot_domains_generated");
     let captures: Vec<DomainCapture> = {
         let _span = telemetry.span("honeypot_era.captures");
         TABLE1
             .iter()
-            .map(|spec| DomainCapture {
-                spec: *spec,
-                packets: gen_domain(&mut rng, &config, spec, &scanner_ips, monitor_ip, &acme_ips),
+            .enumerate()
+            .map(|(domain_index, spec)| {
+                let capture = DomainCapture {
+                    spec: *spec,
+                    packets: gen_domain(
+                        &mut rng,
+                        &config,
+                        spec,
+                        &scanner_ips,
+                        monitor_ip,
+                        &acme_ips,
+                    ),
+                };
+                domains_generated.set(domain_index as i64 + 1);
+                telemetry.journal.debug(
+                    "traffic.honeypot",
+                    "domain capture generated",
+                    &[
+                        ("domain", spec.name),
+                        ("packets", &capture.packets.len().to_string()),
+                    ],
+                );
+                capture
             })
             .collect()
     };
@@ -782,6 +817,26 @@ mod tests {
         ] {
             assert!(names.contains(&stage.to_string()), "missing span {stage}");
         }
+        // Live-progress plumbing: gauge ends at 19, one capture event per
+        // domain plus the two phase events.
+        assert_eq!(
+            snap.gauge_value("traffic_honeypot_domains_generated"),
+            Some(19)
+        );
+        let events = telemetry.journal.snapshot();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.message == "domain capture generated")
+                .count(),
+            19
+        );
+        assert!(events
+            .iter()
+            .any(|e| e.message == "no-hosting baseline generated"));
+        assert!(events
+            .iter()
+            .any(|e| e.message == "control group generated"));
     }
 
     #[test]

@@ -1,21 +1,29 @@
 //! Observability walkthrough: attach one telemetry bundle to a recursive
 //! resolver and a passive-DNS sensor database, run a small workload, and
-//! dump what the instrumentation saw — the same registry/tracer machinery
-//! the `repro` binary exposes via `--metrics` / `--trace-out`.
+//! dump what the instrumentation saw — the same registry/tracer/journal
+//! machinery the `repro` binary exposes via `--metrics` / `--trace-out` /
+//! `--serve`. The final stage starts the live HTTP plane (`nxd-obs`) on an
+//! ephemeral port and scrapes itself with the crate's own client.
 //!
 //! ```text
 //! cargo run --example observability
 //! ```
 
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
+use nxdomain::obs::{client, ObsServer};
 use nxdomain::passive::{query, PassiveDb};
 use nxdomain::sim::{Resolver, ResolverConfig, SimDns, SimDuration, SimTime};
 use nxdomain::telemetry::Telemetry;
 use nxdomain::wire::{Name, RCode, RType};
 
 fn main() {
-    let telemetry = Telemetry::wall();
+    let telemetry = Arc::new(Telemetry::wall());
+    telemetry.registry.describe(
+        "passive_rows_ingested_total",
+        "Sensor rows appended to the passive-DNS store",
+    );
 
     // --- stage 1: a resolver answering live and NXDOMAIN queries ---------
     let span = telemetry.span("example.resolve");
@@ -41,6 +49,10 @@ fn main() {
     let span = telemetry.span("example.ingest");
     let mut db = PassiveDb::new();
     db.attach_metrics(&telemetry.registry);
+    db.attach_journal(telemetry.journal.clone());
+    telemetry
+        .journal
+        .info("example", "ingest starting", &[("days", "30")]);
     for day in 0..30u32 {
         db.record_str("expired-shop.com", 16_071 + day, 0, RCode::NxDomain, 12);
         db.record_str("alive-shop.com", 16_071 + day, 1, RCode::NoError, 40);
@@ -76,5 +88,22 @@ fn main() {
             indent = s.depth as usize * 2
         );
     }
-    println!("\n(`repro --trace-out t.json` writes the same spans as Chrome trace JSON)");
+    println!("\n=== journal (flight recorder) ===");
+    print!("{}", telemetry.journal.to_jsonl());
+
+    // --- stage 4: the live HTTP plane, scraping itself -------------------
+    let server = ObsServer::bind("127.0.0.1:0", telemetry.clone()).expect("bind ephemeral port");
+    server.set_ready();
+    let addr = server.local_addr().to_string();
+    println!("\n=== live scrape of http://{addr}/metrics ===");
+    let scrape = client::http_get(&addr, "/metrics").expect("self-scrape");
+    print!("{}", scrape.body);
+    let tail = client::http_get(&addr, "/journal?since=1").expect("journal tail");
+    println!(
+        "=== /journal?since=1 returned {} newer events ===",
+        tail.body.lines().count()
+    );
+    server.shutdown();
+    println!("\n(`repro --serve 127.0.0.1:9090 scale` exposes the same plane mid-run;");
+    println!(" `repro --trace-out t.json` writes the same spans as Chrome trace JSON)");
 }

@@ -14,7 +14,13 @@
 //! nxdctl punycode encode bücher
 //! nxdctl lifecycle beloved-project.com
 //! nxdctl pcap /tmp/demo.pcap
+//! nxdctl obs scrape 127.0.0.1:9090
+//! nxdctl obs scrape 127.0.0.1:9090 /snapshot.json
+//! nxdctl obs journal 127.0.0.1:9090 42
 //! ```
+//!
+//! `obs` talks to a live observability plane started with
+//! `repro --serve <addr>` (see `nxdomain::obs`).
 
 use std::net::Ipv4Addr;
 
@@ -38,8 +44,9 @@ fn main() {
         Some((&"punycode", rest)) => cmd_punycode(rest),
         Some((&"lifecycle", rest)) => cmd_lifecycle(rest),
         Some((&"pcap", rest)) => cmd_pcap(rest),
+        Some((&"obs", rest)) => cmd_obs(rest),
         _ => {
-            eprintln!("usage: nxdctl <resolve|dga|squat|idn|punycode|lifecycle|pcap> ...");
+            eprintln!("usage: nxdctl <resolve|dga|squat|idn|punycode|lifecycle|pcap|obs> ...");
             eprintln!("see the module docs at the top of src/bin/nxdctl.rs for examples");
             2
         }
@@ -273,6 +280,58 @@ fn cmd_lifecycle(args: &[&str]) -> i32 {
         println!("{}  {what}", event.at);
     }
     0
+}
+
+fn cmd_obs(args: &[&str]) -> i32 {
+    match args.split_first() {
+        Some((&"scrape", rest)) => {
+            let Some(&addr) = rest.first() else {
+                eprintln!("usage: nxdctl obs scrape <host:port> [path]");
+                return 2;
+            };
+            let path = rest.get(1).copied().unwrap_or("/metrics");
+            match nxdomain::obs::http_get(addr, path) {
+                Ok(res) if res.status == 200 => {
+                    print!("{}", res.body);
+                    0
+                }
+                Ok(res) => {
+                    eprintln!("GET {path} → HTTP {}", res.status);
+                    eprint!("{}", res.body);
+                    1
+                }
+                Err(e) => {
+                    eprintln!("cannot scrape {addr}{path}: {e}");
+                    1
+                }
+            }
+        }
+        Some((&"journal", rest)) => {
+            let Some(&addr) = rest.first() else {
+                eprintln!("usage: nxdctl obs journal <host:port> [since-seq]");
+                return 2;
+            };
+            let since: u64 = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+            match nxdomain::obs::http_get(addr, &format!("/journal?since={since}")) {
+                Ok(res) if res.status == 200 => {
+                    print!("{}", res.body);
+                    0
+                }
+                Ok(res) => {
+                    eprintln!("GET /journal → HTTP {}", res.status);
+                    1
+                }
+                Err(e) => {
+                    eprintln!("cannot reach {addr}: {e}");
+                    1
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: nxdctl obs <scrape|journal> <host:port> ...");
+            2
+        }
+    }
 }
 
 fn cmd_pcap(args: &[&str]) -> i32 {

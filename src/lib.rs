@@ -11,7 +11,8 @@
 //!
 //! | module | crate | role |
 //! |---|---|---|
-//! | [`telemetry`] | `nxd-telemetry` | metrics registry + span tracer |
+//! | [`telemetry`] | `nxd-telemetry` | metrics registry + span tracer + event journal |
+//! | [`obs`] | `nxd-obs` | live HTTP metrics/admin plane |
 //! | [`wire`] | `nxd-dns-wire` | RFC 1035 protocol |
 //! | [`sim`] | `nxd-dns-sim` | registry lifecycle, hierarchy, resolver |
 //! | [`analyzer`] | `nxd-analyzer` | RFC-conformance rule engine |
@@ -37,6 +38,7 @@ pub use nxd_dns_sim as sim;
 pub use nxd_dns_wire as wire;
 pub use nxd_honeypot as honeypot;
 pub use nxd_httpsim as http;
+pub use nxd_obs as obs;
 pub use nxd_passive_dns as passive;
 pub use nxd_squat as squat;
 pub use nxd_telemetry as telemetry;
