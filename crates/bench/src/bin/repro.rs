@@ -20,7 +20,10 @@
 //! * `--trace-out <file>` — write the span timeline as Chrome trace-event
 //!   JSON (loadable in `chrome://tracing` / Perfetto).
 //! * `--shards <N>` — shard count for the `scale-parallel` and
-//!   `origin-parallel` experiments (default 4).
+//!   `origin-parallel` experiments. Defaults to auto: picked from the
+//!   world's row count and the machine's parallelism via
+//!   [`nxd_passive_dns::auto_shard_count`], so small worlds stay on one
+//!   shard and large worlds fan out.
 //! * `--serve <addr>` — start the live observability plane (nxd-obs) on
 //!   `addr` (e.g. `127.0.0.1:9090`, or port 0 for an ephemeral port) before
 //!   the first experiment. `/metrics`, `/journal?since=<seq>`, `/spans`,
@@ -96,7 +99,7 @@ fn main() {
     let mut metrics = false;
     let mut metrics_json: Option<String> = None;
     let mut trace_out: Option<String> = None;
-    let mut shards: usize = 4;
+    let mut shards: Option<usize> = None;
     let mut serve: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
@@ -113,11 +116,12 @@ fn main() {
                 trace_out = Some(raw.next().expect("--trace-out needs a file path"));
             }
             "--shards" => {
-                shards = raw
-                    .next()
-                    .expect("--shards needs a count")
-                    .parse()
-                    .expect("--shards needs an integer");
+                shards = Some(
+                    raw.next()
+                        .expect("--shards needs a count")
+                        .parse()
+                        .expect("--shards needs an integer"),
+                );
             }
             _ => experiments.push(arg),
         }
@@ -782,13 +786,23 @@ fn federation_exp(worlds: &mut Worlds) {
     println!("paper §7: single-provider bias is real — regional networks deviate in TLD mix");
 }
 
-fn scale_parallel_exp(worlds: &mut Worlds, shards: usize) {
+/// Resolves the `--shards` flag: an explicit count wins; otherwise the
+/// auto heuristic sizes the fan-out from the world and this machine.
+fn resolve_shards(flag: Option<usize>, rows: usize) -> (usize, &'static str) {
+    match flag {
+        Some(n) => (n.max(1), ""),
+        None => (nxd_passive_dns::auto_shard_count_here(rows), ", auto"),
+    }
+}
+
+fn scale_parallel_exp(worlds: &mut Worlds, shards: Option<usize>) {
     use std::time::Instant;
 
-    heading(&format!(
-        "E-SCALE-PARALLEL — sharded executor vs serial engine ({shards} shards)"
-    ));
     let era = worlds.era();
+    let (shards, picked) = resolve_shards(shards, era.db.row_count());
+    heading(&format!(
+        "E-SCALE-PARALLEL — sharded executor vs serial engine ({shards} shards{picked})"
+    ));
     let expiry_strings: HashMap<String, u32> = era
         .expiry_days
         .iter()
@@ -841,15 +855,16 @@ fn scale_parallel_exp(worlds: &mut Worlds, shards: usize) {
     println!("rows per shard: [{}]", per_shard.join(", "));
 }
 
-fn origin_parallel_exp(worlds: &mut Worlds, shards: usize) {
+fn origin_parallel_exp(worlds: &mut Worlds, shards: Option<usize>) {
     use std::time::Instant;
 
-    heading(&format!(
-        "E-ORIGIN-PARALLEL — fused §5 engine vs serial four-pass ({shards} shards)"
-    ));
     let telemetry = worlds.telemetry;
     let world = worlds.origin();
     let db = origin_db(world);
+    let (shards, picked) = resolve_shards(shards, db.row_count());
+    heading(&format!(
+        "E-ORIGIN-PARALLEL — fused §5 engine vs serial four-pass ({shards} shards{picked})"
+    ));
     let detector = DgaDetector::default();
     let classifier = SquatClassifier::default();
     let pipeline = nxd_core::OriginPipeline {

@@ -1,0 +1,99 @@
+//! Property tests for the Bloom-prefiltered blocklist: the filter may
+//! only ever short-circuit *misses* — every inserted domain must remain
+//! findable (zero false negatives), and the prefiltered lookup path must
+//! be observationally identical to a plain map lookup for any key set,
+//! query set, and casing.
+
+use std::collections::HashMap;
+
+use nxd_blocklist::{Blocklist, BloomFilter, ThreatCategory};
+use proptest::prelude::*;
+
+const TLDS: [&str; 4] = ["com", "net", "ru", "org"];
+
+fn arb_domain() -> impl Strategy<Value = String> {
+    ("[a-zA-Z0-9-]{1,12}", 0usize..TLDS.len())
+        .prop_map(|(stem, tld)| format!("{stem}.{}", TLDS[tld]))
+}
+
+fn arb_entries() -> impl Strategy<Value = Vec<(String, usize)>> {
+    proptest::collection::vec((arb_domain(), 0usize..4), 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Zero false negatives: every key ever inserted into the raw filter is
+    /// reported as possibly present, at every fill level (including right
+    /// past rebuild thresholds).
+    #[test]
+    fn filter_never_forgets(keys in proptest::collection::vec(arb_domain(), 1..300)) {
+        let mut filter = BloomFilter::with_capacity(8);
+        for (i, key) in keys.iter().enumerate() {
+            filter.insert(key);
+            // Every previously inserted key must still be visible, even
+            // though the filter was sized for far fewer.
+            for seen in &keys[..=i] {
+                prop_assert!(filter.may_contain(seen), "lost {}", seen);
+            }
+        }
+    }
+
+    /// The prefiltered blocklist behaves exactly like a plain map: listed
+    /// domains (any casing) resolve to their category, unlisted domains to
+    /// None, across incremental inserts and rebuilds.
+    #[test]
+    fn prefiltered_lookup_matches_plain_map(
+        entries in arb_entries(),
+        probes in proptest::collection::vec(arb_domain(), 0..100)
+    ) {
+        let mut list = Blocklist::new();
+        let mut reference: HashMap<String, ThreatCategory> = HashMap::new();
+        for (domain, cat_idx) in &entries {
+            let cat = ThreatCategory::ALL[*cat_idx];
+            list.insert(domain, cat);
+            reference.insert(domain.to_ascii_lowercase(), cat);
+        }
+        prop_assert_eq!(list.len(), reference.len());
+        // Inserted keys are always found — the zero-false-negative claim
+        // end to end, including the mixed-case lookup path.
+        for (domain, _) in &entries {
+            let want = reference.get(&domain.to_ascii_lowercase()).copied();
+            prop_assert_eq!(list.lookup(domain), want);
+            prop_assert_eq!(list.lookup(&domain.to_ascii_uppercase()), want);
+        }
+        // Arbitrary probes agree with the reference map (false positives in
+        // the filter fall through to the map and come back correct).
+        for probe in &probes {
+            prop_assert_eq!(
+                list.lookup(probe),
+                reference.get(&probe.to_ascii_lowercase()).copied()
+            );
+        }
+    }
+
+    /// Cross-reference counts are unchanged by the prefilter.
+    #[test]
+    fn cross_reference_matches_reference_counts(
+        entries in arb_entries(),
+        probes in proptest::collection::vec(arb_domain(), 0..100)
+    ) {
+        let mut list = Blocklist::new();
+        let mut reference: HashMap<String, ThreatCategory> = HashMap::new();
+        for (domain, cat_idx) in &entries {
+            let cat = ThreatCategory::ALL[*cat_idx];
+            list.insert(domain, cat);
+            reference.insert(domain.to_ascii_lowercase(), cat);
+        }
+        let mut expect: HashMap<ThreatCategory, u64> = HashMap::new();
+        for probe in &probes {
+            if let Some(cat) = reference.get(&probe.to_ascii_lowercase()) {
+                *expect.entry(*cat).or_insert(0) += 1;
+            }
+        }
+        prop_assert_eq!(
+            list.cross_reference(probes.iter().map(String::as_str)),
+            expect
+        );
+    }
+}

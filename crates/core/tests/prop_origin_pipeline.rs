@@ -128,6 +128,16 @@ proptest! {
                 serial.whois.expired_fraction.to_bits()
             );
             prop_assert_eq!(fused.dga_fraction.to_bits(), serial.dga_fraction.to_bits());
+            // The compressed block layout (tiny blocks forcing many seals)
+            // must be invisible to the fused pass as well.
+            let mut compressed = ShardedStore::with_block_rows(shards, 5);
+            compressed.merge_db(&db);
+            prop_assert_eq!(
+                &pipeline.run(&compressed),
+                &serial,
+                "{} shards (compressed)",
+                shards
+            );
         }
     }
 

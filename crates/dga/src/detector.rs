@@ -124,7 +124,12 @@ impl DgaDetector {
     }
 
     /// Extracts features from a registrable domain (`label.tld`) or a bare
-    /// label. Single streaming pass — no intermediate byte buffer.
+    /// label. Single streaming pass — no intermediate byte buffer. Labels
+    /// that are pure lowercase ASCII letters (the overwhelming majority of
+    /// DNS qnames, SWAR-classified in one pass) skip the per-byte
+    /// alphanumeric/digit tests; the general path handles everything else.
+    /// Both paths accumulate in the same order, so features — and detector
+    /// scores — are bit-identical regardless of which ran.
     pub fn features(domain: &str) -> Features {
         let label = domain.split('.').next().unwrap_or(domain);
 
@@ -134,27 +139,46 @@ impl DgaDetector {
         let mut vowels = 0u32;
         let mut run = 0u32;
         let mut max_run = 0u32;
-        for b in label.bytes() {
-            if !b.is_ascii_alphanumeric() {
-                continue;
+        if nxd_swar::all_ascii_lowercase(label.as_bytes()) {
+            // Every byte is a letter: no alnum filter, no digit branch, and
+            // the vowel total comes from the SWAR popcount kernel.
+            alnum = label.len() as u32;
+            vowels = nxd_swar::count_vowels(label.as_bytes()) as u32;
+            for b in label.bytes() {
+                counts[(b - b'a') as usize] += 1;
+                if matches!(b, b'a' | b'e' | b'i' | b'o' | b'u') {
+                    run = 0;
+                } else {
+                    run += 1;
+                }
+                max_run = max_run.max(run);
             }
-            alnum += 1;
-            let idx = if b.is_ascii_digit() {
-                (b - b'0') as usize + 26
-            } else {
-                (b - b'a') as usize
-            };
-            counts[idx] += 1;
-            if b.is_ascii_digit() {
-                digits += 1;
-                run += 1; // digits break pronounceability like consonants
-            } else if matches!(b, b'a' | b'e' | b'i' | b'o' | b'u') {
-                vowels += 1;
-                run = 0;
-            } else {
-                run += 1;
+        } else {
+            for b in label.bytes() {
+                // Lowercase letters and digits only — the same significant
+                // set `bigram_anomaly` walks (uppercase never reaches the
+                // detector: the passive store normalizes qnames).
+                if !(b.is_ascii_lowercase() || b.is_ascii_digit()) {
+                    continue;
+                }
+                alnum += 1;
+                let idx = if b.is_ascii_digit() {
+                    (b - b'0') as usize + 26
+                } else {
+                    (b - b'a') as usize
+                };
+                counts[idx] += 1;
+                if b.is_ascii_digit() {
+                    digits += 1;
+                    run += 1; // digits break pronounceability like consonants
+                } else if matches!(b, b'a' | b'e' | b'i' | b'o' | b'u') {
+                    vowels += 1;
+                    run = 0;
+                } else {
+                    run += 1;
+                }
+                max_run = max_run.max(run);
             }
-            max_run = max_run.max(run);
         }
         let len = alnum.max(1) as f64;
         let entropy: f64 = counts
@@ -227,20 +251,31 @@ impl DgaDetector {
 /// Average per-bigram negative log-likelihood under the benign model, minus
 /// a baseline; ≥0 and larger for unusual character transitions. Streams the
 /// label's lowercase bytes through the dense table — no buffer, no hashing.
+/// Pure-lowercase labels (SWAR-classified in one pass) walk adjacent byte
+/// pairs with no per-byte filter branch; both paths add the same cells in
+/// the same order, so the score is bit-identical either way.
 fn bigram_anomaly(label: &str) -> f64 {
     let table = benign_bigram_table();
-    let mut prev: Option<u8> = None;
     let mut total = 0.0;
     let mut n = 0u32;
-    for b in label.bytes() {
-        if !b.is_ascii_lowercase() {
-            continue;
-        }
-        if let Some(p) = prev {
-            total += table[(p - b'a') as usize][(b - b'a') as usize];
+    let bytes = label.as_bytes();
+    if nxd_swar::all_ascii_lowercase(bytes) {
+        for pair in bytes.windows(2) {
+            total += table[(pair[0] - b'a') as usize][(pair[1] - b'a') as usize];
             n += 1;
         }
-        prev = Some(b);
+    } else {
+        let mut prev: Option<u8> = None;
+        for &b in bytes {
+            if !b.is_ascii_lowercase() {
+                continue;
+            }
+            if let Some(p) = prev {
+                total += table[(p - b'a') as usize][(b - b'a') as usize];
+                n += 1;
+            }
+            prev = Some(b);
+        }
     }
     if n == 0 {
         return 0.0;
@@ -559,6 +594,95 @@ mod tests {
                 reference(label).to_bits(),
                 "{label}"
             );
+        }
+    }
+
+    /// The SWAR-gated lowercase fast paths of `features` and
+    /// `bigram_anomaly` are bit-identical to the general byte-filter path
+    /// on every input shape: pure-lowercase (fast path taken), mixed-case,
+    /// digits, separators, non-ASCII, and empty.
+    #[test]
+    fn swar_fast_paths_match_general_path_bitwise() {
+        // The general path, verbatim (pre-fast-path implementation).
+        let features_ref = |domain: &str| -> Features {
+            let label = domain.split('.').next().unwrap_or(domain);
+            let mut counts = [0u32; 36];
+            let mut alnum = 0u32;
+            let mut digits = 0u32;
+            let mut vowels = 0u32;
+            let mut run = 0u32;
+            let mut max_run = 0u32;
+            for b in label.bytes() {
+                if !(b.is_ascii_lowercase() || b.is_ascii_digit()) {
+                    continue;
+                }
+                alnum += 1;
+                let idx = if b.is_ascii_digit() {
+                    (b - b'0') as usize + 26
+                } else {
+                    (b - b'a') as usize
+                };
+                counts[idx] += 1;
+                if b.is_ascii_digit() {
+                    digits += 1;
+                    run += 1;
+                } else if matches!(b, b'a' | b'e' | b'i' | b'o' | b'u') {
+                    vowels += 1;
+                    run = 0;
+                } else {
+                    run += 1;
+                }
+                max_run = max_run.max(run);
+            }
+            let len = alnum.max(1) as f64;
+            let entropy: f64 = counts
+                .iter()
+                .filter(|&&c| c > 0)
+                .map(|&c| {
+                    let p = c as f64 / len;
+                    -p * p.log2()
+                })
+                .sum();
+            let letters = (alnum - digits).max(1) as f64;
+            let vowel_distance = (vowels as f64 / letters - 0.39).abs();
+            Features {
+                length: len,
+                entropy,
+                digit_ratio: digits as f64 / len,
+                vowel_distance,
+                max_consonant_run: max_run as f64,
+                bigram_score: bigram_anomaly(label),
+                word_coverage: word_coverage(label),
+            }
+        };
+        let mut cases: Vec<String> = vec![
+            "".into(),
+            "a".into(),
+            "google.com".into(),
+            "xkqzvwpjh.com".into(),
+            "MIXED-Case99.net".into(),
+            "digits123.org".into(),
+            "caf\u{e9}.com".into(),
+            "a-b-c.io".into(),
+        ];
+        for fam in all_families() {
+            cases.extend(fam.generate(17, (2023, 2, 2), 40));
+        }
+        cases.extend(BENIGN_DOMAINS.iter().take(100).map(|s| s.to_string()));
+        for name in &cases {
+            let fast = DgaDetector::features(name);
+            let slow = features_ref(name);
+            for (a, b) in [
+                (fast.length, slow.length),
+                (fast.entropy, slow.entropy),
+                (fast.digit_ratio, slow.digit_ratio),
+                (fast.vowel_distance, slow.vowel_distance),
+                (fast.max_consonant_run, slow.max_consonant_run),
+                (fast.bigram_score, slow.bigram_score),
+                (fast.word_coverage, slow.word_coverage),
+            ] {
+                assert_eq!(a.to_bits(), b.to_bits(), "{name}");
+            }
         }
     }
 

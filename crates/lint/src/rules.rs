@@ -133,7 +133,10 @@ pub fn rules() -> Vec<Rule> {
             info: &NXL001,
             scope: Scope {
                 include: &[
+                    "crates/passive-dns/src/block.rs",
+                    "crates/passive-dns/src/scan.rs",
                     "crates/passive-dns/src/shard.rs",
+                    "crates/swar/src/",
                     "crates/core/src/origin/pipeline.rs",
                     "crates/telemetry/src/metrics.rs",
                     "crates/telemetry/src/histogram.rs",
@@ -150,6 +153,7 @@ pub fn rules() -> Vec<Rule> {
                 include: &[
                     "crates/dns-wire/src/",
                     "crates/dns-sim/src/zonefile.rs",
+                    "crates/blocklist/src/bloom.rs",
                     "crates/blocklist/src/lib.rs",
                     "crates/whois/src/lib.rs",
                     "crates/obs/src/http.rs",
@@ -179,7 +183,10 @@ pub fn rules() -> Vec<Rule> {
             info: &NXL004,
             scope: Scope {
                 include: &[
+                    "crates/passive-dns/src/block.rs",
+                    "crates/passive-dns/src/scan.rs",
                     "crates/passive-dns/src/shard.rs",
+                    "crates/swar/src/",
                     "crates/core/src/origin/pipeline.rs",
                     "crates/telemetry/src/metrics.rs",
                     "crates/telemetry/src/histogram.rs",
@@ -218,9 +225,12 @@ pub fn rules() -> Vec<Rule> {
                     "crates/core/src/scale.rs",
                     "crates/core/src/origin.rs",
                     "crates/core/src/origin/",
+                    "crates/passive-dns/src/block.rs",
                     "crates/passive-dns/src/query.rs",
+                    "crates/passive-dns/src/scan.rs",
                     "crates/passive-dns/src/shard.rs",
                     "crates/passive-dns/src/store.rs",
+                    "crates/swar/src/",
                     "crates/telemetry/src/histogram.rs",
                 ],
                 exclude: &[],

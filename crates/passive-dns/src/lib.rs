@@ -17,10 +17,12 @@
 //! assert_eq!(query::distinct_nx_names(&db), 1);
 //! ```
 
+pub(crate) mod block;
 pub mod federation;
 pub mod hash;
 pub mod intern;
 pub mod query;
+pub mod scan;
 pub mod sensor;
 pub mod shard;
 pub mod sie;
@@ -30,6 +32,6 @@ pub use federation::{Coverage, Federation};
 pub use hash::shard_of;
 pub use intern::{Interner, NameId};
 pub use sensor::{Sensor, VantagePoint};
-pub use shard::ShardedStore;
+pub use shard::{auto_shard_count, auto_shard_count_here, ShardedStore};
 pub use sie::{collect_parallel, collect_sharded, SieError, SieProducer};
 pub use store::{NameAggregate, Observation, PassiveDb};

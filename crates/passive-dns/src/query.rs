@@ -11,7 +11,7 @@ use nxd_dns_wire::RCode;
 
 use crate::hash::fnv1a;
 use crate::intern::NameId;
-use crate::store::PassiveDb;
+use crate::store::{PassiveDb, ScanFilter};
 
 /// Row of the TLD distribution (Fig. 4).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,14 +38,17 @@ pub struct LifespanBucket {
 #[must_use]
 pub fn total_responses(db: &PassiveDb, rcode: RCode) -> u64 {
     let _t = db.time_query();
-    let (_, _, _, rcodes, counts) = db.columns();
     let want = rcode.to_u8();
-    rcodes
-        .iter()
-        .zip(counts)
-        .filter(|(&rc, _)| rc == want)
-        .map(|(_, &c)| c as u64)
-        .sum()
+    let mut total = 0u64;
+    db.for_each_block(&ScanFilter::rcode(want), |(_, _, _, rcodes, counts)| {
+        total += rcodes
+            .iter()
+            .zip(counts)
+            .filter(|(&rc, _)| rc == want)
+            .map(|(_, &c)| c as u64)
+            .sum::<u64>();
+    });
+    total
 }
 
 /// Total NXDOMAIN responses (the paper's 1,069,114,764,701 at full scale).
@@ -69,15 +72,16 @@ pub fn distinct_nx_names(db: &PassiveDb) -> u64 {
 #[must_use]
 pub fn monthly_nx_series(db: &PassiveDb) -> Vec<(i64, u64)> {
     let _t = db.time_query();
-    let (_, days, _, rcodes, counts) = db.columns();
     let want = RCode::NxDomain.to_u8();
     let mut buckets: HashMap<i64, u64> = HashMap::new();
-    for i in 0..days.len() {
-        if rcodes[i] == want {
-            let t = SimTime(days[i] as u64 * nxd_dns_sim::SECONDS_PER_DAY);
-            *buckets.entry(t.month_index()).or_insert(0) += counts[i] as u64;
+    db.for_each_block(&ScanFilter::rcode(want), |(_, days, _, rcodes, counts)| {
+        for i in 0..days.len() {
+            if rcodes[i] == want {
+                let t = SimTime(days[i] as u64 * nxd_dns_sim::SECONDS_PER_DAY);
+                *buckets.entry(t.month_index()).or_insert(0) += counts[i] as u64;
+            }
         }
-    }
+    });
     let mut out: Vec<_> = buckets.into_iter().collect();
     out.sort();
     out
@@ -118,16 +122,17 @@ pub fn tld_distribution(db: &PassiveDb) -> Vec<TldStat> {
     for (id, _) in db.nx_names() {
         *names_by_tld.entry(db.interner().tld_id(id)).or_insert(0) += 1;
     }
-    let (ids, _, _, rcodes, counts) = db.columns();
     let want = RCode::NxDomain.to_u8();
     let mut queries_by_tld: HashMap<u32, u64> = HashMap::new();
-    for i in 0..ids.len() {
-        if rcodes[i] == want {
-            *queries_by_tld
-                .entry(db.interner().tld_id(ids[i]))
-                .or_insert(0) += counts[i] as u64;
+    db.for_each_block(&ScanFilter::rcode(want), |(ids, _, _, rcodes, counts)| {
+        for i in 0..ids.len() {
+            if rcodes[i] == want {
+                *queries_by_tld
+                    .entry(db.interner().tld_id(ids[i]))
+                    .or_insert(0) += counts[i] as u64;
+            }
         }
-    }
+    });
     let mut out: Vec<TldStat> = names_by_tld
         .into_iter()
         .map(|(tld_id, nx_names)| TldStat {
@@ -169,24 +174,28 @@ pub fn sample_nx_name_strings(db: &PassiveDb, n: u64, salt: u64) -> Vec<String> 
 /// how many names still receive queries and how many responses they get.
 pub fn lifespan_histogram(db: &PassiveDb, max_days: u32) -> Vec<LifespanBucket> {
     let _t = db.time_query();
-    let (ids, days, _, rcodes, counts) = db.columns();
     let want = RCode::NxDomain.to_u8();
     let mut queries = vec![0u64; max_days as usize + 1];
     let mut names: Vec<std::collections::HashSet<NameId>> =
         vec![std::collections::HashSet::new(); max_days as usize + 1];
-    for i in 0..ids.len() {
-        if rcodes[i] != want {
-            continue;
-        }
-        let Some(agg) = db.aggregate(ids[i]) else {
-            continue;
-        };
-        let offset = days[i].saturating_sub(agg.first_nx_day);
-        if offset <= max_days {
-            queries[offset as usize] += counts[i] as u64;
-            names[offset as usize].insert(ids[i]);
-        }
-    }
+    db.for_each_block(
+        &ScanFilter::rcode(want),
+        |(ids, days, _, rcodes, counts)| {
+            for i in 0..ids.len() {
+                if rcodes[i] != want {
+                    continue;
+                }
+                let Some(agg) = db.aggregate(ids[i]) else {
+                    continue;
+                };
+                let offset = days[i].saturating_sub(agg.first_nx_day);
+                if offset <= max_days {
+                    queries[offset as usize] += counts[i] as u64;
+                    names[offset as usize].insert(ids[i]);
+                }
+            }
+        },
+    );
     (0..=max_days)
         .map(|d| LifespanBucket {
             day_offset: d,
@@ -236,19 +245,35 @@ pub(crate) fn expiry_aligned_totals(
     before: u32,
     after: u32,
 ) -> Vec<u64> {
-    let (ids, days, _, _, counts) = db.columns();
     let span = (before + after + 1) as usize;
     let mut totals = vec![0u64; span];
-    for i in 0..ids.len() {
-        let Some(&e) = expiry_day.get(&ids[i]) else {
-            continue;
-        };
-        let offset = days[i] as i64 - e as i64;
-        if offset < -(before as i64) || offset > after as i64 {
-            continue;
-        }
-        totals[(offset + before as i64) as usize] += counts[i] as u64;
-    }
+    // Zone-map hint: only days within [min(e)-before, max(e)+after] over the
+    // panel can contribute, so blocks wholly outside that window skip.
+    let day_lo = expiry_day
+        .values()
+        .map(|&e| e.saturating_sub(before))
+        .min()
+        .unwrap_or(u32::MAX);
+    let day_hi = expiry_day
+        .values()
+        .map(|&e| e.saturating_add(after))
+        .max()
+        .unwrap_or(0);
+    db.for_each_block(
+        &ScanFilter::day_range(day_lo, day_hi),
+        |(ids, days, _, _, counts)| {
+            for i in 0..ids.len() {
+                let Some(&e) = expiry_day.get(&ids[i]) else {
+                    continue;
+                };
+                let offset = days[i] as i64 - e as i64;
+                if offset < -(before as i64) || offset > after as i64 {
+                    continue;
+                }
+                totals[(offset + before as i64) as usize] += counts[i] as u64;
+            }
+        },
+    );
     totals
 }
 
@@ -276,11 +301,12 @@ pub fn long_lived_nx(db: &PassiveDb, min_days: u32) -> (u64, u64) {
 #[must_use]
 pub fn rcode_breakdown(db: &PassiveDb) -> Vec<(u8, u64)> {
     let _t = db.time_query();
-    let (_, _, _, rcodes, counts) = db.columns();
     let mut map: HashMap<u8, u64> = HashMap::new();
-    for i in 0..rcodes.len() {
-        *map.entry(rcodes[i]).or_insert(0) += counts[i] as u64;
-    }
+    db.for_each_block(&ScanFilter::all(), |(_, _, _, rcodes, counts)| {
+        for i in 0..rcodes.len() {
+            *map.entry(rcodes[i]).or_insert(0) += counts[i] as u64;
+        }
+    });
     let mut out: Vec<_> = map.into_iter().collect();
     out.sort();
     out
@@ -308,14 +334,18 @@ pub fn nxdomain_share(db: &PassiveDb) -> f64 {
 #[must_use]
 pub fn nx_by_sensor(db: &PassiveDb) -> BTreeMap<u16, u64> {
     let _t = db.time_query();
-    let (_, _, sensors, rcodes, counts) = db.columns();
     let want = RCode::NxDomain.to_u8();
     let mut out = BTreeMap::new();
-    for i in 0..sensors.len() {
-        if rcodes[i] == want {
-            *out.entry(sensors[i]).or_insert(0) += counts[i] as u64;
-        }
-    }
+    db.for_each_block(
+        &ScanFilter::rcode(want),
+        |(_, _, sensors, rcodes, counts)| {
+            for i in 0..sensors.len() {
+                if rcodes[i] == want {
+                    *out.entry(sensors[i]).or_insert(0) += counts[i] as u64;
+                }
+            }
+        },
+    );
     out
 }
 

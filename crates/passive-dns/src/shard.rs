@@ -32,7 +32,31 @@ use nxd_telemetry::Registry;
 
 use crate::hash::shard_of;
 use crate::query::{self, LifespanBucket, TldStat};
+use crate::scan;
 use crate::store::{Observation, PassiveDb};
+
+/// Rows per shard below which extra shards stop paying for themselves:
+/// thread spawn/merge overhead dominates sub-256Ki-row scans (4 compressed
+/// blocks). Tuned against the BENCH_4/BENCH_6 suites; see DESIGN §10.
+const ROWS_PER_SHARD_TARGET: usize = 262_144;
+
+/// Picks a shard count for a world of `rows` observations: one shard per
+/// [`ROWS_PER_SHARD_TARGET`] rows, clamped to `[1, max_parallelism]` (and
+/// `max_parallelism` itself clamped to the 1..=8 range the parity suites
+/// exercise). Small worlds get 1 shard — the fan-out executor runs a single
+/// shard inline, so auto-sharded small inputs behave exactly like the
+/// serial engine instead of paying thread overhead.
+#[must_use]
+pub fn auto_shard_count(rows: usize, max_parallelism: usize) -> usize {
+    (rows / ROWS_PER_SHARD_TARGET).clamp(1, max_parallelism.clamp(1, 8))
+}
+
+/// [`auto_shard_count`] against the machine's available parallelism.
+#[must_use]
+pub fn auto_shard_count_here(rows: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    auto_shard_count(rows, cores)
+}
 
 /// A hash-partitioned set of [`PassiveDb`] shards with a parallel query
 /// executor.
@@ -42,10 +66,22 @@ pub struct ShardedStore {
 }
 
 impl ShardedStore {
-    /// An empty store with `shards` partitions (clamped to at least 1).
+    /// An empty store with `shards` partitions (clamped to at least 1),
+    /// each a compressed-block [`PassiveDb`].
     pub fn new(shards: usize) -> Self {
         ShardedStore {
             shards: (0..shards.max(1)).map(|_| PassiveDb::new()).collect(),
+        }
+    }
+
+    /// An empty store whose shards seal compressed blocks every
+    /// `block_rows` rows — the knob the layout-equivalence property tests
+    /// turn to force many tiny blocks.
+    pub fn with_block_rows(shards: usize, block_rows: usize) -> Self {
+        ShardedStore {
+            shards: (0..shards.max(1))
+                .map(|_| PassiveDb::with_block_rows(block_rows))
+                .collect(),
         }
     }
 
@@ -54,6 +90,11 @@ impl ShardedStore {
         let mut out = Self::new(shards);
         out.merge_db(db);
         out
+    }
+
+    /// Re-partitions a serial database across [`auto_shard_count`] shards.
+    pub fn from_db_auto(db: &PassiveDb, max_parallelism: usize) -> Self {
+        Self::from_db(db, auto_shard_count(db.row_count(), max_parallelism))
     }
 
     pub fn shard_count(&self) -> usize {
@@ -81,9 +122,16 @@ impl ShardedStore {
         self.shards.iter().map(PassiveDb::distinct_names).sum()
     }
 
-    /// Approximate resident bytes of row storage across shards.
+    /// Logical (uncompressed-layout) bytes of row storage across shards.
     pub fn row_bytes(&self) -> usize {
         self.shards.iter().map(PassiveDb::row_bytes).sum()
+    }
+
+    /// Resident bytes of row storage across shards: sealed compressed
+    /// blocks plus uncompressed tails. `compressed_bytes() / row_bytes()`
+    /// is the live compression ratio the byte gauges export.
+    pub fn compressed_bytes(&self) -> usize {
+        self.shards.iter().map(PassiveDb::compressed_bytes).sum()
     }
 
     /// Interns a name into its home shard and appends an observation.
@@ -183,13 +231,16 @@ impl ShardedStore {
 
     // ---- parallel query executor ---------------------------------------
     //
-    // Each method fans the matching `crate::query` function out across the
-    // shards and merges the partials with a deterministic,
-    // order-independent reduction.
+    // Each method fans the summary-accelerated `crate::scan` kernel (or,
+    // for aggregate-index scans, the matching `crate::query` function) out
+    // across the shards and merges the partials with a deterministic,
+    // order-independent reduction. The scan kernels are property-tested
+    // bit-identical to their `query` twins, so the merge algebra — and
+    // therefore parity with the serial engine — is unchanged.
 
-    /// Total responses carrying `rcode` (parallel [`query::total_responses`]).
+    /// Total responses carrying `rcode` (parallel [`scan::total_responses`]).
     pub fn total_responses(&self, rcode: RCode) -> u64 {
-        self.par_map(|db| query::total_responses(db, rcode))
+        self.par_map(|db| scan::total_responses(db, rcode))
             .into_iter()
             .sum()
     }
@@ -206,10 +257,10 @@ impl ShardedStore {
     }
 
     /// NXDOMAIN responses per calendar month (parallel
-    /// [`query::monthly_nx_series`]).
+    /// [`scan::monthly_nx_series`]).
     pub fn monthly_nx_series(&self) -> Vec<(i64, u64)> {
         let mut merged: BTreeMap<i64, u64> = BTreeMap::new();
-        for partial in self.par_map(query::monthly_nx_series) {
+        for partial in self.par_map(scan::monthly_nx_series) {
             for (month, responses) in partial {
                 *merged.entry(month).or_insert(0) += responses;
             }
@@ -223,10 +274,10 @@ impl ShardedStore {
         query::yearly_from_monthly(&self.monthly_nx_series())
     }
 
-    /// Fig. 4's TLD distribution (parallel [`query::tld_distribution`]).
+    /// Fig. 4's TLD distribution (parallel [`scan::tld_distribution`]).
     pub fn tld_distribution(&self) -> Vec<TldStat> {
         let mut merged: BTreeMap<String, (u64, u64)> = BTreeMap::new();
-        for partial in self.par_map(query::tld_distribution) {
+        for partial in self.par_map(scan::tld_distribution) {
             for stat in partial {
                 let entry = merged.entry(stat.tld).or_insert((0, 0));
                 entry.0 += stat.nx_names;
@@ -258,7 +309,7 @@ impl ShardedStore {
         out
     }
 
-    /// Fig. 5's lifespan histogram (parallel [`query::lifespan_histogram`]).
+    /// Fig. 5's lifespan histogram (parallel [`scan::lifespan_histogram`]).
     /// Name counts add exactly because each name's rows — and therefore its
     /// first-NX-day anchor — live in a single shard.
     pub fn lifespan_histogram(&self, max_days: u32) -> Vec<LifespanBucket> {
@@ -269,7 +320,7 @@ impl ShardedStore {
                 queries: 0,
             })
             .collect();
-        for partial in self.par_map(|db| query::lifespan_histogram(db, max_days)) {
+        for partial in self.par_map(|db| scan::lifespan_histogram(db, max_days)) {
             for (slot, bucket) in merged.iter_mut().zip(partial) {
                 slot.names += bucket.names;
                 slot.queries += bucket.queries;
@@ -295,18 +346,17 @@ impl ShardedStore {
         // Split the panel by home shard, translating to shard-local ids.
         // Panel names the store never saw contribute no rows (exactly as in
         // the serial engine) but still count toward the denominator.
-        // nxd-lint: allow(NXL001, reason="per-shard side input read only via .get() in expiry_aligned_totals; iteration order never observed")
-        let mut per_shard = vec![HashMap::<crate::intern::NameId, u32>::new(); self.shards.len()];
+        let mut per_shard = vec![Vec::<(crate::intern::NameId, u32)>::new(); self.shards.len()];
         for (name, &day) in expiry_day {
             let shard = self.shard_of(name);
             if let Some(id) = self.shards[shard].interner().get(name) {
-                per_shard[shard].insert(id, day);
+                per_shard[shard].push((id, day));
             }
         }
         let span = (before + after + 1) as usize;
         let mut totals = vec![0u64; span];
         let partials = self.par_map_indexed(|idx, db| {
-            query::expiry_aligned_totals(db, &per_shard[idx], before, after)
+            scan::expiry_aligned_totals(db, &per_shard[idx], before, after)
         });
         for partial in partials {
             for (slot, t) in totals.iter_mut().zip(partial) {
@@ -328,10 +378,10 @@ impl ShardedStore {
             .fold((0, 0), |(n, q), (pn, pq)| (n + pn, q + pq))
     }
 
-    /// Responses per rcode (parallel [`query::rcode_breakdown`]).
+    /// Responses per rcode (parallel [`scan::rcode_breakdown`]).
     pub fn rcode_breakdown(&self) -> Vec<(u8, u64)> {
         let mut merged: BTreeMap<u8, u64> = BTreeMap::new();
-        for partial in self.par_map(query::rcode_breakdown) {
+        for partial in self.par_map(scan::rcode_breakdown) {
             for (rcode, responses) in partial {
                 *merged.entry(rcode).or_insert(0) += responses;
             }
@@ -355,10 +405,10 @@ impl ShardedStore {
         nx as f64 / total as f64
     }
 
-    /// NXDOMAIN responses per sensor (parallel [`query::nx_by_sensor`]).
+    /// NXDOMAIN responses per sensor (parallel [`scan::nx_by_sensor`]).
     pub fn nx_by_sensor(&self) -> BTreeMap<u16, u64> {
         let mut merged: BTreeMap<u16, u64> = BTreeMap::new();
-        for partial in self.par_map(query::nx_by_sensor) {
+        for partial in self.par_map(scan::nx_by_sensor) {
             for (sensor, responses) in partial {
                 *merged.entry(sensor).or_insert(0) += responses;
             }
@@ -583,6 +633,57 @@ mod tests {
     fn row_bytes_sums_shards() {
         let (serial, sharded) = populated(4);
         assert_eq!(sharded.row_bytes(), serial.row_bytes());
+    }
+
+    #[test]
+    fn auto_shard_count_scales_with_world_size() {
+        // Small worlds stay serial: no thread overhead for toy inputs.
+        assert_eq!(auto_shard_count(0, 8), 1);
+        assert_eq!(auto_shard_count(100_000, 8), 1);
+        assert_eq!(auto_shard_count(ROWS_PER_SHARD_TARGET - 1, 8), 1);
+        // One extra shard per 256Ki rows…
+        assert_eq!(auto_shard_count(ROWS_PER_SHARD_TARGET, 8), 1);
+        assert_eq!(auto_shard_count(2 * ROWS_PER_SHARD_TARGET, 8), 2);
+        assert_eq!(auto_shard_count(4 * ROWS_PER_SHARD_TARGET, 8), 4);
+        // …capped by the machine and by the 8-shard parity ceiling.
+        assert_eq!(auto_shard_count(100 * ROWS_PER_SHARD_TARGET, 4), 4);
+        assert_eq!(auto_shard_count(100 * ROWS_PER_SHARD_TARGET, 64), 8);
+        // Degenerate parallelism clamps to 1, never 0.
+        assert_eq!(auto_shard_count(10 * ROWS_PER_SHARD_TARGET, 0), 1);
+        assert!(auto_shard_count_here(0) >= 1);
+    }
+
+    #[test]
+    fn from_db_auto_uses_one_shard_for_small_worlds() {
+        let (serial, _) = populated(1);
+        let auto = ShardedStore::from_db_auto(&serial, 8);
+        assert_eq!(auto.shard_count(), 1);
+        assert_eq!(
+            auto.total_nx_responses(),
+            query::total_nx_responses(&serial)
+        );
+    }
+
+    #[test]
+    fn tiny_blocks_match_serial_engine() {
+        // Force a seal every 2 rows: queries must not notice the layout.
+        for shards in [1, 3] {
+            let (serial, _) = populated(1);
+            let mut sharded = ShardedStore::with_block_rows(shards, 2);
+            sharded.merge_db(&serial);
+            assert_eq!(
+                sharded.total_nx_responses(),
+                query::total_nx_responses(&serial)
+            );
+            assert_eq!(sharded.rcode_breakdown(), query::rcode_breakdown(&serial));
+            assert_eq!(sharded.tld_distribution(), query::tld_distribution(&serial));
+            assert_eq!(
+                sharded.lifespan_histogram(40),
+                query::lifespan_histogram(&serial, 40)
+            );
+            assert!(sharded.compressed_bytes() > 0);
+            assert_eq!(sharded.row_bytes(), serial.row_bytes());
+        }
     }
 
     #[test]

@@ -1,21 +1,33 @@
 //! The columnar passive-DNS store.
 //!
 //! Rows are pre-aggregated observations: `(name, day, sensor, rcode, count)`.
-//! Columns are stored as parallel vectors (struct-of-arrays), which keeps the
-//! resident size small and scans cache-friendly — the same reason the paper
-//! mirrors Farsight into BigQuery. A per-name aggregate index is maintained
-//! on ingest for O(1) lifespan lookups.
+//! Ingest appends into uncompressed tail columns (struct-of-arrays); every
+//! [`crate::block::BLOCK_ROWS`] rows the tail seals into a compressed,
+//! immutable [`Block`](crate::block::Block) with per-block zone maps and
+//! exact pre-aggregated summaries — the same reason the paper mirrors
+//! Farsight into BigQuery, plus the columnar-compression trick BigQuery
+//! applies under the hood. A per-name aggregate index is maintained on
+//! ingest for O(1) lifespan lookups.
+//!
+//! [`PassiveDb::uncompressed`] builds a store that never seals — the
+//! legacy flat layout, kept as the bit-identical reference the property
+//! tests and benchmarks compare the compressed engine against.
 
 use std::collections::HashMap;
 
 use nxd_dns_wire::{Name, RCode};
 use nxd_telemetry::{Counter, Gauge, Histogram, Journal, Registry, Stopwatch};
 
+use crate::block::{Block, BlockScratch, BLOCK_ROWS};
 use crate::intern::{Interner, NameId};
 
 /// How often ingest emits a journal heartbeat: every this-many appended
 /// rows (power of two so the check is a mask).
 const INGEST_HEARTBEAT_ROWS: u64 = 65_536;
+
+/// Logical bytes per row in the uncompressed layout
+/// (`u32 + u32 + u16 + u8 + u32`).
+pub(crate) const ROW_BYTES: usize = 4 + 4 + 2 + 1 + 4;
 
 /// Borrowed column slices `(name, day, sensor, rcode, count)`, one row per index.
 pub(crate) type RawColumns<'a> = (&'a [NameId], &'a [u32], &'a [u16], &'a [u8], &'a [u32]);
@@ -45,6 +57,56 @@ pub struct NameAggregate {
     pub total_queries: u64,
 }
 
+/// Block-skip predicate for [`PassiveDb::for_each_block`]: a scan whose
+/// per-row predicate implies this filter may skip any sealed block whose
+/// zone maps cannot match. The uncompressed tail is always visited — the
+/// filter is a skip *hint*, never a correctness dependency.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ScanFilter {
+    pub day_min: u32,
+    pub day_max: u32,
+    /// Only rows with this rcode matter to the caller.
+    pub rcode: Option<u8>,
+}
+
+impl ScanFilter {
+    /// No skipping: every block is visited.
+    pub fn all() -> Self {
+        ScanFilter {
+            day_min: 0,
+            day_max: u32::MAX,
+            rcode: None,
+        }
+    }
+
+    /// Only rows carrying `rcode` matter.
+    pub fn rcode(rcode: u8) -> Self {
+        ScanFilter {
+            rcode: Some(rcode),
+            ..Self::all()
+        }
+    }
+
+    /// Only rows with `day_min <= day <= day_max` matter.
+    pub fn day_range(day_min: u32, day_max: u32) -> Self {
+        ScanFilter {
+            day_min,
+            day_max,
+            rcode: None,
+        }
+    }
+
+    fn admits(&self, summary: &crate::block::BlockSummary) -> bool {
+        if summary.max_day < self.day_min || summary.min_day > self.day_max {
+            return false;
+        }
+        match self.rcode {
+            Some(rc) => summary.has_rcode(rc),
+            None => true,
+        }
+    }
+}
+
 /// Ingest and query-engine telemetry for one [`PassiveDb`]. Detached cells
 /// by default; [`PassiveDb::attach_metrics`] re-homes them onto a shared
 /// registry as `passive_*` metrics.
@@ -56,6 +118,11 @@ struct StoreMetrics {
     query_latency_us: Histogram,
     intern_names: Gauge,
     intern_tlds: Gauge,
+    /// Logical row bytes (uncompressed layout) — `passive_dns_store_bytes`.
+    store_bytes: Gauge,
+    /// Resident row bytes after block compression —
+    /// `passive_dns_compressed_bytes`.
+    compressed_bytes: Gauge,
 }
 
 impl StoreMetrics {
@@ -67,15 +134,23 @@ impl StoreMetrics {
             query_latency_us: registry.histogram_with("passive_query_latency_us", labels),
             intern_names: registry.gauge_with("passive_intern_names", labels),
             intern_tlds: registry.gauge_with("passive_intern_tlds", labels),
+            store_bytes: registry.gauge_with("passive_dns_store_bytes", labels),
+            compressed_bytes: registry.gauge_with("passive_dns_compressed_bytes", labels),
         }
     }
 }
 
 /// The passive-DNS database (Farsight substitute).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PassiveDb {
     interner: Interner,
-    // Struct-of-arrays row storage.
+    /// Sealed compressed blocks, each exactly `block_rows` rows.
+    sealed: Vec<Block>,
+    sealed_rows: usize,
+    sealed_bytes: usize,
+    /// Tail size that triggers a seal; `usize::MAX` = never (uncompressed).
+    block_rows: usize,
+    // Struct-of-arrays tail storage (rows not yet sealed).
     col_name: Vec<NameId>,
     col_day: Vec<u32>,
     col_sensor: Vec<u16>,
@@ -88,9 +163,44 @@ pub struct PassiveDb {
     journal: Option<Journal>,
 }
 
+impl Default for PassiveDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl PassiveDb {
+    /// A compressed store: seals a block every [`BLOCK_ROWS`] rows.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_block_rows(BLOCK_ROWS)
+    }
+
+    /// The legacy flat layout: rows stay in uncompressed columns forever.
+    /// This is the reference engine for the compressed-vs-uncompressed
+    /// property tests and the serial baseline in the big-world benchmark.
+    pub fn uncompressed() -> Self {
+        Self::with_block_rows(usize::MAX)
+    }
+
+    /// A compressed store sealing every `block_rows` rows (clamped to at
+    /// least 1). Small values force many blocks on tiny inputs — the knob
+    /// the property tests use to exercise the sealed path.
+    pub fn with_block_rows(block_rows: usize) -> Self {
+        PassiveDb {
+            interner: Interner::default(),
+            sealed: Vec::new(),
+            sealed_rows: 0,
+            sealed_bytes: 0,
+            block_rows: block_rows.max(1),
+            col_name: Vec::new(),
+            col_day: Vec::new(),
+            col_sensor: Vec::new(),
+            col_rcode: Vec::new(),
+            col_count: Vec::new(),
+            per_name: HashMap::new(),
+            metrics: StoreMetrics::default(),
+            journal: None,
+        }
     }
 
     pub fn interner(&self) -> &Interner {
@@ -104,9 +214,11 @@ impl PassiveDb {
     /// Re-homes this store's telemetry onto `registry` (as
     /// `passive_rows_ingested_total`, `passive_nx_rows_total`,
     /// `passive_queries_total`, `passive_query_latency_us`,
-    /// `passive_intern_names`, `passive_intern_tlds`), carrying counter and
-    /// gauge values over. Latency samples recorded before attaching stay in
-    /// the detached histogram, so attach before running queries.
+    /// `passive_intern_names`, `passive_intern_tlds`,
+    /// `passive_dns_store_bytes`, `passive_dns_compressed_bytes`), carrying
+    /// counter and gauge values over. Latency samples recorded before
+    /// attaching stay in the detached histogram, so attach before running
+    /// queries.
     pub fn attach_metrics(&mut self, registry: &Registry) {
         self.attach_metrics_labeled(registry, &[]);
     }
@@ -124,13 +236,16 @@ impl PassiveDb {
         next.queries.add(self.metrics.queries.get());
         next.intern_names.set(self.interner.len() as i64);
         next.intern_tlds.set(self.interner.tld_count() as i64);
+        next.store_bytes.set(self.row_bytes() as i64);
+        next.compressed_bytes.set(self.compressed_bytes() as i64);
         self.metrics = next;
     }
 
     /// Attaches a flight recorder: every [`INGEST_HEARTBEAT_ROWS`] appended
     /// rows emit one `store`-component heartbeat event (rows so far,
-    /// distinct names), so a live observer sees ingest advance long before
-    /// the batch completes.
+    /// distinct names), and every sealed block emits a `store` event with
+    /// its compression ratio, so a live observer sees ingest advance long
+    /// before the batch completes.
     pub fn attach_journal(&mut self, journal: Journal) {
         self.journal = Some(journal);
     }
@@ -146,7 +261,7 @@ impl PassiveDb {
 
     /// Number of rows (pre-aggregated observations).
     pub fn row_count(&self) -> usize {
-        self.col_name.len()
+        self.sealed_rows + self.col_name.len()
     }
 
     /// Number of distinct names ever observed.
@@ -239,6 +354,51 @@ impl PassiveDb {
             agg.first_nx_day = agg.first_nx_day.min(obs.day);
             agg.last_nx_day = agg.last_nx_day.max(obs.day);
         }
+
+        if self.col_name.len() >= self.block_rows {
+            self.seal_tail();
+        }
+        self.metrics.store_bytes.set(self.row_bytes() as i64);
+        self.metrics
+            .compressed_bytes
+            .set(self.compressed_bytes() as i64);
+    }
+
+    /// Seals the current tail into a compressed block.
+    fn seal_tail(&mut self) {
+        let block = Block::seal(
+            (
+                &self.col_name,
+                &self.col_day,
+                &self.col_sensor,
+                &self.col_rcode,
+                &self.col_count,
+            ),
+            RCode::NxDomain.to_u8(),
+            &self.interner,
+        );
+        debug_assert_eq!(block.summary().rows, block.rows());
+        self.sealed_rows += block.rows();
+        self.sealed_bytes += block.encoded_bytes();
+        if let Some(journal) = &self.journal {
+            journal.info(
+                "store",
+                "block sealed",
+                &[
+                    ("block", &self.sealed.len().to_string()),
+                    ("rows", &block.rows().to_string()),
+                    ("nx_rows", &block.summary().nx_rows.to_string()),
+                    ("encoded_bytes", &block.encoded_bytes().to_string()),
+                    ("raw_bytes", &(block.rows() * ROW_BYTES).to_string()),
+                ],
+            );
+        }
+        self.sealed.push(block);
+        self.col_name.clear();
+        self.col_day.clear();
+        self.col_sensor.clear();
+        self.col_rcode.clear();
+        self.col_count.clear();
     }
 
     /// The aggregate for a name id, if it has any rows.
@@ -253,16 +413,28 @@ impl PassiveDb {
             .and_then(|id| self.per_name.get(&id))
     }
 
-    /// Iterates rows as [`Observation`]s.
+    /// Iterates rows as [`Observation`]s in append order (sealed blocks
+    /// first — which *is* append order — then the tail).
     pub fn rows(&self) -> impl Iterator<Item = Observation> + '_ {
-        (0..self.row_count()).map(move |i| self.row(i))
+        self.sealed
+            .iter()
+            .flat_map(|b| {
+                let mut scratch = BlockScratch::default();
+                b.decode_into(&mut scratch);
+                (0..b.rows())
+                    .map(|i| Observation {
+                        name: scratch.names[i],
+                        day: scratch.days[i],
+                        sensor: scratch.sensors[i],
+                        rcode: scratch.rcodes[i],
+                        count: scratch.counts[i],
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .chain((0..self.col_name.len()).map(move |i| self.tail_row(i)))
     }
 
-    /// Fetches row `i`.
-    ///
-    /// # Panics
-    /// Panics if `i >= row_count()`.
-    pub fn row(&self, i: usize) -> Observation {
+    fn tail_row(&self, i: usize) -> Observation {
         Observation {
             name: self.col_name[i],
             day: self.col_day[i],
@@ -272,8 +444,38 @@ impl PassiveDb {
         }
     }
 
-    /// Raw column access for the query engine's tight scans.
-    pub(crate) fn columns(&self) -> RawColumns<'_> {
+    /// Fetches row `i`. Random access into a sealed block decodes that
+    /// block (used by the traffic generators' spot checks; scans should
+    /// use [`PassiveDb::rows`] or the query engine instead).
+    ///
+    /// # Panics
+    /// Panics if `i >= row_count()`.
+    pub fn row(&self, i: usize) -> Observation {
+        if i < self.sealed_rows {
+            // Every sealed block holds exactly `block_rows` rows.
+            let block = &self.sealed[i / self.block_rows];
+            let off = i % self.block_rows;
+            let mut scratch = BlockScratch::default();
+            block.decode_into(&mut scratch);
+            Observation {
+                name: scratch.names[off],
+                day: scratch.days[off],
+                sensor: scratch.sensors[off],
+                rcode: scratch.rcodes[off],
+                count: scratch.counts[off],
+            }
+        } else {
+            self.tail_row(i - self.sealed_rows)
+        }
+    }
+
+    /// The sealed compressed blocks, in append order.
+    pub(crate) fn sealed_blocks(&self) -> &[Block] {
+        &self.sealed
+    }
+
+    /// Raw column slices for the (uncompressed) tail.
+    pub(crate) fn tail_columns(&self) -> RawColumns<'_> {
         (
             &self.col_name,
             &self.col_day,
@@ -281,6 +483,31 @@ impl PassiveDb {
             &self.col_rcode,
             &self.col_count,
         )
+    }
+
+    /// Runs `f` over the column slices of every chunk of the store — each
+    /// sealed block (decoded into a reused scratch) and then the tail —
+    /// skipping sealed blocks whose zone maps cannot satisfy `filter`.
+    /// Chunks arrive in append order, so a scan over them visits rows in
+    /// exactly the order the flat layout would.
+    pub(crate) fn for_each_block<F: FnMut(RawColumns<'_>)>(&self, filter: &ScanFilter, mut f: F) {
+        let mut scratch = BlockScratch::default();
+        for block in &self.sealed {
+            if !filter.admits(block.summary()) {
+                continue;
+            }
+            block.decode_into(&mut scratch);
+            f((
+                &scratch.names,
+                &scratch.days,
+                &scratch.sensors,
+                &scratch.rcodes,
+                &scratch.counts,
+            ));
+        }
+        if !self.col_name.is_empty() {
+            f(self.tail_columns());
+        }
     }
 
     /// Iterates `(id, aggregate)` for every name with at least one NXDOMAIN
@@ -296,17 +523,23 @@ impl PassiveDb {
     /// (used by the parallel SIE ingest: shards intern independently, merge
     /// re-interns by string).
     pub fn merge(&mut self, other: &PassiveDb) {
-        for i in 0..other.row_count() {
-            let obs = other.row(i);
+        for obs in other.rows() {
             let name = other.interner.resolve(obs.name);
             let id = self.interner.intern_str(name);
             self.append(Observation { name: id, ..obs });
         }
     }
 
-    /// Approximate resident bytes of row storage (columns only).
+    /// Logical bytes of row storage in the uncompressed layout — the
+    /// "before" side of the compression ratio.
     pub fn row_bytes(&self) -> usize {
-        self.col_name.len() * (4 + 4 + 2 + 1 + 4)
+        self.row_count() * ROW_BYTES
+    }
+
+    /// Resident bytes of row storage: encoded sealed blocks plus the
+    /// uncompressed tail — the "after" side of the compression ratio.
+    pub fn compressed_bytes(&self) -> usize {
+        self.sealed_bytes + self.col_name.len() * ROW_BYTES
     }
 }
 
@@ -370,16 +603,72 @@ mod tests {
     }
 
     #[test]
+    fn sealed_blocks_preserve_rows_and_random_access() {
+        let mut compressed = PassiveDb::with_block_rows(8);
+        let mut flat = PassiveDb::uncompressed();
+        for i in 0..37u32 {
+            let name = format!("n{}.com", i % 11);
+            let rc = if i % 3 == 0 {
+                RCode::NxDomain
+            } else {
+                RCode::NoError
+            };
+            let sensor = u16::try_from(i % 4).unwrap();
+            compressed.record_str(&name, 100 + i, sensor, rc, i + 1);
+            flat.record_str(&name, 100 + i, sensor, rc, i + 1);
+        }
+        assert_eq!(compressed.sealed_blocks().len(), 4);
+        assert_eq!(compressed.row_count(), flat.row_count());
+        let a: Vec<_> = compressed.rows().collect();
+        let b: Vec<_> = flat.rows().collect();
+        assert_eq!(a, b);
+        for i in [0usize, 7, 8, 15, 31, 32, 36] {
+            assert_eq!(compressed.row(i), flat.row(i), "row {i}");
+        }
+        assert_eq!(compressed.row_bytes(), flat.row_bytes());
+        assert_eq!(flat.compressed_bytes(), flat.row_bytes());
+        assert!(compressed.compressed_bytes() > 0);
+    }
+
+    #[test]
+    fn scan_filter_skips_blocks_outside_zone_maps() {
+        let mut db = PassiveDb::with_block_rows(4);
+        for i in 0..8u32 {
+            // First block: days 100..104, all NoError. Second: 200..204, NX.
+            let (day, rc) = if i < 4 {
+                (100 + i, RCode::NoError)
+            } else {
+                (200 + i, RCode::NxDomain)
+            };
+            db.record_str(&format!("n{i}.com"), day, 0, rc, 1);
+        }
+        let mut chunks = 0;
+        db.for_each_block(&ScanFilter::all(), |_| chunks += 1);
+        assert_eq!(chunks, 2);
+        let mut nx_chunks = 0;
+        db.for_each_block(&ScanFilter::rcode(RCode::NxDomain.to_u8()), |cols| {
+            nx_chunks += 1;
+            assert!(cols.3.iter().all(|&rc| rc == RCode::NxDomain.to_u8()));
+        });
+        assert_eq!(nx_chunks, 1);
+        let mut day_chunks = 0;
+        db.for_each_block(&ScanFilter::day_range(0, 150), |_| day_chunks += 1);
+        assert_eq!(day_chunks, 1);
+    }
+
+    #[test]
     fn merge_reinterns() {
         let mut a = PassiveDb::new();
         a.record_str("x.com", 1, 0, RCode::NxDomain, 1);
-        let mut b = PassiveDb::new();
+        let mut b = PassiveDb::with_block_rows(2);
         b.record_str("y.com", 2, 1, RCode::NxDomain, 2);
         b.record_str("x.com", 3, 1, RCode::NxDomain, 4);
+        b.record_str("z.com", 4, 1, RCode::NoError, 8);
         a.merge(&b);
-        assert_eq!(a.distinct_names(), 2);
+        assert_eq!(a.distinct_names(), 3);
         assert_eq!(a.aggregate_of("x.com").unwrap().nx_queries, 5);
         assert_eq!(a.aggregate_of("y.com").unwrap().nx_queries, 2);
+        assert_eq!(a.aggregate_of("z.com").unwrap().total_queries, 8);
     }
 
     #[test]
@@ -389,7 +678,7 @@ mod tests {
     }
 
     #[test]
-    fn journal_heartbeat_fires_on_the_row_interval() {
+    fn journal_heartbeat_and_seal_fire_on_the_row_interval() {
         let mut db = PassiveDb::new();
         let journal = Journal::with_capacity(8);
         db.attach_journal(journal.clone());
@@ -407,12 +696,17 @@ mod tests {
         assert!(journal.is_empty(), "heartbeat fired early");
         db.append(obs);
         let events = journal.snapshot();
-        assert_eq!(events.len(), 1);
-        assert_eq!(events[0].component, "store");
-        assert!(events[0]
+        // Row 65,536 both heartbeats and seals the first block.
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.component == "store"));
+        assert!(events.iter().any(|e| e
             .fields
             .iter()
-            .any(|(k, v)| k == "rows" && v == &INGEST_HEARTBEAT_ROWS.to_string()));
+            .any(|(k, v)| k == "rows" && v == &INGEST_HEARTBEAT_ROWS.to_string())));
+        assert!(events.iter().any(|e| e.message == "block sealed"));
+        assert_eq!(db.sealed_blocks().len(), 1);
+        // One name repeated 64Ki times packs into ~1-byte-per-column codes.
+        assert!(db.compressed_bytes() * 3 < db.row_bytes());
     }
 
     #[test]
@@ -445,5 +739,26 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn byte_gauges_track_compression_live() {
+        let registry = Registry::new();
+        let mut db = PassiveDb::with_block_rows(16);
+        db.attach_metrics(&registry);
+        for i in 0..40u32 {
+            db.record_str(&format!("g{}.com", i % 4), 500 + i, 0, RCode::NxDomain, 1);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.gauge_value("passive_dns_store_bytes"),
+            Some(db.row_bytes() as i64)
+        );
+        assert_eq!(
+            snap.gauge_value("passive_dns_compressed_bytes"),
+            Some(db.compressed_bytes() as i64)
+        );
+        // Two sealed blocks of tiny dictionaries beat the flat layout.
+        assert!(db.compressed_bytes() < db.row_bytes());
     }
 }

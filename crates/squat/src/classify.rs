@@ -20,7 +20,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::OnceLock;
 
-use crate::edit::{bit_hamming, damerau_levenshtein_bounded, EditScratch};
+use crate::edit::{bit_hamming, within_one_edit, EditScratch};
 use crate::tables::{CHAR_GLYPHS, COMBO_KEYWORDS, DIGRAPH_GLYPHS, POPULAR_TARGETS};
 
 /// The five squat categories of Fig. 7.
@@ -283,15 +283,14 @@ impl SquatClassifier {
             // substitution/insertion/transposition)...
             if target.tld == tld
                 && label_chars.abs_diff(target.brand_chars) <= 1
-                && damerau_levenshtein_bounded(label, &target.brand, 1, &mut scratch.edit)
-                    == Some(1)
+                && within_one_edit(label, &target.brand, &mut scratch.edit) == Some(1)
             {
                 return self.found(SquatKind::Typo, idx);
             }
             // ...or same label with a one-edit TLD (`google.co`).
             if label == target.brand
                 && tld_chars.abs_diff(target.tld_chars) <= 1
-                && damerau_levenshtein_bounded(tld, &target.tld, 1, &mut scratch.edit) == Some(1)
+                && within_one_edit(tld, &target.tld, &mut scratch.edit) == Some(1)
             {
                 return self.found(SquatKind::Typo, idx);
             }

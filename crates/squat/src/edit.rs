@@ -93,6 +93,53 @@ pub fn damerau_levenshtein_bounded(
     (d <= max_dist).then_some(d)
 }
 
+/// Is the optimal-string-alignment distance between `a` and `b` at most 1?
+/// Returns the distance (`Some(0)` / `Some(1)`) or `None`, exactly like
+/// `damerau_levenshtein_bounded(a, b, 1, ..)` — property-tested equivalent
+/// in `tests/prop_squat.rs`.
+///
+/// This is the question the typo-squat scan asks for every (label, brand)
+/// pair, and at bound 1 the full band is overkill: a distance-≤1 pair is
+/// either equal, one substitution, one adjacent transposition, or one
+/// indel — all decidable from the longest common prefix and suffix, which
+/// the SWAR kernels find eight bytes per step. ASCII-only fast path (byte
+/// positions are char positions); anything else falls back to the banded
+/// matrix.
+pub fn within_one_edit(a: &str, b: &str, scratch: &mut EditScratch) -> Option<usize> {
+    let (x, y) = (a.as_bytes(), b.as_bytes());
+    if !nxd_swar::is_ascii(x) || !nxd_swar::is_ascii(y) {
+        return damerau_levenshtein_bounded(a, b, 1, scratch);
+    }
+    // Orient so x is the longer side.
+    let (x, y) = if x.len() >= y.len() { (x, y) } else { (y, x) };
+    let (n, m) = (x.len(), y.len());
+    if n - m > 1 {
+        return None;
+    }
+    if x == y {
+        return Some(0);
+    }
+    let p = nxd_swar::common_prefix_len(x, y);
+    let s = nxd_swar::common_suffix_len(x, y);
+    if n == m {
+        // One substitution: a single mismatching position, i.e. the prefix
+        // and suffix (which cannot overlap across the mismatch) cover all
+        // but one byte.
+        if p + s >= n - 1 {
+            return Some(1);
+        }
+        // One adjacent transposition: exactly two mismatching positions,
+        // adjacent and crosswise equal.
+        if p + s == n - 2 && x[p] == y[p + 1] && x[p + 1] == y[p] {
+            return Some(1);
+        }
+        return None;
+    }
+    // Lengths differ by one: a single indel iff prefix + suffix cover the
+    // whole shorter string.
+    (p + s >= m).then_some(1)
+}
+
 /// Damerau–Levenshtein distance (optimal string alignment variant):
 /// insertions, deletions, substitutions, and adjacent transpositions.
 pub fn damerau_levenshtein(a: &str, b: &str) -> usize {

@@ -25,7 +25,9 @@ pub mod idn;
 pub mod tables;
 
 pub use classify::{SquatClassifier, SquatKind, SquatMatch, SquatScratch};
-pub use edit::{bit_hamming, damerau_levenshtein, damerau_levenshtein_bounded, EditScratch};
+pub use edit::{
+    bit_hamming, damerau_levenshtein, damerau_levenshtein_bounded, within_one_edit, EditScratch,
+};
 pub use idn::{
     ascii_projection, classify_idn, idn_homosquats, punycode_decode, punycode_encode, to_ascii,
     to_unicode,

@@ -3,8 +3,8 @@
 //! behaves like a metric on the axes the classifier relies on.
 
 use nxd_squat::{
-    damerau_levenshtein, damerau_levenshtein_bounded, generate, EditScratch, SquatClassifier,
-    SquatScratch,
+    damerau_levenshtein, damerau_levenshtein_bounded, generate, within_one_edit, EditScratch,
+    SquatClassifier, SquatScratch,
 };
 use proptest::prelude::*;
 
@@ -83,5 +83,58 @@ proptest! {
             let mutated: String = mutated.into_iter().collect();
             prop_assert_eq!(damerau_levenshtein(&brand, &mutated), 1);
         }
+    }
+
+    /// The SWAR prefix/suffix decision procedure is exactly the banded
+    /// matrix at bound 1, for arbitrary ASCII pairs.
+    #[test]
+    fn within_one_edit_matches_banded_matrix(a in "[a-z0-9-]{0,12}", b in "[a-z0-9-]{0,12}") {
+        let mut scratch = EditScratch::default();
+        let want = damerau_levenshtein_bounded(&a, &b, 1, &mut scratch);
+        prop_assert_eq!(within_one_edit(&a, &b, &mut scratch), want, "{} vs {}", a, b);
+        prop_assert_eq!(within_one_edit(&b, &a, &mut scratch), want);
+    }
+
+    /// Same equivalence on non-ASCII inputs (the fallback path), where byte
+    /// positions and char positions diverge.
+    #[test]
+    fn within_one_edit_matches_on_multibyte(a in "[a-z\u{e0}-\u{e9}]{0,8}", b in "[a-z\u{e0}-\u{e9}]{0,8}") {
+        let mut scratch = EditScratch::default();
+        let want = damerau_levenshtein_bounded(&a, &b, 1, &mut scratch);
+        prop_assert_eq!(within_one_edit(&a, &b, &mut scratch), want, "{} vs {}", a, b);
+    }
+
+    /// Constructive single edits: substitution, indel, and adjacent
+    /// transposition on a shared stem are all reported as distance 1.
+    #[test]
+    fn within_one_edit_accepts_constructed_edits(stem in "[a-z]{4,10}", pos in 0usize..10, c in proptest::char::range('a', 'z')) {
+        let mut scratch = EditScratch::default();
+        let chars: Vec<char> = stem.chars().collect();
+        let pos = pos % chars.len();
+        // Substitution.
+        if chars[pos] != c {
+            let mut m = chars.clone();
+            m[pos] = c;
+            let m: String = m.iter().collect();
+            prop_assert_eq!(within_one_edit(&stem, &m, &mut scratch), Some(1), "sub {}", m);
+        }
+        // Deletion / insertion.
+        let mut del = chars.clone();
+        del.remove(pos);
+        let del: String = del.iter().collect();
+        prop_assert_eq!(within_one_edit(&stem, &del, &mut scratch), Some(1), "del {}", del);
+        let mut ins = chars.clone();
+        ins.insert(pos, c);
+        let ins: String = ins.iter().collect();
+        prop_assert_eq!(within_one_edit(&stem, &ins, &mut scratch), Some(1), "ins {}", ins);
+        // Adjacent transposition.
+        if pos + 1 < chars.len() && chars[pos] != chars[pos + 1] {
+            let mut tr = chars.clone();
+            tr.swap(pos, pos + 1);
+            let tr: String = tr.iter().collect();
+            prop_assert_eq!(within_one_edit(&stem, &tr, &mut scratch), Some(1), "tr {}", tr);
+        }
+        // Identity.
+        prop_assert_eq!(within_one_edit(&stem, &stem, &mut scratch), Some(0));
     }
 }

@@ -1,0 +1,89 @@
+//! Scalar-equivalence property tests: every SWAR kernel must agree with
+//! its byte-at-a-time reference on arbitrary inputs — including non-ASCII
+//! bytes, empty strings, and lengths that straddle the 8-byte lane
+//! boundary (the regex strategies below deliberately cover 0..=20 bytes).
+
+use nxd_swar as swar;
+use proptest::prelude::*;
+
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..21)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn is_ascii_matches_scalar(bytes in arb_bytes()) {
+        prop_assert_eq!(swar::is_ascii(&bytes), swar::scalar::is_ascii(&bytes));
+    }
+
+    #[test]
+    fn all_ascii_lowercase_matches_scalar(bytes in arb_bytes()) {
+        prop_assert_eq!(
+            swar::all_ascii_lowercase(&bytes),
+            swar::scalar::all_ascii_lowercase(&bytes)
+        );
+    }
+
+    #[test]
+    fn all_ascii_lowercase_on_labels(label in "[a-z0-9.-]{0,20}") {
+        prop_assert_eq!(
+            swar::all_ascii_lowercase(label.as_bytes()),
+            swar::scalar::all_ascii_lowercase(label.as_bytes())
+        );
+    }
+
+    #[test]
+    fn has_ascii_uppercase_matches_scalar(bytes in arb_bytes()) {
+        prop_assert_eq!(
+            swar::has_ascii_uppercase(&bytes),
+            swar::scalar::has_ascii_uppercase(&bytes)
+        );
+    }
+
+    #[test]
+    fn lowercase_into_matches_to_ascii_lowercase(s in "\\PC{0,20}") {
+        let mut buf = [0u8; 128];
+        let expect = swar::scalar::lowercase(&s);
+        prop_assert_eq!(swar::lowercase_into(&s, &mut buf), Some(expect.as_str()));
+    }
+
+    #[test]
+    fn count_digits_matches_scalar(bytes in arb_bytes()) {
+        prop_assert_eq!(swar::count_digits(&bytes), swar::scalar::count_digits(&bytes));
+    }
+
+    #[test]
+    fn count_vowels_matches_scalar(bytes in arb_bytes()) {
+        prop_assert_eq!(swar::count_vowels(&bytes), swar::scalar::count_vowels(&bytes));
+    }
+
+    #[test]
+    fn common_prefix_matches_scalar(a in arb_bytes(), b in arb_bytes()) {
+        prop_assert_eq!(
+            swar::common_prefix_len(&a, &b),
+            swar::scalar::common_prefix_len(&a, &b)
+        );
+    }
+
+    #[test]
+    fn common_suffix_matches_scalar(a in arb_bytes(), b in arb_bytes()) {
+        prop_assert_eq!(
+            swar::common_suffix_len(&a, &b),
+            swar::scalar::common_suffix_len(&a, &b)
+        );
+    }
+
+    #[test]
+    fn prefix_suffix_on_shared_stem(stem in "[a-z]{0,12}", ta in "[a-z]{0,6}", tb in "[a-z]{0,6}") {
+        // Strings built to share a real prefix: the kernel must report at
+        // least the constructed stem.
+        let a = format!("{stem}{ta}");
+        let b = format!("{stem}{tb}");
+        prop_assert!(swar::common_prefix_len(a.as_bytes(), b.as_bytes()) >= stem.len());
+        let c = format!("{ta}{stem}");
+        let d = format!("{tb}{stem}");
+        prop_assert!(swar::common_suffix_len(c.as_bytes(), d.as_bytes()) >= stem.len());
+    }
+}

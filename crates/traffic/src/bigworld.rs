@@ -1,0 +1,236 @@
+//! Feature-gated big-world generator for the `BENCH_6` compression/scan
+//! gate: a deterministic multi-million-name passive-DNS era that is far too
+//! large for the unit-test fixtures but cheap enough to synthesize inside a
+//! bench run.
+//!
+//! Unlike [`crate::era`], which routes every query through the registry and
+//! resolver for ground truth, this world is pure volume: a fixed name
+//! universe (DGA-shaped stems, brand typos, and junk suffixes in the §5.1
+//! proportions) streamed in day order so the columnar store's per-block
+//! zone maps see realistic monotone day ranges. Everything derives from the
+//! seed via splitmix64 — two calls with the same config produce an
+//! identical observation stream, which is what lets the bench assert the
+//! compressed sharded engine is bit-identical to the flat serial one
+//! before timing either.
+//!
+//! Compiled only with the `bigworld` cargo feature; the normal build and
+//! test tiers never pay for it.
+
+use nxd_dns_wire::RCode;
+use nxd_passive_dns::PassiveDb;
+
+/// Size and shape of the generated world.
+#[derive(Debug, Clone)]
+pub struct BigWorldConfig {
+    pub seed: u64,
+    /// Total observations to stream into the store.
+    pub rows: usize,
+    /// Distinct qnames in the universe (the default is multi-million).
+    pub names: usize,
+    /// Era length in days; rows are emitted in non-decreasing day order.
+    pub days: u32,
+    /// Sensor pool size.
+    pub sensors: u16,
+}
+
+impl Default for BigWorldConfig {
+    fn default() -> Self {
+        BigWorldConfig {
+            seed: 0xB16_0001,
+            rows: 6_000_000,
+            names: 2_000_000,
+            days: 1_461, // four years, same horizon as the era generator
+            sensors: 64,
+        }
+    }
+}
+
+impl BigWorldConfig {
+    /// The CI-sized world: same shape, two orders of magnitude smaller.
+    pub fn quick() -> Self {
+        BigWorldConfig {
+            rows: 500_000,
+            names: 150_000,
+            ..BigWorldConfig::default()
+        }
+    }
+
+    /// Default config honoring the bench environment: `NXD_BENCH_QUICK`
+    /// selects [`BigWorldConfig::quick`], and `NXD_BIGWORLD_ROWS` /
+    /// `NXD_BIGWORLD_NAMES` override the sizes for local experiments.
+    pub fn from_env() -> Self {
+        let mut cfg = if std::env::var_os("NXD_BENCH_QUICK").is_some() {
+            BigWorldConfig::quick()
+        } else {
+            BigWorldConfig::default()
+        };
+        if let Some(rows) = env_usize("NXD_BIGWORLD_ROWS") {
+            cfg.rows = rows.max(1);
+        }
+        if let Some(names) = env_usize("NXD_BIGWORLD_NAMES") {
+            cfg.names = names.max(1);
+        }
+        cfg
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const TLDS: [&str; 8] = ["com", "net", "org", "cn", "ru", "info", "biz", "io"];
+const BRANDS: [&str; 12] = [
+    "google",
+    "facebook",
+    "amazon",
+    "netflix",
+    "paypal",
+    "youtube",
+    "microsoft",
+    "apple",
+    "twitter",
+    "instagram",
+    "wikipedia",
+    "baidu",
+];
+const JUNK_SUFFIXES: [&str; 4] = ["localdomain", "lan", "corp", "home"];
+
+/// Deterministic name for universe slot `idx`: roughly two thirds
+/// DGA-shaped stems, a quarter brand typos, and the rest junk suffixes —
+/// the §5.1 skew, coarsely.
+fn name_for(idx: usize, seed: u64) -> String {
+    let mut h = seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let r = splitmix64(&mut h);
+    match idx % 12 {
+        0..=7 => {
+            // DGA-shaped: 12 pseudo-random lowercase letters.
+            let mut stem = String::with_capacity(16);
+            let mut v = r;
+            for _ in 0..12 {
+                stem.push(char::from(b'a' + u8::try_from(v % 26).unwrap_or(0)));
+                v /= 26;
+                if v == 0 {
+                    v = splitmix64(&mut h);
+                }
+            }
+            format!("{stem}.{}", TLDS[idx % TLDS.len()])
+        }
+        8..=10 => {
+            // Typo-shaped: a brand with one letter doubled, made distinct
+            // per slot by a numeric disambiguator.
+            let brand = BRANDS[idx % BRANDS.len()];
+            let pos = 1 + (r as usize) % (brand.len() - 1);
+            let double = &brand[pos - 1..pos];
+            format!(
+                "{}{double}{}{}.{}",
+                &brand[..pos],
+                &brand[pos..],
+                idx / 12,
+                TLDS[(r as usize) % TLDS.len()]
+            )
+        }
+        _ => {
+            // Junk: word mashup under a non-resolving suffix.
+            format!(
+                "printer-{}.{}",
+                idx / 12,
+                JUNK_SUFFIXES[(r as usize) % JUNK_SUFFIXES.len()]
+            )
+        }
+    }
+}
+
+/// Streams the configured world into `db` in non-decreasing day order.
+///
+/// Deterministic in `cfg`: calling this twice — e.g. once into a flat
+/// [`PassiveDb::uncompressed`] reference store and once into the default
+/// compressed layout — yields stores with identical logical contents, so
+/// benches can assert result parity before timing.
+pub fn populate(db: &mut PassiveDb, cfg: &BigWorldConfig) {
+    let names: Vec<String> = (0..cfg.names).map(|i| name_for(i, cfg.seed)).collect();
+    let mut rng = cfg.seed | 1;
+    let days = usize::try_from(cfg.days.max(1)).unwrap_or(1);
+    for i in 0..cfg.rows {
+        let r = splitmix64(&mut rng);
+        let name = &names[(r as usize) % names.len()];
+        // Monotone day schedule: row i lands on day floor(i * days / rows).
+        let day = 16_000 + u32::try_from(i * days / cfg.rows.max(1)).unwrap_or(0);
+        let sensor = u16::try_from((r >> 40) % u64::from(cfg.sensors.max(1))).unwrap_or(0);
+        let rcode = if r.is_multiple_of(10) {
+            RCode::NoError
+        } else {
+            RCode::NxDomain
+        };
+        let count = u32::try_from(1 + ((r >> 48) % 8)).unwrap_or(1);
+        db.record_str(name, day, sensor, rcode, count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BigWorldConfig {
+        BigWorldConfig {
+            rows: 8_192,
+            names: 400,
+            ..BigWorldConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_across_layouts() {
+        let cfg = tiny();
+        let mut flat = PassiveDb::uncompressed();
+        populate(&mut flat, &cfg);
+        let mut compressed = PassiveDb::with_block_rows(1024);
+        populate(&mut compressed, &cfg);
+        assert_eq!(flat.row_count(), cfg.rows);
+        assert_eq!(flat.row_count(), compressed.row_count());
+        assert_eq!(
+            flat.rows().collect::<Vec<_>>(),
+            compressed.rows().collect::<Vec<_>>()
+        );
+        // The compressed layout halves the footprint once blocks are big
+        // enough to amortize their name dictionaries; the production 64Ki
+        // block size is gated at the same ≤50% floor in BENCH_6.
+        assert!(compressed.compressed_bytes() * 2 < flat.row_bytes());
+    }
+
+    #[test]
+    fn days_are_monotone_and_span_the_era() {
+        let cfg = tiny();
+        let mut db = PassiveDb::uncompressed();
+        populate(&mut db, &cfg);
+        let days: Vec<u32> = db.rows().map(|o| o.day).collect();
+        assert!(days.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(days.first().copied(), Some(16_000));
+        assert!(days.last().copied() > Some(16_000 + cfg.days / 2));
+    }
+
+    #[test]
+    fn name_universe_mixes_families() {
+        let names: Vec<String> = (0..60).map(|i| name_for(i, 0xB16_0001)).collect();
+        assert!(names.iter().any(|n| n.ends_with(".localdomain")
+            || n.ends_with(".lan")
+            || n.ends_with(".corp")
+            || n.ends_with(".home")));
+        assert!(names.iter().any(|n| BRANDS
+            .iter()
+            .any(|b| n.len() > b.len() && n.contains(&b[..3]))));
+        let distinct: std::collections::BTreeSet<&str> = names.iter().map(String::as_str).collect();
+        assert_eq!(
+            distinct.len(),
+            names.len(),
+            "universe slots must be distinct"
+        );
+    }
+}

@@ -16,6 +16,8 @@
 //!   the transcribed Table 1 calibration targets.
 
 pub mod actors;
+#[cfg(feature = "bigworld")]
+pub mod bigworld;
 pub mod botnet;
 pub mod era;
 pub mod honeypot_era;

@@ -20,13 +20,30 @@ Two gates share this script:
         --group origin-pipeline --serial serial \
         --gated fused-4 fused-8
 
+* compressed columnar big-world engine (PR 8)::
+
+    bench_gate.py --input bench.txt --baseline BENCH_6.json \
+        --group bigworld --serial serial --gated fused-4 \
+        --min-speedup 2.0 \
+        --ratio-max 0.5 --ratio-numer bigworld/compressed-bytes \
+        --ratio-denom bigworld/row-bytes
+
 Defaults reproduce the PR 3 invocation, so the original positional form
 ``bench_gate.py <bench-output> [BENCH_4.json]`` still works.
 
-On a single-core runner a parallel engine cannot beat serial, so the gate
-is a *regression* bound, not a speedup requirement: the gated shard counts
-must stay within the tolerance of the serial time. A real regression — a
-merge gone quadratic, a lock serializing the fan-out — blows far past that.
+On a single-core runner a parallel engine cannot beat serial, so the
+default gate is a *regression* bound, not a speedup requirement: the gated
+shard counts must stay within the tolerance of the serial time. A real
+regression — a merge gone quadratic, a lock serializing the fan-out —
+blows far past that.
+
+``--min-speedup`` flips the semantics: the gated benches must be at least
+that many times *faster* than serial. The BENCH_6 gate uses it because the
+compressed engine answers whole-store scans from block summaries, which
+wins even on one core. ``--ratio-max`` adds an independent check on the
+quotient of two parsed metrics — BENCH_6 points it at the store's
+compressed vs raw byte counters (emitted as pseudo-bench lines) to enforce
+the compression floor.
 """
 
 import argparse
@@ -51,6 +68,15 @@ def parse_args(argv):
                         help="gated benches within the group")
     parser.add_argument("--tolerance", type=float, default=1.15,
                         help="max gated/serial time ratio")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="require serial/gated >= this factor instead of "
+                             "the tolerance bound")
+    parser.add_argument("--ratio-max", type=float, default=None,
+                        help="max allowed ratio-numer/ratio-denom value")
+    parser.add_argument("--ratio-numer", default=None,
+                        help="full bench name of the ratio numerator")
+    parser.add_argument("--ratio-denom", default=None,
+                        help="full bench name of the ratio denominator")
     args = parser.parse_args(argv)
     args.input = args.input_opt or args.input
     args.baseline = args.baseline or args.baseline_pos or "BENCH_4.json"
@@ -66,6 +92,11 @@ def main(argv) -> int:
 
     serial_name = f"{args.group}/{args.serial}"
     gated_names = [f"{args.group}/{g}" for g in args.gated]
+    ratio_check = args.ratio_max is not None
+    if ratio_check and not (args.ratio_numer and args.ratio_denom):
+        print("bench gate: --ratio-max needs --ratio-numer and --ratio-denom",
+              file=sys.stderr)
+        return 2
 
     results = {}
     with open(args.input) as fh:
@@ -74,28 +105,62 @@ def main(argv) -> int:
             if m:
                 results[m.group(1)] = int(m.group(2))
 
-    missing = [n for n in [serial_name, *gated_names] if n not in results]
+    required = [serial_name, *gated_names]
+    if ratio_check:
+        required += [args.ratio_numer, args.ratio_denom]
+    missing = [n for n in required if n not in results]
     if missing:
         print(f"bench gate: missing results for {missing}; got {sorted(results)}",
               file=sys.stderr)
         return 2
 
+    speedup_mode = args.min_speedup is not None
     report = {
+        "mode": "min-speedup" if speedup_mode else "tolerance",
         "tolerance": args.tolerance,
         "serial_ns": results[serial_name],
         "results_ns": results,
         "gate": [],
     }
+    if speedup_mode:
+        report["min_speedup"] = args.min_speedup
     serial = results[serial_name]
     failed = False
     for name in gated_names:
         ratio = results[name] / serial
-        ok = ratio <= args.tolerance
-        report["gate"].append({"name": name, "ns": results[name],
-                               "ratio_vs_serial": round(ratio, 4), "ok": ok})
-        status = "ok" if ok else "REGRESSED"
-        print(f"{name}: {results[name]} ns vs serial {serial} ns "
-              f"(x{ratio:.3f}, limit x{args.tolerance}) {status}")
+        entry = {"name": name, "ns": results[name],
+                 "ratio_vs_serial": round(ratio, 4)}
+        if speedup_mode:
+            speedup = serial / results[name]
+            ok = speedup >= args.min_speedup
+            entry["speedup_vs_serial"] = round(speedup, 4)
+            status = "ok" if ok else "TOO SLOW"
+            print(f"{name}: {results[name]} ns vs serial {serial} ns "
+                  f"({speedup:.2f}x speedup, need >= {args.min_speedup}x) "
+                  f"{status}")
+        else:
+            ok = ratio <= args.tolerance
+            status = "ok" if ok else "REGRESSED"
+            print(f"{name}: {results[name]} ns vs serial {serial} ns "
+                  f"(x{ratio:.3f}, limit x{args.tolerance}) {status}")
+        entry["ok"] = ok
+        report["gate"].append(entry)
+        failed |= not ok
+
+    if ratio_check:
+        numer, denom = results[args.ratio_numer], results[args.ratio_denom]
+        if denom == 0:
+            print(f"bench gate: ratio denominator {args.ratio_denom} is zero",
+                  file=sys.stderr)
+            return 2
+        value = numer / denom
+        ok = value <= args.ratio_max
+        report["ratio"] = {"numer": args.ratio_numer, "denom": args.ratio_denom,
+                           "value": round(value, 4), "max": args.ratio_max,
+                           "ok": ok}
+        status = "ok" if ok else "OVER LIMIT"
+        print(f"{args.ratio_numer}/{args.ratio_denom}: {numer}/{denom} = "
+              f"{value:.3f} (limit {args.ratio_max}) {status}")
         failed |= not ok
 
     with open(args.baseline, "w") as fh:

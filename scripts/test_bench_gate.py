@@ -120,6 +120,87 @@ class BenchGateTest(unittest.TestCase):
         report = self.read_json(baseline)
         self.assertEqual(len(report["results_ns"]), 3)
 
+    def bench6_input(self, serial=100, fused4=40, fused8=60,
+                     raw_bytes=7_500_000, comp_bytes=3_300_000):
+        return self.write_input(
+            bench_lines("bigworld", serial=serial,
+                        **{"fused-4": fused4, "fused-8": fused8})
+            + f"bench bigworld/row-bytes {raw_bytes} ns/iter\n"
+            + f"bench bigworld/compressed-bytes {comp_bytes} ns/iter\n"
+        )
+
+    def bench6_args(self, inp, baseline):
+        return [
+            "--input", inp, "--baseline", baseline,
+            "--group", "bigworld", "--serial", "serial",
+            "--gated", "fused-4",
+            "--min-speedup", "2.0",
+            "--ratio-max", "0.5",
+            "--ratio-numer", "bigworld/compressed-bytes",
+            "--ratio-denom", "bigworld/row-bytes",
+        ]
+
+    def test_min_speedup_mode_passes_when_fast_enough(self):
+        inp = self.bench6_input(serial=100, fused4=40)
+        baseline = self.path("BENCH_6.json")
+        self.assertEqual(bench_gate.main(self.bench6_args(inp, baseline)), 0)
+        report = self.read_json(baseline)
+        self.assertEqual(report["mode"], "min-speedup")
+        self.assertEqual(report["min_speedup"], 2.0)
+        gate = {g["name"]: g for g in report["gate"]}
+        self.assertEqual(gate["bigworld/fused-4"]["speedup_vs_serial"], 2.5)
+        self.assertTrue(gate["bigworld/fused-4"]["ok"])
+        self.assertTrue(report["ratio"]["ok"])
+
+    def test_min_speedup_mode_fails_when_too_slow(self):
+        # 100/60 = 1.67x < 2x required.
+        inp = self.bench6_input(serial=100, fused4=60)
+        baseline = self.path("BENCH_6.json")
+        self.assertEqual(bench_gate.main(self.bench6_args(inp, baseline)), 1)
+        report = self.read_json(baseline)
+        self.assertFalse(report["gate"][0]["ok"])
+
+    def test_ratio_over_limit_fails_even_with_good_speedup(self):
+        # 60% compressed footprint blows the 50% floor.
+        inp = self.bench6_input(serial=100, fused4=40,
+                                raw_bytes=1_000_000, comp_bytes=600_000)
+        baseline = self.path("BENCH_6.json")
+        self.assertEqual(bench_gate.main(self.bench6_args(inp, baseline)), 1)
+        report = self.read_json(baseline)
+        self.assertTrue(report["gate"][0]["ok"])
+        self.assertFalse(report["ratio"]["ok"])
+        self.assertEqual(report["ratio"]["value"], 0.6)
+
+    def test_ratio_requires_both_metric_names(self):
+        inp = self.bench6_input()
+        code = bench_gate.main(
+            ["--input", inp, "--baseline", self.path("BENCH_6.json"),
+             "--group", "bigworld", "--serial", "serial",
+             "--gated", "fused-4", "--ratio-max", "0.5"]
+        )
+        self.assertEqual(code, 2)
+
+    def test_missing_ratio_metric_exits_2(self):
+        inp = self.write_input(
+            bench_lines("bigworld", serial=100, **{"fused-4": 40})
+        )
+        code = bench_gate.main(self.bench6_args(inp, self.path("BENCH_6.json")))
+        self.assertEqual(code, 2)
+
+    def test_tolerance_mode_report_keeps_legacy_shape(self):
+        # The PR 3/4 gates must still read the same fields.
+        inp = self.write_input(
+            bench_lines(
+                "passive-shard-large", serial=1000, **{"sharded-4": 1100, "sharded-8": 900}
+            )
+        )
+        baseline = self.path("BENCH_4.json")
+        self.assertEqual(bench_gate.main([inp, baseline]), 0)
+        report = self.read_json(baseline)
+        self.assertEqual(report["mode"], "tolerance")
+        self.assertNotIn("ratio", report)
+        self.assertNotIn("min_speedup", report)
+
 
 if __name__ == "__main__":
     unittest.main()
