@@ -10,7 +10,7 @@
 //!
 //! Experiments: scalars fig3 fig4 fig5 fig6 fig7 fig8 table1 fig10 fig12
 //! fig13 fig14 fig15 filter hijack selection detector sinkhole federation
-//! exposure market analyzer lint scale-parallel origin-parallel
+//! exposure market analyzer lint scale-parallel origin-parallel serve-load
 //!
 //! Observability flags:
 //!
@@ -30,6 +30,16 @@
 //!   and `/snapshot.json` update live while experiments run; `/readyz`
 //!   flips to 200 once the first experiment completes. The bound address
 //!   is printed on stderr.
+//! * `--serve-dns <addr>` — bind the live DNS front-end (nxd-serve) on
+//!   `addr` (UDP+TCP on the same port; port 0 for ephemeral) over the
+//!   serve world's authoritative hierarchy, and keep it answering real
+//!   wire queries while the experiments run. Combine with `--serve` to
+//!   watch `serve_*` counters and latency histograms live on `/metrics`;
+//!   point a stub resolver (`dig`, or `nxdctl dns`) at the printed
+//!   address. Every NXDOMAIN it answers lands in a passive-DNS sensor
+//!   database whose row count is reported on shutdown. After the
+//!   experiments finish the front-end keeps serving until you press
+//!   Enter (or stdin reaches EOF, so piped/CI runs exit immediately).
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -101,6 +111,7 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut shards: Option<usize> = None;
     let mut serve: Option<String> = None;
+    let mut serve_dns: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(arg) = raw.next() {
@@ -108,6 +119,9 @@ fn main() {
             "--metrics" => metrics = true,
             "--serve" => {
                 serve = Some(raw.next().expect("--serve needs a listen address"));
+            }
+            "--serve-dns" => {
+                serve_dns = Some(raw.next().expect("--serve-dns needs a listen address"));
             }
             "--metrics-json" => {
                 metrics_json = Some(raw.next().expect("--metrics-json needs a file path"));
@@ -153,6 +167,7 @@ fn main() {
             "lint",
             "scale-parallel",
             "origin-parallel",
+            "serve-load",
         ]
         .into_iter()
         .map(String::from)
@@ -167,6 +182,24 @@ fn main() {
             server.local_addr()
         );
         server
+    });
+    let dns_front = serve_dns.map(|addr| {
+        let world = nxd_serve::build_world(&nxd_serve::WorldConfig::default());
+        let front = nxd_serve::DnsServer::bind(
+            &addr as &str,
+            world.dns.clone(),
+            telemetry.clone(),
+            nxd_serve::ServeConfig {
+                day: world.day,
+                ..nxd_serve::ServeConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("--serve-dns {addr}: {e}"));
+        eprintln!(
+            "[repro] dns front-end listening on {} (udp+tcp)",
+            front.local_addr()
+        );
+        front
     });
     let mut worlds = Worlds::new(&telemetry);
     for exp in &experiments {
@@ -198,6 +231,7 @@ fn main() {
             "lint" => lint_exp(),
             "scale-parallel" => scale_parallel_exp(&mut worlds, shards),
             "origin-parallel" => origin_parallel_exp(&mut worlds, shards),
+            "serve-load" => serve_load_exp(&telemetry),
             other => eprintln!(
                 "[repro] unknown experiment {other:?} (see --help text in the doc comment)"
             ),
@@ -228,6 +262,23 @@ fn main() {
         let trace = telemetry.tracer.to_chrome_trace();
         std::fs::write(&path, trace).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("[repro] wrote Chrome trace to {path}");
+    }
+    if let Some(front) = dns_front {
+        // Hold the front-end open for interactive use: the README's
+        // two-terminal workflow points `nxdctl dns` here after the
+        // experiments finish. A piped stdin (CI) is already at EOF, so
+        // `read_line` returns immediately and the run stays batch-shaped.
+        eprintln!(
+            "[repro] dns front-end still serving on {} — press Enter to stop",
+            front.local_addr()
+        );
+        let mut line = String::new();
+        let _ = std::io::stdin().read_line(&mut line);
+        let db = front.shutdown();
+        eprintln!(
+            "[repro] dns front-end ingested {} passive-DNS rows",
+            db.row_count()
+        );
     }
     if let Some(server) = server {
         server.shutdown();
@@ -1078,6 +1129,64 @@ fn analyzer_exp() {
         "ablation (negative_cache off): {} requery-inside-negative-ttl violations in 20 queries",
         ablation_report.high_count()
     );
+}
+
+fn serve_load_exp(telemetry: &Arc<Telemetry>) {
+    use nxd_dns_wire::RCode;
+
+    heading("E-SERVE-LOAD — live DNS front-end vs offline ingest (§3 sensor path)");
+    let world = nxd_serve::build_world(&nxd_serve::WorldConfig::default());
+    let front = nxd_serve::DnsServer::bind(
+        "127.0.0.1:0",
+        world.dns.clone(),
+        telemetry.clone(),
+        nxd_serve::ServeConfig {
+            day: world.day,
+            ..nxd_serve::ServeConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("serve-load bind: {e}"));
+    eprintln!("[repro] serve-load front-end on {}", front.local_addr());
+    let report = nxd_serve::loadgen::run(
+        front.local_addr(),
+        &world,
+        &nxd_serve::LoadConfig::default(),
+        telemetry,
+    )
+    .unwrap_or_else(|e| panic!("serve-load fleet: {e}"));
+    let served = front.shutdown();
+
+    assert_eq!(report.failures, 0, "unanswered queries: {report:?}");
+    let offline = nxd_serve::offline_reference(&world, world.day, 0);
+    nxd_serve::ingest_parity(&served, &offline)
+        .unwrap_or_else(|e| panic!("served/offline ingest diverged: {e}"));
+
+    println!(
+        "{} queries ({} udp, {} tcp) answered at {:.0} qps, {} retransmits",
+        commas(report.queries),
+        commas(report.udp_queries),
+        commas(report.tcp_queries),
+        report.qps(),
+        commas(report.retransmits),
+    );
+    let rows: Vec<Vec<String>> = report
+        .rcodes
+        .iter()
+        .map(|(&code, &n)| vec![format!("{:?}", RCode::from_u8(code)), commas(n)])
+        .collect();
+    print!("{}", table(&["rcode", "responses"], &rows));
+    let p50 = report.latency.quantile(0.5).unwrap_or(0);
+    let p99 = report.latency.quantile(0.99).unwrap_or(0);
+    println!(
+        "per-query latency: p50 {}ns, p99 {}ns",
+        commas(p50),
+        commas(p99)
+    );
+    println!(
+        "served-ingest ≡ offline-ingest over {} passive-DNS rows",
+        commas(served.row_count() as u64)
+    );
+    println!("paper §3: live sensors stream NXDOMAINs into the passive-DNS plane — reproduced");
 }
 
 fn lint_exp() {

@@ -142,6 +142,7 @@ pub fn rules() -> Vec<Rule> {
                     "crates/telemetry/src/histogram.rs",
                     "crates/telemetry/src/export.rs",
                     "crates/telemetry/src/journal.rs",
+                    "crates/serve/src/sink.rs",
                 ],
                 exclude: &[],
             },
@@ -158,6 +159,8 @@ pub fn rules() -> Vec<Rule> {
                     "crates/whois/src/lib.rs",
                     "crates/obs/src/http.rs",
                     "crates/obs/src/client.rs",
+                    "crates/serve/src/frame.rs",
+                    "crates/serve/src/client.rs",
                 ],
                 exclude: &[],
             },
@@ -191,6 +194,7 @@ pub fn rules() -> Vec<Rule> {
                     "crates/telemetry/src/metrics.rs",
                     "crates/telemetry/src/histogram.rs",
                     "crates/telemetry/src/journal.rs",
+                    "crates/serve/src/sink.rs",
                 ],
                 exclude: &[],
             },

@@ -1,0 +1,179 @@
+//! The passive-DNS sensor channel: every answered query streams one
+//! [`SensorEvent`] from the worker that served it into a single collector
+//! thread owning a [`PassiveDb`] — the same store the offline pipeline
+//! ingests into, so a served run is queryable by every §4/§5 analysis.
+//!
+//! ## Exactness under UDP retries
+//!
+//! A stub resolver that loses a response retransmits the same query; the
+//! server answers again and the sink would see the event twice. To keep a
+//! served run's aggregates *exactly* equal to the offline batch ingest of
+//! the same query list, UDP events are deduplicated on
+//! (peer address, query id, qname) — load clients stamp a fresh id per
+//! query, so a duplicate key can only be a retransmission. TCP delivers
+//! each pipelined query exactly once, so TCP events are recorded as-is.
+//!
+//! This module is in the NXL001/NXL004 scopes: the dedup set is a
+//! `BTreeSet` and all tallies are integral, so nothing about the served
+//! database depends on arrival order.
+
+use std::collections::BTreeSet;
+use std::net::SocketAddr;
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use nxd_dns_wire::RCode;
+use nxd_passive_dns::PassiveDb;
+use nxd_telemetry::Telemetry;
+
+/// How the query arrived; decides whether the dedup filter applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorTransport {
+    Udp,
+    Tcp,
+}
+
+/// One served response, as the sensor sees it.
+#[derive(Debug, Clone)]
+pub struct SensorEvent {
+    pub peer: SocketAddr,
+    pub query_id: u16,
+    pub name: String,
+    pub rcode: RCode,
+    pub transport: SensorTransport,
+}
+
+/// Events the channel buffers before workers block in `send` — sized so a
+/// slow collector exerts backpressure instead of growing without bound.
+const SINK_DEPTH: usize = 1024;
+
+/// A running sensor channel: clone [`SensorChannel::sender`] into each
+/// worker, then [`SensorChannel::finish`] after the workers are joined to
+/// collect the served database.
+pub struct SensorChannel {
+    tx: Option<SyncSender<SensorEvent>>,
+    collector: Option<JoinHandle<PassiveDb>>,
+}
+
+impl SensorChannel {
+    /// Spawns the collector thread. Served rows land on `day`/`sensor`
+    /// (one live front-end is one sensor in the federation model), and the
+    /// database's ingest metrics attach to `telemetry` under
+    /// `plane="served"` labels.
+    pub fn spawn(day: u32, sensor: u16, telemetry: Arc<Telemetry>) -> Self {
+        let (tx, rx) = mpsc::sync_channel(SINK_DEPTH);
+        let collector = spawn_collector(move || collect(rx, day, sensor, &telemetry));
+        SensorChannel {
+            tx: Some(tx),
+            collector: Some(collector),
+        }
+    }
+
+    /// A sender handle for one worker thread.
+    pub fn sender(&self) -> Option<SyncSender<SensorEvent>> {
+        self.tx.clone()
+    }
+
+    /// Drops this side's sender and joins the collector. Callers must drop
+    /// (join) every worker first, or this blocks until they exit.
+    pub fn finish(mut self) -> PassiveDb {
+        self.tx = None;
+        match self.collector.take() {
+            Some(handle) => handle.join().unwrap_or_default(),
+            None => PassiveDb::default(),
+        }
+    }
+}
+
+/// The sink's sanctioned detached-spawn site: the collector must outlive
+/// `SensorChannel::spawn`, its handle is joined in `finish`, and a
+/// collector panic degrades to an empty database rather than dying
+/// silently — the invariant NXL005 protects holds by other means.
+fn spawn_collector(f: impl FnOnce() -> PassiveDb + Send + 'static) -> JoinHandle<PassiveDb> {
+    std::thread::spawn(f) // nxd-lint: allow(NXL005, reason="collector outlives spawn(); handle joined in finish(); a panic surfaces as an empty served database and a telemetry gap, not a silent death")
+}
+
+fn collect(rx: Receiver<SensorEvent>, day: u32, sensor: u16, telemetry: &Telemetry) -> PassiveDb {
+    let mut db = PassiveDb::new();
+    db.attach_metrics_labeled(&telemetry.registry, &[("plane", "served")]);
+    let duplicates = telemetry.registry.counter("serve_sink_duplicates_total");
+    let recorded = telemetry.registry.counter("serve_sink_recorded_total");
+    let mut seen: BTreeSet<(SocketAddr, u16, String)> = BTreeSet::new();
+    while let Ok(event) = rx.recv() {
+        if event.transport == SensorTransport::Udp
+            && !seen.insert((event.peer, event.query_id, event.name.clone()))
+        {
+            duplicates.inc();
+            continue;
+        }
+        db.record_str(&event.name, day, sensor, event.rcode, 1);
+        recorded.inc();
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nxd_passive_dns::query;
+
+    fn event(port: u16, id: u16, name: &str, transport: SensorTransport) -> SensorEvent {
+        SensorEvent {
+            peer: format!("127.0.0.1:{port}").parse().unwrap(),
+            query_id: id,
+            name: name.to_string(),
+            rcode: RCode::NxDomain,
+            transport,
+        }
+    }
+
+    #[test]
+    fn udp_retransmissions_are_deduplicated() {
+        let telemetry = Arc::new(Telemetry::wall());
+        let channel = SensorChannel::spawn(10, 3, telemetry.clone());
+        let tx = channel.sender().unwrap();
+        tx.send(event(4000, 7, "a.com", SensorTransport::Udp))
+            .unwrap();
+        tx.send(event(4000, 7, "a.com", SensorTransport::Udp))
+            .unwrap(); // retransmit
+        tx.send(event(4000, 8, "a.com", SensorTransport::Udp))
+            .unwrap(); // fresh id
+        tx.send(event(4001, 7, "a.com", SensorTransport::Udp))
+            .unwrap(); // other client
+        drop(tx);
+        let db = channel.finish();
+        assert_eq!(db.row_count(), 3);
+        assert_eq!(query::total_nx_responses(&db), 3);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter_total("serve_sink_duplicates_total"), 1);
+        assert_eq!(snap.counter_total("serve_sink_recorded_total"), 3);
+    }
+
+    #[test]
+    fn tcp_events_are_recorded_verbatim() {
+        let telemetry = Arc::new(Telemetry::wall());
+        let channel = SensorChannel::spawn(10, 0, telemetry);
+        let tx = channel.sender().unwrap();
+        tx.send(event(5000, 1, "b.net", SensorTransport::Tcp))
+            .unwrap();
+        tx.send(event(5000, 1, "b.net", SensorTransport::Tcp))
+            .unwrap();
+        drop(tx);
+        let db = channel.finish();
+        assert_eq!(db.row_count(), 2);
+    }
+
+    #[test]
+    fn rows_land_on_the_configured_day_and_sensor() {
+        let telemetry = Arc::new(Telemetry::wall());
+        let channel = SensorChannel::spawn(123, 9, telemetry);
+        let tx = channel.sender().unwrap();
+        tx.send(event(6000, 2, "c.org", SensorTransport::Udp))
+            .unwrap();
+        drop(tx);
+        let db = channel.finish();
+        let row = db.row(0);
+        assert_eq!((row.day, row.sensor, row.count), (123, 9, 1));
+    }
+}

@@ -1,0 +1,341 @@
+//! A servable world from nxd-traffic era specs, and the served≡offline
+//! ingest-parity check.
+//!
+//! [`build_world`] replays the era generator's deterministic name universe
+//! ([`nxd_traffic::replay_specs`]) into a live hierarchy: expired-panel
+//! names are *registered* (their apex/www answer NOERROR, unknown children
+//! NXDOMAIN from the authoritative zone), everything else resolves to
+//! NXDOMAIN at its TLD — or REFUSED-free NXDOMAIN at the root for TLDs
+//! outside the hierarchy, exactly like the offline resolver. The query
+//! list mixes those outcomes so a load run exercises every rcode path.
+//!
+//! [`offline_reference`] batch-ingests the same query list through the
+//! same [`answer`] path the server uses, and [`ingest_parity`] asserts the
+//! two databases agree as exact multisets of
+//! (name, rcode, day, sensor) → count.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use nxd_dns_sim::{SimDns, SimTime};
+use nxd_dns_wire::{Message, Name, RType};
+use nxd_passive_dns::PassiveDb;
+use nxd_traffic::{replay_specs, EraConfig};
+
+use crate::server::answer;
+
+/// Sizing for a servable world.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    pub seed: u64,
+    /// Never-registered era names (NXDOMAIN at TLD or root).
+    pub nx_names: usize,
+    /// Expired-panel names registered live (NOERROR/NODATA answers).
+    pub registered: usize,
+    /// Wire queries in the replay list.
+    pub queries: usize,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 0xD1A1,
+            nx_names: 1_200,
+            registered: 120,
+            queries: 6_000,
+        }
+    }
+}
+
+/// A hierarchy plus a pre-encoded query list to replay against it.
+pub struct ServeWorld {
+    pub dns: Arc<SimDns>,
+    /// Encoded wire queries. Load clients re-stamp the id per socket, so
+    /// the ids here are placeholders.
+    pub queries: Vec<Vec<u8>>,
+    /// Day number served rows should land on (pass into
+    /// [`ServeConfig::day`](crate::ServeConfig) and [`offline_reference`]).
+    pub day: u32,
+}
+
+/// Splitmix-style deterministic generator — the world must not depend on
+/// the vendored `rand` so serve stays a pure std crate.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Builds the hierarchy and query list for `config`. Deterministic: same
+/// config, same world, byte for byte.
+pub fn build_world(config: &WorldConfig) -> ServeWorld {
+    let era = EraConfig {
+        seed: config.seed,
+        nx_names: config.nx_names,
+        expired_panel: config.registered,
+        resolver_checks: 0,
+    };
+    let specs = replay_specs(&era);
+
+    let mut dns = SimDns::with_popular_tlds(SimTime::ERA_START);
+    let mut registered: Vec<Name> = Vec::new();
+    let mut nx: Vec<Name> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let Ok(name) = spec.name.parse::<Name>() else {
+            continue;
+        };
+        if spec.expired {
+            // Live enough for the whole replay: the era panel's *expiry*
+            // dynamics stay an offline concern; here the panel is simply
+            // the registered stratum of the name universe.
+            if dns
+                .register_domain(
+                    &name,
+                    &format!("owner-{i}"),
+                    "serve-registrar",
+                    10,
+                    Ipv4Addr::new(198, 51, 100, 7),
+                )
+                .is_ok()
+            {
+                registered.push(name);
+            }
+        } else {
+            nx.push(name);
+        }
+    }
+
+    let mut rng = Mix(config.seed | 1);
+    let mut queries = Vec::with_capacity(config.queries);
+    while queries.len() < config.queries {
+        let (qname, rtype) = if !registered.is_empty() && rng.below(100) < 35 {
+            let name = &registered[rng.below(registered.len())];
+            match rng.below(100) {
+                // NOERROR with an answer: apex and www A records exist.
+                0..=39 => (name.clone(), RType::A),
+                40..=64 => match name.child("www") {
+                    Ok(www) => (www, RType::A),
+                    Err(_) => (name.clone(), RType::A),
+                },
+                // NODATA: the zone exists, no MX record does.
+                65..=84 => (name.clone(), RType::Mx),
+                // NXDOMAIN *from the authoritative zone* (unknown child).
+                _ => match name.child("ghost") {
+                    Ok(ghost) => (ghost, RType::A),
+                    Err(_) => (name.clone(), RType::A),
+                },
+            }
+        } else if !nx.is_empty() {
+            // NXDOMAIN from the TLD (or the root for unknown TLDs).
+            (nx[rng.below(nx.len())].clone(), RType::A)
+        } else {
+            break;
+        };
+        let id = queries.len() as u16;
+        if let Ok(wire) = Message::query(id, qname, rtype).encode() {
+            queries.push(wire);
+        }
+    }
+
+    ServeWorld {
+        dns: Arc::new(dns),
+        queries,
+        day: SimTime::ERA_START.day_number() as u32,
+    }
+}
+
+/// The offline batch ingest of `world.queries`: one row per answered
+/// query, through the same [`answer`] path the live workers use.
+pub fn offline_reference(world: &ServeWorld, day: u32, sensor: u16) -> PassiveDb {
+    let mut db = PassiveDb::new();
+    for wire in &world.queries {
+        if let Some(answered) = answer(&world.dns, wire) {
+            if let Some((_id, name)) = answered.question {
+                db.record_str(&name, day, sensor, answered.rcode, 1);
+            }
+        }
+    }
+    db
+}
+
+/// A served-vs-offline ingest divergence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParityError {
+    pub name: String,
+    pub rcode: u8,
+    pub served: u64,
+    pub offline: u64,
+}
+
+impl std::fmt::Display for ParityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ingest parity violated for {} (rcode {}): served {} rows, offline {}",
+            self.name, self.rcode, self.served, self.offline
+        )
+    }
+}
+
+impl std::error::Error for ParityError {}
+
+fn keyed_rows(db: &PassiveDb) -> BTreeMap<(String, u8, u32, u16), u64> {
+    let mut rows = BTreeMap::new();
+    for obs in db.rows() {
+        let name = db.interner().resolve(obs.name).to_string();
+        *rows
+            .entry((name, obs.rcode, obs.day, obs.sensor))
+            .or_insert(0u64) += u64::from(obs.count);
+    }
+    rows
+}
+
+/// Asserts the two databases hold the same multiset of
+/// (name, rcode, day, sensor) → count. The first divergence (in BTree
+/// order) becomes the error.
+pub fn ingest_parity(served: &PassiveDb, offline: &PassiveDb) -> Result<(), ParityError> {
+    let served_rows = keyed_rows(served);
+    let offline_rows = keyed_rows(offline);
+    if served_rows == offline_rows {
+        return Ok(());
+    }
+    for (key, &want) in &offline_rows {
+        let got = served_rows.get(key).copied().unwrap_or(0);
+        if got != want {
+            return Err(ParityError {
+                name: key.0.clone(),
+                rcode: key.1,
+                served: got,
+                offline: want,
+            });
+        }
+    }
+    for (key, &got) in &served_rows {
+        if !offline_rows.contains_key(key) {
+            return Err(ParityError {
+                name: key.0.clone(),
+                rcode: key.1,
+                served: got,
+                offline: 0,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nxd_dns_wire::RCode;
+
+    fn small() -> WorldConfig {
+        WorldConfig {
+            nx_names: 80,
+            registered: 12,
+            queries: 400,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn world_is_deterministic() {
+        let a = build_world(&small());
+        let b = build_world(&small());
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.day, b.day);
+    }
+
+    #[test]
+    fn query_mix_covers_every_rcode_path() {
+        let world = build_world(&small());
+        assert_eq!(world.queries.len(), 400);
+        let mut noerror = 0;
+        let mut nxdomain = 0;
+        let mut nodata = 0;
+        for wire in &world.queries {
+            let answered = answer(&world.dns, wire).unwrap();
+            match answered.rcode {
+                RCode::NoError => {
+                    let msg = Message::decode(&answered.wire).unwrap();
+                    if msg.answers.is_empty() {
+                        nodata += 1;
+                    } else {
+                        noerror += 1;
+                    }
+                }
+                RCode::NxDomain => nxdomain += 1,
+                other => panic!("unexpected rcode {other:?}"),
+            }
+        }
+        assert!(noerror > 0, "no NOERROR answers");
+        assert!(nodata > 0, "no NODATA answers");
+        assert!(nxdomain > 0, "no NXDOMAIN answers");
+        assert!(
+            nxdomain > noerror,
+            "an NXDomain study world should skew NX ({nxdomain} vs {noerror})"
+        );
+    }
+
+    #[test]
+    fn offline_reference_counts_every_query_once() {
+        let world = build_world(&small());
+        let db = offline_reference(&world, world.day, 0);
+        assert_eq!(db.row_count(), world.queries.len());
+    }
+
+    #[test]
+    fn parity_detects_missing_and_extra_rows() {
+        let world = build_world(&small());
+        let reference = offline_reference(&world, world.day, 0);
+        assert!(ingest_parity(&reference, &reference).is_ok());
+
+        let mut short = PassiveDb::new();
+        let mut first = true;
+        for obs in reference.rows() {
+            if first {
+                first = false;
+                continue;
+            }
+            let name = reference.interner().resolve(obs.name).to_string();
+            short.record_str(
+                &name,
+                obs.day,
+                obs.sensor,
+                RCode::from_u8(obs.rcode),
+                obs.count,
+            );
+        }
+        let err = ingest_parity(&short, &reference).unwrap_err();
+        assert_eq!(err.served + 1, err.offline);
+
+        let mut extra = PassiveDb::new();
+        for obs in reference.rows() {
+            let name = reference.interner().resolve(obs.name).to_string();
+            extra.record_str(
+                &name,
+                obs.day,
+                obs.sensor,
+                RCode::from_u8(obs.rcode),
+                obs.count,
+            );
+        }
+        extra.record_str("phantom.example", world.day, 0, RCode::NxDomain, 1);
+        let err = ingest_parity(&extra, &reference).unwrap_err();
+        assert_eq!(err.name, "phantom.example");
+        assert_eq!(err.offline, 0);
+    }
+}

@@ -80,6 +80,37 @@ pub struct EraWorld {
     pub consistency: (usize, usize),
 }
 
+/// One era name as the live front-end's load driver replays it: just the
+/// name and whether it belongs to the expired panel (and so should be
+/// *registered* in the serving hierarchy, answering NOERROR while active).
+///
+/// This is the deterministic spec stream [`generate`] builds internally,
+/// stripped of the emission schedule: `nxd-serve`'s loadgen turns each spec
+/// into real wire queries instead of synthetic [`PassiveDb`] rows, so the
+/// served world exercises the same name universe (DGA output, typos, junk,
+/// expired panel) the offline era does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplaySpec {
+    pub name: String,
+    /// Expired-panel member — register it in the hierarchy before serving.
+    pub expired: bool,
+}
+
+/// The deterministic name universe for a config, for live replay through
+/// `nxd-serve`. Same seed → same specs as [`generate`] would emit.
+pub fn replay_specs(config: &EraConfig) -> Vec<ReplaySpec> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let era_start_day = SimTime::ERA_START.day_number() as u32;
+    let era_days = SimTime::ERA_END.day_number() as u32 - era_start_day;
+    build_name_specs(&mut rng, config, era_start_day, era_days)
+        .into_iter()
+        .map(|s| ReplaySpec {
+            name: s.name,
+            expired: s.expired,
+        })
+        .collect()
+}
+
 /// Fig. 3's yearly intensity curve, relative units per month
 /// (2014 rise → flat 2016–2020 → 2021 jump → 2022 high).
 const YEAR_MULT: [f64; 9] = [8.0, 12.0, 15.0, 15.2, 15.4, 15.5, 16.0, 19.8, 22.3];
@@ -741,6 +772,25 @@ mod tests {
             .collect();
         for stage in ["era.specs", "era.registry", "era.emit", "era.consistency"] {
             assert!(names.contains(&stage.to_string()), "missing span {stage}");
+        }
+    }
+
+    #[test]
+    fn replay_specs_are_deterministic_and_cover_the_panel() {
+        let config = EraConfig {
+            nx_names: 300,
+            expired_panel: 20,
+            resolver_checks: 0,
+            ..Default::default()
+        };
+        let specs = replay_specs(&config);
+        assert_eq!(specs, replay_specs(&config), "same seed, same universe");
+        assert_eq!(specs.len(), 320);
+        assert_eq!(specs.iter().filter(|s| s.expired).count(), 20);
+        // Every spec must be servable: a valid wire name with a TLD.
+        for s in &specs {
+            let name: Name = s.name.parse().expect("replay names are valid");
+            assert!(name.tld().is_some(), "{}", s.name);
         }
     }
 

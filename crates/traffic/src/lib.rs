@@ -24,7 +24,7 @@ pub mod honeypot_era;
 pub mod origin;
 pub mod table1;
 
-pub use era::{EraConfig, EraWorld};
+pub use era::{replay_specs, EraConfig, EraWorld, ReplaySpec};
 pub use honeypot_era::{DomainCapture, HoneypotConfig, HoneypotWorld};
 pub use nxd_telemetry::Telemetry;
 pub use origin::{ExpiredDomain, OriginConfig, OriginTruth, OriginWorld};

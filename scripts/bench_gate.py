@@ -28,6 +28,13 @@ Two gates share this script:
         --ratio-max 0.5 --ratio-numer bigworld/compressed-bytes \
         --ratio-denom bigworld/row-bytes
 
+* live DNS front-end load floor (PR 9)::
+
+    bench_gate.py --input bench.txt --baseline BENCH_7.json \
+        --metrics-only \
+        --min-metric serve-load/qps=1500 \
+        --max-metric serve-load/p99-latency-ns=50000000
+
 Defaults reproduce the PR 3 invocation, so the original positional form
 ``bench_gate.py <bench-output> [BENCH_4.json]`` still works.
 
@@ -44,6 +51,13 @@ wins even on one core. ``--ratio-max`` adds an independent check on the
 quotient of two parsed metrics — BENCH_6 points it at the store's
 compressed vs raw byte counters (emitted as pseudo-bench lines) to enforce
 the compression floor.
+
+``--metrics-only`` drops the serial/gated comparison entirely and gates on
+absolute thresholds: each ``--min-metric NAME=VALUE`` requires the parsed
+metric to be at least VALUE, each ``--max-metric NAME=VALUE`` at most
+VALUE (both repeatable). The BENCH_7 gate uses it for the serve-load
+throughput floor and p99 latency ceiling, where no serial reference
+exists. The threshold flags also compose with the comparison modes.
 """
 
 import argparse
@@ -77,10 +91,38 @@ def parse_args(argv):
                         help="full bench name of the ratio numerator")
     parser.add_argument("--ratio-denom", default=None,
                         help="full bench name of the ratio denominator")
+    parser.add_argument("--metrics-only", action="store_true",
+                        help="skip the serial/gated comparison; gate only on "
+                             "--min-metric/--max-metric thresholds")
+    parser.add_argument("--min-metric", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="require parsed metric NAME >= VALUE (repeatable)")
+    parser.add_argument("--max-metric", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="require parsed metric NAME <= VALUE (repeatable)")
     args = parser.parse_args(argv)
     args.input = args.input_opt or args.input
     args.baseline = args.baseline or args.baseline_pos or "BENCH_4.json"
     return args
+
+
+def parse_bounds(args):
+    """``[(name, limit, kind)]`` from the threshold flags, ``None`` on error."""
+    bounds = []
+    for flag, pairs, kind in (("--min-metric", args.min_metric, "min"),
+                              ("--max-metric", args.max_metric, "max")):
+        for pair in pairs:
+            name, sep, value = pair.partition("=")
+            try:
+                limit = float(value) if sep else None
+            except ValueError:
+                limit = None
+            if not name or limit is None:
+                print(f"bench gate: {flag} expects NAME=VALUE, got {pair!r}",
+                      file=sys.stderr)
+                return None
+            bounds.append((name, limit, kind))
+    return bounds
 
 
 def main(argv) -> int:
@@ -97,6 +139,13 @@ def main(argv) -> int:
         print("bench gate: --ratio-max needs --ratio-numer and --ratio-denom",
               file=sys.stderr)
         return 2
+    bounds = parse_bounds(args)
+    if bounds is None:
+        return 2
+    if args.metrics_only and not bounds:
+        print("bench gate: --metrics-only needs at least one "
+              "--min-metric/--max-metric", file=sys.stderr)
+        return 2
 
     results = {}
     with open(args.input) as fh:
@@ -105,9 +154,10 @@ def main(argv) -> int:
             if m:
                 results[m.group(1)] = int(m.group(2))
 
-    required = [serial_name, *gated_names]
+    required = [] if args.metrics_only else [serial_name, *gated_names]
     if ratio_check:
         required += [args.ratio_numer, args.ratio_denom]
+    required += [name for name, _, _ in bounds]
     missing = [n for n in required if n not in results]
     if missing:
         print(f"bench gate: missing results for {missing}; got {sorted(results)}",
@@ -115,37 +165,44 @@ def main(argv) -> int:
         return 2
 
     speedup_mode = args.min_speedup is not None
+    if args.metrics_only:
+        mode = "metrics"
+    elif speedup_mode:
+        mode = "min-speedup"
+    else:
+        mode = "tolerance"
     report = {
-        "mode": "min-speedup" if speedup_mode else "tolerance",
-        "tolerance": args.tolerance,
-        "serial_ns": results[serial_name],
+        "mode": mode,
         "results_ns": results,
         "gate": [],
     }
-    if speedup_mode:
-        report["min_speedup"] = args.min_speedup
-    serial = results[serial_name]
     failed = False
-    for name in gated_names:
-        ratio = results[name] / serial
-        entry = {"name": name, "ns": results[name],
-                 "ratio_vs_serial": round(ratio, 4)}
+    if not args.metrics_only:
+        report["tolerance"] = args.tolerance
+        report["serial_ns"] = results[serial_name]
         if speedup_mode:
-            speedup = serial / results[name]
-            ok = speedup >= args.min_speedup
-            entry["speedup_vs_serial"] = round(speedup, 4)
-            status = "ok" if ok else "TOO SLOW"
-            print(f"{name}: {results[name]} ns vs serial {serial} ns "
-                  f"({speedup:.2f}x speedup, need >= {args.min_speedup}x) "
-                  f"{status}")
-        else:
-            ok = ratio <= args.tolerance
-            status = "ok" if ok else "REGRESSED"
-            print(f"{name}: {results[name]} ns vs serial {serial} ns "
-                  f"(x{ratio:.3f}, limit x{args.tolerance}) {status}")
-        entry["ok"] = ok
-        report["gate"].append(entry)
-        failed |= not ok
+            report["min_speedup"] = args.min_speedup
+        serial = results[serial_name]
+        for name in gated_names:
+            ratio = results[name] / serial
+            entry = {"name": name, "ns": results[name],
+                     "ratio_vs_serial": round(ratio, 4)}
+            if speedup_mode:
+                speedup = serial / results[name]
+                ok = speedup >= args.min_speedup
+                entry["speedup_vs_serial"] = round(speedup, 4)
+                status = "ok" if ok else "TOO SLOW"
+                print(f"{name}: {results[name]} ns vs serial {serial} ns "
+                      f"({speedup:.2f}x speedup, need >= {args.min_speedup}x) "
+                      f"{status}")
+            else:
+                ok = ratio <= args.tolerance
+                status = "ok" if ok else "REGRESSED"
+                print(f"{name}: {results[name]} ns vs serial {serial} ns "
+                      f"(x{ratio:.3f}, limit x{args.tolerance}) {status}")
+            entry["ok"] = ok
+            report["gate"].append(entry)
+            failed |= not ok
 
     if ratio_check:
         numer, denom = results[args.ratio_numer], results[args.ratio_denom]
@@ -162,6 +219,18 @@ def main(argv) -> int:
         print(f"{args.ratio_numer}/{args.ratio_denom}: {numer}/{denom} = "
               f"{value:.3f} (limit {args.ratio_max}) {status}")
         failed |= not ok
+
+    if bounds:
+        report["metrics"] = []
+        for name, limit, kind in bounds:
+            value = results[name]
+            ok = value >= limit if kind == "min" else value <= limit
+            op = ">=" if kind == "min" else "<="
+            status = "ok" if ok else ("TOO LOW" if kind == "min" else "TOO HIGH")
+            print(f"{name}: {value} (need {op} {limit:g}) {status}")
+            report["metrics"].append({"name": name, "value": value,
+                                      kind: limit, "ok": ok})
+            failed |= not ok
 
     with open(args.baseline, "w") as fh:
         json.dump(report, fh, indent=2)

@@ -201,6 +201,90 @@ class BenchGateTest(unittest.TestCase):
         self.assertNotIn("ratio", report)
         self.assertNotIn("min_speedup", report)
 
+    def bench7_input(self, qps=4000, p99=8_000_000):
+        # The serve-load bench emits pseudo-bench metric lines: a QPS
+        # figure and a p99 latency, with no serial reference at all.
+        return self.write_input(
+            f"bench serve-load/qps {qps} ns/iter\n"
+            f"bench serve-load/p99-latency-ns {p99} ns/iter\n"
+        )
+
+    def bench7_args(self, inp, baseline):
+        return [
+            "--input", inp, "--baseline", baseline,
+            "--metrics-only",
+            "--min-metric", "serve-load/qps=1500",
+            "--max-metric", "serve-load/p99-latency-ns=50000000",
+        ]
+
+    def test_metrics_only_mode_passes_within_thresholds(self):
+        inp = self.bench7_input()
+        baseline = self.path("BENCH_7.json")
+        self.assertEqual(bench_gate.main(self.bench7_args(inp, baseline)), 0)
+        report = self.read_json(baseline)
+        self.assertEqual(report["mode"], "metrics")
+        self.assertNotIn("serial_ns", report)
+        self.assertEqual(report["gate"], [])
+        metrics = {m["name"]: m for m in report["metrics"]}
+        self.assertTrue(metrics["serve-load/qps"]["ok"])
+        self.assertEqual(metrics["serve-load/qps"]["min"], 1500.0)
+        self.assertTrue(metrics["serve-load/p99-latency-ns"]["ok"])
+        self.assertEqual(metrics["serve-load/p99-latency-ns"]["max"], 50000000.0)
+
+    def test_metrics_only_qps_floor_fails(self):
+        inp = self.bench7_input(qps=900)
+        baseline = self.path("BENCH_7.json")
+        self.assertEqual(bench_gate.main(self.bench7_args(inp, baseline)), 1)
+        metrics = {m["name"]: m for m in self.read_json(baseline)["metrics"]}
+        self.assertFalse(metrics["serve-load/qps"]["ok"])
+        self.assertTrue(metrics["serve-load/p99-latency-ns"]["ok"])
+
+    def test_metrics_only_latency_ceiling_fails(self):
+        inp = self.bench7_input(p99=90_000_000)
+        baseline = self.path("BENCH_7.json")
+        self.assertEqual(bench_gate.main(self.bench7_args(inp, baseline)), 1)
+        metrics = {m["name"]: m for m in self.read_json(baseline)["metrics"]}
+        self.assertFalse(metrics["serve-load/p99-latency-ns"]["ok"])
+
+    def test_metrics_only_missing_metric_exits_2(self):
+        inp = self.write_input("bench serve-load/qps 4000 ns/iter\n")
+        code = bench_gate.main(self.bench7_args(inp, self.path("BENCH_7.json")))
+        self.assertEqual(code, 2)
+
+    def test_metrics_only_without_thresholds_exits_2(self):
+        inp = self.bench7_input()
+        code = bench_gate.main(
+            ["--input", inp, "--baseline", self.path("BENCH_7.json"),
+             "--metrics-only"]
+        )
+        self.assertEqual(code, 2)
+
+    def test_malformed_threshold_exits_2(self):
+        inp = self.bench7_input()
+        code = bench_gate.main(
+            ["--input", inp, "--baseline", self.path("BENCH_7.json"),
+             "--metrics-only", "--min-metric", "serve-load/qps"]
+        )
+        self.assertEqual(code, 2)
+
+    def test_thresholds_compose_with_speedup_mode(self):
+        # A comparison gate can carry absolute floors alongside.
+        inp = self.write_input(
+            bench_lines("bigworld", serial=100, **{"fused-4": 40})
+            + "bench serve-load/qps 4000 ns/iter\n"
+        )
+        baseline = self.path("BENCH_6.json")
+        code = bench_gate.main(
+            ["--input", inp, "--baseline", baseline,
+             "--group", "bigworld", "--serial", "serial",
+             "--gated", "fused-4", "--min-speedup", "2.0",
+             "--min-metric", "serve-load/qps=1500"]
+        )
+        self.assertEqual(code, 0)
+        report = self.read_json(baseline)
+        self.assertEqual(report["mode"], "min-speedup")
+        self.assertTrue(report["metrics"][0]["ok"])
+
 
 if __name__ == "__main__":
     unittest.main()

@@ -17,10 +17,14 @@
 //! nxdctl obs scrape 127.0.0.1:9090
 //! nxdctl obs scrape 127.0.0.1:9090 /snapshot.json
 //! nxdctl obs journal 127.0.0.1:9090 42
+//! nxdctl dns 127.0.0.1:5353 ghost.example.com
+//! nxdctl dns 127.0.0.1:5353 example.com mx --tcp
 //! ```
 //!
 //! `obs` talks to a live observability plane started with
-//! `repro --serve <addr>` (see `nxdomain::obs`).
+//! `repro --serve <addr>` (see `nxdomain::obs`); `dns` sends a real wire
+//! query to a live DNS front-end started with `repro --serve-dns <addr>`
+//! (see `nxdomain::serve`) over UDP, or TCP with `--tcp`.
 
 use std::net::Ipv4Addr;
 
@@ -45,8 +49,9 @@ fn main() {
         Some((&"lifecycle", rest)) => cmd_lifecycle(rest),
         Some((&"pcap", rest)) => cmd_pcap(rest),
         Some((&"obs", rest)) => cmd_obs(rest),
+        Some((&"dns", rest)) => cmd_dns(rest),
         _ => {
-            eprintln!("usage: nxdctl <resolve|dga|squat|idn|punycode|lifecycle|pcap|obs> ...");
+            eprintln!("usage: nxdctl <resolve|dga|squat|idn|punycode|lifecycle|pcap|obs|dns> ...");
             eprintln!("see the module docs at the top of src/bin/nxdctl.rs for examples");
             2
         }
@@ -377,4 +382,106 @@ fn cmd_pcap(args: &[&str]) -> i32 {
             1
         }
     }
+}
+
+fn cmd_dns(args: &[&str]) -> i32 {
+    use nxdomain::serve::{tcp_exchange, StubResolver, MAX_TCP_MESSAGE};
+    use nxdomain::wire::Message;
+    use std::net::ToSocketAddrs;
+    use std::time::Duration;
+
+    let tcp = args.contains(&"--tcp");
+    let positional: Vec<&&str> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let (Some(&&server), Some(&&domain)) = (positional.first(), positional.get(1)) else {
+        eprintln!(
+            "usage: nxdctl dns <server-addr> <name> [a|aaaa|ns|mx|txt|soa|cname|ptr] [--tcp]"
+        );
+        return 2;
+    };
+    let name = match parse_name(domain) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let rtype = match positional.get(2).map(|t| t.to_ascii_lowercase()) {
+        None => RType::A,
+        Some(t) => match t.as_str() {
+            "a" => RType::A,
+            "aaaa" => RType::Aaaa,
+            "ns" => RType::Ns,
+            "mx" => RType::Mx,
+            "txt" => RType::Txt,
+            "soa" => RType::Soa,
+            "cname" => RType::Cname,
+            "ptr" => RType::Ptr,
+            other => {
+                eprintln!("unknown record type {other:?}");
+                return 2;
+            }
+        },
+    };
+    let Ok(Some(addr)) = server.to_socket_addrs().map(|mut a| a.next()) else {
+        eprintln!("cannot resolve server address {server:?}");
+        return 2;
+    };
+    let query = match Message::query(0x4e58, name, rtype).encode() {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("cannot encode query: {e}");
+            return 2;
+        }
+    };
+    let timeout = Duration::from_secs(3);
+    let exchange = if tcp {
+        tcp_exchange(addr, std::slice::from_ref(&query), timeout, MAX_TCP_MESSAGE)
+            .map(|mut r| r.pop().unwrap_or_default())
+    } else {
+        StubResolver::connect(addr, timeout, 3).and_then(|stub| {
+            stub.exchange(&query).map(|e| {
+                if e.retransmits > 0 {
+                    eprintln!("({} udp retransmissions)", e.retransmits);
+                }
+                e.response
+            })
+        })
+    };
+    let response = match exchange {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "no answer from {addr} ({}): {e}",
+                if tcp { "tcp" } else { "udp" }
+            );
+            return 1;
+        }
+    };
+    let message = match Message::decode(&response) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("undecodable response ({} bytes): {e}", response.len());
+            return 1;
+        }
+    };
+    println!(
+        "{:?} from {addr} over {} ({} bytes, aa={})",
+        message.header.rcode,
+        if tcp { "tcp" } else { "udp" },
+        response.len(),
+        message.header.aa,
+    );
+    for (section, records) in [
+        ("answer", &message.answers),
+        ("authority", &message.authorities),
+        ("additional", &message.additionals),
+    ] {
+        for record in records {
+            println!(
+                "{section:<10} {} {}s {:?}",
+                record.name, record.ttl, record.rdata
+            );
+        }
+    }
+    0
 }

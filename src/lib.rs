@@ -24,6 +24,7 @@
 //! | [`http`] | `nxd-httpsim` | HTTP model + UA classification |
 //! | [`honeypot`] | `nxd-honeypot` | NXD-Honeypot pipeline |
 //! | [`traffic`] | `nxd-traffic` | workload generators |
+//! | [`serve`] | `nxd-serve` | live UDP+TCP DNS front-end + load driver |
 //! | [`study`] | `nxd-core` | the paper's analyses |
 //!
 //! See the `examples/` directory for runnable entry points and
@@ -40,6 +41,7 @@ pub use nxd_honeypot as honeypot;
 pub use nxd_httpsim as http;
 pub use nxd_obs as obs;
 pub use nxd_passive_dns as passive;
+pub use nxd_serve as serve;
 pub use nxd_squat as squat;
 pub use nxd_telemetry as telemetry;
 pub use nxd_traffic as traffic;
