@@ -10,7 +10,8 @@
 //!
 //! Experiments: scalars fig3 fig4 fig5 fig6 fig7 fig8 table1 fig10 fig12
 //! fig13 fig14 fig15 filter hijack selection detector sinkhole federation
-//! exposure market analyzer lint scale-parallel origin-parallel serve-load
+//! exposure market analyzer lint scale-parallel origin-parallel stream
+//! serve-load
 //!
 //! Observability flags:
 //!
@@ -37,7 +38,10 @@
 //!   watch `serve_*` counters and latency histograms live on `/metrics`;
 //!   point a stub resolver (`dig`, or `nxdctl dns`) at the printed
 //!   address. Every NXDOMAIN it answers lands in a passive-DNS sensor
-//!   database whose row count is reported on shutdown. After the
+//!   database whose row count is reported on shutdown. A streaming
+//!   engine rides along: the §4 aggregates and sketches update on every
+//!   answered query, so with `--serve` the `stream_*` gauges/counters are
+//!   live on `/metrics` and `/snapshot.json` *mid-run*. After the
 //!   experiments finish the front-end keeps serving until you press
 //!   Enter (or stdin reaches EOF, so piped/CI runs exit immediately).
 
@@ -167,6 +171,7 @@ fn main() {
             "lint",
             "scale-parallel",
             "origin-parallel",
+            "stream",
             "serve-load",
         ]
         .into_iter()
@@ -185,21 +190,28 @@ fn main() {
     });
     let dns_front = serve_dns.map(|addr| {
         let world = nxd_serve::build_world(&nxd_serve::WorldConfig::default());
+        // The live streaming plane: registered on the same telemetry as
+        // `--serve`, so `/metrics` and `/snapshot.json` expose the
+        // incremental §4 aggregates while the front-end is answering.
+        let engine = nxd_passive_dns::StreamEngine::default();
+        engine.attach_metrics(&telemetry.registry);
+        engine.attach_journal(telemetry.journal.clone());
         let front = nxd_serve::DnsServer::bind(
             &addr as &str,
             world.dns.clone(),
             telemetry.clone(),
             nxd_serve::ServeConfig {
                 day: world.day,
+                stream: Some(engine.clone()),
                 ..nxd_serve::ServeConfig::default()
             },
         )
         .unwrap_or_else(|e| panic!("--serve-dns {addr}: {e}"));
         eprintln!(
-            "[repro] dns front-end listening on {} (udp+tcp)",
+            "[repro] dns front-end listening on {} (udp+tcp, live stream aggregates attached)",
             front.local_addr()
         );
-        front
+        (front, engine)
     });
     let mut worlds = Worlds::new(&telemetry);
     for exp in &experiments {
@@ -231,6 +243,7 @@ fn main() {
             "lint" => lint_exp(),
             "scale-parallel" => scale_parallel_exp(&mut worlds, shards),
             "origin-parallel" => origin_parallel_exp(&mut worlds, shards),
+            "stream" => stream_exp(&mut worlds),
             "serve-load" => serve_load_exp(&telemetry),
             other => eprintln!(
                 "[repro] unknown experiment {other:?} (see --help text in the doc comment)"
@@ -263,7 +276,7 @@ fn main() {
         std::fs::write(&path, trace).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("[repro] wrote Chrome trace to {path}");
     }
-    if let Some(front) = dns_front {
+    if let Some((front, engine)) = dns_front {
         // Hold the front-end open for interactive use: the README's
         // two-terminal workflow points `nxdctl dns` here after the
         // experiments finish. A piped stdin (CI) is already at EOF, so
@@ -275,9 +288,18 @@ fn main() {
         let mut line = String::new();
         let _ = std::io::stdin().read_line(&mut line);
         let db = front.shutdown();
+        let snap = engine.snapshot();
         eprintln!(
             "[repro] dns front-end ingested {} passive-DNS rows",
             db.row_count()
+        );
+        eprintln!(
+            "[repro] live stream plane saw {} rows: {} NXDOMAIN responses, \
+             {} distinct NXDomains exact / ~{} sketched",
+            snap.admitted_rows,
+            snap.total_nx_responses,
+            snap.distinct_nx_names,
+            snap.distinct_nx_estimate
         );
     }
     if let Some(server) = server {
@@ -1129,6 +1151,145 @@ fn analyzer_exp() {
         "ablation (negative_cache off): {} requery-inside-negative-ttl violations in 20 queries",
         ablation_report.high_count()
     );
+}
+
+fn stream_exp(worlds: &mut Worlds) {
+    use std::time::Instant;
+
+    use nxd_dns_wire::RCode;
+    use nxd_passive_dns::stream::WindowConfig;
+    use nxd_passive_dns::{
+        collect_stream, query, PassiveDb, SieProducer, StreamConfig, StreamEngine,
+    };
+
+    heading("E-STREAM — incremental window aggregates vs batch oracle (§4, live)");
+    let era = worlds.era();
+    // Replay the era corpus in event-time order, fanned across producers —
+    // the live-sensor shape: mostly-ordered arrivals with interleaving.
+    let mut rows: Vec<(String, u32, u16, u8, u32)> = era
+        .db
+        .rows()
+        .map(|o| {
+            (
+                era.db.interner().resolve(o.name).to_string(),
+                o.day,
+                o.sensor,
+                o.rcode,
+                o.count,
+            )
+        })
+        .collect();
+    rows.sort_by_key(|&(_, day, _, _, _)| day);
+    let total_rows = rows.len();
+
+    // Monthly windows with a sensor-federation lateness tolerance: batch
+    // interleaving across producers skews arrival order by a few batches,
+    // so the tolerance must cover a few batches' worth of event time.
+    let engine = StreamEngine::new(StreamConfig {
+        window: WindowConfig {
+            window_days: 30,
+            allowed_lateness_days: 365,
+        },
+        ..StreamConfig::default()
+    });
+    let producer_count = 4;
+    let producers: Vec<Box<dyn FnOnce(SieProducer) + Send>> = (0..producer_count)
+        .map(|p| {
+            let mine: Vec<_> = rows
+                .iter()
+                .skip(p)
+                .step_by(producer_count)
+                .cloned()
+                .collect();
+            Box::new(move |producer: SieProducer| {
+                for chunk in mine.chunks(512) {
+                    let mut shard = PassiveDb::new();
+                    for (name, day, sensor, rcode, count) in chunk {
+                        shard.record_str(name, *day, *sensor, RCode::from_u8(*rcode), *count);
+                    }
+                    producer.submit(shard);
+                }
+            }) as Box<dyn FnOnce(SieProducer) + Send>
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let outcome =
+        collect_stream(producers, 2, 4, &engine).unwrap_or_else(|e| panic!("stream collect: {e}"));
+    let elapsed = t0.elapsed();
+    let snap = engine.snapshot();
+
+    // Exactness: the snapshot must equal the batch oracle over the
+    // admitted store, and admitted+late must account for every row.
+    assert_eq!(
+        outcome.store.row_count() + outcome.late.row_count(),
+        total_rows,
+        "stream dropped rows"
+    );
+    let admitted = outcome.store.to_serial();
+    assert_eq!(snap.rcode_breakdown, query::rcode_breakdown(&admitted));
+    assert_eq!(
+        snap.total_nx_responses,
+        query::total_nx_responses(&admitted)
+    );
+    assert_eq!(snap.distinct_nx_names, query::distinct_nx_names(&admitted));
+    assert_eq!(snap.monthly_nx, query::monthly_nx_series(&admitted));
+    assert_eq!(snap.nx_by_sensor, query::nx_by_sensor(&admitted));
+    assert_eq!(snap.tld_distribution, query::tld_distribution(&admitted));
+    println!(
+        "snapshot ≡ batch oracle over {} admitted rows ({} windows closed, {} still open)",
+        commas(snap.admitted_rows),
+        commas(snap.windows_closed),
+        commas(snap.windows_open),
+    );
+    println!(
+        "late side-tally: {} rows / {} responses ({} NXDOMAIN) beyond the watermark",
+        commas(snap.late.rows),
+        commas(snap.late.responses),
+        commas(snap.late.nx_responses),
+    );
+
+    // Approximate plane vs exact: top TLDs by NX query weight.
+    let mut exact_tlds = snap.tld_distribution.clone();
+    exact_tlds.sort_by(|a, b| b.nx_queries.cmp(&a.nx_queries).then(a.tld.cmp(&b.tld)));
+    let table_rows: Vec<Vec<String>> = snap
+        .top_tlds
+        .iter()
+        .take(5)
+        .map(|e| {
+            let exact = exact_tlds
+                .iter()
+                .find(|t| t.tld == e.item)
+                .map(|t| t.nx_queries)
+                .unwrap_or(0);
+            vec![
+                e.item.clone(),
+                commas(e.count),
+                commas(exact),
+                commas(e.error),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(&["tld (top-k)", "estimate", "exact", "±error"], &table_rows)
+    );
+    println!(
+        "distinct NXDomains: sketch ~{} vs exact {} (theoretical σ {:.2}%), {} sketch bytes",
+        commas(snap.distinct_nx_estimate),
+        commas(snap.distinct_nx_names),
+        snap.distinct_standard_error * 100.0,
+        commas(snap.approx_heap_bytes as u64),
+    );
+    let rate = total_rows as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "ingested {} rows through {} producers in {:.3} ms — {:.0} rows/s",
+        commas(total_rows as u64),
+        producer_count,
+        elapsed.as_secs_f64() * 1e3,
+        rate,
+    );
+    println!("paper §4: the scale aggregates are queryable while ingest is still running");
 }
 
 fn serve_load_exp(telemetry: &Arc<Telemetry>) {

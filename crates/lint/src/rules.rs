@@ -143,6 +143,7 @@ pub fn rules() -> Vec<Rule> {
                     "crates/telemetry/src/export.rs",
                     "crates/telemetry/src/journal.rs",
                     "crates/serve/src/sink.rs",
+                    "crates/passive-dns/src/stream/",
                 ],
                 exclude: &[],
             },
@@ -195,6 +196,7 @@ pub fn rules() -> Vec<Rule> {
                     "crates/telemetry/src/histogram.rs",
                     "crates/telemetry/src/journal.rs",
                     "crates/serve/src/sink.rs",
+                    "crates/passive-dns/src/stream/",
                 ],
                 exclude: &[],
             },
@@ -234,6 +236,7 @@ pub fn rules() -> Vec<Rule> {
                     "crates/passive-dns/src/scan.rs",
                     "crates/passive-dns/src/shard.rs",
                     "crates/passive-dns/src/store.rs",
+                    "crates/passive-dns/src/stream/",
                     "crates/swar/src/",
                     "crates/telemetry/src/histogram.rs",
                 ],

@@ -27,11 +27,13 @@ pub mod sensor;
 pub mod shard;
 pub mod sie;
 pub mod store;
+pub mod stream;
 
 pub use federation::{Coverage, Federation};
 pub use hash::shard_of;
 pub use intern::{Interner, NameId};
 pub use sensor::{Sensor, VantagePoint};
 pub use shard::{auto_shard_count, auto_shard_count_here, ShardedStore};
-pub use sie::{collect_parallel, collect_sharded, SieError, SieProducer};
+pub use sie::{collect_parallel, collect_sharded, collect_stream, SieError, SieProducer};
 pub use store::{NameAggregate, Observation, PassiveDb};
+pub use stream::{Admission, StreamConfig, StreamEngine, StreamSnapshot};

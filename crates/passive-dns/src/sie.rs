@@ -23,9 +23,11 @@ use std::any::Any;
 use std::fmt;
 
 use crossbeam::channel::{bounded, Sender};
+use nxd_dns_wire::RCode;
 
 use crate::shard::ShardedStore;
 use crate::store::PassiveDb;
+use crate::stream::{Admission, StreamEngine};
 
 /// A batch of rows from one shard, carried with its shard-local interner via
 /// a whole shard store.
@@ -37,6 +39,11 @@ pub enum SieError {
     /// A producer worker thread panicked; `detail` carries the panic
     /// payload (when it was a string) so the failing shard is identifiable.
     WorkerPanicked { detail: String },
+    /// The bounded channel's consumer hung up while a producer still had
+    /// data to submit — a shutdown/backpressure race, surfaced as an error
+    /// instead of a producer-thread panic so streaming callers can drain
+    /// gracefully.
+    Disconnected,
 }
 
 impl fmt::Display for SieError {
@@ -44,6 +51,9 @@ impl fmt::Display for SieError {
         match self {
             SieError::WorkerPanicked { detail } => {
                 write!(f, "SIE worker thread panicked: {detail}")
+            }
+            SieError::Disconnected => {
+                write!(f, "SIE collector hung up with shards still in flight")
             }
         }
     }
@@ -72,12 +82,24 @@ pub struct SieProducer {
 
 impl SieProducer {
     /// Submits a shard. Blocks if the channel is full (backpressure).
+    ///
+    /// Panics if the collector hung up — batch producers treat a vanished
+    /// sink as fatal. Streaming producers should prefer
+    /// [`SieProducer::try_submit`], which surfaces the condition as
+    /// [`SieError::Disconnected`] instead.
     pub fn submit(&self, shard: PassiveDb) {
         // A closed channel means the collector is gone; losing data silently
         // would corrupt experiments, so fail loudly.
+        self.try_submit(shard).expect("SIE collector hung up");
+    }
+
+    /// Submits a shard, blocking on a full channel (backpressure), and
+    /// returns [`SieError::Disconnected`] if the collector is gone instead
+    /// of panicking the worker thread.
+    pub fn try_submit(&self, shard: PassiveDb) -> Result<(), SieError> {
         self.tx
             .send(ShardBatch(shard))
-            .expect("SIE collector hung up");
+            .map_err(|_| SieError::Disconnected)
     }
 }
 
@@ -139,6 +161,64 @@ where
             store.merge_db(&shard);
         }
         store
+    })
+}
+
+/// Result of a streaming collection: the admitted rows, sealed into the
+/// sharded scale store exactly as [`collect_sharded`] would have, plus a
+/// side store holding every watermark-late row (so `admitted + late` is
+/// the full offered stream — nothing is dropped).
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// Rows the watermark admitted, immediately queryable.
+    pub store: ShardedStore,
+    /// Rows beyond the watermark, preserved verbatim for replay/audit.
+    pub late: PassiveDb,
+}
+
+/// The streaming collection mode: like [`collect_sharded`], but every batch
+/// is folded through `engine` *as it arrives*, so the exact incremental
+/// aggregates and the approximate sketches are queryable mid-run — and the
+/// `stream_queue_depth` gauge tracks the bounded channel's occupancy.
+/// Watermark-late rows are routed to [`StreamOutcome::late`] instead of the
+/// main store, which keeps the engine's snapshot bit-identical to the batch
+/// query engine over [`StreamOutcome::store`].
+pub fn collect_stream<F>(
+    producers: Vec<F>,
+    capacity: usize,
+    shards: usize,
+    engine: &StreamEngine,
+) -> Result<StreamOutcome, SieError>
+where
+    F: FnOnce(SieProducer) + Send + 'static,
+{
+    let engine = engine.clone();
+    collect_with(producers, capacity, move |rx| {
+        let mut store = ShardedStore::new(shards);
+        let mut late = PassiveDb::new();
+        for ShardBatch(shard) in rx.iter() {
+            engine.set_queue_depth(rx.len());
+            let admissions = engine.offer_db_admissions(&shard);
+            if admissions.iter().all(|&a| a == Admission::Admitted) {
+                // Fast path: the whole batch was admitted, merge wholesale.
+                store.merge_db(&shard);
+                continue;
+            }
+            for (obs, admission) in shard.rows().zip(&admissions) {
+                let name = shard.interner().resolve(obs.name);
+                let rcode = RCode::from_u8(obs.rcode);
+                match admission {
+                    Admission::Admitted => {
+                        store.record_str(name, obs.day, obs.sensor, rcode, obs.count);
+                    }
+                    Admission::Late => {
+                        late.record_str(name, obs.day, obs.sensor, rcode, obs.count);
+                    }
+                }
+            }
+        }
+        engine.set_queue_depth(0);
+        StreamOutcome { store, late }
     })
 }
 
@@ -268,5 +348,116 @@ mod tests {
                 detail: "boom".to_string()
             })
         );
+    }
+
+    #[test]
+    fn try_submit_surfaces_disconnect_instead_of_panicking() {
+        // Regression: a vanished collector used to panic the producer
+        // thread from inside `submit`; the streaming path needs the typed
+        // error so a mid-run shutdown can drain gracefully.
+        let (tx, rx) = bounded::<ShardBatch>(1);
+        let producer = SieProducer { tx };
+        drop(rx);
+        let mut shard = PassiveDb::new();
+        shard.record_str("orphan.com", 1, 0, RCode::NxDomain, 1);
+        assert_eq!(
+            producer.try_submit(shard).err(),
+            Some(SieError::Disconnected)
+        );
+        assert_eq!(
+            SieError::Disconnected.to_string(),
+            "SIE collector hung up with shards still in flight"
+        );
+    }
+
+    #[test]
+    fn collect_stream_matches_collect_sharded_when_nothing_is_late() {
+        use crate::stream::{StreamConfig, StreamEngine};
+
+        fn producers() -> Vec<Box<dyn FnOnce(SieProducer) + Send>> {
+            (0..4)
+                .map(|shard_id: u16| {
+                    Box::new(move |p: SieProducer| {
+                        let mut shard = PassiveDb::new();
+                        shard.record_str("shared.com", 10, shard_id, RCode::NxDomain, 1);
+                        shard.record_str(
+                            &format!("only-{shard_id}.com"),
+                            u32::from(10 + shard_id),
+                            shard_id,
+                            RCode::NxDomain,
+                            2,
+                        );
+                        p.submit(shard);
+                    }) as Box<dyn FnOnce(SieProducer) + Send>
+                })
+                .collect()
+        }
+
+        let engine = StreamEngine::new(StreamConfig::default());
+        let outcome = collect_stream(producers(), 2, 4, &engine).expect("no worker panicked");
+        let batch = collect_sharded(producers(), 2, 4).expect("no worker panicked");
+
+        // Default lateness (7 days) over a 4-day span: nothing is late,
+        // and the streamed store is exactly the batch store.
+        assert_eq!(outcome.late.row_count(), 0);
+        assert_eq!(outcome.store.row_count(), batch.row_count());
+        assert_eq!(
+            outcome.store.total_nx_responses(),
+            batch.total_nx_responses()
+        );
+        assert_eq!(outcome.store.rcode_breakdown(), batch.rcode_breakdown());
+
+        // The engine saw the same rows the store sealed.
+        let snap = engine.snapshot();
+        assert_eq!(snap.admitted_rows, 8);
+        assert_eq!(snap.late.rows, 0);
+        assert_eq!(snap.total_nx_responses, outcome.store.total_nx_responses());
+        assert_eq!(snap.distinct_nx_names, outcome.store.distinct_nx_names());
+    }
+
+    #[test]
+    fn collect_stream_routes_late_rows_to_the_side_store() {
+        use crate::stream::{StreamConfig, StreamEngine, WindowConfig};
+
+        let engine = StreamEngine::new(StreamConfig {
+            window: WindowConfig {
+                window_days: 10,
+                allowed_lateness_days: 0,
+            },
+            ..Default::default()
+        });
+        // One producer so batch arrival order is the submit order.
+        let outcome = collect_stream(
+            vec![|p: SieProducer| {
+                let mut fresh = PassiveDb::new();
+                fresh.record_str("fresh.com", 100, 0, RCode::NxDomain, 2);
+                p.submit(fresh);
+                let mut mixed = PassiveDb::new();
+                mixed.record_str("straggler.com", 5, 1, RCode::NxDomain, 3);
+                mixed.record_str("fresh2.com", 101, 0, RCode::NxDomain, 1);
+                p.submit(mixed);
+            }],
+            2,
+            2,
+            &engine,
+        )
+        .expect("no worker panicked");
+
+        assert_eq!(outcome.store.row_count(), 2);
+        assert_eq!(outcome.late.row_count(), 1);
+        assert_eq!(
+            outcome
+                .late
+                .aggregate_of("straggler.com")
+                .unwrap()
+                .nx_queries,
+            3
+        );
+        let snap = engine.snapshot();
+        assert_eq!(snap.admitted_rows, 2);
+        assert_eq!(snap.late.rows, 1);
+        assert_eq!(snap.late.nx_responses, 3);
+        // Parity holds over the *admitted* store.
+        assert_eq!(snap.total_nx_responses, outcome.store.total_nx_responses());
     }
 }

@@ -30,7 +30,7 @@ use std::time::Duration;
 
 use nxd_dns_sim::{ServerRef, SimDns, SimTime};
 use nxd_dns_wire::{Message, RCode};
-use nxd_passive_dns::PassiveDb;
+use nxd_passive_dns::{PassiveDb, StreamEngine};
 use nxd_telemetry::{Counter, Histogram, Registry, Stopwatch, Telemetry};
 
 use crate::frame::{read_frame, write_frame, MAX_TCP_MESSAGE};
@@ -60,6 +60,10 @@ pub struct ServeConfig {
     pub day: u32,
     /// Sensor id of this front-end in the federation model.
     pub sensor: u16,
+    /// Optional live streaming engine: recorded sensor rows are offered
+    /// as they arrive, so §4 aggregates update mid-run on `/metrics` and
+    /// `/snapshot.json` instead of only after shutdown.
+    pub stream: Option<StreamEngine>,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +75,7 @@ impl Default for ServeConfig {
             max_tcp_message: MAX_TCP_MESSAGE,
             day: SimTime::ERA_START.day_number() as u32,
             sensor: 0,
+            stream: None,
         }
     }
 }
@@ -148,7 +153,7 @@ struct WorkerCtx {
     udp: Arc<UdpSocket>,
     shared: Arc<Shared>,
     metrics: Arc<ServeMetrics>,
-    sink_tx: Option<SyncSender<SensorEvent>>,
+    sink_tx: Option<crossbeam::channel::Sender<SensorEvent>>,
     max_tcp_message: usize,
 }
 
@@ -185,7 +190,12 @@ impl DnsServer {
             shutdown: AtomicBool::new(false),
         });
         let metrics = Arc::new(ServeMetrics::new(&telemetry.registry));
-        let sink = SensorChannel::spawn(config.day, config.sensor, telemetry.clone());
+        let sink = SensorChannel::spawn_with_stream(
+            config.day,
+            config.sensor,
+            telemetry.clone(),
+            config.stream.clone(),
+        );
 
         let (tx, rx) = mpsc::sync_channel::<Job>(config.pending_jobs.max(1));
         let rx = Arc::new(Mutex::new(rx));

@@ -19,12 +19,12 @@
 
 use std::collections::BTreeSet;
 use std::net::SocketAddr;
-use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use crossbeam::channel::{bounded, Receiver, Sender};
 use nxd_dns_wire::RCode;
-use nxd_passive_dns::PassiveDb;
+use nxd_passive_dns::{PassiveDb, StreamEngine};
 use nxd_telemetry::Telemetry;
 
 /// How the query arrived; decides whether the dedup filter applies.
@@ -52,7 +52,7 @@ const SINK_DEPTH: usize = 1024;
 /// worker, then [`SensorChannel::finish`] after the workers are joined to
 /// collect the served database.
 pub struct SensorChannel {
-    tx: Option<SyncSender<SensorEvent>>,
+    tx: Option<Sender<SensorEvent>>,
     collector: Option<JoinHandle<PassiveDb>>,
 }
 
@@ -62,8 +62,22 @@ impl SensorChannel {
     /// database's ingest metrics attach to `telemetry` under
     /// `plane="served"` labels.
     pub fn spawn(day: u32, sensor: u16, telemetry: Arc<Telemetry>) -> Self {
-        let (tx, rx) = mpsc::sync_channel(SINK_DEPTH);
-        let collector = spawn_collector(move || collect(rx, day, sensor, &telemetry));
+        SensorChannel::spawn_with_stream(day, sensor, telemetry, None)
+    }
+
+    /// [`SensorChannel::spawn`] with a live streaming engine: every
+    /// recorded (post-dedup) event is also offered to `stream`, so the
+    /// incremental §4 aggregates and sketches update while the front-end
+    /// is still serving — and the engine's `stream_queue_depth` gauge
+    /// tracks this channel's occupancy.
+    pub fn spawn_with_stream(
+        day: u32,
+        sensor: u16,
+        telemetry: Arc<Telemetry>,
+        stream: Option<StreamEngine>,
+    ) -> Self {
+        let (tx, rx) = bounded(SINK_DEPTH);
+        let collector = spawn_collector(move || collect(rx, day, sensor, &telemetry, stream));
         SensorChannel {
             tx: Some(tx),
             collector: Some(collector),
@@ -71,7 +85,7 @@ impl SensorChannel {
     }
 
     /// A sender handle for one worker thread.
-    pub fn sender(&self) -> Option<SyncSender<SensorEvent>> {
+    pub fn sender(&self) -> Option<Sender<SensorEvent>> {
         self.tx.clone()
     }
 
@@ -94,13 +108,22 @@ fn spawn_collector(f: impl FnOnce() -> PassiveDb + Send + 'static) -> JoinHandle
     std::thread::spawn(f) // nxd-lint: allow(NXL005, reason="collector outlives spawn(); handle joined in finish(); a panic surfaces as an empty served database and a telemetry gap, not a silent death")
 }
 
-fn collect(rx: Receiver<SensorEvent>, day: u32, sensor: u16, telemetry: &Telemetry) -> PassiveDb {
+fn collect(
+    rx: Receiver<SensorEvent>,
+    day: u32,
+    sensor: u16,
+    telemetry: &Telemetry,
+    stream: Option<StreamEngine>,
+) -> PassiveDb {
     let mut db = PassiveDb::new();
     db.attach_metrics_labeled(&telemetry.registry, &[("plane", "served")]);
     let duplicates = telemetry.registry.counter("serve_sink_duplicates_total");
     let recorded = telemetry.registry.counter("serve_sink_recorded_total");
     let mut seen: BTreeSet<(SocketAddr, u16, String)> = BTreeSet::new();
     while let Ok(event) = rx.recv() {
+        if let Some(engine) = &stream {
+            engine.set_queue_depth(rx.len());
+        }
         if event.transport == SensorTransport::Udp
             && !seen.insert((event.peer, event.query_id, event.name.clone()))
         {
@@ -109,6 +132,15 @@ fn collect(rx: Receiver<SensorEvent>, day: u32, sensor: u16, telemetry: &Telemet
         }
         db.record_str(&event.name, day, sensor, event.rcode, 1);
         recorded.inc();
+        if let Some(engine) = &stream {
+            // The live plane sees exactly the rows the served database
+            // records, so a mid-run snapshot stays parity-comparable to
+            // querying the (eventual) served store.
+            engine.offer_row(&event.name, day, sensor, event.rcode, 1);
+        }
+    }
+    if let Some(engine) = &stream {
+        engine.set_queue_depth(0);
     }
     db
 }
@@ -162,6 +194,34 @@ mod tests {
         drop(tx);
         let db = channel.finish();
         assert_eq!(db.row_count(), 2);
+    }
+
+    #[test]
+    fn stream_engine_sees_recorded_rows_not_duplicates() {
+        let telemetry = Arc::new(Telemetry::wall());
+        let engine = StreamEngine::default();
+        engine.attach_metrics(&telemetry.registry);
+        let channel =
+            SensorChannel::spawn_with_stream(10, 3, telemetry.clone(), Some(engine.clone()));
+        let tx = channel.sender().unwrap();
+        tx.send(event(4000, 7, "a.com", SensorTransport::Udp))
+            .unwrap();
+        tx.send(event(4000, 7, "a.com", SensorTransport::Udp))
+            .unwrap(); // retransmit: deduped, never offered to the engine
+        tx.send(event(4000, 8, "b.net", SensorTransport::Tcp))
+            .unwrap();
+        drop(tx);
+        let db = channel.finish();
+        assert_eq!(db.row_count(), 2);
+        let snap = engine.snapshot();
+        assert_eq!(snap.admitted_rows, 2);
+        assert_eq!(snap.total_nx_responses, 2);
+        assert_eq!(snap.distinct_nx_names, 2);
+        // The queue drained: the depth gauge rests at zero.
+        assert_eq!(
+            telemetry.snapshot().gauge_value("stream_queue_depth"),
+            Some(0)
+        );
     }
 
     #[test]

@@ -5,17 +5,21 @@
 
 pub mod channel {
     use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc;
+    use std::sync::Arc;
 
     /// Cloneable bounded-channel sender (backed by `std::sync::mpsc::SyncSender`).
     pub struct Sender<T> {
         inner: mpsc::SyncSender<T>,
+        depth: Arc<AtomicUsize>,
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             Sender {
                 inner: self.inner.clone(),
+                depth: Arc::clone(&self.depth),
             }
         }
     }
@@ -34,41 +38,76 @@ pub mod channel {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.inner
                 .send(value)
-                .map_err(|mpsc::SendError(v)| SendError(v))
+                .map_err(|mpsc::SendError(v)| SendError(v))?;
+            self.depth.fetch_add(1, Ordering::Relaxed);
+            Ok(())
         }
     }
 
     /// Receiving side; iterable by value until all senders drop.
     pub struct Receiver<T> {
         inner: mpsc::Receiver<T>,
+        depth: Arc<AtomicUsize>,
     }
 
     impl<T> Receiver<T> {
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.inner.recv().map_err(|_| RecvError)
+            let value = self.inner.recv().map_err(|_| RecvError)?;
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            Ok(value)
+        }
+
+        /// In-flight messages right now (queued, not yet received) —
+        /// crossbeam's `Receiver::len`, the queue-depth observability hook.
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::Relaxed)
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
 
         pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.inner.iter()
+            std::iter::from_fn(move || self.recv().ok())
         }
     }
 
     #[derive(Debug)]
     pub struct RecvError;
 
+    /// Owning drain iterator (keeps the depth counter honest per item).
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
     impl<T> IntoIterator for Receiver<T> {
         type Item = T;
-        type IntoIter = mpsc::IntoIter<T>;
+        type IntoIter = IntoIter<T>;
 
         fn into_iter(self) -> Self::IntoIter {
-            self.inner.into_iter()
+            IntoIter { rx: self }
         }
     }
 
     /// Creates a bounded channel holding at most `capacity` in-flight items.
     pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(capacity);
-        (Sender { inner: tx }, Receiver { inner: rx })
+        let depth = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                inner: tx,
+                depth: Arc::clone(&depth),
+            },
+            Receiver { inner: rx, depth },
+        )
     }
 }
 
@@ -138,6 +177,20 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn receiver_len_tracks_in_flight_messages() {
+        let (tx, rx) = super::channel::bounded::<u8>(4);
+        assert_eq!(rx.len(), 0);
+        assert!(rx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        rx.recv().unwrap();
+        assert_eq!(rx.len(), 1);
+        drop(tx);
+        assert_eq!(rx.into_iter().count(), 1);
+    }
+
     #[test]
     fn channel_fans_in_from_scoped_threads() {
         let (tx, rx) = super::channel::bounded::<u32>(2);
